@@ -1,0 +1,155 @@
+//! HoloClean-style unsupervised error detection.
+//!
+//! HoloClean (Rekatsinas et al., PVLDB 2017) flags cells that violate
+//! integrity signals before repairing them probabilistically. This
+//! reimplementation keeps the detection side: it profiles each column over
+//! the (unlabeled) dataset and flags
+//!
+//! * rare categorical values (frequency below a threshold), and
+//! * numeric outliers (beyond `k` standard deviations from the mean).
+//!
+//! Like the original on these benchmarks, it is noticeably weaker than
+//! learned detectors — rare-but-clean values produce false positives and
+//! plausible-looking corruptions escape (Table 1: 54.5 / 51.4 F1).
+
+use std::collections::HashMap;
+
+use dprep_prompt::TaskInstance;
+
+/// Frequency/outlier-based unsupervised error detector.
+#[derive(Debug, Clone)]
+pub struct HoloCleanStyle {
+    /// Relative frequency below which a categorical value is suspicious.
+    pub min_frequency: f64,
+    /// Z-score beyond which a numeric value is suspicious.
+    pub z_threshold: f64,
+    /// column name -> (value -> count, total)
+    value_counts: HashMap<String, (HashMap<String, usize>, usize)>,
+    /// column name -> (mean, std)
+    numeric_stats: HashMap<String, (f64, f64)>,
+}
+
+impl Default for HoloCleanStyle {
+    fn default() -> Self {
+        HoloCleanStyle {
+            min_frequency: 0.005,
+            z_threshold: 3.0,
+            value_counts: HashMap::new(),
+            numeric_stats: HashMap::new(),
+        }
+    }
+}
+
+impl HoloCleanStyle {
+    /// Profiles the dataset's columns (unsupervised — labels unused).
+    pub fn fit(&mut self, instances: &[TaskInstance]) {
+        let mut numeric: HashMap<String, Vec<f64>> = HashMap::new();
+        for inst in instances {
+            let TaskInstance::ErrorDetection { record, .. } = inst else {
+                continue;
+            };
+            for (name, value) in record.named_values() {
+                if value.is_missing() {
+                    continue;
+                }
+                let rendered = value.to_string();
+                if let Some(n) = value.as_f64() {
+                    numeric.entry(name.to_string()).or_default().push(n);
+                }
+                let entry = self
+                    .value_counts
+                    .entry(name.to_string())
+                    .or_insert_with(|| (HashMap::new(), 0));
+                *entry.0.entry(rendered).or_insert(0) += 1;
+                entry.1 += 1;
+            }
+        }
+        for (name, values) in numeric {
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            self.numeric_stats.insert(name, (mean, var.sqrt().max(1e-9)));
+        }
+    }
+
+    /// Predicts whether the instance's target cell is erroneous.
+    pub fn predict(&self, instance: &TaskInstance) -> bool {
+        let TaskInstance::ErrorDetection { record, attribute } = instance else {
+            return false;
+        };
+        let Some(value) = record.get_by_name(attribute) else {
+            return false;
+        };
+        if value.is_missing() {
+            return false;
+        }
+        if let Some(n) = value.as_f64() {
+            if let Some((mean, std)) = self.numeric_stats.get(attribute.as_str()) {
+                if ((n - mean) / std).abs() > self.z_threshold {
+                    return true;
+                }
+            }
+        }
+        if let Some((counts, total)) = self.value_counts.get(attribute.as_str()) {
+            // Rarity only means anything in low-cardinality columns; in a
+            // column of unique values (names, addresses) every value is
+            // "rare" and the signal is vacuous.
+            let high_cardinality = counts.len() as f64 / (*total).max(1) as f64 > 0.3;
+            let count = counts.get(&value.to_string()).copied().unwrap_or(0);
+            // Numeric columns are judged by the z-score above, not rarity.
+            if value.as_f64().is_none() && !high_cardinality {
+                let freq = count as f64 / (*total).max(1) as f64;
+                return freq < self.min_frequency;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_datasets::adult;
+
+    #[test]
+    fn profiles_and_flags_blatant_errors() {
+        let ds = adult::generate(0.2, 5);
+        let mut detector = HoloCleanStyle::default();
+        detector.fit(&ds.instances);
+        // It should beat random guessing on the injected errors.
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut fn_ = 0;
+        for (inst, label) in ds.instances.iter().zip(&ds.labels) {
+            let truth = label.as_bool().unwrap();
+            let pred = detector.predict(inst);
+            match (truth, pred) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                _ => {}
+            }
+        }
+        let precision = tp as f64 / (tp + fp).max(1) as f64;
+        let recall = tp as f64 / (tp + fn_).max(1) as f64;
+        let f1 = 2.0 * precision * recall / (precision + recall).max(1e-9);
+        assert!(f1 > 0.2, "f1 = {f1:.3} (p={precision:.3}, r={recall:.3})");
+        // And stay visibly below the supervised detectors (unsupervised gap).
+        assert!(f1 < 0.95, "f1 = {f1:.3}");
+    }
+
+    #[test]
+    fn missing_cells_are_not_errors() {
+        let detector = HoloCleanStyle::default();
+        let ds = adult::generate(0.02, 1);
+        let TaskInstance::ErrorDetection { record, .. } = &ds.instances[0] else {
+            panic!()
+        };
+        let masked = record.with_missing(0).unwrap();
+        let inst = TaskInstance::ErrorDetection {
+            record: masked,
+            attribute: "age".into(),
+        };
+        assert!(!detector.predict(&inst));
+    }
+}

@@ -1,0 +1,138 @@
+//! IMP-style data imputation.
+//!
+//! IMP (Mei et al., ICDE 2021) imputes missing cells with a pre-trained
+//! language model conditioned on the record. The laptop-scale substitute
+//! keeps the core signal — *the record's other tokens predict the missing
+//! value* — using multinomial naive Bayes over normalized tokens, trained
+//! on complete records. Unseen evidence tokens degrade it on datasets whose
+//! cue vocabulary is broad (Restaurant: 77.2 in Table 1) while repeated
+//! brand tokens keep it strong on Buy (96.5).
+
+use dprep_ml::MultinomialNb;
+use dprep_prompt::TaskInstance;
+use dprep_text::normalize;
+
+/// Naive-Bayes record-context imputer.
+#[derive(Debug, Clone)]
+pub struct ImpStyle {
+    model: MultinomialNb,
+    fallback: Option<String>,
+}
+
+impl Default for ImpStyle {
+    fn default() -> Self {
+        ImpStyle {
+            // Generous smoothing: with few documents per class, chance
+            // frequency differences on filler words must not outweigh a
+            // genuinely predictive token.
+            model: MultinomialNb::new(2.0),
+            fallback: None,
+        }
+    }
+}
+
+fn context_tokens(instance: &TaskInstance) -> Option<(Vec<String>, &str)> {
+    let TaskInstance::Imputation { record, attribute } = instance else {
+        return None;
+    };
+    // Set semantics (each token once per record): repeated filler words
+    // otherwise add per-class frequency noise that drowns the one
+    // discriminative token, a classic multinomial-NB failure on short
+    // documents.
+    let mut tokens = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (name, value) in record.named_values() {
+        if name == attribute || value.is_missing() {
+            continue;
+        }
+        for tok in normalize(&value.to_string()).split(' ') {
+            if !tok.is_empty() && seen.insert(tok.to_string()) {
+                tokens.push(tok.to_string());
+            }
+        }
+    }
+    Some((tokens, attribute.as_str()))
+}
+
+impl ImpStyle {
+    /// Trains on labeled imputation instances (`(instance, true value)`).
+    pub fn fit(&mut self, train: &[(TaskInstance, String)]) {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for (inst, truth) in train {
+            let Some((tokens, _)) = context_tokens(inst) else {
+                continue;
+            };
+            let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+            self.model.observe(refs.iter().copied(), truth);
+            *counts.entry(truth).or_insert(0) += 1;
+        }
+        self.fallback = counts
+            .into_iter()
+            .max_by_key(|(_, c)| *c)
+            .map(|(v, _)| v.to_string());
+    }
+
+    /// Imputes the missing value, `None` when untrained or the instance is
+    /// malformed.
+    pub fn predict(&self, instance: &TaskInstance) -> Option<String> {
+        let (tokens, _) = context_tokens(instance)?;
+        let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+        self.model.predict(&refs).or_else(|| self.fallback.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_datasets::{buy, restaurant};
+
+    fn accuracy(model: &ImpStyle, ds: &dprep_datasets::Dataset) -> f64 {
+        let mut correct = 0;
+        for (inst, label) in ds.instances.iter().zip(&ds.labels) {
+            if model.predict(inst).as_deref() == label.as_value() {
+                correct += 1;
+            }
+        }
+        correct as f64 / ds.len() as f64
+    }
+
+    #[test]
+    fn learns_brand_cooccurrence_on_buy() {
+        // Train on a big split, test on the paper-size split.
+        let train_ds = buy::generate(8.0, 21);
+        let test_ds = buy::generate(1.0, 22);
+        let train: Vec<(TaskInstance, String)> = train_ds
+            .instances
+            .iter()
+            .zip(&train_ds.labels)
+            .map(|(i, l)| (i.clone(), l.as_value().unwrap().to_string()))
+            .collect();
+        let mut model = ImpStyle::default();
+        model.fit(&train);
+        let acc = accuracy(&model, &test_ds);
+        assert!(acc > 0.7, "accuracy = {acc:.3}");
+    }
+
+    #[test]
+    fn weaker_on_restaurant_city() {
+        let train_ds = restaurant::generate(3.0, 23);
+        let test_ds = restaurant::generate(1.0, 24);
+        let train: Vec<(TaskInstance, String)> = train_ds
+            .instances
+            .iter()
+            .zip(&train_ds.labels)
+            .map(|(i, l)| (i.clone(), l.as_value().unwrap().to_string()))
+            .collect();
+        let mut model = ImpStyle::default();
+        model.fit(&train);
+        let acc = accuracy(&model, &test_ds);
+        assert!(acc > 0.4, "accuracy = {acc:.3}");
+    }
+
+    #[test]
+    fn untrained_returns_none() {
+        let model = ImpStyle::default();
+        let ds = buy::generate(0.1, 1);
+        assert_eq!(model.predict(&ds.instances[0]), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dprep-baselines
+//!
+//! Laptop-scale reimplementations of the six classical systems the paper
+//! compares against in Table 1. Each captures its original's algorithmic
+//! idea without the heavyweight machinery:
+//!
+//! | baseline | original idea | this reimplementation |
+//! |---|---|---|
+//! | [`HoloCleanStyle`] | probabilistic repair over denial constraints | unsupervised column profiling: frequency + numeric outlier flags |
+//! | [`HoloDetectStyle`] | few-shot error detection with data augmentation | cell featurization + logistic regression on labeled cells |
+//! | [`ImpStyle`] | LM-based imputation from record context | multinomial naive Bayes over record tokens |
+//! | [`SmatStyle`] | attention over attribute name/description pairs | similarity-feature logistic regression |
+//! | [`MagellanStyle`] | feature-based EM over attribute similarities | per-attribute similarity features + logistic regression |
+//! | [`DittoStyle`] | serialized-pair language-model matcher | whole-record text similarity features + logistic regression |
+//!
+//! All baselines follow a `fit(train) → predict(instance)` shape; training
+//! splits come from the same generators as the test data (disjoint seeds).
+
+pub mod ditto;
+pub mod holoclean;
+pub mod holodetect;
+pub mod imp;
+pub mod magellan;
+pub mod smat;
+
+pub use ditto::DittoStyle;
+pub use holoclean::HoloCleanStyle;
+pub use holodetect::HoloDetectStyle;
+pub use imp::ImpStyle;
+pub use magellan::MagellanStyle;
+pub use smat::SmatStyle;

@@ -1,0 +1,114 @@
+//! SMAT-style schema matching.
+//!
+//! SMAT (Zhang et al., ADBIS 2021) scores attribute correspondences with an
+//! attention model over names and descriptions. The substitute computes a
+//! similarity-feature vector — name Jaro-Winkler, name token overlap,
+//! description token overlap, description TF cosine — and trains logistic
+//! regression on labeled pairs. Like its original on Synthea (38.5 F1 in
+//! Table 1), it has no access to world synonym knowledge, so cryptic
+//! abbreviation pairs stay out of reach.
+
+use dprep_ml::logreg::{LogRegConfig, LogisticRegression};
+use dprep_prompt::TaskInstance;
+use dprep_text::{cosine_tf, jaro_winkler, normalize, overlap_tokens};
+
+/// Similarity-feature schema matcher.
+#[derive(Debug, Clone, Default)]
+pub struct SmatStyle {
+    model: Option<LogisticRegression>,
+}
+
+fn featurize(instance: &TaskInstance) -> Option<Vec<f64>> {
+    let TaskInstance::SchemaMatching { a, b } = instance else {
+        return None;
+    };
+    let name_a = normalize(&a.name);
+    let name_b = normalize(&b.name);
+    let desc_a = normalize(&a.description);
+    let desc_b = normalize(&b.description);
+    Some(vec![
+        jaro_winkler(&name_a, &name_b),
+        overlap_tokens(&name_a, &name_b),
+        overlap_tokens(&desc_a, &desc_b),
+        cosine_tf(&desc_a, &desc_b),
+    ])
+}
+
+impl SmatStyle {
+    /// Trains on labeled attribute pairs.
+    pub fn fit(&mut self, train: &[(TaskInstance, bool)]) {
+        let examples: Vec<(Vec<f64>, bool)> = train
+            .iter()
+            .filter_map(|(inst, label)| featurize(inst).map(|f| (f, *label)))
+            .collect();
+        if examples.iter().any(|(_, l)| *l) && examples.iter().any(|(_, l)| !*l) {
+            self.model = Some(LogisticRegression::train(
+                &examples,
+                &LogRegConfig {
+                    epochs: 500,
+                    ..LogRegConfig::default()
+                },
+            ));
+        }
+    }
+
+    /// Predicts whether the two attributes match.
+    pub fn predict(&self, instance: &TaskInstance) -> bool {
+        let Some(features) = featurize(instance) else {
+            return false;
+        };
+        match &self.model {
+            Some(model) => model.predict(&features),
+            None => features[0] > 0.85,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_datasets::synthea;
+
+    #[test]
+    fn middling_on_synthea() {
+        let train_ds = synthea::generate(2.0, 31);
+        let test_ds = synthea::generate(1.0, 32);
+        let train: Vec<(TaskInstance, bool)> = train_ds
+            .instances
+            .iter()
+            .zip(&train_ds.labels)
+            .map(|(i, l)| (i.clone(), l.as_bool().unwrap()))
+            .collect();
+        let mut model = SmatStyle::default();
+        model.fit(&train);
+        let (mut tp, mut fp, mut fn_) = (0, 0, 0);
+        for (inst, label) in test_ds.instances.iter().zip(&test_ds.labels) {
+            match (label.as_bool().unwrap(), model.predict(inst)) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                _ => {}
+            }
+        }
+        let p = tp as f64 / (tp + fp).max(1) as f64;
+        let r = tp as f64 / (tp + fn_).max(1) as f64;
+        let f1 = 2.0 * p * r / (p + r).max(1e-9);
+        // Catches the lexically similar pairs but not the cryptic ones.
+        assert!(f1 > 0.2 && f1 < 0.95, "f1 = {f1:.3}");
+    }
+
+    #[test]
+    fn untrained_uses_name_similarity() {
+        let model = SmatStyle::default();
+        let same = TaskInstance::SchemaMatching {
+            a: dprep_prompt::AttrSpec::new("birth date", "date of birth"),
+            b: dprep_prompt::AttrSpec::new("birth date", "birth date of patient"),
+        };
+        let diff = TaskInstance::SchemaMatching {
+            a: dprep_prompt::AttrSpec::new("zip", "postal code"),
+            b: dprep_prompt::AttrSpec::new("diagnosis", "condition code"),
+        };
+        assert!(model.predict(&same));
+        assert!(!model.predict(&diff));
+    }
+}

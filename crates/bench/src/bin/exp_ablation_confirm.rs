@@ -1,0 +1,37 @@
+//! Extension ablation: the ED "confirm the target attribute" safeguard
+//! (§3.1), which the paper motivates but never measures.
+
+use dprep_eval::experiments::ablation_confirm;
+use dprep_eval::report;
+
+fn main() {
+    let cfg = dprep_bench::config_from_env();
+    eprintln!(
+        "running confirm-target ablation at scale {} (seed {:#x}) on Adult/ED...",
+        cfg.scale, cfg.seed
+    );
+    let result = ablation_confirm::run(&cfg);
+    let headers = vec!["with confirm".to_string(), "without confirm".to_string()];
+    let rows: Vec<(String, Vec<String>)> = result
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r.model.clone(),
+                vec![report::cell(r.with_confirm), report::cell(r.without_confirm)],
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            "Ablation: ED target-confirmation safeguard (Adult, best setting, F1 %)",
+            &headers,
+            &rows
+        )
+    );
+    match report::write_tsv("ablation_confirm", &headers, &rows) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write TSV: {e}"),
+    }
+}

@@ -1,0 +1,37 @@
+//! Extension ablation: temperature sensitivity of the best setting
+//! (the paper fixes 0.75/0.65/0.2 without measurement).
+
+use dprep_eval::experiments::ablation_temperature::{self, TEMPERATURES};
+use dprep_eval::report;
+
+fn main() {
+    let cfg = dprep_bench::config_from_env();
+    eprintln!(
+        "running temperature sweep at scale {} (seed {:#x}) with GPT-3.5...",
+        cfg.scale, cfg.seed
+    );
+    let result = ablation_temperature::run(&cfg);
+    let headers: Vec<String> = TEMPERATURES.iter().map(|t| format!("T={t}")).collect();
+    let rows: Vec<(String, Vec<String>)> = result
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r.dataset.to_string(),
+                r.scores.iter().map(|s| report::cell(*s)).collect(),
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            "Ablation: sampling temperature (GPT-3.5, best setting, acc/F1 %)",
+            &headers,
+            &rows
+        )
+    );
+    match report::write_tsv("ablation_temperature", &headers, &rows) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write TSV: {e}"),
+    }
+}

@@ -1,0 +1,41 @@
+//! Extension experiment: the EM blocking stage (§2.1) — pair completeness
+//! vs reduction ratio for n-gram and embedding blocking.
+
+use dprep_eval::experiments::blocking_quality;
+use dprep_eval::report;
+
+fn main() {
+    let cfg = dprep_bench::config_from_env();
+    eprintln!(
+        "running blocking-quality experiment at scale {} (seed {:#x})...",
+        cfg.scale, cfg.seed
+    );
+    let result = blocking_quality::run(&cfg);
+    let headers = vec![
+        "completeness %".to_string(),
+        "reduction %".to_string(),
+        "candidates".to_string(),
+    ];
+    let rows: Vec<(String, Vec<String>)> = result
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                format!("{} / {}", r.dataset, r.blocker),
+                vec![
+                    format!("{:.1}", r.stats.pair_completeness * 100.0),
+                    format!("{:.1}", r.stats.reduction_ratio * 100.0),
+                    format!("{}", r.stats.candidates),
+                ],
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table("Blocking quality ahead of pairwise EM", &headers, &rows)
+    );
+    match report::write_tsv("blocking_quality", &headers, &rows) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write TSV: {e}"),
+    }
+}

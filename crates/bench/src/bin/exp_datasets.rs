@@ -1,0 +1,53 @@
+//! Prints the profile of every generated benchmark dataset (the §4.1
+//! "Datasets" paragraph as a table): instance counts, label balance,
+//! missingness, prompt weight, and knowledge-corpus size.
+
+use dprep_datasets::stats::summarize;
+use dprep_eval::report;
+
+fn main() {
+    let cfg = dprep_bench::config_from_env();
+    eprintln!("profiling datasets at scale {} (seed {:#x})...", cfg.scale, cfg.seed);
+    let headers: Vec<String> = [
+        "task",
+        "instances",
+        "pos %",
+        "targets",
+        "missing %",
+        "tok/question",
+        "few-shot",
+        "facts",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for ds in dprep_datasets::all_datasets(cfg.scale, cfg.seed) {
+        let s = summarize(&ds);
+        rows.push((
+            ds.name.to_string(),
+            vec![
+                ds.task.id().to_string(),
+                s.instances.to_string(),
+                s.positive_rate
+                    .map(|r| format!("{:.1}", r * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+                s.distinct_targets
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.1}", s.missing_cell_rate * 100.0),
+                format!("{:.0}", s.mean_question_tokens),
+                s.few_shot.to_string(),
+                s.facts.to_string(),
+            ],
+        ));
+    }
+    println!(
+        "{}",
+        report::render_table("Generated benchmark datasets", &headers, &rows)
+    );
+    match report::write_tsv("datasets", &headers, &rows) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write TSV: {e}"),
+    }
+}

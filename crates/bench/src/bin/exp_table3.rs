@@ -1,0 +1,29 @@
+//! Regenerates the paper's Table 3: batch-size evaluation on Adult/ED with
+//! GPT-3.5 — F1, total tokens (M), dollar cost, and virtual hours.
+
+use dprep_eval::experiments::table3;
+use dprep_eval::report;
+
+fn main() {
+    let cfg = dprep_bench::config_from_env();
+    eprintln!(
+        "running Table 3 at scale {} (seed {:#x}); batch sizes {:?} on Adult/ED...",
+        cfg.scale,
+        cfg.seed,
+        table3::BATCH_SIZES
+    );
+    let table = table3::run(&cfg);
+    let headers: Vec<String> = ["F1 score (%)", "Tokens (M)", "Cost ($)", "Time (hrs)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows = table.to_rows();
+    println!(
+        "{}",
+        report::render_table("Table 3: batch size evaluation (Adult, ED, GPT-3.5)", &headers, &rows)
+    );
+    match report::write_tsv("table3", &headers, &rows) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write TSV: {e}"),
+    }
+}

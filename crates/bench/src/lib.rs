@@ -1,0 +1,49 @@
+//! # dprep-bench
+//!
+//! Regenerates every table and in-text experiment from the paper's
+//! evaluation section, plus Criterion micro-benchmarks of the substrates.
+//!
+//! Experiment binaries (each prints a paper-style table and writes a TSV
+//! under `target/experiments/`):
+//!
+//! ```text
+//! cargo run --release -p dprep-bench --bin exp_table1            # Table 1
+//! cargo run --release -p dprep-bench --bin exp_table2            # Table 2
+//! cargo run --release -p dprep-bench --bin exp_table3            # Table 3
+//! cargo run --release -p dprep-bench --bin exp_feature_selection # §4.2 feature selection
+//! cargo run --release -p dprep-bench --bin exp_cluster_batching  # §4.2 cluster batching
+//! ```
+//!
+//! Environment knobs: `DPREP_SCALE` (default 1.0 — the paper's instance
+//! counts) and `DPREP_SEED` (default 0xd472).
+
+use dprep_eval::experiments::ExperimentConfig;
+
+/// Reads the experiment configuration from the environment.
+pub fn config_from_env() -> ExperimentConfig {
+    let mut config = ExperimentConfig::default();
+    if let Ok(scale) = std::env::var("DPREP_SCALE") {
+        if let Ok(scale) = scale.parse::<f64>() {
+            assert!(scale > 0.0, "DPREP_SCALE must be positive");
+            config.scale = scale;
+        }
+    }
+    if let Ok(seed) = std::env::var("DPREP_SEED") {
+        if let Ok(seed) = seed.parse::<u64>() {
+            config.seed = seed;
+        }
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Note: relies on the variables not being set in the test env.
+        let cfg = config_from_env();
+        assert!(cfg.scale > 0.0);
+    }
+}

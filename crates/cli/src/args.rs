@@ -1,0 +1,116 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed flags: every `--name value` pair.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// The value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// The value of a required flag, or a readable error.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Parses a u64 flag with a default.
+    pub fn seed(&self) -> Result<u64, String> {
+        match self.get("seed") {
+            None => Ok(0),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--seed must be an integer, got {raw:?}")),
+        }
+    }
+
+    /// Inserts a flag value (used by tests).
+    #[cfg(test)]
+    pub fn set(&mut self, name: &str, value: &str) {
+        self.values.insert(name.to_string(), value.to_string());
+    }
+}
+
+/// Parses `--name value` pairs; rejects dangling or unnamed arguments.
+pub fn parse_flags(argv: &[String]) -> Result<Flags, String> {
+    let mut values = HashMap::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let name = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {arg:?}"))?;
+        if name.is_empty() {
+            return Err("empty flag name".into());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} is missing its value"))?;
+        if values.insert(name.to_string(), value.clone()).is_some() {
+            return Err(format!("flag --{name} given twice"));
+        }
+    }
+    Ok(Flags { values })
+}
+
+/// Resolves a model-name flag to a profile (default: sim-gpt-4).
+pub fn model_profile(flags: &Flags) -> Result<dprep_llm::ModelProfile, String> {
+    let name = flags.get("model").unwrap_or("sim-gpt-4");
+    dprep_llm::ModelProfile::all_presets()
+        .into_iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| format!("unknown model {name:?} (see dprep help)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let flags = parse_flags(&argv(&["--input", "a.csv", "--seed", "7"])).unwrap();
+        assert_eq!(flags.get("input"), Some("a.csv"));
+        assert_eq!(flags.seed().unwrap(), 7);
+        assert_eq!(flags.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_args() {
+        assert!(parse_flags(&argv(&["input"])).is_err());
+        assert!(parse_flags(&argv(&["--input"])).is_err());
+        assert!(parse_flags(&argv(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let flags = parse_flags(&[]).unwrap();
+        let err = flags.require("input").unwrap_err();
+        assert!(err.contains("--input"));
+    }
+
+    #[test]
+    fn model_lookup() {
+        let mut flags = Flags::default();
+        assert_eq!(model_profile(&flags).unwrap().name, "sim-gpt-4");
+        flags.set("model", "sim-gpt-3.5");
+        assert_eq!(model_profile(&flags).unwrap().name, "sim-gpt-3.5");
+        flags.set("model", "gpt-9");
+        assert!(model_profile(&flags).is_err());
+    }
+
+    #[test]
+    fn bad_seed_is_an_error() {
+        let mut flags = Flags::default();
+        flags.set("seed", "xyz");
+        assert!(flags.seed().is_err());
+    }
+}

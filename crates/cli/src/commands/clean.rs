@@ -1,0 +1,41 @@
+//! `dprep clean` — detect-then-repair: flag suspicious cells and re-impute
+//! them, emitting the repaired CSV on stdout and the audit trail on stderr.
+
+use dprep_core::Repairer;
+use dprep_tabular::csv::write_csv;
+
+use crate::args::{model_profile, Flags};
+use crate::commands::{attrs_for, build_model, load_table, print_usage_footer};
+use crate::facts;
+
+/// Runs the command.
+pub fn run(flags: &Flags) -> Result<(), String> {
+    let table = load_table(flags.require("input")?)?;
+    let attrs = attrs_for(flags, &table)?;
+    let profile = model_profile(flags)?;
+    let kb = facts::load(flags)?;
+    let model = build_model(profile, kb, flags.seed()?);
+
+    let repairer = Repairer::new(&model);
+    let outcome = repairer.repair(&table, &attrs, &[], &[]);
+
+    print!("{}", write_csv(&outcome.table));
+    for repair in &outcome.repairs {
+        eprintln!(
+            "row {}, {}: {:?} -> {}",
+            repair.row,
+            repair.attribute,
+            repair.original.to_string(),
+            repair
+                .replacement
+                .as_deref()
+                .unwrap_or("(masked: imputation unparseable)"),
+        );
+        if let Some(reason) = &repair.detection_reason {
+            eprintln!("  {reason}");
+        }
+    }
+    eprintln!("{} repair(s) applied", outcome.repairs.len());
+    print_usage_footer(&outcome.usage);
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! `dprep datasets` — list the built-in synthetic benchmarks.
+
+use crate::args::Flags;
+
+/// Runs the command.
+pub fn run(flags: &Flags) -> Result<(), String> {
+    let scale: f64 = match flags.get("scale") {
+        None => 0.1,
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--scale must be a number, got {raw:?}"))?,
+    };
+    println!(
+        "{:<16} {:<18} {:>10} {:>9} {:>7}",
+        "dataset", "task", "instances", "few-shot", "facts"
+    );
+    for ds in dprep_datasets::all_datasets(scale, flags.seed()?) {
+        println!(
+            "{:<16} {:<18} {:>10} {:>9} {:>7}",
+            ds.name,
+            ds.task.name(),
+            ds.len(),
+            ds.few_shot.len(),
+            ds.kb.len()
+        );
+    }
+    eprintln!("(generated at scale {scale}; scale 1.0 = the paper's instance counts)");
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! `dprep detect` — cell-level error detection over a CSV file.
+
+use dprep_core::{PipelineConfig, Preprocessor};
+use dprep_prompt::{Task, TaskInstance};
+
+use crate::args::{model_profile, Flags};
+use crate::commands::{attrs_for, build_model, load_table, print_usage_footer};
+use crate::facts;
+
+/// Runs the command.
+pub fn run(flags: &Flags) -> Result<(), String> {
+    let table = load_table(flags.require("input")?)?;
+    let attrs = attrs_for(flags, &table)?;
+    let profile = model_profile(flags)?;
+    let kb = facts::load(flags)?;
+    let model = build_model(profile, kb, flags.seed()?);
+
+    let mut instances = Vec::new();
+    let mut cells = Vec::new();
+    for (row_idx, row) in table.rows().iter().enumerate() {
+        for attr in &attrs {
+            if row
+                .get_by_name(attr)
+                .map(|v| v.is_missing())
+                .unwrap_or(true)
+            {
+                continue;
+            }
+            instances.push(TaskInstance::ErrorDetection {
+                record: row.clone(),
+                attribute: attr.clone(),
+            });
+            cells.push((row_idx, attr.clone()));
+        }
+    }
+    if instances.is_empty() {
+        return Err("no checkable cells (everything missing?)".into());
+    }
+
+    let preprocessor = Preprocessor::new(&model, PipelineConfig::best(Task::ErrorDetection));
+    let result = preprocessor.run(&instances, &[]);
+
+    println!("row\tattribute\tvalue\tverdict\treason");
+    let mut flagged = 0usize;
+    for ((row_idx, attr), prediction) in cells.iter().zip(&result.predictions) {
+        let verdict = prediction.as_yes_no();
+        if verdict == Some(true) {
+            flagged += 1;
+        }
+        // Print errors always; clean cells only with --all true.
+        if verdict == Some(true) || flags.get("all").is_some() {
+            let value = table
+                .row(*row_idx)
+                .and_then(|r| r.get_by_name(attr))
+                .map(|v| v.to_string())
+                .unwrap_or_default();
+            let reason = prediction
+                .answer()
+                .and_then(|a| a.reason.clone())
+                .unwrap_or_default();
+            println!(
+                "{row_idx}\t{attr}\t{value}\t{}\t{reason}",
+                match verdict {
+                    Some(true) => "error",
+                    Some(false) => "ok",
+                    None => "unparsed",
+                }
+            );
+        }
+    }
+    eprintln!("{flagged} of {} cells flagged", instances.len());
+    print_usage_footer(&result.usage);
+    Ok(())
+}

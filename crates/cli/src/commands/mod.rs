@@ -1,0 +1,69 @@
+//! CLI subcommands.
+
+pub mod clean;
+pub mod datasets;
+pub mod detect;
+pub mod impute;
+pub mod match_cmd;
+
+use std::sync::Arc;
+
+use dprep_llm::{KnowledgeBase, ModelProfile, SimulatedLlm};
+use dprep_tabular::Table;
+
+use crate::args::Flags;
+
+/// Loads a CSV file into a typed table.
+pub fn load_table(path: &str) -> Result<Table, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    dprep_tabular::csv::read_csv_typed(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Builds the simulated model from flags and a knowledge base.
+pub fn build_model(
+    profile: ModelProfile,
+    kb: KnowledgeBase,
+    seed: u64,
+) -> SimulatedLlm {
+    SimulatedLlm::new(profile, Arc::new(kb)).with_seed(seed)
+}
+
+/// Prints the run's usage footer.
+pub fn print_usage_footer(usage: &dprep_llm::UsageTotals) {
+    eprintln!(
+        "[{} request(s), {} tokens, ${:.4} virtual cost, {:.1}s virtual latency]",
+        usage.requests,
+        usage.total_tokens(),
+        usage.cost_usd,
+        usage.latency_secs
+    );
+}
+
+/// Resolves the attribute list for `--attrs` (default: every attribute).
+pub fn attrs_for(flags: &Flags, table: &Table) -> Result<Vec<String>, String> {
+    match flags.get("attrs") {
+        None => Ok(table
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()),
+        Some(spec) => {
+            let mut out = Vec::new();
+            for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                if table.schema().index_of(name).is_none() {
+                    return Err(format!(
+                        "attribute {name:?} not in the table (has: {})",
+                        table.schema().names().join(", ")
+                    ));
+                }
+                out.push(name.to_string());
+            }
+            if out.is_empty() {
+                return Err("--attrs selected no attributes".into());
+            }
+            Ok(out)
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Parsing the tab-separated world-facts file into a [`KnowledgeBase`].
+
+use dprep_llm::{Fact, KnowledgeBase};
+
+/// Parses facts text (one tab-separated fact per line; `#` comments and
+/// blank lines ignored).
+pub fn parse_facts(text: &str) -> Result<KnowledgeBase, String> {
+    let mut kb = KnowledgeBase::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let err = |msg: &str| format!("facts line {}: {msg}: {line:?}", lineno + 1);
+        let fact = match fields.as_slice() {
+            ["lexicon", domain, value] => Fact::LexiconMember {
+                domain: domain.to_string(),
+                value: value.to_lowercase(),
+            },
+            ["range", attribute, min, max] => Fact::NumericRange {
+                attribute: attribute.to_string(),
+                min: min.parse().map_err(|_| err("bad min"))?,
+                max: max.parse().map_err(|_| err("bad max"))?,
+            },
+            ["areacode", prefix, city] => Fact::AreaCode {
+                prefix: prefix.to_string(),
+                city: city.to_lowercase(),
+            },
+            ["cue", attribute, token, value] => Fact::Cue {
+                attribute: attribute.to_string(),
+                token: token.to_lowercase(),
+                value: value.to_lowercase(),
+            },
+            ["brand", token, manufacturer] => Fact::Brand {
+                token: token.to_lowercase(),
+                manufacturer: manufacturer.to_lowercase(),
+            },
+            ["synonym", a, b] => Fact::AttrSynonym {
+                a: a.to_lowercase(),
+                b: b.to_lowercase(),
+            },
+            ["alias", canonical, variant] => Fact::Alias {
+                canonical: canonical.to_lowercase(),
+                variant: variant.to_lowercase(),
+            },
+            [kind, ..] => return Err(err(&format!("unknown fact kind {kind:?}"))),
+            [] => continue,
+        };
+        kb.add(fact);
+    }
+    Ok(kb)
+}
+
+/// Loads the knowledge base named by `--facts`, or an empty one.
+pub fn load(flags: &crate::args::Flags) -> Result<KnowledgeBase, String> {
+    match flags.get("facts") {
+        None => Ok(KnowledgeBase::new()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read facts file {path:?}: {e}"))?;
+            parse_facts(&text)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_llm::knowledge::Memorizer;
+
+    #[test]
+    fn parses_every_fact_kind() {
+        let text = "# comment\n\
+                    lexicon\tcity\tAtlanta\n\
+                    range\tage\t0\t110\n\
+                    areacode\t770\tMarietta\n\
+                    cue\tcity\tpowers ferry\tmarietta\n\
+                    brand\tthinkpad\tLenovo\n\
+                    synonym\tzip\tpostal code\n\
+                    alias\tindia pale ale\tipa\n\
+                    \n";
+        let kb = parse_facts(text).unwrap();
+        assert_eq!(kb.len(), 7);
+        let mem = Memorizer {
+            model_name: "t".into(),
+            coverage: 1.0,
+            seed: 0,
+        };
+        assert_eq!(kb.city_for_area_code(&mem, "770"), Some("marietta"));
+        assert_eq!(kb.numeric_range(&mem, "age"), Some((0.0, 110.0)));
+        assert!(kb.are_synonyms(&mem, "zip", "postal code"));
+    }
+
+    #[test]
+    fn reports_bad_lines_with_numbers() {
+        let err = parse_facts("lexicon\tcity\ta\nwhatever\tx\ty\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_facts("range\tage\tlow\thigh\n").unwrap_err();
+        assert!(err.contains("bad min"), "{err}");
+    }
+}

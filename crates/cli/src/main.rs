@@ -1,0 +1,75 @@
+//! `dprep` — command-line data preprocessing over CSV files with the
+//! simulated-LLM framework.
+//!
+//! ```text
+//! dprep detect --input dirty.csv [--attrs age,city] [--model sim-gpt-4] [--facts facts.tsv]
+//! dprep impute --input gaps.csv --attribute city [--facts facts.tsv]
+//! dprep match  --left a.csv --right b.csv [--blocker ngram|embedding|none]
+//! dprep datasets
+//! ```
+//!
+//! World knowledge is supplied as a tab-separated facts file (see
+//! [`facts`]); without one the model falls back to generic heuristics.
+
+mod args;
+mod commands;
+mod facts;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let parsed = match args::parse_flags(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "detect" => commands::detect::run(&parsed),
+        "clean" => commands::clean::run(&parsed),
+        "impute" => commands::impute::run(&parsed),
+        "match" => commands::match_cmd::run(&parsed),
+        "datasets" => commands::datasets::run(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "dprep — LLM-style data preprocessing over CSV files
+
+USAGE:
+  dprep detect   --input FILE [--attrs A,B] [--model NAME] [--facts FILE] [--seed N]
+  dprep impute   --input FILE --attribute NAME [--model NAME] [--facts FILE] [--seed N]
+  dprep clean    --input FILE [--attrs A,B] [--model NAME] [--facts FILE] [--seed N]
+  dprep match    --left FILE --right FILE [--blocker ngram|embedding|none]
+                 [--model NAME] [--facts FILE] [--seed N]
+  dprep datasets
+
+MODELS: sim-gpt-4 (default), sim-gpt-3.5, sim-gpt-3, sim-vicuna-13b
+
+FACTS FILE (tab-separated, one fact per line):
+  lexicon<TAB>DOMAIN<TAB>VALUE        legal value of a domain/attribute
+  range<TAB>ATTR<TAB>MIN<TAB>MAX      plausible numeric range
+  areacode<TAB>PREFIX<TAB>CITY        phone prefix -> city
+  cue<TAB>ATTR<TAB>TOKEN<TAB>VALUE    token implies attribute value
+  brand<TAB>TOKEN<TAB>MAKER           product token -> manufacturer
+  synonym<TAB>NAME_A<TAB>NAME_B       schema-attribute synonyms
+  alias<TAB>CANONICAL<TAB>VARIANT     spelling/abbreviation variants"
+}

@@ -1,0 +1,24 @@
+//! # dprep-core
+//!
+//! The paper's data-preprocessing framework, end to end: given a chat model
+//! (real or simulated), a task, labeled few-shot examples, and a stream of
+//! data instances, the [`Preprocessor`] builds prompts (zero-shot
+//! instruction + few-shot examples + batched questions), queries the model,
+//! parses answers back out, and meters token/cost/time totals.
+//!
+//! * [`config`] — [`PipelineConfig`] and the Table 2 component switches,
+//! * [`pipeline`] — the [`Preprocessor`] runner and its [`RunResult`],
+//! * [`blocking`] — the EM blocking stage (§2.1) the paper's benchmarks
+//!   presuppose: n-gram key blocking and embedding blocking, with pair
+//!   completeness / reduction ratio evaluation,
+//! * [`repair`] — detect-then-repair table cleaning, composing ED and DI.
+
+pub mod blocking;
+pub mod config;
+pub mod pipeline;
+pub mod repair;
+
+pub use blocking::{evaluate_blocking, BlockingStats, CandidatePairs, EmbeddingBlocker, NgramBlocker};
+pub use config::{ComponentSet, PipelineConfig};
+pub use pipeline::{Prediction, Preprocessor, RunResult};
+pub use repair::{Repair, RepairOutcome, Repairer};

@@ -1,0 +1,341 @@
+//! The end-to-end preprocessing pipeline (the paper's Figure 1).
+//!
+//! ```text
+//! instances ── batching ──► prompt builder ──► chat model ──► parser ──► predictions
+//!                  ▲              ▲                                │
+//!             (clustering)   (few-shot, zero-shot,             (usage,
+//!                             contextualization,             cost, time)
+//!                             feature selection)
+//! ```
+
+use dprep_llm::{ChatModel, UsageTotals};
+use dprep_prompt::{
+    build_request, make_batches, parse_response, ExtractedAnswer, FewShotExample, TaskInstance,
+};
+
+use crate::config::PipelineConfig;
+
+/// The pipeline's output for one data instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Prediction {
+    /// A parsed answer.
+    Answered(ExtractedAnswer),
+    /// The model's response for this instance could not be parsed (format
+    /// violation, skipped answer, or context overflow).
+    Unparsed,
+}
+
+impl Prediction {
+    /// The parsed answer, if any.
+    pub fn answer(&self) -> Option<&ExtractedAnswer> {
+        match self {
+            Prediction::Answered(a) => Some(a),
+            Prediction::Unparsed => None,
+        }
+    }
+
+    /// Yes/no view of the answer (for ED/SM/EM).
+    pub fn as_yes_no(&self) -> Option<bool> {
+        self.answer().and_then(ExtractedAnswer::as_yes_no)
+    }
+
+    /// Value view of the answer (for DI).
+    pub fn value(&self) -> Option<&str> {
+        self.answer().map(|a| a.value.as_str())
+    }
+}
+
+/// Result of a full run: one prediction per input instance (same order)
+/// plus usage totals.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-instance predictions, parallel to the input slice.
+    pub predictions: Vec<Prediction>,
+    /// Aggregated tokens, cost, and virtual time.
+    pub usage: UsageTotals,
+}
+
+impl RunResult {
+    /// Number of instances whose answer could not be parsed.
+    pub fn unparsed_count(&self) -> usize {
+        self.predictions
+            .iter()
+            .filter(|p| matches!(p, Prediction::Unparsed))
+            .count()
+    }
+
+    /// Fraction of unparseable instances (0 for an empty run).
+    pub fn unparsed_rate(&self) -> f64 {
+        if self.predictions.is_empty() {
+            return 0.0;
+        }
+        self.unparsed_count() as f64 / self.predictions.len() as f64
+    }
+}
+
+/// Drives a chat model through a preprocessing run.
+pub struct Preprocessor<'a, M: ChatModel + ?Sized> {
+    model: &'a M,
+    config: PipelineConfig,
+}
+
+impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
+    /// Creates a preprocessor over `model` with `config`.
+    pub fn new(model: &'a M, config: PipelineConfig) -> Self {
+        Preprocessor { model, config }
+    }
+
+    /// Largest batch size whose prompt fits in ~85% of the model's context
+    /// window, estimated from a one-instance sample request.
+    fn context_fitted_batch_size(
+        &self,
+        instances: &[TaskInstance],
+        shots: &[FewShotExample],
+    ) -> usize {
+        let configured = self.config.effective_batch_size();
+        if configured <= 1 || instances.is_empty() {
+            return configured.max(1);
+        }
+        let prompt_config = self.config.prompt_config();
+        let sample = build_request(&prompt_config, shots, &[&instances[0]]);
+        let fixed_plus_one = dprep_text::count_tokens(&sample.full_text());
+        let per_question = dprep_text::count_tokens(
+            &instances[0].question_text(prompt_config.feature_indices.as_deref()),
+        ) + 8;
+        let budget = (self.model.context_window() as f64 * 0.85) as usize;
+        if fixed_plus_one >= budget {
+            return 1;
+        }
+        (1 + (budget - fixed_plus_one) / per_question.max(1)).min(configured)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline over `instances`, using `examples` when the
+    /// configuration enables few-shot prompting.
+    pub fn run(&self, instances: &[TaskInstance], examples: &[FewShotExample]) -> RunResult {
+        let mut predictions = vec![Prediction::Unparsed; instances.len()];
+        let mut usage = UsageTotals::default();
+        if instances.is_empty() {
+            return RunResult { predictions, usage };
+        }
+
+        let shots: &[FewShotExample] = if self.config.components.few_shot {
+            examples
+        } else {
+            &[]
+        };
+        let prompt_config = self.config.prompt_config();
+        let mut strategy = self.config.batch_strategy();
+        if self.config.fit_context {
+            let clamped = self.context_fitted_batch_size(instances, shots);
+            strategy = match strategy {
+                dprep_prompt::BatchStrategy::Random { batch_size } => {
+                    dprep_prompt::BatchStrategy::Random {
+                        batch_size: batch_size.min(clamped),
+                    }
+                }
+                dprep_prompt::BatchStrategy::Cluster { batch_size, clusters } => {
+                    dprep_prompt::BatchStrategy::Cluster {
+                        batch_size: batch_size.min(clamped),
+                        clusters,
+                    }
+                }
+            };
+        }
+        let batches = make_batches(instances, &strategy, self.config.seed);
+
+        for batch in batches {
+            let batch_refs: Vec<&TaskInstance> = batch.iter().map(|&i| &instances[i]).collect();
+            let request = build_request(&prompt_config, shots, &batch_refs)
+                .with_temperature(
+                    self.config
+                        .temperature
+                        .unwrap_or_else(|| self.model.default_temperature()),
+                );
+            let response = self.model.chat(&request);
+            usage.record(
+                &response.usage,
+                self.model.cost_usd(&response.usage),
+                response.latency_secs,
+            );
+            let answers = parse_response(&response.text, prompt_config.reasoning);
+            for (position, &instance_idx) in batch.iter().enumerate() {
+                if let Some(extracted) = answers.get(&(position + 1)) {
+                    predictions[instance_idx] = Prediction::Answered(extracted.clone());
+                }
+            }
+        }
+
+        RunResult { predictions, usage }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ComponentSet;
+    use dprep_llm::{ChatRequest, ChatResponse, Usage};
+    use dprep_prompt::Task;
+    use dprep_tabular::{Record, Schema, Value};
+
+    /// A scripted model echoing a fixed verdict, counting requests.
+    struct ScriptedModel {
+        verdict: &'static str,
+        requests: std::cell::Cell<usize>,
+    }
+
+    impl ScriptedModel {
+        fn new(verdict: &'static str) -> Self {
+            ScriptedModel {
+                verdict,
+                requests: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl ChatModel for ScriptedModel {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+        fn context_window(&self) -> usize {
+            100_000
+        }
+        fn cost_usd(&self, usage: &Usage) -> f64 {
+            usage.total_tokens() as f64 * 1e-6
+        }
+        fn chat(&self, request: &ChatRequest) -> ChatResponse {
+            self.requests.set(self.requests.get() + 1);
+            // Answer every numbered question in the final user message.
+            let body = &request.messages.last().unwrap().content;
+            let count = body.matches("Question ").count().max(1);
+            let mut text = String::new();
+            for i in 1..=count {
+                text.push_str(&format!("Answer {i}: {}\n", self.verdict));
+            }
+            ChatResponse {
+                text,
+                usage: Usage {
+                    prompt_tokens: 100,
+                    completion_tokens: 10 * count,
+                },
+                latency_secs: 1.0,
+            }
+        }
+    }
+
+    fn em_instances(n: usize) -> Vec<TaskInstance> {
+        let schema = Schema::all_text(&["title"]).unwrap().shared();
+        (0..n)
+            .map(|i| {
+                let rec = Record::new(
+                    schema.clone(),
+                    vec![Value::text(format!("product {i}"))],
+                )
+                .unwrap();
+                TaskInstance::EntityMatching {
+                    a: rec.clone(),
+                    b: rec,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_answers_every_instance() {
+        let model = ScriptedModel::new("yes");
+        let mut config = PipelineConfig::best(Task::EntityMatching);
+        config.components.few_shot = false;
+        config.batch_size = 4;
+        let pre = Preprocessor::new(&model, config);
+        let instances = em_instances(10);
+        let result = pre.run(&instances, &[]);
+        assert_eq!(result.predictions.len(), 10);
+        assert_eq!(result.unparsed_count(), 0);
+        assert!(result
+            .predictions
+            .iter()
+            .all(|p| p.as_yes_no() == Some(true)));
+        // 10 instances at batch size 4 -> 3 requests.
+        assert_eq!(model.requests.get(), 3);
+        assert_eq!(result.usage.requests, 3);
+        assert!(result.usage.cost_usd > 0.0);
+        assert!((result.usage.latency_secs - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batching_off_sends_one_request_per_instance() {
+        let model = ScriptedModel::new("no");
+        let config = PipelineConfig::ablation(
+            Task::EntityMatching,
+            ComponentSet {
+                few_shot: false,
+                batching: false,
+                reasoning: false,
+            },
+            15,
+        );
+        let pre = Preprocessor::new(&model, config);
+        let instances = em_instances(5);
+        let result = pre.run(&instances, &[]);
+        assert_eq!(model.requests.get(), 5);
+        assert!(result.predictions.iter().all(|p| p.as_yes_no() == Some(false)));
+    }
+
+    #[test]
+    fn empty_run_is_empty() {
+        let model = ScriptedModel::new("yes");
+        let pre = Preprocessor::new(&model, PipelineConfig::best(Task::EntityMatching));
+        let result = pre.run(&[], &[]);
+        assert!(result.predictions.is_empty());
+        assert_eq!(result.usage.requests, 0);
+        assert_eq!(result.unparsed_rate(), 0.0);
+    }
+
+    /// A model that never answers question 2.
+    struct SkippingModel;
+
+    impl ChatModel for SkippingModel {
+        fn name(&self) -> &str {
+            "skipper"
+        }
+        fn context_window(&self) -> usize {
+            100_000
+        }
+        fn cost_usd(&self, _usage: &Usage) -> f64 {
+            0.0
+        }
+        fn chat(&self, request: &ChatRequest) -> ChatResponse {
+            let body = &request.messages.last().unwrap().content;
+            let count = body.matches("Question ").count().max(1);
+            let mut text = String::new();
+            for i in 1..=count {
+                if i != 2 {
+                    text.push_str(&format!("Answer {i}: yes\n"));
+                }
+            }
+            ChatResponse {
+                text,
+                usage: Usage::default(),
+                latency_secs: 0.1,
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_answers_become_unparsed() {
+        let model = SkippingModel;
+        let mut config = PipelineConfig::best(Task::EntityMatching);
+        config.components.few_shot = false;
+        config.batch_size = 3;
+        config.components.reasoning = false;
+        let pre = Preprocessor::new(&model, config);
+        let instances = em_instances(3);
+        let result = pre.run(&instances, &[]);
+        assert_eq!(result.unparsed_count(), 1);
+        assert!((result.unparsed_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

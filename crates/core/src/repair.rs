@@ -1,0 +1,263 @@
+//! Detect-then-repair: full data cleaning by composing the paper's two
+//! cleaning tasks.
+//!
+//! The paper detects errors (ED) and imputes missing cells (DI) but never
+//! closes the loop. [`Repairer`] does: every suspicious cell found by error
+//! detection is masked and re-imputed, yielding a repaired table plus an
+//! audit trail of what changed and why — with the combined token/cost/time
+//! bill of both passes.
+
+use std::sync::Arc;
+
+use dprep_llm::{ChatModel, UsageTotals};
+use dprep_prompt::{FewShotExample, Task, TaskInstance};
+use dprep_tabular::{Record, Table, Value};
+
+use crate::config::PipelineConfig;
+use crate::pipeline::Preprocessor;
+
+/// One applied (or attempted) repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repair {
+    /// Row index in the input table.
+    pub row: usize,
+    /// Attribute name.
+    pub attribute: String,
+    /// The suspicious original value.
+    pub original: Value,
+    /// The imputed replacement (`None` when imputation failed to parse —
+    /// the cell is left masked as missing in the output).
+    pub replacement: Option<String>,
+    /// The detector's reasoning, when available.
+    pub detection_reason: Option<String>,
+}
+
+/// Outcome of a repair pass.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired table (same schema; flagged cells replaced or masked).
+    pub table: Table,
+    /// Every change, in row order.
+    pub repairs: Vec<Repair>,
+    /// Combined usage of the detection and imputation passes.
+    pub usage: UsageTotals,
+}
+
+/// Composes error detection and data imputation into table repair.
+pub struct Repairer<'a, M: ChatModel + ?Sized> {
+    model: &'a M,
+    detect_config: PipelineConfig,
+    impute_config: PipelineConfig,
+}
+
+impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
+    /// A repairer with the paper's best settings for both passes.
+    pub fn new(model: &'a M) -> Self {
+        Repairer {
+            model,
+            detect_config: PipelineConfig::best(Task::ErrorDetection),
+            impute_config: PipelineConfig::best(Task::Imputation),
+        }
+    }
+
+    /// Overrides the detection configuration.
+    pub fn with_detect_config(mut self, config: PipelineConfig) -> Self {
+        assert_eq!(config.task, Task::ErrorDetection, "detect config task");
+        self.detect_config = config;
+        self
+    }
+
+    /// Overrides the imputation configuration.
+    pub fn with_impute_config(mut self, config: PipelineConfig) -> Self {
+        assert_eq!(config.task, Task::Imputation, "impute config task");
+        self.impute_config = config;
+        self
+    }
+
+    /// Repairs `table`, checking the attributes named in `attributes`
+    /// (every attribute when empty). `detect_examples` / `impute_examples`
+    /// are optional few-shot pools for the two passes.
+    pub fn repair(
+        &self,
+        table: &Table,
+        attributes: &[String],
+        detect_examples: &[FewShotExample],
+        impute_examples: &[FewShotExample],
+    ) -> RepairOutcome {
+        let attrs: Vec<String> = if attributes.is_empty() {
+            table
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        } else {
+            attributes.to_vec()
+        };
+
+        // ── pass 1: detect ───────────────────────────────────────────────
+        let mut detect_instances = Vec::new();
+        let mut cells = Vec::new();
+        for (row_idx, row) in table.rows().iter().enumerate() {
+            for attr in &attrs {
+                let Some(value) = row.get_by_name(attr) else { continue };
+                if value.is_missing() {
+                    continue;
+                }
+                detect_instances.push(TaskInstance::ErrorDetection {
+                    record: row.clone(),
+                    attribute: attr.clone(),
+                });
+                cells.push((row_idx, attr.clone()));
+            }
+        }
+        let detector = Preprocessor::new(self.model, self.detect_config.clone());
+        let detected = detector.run(&detect_instances, detect_examples);
+        let mut usage = detected.usage;
+
+        let flagged: Vec<(usize, String, Option<String>)> = cells
+            .iter()
+            .zip(&detected.predictions)
+            .filter(|(_, p)| p.as_yes_no() == Some(true))
+            .map(|((row, attr), p)| {
+                (
+                    *row,
+                    attr.clone(),
+                    p.answer().and_then(|a| a.reason.clone()),
+                )
+            })
+            .collect();
+
+        // ── pass 2: impute replacements for flagged cells ────────────────
+        let mut impute_instances = Vec::new();
+        for (row_idx, attr, _) in &flagged {
+            let row = table.row(*row_idx).expect("row exists");
+            let attr_idx = row.schema().index_of(attr).expect("attr exists");
+            let masked = row.with_missing(attr_idx).expect("in range");
+            impute_instances.push(TaskInstance::Imputation {
+                record: masked,
+                attribute: attr.clone(),
+            });
+        }
+        let imputer = Preprocessor::new(self.model, self.impute_config.clone());
+        let imputed = imputer.run(&impute_instances, impute_examples);
+        usage.merge(&imputed.usage);
+
+        // ── apply ────────────────────────────────────────────────────────
+        let mut rows: Vec<Record> = table.rows().to_vec();
+        let mut repairs = Vec::with_capacity(flagged.len());
+        for ((row_idx, attr, reason), prediction) in
+            flagged.into_iter().zip(&imputed.predictions)
+        {
+            let attr_idx = table.schema().index_of(&attr).expect("attr exists");
+            let replacement = prediction.value().map(str::to_string);
+            let new_value = match &replacement {
+                Some(v) => Value::text(v.clone()),
+                // Unparseable imputation: leave the bad value masked rather
+                // than keeping a known-bad cell.
+                None => Value::Missing,
+            };
+            let original = rows[row_idx]
+                .set(attr_idx, new_value)
+                .expect("index in range");
+            repairs.push(Repair {
+                row: row_idx,
+                attribute: attr,
+                original,
+                replacement,
+                detection_reason: reason,
+            });
+        }
+        let table = Table::from_records(Arc::clone(table.schema()), rows)
+            .expect("schema unchanged");
+        RepairOutcome {
+            table,
+            repairs,
+            usage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_llm::{Fact, KnowledgeBase, ModelProfile, SimulatedLlm};
+    use dprep_tabular::Schema;
+
+    fn dirty_table() -> Table {
+        let schema = Schema::all_text(&["name", "phone", "city"]).unwrap().shared();
+        let mut t = Table::new(Arc::clone(&schema));
+        t.push_values(vec![
+            Value::text("carey's corner"),
+            Value::text("770-933-0909"),
+            Value::text("mariettaa"), // typo
+        ])
+        .unwrap();
+        t.push_values(vec![
+            Value::text("blue moon cafe"),
+            Value::text("404-875-7562"),
+            Value::text("atlanta"), // clean
+        ])
+        .unwrap();
+        t
+    }
+
+    fn model() -> SimulatedLlm {
+        let mut kb = KnowledgeBase::new();
+        for (prefix, city) in [("770", "marietta"), ("404", "atlanta")] {
+            kb.add(Fact::AreaCode {
+                prefix: prefix.into(),
+                city: city.into(),
+            });
+            kb.add(Fact::LexiconMember {
+                domain: "city".into(),
+                value: city.into(),
+            });
+        }
+        SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(kb))
+    }
+
+    #[test]
+    fn repairs_the_typo_and_leaves_clean_cells() {
+        let table = dirty_table();
+        let model = model();
+        let repairer = Repairer::new(&model);
+        let outcome = repairer.repair(&table, &["city".into()], &[], &[]);
+        assert_eq!(outcome.repairs.len(), 1, "{:?}", outcome.repairs);
+        let repair = &outcome.repairs[0];
+        assert_eq!(repair.row, 0);
+        assert_eq!(repair.attribute, "city");
+        assert_eq!(repair.original, Value::text("mariettaa"));
+        assert_eq!(repair.replacement.as_deref(), Some("marietta"));
+        assert_eq!(
+            outcome.table.row(0).unwrap().get_by_name("city"),
+            Some(&Value::text("marietta"))
+        );
+        // The clean row is untouched.
+        assert_eq!(
+            outcome.table.row(1).unwrap().get_by_name("city"),
+            Some(&Value::text("atlanta"))
+        );
+        // Both passes billed.
+        assert!(outcome.usage.requests >= 2);
+    }
+
+    #[test]
+    fn clean_table_needs_no_repairs() {
+        let schema = Schema::all_text(&["city"]).unwrap().shared();
+        let mut t = Table::new(Arc::clone(&schema));
+        t.push_values(vec![Value::text("atlanta")]).unwrap();
+        let model = model();
+        let outcome = Repairer::new(&model).repair(&t, &[], &[], &[]);
+        assert!(outcome.repairs.is_empty());
+        assert_eq!(outcome.table, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "detect config task")]
+    fn wrong_config_task_panics() {
+        let model = model();
+        let _ = Repairer::new(&model)
+            .with_detect_config(PipelineConfig::best(Task::EntityMatching));
+    }
+}

@@ -1,0 +1,331 @@
+//! The **Adult** error-detection dataset (census records).
+//!
+//! 1000 rows × 11 attributes = 11 000 cell-level instances at full scale.
+//! Errors are injected at a ~5% cell rate with a realistic severity mix:
+//!
+//! * blatant numeric corruption (age 250, 600 hours/week, negative
+//!   capital-gain) — detectable even zero-shot,
+//! * categorical typos (`privte` for `private`) — detectable only by
+//!   checking a memorized lexicon, i.e. with reasoning,
+//! * garbage placeholders (`#####`, `xxxxx`),
+//! * subtle swaps to a *different valid* category — essentially
+//!   undetectable from one record, bounding achievable recall just below
+//!   100%, as the paper's best ED scores (92.0) suggest.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dprep_llm::{Fact, KnowledgeBase};
+use dprep_prompt::{FewShotExample, Task, TaskInstance};
+use dprep_tabular::{AttrType, Record, Schema, Value};
+
+use crate::common::{pick, sub_rng, typo};
+use crate::vocab::{EDUCATIONS, MARITAL_STATUSES, OCCUPATIONS, RACES, WORKCLASSES};
+use crate::{scaled, Dataset, Label};
+
+const GARBAGE: &[&str] = &["xxxxx", "#####", "!!", "n0ne", "@@@"];
+
+fn schema() -> Arc<Schema> {
+    Schema::from_names(&[
+        ("age", AttrType::Numeric),
+        ("workclass", AttrType::Text),
+        ("education", AttrType::Text),
+        ("maritalstatus", AttrType::Text),
+        ("occupation", AttrType::Text),
+        ("race", AttrType::Text),
+        ("sex", AttrType::Text),
+        ("capitalgain", AttrType::Numeric),
+        ("capitalloss", AttrType::Numeric),
+        ("hoursperweek", AttrType::Numeric),
+        ("income", AttrType::Text),
+    ])
+    .expect("static schema")
+    .shared()
+}
+
+fn clean_row(rng: &mut StdRng) -> Vec<Value> {
+    let age = rng.gen_range(17..=90i64);
+    let gain = if rng.gen::<f64>() < 0.8 {
+        0
+    } else {
+        rng.gen_range(100..=99_999i64)
+    };
+    let loss = if rng.gen::<f64>() < 0.9 {
+        0
+    } else {
+        rng.gen_range(100..=4356i64)
+    };
+    let hours = rng.gen_range(1..=99i64);
+    vec![
+        Value::Int(age),
+        Value::text(pick(rng, WORKCLASSES)),
+        Value::text(pick(rng, EDUCATIONS)),
+        Value::text(pick(rng, MARITAL_STATUSES)),
+        Value::text(pick(rng, OCCUPATIONS)),
+        Value::text(pick(rng, RACES)),
+        Value::text(if rng.gen() { "male" } else { "female" }),
+        Value::Int(gain),
+        Value::Int(loss),
+        Value::Int(hours),
+        Value::text(if rng.gen::<f64>() < 0.25 { ">50k" } else { "<=50k" }),
+    ]
+}
+
+/// Category pool for a text attribute, by schema index.
+fn category_pool(attr_index: usize) -> Option<&'static [&'static str]> {
+    match attr_index {
+        1 => Some(WORKCLASSES),
+        2 => Some(EDUCATIONS),
+        3 => Some(MARITAL_STATUSES),
+        4 => Some(OCCUPATIONS),
+        5 => Some(RACES),
+        _ => None,
+    }
+}
+
+/// Corrupts the cell at `attr` with an *illustrative* error — the kind a
+/// user would label in a few-shot example (blatant numeric, typo, or
+/// garbage; never a subtle valid-category swap).
+fn corrupt_obvious(rng: &mut StdRng, attr: usize, current: &Value) -> Value {
+    match current {
+        Value::Int(_) => corrupt(rng, attr, current),
+        Value::Text(s) => {
+            if rng.gen::<f64>() < 0.7 {
+                Value::text(typo(rng, s))
+            } else {
+                Value::text(GARBAGE[rng.gen_range(0..GARBAGE.len())])
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Corrupts the cell at `attr`, returning the corrupted value.
+fn corrupt(rng: &mut StdRng, attr: usize, current: &Value) -> Value {
+    match current {
+        Value::Int(_) => match attr {
+            0 => Value::Int(rng.gen_range(120..=400)), // age
+            9 => Value::Int(rng.gen_range(120..=999)), // hoursperweek
+            _ => Value::Int(-rng.gen_range(100..=9999)),
+        },
+        Value::Text(s) => {
+            let roll = rng.gen::<f64>();
+            if roll < 0.6 {
+                Value::text(typo(rng, s))
+            } else if roll < 0.8 {
+                Value::text(GARBAGE[rng.gen_range(0..GARBAGE.len())])
+            } else if let Some(pool) = category_pool(attr) {
+                // Subtle: a different *valid* category.
+                let mut v = pick(rng, pool);
+                while v == s.as_str() {
+                    v = pick(rng, pool);
+                }
+                Value::text(v)
+            } else {
+                Value::text(typo(rng, s))
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+fn knowledge_base() -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.add(Fact::NumericRange {
+        attribute: "age".into(),
+        min: 16.0,
+        max: 100.0,
+    });
+    kb.add(Fact::NumericRange {
+        attribute: "hoursperweek".into(),
+        min: 1.0,
+        max: 99.0,
+    });
+    kb.add(Fact::NumericRange {
+        attribute: "capitalgain".into(),
+        min: 0.0,
+        max: 100_000.0,
+    });
+    kb.add(Fact::NumericRange {
+        attribute: "capitalloss".into(),
+        min: 0.0,
+        max: 5000.0,
+    });
+    for (domain, pool) in [
+        ("workclass", WORKCLASSES),
+        ("education", EDUCATIONS),
+        ("maritalstatus", MARITAL_STATUSES),
+        ("occupation", OCCUPATIONS),
+        ("race", RACES),
+    ] {
+        for value in pool {
+            kb.add(Fact::LexiconMember {
+                domain: domain.into(),
+                value: (*value).to_string(),
+            });
+        }
+    }
+    for value in ["male", "female"] {
+        kb.add(Fact::LexiconMember {
+            domain: "sex".into(),
+            value: value.into(),
+        });
+    }
+    for value in [">50k", "<=50k"] {
+        kb.add(Fact::LexiconMember {
+            domain: "income".into(),
+            value: value.into(),
+        });
+    }
+    kb
+}
+
+/// One cell instance: build the (possibly corrupted) record and label.
+fn make_cell_instances(
+    rng: &mut StdRng,
+    schema: &Arc<Schema>,
+    n_rows: usize,
+    error_rate: f64,
+) -> (Vec<TaskInstance>, Vec<Label>) {
+    let mut instances = Vec::with_capacity(n_rows * schema.len());
+    let mut labels = Vec::with_capacity(n_rows * schema.len());
+    for _ in 0..n_rows {
+        let mut values = clean_row(rng);
+        let mut is_error = vec![false; schema.len()];
+        for (attr, flag) in is_error.iter_mut().enumerate() {
+            if rng.gen::<f64>() < error_rate {
+                values[attr] = corrupt(rng, attr, &values[attr]);
+                *flag = true;
+            }
+        }
+        let record = Record::new(Arc::clone(schema), values).expect("fixed arity");
+        for (attr, flag) in is_error.iter().enumerate() {
+            instances.push(TaskInstance::ErrorDetection {
+                record: record.clone(),
+                attribute: schema.attribute(attr).expect("in range").name.clone(),
+            });
+            labels.push(Label::YesNo(*flag));
+        }
+    }
+    (instances, labels)
+}
+
+fn few_shot(rng: &mut StdRng, schema: &Arc<Schema>) -> Vec<FewShotExample> {
+    let mut shots = Vec::with_capacity(10);
+    // Five clean, five erroneous, across different attributes.
+    let attrs = [0usize, 1, 2, 9, 4, 0, 9, 1, 2, 4];
+    for (i, &attr) in attrs.iter().enumerate() {
+        let is_error = i >= 5;
+        let mut values = clean_row(rng);
+        if is_error {
+            values[attr] = corrupt_obvious(rng, attr, &values[attr]);
+        }
+        let record = Record::new(Arc::clone(schema), values).expect("fixed arity");
+        let attr_name = schema.attribute(attr).expect("in range").name.clone();
+        let value = record.get(attr).expect("in range").to_string();
+        let reason = if is_error {
+            format!(
+                "The target attribute is \"{attr_name}\". The value \"{value}\" is not a \
+                 plausible {attr_name}: it is out of range, misspelled, or malformed."
+            )
+        } else {
+            format!(
+                "The target attribute is \"{attr_name}\". The value \"{value}\" is an \
+                 ordinary, plausible {attr_name} consistent with the record."
+            )
+        };
+        shots.push(FewShotExample::new(
+            TaskInstance::ErrorDetection {
+                record,
+                attribute: attr_name,
+            },
+            reason,
+            if is_error { "yes" } else { "no" },
+        ));
+    }
+    shots
+}
+
+/// Generates the Adult dataset.
+pub fn generate(scale: f64, seed: u64) -> Dataset {
+    let mut rng = sub_rng(seed, "adult");
+    let schema = schema();
+    let n_rows = scaled(1000, scale, 4);
+    let (instances, labels) = make_cell_instances(&mut rng, &schema, n_rows, 0.05);
+    let few_shot = few_shot(&mut rng, &schema);
+    Dataset {
+        name: "Adult",
+        task: Task::ErrorDetection,
+        instances,
+        labels,
+        few_shot,
+        kb: knowledge_base(),
+        type_hint: None,
+        informative_features: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_has_11000_instances() {
+        let ds = generate(1.0, 0);
+        assert_eq!(ds.len(), 11_000);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn error_rate_is_about_five_percent() {
+        let ds = generate(0.3, 1);
+        let errors = ds
+            .labels
+            .iter()
+            .filter(|l| l.as_bool() == Some(true))
+            .count();
+        let rate = errors as f64 / ds.len() as f64;
+        assert!((0.03..=0.07).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn corrupted_cells_differ_from_clean() {
+        let ds = generate(0.1, 2);
+        for (inst, label) in ds.instances.iter().zip(&ds.labels) {
+            let TaskInstance::ErrorDetection { record, attribute } = inst else {
+                panic!("wrong task")
+            };
+            if label.as_bool() == Some(true) {
+                // Erroneous numeric cells must violate the KB range.
+                let v = record.get_by_name(attribute).unwrap();
+                if let Some(n) = v.as_f64() {
+                    let plausible = match attribute.as_str() {
+                        "age" => (16.0..=100.0).contains(&n),
+                        "hoursperweek" => (1.0..=99.0).contains(&n),
+                        "capitalgain" | "capitalloss" => n >= 0.0,
+                        _ => true,
+                    };
+                    assert!(!plausible, "error cell {attribute}={n} looks clean");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn few_shot_is_balanced() {
+        let ds = generate(0.02, 3);
+        let yes = ds.few_shot.iter().filter(|s| s.answer == "yes").count();
+        assert_eq!(yes, 5);
+        assert_eq!(ds.few_shot.len(), 10);
+    }
+
+    #[test]
+    fn kb_contains_ranges_and_lexicons() {
+        let ds = generate(0.02, 0);
+        assert!(ds.kb.has_lexicon("workclass"));
+        assert!(ds.kb.has_lexicon("income"));
+        assert!(ds.kb.len() > 40);
+    }
+}

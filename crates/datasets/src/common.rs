@@ -1,0 +1,452 @@
+//! Shared generator machinery: text perturbation and entity-matching pair
+//! construction.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dprep_prompt::{FewShotExample, TaskInstance};
+use dprep_tabular::{Record, Schema, Value};
+
+use crate::Label;
+
+/// Picks a random element of a pool.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Introduces one character-level typo (substitution, deletion, or
+/// duplication) into `s`. Strings shorter than 3 characters are returned
+/// unchanged.
+pub fn typo(rng: &mut StdRng, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 3 {
+        return s.to_string();
+    }
+    // Target an alphabetic position so typos look like misspellings.
+    let positions: Vec<usize> = (0..chars.len())
+        .filter(|&i| chars[i].is_alphabetic())
+        .collect();
+    if positions.is_empty() {
+        return s.to_string();
+    }
+    let at = positions[rng.gen_range(0..positions.len())];
+    let mut out = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // Substitute with a nearby letter.
+            let replacement = (b'a' + rng.gen_range(0..26u8)) as char;
+            out[at] = replacement;
+        }
+        1 => {
+            out.remove(at);
+        }
+        _ => {
+            out.insert(at, chars[at]);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Drops one random word from a multi-word string.
+pub fn drop_word(rng: &mut StdRng, s: &str) -> String {
+    let words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() < 2 {
+        return s.to_string();
+    }
+    let at = rng.gen_range(0..words.len());
+    words
+        .iter()
+        .enumerate()
+        .filter_map(|(i, w)| (i != at).then_some(*w))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Swaps two adjacent words.
+pub fn swap_words(rng: &mut StdRng, s: &str) -> String {
+    let mut words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() < 2 {
+        return s.to_string();
+    }
+    let at = rng.gen_range(0..words.len() - 1);
+    words.swap(at, at + 1);
+    words.join(" ")
+}
+
+/// Replaces phrase occurrences per an alias map (`canonical -> variant`).
+pub fn apply_aliases(s: &str, aliases: &[(&str, &str)]) -> String {
+    let mut out = s.to_string();
+    for (canonical, variant) in aliases {
+        if out.contains(canonical) {
+            out = out.replace(canonical, variant);
+        }
+    }
+    out
+}
+
+/// Text/numeric perturbation strengths used when rendering an entity as a
+/// noisy record.
+#[derive(Debug, Clone, Copy)]
+pub struct Noise {
+    /// Probability of substituting known alias variants.
+    pub alias: f64,
+    /// Probability of dropping a word per textual value.
+    pub word_drop: f64,
+    /// Probability of a character typo per textual value.
+    pub typo: f64,
+    /// Probability of swapping adjacent words.
+    pub reorder: f64,
+    /// Relative jitter applied to numeric values (e.g. 0.02 = ±2%).
+    pub numeric_jitter: f64,
+    /// Probability of blanking a value entirely (missing data).
+    pub blank: f64,
+}
+
+impl Noise {
+    /// Light noise: near-identical variants (clean benchmarks).
+    pub fn light() -> Self {
+        Noise {
+            alias: 0.2,
+            word_drop: 0.05,
+            typo: 0.03,
+            reorder: 0.05,
+            numeric_jitter: 0.0,
+            blank: 0.01,
+        }
+    }
+
+    /// Medium noise.
+    pub fn medium() -> Self {
+        Noise {
+            alias: 0.4,
+            word_drop: 0.2,
+            typo: 0.08,
+            reorder: 0.15,
+            numeric_jitter: 0.02,
+            blank: 0.05,
+        }
+    }
+
+    /// Heavy noise: the hard benchmarks (Amazon-Google, Walmart-Amazon).
+    pub fn heavy() -> Self {
+        Noise {
+            alias: 0.55,
+            word_drop: 0.35,
+            typo: 0.12,
+            reorder: 0.25,
+            numeric_jitter: 0.06,
+            blank: 0.12,
+        }
+    }
+}
+
+/// Renders one canonical value as a noisy variant.
+pub fn perturb_value(
+    rng: &mut StdRng,
+    value: &Value,
+    noise: &Noise,
+    aliases: &[(&str, &str)],
+) -> Value {
+    if rng.gen::<f64>() < noise.blank {
+        return Value::Missing;
+    }
+    match value {
+        Value::Text(s) => {
+            let mut out = s.clone();
+            if rng.gen::<f64>() < noise.alias {
+                out = apply_aliases(&out, aliases);
+            }
+            if rng.gen::<f64>() < noise.word_drop {
+                out = drop_word(rng, &out);
+            }
+            if rng.gen::<f64>() < noise.reorder {
+                out = swap_words(rng, &out);
+            }
+            if rng.gen::<f64>() < noise.typo {
+                out = typo(rng, &out);
+            }
+            Value::Text(out)
+        }
+        Value::Int(i) => {
+            if noise.numeric_jitter > 0.0 && rng.gen::<f64>() < 0.5 {
+                let jitter = 1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * noise.numeric_jitter;
+                Value::Int(((*i as f64) * jitter).round() as i64)
+            } else {
+                value.clone()
+            }
+        }
+        Value::Float(f) => {
+            if noise.numeric_jitter > 0.0 && rng.gen::<f64>() < 0.5 {
+                let jitter = 1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * noise.numeric_jitter;
+                Value::Float((f * jitter * 100.0).round() / 100.0)
+            } else {
+                value.clone()
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+fn perturb_record(
+    rng: &mut StdRng,
+    schema: &Arc<Schema>,
+    values: &[Value],
+    noise: &Noise,
+    aliases: &[(&str, &str)],
+) -> Record {
+    let perturbed: Vec<Value> = values
+        .iter()
+        .map(|v| perturb_value(rng, v, noise, aliases))
+        .collect();
+    Record::new(Arc::clone(schema), perturbed).expect("generator arity is fixed")
+}
+
+/// Configuration for entity-matching pair construction.
+#[derive(Debug, Clone, Copy)]
+pub struct EmPairConfig {
+    /// Total pairs to generate.
+    pub n_pairs: usize,
+    /// Fraction of matching pairs.
+    pub pos_rate: f64,
+    /// Among negatives, the fraction drawn from the same entity family
+    /// (similar but different — the hard cases).
+    pub hard_neg_rate: f64,
+    /// Noise for rendering record variants.
+    pub noise: Noise,
+}
+
+/// Builds entity-matching pairs from families of canonical entities.
+///
+/// A *family* groups entities that resemble each other (same product line,
+/// same paper venue-year, …): positives take one entity and render two
+/// noisy variants; hard negatives pair two distinct entities of one family;
+/// easy negatives pair entities across families.
+pub fn make_em_pairs(
+    schema: &Arc<Schema>,
+    families: &[Vec<Vec<Value>>],
+    config: &EmPairConfig,
+    aliases: &[(&str, &str)],
+    rng: &mut StdRng,
+) -> (Vec<TaskInstance>, Vec<Label>) {
+    assert!(!families.is_empty(), "need at least one entity family");
+    let multi_member: Vec<usize> = families
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| (f.len() >= 2).then_some(i))
+        .collect();
+
+    let mut instances = Vec::with_capacity(config.n_pairs);
+    let mut labels = Vec::with_capacity(config.n_pairs);
+    // Light noise for the "other side" of negatives keeps them realistic.
+    let light = Noise {
+        typo: config.noise.typo * 0.5,
+        word_drop: config.noise.word_drop * 0.5,
+        ..config.noise
+    };
+
+    for _ in 0..config.n_pairs {
+        let is_pos = rng.gen::<f64>() < config.pos_rate;
+        if is_pos {
+            let family = &families[rng.gen_range(0..families.len())];
+            let entity = &family[rng.gen_range(0..family.len())];
+            let a = perturb_record(rng, schema, entity, &config.noise, aliases);
+            let b = perturb_record(rng, schema, entity, &config.noise, aliases);
+            instances.push(TaskInstance::EntityMatching { a, b });
+            labels.push(Label::YesNo(true));
+        } else {
+            let hard = !multi_member.is_empty() && rng.gen::<f64>() < config.hard_neg_rate;
+            let (ea, eb) = if hard {
+                let family = &families[multi_member[rng.gen_range(0..multi_member.len())]];
+                let i = rng.gen_range(0..family.len());
+                let mut j = rng.gen_range(0..family.len());
+                while j == i {
+                    j = rng.gen_range(0..family.len());
+                }
+                (&family[i], &family[j])
+            } else {
+                let fi = rng.gen_range(0..families.len());
+                let mut fj = rng.gen_range(0..families.len());
+                while families.len() > 1 && fj == fi {
+                    fj = rng.gen_range(0..families.len());
+                }
+                let fa = &families[fi];
+                let fb = &families[fj];
+                let i = rng.gen_range(0..fa.len());
+                let mut j = rng.gen_range(0..fb.len());
+                // With a single family the two sides coincide; a "negative"
+                // must still be two distinct entities.
+                if fi == fj {
+                    assert!(
+                        fb.len() >= 2,
+                        "cannot draw a negative pair from one single-member family"
+                    );
+                    while j == i {
+                        j = rng.gen_range(0..fb.len());
+                    }
+                }
+                (&fa[i], &fb[j])
+            };
+            let a = perturb_record(rng, schema, ea, &light, aliases);
+            let b = perturb_record(rng, schema, eb, &light, aliases);
+            instances.push(TaskInstance::EntityMatching { a, b });
+            labels.push(Label::YesNo(false));
+        }
+    }
+    (instances, labels)
+}
+
+/// Builds an EM few-shot pool: `n_pos` positives and `n_neg` negatives with
+/// generic but plausible reasoning strings.
+pub fn make_em_few_shot(
+    schema: &Arc<Schema>,
+    families: &[Vec<Vec<Value>>],
+    config: &EmPairConfig,
+    aliases: &[(&str, &str)],
+    rng: &mut StdRng,
+    n_pos: usize,
+    n_neg: usize,
+) -> Vec<FewShotExample> {
+    let mut shots = Vec::with_capacity(n_pos + n_neg);
+    let pair_cfg = EmPairConfig {
+        n_pairs: 1,
+        ..*config
+    };
+    let mut need_pos = n_pos;
+    let mut need_neg = n_neg;
+    // Alternate so the pool interleaves labels.
+    while need_pos + need_neg > 0 {
+        let want_pos = need_pos >= need_neg && need_pos > 0;
+        let forced = EmPairConfig {
+            pos_rate: if want_pos { 1.0 } else { 0.0 },
+            ..pair_cfg
+        };
+        let (mut insts, mut labels) = make_em_pairs(schema, families, &forced, aliases, rng);
+        let inst = insts.pop().expect("n_pairs = 1");
+        let label = labels.pop().expect("n_pairs = 1");
+        let is_match = label.as_bool().expect("EM labels are boolean");
+        let reason = if is_match {
+            "The two records describe the same item; the differences are only \
+             formatting, abbreviations, or small omissions."
+        } else {
+            "The records disagree on identifying fields, so they describe \
+             different items."
+        };
+        shots.push(FewShotExample::new(inst, reason, if is_match { "yes" } else { "no" }));
+        if want_pos {
+            need_pos -= 1;
+        } else {
+            need_neg -= 1;
+        }
+    }
+    shots
+}
+
+/// Derives a child RNG for a named sub-stream, so adding one generator never
+/// shifts another's randomness.
+pub fn sub_rng(seed: u64, label: &str) -> StdRng {
+    let mut h: u64 = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_prompt::Task;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn typo_changes_longer_strings() {
+        let mut r = rng();
+        let mut changed = 0;
+        for _ in 0..50 {
+            if typo(&mut r, "hospital") != "hospital" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40);
+        assert_eq!(typo(&mut r, "ab"), "ab");
+    }
+
+    #[test]
+    fn drop_and_swap_preserve_single_words() {
+        let mut r = rng();
+        assert_eq!(drop_word(&mut r, "single"), "single");
+        assert_eq!(swap_words(&mut r, "single"), "single");
+        let dropped = drop_word(&mut r, "one two three");
+        assert_eq!(dropped.split_whitespace().count(), 2);
+    }
+
+    #[test]
+    fn aliases_substitute_phrases() {
+        let out = apply_aliases("crisp india pale ale brew", &[("india pale ale", "ipa")]);
+        assert_eq!(out, "crisp ipa brew");
+    }
+
+    #[test]
+    fn em_pairs_have_requested_shape() {
+        let schema = Schema::all_text(&["title", "brand"]).unwrap().shared();
+        let families = vec![
+            vec![
+                vec![Value::text("sony wireless headphones model a"), Value::text("sony")],
+                vec![Value::text("sony wireless headphones model b"), Value::text("sony")],
+            ],
+            vec![vec![
+                Value::text("garmin gps navigator classic"),
+                Value::text("garmin"),
+            ]],
+        ];
+        let config = EmPairConfig {
+            n_pairs: 200,
+            pos_rate: 0.3,
+            hard_neg_rate: 0.5,
+            noise: Noise::medium(),
+        };
+        let mut r = rng();
+        let (instances, labels) = make_em_pairs(&schema, &families, &config, &[], &mut r);
+        assert_eq!(instances.len(), 200);
+        let pos = labels.iter().filter(|l| l.as_bool() == Some(true)).count();
+        assert!((40..=80).contains(&pos), "pos = {pos}");
+        assert!(instances.iter().all(|i| i.task() == Task::EntityMatching));
+    }
+
+    #[test]
+    fn few_shot_pool_balances_labels() {
+        let schema = Schema::all_text(&["title"]).unwrap().shared();
+        let families = vec![
+            vec![vec![Value::text("alpha product one")]],
+            vec![vec![Value::text("beta gadget two")]],
+        ];
+        let config = EmPairConfig {
+            n_pairs: 1,
+            pos_rate: 0.5,
+            hard_neg_rate: 0.0,
+            noise: Noise::light(),
+        };
+        let mut r = rng();
+        let shots = make_em_few_shot(&schema, &families, &config, &[], &mut r, 5, 5);
+        assert_eq!(shots.len(), 10);
+        let yes = shots.iter().filter(|s| s.answer == "yes").count();
+        assert_eq!(yes, 5);
+    }
+
+    #[test]
+    fn sub_rng_streams_are_independent() {
+        let mut a1 = sub_rng(9, "alpha");
+        let mut a2 = sub_rng(9, "alpha");
+        let mut b = sub_rng(9, "beta");
+        let x1: u64 = a1.gen();
+        let x2: u64 = a2.gen();
+        let y: u64 = b.gen();
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+    }
+}

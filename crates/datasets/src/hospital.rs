@@ -1,0 +1,298 @@
+//! The **Hospital** error-detection dataset.
+//!
+//! The classic HoloClean benchmark: 1006 rows × 17 attributes ≈ 17 100
+//! cell instances whose injected errors are *character-level typos* into
+//! otherwise clean categorical/text values. Detecting them requires knowing
+//! the legal value lexicons — which is why zero-shot scores collapse
+//! (18.4 F1 in the paper) while reasoning + lexicon knowledge recovers
+//! ~90.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dprep_llm::{Fact, KnowledgeBase};
+use dprep_prompt::{FewShotExample, Task, TaskInstance};
+use dprep_tabular::{AttrType, Record, Schema, Value};
+
+use crate::common::{pick, sub_rng, typo};
+use crate::vocab::{
+    CITIES, CONDITIONS, COUNTIES, HOSPITAL_LEADS, HOSPITAL_TAILS, MEASURE_NAMES, STATES,
+    STREETS, STREET_SUFFIXES,
+};
+use crate::{scaled, Dataset, Label};
+
+const HOSPITAL_TYPES: &[&str] = &["acute care hospitals", "critical access hospitals"];
+const OWNERS: &[&str] = &[
+    "government - state",
+    "government - local",
+    "proprietary",
+    "voluntary non-profit - private",
+    "voluntary non-profit - church",
+];
+const EMERGENCY: &[&str] = &["yes", "no"];
+
+fn measure_code(i: usize) -> String {
+    let prefixes = ["ami", "hf", "pn", "scip", "cac"];
+    format!("{}-{}", prefixes[i % prefixes.len()], i % 10 + 1)
+}
+
+fn schema() -> Arc<Schema> {
+    Schema::from_names(&[
+        ("providernumber", AttrType::Numeric),
+        ("hospitalname", AttrType::Text),
+        ("address", AttrType::Text),
+        ("city", AttrType::Text),
+        ("state", AttrType::Text),
+        ("zipcode", AttrType::Numeric),
+        ("countyname", AttrType::Text),
+        ("phonenumber", AttrType::Text),
+        ("hospitaltype", AttrType::Text),
+        ("hospitalowner", AttrType::Text),
+        ("emergencyservice", AttrType::Text),
+        ("condition", AttrType::Text),
+        ("measurecode", AttrType::Text),
+        ("measurename", AttrType::Text),
+        ("sample", AttrType::Text),
+        ("stateavg", AttrType::Text),
+        ("score", AttrType::Text),
+    ])
+    .expect("static schema")
+    .shared()
+}
+
+fn clean_row(rng: &mut StdRng) -> Vec<Value> {
+    let m = rng.gen_range(0..MEASURE_NAMES.len());
+    let state = pick(rng, STATES);
+    let code = measure_code(m);
+    vec![
+        Value::Int(rng.gen_range(10_000..99_999)),
+        Value::text(format!(
+            "{} {}",
+            pick(rng, HOSPITAL_LEADS),
+            pick(rng, HOSPITAL_TAILS)
+        )),
+        Value::text(format!(
+            "{} {} {}",
+            rng.gen_range(100..9999),
+            pick(rng, STREETS),
+            pick(rng, STREET_SUFFIXES)
+        )),
+        Value::text(pick(rng, CITIES)),
+        Value::text(state),
+        Value::Int(rng.gen_range(30_000..39_999)),
+        Value::text(pick(rng, COUNTIES)),
+        Value::text(format!(
+            "{}-{}-{:04}",
+            pick(rng, crate::vocab::AREA_CODES),
+            rng.gen_range(200..999),
+            rng.gen_range(0..10_000)
+        )),
+        Value::text(pick(rng, HOSPITAL_TYPES)),
+        Value::text(pick(rng, OWNERS)),
+        Value::text(pick(rng, EMERGENCY)),
+        Value::text(CONDITIONS[m % CONDITIONS.len()]),
+        Value::text(code),
+        Value::text(MEASURE_NAMES[m]),
+        Value::text(format!("{} patients", rng.gen_range(10..500))),
+        Value::text(format!("{}_{}", state, measure_code(m))),
+        Value::text(format!("{}%", rng.gen_range(50..100))),
+    ]
+}
+
+/// Hospital errors are typos into text cells (the benchmark's convention).
+fn corrupt(rng: &mut StdRng, value: &Value) -> Value {
+    match value {
+        Value::Text(s) => {
+            let mut out = typo(rng, s);
+            // Guarantee the value changed even for very short strings.
+            if out == *s {
+                out.push('x');
+            }
+            Value::Text(out)
+        }
+        Value::Int(i) => Value::Int(i + 100_000),
+        other => other.clone(),
+    }
+}
+
+fn knowledge_base() -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    let mut add_lexicon = |domain: &str, values: Vec<String>| {
+        for value in values {
+            kb.add(Fact::LexiconMember {
+                domain: domain.into(),
+                value,
+            });
+        }
+    };
+    let names: Vec<String> = HOSPITAL_LEADS
+        .iter()
+        .flat_map(|l| HOSPITAL_TAILS.iter().map(move |t| format!("{l} {t}")))
+        .collect();
+    add_lexicon("hospitalname", names);
+    add_lexicon("city", CITIES.iter().map(|s| s.to_string()).collect());
+    add_lexicon("state", STATES.iter().map(|s| s.to_string()).collect());
+    add_lexicon("countyname", COUNTIES.iter().map(|s| s.to_string()).collect());
+    add_lexicon(
+        "hospitaltype",
+        HOSPITAL_TYPES.iter().map(|s| s.to_string()).collect(),
+    );
+    add_lexicon("hospitalowner", OWNERS.iter().map(|s| s.to_string()).collect());
+    add_lexicon("emergencyservice", EMERGENCY.iter().map(|s| s.to_string()).collect());
+    add_lexicon("condition", CONDITIONS.iter().map(|s| s.to_string()).collect());
+    add_lexicon(
+        "measurename",
+        MEASURE_NAMES.iter().map(|s| s.to_string()).collect(),
+    );
+    add_lexicon(
+        "measurecode",
+        (0..MEASURE_NAMES.len()).map(measure_code).collect(),
+    );
+    add_lexicon(
+        "stateavg",
+        STATES
+            .iter()
+            .flat_map(|s| (0..MEASURE_NAMES.len()).map(move |i| format!("{s}_{}", measure_code(i))))
+            .collect(),
+    );
+    kb.add(Fact::NumericRange {
+        attribute: "providernumber".into(),
+        min: 10_000.0,
+        max: 99_999.0,
+    });
+    kb.add(Fact::NumericRange {
+        attribute: "zipcode".into(),
+        min: 1000.0,
+        max: 99_999.0,
+    });
+    kb
+}
+
+fn few_shot(rng: &mut StdRng, schema: &Arc<Schema>) -> Vec<FewShotExample> {
+    let mut shots = Vec::with_capacity(10);
+    let attrs = [3usize, 4, 8, 11, 13, 3, 4, 8, 11, 13];
+    for (i, &attr) in attrs.iter().enumerate() {
+        let is_error = i >= 5;
+        let mut values = clean_row(rng);
+        if is_error {
+            values[attr] = corrupt(rng, &values[attr]);
+        }
+        let record = Record::new(Arc::clone(schema), values).expect("fixed arity");
+        let attr_name = schema.attribute(attr).expect("in range").name.clone();
+        let value = record.get(attr).expect("in range").to_string();
+        let reason = if is_error {
+            format!(
+                "The target attribute is \"{attr_name}\". The value \"{value}\" contains a \
+                 spelling error; it is not one of the legal values of {attr_name}."
+            )
+        } else {
+            format!(
+                "The target attribute is \"{attr_name}\". The value \"{value}\" is a \
+                 correctly spelled, legal value of {attr_name}."
+            )
+        };
+        shots.push(FewShotExample::new(
+            TaskInstance::ErrorDetection {
+                record,
+                attribute: attr_name,
+            },
+            reason,
+            if is_error { "yes" } else { "no" },
+        ));
+    }
+    shots
+}
+
+/// Generates the Hospital dataset.
+pub fn generate(scale: f64, seed: u64) -> Dataset {
+    let mut rng = sub_rng(seed, "hospital");
+    let schema = schema();
+    let n_rows = scaled(1006, scale, 4);
+    let error_rate = 0.05;
+    let mut instances = Vec::with_capacity(n_rows * schema.len());
+    let mut labels = Vec::with_capacity(n_rows * schema.len());
+    for _ in 0..n_rows {
+        let mut values = clean_row(&mut rng);
+        let mut is_error = vec![false; schema.len()];
+        for (attr, flag) in is_error.iter_mut().enumerate() {
+            if rng.gen::<f64>() < error_rate {
+                values[attr] = corrupt(&mut rng, &values[attr]);
+                *flag = true;
+            }
+        }
+        let record = Record::new(Arc::clone(&schema), values).expect("fixed arity");
+        for (attr, flag) in is_error.iter().enumerate() {
+            instances.push(TaskInstance::ErrorDetection {
+                record: record.clone(),
+                attribute: schema.attribute(attr).expect("in range").name.clone(),
+            });
+            labels.push(Label::YesNo(*flag));
+        }
+    }
+    let few_shot = few_shot(&mut rng, &schema);
+    Dataset {
+        name: "Hospital",
+        task: Task::ErrorDetection,
+        instances,
+        labels,
+        few_shot,
+        kb: knowledge_base(),
+        type_hint: None,
+        informative_features: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_validates() {
+        let ds = generate(0.02, 0);
+        ds.validate().unwrap();
+        assert_eq!(ds.instances.len() % 17, 0, "17 cells per row");
+    }
+
+    #[test]
+    fn full_scale_instance_count_matches_paper_max() {
+        // 1006 rows × 17 attributes = 17 102 ≈ the paper's 17 101 maximum.
+        let ds = generate(1.0, 0);
+        assert_eq!(ds.len(), 17_102);
+    }
+
+    #[test]
+    fn typo_errors_not_in_lexicon() {
+        let ds = generate(0.05, 1);
+        let mem = dprep_llm::knowledge::Memorizer {
+            model_name: "oracle".into(),
+            coverage: 1.0,
+            seed: 0,
+        };
+        for (inst, label) in ds.instances.iter().zip(&ds.labels) {
+            let TaskInstance::ErrorDetection { record, attribute } = inst else {
+                panic!("wrong task")
+            };
+            if label.as_bool() == Some(true) && attribute == "city" {
+                let v = record.get_by_name(attribute).unwrap().to_string();
+                let in_lexicon = ds.kb.known_lexicon(&mem, "city").any(|m| m == v);
+                assert!(!in_lexicon, "corrupted city {v:?} is still a legal value");
+            }
+        }
+    }
+
+    #[test]
+    fn measure_codes_align_with_names() {
+        let ds = generate(0.05, 2);
+        for (inst, label) in ds.instances.iter().zip(&ds.labels) {
+            let TaskInstance::ErrorDetection { record, attribute } = inst else {
+                continue;
+            };
+            if attribute == "condition" && label.as_bool() == Some(false) {
+                let condition = record.get_by_name("condition").unwrap().to_string();
+                assert!(CONDITIONS.contains(&condition.as_str()));
+            }
+        }
+    }
+}

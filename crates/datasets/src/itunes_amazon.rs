@@ -1,0 +1,134 @@
+//! The **iTunes-Amazon** entity-matching dataset (music tracks).
+//!
+//! 109 pairs, ~25% positive. Records: song, artist, album, genre, price,
+//! time. Formatting variants dominate: `feat.` ↔ `featuring`,
+//! `[explicit]` suffixes, small price differences between stores. Hard
+//! negatives are other tracks on the same album. The paper's GPT-4 reaches
+//! 100 F1; GPT-3.5 96.4.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dprep_llm::{Fact, KnowledgeBase};
+use dprep_prompt::Task;
+use dprep_tabular::{AttrType, Schema, Value};
+
+use crate::common::{make_em_few_shot, make_em_pairs, pick, sub_rng, EmPairConfig, Noise};
+use crate::vocab::{FIRST_NAMES, GENRES, LAST_NAMES, SONG_LEADS, SONG_TAILS};
+use crate::{scaled, Dataset};
+
+const ALIASES: &[(&str, &str)] = &[
+    ("featuring", "feat."),
+    ("remastered", "remaster"),
+    ("acoustic version", "acoustic"),
+];
+
+fn schema() -> Arc<Schema> {
+    Schema::from_names(&[
+        ("song_name", AttrType::Text),
+        ("artist_name", AttrType::Text),
+        ("album_name", AttrType::Text),
+        ("genre", AttrType::Text),
+        ("price", AttrType::Text),
+        ("time", AttrType::Text),
+    ])
+    .expect("static schema")
+    .shared()
+}
+
+fn song_title(rng: &mut StdRng) -> String {
+    let base = format!("{} {}", pick(rng, SONG_LEADS), pick(rng, SONG_TAILS));
+    if rng.gen::<f64>() < 0.3 {
+        format!(
+            "{base} featuring {} {}",
+            pick(rng, FIRST_NAMES),
+            pick(rng, LAST_NAMES)
+        )
+    } else {
+        base
+    }
+}
+
+/// Generates the iTunes-Amazon dataset.
+pub fn generate(scale: f64, seed: u64) -> Dataset {
+    let mut rng = sub_rng(seed, "itunes-amazon");
+    let schema = schema();
+
+    // Families: an album holds 2–3 tracks by the same artist.
+    let mut families = Vec::new();
+    for _ in 0..45usize {
+        let artist = format!("{} {}", pick(&mut rng, FIRST_NAMES), pick(&mut rng, LAST_NAMES));
+        let album = format!("{} {}", pick(&mut rng, SONG_LEADS), pick(&mut rng, SONG_TAILS));
+        let genre = pick(&mut rng, GENRES);
+        let members = rng.gen_range(2..=3);
+        let mut family = Vec::with_capacity(members);
+        for _ in 0..members {
+            family.push(vec![
+                Value::text(song_title(&mut rng)),
+                Value::text(artist.clone()),
+                Value::text(album.clone()),
+                Value::text(genre),
+                Value::text(format!("${}.{:02}", rng.gen_range(0..2), rng.gen_range(29..=129) % 100)),
+                Value::text(format!("{}:{:02}", rng.gen_range(2..=5), rng.gen_range(0..60))),
+            ]);
+        }
+        families.push(family);
+    }
+
+    let config = EmPairConfig {
+        n_pairs: scaled(109, scale, 8),
+        pos_rate: 0.25,
+        hard_neg_rate: 0.5,
+        noise: Noise {
+            alias: 0.5,
+            word_drop: 0.08,
+            typo: 0.04,
+            reorder: 0.06,
+            numeric_jitter: 0.0,
+            blank: 0.04,
+        },
+    };
+    let (instances, labels) = make_em_pairs(&schema, &families, &config, ALIASES, &mut rng);
+    let few_shot = make_em_few_shot(&schema, &families, &config, ALIASES, &mut rng, 5, 5);
+
+    let mut kb = KnowledgeBase::new();
+    for (canonical, variant) in ALIASES {
+        kb.add(Fact::Alias {
+            canonical: (*canonical).to_string(),
+            variant: (*variant).to_string(),
+        });
+    }
+
+    Dataset {
+        name: "iTunes-Amazon",
+        task: Task::EntityMatching,
+        instances,
+        labels,
+        few_shot,
+        kb,
+        type_hint: None,
+        informative_features: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_is_109() {
+        let ds = generate(1.0, 0);
+        assert_eq!(ds.len(), 109);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn quarter_positive() {
+        let ds = generate(1.0, 1);
+        let pos = ds.labels.iter().filter(|l| l.as_bool() == Some(true)).count();
+        let rate = pos as f64 / ds.len() as f64;
+        assert!((0.15..=0.38).contains(&rate), "rate = {rate}");
+    }
+}

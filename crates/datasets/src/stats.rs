@@ -1,0 +1,148 @@
+//! Dataset summary statistics — the profile a practitioner checks before
+//! spending tokens on a benchmark.
+
+use dprep_prompt::TaskInstance;
+use dprep_text::count_tokens;
+
+use crate::{Dataset, Label};
+
+/// Summary of one generated dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Test instances.
+    pub instances: usize,
+    /// Positive-label fraction (ED error rate / SM-EM match rate); `None`
+    /// for imputation.
+    pub positive_rate: Option<f64>,
+    /// Distinct imputation target values; `None` for yes/no tasks.
+    pub distinct_targets: Option<usize>,
+    /// Fraction of missing cells across instance records.
+    pub missing_cell_rate: f64,
+    /// Mean tokens per rendered question.
+    pub mean_question_tokens: f64,
+    /// Few-shot pool size.
+    pub few_shot: usize,
+    /// World facts in the knowledge base.
+    pub facts: usize,
+}
+
+/// Computes summary statistics for a dataset.
+pub fn summarize(ds: &Dataset) -> DatasetStats {
+    let mut positives = 0usize;
+    let mut yes_no = 0usize;
+    let mut targets = std::collections::BTreeSet::new();
+    for label in &ds.labels {
+        match label {
+            Label::YesNo(b) => {
+                yes_no += 1;
+                if *b {
+                    positives += 1;
+                }
+            }
+            Label::Value(v) => {
+                targets.insert(v.clone());
+            }
+        }
+    }
+
+    let mut cells = 0usize;
+    let mut missing = 0usize;
+    let mut question_tokens = 0usize;
+    for inst in &ds.instances {
+        question_tokens += count_tokens(&inst.question_text(None));
+        let records: Vec<&dprep_tabular::Record> = match inst {
+            TaskInstance::ErrorDetection { record, .. }
+            | TaskInstance::Imputation { record, .. } => vec![record],
+            TaskInstance::EntityMatching { a, b } => vec![a, b],
+            TaskInstance::SchemaMatching { .. } => vec![],
+        };
+        for r in records {
+            for v in r.values() {
+                cells += 1;
+                if v.is_missing() {
+                    missing += 1;
+                }
+            }
+        }
+    }
+
+    DatasetStats {
+        name: ds.name,
+        instances: ds.len(),
+        positive_rate: (yes_no > 0).then(|| positives as f64 / yes_no as f64),
+        distinct_targets: (!targets.is_empty()).then_some(targets.len()),
+        missing_cell_rate: if cells == 0 {
+            0.0
+        } else {
+            missing as f64 / cells as f64
+        },
+        mean_question_tokens: question_tokens as f64 / ds.len().max(1) as f64,
+        few_shot: ds.few_shot.len(),
+        facts: ds.kb.len(),
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} instances, {} few-shot, {} facts, {:.0} tokens/question",
+            self.name, self.instances, self.few_shot, self.facts, self.mean_question_tokens
+        )?;
+        if let Some(rate) = self.positive_rate {
+            write!(f, ", {:.1}% positive", rate * 100.0)?;
+        }
+        if let Some(distinct) = self.distinct_targets {
+            write!(f, ", {distinct} distinct targets")?;
+        }
+        if self.missing_cell_rate > 0.0 {
+            write!(f, ", {:.1}% cells missing", self.missing_cell_rate * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_an_ed_dataset() {
+        let ds = crate::adult::generate(0.1, 1);
+        let stats = summarize(&ds);
+        assert_eq!(stats.name, "Adult");
+        let rate = stats.positive_rate.unwrap();
+        assert!((0.02..=0.09).contains(&rate), "error rate {rate}");
+        assert_eq!(stats.distinct_targets, None);
+        assert!(stats.mean_question_tokens > 30.0);
+    }
+
+    #[test]
+    fn summarizes_a_di_dataset() {
+        let ds = crate::restaurant::generate(1.0, 1);
+        let stats = summarize(&ds);
+        assert_eq!(stats.positive_rate, None);
+        assert!(stats.distinct_targets.unwrap() > 3);
+        // The imputation target cell is missing in every record.
+        assert!(stats.missing_cell_rate > 0.15);
+    }
+
+    #[test]
+    fn summarizes_an_em_dataset() {
+        let ds = crate::amazon_google::generate(0.2, 1);
+        let stats = summarize(&ds);
+        let rate = stats.positive_rate.unwrap();
+        assert!((0.04..=0.2).contains(&rate), "match rate {rate}");
+        assert!(stats.missing_cell_rate > 0.02, "blanking shows up");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let ds = crate::beer::generate(0.3, 2);
+        let text = summarize(&ds).to_string();
+        assert!(text.contains("Beer"));
+        assert!(text.contains("positive"));
+    }
+}

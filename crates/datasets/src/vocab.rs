@@ -1,0 +1,263 @@
+//! Word pools the generators compose entities from.
+//!
+//! Small curated arrays combined combinatorially yield thousands of
+//! distinct, plausible-looking values (product titles, person names,
+//! addresses) without shipping any real dataset.
+
+/// US-style city names (also the `city` lexicon for error detection and the
+/// hallucination pool for imputation).
+pub const CITIES: &[&str] = &[
+    "atlanta", "marietta", "savannah", "decatur", "roswell", "athens", "macon", "augusta",
+    "columbus", "albany", "valdosta", "smyrna", "duluth", "kennesaw", "alpharetta", "norcross",
+    "newnan", "carrollton", "dalton", "gainesville",
+];
+
+/// Phone area-code prefixes aligned with [`CITIES`] (index i ↔ city i % len).
+pub const AREA_CODES: &[&str] = &[
+    "770", "404", "912", "678", "470", "706", "478", "762", "229", "659", "205", "251", "256",
+    "334", "938", "463", "930", "364", "502", "606",
+];
+
+/// Street base names for addresses.
+pub const STREETS: &[&str] = &[
+    "powers ferry", "peachtree", "ponce de leon", "piedmont", "roswell", "spring", "magnolia",
+    "oak hill", "river bend", "lake shore", "cedar grove", "walnut", "dogwood", "mulberry",
+    "canton", "holly springs", "johnson ferry", "chastain", "collier", "howell mill",
+];
+
+/// Street suffixes.
+pub const STREET_SUFFIXES: &[&str] = &["rd.", "st.", "ave.", "blvd.", "ln.", "dr.", "pkwy."];
+
+/// Restaurant cuisine types.
+pub const CUISINES: &[&str] = &[
+    "hamburgers", "italian", "bbq", "seafood", "steakhouse", "mexican", "thai", "diner",
+    "pizza", "sushi", "vegetarian", "cajun", "french", "korean", "indian",
+];
+
+/// Restaurant name leads.
+pub const RESTAURANT_LEADS: &[&str] = &[
+    "carey's", "blue moon", "dixie", "golden", "mama's", "riverside", "old mill", "magnolia",
+    "twin oaks", "sunset", "harbor", "copper kettle", "red barn", "silver spoon", "wild fig",
+];
+
+/// Restaurant name tails.
+pub const RESTAURANT_TAILS: &[&str] = &[
+    "corner", "cafe", "grill", "kitchen", "house", "tavern", "bistro", "smokehouse", "diner",
+    "eatery",
+];
+
+/// Person first names (authors, patients).
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "wei", "haruto", "fatima", "lucas", "sofia", "chen", "amara", "diego",
+    "yuki", "noah", "priya", "elena", "omar", "grace", "ivan", "leila", "marco", "nina",
+];
+
+/// Person last names.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "zhang", "tanaka", "garcia", "mueller", "rossi", "kim", "okafor",
+    "silva", "novak", "patel", "haddad", "kowalski", "nguyen", "brown", "ivanov", "santos",
+    "fischer", "dubois",
+];
+
+/// Consumer-electronics brands (Buy imputation, Walmart-Amazon EM).
+pub const BRANDS: &[&str] = &[
+    "sony", "samsung", "lenovo", "canon", "nikon", "panasonic", "logitech", "netgear",
+    "garmin", "toshiba", "philips", "jbl", "asus", "acer", "epson", "brother", "sandisk",
+    "seagate", "corsair", "razer",
+];
+
+/// Product category nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "laptop", "camera", "router", "headphones", "monitor", "keyboard", "printer", "speaker",
+    "tablet", "projector", "webcam", "microphone", "drive", "charger", "mouse",
+];
+
+/// Product qualifier words.
+pub const PRODUCT_QUALIFIERS: &[&str] = &[
+    "wireless", "portable", "compact", "professional", "gaming", "ultra", "premium", "digital",
+    "smart", "classic",
+];
+
+/// Software product nouns (Amazon-Google).
+pub const SOFTWARE_NOUNS: &[&str] = &[
+    "antivirus", "office suite", "photo editor", "tax software", "encyclopedia", "typing tutor",
+    "video editor", "language course", "accounting software", "backup utility", "web designer",
+    "music studio", "pdf converter", "diagram tool", "genealogy software",
+];
+
+/// Software publishers.
+pub const SOFTWARE_PUBLISHERS: &[&str] = &[
+    "microsoft", "adobe", "intuit", "symantec", "corel", "mcafee", "roxio", "broderbund",
+    "encore", "nova development", "individual software", "topics entertainment", "valusoft",
+    "avanquest", "riverdeep",
+];
+
+/// Beer name adjectives.
+pub const BEER_ADJECTIVES: &[&str] = &[
+    "golden", "hoppy", "midnight", "amber", "rustic", "wild", "smoky", "velvet", "copper",
+    "frosty", "crimson", "lazy", "roaring", "quiet", "electric",
+];
+
+/// Beer name nouns.
+pub const BEER_NOUNS: &[&str] = &[
+    "trail", "river", "fox", "anvil", "lantern", "orchard", "summit", "harbor", "meadow",
+    "canyon", "bison", "raven", "pine", "ember", "wave",
+];
+
+/// Beer styles, full names.
+pub const BEER_STYLES: &[&str] = &[
+    "india pale ale", "american pale ale", "imperial stout", "hefeweizen", "pilsner", "porter",
+    "saison", "extra special bitter", "brown ale", "double india pale ale",
+];
+
+/// Beer style abbreviations aligned with [`BEER_STYLES`].
+pub const BEER_STYLE_ABBREVS: &[&str] = &[
+    "ipa", "apa", "imp stout", "hefe", "pils", "porter", "saison", "esb", "brown", "dipa",
+];
+
+/// Brewery name tails.
+pub const BREWERY_TAILS: &[&str] = &[
+    "brewing company", "brewery", "beer works", "brewing co.", "craft brewers", "ale house",
+];
+
+/// Paper-title topic words (DBLP).
+pub const PAPER_TOPICS: &[&str] = &[
+    "query optimization", "data integration", "entity resolution", "schema matching",
+    "stream processing", "index structures", "transaction management", "data cleaning",
+    "approximate joins", "view maintenance", "spatial indexing", "graph queries",
+    "workload forecasting", "cardinality estimation", "columnar storage",
+];
+
+/// Paper-title qualifier phrases (DBLP).
+pub const PAPER_QUALIFIERS: &[&str] = &[
+    "efficient", "scalable", "adaptive", "distributed", "incremental", "learned", "robust",
+    "parallel", "interactive", "declarative",
+];
+
+/// Venue full names.
+pub const VENUES: &[&str] = &[
+    "acm sigmod international conference on management of data",
+    "international conference on very large data bases",
+    "ieee international conference on data engineering",
+    "acm transactions on database systems",
+    "international conference on extending database technology",
+];
+
+/// Venue abbreviations aligned with [`VENUES`].
+pub const VENUE_ABBREVS: &[&str] = &["sigmod", "vldb", "icde", "tods", "edbt"];
+
+/// Song-title leads (iTunes-Amazon).
+pub const SONG_LEADS: &[&str] = &[
+    "midnight", "summer", "broken", "electric", "golden", "lonely", "neon", "paper", "silver",
+    "wild",
+];
+
+/// Song-title tails.
+pub const SONG_TAILS: &[&str] = &[
+    "road", "hearts", "city", "dreams", "fire", "rain", "letters", "sky", "echoes", "river",
+];
+
+/// Music genres.
+pub const GENRES: &[&str] = &[
+    "pop", "rock", "country", "hip-hop", "electronic", "jazz", "folk", "r&b",
+];
+
+/// Workclass categories (Adult).
+pub const WORKCLASSES: &[&str] = &[
+    "private", "self-emp-not-inc", "self-emp-inc", "federal-gov", "local-gov", "state-gov",
+    "without-pay",
+];
+
+/// Education categories (Adult).
+pub const EDUCATIONS: &[&str] = &[
+    "bachelors", "hs-grad", "11th", "masters", "9th", "some-college", "assoc-acdm",
+    "assoc-voc", "7th-8th", "doctorate", "prof-school",
+];
+
+/// Marital-status categories (Adult).
+pub const MARITAL_STATUSES: &[&str] = &[
+    "married-civ-spouse", "divorced", "never-married", "separated", "widowed",
+    "married-spouse-absent",
+];
+
+/// Occupation categories (Adult).
+pub const OCCUPATIONS: &[&str] = &[
+    "tech-support", "craft-repair", "other-service", "sales", "exec-managerial",
+    "prof-specialty", "handlers-cleaners", "machine-op-inspct", "adm-clerical",
+    "farming-fishing", "transport-moving", "protective-serv",
+];
+
+/// Race categories (Adult).
+pub const RACES: &[&str] = &[
+    "white", "black", "asian-pac-islander", "amer-indian-eskimo", "other",
+];
+
+/// Hospital measure names.
+pub const MEASURE_NAMES: &[&str] = &[
+    "heart attack patients given aspirin at arrival",
+    "heart failure patients given discharge instructions",
+    "pneumonia patients assessed and given influenza vaccination",
+    "surgery patients given antibiotics within one hour",
+    "children who received reliever medication while hospitalized",
+    "patients given assessment of oxygenation",
+    "heart attack patients given beta blocker at discharge",
+    "patients having surgery who got treatment to prevent blood clots",
+];
+
+/// Hospital condition names aligned loosely with measures.
+pub const CONDITIONS: &[&str] = &[
+    "heart attack", "heart failure", "pneumonia", "surgical infection prevention",
+    "children's asthma care",
+];
+
+/// Hospital name leads.
+pub const HOSPITAL_LEADS: &[&str] = &[
+    "st. mary's", "memorial", "university", "county general", "sacred heart", "riverside",
+    "good samaritan", "providence", "baptist", "mercy",
+];
+
+/// Hospital name tails.
+pub const HOSPITAL_TAILS: &[&str] = &[
+    "medical center", "hospital", "regional hospital", "health center", "clinic",
+];
+
+/// US state abbreviations used by the hospital dataset.
+pub const STATES: &[&str] = &["al", "ga", "fl", "tn", "sc", "nc", "ms", "ky", "va", "la"];
+
+/// County names.
+pub const COUNTIES: &[&str] = &[
+    "fulton", "cobb", "dekalb", "gwinnett", "clayton", "cherokee", "forsyth", "henry", "hall",
+    "bibb",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_arrays_have_matching_lengths() {
+        assert_eq!(BEER_STYLES.len(), BEER_STYLE_ABBREVS.len());
+        assert_eq!(VENUES.len(), VENUE_ABBREVS.len());
+        assert!(AREA_CODES.len() >= CITIES.len());
+    }
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        for pool in [CITIES, STREETS, BRANDS, BEER_STYLES, VENUES, WORKCLASSES] {
+            assert!(!pool.is_empty());
+            for w in pool {
+                assert_eq!(*w, w.to_lowercase(), "{w} should be lowercase");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_in_lexicon_pools() {
+        for pool in [CITIES, WORKCLASSES, EDUCATIONS, OCCUPATIONS, STATES] {
+            let mut v: Vec<&str> = pool.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), pool.len());
+        }
+    }
+}

@@ -1,0 +1,35 @@
+use dprep_datasets::{adult, synthea};
+use dprep_prompt::TaskInstance;
+
+#[test]
+fn adult_error_label_with_unchanged_value() {
+    let mut found = 0;
+    for seed in 0..30u64 {
+        let ds = adult::generate(0.5, seed);
+        for (inst, label) in ds.instances.iter().zip(&ds.labels) {
+            let TaskInstance::ErrorDetection { record, attribute } = inst else { continue };
+            if label.as_bool() != Some(true) { continue; }
+            let v = record.get_by_name(attribute).unwrap().to_string();
+            let mem = dprep_llm::knowledge::Memorizer { model_name: "oracle".into(), coverage: 1.0, seed: 0 };
+            if ds.kb.has_lexicon(attribute) && ds.kb.known_lexicon(&mem, attribute).any(|m| m == v) {
+                found += 1;
+                if found <= 5 { println!("seed {seed}: attr {attribute} value {v:?} labeled error but is a legal lexicon value"); }
+            }
+        }
+    }
+    println!("total error-labeled cells with legal values: {found}");
+}
+
+#[test]
+fn synthea_few_shot_overlaps_test() {
+    let mut overlaps = 0;
+    for seed in 0..20u64 {
+        let ds = synthea::generate(1.0, seed);
+        for shot in &ds.few_shot {
+            if ds.instances.iter().any(|i| *i == shot.instance) {
+                overlaps += 1;
+            }
+        }
+    }
+    println!("few-shot instances identical to a test instance across 20 seeds: {overlaps}");
+}

@@ -1,0 +1,14 @@
+use dprep_datasets::common::typo;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn typo_can_return_input_unchanged() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut unchanged = 0;
+    let n = 100_000;
+    for _ in 0..n {
+        if typo(&mut rng, "private") == "private" { unchanged += 1; }
+    }
+    println!("typo unchanged rate: {} / {n}", unchanged);
+}

@@ -1,0 +1,147 @@
+//! Hashed character-n-gram embeddings: the Sentence-BERT substitute.
+//!
+//! A real sentence encoder maps semantically similar strings to nearby
+//! vectors. For the tabular text this workspace deals in (product titles,
+//! addresses, bibliographic records) *lexical* similarity carries almost all
+//! of the signal, so we embed a string as the L2-normalized log-TF vector of
+//! its character trigrams, feature-hashed into a fixed dimension. Hashing
+//! uses FNV-1a with a seed, so embeddings are deterministic.
+
+use crate::vector::Vector;
+use dprep_text::normalize;
+
+/// Character-n-gram feature hashing embedder.
+#[derive(Debug, Clone)]
+pub struct HashedNgramEmbedder {
+    dim: usize,
+    ngram: usize,
+    seed: u64,
+}
+
+impl Default for HashedNgramEmbedder {
+    fn default() -> Self {
+        HashedNgramEmbedder::new(256, 3, 0x5eed)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET ^ seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl HashedNgramEmbedder {
+    /// Creates an embedder with output dimension `dim`, n-gram size `ngram`,
+    /// and hash seed `seed`.
+    pub fn new(dim: usize, ngram: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(ngram > 0, "n-gram size must be positive");
+        HashedNgramEmbedder { dim, ngram, seed }
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds `text` into a unit-norm vector (zero vector for empty text).
+    ///
+    /// The text is normalized (lowercase, punctuation stripped) first, and a
+    /// leading/trailing space sentinel is added so word boundaries produce
+    /// distinctive n-grams.
+    pub fn embed(&self, text: &str) -> Vector {
+        let norm = normalize(text);
+        let mut v = Vector::zeros(self.dim);
+        if norm.is_empty() {
+            return v;
+        }
+        let padded = format!(" {norm} ");
+        let chars: Vec<char> = padded.chars().collect();
+        if chars.len() < self.ngram {
+            return v;
+        }
+        let mut buf = String::new();
+        for window in chars.windows(self.ngram) {
+            buf.clear();
+            buf.extend(window.iter());
+            let h = fnv1a(self.seed, buf.as_bytes());
+            let idx = (h % self.dim as u64) as usize;
+            // Signed hashing reduces collision bias.
+            let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+            v.0[idx] += sign;
+        }
+        // Log-scale term frequencies, then L2 normalize.
+        for x in &mut v.0 {
+            *x = x.signum() * (1.0 + x.abs()).ln();
+        }
+        v.normalize();
+        v
+    }
+
+    /// Embeds a batch of texts.
+    pub fn embed_all<'a>(&self, texts: impl IntoIterator<Item = &'a str>) -> Vec<Vector> {
+        texts.into_iter().map(|t| self.embed(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let e = HashedNgramEmbedder::default();
+        assert_eq!(e.embed("apple iphone"), e.embed("apple iphone"));
+    }
+
+    #[test]
+    fn unit_norm_for_nonempty() {
+        let e = HashedNgramEmbedder::default();
+        let v = e.embed("some text");
+        assert!((v.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_is_zero() {
+        let e = HashedNgramEmbedder::default();
+        assert_eq!(e.embed(""), Vector::zeros(256));
+        assert_eq!(e.embed("!!!"), Vector::zeros(256));
+    }
+
+    #[test]
+    fn similar_strings_are_closer_than_different_ones() {
+        let e = HashedNgramEmbedder::default();
+        let a = e.embed("apple iphone 12 pro max");
+        let b = e.embed("apple iphone 12 pro");
+        let c = e.embed("sony bravia 55 inch television");
+        assert!(a.cosine(&b) > a.cosine(&c));
+        assert!(a.cosine(&b) > 0.5);
+    }
+
+    #[test]
+    fn case_and_punctuation_invariant() {
+        let e = HashedNgramEmbedder::default();
+        assert_eq!(e.embed("New-York!"), e.embed("new york"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = HashedNgramEmbedder::new(256, 3, 1).embed("hello");
+        let b = HashedNgramEmbedder::new(256, 3, 2).embed("hello");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let e = HashedNgramEmbedder::default();
+        let batch = e.embed_all(["a b", "c d"]);
+        assert_eq!(batch[0], e.embed("a b"));
+        assert_eq!(batch[1], e.embed("c d"));
+    }
+}

@@ -1,0 +1,234 @@
+//! K-means clustering with k-means++ seeding.
+//!
+//! Used by cluster batching (§3.5 of the paper): instances are embedded,
+//! clustered, and batches are drawn within clusters so the LLM sees
+//! homogeneous questions it can answer consistently.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vector::Vector;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Final centroids (`k` of them).
+    pub centroids: Vec<Vector>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Point indices grouped by cluster.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let k = self.centroids.len();
+        let mut groups = vec![Vec::new(); k];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            groups[c].push(i);
+        }
+        groups
+    }
+}
+
+/// Runs k-means over `points` with `k` clusters, deterministic under `seed`.
+///
+/// `k` is clamped to the number of points; `k = 0` with non-empty input
+/// panics. Empty input returns an empty result.
+pub fn kmeans(points: &[Vector], k: usize, seed: u64) -> KMeansResult {
+    const MAX_ITERS: usize = 50;
+
+    if points.is_empty() {
+        return KMeansResult {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    assert!(k > 0, "k must be positive for non-empty input");
+    let k = k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- k-means++ seeding -------------------------------------------------
+    let mut centroids: Vec<Vector> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut dist_sq: Vec<f32> = points
+        .iter()
+        .map(|p| p.distance_sq(&centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dist_sq.iter().map(|&d| d as f64).sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with existing centroids; pick
+            // uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        let c = points[next].clone();
+        for (i, p) in points.iter().enumerate() {
+            dist_sq[i] = dist_sq[i].min(p.distance_sq(&c));
+        }
+        centroids.push(c);
+    }
+
+    // --- Lloyd iterations --------------------------------------------------
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 0..MAX_ITERS {
+        iterations = iter + 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = p.distance_sq(centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Recompute centroids; empty clusters are re-seeded to the farthest
+        // point from its centroid to avoid dead clusters.
+        let dim = points[0].dim();
+        let mut sums = vec![Vector::zeros(dim); centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            sums[assignments[i]].add_assign(p);
+            counts[assignments[i]] += 1;
+        }
+        for (c, sum) in sums.into_iter().enumerate() {
+            if counts[c] == 0 {
+                let (far_idx, _) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, p.distance_sq(&centroids[assignments[i]])))
+                    .fold((0, f32::NEG_INFINITY), |acc, cur| {
+                        if cur.1 > acc.1 {
+                            cur
+                        } else {
+                            acc
+                        }
+                    });
+                centroids[c] = points[far_idx].clone();
+            } else {
+                let mut mean = sum;
+                mean.scale(1.0 / counts[c] as f32);
+                centroids[c] = mean;
+            }
+        }
+    }
+
+    let inertia: f64 = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &c)| p.distance_sq(&centroids[c]) as f64)
+        .sum();
+
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vector> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Vector(vec![0.0 + i as f32 * 0.01, 0.0]));
+            pts.push(Vector(vec![10.0 + i as f32 * 0.01, 10.0]));
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, 2, 7);
+        // Even-indexed points are blob A, odd are blob B.
+        let a = res.assignments[0];
+        let b = res.assignments[1];
+        assert_ne!(a, b);
+        for (i, &c) in res.assignments.iter().enumerate() {
+            assert_eq!(c, if i % 2 == 0 { a } else { b });
+        }
+        assert!(res.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = two_blobs();
+        let r1 = kmeans(&pts, 2, 42);
+        let r2 = kmeans(&pts, 2, 42);
+        assert_eq!(r1.assignments, r2.assignments);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![Vector(vec![1.0]), Vector(vec![2.0])];
+        let res = kmeans(&pts, 10, 0);
+        assert_eq!(res.centroids.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = kmeans(&[], 3, 0);
+        assert!(res.assignments.is_empty());
+        assert!(res.centroids.is_empty());
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![Vector(vec![0.0, 0.0]), Vector(vec![2.0, 4.0])];
+        let res = kmeans(&pts, 1, 0);
+        assert_eq!(res.centroids[0], Vector(vec![1.0, 2.0]));
+        assert_eq!(res.assignments, vec![0, 0]);
+    }
+
+    #[test]
+    fn identical_points_dont_hang() {
+        let pts = vec![Vector(vec![1.0, 1.0]); 8];
+        let res = kmeans(&pts, 3, 5);
+        assert_eq!(res.assignments.len(), 8);
+        assert!(res.inertia < 1e-9);
+    }
+
+    #[test]
+    fn clusters_grouping_is_consistent() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, 2, 1);
+        let groups = res.clusters();
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), pts.len());
+        for (c, group) in groups.iter().enumerate() {
+            for &i in group {
+                assert_eq!(res.assignments[i], c);
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # dprep-embed
+//!
+//! Embedding and clustering substrate — the workspace's stand-in for
+//! Sentence-BERT, which the paper uses to drive *cluster batching*
+//! (k-means over instance embeddings, then batching within clusters).
+//!
+//! * [`Vector`] — a dense f32 vector with cosine/dot/norm operations,
+//! * [`HashedNgramEmbedder`] — hashed character-n-gram + log-TF embedding
+//!   with L2 normalization (a lexical sentence embedding),
+//! * [`kmeans()`] — k-means with k-means++ seeding, deterministic under a
+//!   caller-provided seed.
+
+pub mod embedder;
+pub mod kmeans;
+pub mod vector;
+
+pub use embedder::HashedNgramEmbedder;
+pub use kmeans::KMeansResult;
+#[doc(inline)]
+pub use kmeans::kmeans;
+pub use vector::Vector;

@@ -1,0 +1,130 @@
+//! Dense vectors with the handful of operations the workspace needs.
+
+/// A dense `f32` vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector(pub Vec<f32>);
+
+impl Vector {
+    /// A zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Vector(vec![0.0; dim])
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.0.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Dot product. Panics if dimensions differ.
+    pub fn dot(&self, other: &Vector) -> f32 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+
+    /// Cosine similarity in `[-1, 1]`; zero vectors yield 0.
+    pub fn cosine(&self, other: &Vector) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.dot(other) / denom
+    }
+
+    /// Squared Euclidean distance.
+    pub fn distance_sq(&self, other: &Vector) -> f32 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Scales the vector to unit norm in place; zero vectors are left as-is.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for x in &mut self.0 {
+                *x /= n;
+            }
+        }
+    }
+
+    /// Adds `other` into `self`. Panics if dimensions differ.
+    pub fn add_assign(&mut self, other: &Vector) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += b;
+        }
+    }
+
+    /// Divides every component by `k`.
+    pub fn scale(&mut self, k: f32) {
+        for x in &mut self.0 {
+            *x *= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_dot() {
+        let v = Vector(vec![3.0, 4.0]);
+        assert_eq!(v.norm(), 5.0);
+        let w = Vector(vec![1.0, 0.0]);
+        assert_eq!(v.dot(&w), 3.0);
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let v = Vector(vec![1.0, 0.0]);
+        let w = Vector(vec![0.0, 1.0]);
+        assert_eq!(v.cosine(&w), 0.0);
+        assert!((v.cosine(&v) - 1.0).abs() < 1e-6);
+        let z = Vector::zeros(2);
+        assert_eq!(v.cosine(&z), 0.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut v = Vector(vec![3.0, 4.0]);
+        v.normalize();
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        let mut z = Vector::zeros(3);
+        z.normalize();
+        assert_eq!(z, Vector::zeros(3));
+    }
+
+    #[test]
+    fn distance() {
+        let v = Vector(vec![0.0, 0.0]);
+        let w = Vector(vec![3.0, 4.0]);
+        assert_eq!(v.distance_sq(&w), 25.0);
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut acc = Vector::zeros(2);
+        acc.add_assign(&Vector(vec![2.0, 4.0]));
+        acc.add_assign(&Vector(vec![4.0, 0.0]));
+        acc.scale(0.5);
+        assert_eq!(acc, Vector(vec![3.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for embeddings and k-means: unit norms, determinism,
+//! and clustering invariants on arbitrary input.
+
+use proptest::prelude::*;
+
+use dprep_embed::{kmeans, HashedNgramEmbedder, Vector};
+
+fn any_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9 ]{0,40}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn embeddings_are_unit_norm_or_zero(text in any_text()) {
+        let e = HashedNgramEmbedder::default();
+        let v = e.embed(&text);
+        let n = v.norm();
+        prop_assert!(n.abs() < 1e-5 || (n - 1.0).abs() < 1e-4, "norm {n}");
+    }
+
+    #[test]
+    fn embedding_is_deterministic(text in any_text()) {
+        let e = HashedNgramEmbedder::default();
+        prop_assert_eq!(e.embed(&text), e.embed(&text));
+    }
+
+    #[test]
+    fn kmeans_assignments_are_valid(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-10.0f32..10.0, 3),
+            0..40,
+        ),
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let vectors: Vec<Vector> = points.into_iter().map(Vector).collect();
+        let result = kmeans(&vectors, k, seed);
+        prop_assert_eq!(result.assignments.len(), vectors.len());
+        if vectors.is_empty() {
+            prop_assert!(result.centroids.is_empty());
+        } else {
+            let k_eff = k.min(vectors.len());
+            prop_assert_eq!(result.centroids.len(), k_eff);
+            for &a in &result.assignments {
+                prop_assert!(a < k_eff);
+            }
+            prop_assert!(result.inertia >= 0.0);
+            // Every point's assigned centroid is (weakly) its nearest.
+            for (p, &a) in vectors.iter().zip(&result.assignments) {
+                let own = p.distance_sq(&result.centroids[a]);
+                for c in &result.centroids {
+                    prop_assert!(own <= p.distance_sq(c) + 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_is_deterministic(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 2),
+            1..20,
+        ),
+        seed in 0u64..50,
+    ) {
+        let vectors: Vec<Vector> = points.into_iter().map(Vector).collect();
+        let a = kmeans(&vectors, 3, seed);
+        let b = kmeans(&vectors, 3, seed);
+        prop_assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(
+        a in proptest::collection::vec(-10.0f32..10.0, 4),
+        b in proptest::collection::vec(-10.0f32..10.0, 4),
+    ) {
+        let (va, vb) = (Vector(a), Vector(b));
+        let c = va.cosine(&vb);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c));
+        prop_assert!((c - vb.cosine(&va)).abs() < 1e-5);
+    }
+}

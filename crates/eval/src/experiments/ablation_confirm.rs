@@ -1,0 +1,77 @@
+//! Extension ablation: the ED "confirm the target attribute" safeguard.
+//!
+//! §3.1 motivates the instruction — without it the model may flag an error
+//! in a *different* attribute of the record — but the paper never measures
+//! it. This experiment does: Adult error detection with the best setting,
+//! safeguard on vs off, for each chat model.
+
+use dprep_core::PipelineConfig;
+use dprep_llm::ModelProfile;
+
+use crate::experiments::ExperimentConfig;
+use crate::harness::{default_batch_size, run_llm_on_dataset};
+
+/// One model's scores with and without the safeguard.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// F1 with the confirmation instruction.
+    pub with_confirm: Option<f64>,
+    /// F1 without it.
+    pub without_confirm: Option<f64>,
+}
+
+/// The ablation result.
+#[derive(Debug, Clone)]
+pub struct ConfirmAblation {
+    /// One row per model.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the ablation on Adult/ED.
+pub fn run(cfg: &ExperimentConfig) -> ConfirmAblation {
+    let dataset =
+        dprep_datasets::dataset_by_name("Adult", cfg.scale, cfg.seed).expect("known dataset");
+    let mut rows = Vec::new();
+    for profile in ModelProfile::all_presets() {
+        let mut base = PipelineConfig::best(dataset.task);
+        base.batch_size = default_batch_size(&profile);
+        let with_confirm = run_llm_on_dataset(&profile, &dataset, &base, cfg.seed).value;
+        let mut without = base.clone();
+        without.confirm_target = false;
+        let without_confirm = run_llm_on_dataset(&profile, &dataset, &without, cfg.seed).value;
+        rows.push(Row {
+            model: profile.name.clone(),
+            with_confirm,
+            without_confirm,
+        });
+    }
+    ConfirmAblation { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safeguard_helps_every_parsing_model() {
+        let result = run(&ExperimentConfig {
+            scale: 0.15,
+            seed: 0xd472,
+        });
+        assert_eq!(result.rows.len(), 4);
+        let mut checked = 0;
+        for row in &result.rows {
+            if let (Some(with), Some(without)) = (row.with_confirm, row.without_confirm) {
+                assert!(
+                    with >= without - 3.0,
+                    "{}: with {with:.1} vs without {without:.1}",
+                    row.model
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 2, "at least the GPT models should score");
+    }
+}

@@ -1,0 +1,83 @@
+//! Extension ablation: sampling-temperature sensitivity.
+//!
+//! The paper fixes temperatures (0.75 / 0.65 / 0.2) without justifying
+//! them. This sweep measures GPT-3.5's best-setting quality across
+//! temperatures on one dataset per task, showing the gentle degradation
+//! that makes the exact setting uncritical.
+
+use dprep_core::PipelineConfig;
+use dprep_llm::ModelProfile;
+
+use crate::experiments::ExperimentConfig;
+use crate::harness::{default_batch_size, run_llm_on_dataset};
+
+/// Temperatures swept.
+pub const TEMPERATURES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// One dataset's scores across the sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// One score per temperature in [`TEMPERATURES`] order.
+    pub scores: Vec<Option<f64>>,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct TemperatureSweep {
+    /// One row per dataset.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the sweep with GPT-3.5.
+pub fn run(cfg: &ExperimentConfig) -> TemperatureSweep {
+    let profile = ModelProfile::gpt35();
+    let mut rows = Vec::new();
+    for name in ["Adult", "Restaurant", "Synthea", "Beer"] {
+        let dataset =
+            dprep_datasets::dataset_by_name(name, cfg.scale, cfg.seed).expect("known dataset");
+        let mut scores = Vec::with_capacity(TEMPERATURES.len());
+        for temperature in TEMPERATURES {
+            let mut config = PipelineConfig::best(dataset.task);
+            config.batch_size = default_batch_size(&profile);
+            config.feature_indices = dataset.informative_features.clone();
+            config.temperature = Some(temperature);
+            scores.push(run_llm_on_dataset(&profile, &dataset, &config, cfg.seed).value);
+        }
+        rows.push(Row {
+            dataset: match name {
+                "Adult" => "Adult (ED)",
+                "Restaurant" => "Restaurant (DI)",
+                "Synthea" => "Synthea (SM)",
+                _ => "Beer (EM)",
+            },
+            scores,
+        });
+    }
+    TemperatureSweep { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_temperature_is_not_worse_on_average() {
+        let result = run(&ExperimentConfig {
+            scale: 0.3,
+            seed: 0xd472,
+        });
+        assert_eq!(result.rows.len(), 4);
+        let mean_at = |idx: usize| {
+            let vals: Vec<f64> = result.rows.iter().filter_map(|r| r.scores[idx]).collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        let cold = mean_at(0);
+        let hot = mean_at(TEMPERATURES.len() - 1);
+        assert!(
+            cold >= hot - 6.0,
+            "temperature 0 should not trail temperature 1 badly: {cold:.1} vs {hot:.1}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Table 2 — prompt-component ablation with GPT-3.5.
+//!
+//! Six component sets (ZS-T, +B, +B+ZS-R, +FS, +FS+B, +FS+B+ZS-R) over the
+//! same 12 datasets, all with the simulated GPT-3.5 — the paper picks it as
+//! the cost-effective model worth tuning.
+
+use dprep_core::{ComponentSet, PipelineConfig};
+use dprep_llm::ModelProfile;
+
+use crate::experiments::{table1::DATASETS, ExperimentConfig};
+use crate::harness::run_llm_on_dataset;
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Component-set label (e.g. `ZS-T+FS+B`).
+    pub components: String,
+    /// Scores per dataset (None = N/A).
+    pub cells: Vec<Option<f64>>,
+}
+
+/// The full ablation table.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the ablation.
+pub fn run(cfg: &ExperimentConfig) -> Table2 {
+    let profile = ModelProfile::gpt35();
+    let mut rows = Vec::new();
+    for (label, components) in ComponentSet::table2_rows() {
+        let mut cells = Vec::with_capacity(DATASETS.len());
+        for name in DATASETS {
+            let dataset = dprep_datasets::dataset_by_name(name, cfg.scale, cfg.seed)
+                .expect("known dataset");
+            let config = ablation_config(&dataset, components);
+            let scored = run_llm_on_dataset(&profile, &dataset, &config, cfg.seed);
+            cells.push(scored.value);
+        }
+        rows.push(Row {
+            components: label.to_string(),
+            cells,
+        });
+    }
+    Table2 { rows }
+}
+
+/// The pipeline configuration for one ablation row on one dataset: no
+/// feature selection (that is studied separately), GPT-3.5's batch size.
+pub fn ablation_config(
+    dataset: &dprep_datasets::Dataset,
+    components: ComponentSet,
+) -> PipelineConfig {
+    let mut config = PipelineConfig::ablation(dataset.task, components, 15);
+    config.type_hint = dataset.type_hint.clone();
+    config
+}
+
+impl Table2 {
+    /// Rendering-ready rows.
+    pub fn to_rows(&self) -> Vec<(String, Vec<String>)> {
+        self.rows
+            .iter()
+            .map(|r| {
+                (
+                    r.components.clone(),
+                    r.cells.iter().map(|c| crate::report::cell(*c)).collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_shape() {
+        let table = run(&ExperimentConfig::smoke());
+        assert_eq!(table.rows.len(), 6);
+        assert_eq!(table.rows[0].components, "ZS-T");
+        assert_eq!(table.rows[5].components, "ZS-T+FS+B+ZS-R");
+        for row in &table.rows {
+            assert_eq!(row.cells.len(), 12);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Table 3 — batch-size evaluation on Adult/ED with GPT-3.5.
+//!
+//! The paper's efficiency study: batch sizes {1, 2, 4, 8, 15}, no few-shot
+//! prompting (reasoning on), measuring F1 alongside total tokens (M),
+//! dollar cost, and virtual hours. The economics emerge arithmetically:
+//! the ~250-token instruction is paid once per request, so batching
+//! amortizes it, while per-instance record and completion tokens are
+//! irreducible.
+
+use dprep_core::{ComponentSet, PipelineConfig};
+use dprep_llm::ModelProfile;
+use dprep_prompt::Task;
+
+use crate::experiments::ExperimentConfig;
+use crate::harness::run_llm_on_dataset;
+
+/// The paper's batch sizes.
+pub const BATCH_SIZES: [usize; 5] = [1, 2, 4, 8, 15];
+
+/// One batch-size row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Batch size.
+    pub batch_size: usize,
+    /// F1 (%), None = N/A.
+    pub f1: Option<f64>,
+    /// Total tokens in millions.
+    pub tokens_millions: f64,
+    /// Dollar cost.
+    pub cost_usd: f64,
+    /// Virtual hours.
+    pub hours: f64,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// One row per batch size.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &ExperimentConfig) -> Table3 {
+    let profile = ModelProfile::gpt35();
+    let dataset = dprep_datasets::dataset_by_name("Adult", cfg.scale, cfg.seed)
+        .expect("known dataset");
+    let mut rows = Vec::new();
+    for batch_size in BATCH_SIZES {
+        let components = ComponentSet {
+            few_shot: false,
+            batching: batch_size > 1,
+            reasoning: true,
+        };
+        let mut config = PipelineConfig::ablation(Task::ErrorDetection, components, batch_size);
+        config.confirm_target = true;
+        let scored = run_llm_on_dataset(&profile, &dataset, &config, cfg.seed);
+        rows.push(Row {
+            batch_size,
+            f1: scored.value,
+            tokens_millions: scored.usage.tokens_millions(),
+            cost_usd: scored.usage.cost_usd,
+            hours: scored.usage.hours(),
+        });
+    }
+    Table3 { rows }
+}
+
+impl Table3 {
+    /// Rendering-ready rows.
+    pub fn to_rows(&self) -> Vec<(String, Vec<String>)> {
+        self.rows
+            .iter()
+            .map(|r| {
+                (
+                    format!("{}", r.batch_size),
+                    vec![
+                        crate::report::cell(r.f1),
+                        format!("{:.2}", r.tokens_millions),
+                        format!("{:.2}", r.cost_usd),
+                        format!("{:.2}", r.hours),
+                    ],
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_cost_time_decrease_with_batch_size() {
+        let table = run(&ExperimentConfig::smoke());
+        assert_eq!(table.rows.len(), 5);
+        // Monotone decreasing economics.
+        for pair in table.rows.windows(2) {
+            assert!(
+                pair[1].tokens_millions < pair[0].tokens_millions,
+                "tokens should shrink with batching: {:?}",
+                table.rows.iter().map(|r| r.tokens_millions).collect::<Vec<_>>()
+            );
+            assert!(pair[1].cost_usd < pair[0].cost_usd);
+            assert!(pair[1].hours < pair[0].hours);
+        }
+        // Quality stays in a narrow band.
+        let f1s: Vec<f64> = table.rows.iter().filter_map(|r| r.f1).collect();
+        assert_eq!(f1s.len(), 5);
+        let min = f1s.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = f1s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min < 30.0, "f1 range too wide: {f1s:?}");
+    }
+}

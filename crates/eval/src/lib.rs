@@ -1,0 +1,22 @@
+//! # dprep-eval
+//!
+//! Evaluation for the reproduction:
+//!
+//! * [`metrics`] — confusion matrices, precision/recall/F1, and DI accuracy
+//!   with the paper's conventions (unparseable answers count as wrong; a
+//!   run with too many unparseable answers is reported as "N/A"),
+//! * [`harness`] — runs a simulated model or a classical baseline over one
+//!   generated dataset and scores it,
+//! * [`experiments`] — one module per paper artifact (Table 1, Table 2,
+//!   Table 3, the feature-selection and cluster-batching in-text results),
+//! * [`report`] — fixed-width table rendering plus TSV export under
+//!   `target/experiments/`.
+
+pub mod harness;
+pub mod metrics;
+pub mod report;
+
+pub mod experiments;
+
+pub use harness::{run_baseline, run_llm_on_dataset, BaselineKind, Scored};
+pub use metrics::{accuracy_di, f1_yes_no, Confusion};

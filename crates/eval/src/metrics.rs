@@ -1,0 +1,170 @@
+//! Scoring conventions.
+//!
+//! The paper reports accuracy (%) for data imputation and F1 score (%) for
+//! the other tasks. Predictions the framework could not parse out of the
+//! model's completion count as *wrong* (predicted-negative for the F1
+//! tasks, incorrect for DI).
+
+use dprep_core::Prediction;
+use dprep_datasets::Label;
+use dprep_text::normalize;
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Adds one observation.
+    pub fn observe(&mut self, truth: bool, predicted: bool) {
+        match (truth, predicted) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Precision of the positive class (0 when nothing was predicted
+    /// positive).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Recall of the positive class (0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// F1 of the positive class.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+/// F1 (%) of yes/no predictions against yes/no labels. Unparsed or
+/// non-yes/no answers count as "no".
+pub fn f1_yes_no(predictions: &[Prediction], labels: &[Label]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "parallel arrays");
+    let mut confusion = Confusion::default();
+    for (pred, label) in predictions.iter().zip(labels) {
+        let truth = label.as_bool().expect("yes/no task labels");
+        let predicted = pred.as_yes_no().unwrap_or(false);
+        confusion.observe(truth, predicted);
+    }
+    confusion.f1() * 100.0
+}
+
+/// Imputation accuracy (%): normalized string equality. Unparsed answers
+/// count as wrong.
+pub fn accuracy_di(predictions: &[Prediction], labels: &[Label]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "parallel arrays");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(pred, label)| {
+            let truth = label.as_value().expect("DI labels");
+            match pred.value() {
+                Some(v) => normalize(v) == normalize(truth),
+                None => false,
+            }
+        })
+        .count();
+    correct as f64 / predictions.len() as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_prompt::ExtractedAnswer;
+
+    fn answered(v: &str) -> Prediction {
+        Prediction::Answered(ExtractedAnswer {
+            reason: None,
+            value: v.to_string(),
+        })
+    }
+
+    #[test]
+    fn confusion_metrics() {
+        let mut c = Confusion::default();
+        for _ in 0..8 {
+            c.observe(true, true);
+        }
+        c.observe(false, true);
+        c.observe(true, false);
+        for _ in 0..10 {
+            c.observe(false, false);
+        }
+        assert!((c.precision() - 8.0 / 9.0).abs() < 1e-12);
+        assert!((c.recall() - 8.0 / 9.0).abs() < 1e-12);
+        assert!((c.f1() - 8.0 / 9.0).abs() < 1e-12);
+        assert_eq!(c.total(), 20);
+    }
+
+    #[test]
+    fn empty_confusion_is_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_counts_unparsed_as_negative() {
+        let preds = vec![answered("yes"), Prediction::Unparsed, answered("no")];
+        let labels = vec![
+            Label::YesNo(true),
+            Label::YesNo(true),
+            Label::YesNo(false),
+        ];
+        // tp=1, fn=1 (unparsed positive), tn=1 -> p=1, r=0.5, f1=2/3.
+        let f1 = f1_yes_no(&preds, &labels);
+        assert!((f1 - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn di_accuracy_is_case_insensitive() {
+        let preds = vec![answered("Marietta"), answered("atlanta"), Prediction::Unparsed];
+        let labels = vec![
+            Label::Value("marietta".into()),
+            Label::Value("savannah".into()),
+            Label::Value("atlanta".into()),
+        ];
+        let acc = accuracy_di(&preds, &labels);
+        assert!((acc - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        f1_yes_no(&[], &[Label::YesNo(true)]);
+    }
+}

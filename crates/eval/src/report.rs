@@ -1,0 +1,151 @@
+//! Table rendering and TSV export.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// Renders a fixed-width text table: a header row, then one labeled row per
+/// entry.
+pub fn render_table(title: &str, headers: &[String], rows: &[(String, Vec<String>)]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let label_width = rows
+        .iter()
+        .map(|(label, _)| label.len())
+        .chain(std::iter::once("Method".len()))
+        .max()
+        .unwrap_or(6);
+    for (_, cells) in rows {
+        for (i, cell) in cells.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<label_width$}", "Method"));
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!("  {h:>w$}"));
+    }
+    out.push('\n');
+    let total: usize = label_width + widths.iter().map(|w| w + 2).sum::<usize>();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for (label, cells) in rows {
+        out.push_str(&format!("{label:<label_width$}"));
+        for (cell, w) in cells.iter().zip(&widths) {
+            out.push_str(&format!("  {cell:>w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a TSV file under `target/experiments/<name>.tsv`, returning its
+/// path.
+pub fn write_tsv(
+    name: &str,
+    headers: &[String],
+    rows: &[(String, Vec<String>)],
+) -> io::Result<PathBuf> {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.tsv"));
+    let mut out = String::new();
+    out.push_str("method\t");
+    out.push_str(&headers.join("\t"));
+    out.push('\n');
+    for (label, cells) in rows {
+        out.push_str(label);
+        out.push('\t');
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Renders a GitHub-flavoured markdown table (for EXPERIMENTS.md-style
+/// reports).
+pub fn render_markdown(headers: &[String], rows: &[(String, Vec<String>)]) -> String {
+    let mut out = String::new();
+    out.push_str("| Method |");
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (label, cells) in rows {
+        out.push_str(&format!("| {label} |"));
+        for cell in cells {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an optional percentage the way the paper's tables do.
+pub fn cell(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.1}"),
+        None => "N/A".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let table = render_table(
+            "Demo",
+            &["A".into(), "LongHeader".into()],
+            &[
+                ("method-1".into(), vec!["1.0".into(), "2.0".into()]),
+                ("m2".into(), vec!["100.0".into(), "N/A".into()]),
+            ],
+        );
+        assert!(table.contains("Demo"));
+        assert!(table.contains("method-1"));
+        let lines: Vec<&str> = table.lines().collect();
+        // Header and row lines align to the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = render_markdown(
+            &["A".into(), "B".into()],
+            &[("x".into(), vec!["1".into(), "2".into()])],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| Method | A | B |");
+        assert_eq!(lines[1], "|---|---|---|");
+        assert_eq!(lines[2], "| x | 1 | 2 |");
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(cell(Some(97.73)), "97.7");
+        assert_eq!(cell(None), "N/A");
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let path = write_tsv(
+            "unit-test-table",
+            &["x".into()],
+            &[("row".into(), vec!["1".into()])],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "method\tx\nrow\t1\n");
+    }
+}

@@ -1,0 +1,151 @@
+//! The chat-completion API surface.
+
+use crate::usage::Usage;
+
+/// Role of a chat message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// System instructions (persona, task specification).
+    System,
+    /// End-user turns (few-shot questions, batched data instances).
+    User,
+    /// Model turns (few-shot answers, generated completions).
+    Assistant,
+}
+
+/// One chat message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Who is speaking.
+    pub role: Role,
+    /// Message text.
+    pub content: String,
+}
+
+impl Message {
+    /// A system message.
+    pub fn system(content: impl Into<String>) -> Self {
+        Message {
+            role: Role::System,
+            content: content.into(),
+        }
+    }
+
+    /// A user message.
+    pub fn user(content: impl Into<String>) -> Self {
+        Message {
+            role: Role::User,
+            content: content.into(),
+        }
+    }
+
+    /// An assistant message.
+    pub fn assistant(content: impl Into<String>) -> Self {
+        Message {
+            role: Role::Assistant,
+            content: content.into(),
+        }
+    }
+}
+
+/// A chat-completion request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatRequest {
+    /// Conversation so far (system + alternating user/assistant).
+    pub messages: Vec<Message>,
+    /// Sampling temperature; scales the simulator's stochastic failure
+    /// rates (the paper sets 0.75 / 0.65 / 0.2 for GPT-3.5 / GPT-4 /
+    /// Vicuna).
+    pub temperature: f64,
+}
+
+impl ChatRequest {
+    /// Builds a request with the model's default temperature (overridable
+    /// via [`ChatRequest::with_temperature`]).
+    pub fn new(messages: Vec<Message>) -> Self {
+        ChatRequest {
+            messages,
+            temperature: 1.0,
+        }
+    }
+
+    /// Overrides the sampling temperature.
+    pub fn with_temperature(mut self, temperature: f64) -> Self {
+        self.temperature = temperature;
+        self
+    }
+
+    /// Concatenated text of all messages (used for seeding and token
+    /// counting).
+    pub fn full_text(&self) -> String {
+        let mut out = String::new();
+        for m in &self.messages {
+            let tag = match m.role {
+                Role::System => "system",
+                Role::User => "user",
+                Role::Assistant => "assistant",
+            };
+            out.push_str(tag);
+            out.push_str(": ");
+            out.push_str(&m.content);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A chat-completion response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatResponse {
+    /// Generated text.
+    pub text: String,
+    /// Token usage for this request.
+    pub usage: Usage,
+    /// Virtual wall-clock latency of this request, in seconds.
+    pub latency_secs: f64,
+}
+
+/// Anything that answers chat requests — implemented by [`crate::model::SimulatedLlm`]
+/// and by test doubles in downstream crates.
+pub trait ChatModel {
+    /// Model identifier (e.g. `sim-gpt-3.5`).
+    fn name(&self) -> &str;
+    /// The temperature the model runs at when the caller does not choose
+    /// one (profiles carry the paper's per-model settings).
+    fn default_temperature(&self) -> f64 {
+        1.0
+    }
+    /// Answers one chat request.
+    fn chat(&self, request: &ChatRequest) -> ChatResponse;
+    /// Context window in tokens; requests longer than this are truncated by
+    /// the model (the simulator answers only what fits).
+    fn context_window(&self) -> usize;
+    /// Dollar cost of a request with the given usage.
+    fn cost_usd(&self, usage: &Usage) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_constructors_set_roles() {
+        assert_eq!(Message::system("s").role, Role::System);
+        assert_eq!(Message::user("u").role, Role::User);
+        assert_eq!(Message::assistant("a").role, Role::Assistant);
+    }
+
+    #[test]
+    fn full_text_tags_roles() {
+        let req = ChatRequest::new(vec![Message::system("be brief"), Message::user("hi")]);
+        let text = req.full_text();
+        assert!(text.contains("system: be brief"));
+        assert!(text.contains("user: hi"));
+    }
+
+    #[test]
+    fn temperature_builder() {
+        let req = ChatRequest::new(vec![]).with_temperature(0.65);
+        assert_eq!(req.temperature, 0.65);
+    }
+}

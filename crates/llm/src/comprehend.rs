@@ -1,0 +1,418 @@
+//! Prompt comprehension: how the simulated model reads a prompt.
+//!
+//! A real LLM infers what is being asked from the prompt text alone. The
+//! simulator does the same, with a small natural-language reader instead of
+//! a transformer: it detects the task from instruction keywords, finds the
+//! target attribute in quoted form, notices whether a reasoning/answer
+//! format was requested, parses few-shot example turns, and extracts every
+//! batched question with its contextualized data instances (via the shared
+//! grammar in [`dprep_tabular::context`]).
+//!
+//! Nothing here consults ground truth or any out-of-band channel — only the
+//! characters of the request.
+
+use dprep_tabular::context::{extract_instances, ParsedInstance};
+
+use crate::chat::{ChatRequest, Message, Role};
+
+/// The task the model believes it was asked to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Detect an error in one attribute of a record.
+    ErrorDetection,
+    /// Infer a missing cell value.
+    Imputation,
+    /// Decide whether two attributes are the same.
+    SchemaMatching,
+    /// Decide whether two records are the same entity.
+    EntityMatching,
+}
+
+/// One few-shot example reconstructed from a user/assistant turn pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// Data instances appearing in the question.
+    pub instances: Vec<ParsedInstance>,
+    /// Target attribute named in the question, if any.
+    pub target_attribute: Option<String>,
+    /// Reasoning line of the answer, when present.
+    pub reason: Option<String>,
+    /// Final answer line.
+    pub answer: String,
+}
+
+/// One question in the (possibly batched) final user message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Question {
+    /// 1-based question number as written in the prompt.
+    pub number: usize,
+    /// Data instances in the question (1 for ED/DI, 2 for SM/EM).
+    pub instances: Vec<ParsedInstance>,
+    /// Target attribute named in the question, if any.
+    pub target_attribute: Option<String>,
+    /// Raw question text.
+    pub text: String,
+}
+
+/// Everything the model understood about a request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComprehendedPrompt {
+    /// Detected task, if any instruction matched.
+    pub task: Option<TaskKind>,
+    /// Prompt-level target attribute (per-question attributes override it).
+    pub target_attribute: Option<String>,
+    /// Whether the prompt demands a reasoning line (chain of thought).
+    pub wants_reason: bool,
+    /// Whether the prompt asks to confirm the target attribute (the ED
+    /// safeguard of §3.1).
+    pub confirm_target: bool,
+    /// A data-type hint for imputation (e.g. "a range of integers").
+    pub type_hint: Option<String>,
+    /// Few-shot examples.
+    pub examples: Vec<Example>,
+    /// Questions to answer.
+    pub questions: Vec<Question>,
+}
+
+/// First `"quoted"` substring after `marker`, on the same line — scanning
+/// across lines would pick up quotes from unrelated instructions (e.g. the
+/// `[attribute: "value"]` format description).
+fn quoted_after<'a>(text: &'a str, marker: &str) -> Option<&'a str> {
+    let at = text.find(marker)? + marker.len();
+    let rest = &text[at..];
+    let line_end = rest.find('\n').unwrap_or(rest.len());
+    let line = &rest[..line_end];
+    let open = line.find('"')?;
+    let after_open = &line[open + 1..];
+    let close = after_open.find('"')?;
+    Some(&after_open[..close])
+}
+
+fn detect_task(text: &str) -> Option<TaskKind> {
+    let lower = text.to_lowercase();
+    if lower.contains("error") {
+        Some(TaskKind::ErrorDetection)
+    } else if lower.contains("infer the value") || lower.contains("impute") {
+        Some(TaskKind::Imputation)
+    } else if lower.contains("same attribute") {
+        Some(TaskKind::SchemaMatching)
+    } else if lower.contains("same entity") {
+        Some(TaskKind::EntityMatching)
+    } else {
+        None
+    }
+}
+
+fn detect_target_attribute(text: &str) -> Option<String> {
+    for marker in [
+        "error in the",
+        "value of the",
+        "infer the value of the",
+        "the target attribute is",
+    ] {
+        if let Some(attr) = quoted_after(text, marker) {
+            return Some(attr.to_string());
+        }
+    }
+    None
+}
+
+/// Splits a message body on `"{prefix} {number}:"` markers, returning
+/// `(number, segment)` pairs. Text before the first marker is ignored;
+/// if no marker exists the whole body is one segment numbered 1.
+fn split_numbered(body: &str, prefix: &str) -> Vec<(usize, String)> {
+    let mut segments: Vec<(usize, String)> = Vec::new();
+    let mut cursor = 0usize;
+    let mut current: Option<(usize, usize)> = None; // (number, start)
+    let marker = format!("{prefix} ");
+    while let Some(found) = body[cursor..].find(&marker) {
+        let at = cursor + found;
+        // Parse "<number>:" directly after the marker.
+        let after = &body[at + marker.len()..];
+        let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+        let after_digits = &after[digits.len()..];
+        if !digits.is_empty() && after_digits.starts_with(':') {
+            if let Some((num, start)) = current.take() {
+                segments.push((num, body[start..at].trim().to_string()));
+            }
+            let number: usize = digits.parse().unwrap_or(0);
+            let content_start = at + marker.len() + digits.len() + 1;
+            current = Some((number, content_start));
+            cursor = content_start;
+        } else {
+            cursor = at + marker.len();
+        }
+    }
+    if let Some((num, start)) = current {
+        segments.push((num, body[start..].trim().to_string()));
+    }
+    if segments.is_empty() {
+        let trimmed = body.trim();
+        if !trimmed.is_empty() {
+            segments.push((1, trimmed.to_string()));
+        }
+    }
+    segments
+}
+
+fn parse_answer_segment(segment: &str) -> (Option<String>, String) {
+    let lines: Vec<&str> = segment
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    match lines.as_slice() {
+        [] => (None, String::new()),
+        [only] => (None, (*only).to_string()),
+        [first @ .., last] => (Some(first.join(" ")), (*last).to_string()),
+    }
+}
+
+/// Reads a chat request into a [`ComprehendedPrompt`].
+pub fn comprehend(request: &ChatRequest) -> ComprehendedPrompt {
+    let mut instruction_text = String::new();
+    for m in &request.messages {
+        if m.role == Role::System {
+            instruction_text.push_str(&m.content);
+            instruction_text.push('\n');
+        }
+    }
+
+    let task = detect_task(&instruction_text);
+    let target_attribute = detect_target_attribute(&instruction_text);
+    let lower_instruction = instruction_text.to_lowercase();
+    let wants_reason = lower_instruction.contains("reason");
+    let confirm_target = lower_instruction.contains("confirm the target attribute");
+    let type_hint = quoted_after(&instruction_text, "attribute can be")
+        .map(str::to_string)
+        .or_else(|| {
+            instruction_text.lines().find_map(|l| {
+                let l = l.trim();
+                l.contains("attribute can be")
+                    .then(|| l.split("can be").nth(1).unwrap_or("").trim().trim_end_matches('.').to_string())
+            })
+        });
+
+    // Few-shot examples: every (user, assistant) adjacent pair.
+    let non_system: Vec<&Message> = request
+        .messages
+        .iter()
+        .filter(|m| m.role != Role::System)
+        .collect();
+    let mut examples = Vec::new();
+    let mut i = 0;
+    while i + 1 < non_system.len() {
+        if non_system[i].role == Role::User && non_system[i + 1].role == Role::Assistant {
+            let questions = split_numbered(&non_system[i].content, "Question");
+            let answers = split_numbered(&non_system[i + 1].content, "Answer");
+            for (q, a) in questions.iter().zip(answers.iter()) {
+                let (reason, answer) = parse_answer_segment(&a.1);
+                examples.push(Example {
+                    instances: extract_instances(&q.1),
+                    target_attribute: detect_target_attribute(&q.1),
+                    reason,
+                    answer,
+                });
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Batch questions: the last user message (if it is not part of a
+    // question/answer example pair, i.e. it is the final message).
+    let mut questions = Vec::new();
+    if let Some(last) = request.messages.last() {
+        if last.role == Role::User {
+            for (number, text) in split_numbered(&last.content, "Question") {
+                questions.push(Question {
+                    number,
+                    instances: extract_instances(&text),
+                    target_attribute: detect_target_attribute(&text),
+                    text,
+                });
+            }
+        }
+    }
+
+    ComprehendedPrompt {
+        task,
+        target_attribute,
+        wants_reason,
+        confirm_target,
+        type_hint,
+        examples,
+        questions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chat::Message;
+
+    fn di_request() -> ChatRequest {
+        ChatRequest::new(vec![
+            Message::system(
+                "You are a database engineer.\n\
+                 You are requested to infer the value of the \"city\" attribute \
+                 based on the values of other attributes.\n\
+                 MUST answer each question in two lines. In the first line, you \
+                 give the reason for the inference. In the second line, you ONLY \
+                 give the value of the \"city\" attribute.",
+            ),
+            Message::user(
+                "Question 1: Record is [name: \"carey's corner\", phone: \"770-933-0909\", city: ???]. \
+                 What is the value of the \"city\" attribute?",
+            ),
+            Message::assistant(
+                "Answer 1: The phone number \"770\" suggests Marietta in Georgia.\nmarietta",
+            ),
+            Message::user(
+                "Question 1: Record is [name: \"blue moon cafe\", phone: \"404-555-1234\", city: ???]. \
+                 What is the value of the \"city\" attribute?\n\
+                 Question 2: Record is [name: \"dixie grill\", phone: \"770-111-2222\", city: ???]. \
+                 What is the value of the \"city\" attribute?",
+            ),
+        ])
+    }
+
+    #[test]
+    fn detects_di_task_and_target() {
+        let c = comprehend(&di_request());
+        assert_eq!(c.task, Some(TaskKind::Imputation));
+        assert_eq!(c.target_attribute.as_deref(), Some("city"));
+        assert!(c.wants_reason);
+        assert!(!c.confirm_target);
+    }
+
+    #[test]
+    fn parses_few_shot_examples() {
+        let c = comprehend(&di_request());
+        assert_eq!(c.examples.len(), 1);
+        let ex = &c.examples[0];
+        assert_eq!(ex.answer, "marietta");
+        assert!(ex.reason.as_deref().unwrap().contains("770"));
+        assert_eq!(ex.instances.len(), 1);
+        assert_eq!(
+            ex.instances[0].get("phone"),
+            Some(&Some("770-933-0909".to_string()))
+        );
+    }
+
+    #[test]
+    fn parses_batched_questions() {
+        let c = comprehend(&di_request());
+        assert_eq!(c.questions.len(), 2);
+        assert_eq!(c.questions[0].number, 1);
+        assert_eq!(c.questions[1].number, 2);
+        assert_eq!(
+            c.questions[1].instances[0].get("phone"),
+            Some(&Some("770-111-2222".to_string()))
+        );
+    }
+
+    #[test]
+    fn detects_ed_with_confirmation() {
+        let req = ChatRequest::new(vec![
+            Message::system(
+                "You are requested to detect whether there is an error in the \
+                 given attribute of the record. Please confirm the target \
+                 attribute in your reason for inference.",
+            ),
+            Message::user(
+                "Question 1: Record is [age: \"250\", sex: \"male\"]. \
+                 Is there an error in the \"age\" attribute?",
+            ),
+        ]);
+        let c = comprehend(&req);
+        assert_eq!(c.task, Some(TaskKind::ErrorDetection));
+        assert!(c.confirm_target);
+        assert_eq!(
+            c.questions[0].target_attribute.as_deref(),
+            Some("age")
+        );
+    }
+
+    #[test]
+    fn detects_matching_tasks() {
+        let em = ChatRequest::new(vec![
+            Message::system("Decide whether the two given records refer to the same entity."),
+            Message::user(
+                "Question 1: Record A is [title: \"iphone 12\"]. Record B is \
+                 [title: \"apple iphone 12\"]. Do they refer to the same entity?",
+            ),
+        ]);
+        let c = comprehend(&em);
+        assert_eq!(c.task, Some(TaskKind::EntityMatching));
+        assert_eq!(c.questions[0].instances.len(), 2);
+
+        let sm = ChatRequest::new(vec![
+            Message::system("Decide whether the two given attributes refer to the same attribute."),
+            Message::user(
+                "Question 1: Attribute A is [name: \"zip\", description: \"postal code\"]. \
+                 Attribute B is [name: \"postcode\", description: \"zip code of address\"]. \
+                 Do they refer to the same attribute?",
+            ),
+        ]);
+        assert_eq!(comprehend(&sm).task, Some(TaskKind::SchemaMatching));
+    }
+
+    #[test]
+    fn type_hint_extraction() {
+        let req = ChatRequest::new(vec![
+            Message::system(
+                "You are requested to infer the value of the \"hoursperweek\" attribute.\n\
+                 The \"hoursperweek\" attribute can be a range of integers.",
+            ),
+            Message::user("Question 1: Record is [age: \"30\", hoursperweek: ???]."),
+        ]);
+        let c = comprehend(&req);
+        assert_eq!(c.type_hint.as_deref(), Some("a range of integers"));
+    }
+
+    #[test]
+    fn unnumbered_single_question() {
+        let req = ChatRequest::new(vec![
+            Message::system("Decide whether the two given records refer to the same entity."),
+            Message::user("Record A is [t: \"x\"]. Record B is [t: \"y\"]. Same entity?"),
+        ]);
+        let c = comprehend(&req);
+        assert_eq!(c.questions.len(), 1);
+        assert_eq!(c.questions[0].number, 1);
+        assert_eq!(c.questions[0].instances.len(), 2);
+    }
+
+    #[test]
+    fn no_reason_requested() {
+        let req = ChatRequest::new(vec![
+            Message::system("Answer each question in one line with only \"yes\" or \"no\"."),
+            Message::user("Question 1: Record A is [a: \"1\"]. Record B is [a: \"1\"]."),
+        ]);
+        assert!(!comprehend(&req).wants_reason);
+    }
+
+    #[test]
+    fn answer_without_reason_parses_single_line() {
+        let (reason, answer) = parse_answer_segment("yes");
+        assert_eq!(reason, None);
+        assert_eq!(answer, "yes");
+        let (reason, answer) = parse_answer_segment("Because of X.\nBecause of Y.\nno");
+        assert_eq!(reason.as_deref(), Some("Because of X. Because of Y."));
+        assert_eq!(answer, "no");
+    }
+
+    #[test]
+    fn split_numbered_handles_noise() {
+        let segs = split_numbered("preamble Question 1: first Question 2: second", "Question");
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0], (1, "first".to_string()));
+        assert_eq!(segs[1], (2, "second".to_string()));
+        // "Question" not followed by "<digits>:" is not a marker.
+        let segs = split_numbered("the Question here Question 1: real", "Question");
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].0, 1);
+        assert_eq!(segs[0].1, "real");
+    }
+}

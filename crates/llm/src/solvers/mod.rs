@@ -1,0 +1,208 @@
+//! Per-task internal solvers.
+//!
+//! Each solver turns one comprehended [`Question`] into an answer plus a
+//! natural-language reason, using only:
+//!
+//! * the question's parsed instances (text the model was shown),
+//! * the model's memorized subset of the world-knowledge corpus,
+//! * criteria *learned from the few-shot examples in the prompt* (ranges of
+//!   clean values, imputation exemplars, matching thresholds),
+//! * decision noise scaled by the model's skill, the sampling temperature,
+//!   batching, and whether chain-of-thought reasoning was requested.
+//!
+//! This is where the paper's ablation effects come from mechanistically:
+//! few-shot examples calibrate criteria/thresholds, the reasoning
+//! instruction enables multi-evidence combination (and makes zero-shot
+//! entity matching conservative), and batching adds a small attention
+//! penalty offset by intra-batch homogeneity.
+
+pub mod di;
+pub mod ed;
+pub mod em;
+pub mod sm;
+
+use rand::rngs::StdRng;
+
+use crate::comprehend::{ComprehendedPrompt, Question, TaskKind};
+use crate::knowledge::{KnowledgeBase, Memorizer};
+use crate::profile::ModelProfile;
+use crate::rng::gaussian;
+
+/// One solved question: the final answer line and the reasoning line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolvedAnswer {
+    /// Final answer ("yes"/"no" for ED/SM/EM, a value for DI).
+    pub answer: String,
+    /// One-sentence reasoning used when the prompt requests it.
+    pub reason: String,
+}
+
+/// Everything a solver needs besides the question itself.
+pub struct SolverContext<'a> {
+    /// The model's capability profile.
+    pub profile: &'a ModelProfile,
+    /// The model's memorization filter over the corpus.
+    pub memorizer: Memorizer,
+    /// The world-knowledge corpus.
+    pub kb: &'a KnowledgeBase,
+    /// The comprehended prompt (components, examples).
+    pub prompt: &'a ComprehendedPrompt,
+    /// Effective decision-noise standard deviation for this request.
+    pub sigma: f64,
+    /// Mean pairwise similarity of the batch's questions (see
+    /// [`batch_homogeneity`]). Homogeneous batches make the model answer
+    /// familiar structure confidently, relaxing its zero-shot conservatism.
+    pub homogeneity: f64,
+    /// Per-request wander of the model's error criteria when no few-shot
+    /// examples anchor them: zero-shot prompts leave "what counts as an
+    /// error" to the model's mood of the moment, so its internal bar
+    /// drifts from request to request. Zero when examples are present.
+    pub criteria_wander: f64,
+}
+
+impl SolverContext<'_> {
+    /// A Gaussian noise sample with the context's sigma.
+    pub fn noise(&self, rng: &mut StdRng) -> f64 {
+        gaussian(rng) * self.sigma
+    }
+
+    /// True when few-shot examples are present.
+    pub fn has_examples(&self) -> bool {
+        !self.prompt.examples.is_empty()
+    }
+}
+
+/// Dispatches a question to the task solver detected from the prompt.
+/// Questions under an unrecognized task produce a refusal answer.
+pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut StdRng) -> SolvedAnswer {
+    match ctx.prompt.task {
+        Some(TaskKind::ErrorDetection) => ed::solve(ctx, question, rng),
+        Some(TaskKind::Imputation) => di::solve(ctx, question, rng),
+        Some(TaskKind::SchemaMatching) => sm::solve(ctx, question, rng),
+        Some(TaskKind::EntityMatching) => em::solve(ctx, question, rng),
+        None => SolvedAnswer {
+            answer: "unclear".into(),
+            reason: "The request does not specify a recognizable task.".into(),
+        },
+    }
+}
+
+/// Calibrates a yes/no decision threshold from few-shot examples.
+///
+/// `score_of` computes the solver's own similarity/evidence score for an
+/// example; examples answered "yes" should score above the threshold and
+/// "no" below. When the examples are separable the threshold is the
+/// midpoint of the separating gap; otherwise (or with one-sided examples)
+/// the default is nudged toward the observed side.
+pub fn calibrate_threshold(
+    default: f64,
+    examples: &[(f64, bool)], // (score, is_positive)
+) -> f64 {
+    let mut pos: Vec<f64> = Vec::new();
+    let mut neg: Vec<f64> = Vec::new();
+    for &(score, positive) in examples {
+        if positive {
+            pos.push(score);
+        } else {
+            neg.push(score);
+        }
+    }
+    pos.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    neg.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // Robustify: with four or more examples on a side, ignore its single
+    // most extreme one (a lone freak example should not wreck the bar).
+    let min_pos: Option<f64> = match pos.len() {
+        0 => None,
+        1..=3 => Some(pos[0]),
+        _ => Some(pos[1]),
+    };
+    let max_neg: Option<f64> = match neg.len() {
+        0 => None,
+        1..=3 => Some(neg[neg.len() - 1]),
+        _ => Some(neg[neg.len() - 2]),
+    };
+    match (max_neg, min_pos) {
+        (Some(n), Some(p)) if n < p => (n + p) / 2.0,
+        (Some(n), Some(p)) => {
+            // Overlapping examples: average, pulled toward the default.
+            0.5 * ((n + p) / 2.0) + 0.5 * default
+        }
+        (Some(n), None) => default.max(n + 0.05),
+        (None, Some(p)) => default.min(p - 0.05),
+        (None, None) => default,
+    }
+}
+
+/// Mean pairwise token-Jaccard similarity of the questions' instance texts —
+/// the "homogeneity" of a batch. Cluster batching raises this, which lowers
+/// effective noise (the paper observes the LLM "identifies commonalities in
+/// questions and generates consistent solutions").
+pub fn batch_homogeneity(questions: &[Question]) -> f64 {
+    if questions.len() < 2 {
+        return 0.0;
+    }
+    let texts: Vec<String> = questions
+        .iter()
+        .map(|q| {
+            q.instances
+                .iter()
+                .map(|i| i.flat_text())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..texts.len() {
+        for j in (i + 1)..texts.len() {
+            total += dprep_text::jaccard_tokens(&texts[i], &texts[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_tabular::context::parse_instance;
+
+    #[test]
+    fn threshold_midpoint_when_separable() {
+        let t = calibrate_threshold(0.5, &[(0.2, false), (0.3, false), (0.8, true), (0.9, true)]);
+        assert!((t - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_one_sided() {
+        assert!(calibrate_threshold(0.5, &[(0.7, true)]) <= 0.65);
+        assert!(calibrate_threshold(0.5, &[(0.6, false)]) >= 0.65);
+        assert_eq!(calibrate_threshold(0.5, &[]), 0.5);
+    }
+
+    #[test]
+    fn threshold_overlapping_blends_with_default() {
+        let t = calibrate_threshold(0.5, &[(0.8, false), (0.4, true)]);
+        assert!(t > 0.4 && t < 0.8);
+    }
+
+    #[test]
+    fn homogeneity_of_similar_batch_is_high() {
+        let make_q = |text: &str| Question {
+            number: 1,
+            instances: vec![parse_instance(text).unwrap()],
+            target_attribute: None,
+            text: text.to_string(),
+        };
+        let similar = vec![
+            make_q("[title: \"apple iphone 12 black\"]"),
+            make_q("[title: \"apple iphone 12 white\"]"),
+        ];
+        let diverse = vec![
+            make_q("[title: \"apple iphone 12 black\"]"),
+            make_q("[title: \"garden hose fifty feet\"]"),
+        ];
+        assert!(batch_homogeneity(&similar) > batch_homogeneity(&diverse));
+        assert_eq!(batch_homogeneity(&similar[..1]), 0.0);
+    }
+}

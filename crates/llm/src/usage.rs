@@ -1,0 +1,123 @@
+//! Token usage and run-level accounting (tokens → dollars → virtual time).
+
+/// Token usage of a single request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Usage {
+    /// Tokens in the prompt (all request messages).
+    pub prompt_tokens: usize,
+    /// Tokens in the generated completion.
+    pub completion_tokens: usize,
+}
+
+impl Usage {
+    /// Prompt + completion tokens.
+    pub fn total_tokens(&self) -> usize {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// Accumulated usage over a run — the quantities in the paper's Table 3
+/// (tokens in millions, cost in dollars, time in hours).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UsageTotals {
+    /// Number of requests issued.
+    pub requests: usize,
+    /// Total prompt tokens.
+    pub prompt_tokens: usize,
+    /// Total completion tokens.
+    pub completion_tokens: usize,
+    /// Total dollar cost.
+    pub cost_usd: f64,
+    /// Total virtual latency in seconds (requests are issued sequentially,
+    /// as the paper's measurements assume).
+    pub latency_secs: f64,
+}
+
+impl UsageTotals {
+    /// Adds one request's usage/cost/latency.
+    pub fn record(&mut self, usage: &Usage, cost_usd: f64, latency_secs: f64) {
+        self.requests += 1;
+        self.prompt_tokens += usage.prompt_tokens;
+        self.completion_tokens += usage.completion_tokens;
+        self.cost_usd += cost_usd;
+        self.latency_secs += latency_secs;
+    }
+
+    /// Merges another totals value (e.g. per-dataset partials).
+    pub fn merge(&mut self, other: &UsageTotals) {
+        self.requests += other.requests;
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+        self.cost_usd += other.cost_usd;
+        self.latency_secs += other.latency_secs;
+    }
+
+    /// Total tokens.
+    pub fn total_tokens(&self) -> usize {
+        self.prompt_tokens + self.completion_tokens
+    }
+
+    /// Total tokens in millions (Table 3's "Tokens (M)" column).
+    pub fn tokens_millions(&self) -> f64 {
+        self.total_tokens() as f64 / 1e6
+    }
+
+    /// Virtual hours (Table 3's "Time (hrs)" column).
+    pub fn hours(&self) -> f64 {
+        self.latency_secs / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_totals_accumulate() {
+        let mut t = UsageTotals::default();
+        t.record(
+            &Usage {
+                prompt_tokens: 100,
+                completion_tokens: 50,
+            },
+            0.01,
+            2.0,
+        );
+        t.record(
+            &Usage {
+                prompt_tokens: 200,
+                completion_tokens: 100,
+            },
+            0.02,
+            3.0,
+        );
+        assert_eq!(t.requests, 2);
+        assert_eq!(t.total_tokens(), 450);
+        assert!((t.cost_usd - 0.03).abs() < 1e-12);
+        assert!((t.latency_secs - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let t = UsageTotals {
+            requests: 1,
+            prompt_tokens: 3_000_000,
+            completion_tokens: 1_000_000,
+            cost_usd: 8.0,
+            latency_secs: 7200.0,
+        };
+        assert!((t.tokens_millions() - 4.0).abs() < 1e-12);
+        assert!((t.hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = UsageTotals::default();
+        a.record(&Usage { prompt_tokens: 1, completion_tokens: 2 }, 0.1, 1.0);
+        let mut b = UsageTotals::default();
+        b.record(&Usage { prompt_tokens: 3, completion_tokens: 4 }, 0.2, 2.0);
+        a.merge(&b);
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.total_tokens(), 10);
+    }
+}

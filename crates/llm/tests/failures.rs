@@ -1,0 +1,168 @@
+//! Failure-injection behaviour of the simulated model, observed through
+//! the public chat API: format violations, batch misalignment, attribute
+//! drift, and context overflow.
+
+use std::sync::Arc;
+
+use dprep_llm::{
+    ChatModel, ChatRequest, Fact, KnowledgeBase, Message, ModelProfile, SimulatedLlm,
+};
+
+fn em_request(n_questions: usize) -> ChatRequest {
+    let mut body = String::new();
+    for i in 1..=n_questions {
+        body.push_str(&format!(
+            "Question {i}: Record A is [title: \"product number {i} deluxe edition\"]. \
+             Record B is [title: \"product number {i} deluxe\"]. \
+             Do they refer to the same entity?\n"
+        ));
+    }
+    ChatRequest::new(vec![
+        Message::system(
+            "You are requested to decide whether the two given records refer to \
+             the same entity. MUST answer each question in one line. After \
+             \"Answer N:\" you ONLY give \"yes\" or \"no\".",
+        ),
+        Message::user(body),
+    ])
+    .with_temperature(0.2)
+}
+
+#[test]
+fn vicuna_rambles_on_imputation_but_mostly_holds_em_format() {
+    let vicuna = SimulatedLlm::new(ModelProfile::vicuna13b(), Arc::new(KnowledgeBase::new()));
+    let mut em_parsed = 0;
+    let mut di_parsed = 0;
+    let n = 60;
+    for i in 0..n {
+        let em = ChatRequest::new(vec![
+            Message::system(
+                "You are requested to decide whether the two given records refer \
+                 to the same entity.",
+            ),
+            Message::user(format!(
+                "Question 1: Record A is [title: \"gadget {i}\"]. Record B is \
+                 [title: \"gadget {i} pro\"]. Do they refer to the same entity?"
+            )),
+        ])
+        .with_temperature(0.2);
+        if dprep_prompt::parse_response(&vicuna.chat(&em).text, false).contains_key(&1) {
+            em_parsed += 1;
+        }
+        let di = ChatRequest::new(vec![
+            Message::system(
+                "You are requested to infer the value of the \"city\" attribute \
+                 based on the values of other attributes. MUST answer each \
+                 question in two lines; give the reason for the inference first.",
+            ),
+            Message::user(format!(
+                "Question 1: Record is [name: \"diner number {i}\", city: ???]. \
+                 What is the value of the \"city\" attribute?"
+            )),
+        ])
+        .with_temperature(0.2);
+        if dprep_prompt::parse_response(&vicuna.chat(&di).text, true).contains_key(&1) {
+            di_parsed += 1;
+        }
+    }
+    assert!(
+        em_parsed > n * 6 / 10,
+        "vicuna should mostly hold EM format: {em_parsed}/{n}"
+    );
+    // On tiny prompts Vicuna parses roughly half the time; in the real runs
+    // (long few-shot prompts near its context limit) this degrades to the
+    // paper's N/A. Here the claim is the task gap.
+    assert!(
+        di_parsed + n / 5 < em_parsed,
+        "imputation format should fail far more often: DI {di_parsed} vs EM {em_parsed}"
+    );
+}
+
+#[test]
+fn gpt4_output_is_nearly_always_parseable() {
+    let gpt4 = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(KnowledgeBase::new()));
+    let mut parsed_questions = 0;
+    let mut total = 0;
+    for seed in 0..20u64 {
+        let model = gpt4.clone().with_seed(seed);
+        let resp = model.chat(&em_request(8));
+        let answers = dprep_prompt::parse_response(&resp.text, false);
+        parsed_questions += answers.len();
+        total += 8;
+    }
+    assert!(
+        parsed_questions as f64 / total as f64 > 0.97,
+        "gpt-4 parse rate {parsed_questions}/{total}"
+    );
+}
+
+#[test]
+fn context_overflow_answers_a_prefix_of_questions() {
+    let mut profile = ModelProfile::gpt35();
+    profile.context_window = 200;
+    let model = SimulatedLlm::new(profile, Arc::new(KnowledgeBase::new()));
+    let resp = model.chat(&em_request(20));
+    let answers = dprep_prompt::parse_response(&resp.text, false);
+    assert!(
+        !answers.is_empty() && answers.len() < 20,
+        "overflowed request should answer a strict prefix, got {}",
+        answers.len()
+    );
+    // Whatever was answered is numbered from 1.
+    assert!(answers.contains_key(&1));
+}
+
+#[test]
+fn attribute_drift_appears_only_without_the_safeguard() {
+    // With the confirmation instruction, the stated target attribute in the
+    // reason always matches the asked attribute; without it, a weak model
+    // sometimes reasons about a different attribute.
+    let mut kb = KnowledgeBase::new();
+    kb.add(Fact::NumericRange {
+        attribute: "age".into(),
+        min: 0.0,
+        max: 110.0,
+    });
+    let model = SimulatedLlm::new(ModelProfile::vicuna13b(), Arc::new(kb));
+
+    let request = |confirm: bool, i: usize| {
+        let mut system = String::from(
+            "You are requested to detect whether there is an error in the given \
+             attribute of the given record. MUST answer each question in two \
+             lines. In the first line, you give the reason for the inference. \
+             In the second line, you ONLY answer \"yes\" or \"no\".",
+        );
+        if confirm {
+            system.push_str(" Please confirm the target attribute in your reason for inference.");
+        }
+        ChatRequest::new(vec![
+            Message::system(system),
+            Message::user(format!(
+                "Question 1: Record is [age: \"4{i}\", city: \"atlanta\", name: \"person {i}\"]. \
+                 Is there an error in the \"age\" attribute?"
+            )),
+        ])
+        .with_temperature(0.2)
+    };
+
+    let mut drifted = 0;
+    for i in 0..80 {
+        let resp = model.chat(&request(false, i));
+        // The solver's reason always names the attribute it actually
+        // checked.
+        if resp.text.contains("\"city\"") || resp.text.contains("\"name\"") {
+            drifted += 1;
+        }
+    }
+    assert!(drifted > 5, "expected visible drift without the safeguard, got {drifted}/80");
+
+    let mut drifted_with = 0;
+    for i in 0..80 {
+        let resp = model.chat(&request(true, i));
+        if resp.text.contains("checked the \"city\"") || resp.text.contains("checked the \"name\"")
+        {
+            drifted_with += 1;
+        }
+    }
+    assert_eq!(drifted_with, 0, "the safeguard pins the target attribute");
+}

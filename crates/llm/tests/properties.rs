@@ -1,0 +1,96 @@
+//! Property tests for the simulated LLM: the chat endpoint is total and
+//! deterministic on arbitrary well-formed requests, and usage accounting is
+//! consistent.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dprep_llm::{
+    ChatModel, ChatRequest, Fact, KnowledgeBase, Message, ModelProfile, SimulatedLlm,
+};
+
+fn any_content() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\n]{0,200}").expect("valid regex")
+}
+
+fn sample_kb() -> Arc<KnowledgeBase> {
+    let mut kb = KnowledgeBase::new();
+    kb.add(Fact::AreaCode {
+        prefix: "770".into(),
+        city: "marietta".into(),
+    });
+    kb.add(Fact::NumericRange {
+        attribute: "age".into(),
+        min: 0.0,
+        max: 110.0,
+    });
+    Arc::new(kb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chat_is_total_on_arbitrary_prompts(
+        system in any_content(),
+        user in any_content(),
+        temperature in 0.0f64..1.5,
+    ) {
+        // Whatever the prompt says — garbage, partial instructions, stray
+        // brackets — the model answers something without panicking.
+        let model = SimulatedLlm::new(ModelProfile::gpt35(), sample_kb());
+        let req = ChatRequest::new(vec![Message::system(system), Message::user(user)])
+            .with_temperature(temperature);
+        let resp = model.chat(&req);
+        prop_assert!(!resp.text.is_empty());
+        prop_assert!(resp.latency_secs > 0.0);
+        prop_assert!(resp.usage.completion_tokens > 0);
+    }
+
+    #[test]
+    fn chat_is_deterministic(user in any_content()) {
+        let model = SimulatedLlm::new(ModelProfile::vicuna13b(), sample_kb());
+        let req = ChatRequest::new(vec![
+            Message::system("Decide whether the two given records refer to the same entity."),
+            Message::user(user),
+        ])
+        .with_temperature(0.2);
+        prop_assert_eq!(model.chat(&req), model.chat(&req));
+    }
+
+    #[test]
+    fn usage_accounting_is_consistent(user in any_content()) {
+        let model = SimulatedLlm::new(ModelProfile::gpt4(), sample_kb());
+        let req = ChatRequest::new(vec![Message::user(user)]).with_temperature(0.65);
+        let resp = model.chat(&req);
+        // Prompt tokens reflect the request text; cost reflects usage.
+        prop_assert_eq!(
+            resp.usage.prompt_tokens,
+            dprep_text::count_tokens(&req.full_text())
+        );
+        let expected_cost = model.cost_usd(&resp.usage);
+        let profile = model.profile();
+        let manual = resp.usage.prompt_tokens as f64 / 1000.0 * profile.pricing.prompt_per_1k
+            + resp.usage.completion_tokens as f64 / 1000.0 * profile.pricing.completion_per_1k;
+        prop_assert!((expected_cost - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memorization_fraction_tracks_coverage(coverage in 0.0f64..1.0) {
+        let mem = dprep_llm::knowledge::Memorizer {
+            model_name: "prop".into(),
+            coverage,
+            seed: 11,
+        };
+        let mut kb = KnowledgeBase::new();
+        for i in 0..400 {
+            kb.add(Fact::Alias {
+                canonical: format!("canon-{i}"),
+                variant: format!("var-{i}"),
+            });
+        }
+        let frac = kb.facts().iter().filter(|f| mem.knows(f)).count() as f64 / 400.0;
+        prop_assert!((frac - coverage).abs() < 0.12, "coverage {coverage:.2}, frac {frac:.2}");
+    }
+}

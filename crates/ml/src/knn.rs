@@ -1,0 +1,121 @@
+//! K-nearest-neighbour classification over dense feature vectors.
+
+/// A k-NN classifier storing its training set.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    examples: Vec<(Vec<f64>, String)>,
+}
+
+impl Knn {
+    /// Creates a classifier with neighbourhood size `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Knn {
+            k,
+            examples: Vec::new(),
+        }
+    }
+
+    /// Adds a training example.
+    pub fn observe(&mut self, features: Vec<f64>, label: impl Into<String>) {
+        self.examples.push((features, label.into()));
+    }
+
+    /// Number of stored examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// True when no examples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Majority label among the `k` nearest neighbours (Euclidean), or
+    /// `None` when untrained. Distance ties are broken by insertion order;
+    /// vote ties by lexicographic label order.
+    pub fn predict(&self, features: &[f64]) -> Option<String> {
+        if self.examples.is_empty() {
+            return None;
+        }
+        let mut dists: Vec<(f64, usize)> = self
+            .examples
+            .iter()
+            .enumerate()
+            .map(|(i, (x, _))| {
+                let d = x
+                    .iter()
+                    .zip(features)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>();
+                (d, i)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1)));
+        let mut votes: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for &(_, i) in dists.iter().take(self.k) {
+            *votes.entry(self.examples[i].1.as_str()).or_insert(0) += 1;
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+            .map(|(label, _)| label.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> Knn {
+        let mut knn = Knn::new(3);
+        knn.observe(vec![0.0, 0.0], "low");
+        knn.observe(vec![0.1, 0.1], "low");
+        knn.observe(vec![0.2, 0.0], "low");
+        knn.observe(vec![5.0, 5.0], "high");
+        knn.observe(vec![5.1, 4.9], "high");
+        knn.observe(vec![4.9, 5.2], "high");
+        knn
+    }
+
+    #[test]
+    fn classifies_by_neighbourhood() {
+        let knn = trained();
+        assert_eq!(knn.predict(&[0.05, 0.05]), Some("low".into()));
+        assert_eq!(knn.predict(&[5.0, 5.1]), Some("high".into()));
+    }
+
+    #[test]
+    fn untrained_returns_none() {
+        let knn = Knn::new(1);
+        assert!(knn.is_empty());
+        assert_eq!(knn.predict(&[1.0]), None);
+    }
+
+    #[test]
+    fn k_larger_than_data_uses_all() {
+        let mut knn = Knn::new(100);
+        knn.observe(vec![0.0], "a");
+        knn.observe(vec![1.0], "a");
+        knn.observe(vec![10.0], "b");
+        assert_eq!(knn.predict(&[0.5]), Some("a".into()));
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let mut knn = Knn::new(2);
+        knn.observe(vec![0.0], "x");
+        knn.observe(vec![2.0], "y");
+        let p1 = knn.predict(&[1.0]);
+        let p2 = knn.predict(&[1.0]);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        Knn::new(0);
+    }
+}

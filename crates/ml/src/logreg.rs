@@ -1,0 +1,178 @@
+//! Binary logistic regression with full-batch gradient descent and L2
+//! regularization.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyperparameters for [`LogisticRegression`].
+#[derive(Debug, Clone)]
+pub struct LogRegConfig {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Number of epochs over the training set.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// RNG seed for example shuffling.
+    pub seed: u64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig {
+            learning_rate: 0.5,
+            epochs: 200,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained binary logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Trains on `(features, label)` pairs. All feature vectors must share a
+    /// dimension; labels are booleans.
+    ///
+    /// # Panics
+    /// Panics when the training set is empty or dimensions differ.
+    pub fn train(examples: &[(Vec<f64>, bool)], config: &LogRegConfig) -> Self {
+        assert!(!examples.is_empty(), "empty training set");
+        let dim = examples[0].0.len();
+        assert!(
+            examples.iter().all(|(x, _)| x.len() == dim),
+            "inconsistent feature dimensions"
+        );
+
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = examples.len() as f64;
+
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            // Mini-batch of 1 (SGD) with per-epoch shuffling.
+            for &i in &order {
+                let (x, y) = &examples[i];
+                let y = f64::from(*y);
+                let z = bias + weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+                let err = sigmoid(z) - y;
+                let lr = config.learning_rate / n.sqrt();
+                for (w, xi) in weights.iter_mut().zip(x) {
+                    *w -= lr * (err * xi + config.l2 * *w);
+                }
+                bias -= lr * err;
+            }
+        }
+        LogisticRegression { weights, bias }
+    }
+
+    /// Probability that `features` belongs to the positive class.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.weights.len(), "dimension mismatch");
+        let z = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(features)
+                .map(|(w, x)| w * x)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// Learned weights (for inspection/tests).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable() -> Vec<(Vec<f64>, bool)> {
+        // Positive when x0 + x1 > 1.
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let a = i as f64 / 20.0;
+            data.push((vec![a, 1.2 - a * 0.1], true));
+            data.push((vec![a * 0.3, 0.2], false));
+        }
+        data
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let data = linearly_separable();
+        let model = LogisticRegression::train(&data, &LogRegConfig::default());
+        let correct = data
+            .iter()
+            .filter(|(x, y)| model.predict(x) == *y)
+            .count();
+        assert_eq!(correct, data.len());
+    }
+
+    #[test]
+    fn proba_monotone_in_evidence() {
+        let data = linearly_separable();
+        let model = LogisticRegression::train(&data, &LogRegConfig::default());
+        assert!(model.predict_proba(&[1.0, 1.0]) > model.predict_proba(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = linearly_separable();
+        let cfg = LogRegConfig::default();
+        let m1 = LogisticRegression::train(&data, &cfg);
+        let m2 = LogisticRegression::train(&data, &cfg);
+        assert_eq!(m1.weights(), m2.weights());
+        assert_eq!(m1.bias(), m2.bias());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_panics() {
+        LogisticRegression::train(&[], &LogRegConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let model =
+            LogisticRegression::train(&[(vec![1.0], true), (vec![0.0], false)], &LogRegConfig::default());
+        model.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_one_class_predicts_that_class() {
+        let data: Vec<(Vec<f64>, bool)> = (0..10).map(|i| (vec![i as f64], true)).collect();
+        let model = LogisticRegression::train(&data, &LogRegConfig::default());
+        assert!(model.predict(&[5.0]));
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-feature standardization (zero mean, unit variance).
+
+/// A fitted standard scaler.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits a scaler to `rows` (all rows must share a dimension).
+    ///
+    /// # Panics
+    /// Panics on an empty input or inconsistent dimensions.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "empty input");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dim];
+        for r in rows {
+            for (m, x) in means.iter_mut().zip(r) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for r in rows {
+            for ((s, x), m) in stds.iter_mut().zip(r).zip(&means) {
+                let d = x - m;
+                *s += d * d;
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            // Constant features scale to zero offset rather than dividing by 0.
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Transforms one row in place.
+    pub fn transform(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        for ((x, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Transforms a batch, returning new rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|r| {
+                let mut r = r.clone();
+                self.transform(&mut r);
+                r
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let out = scaler.transform_all(&rows);
+        for d in 0..2 {
+            let mean: f64 = out.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = out.iter().map(|r| r[d] * r[d]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let out = scaler.transform_all(&rows);
+        assert_eq!(out, vec![vec![0.0], vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        StandardScaler::fit(&[]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Assembles complete chat requests from the framework's components.
+
+use dprep_llm::{ChatRequest, Message};
+
+use crate::fewshot::{render_examples, FewShotExample};
+use crate::task::{Task, TaskInstance};
+use crate::template::{system_message, TemplateOptions};
+
+/// Configuration of one prompt — the component switches of the paper's
+/// Table 2 plus feature selection.
+#[derive(Debug, Clone)]
+pub struct PromptConfig {
+    /// The task being performed.
+    pub task: Task,
+    /// Zero-shot chain-of-thought reasoning (ZS-R).
+    pub reasoning: bool,
+    /// The ED "confirm the target attribute" safeguard.
+    pub confirm_target: bool,
+    /// Optional DI data-type hint `(attribute, hint text)`.
+    pub type_hint: Option<(String, String)>,
+    /// Feature selection (§3.4): indices of attributes to keep in record
+    /// contextualizations. `None` keeps everything.
+    pub feature_indices: Option<Vec<usize>>,
+}
+
+impl PromptConfig {
+    /// A default configuration for `task`: reasoning on, ED confirmation
+    /// on, no hint, no feature selection — the paper's best setting.
+    pub fn best(task: Task) -> Self {
+        PromptConfig {
+            task,
+            reasoning: true,
+            confirm_target: true,
+            type_hint: None,
+            feature_indices: None,
+        }
+    }
+
+    /// Zero-shot task specification only (the Table 2 `ZS-T` row).
+    pub fn zero_shot_task_only(task: Task) -> Self {
+        PromptConfig {
+            task,
+            reasoning: false,
+            confirm_target: false,
+            type_hint: None,
+            feature_indices: None,
+        }
+    }
+}
+
+/// Builds the chat request for one batch of instances.
+///
+/// Message layout (matching §3's framework figure):
+///
+/// 1. system: persona + zero-shot instruction (+ safeguards/hints),
+/// 2. optional user/assistant pair: few-shot questions and answers,
+/// 3. user: the batch questions, numbered `Question 1..k`.
+///
+/// # Panics
+/// Panics when `batch` is empty or an instance's task differs from
+/// `config.task`.
+pub fn build_request(
+    config: &PromptConfig,
+    examples: &[FewShotExample],
+    batch: &[&TaskInstance],
+) -> ChatRequest {
+    assert!(!batch.is_empty(), "cannot build a prompt with no instances");
+    assert!(
+        batch.iter().all(|i| i.task() == config.task),
+        "instance task does not match the prompt configuration"
+    );
+
+    let options = TemplateOptions {
+        reasoning: config.reasoning,
+        confirm_target: config.confirm_target,
+        type_hint: config.type_hint.clone(),
+    };
+    let mut messages = vec![Message::system(system_message(config.task, &options))];
+
+    if let Some((user, assistant)) = render_examples(
+        examples,
+        config.reasoning,
+        config.feature_indices.as_deref(),
+    ) {
+        messages.push(user);
+        messages.push(assistant);
+    }
+
+    let mut body = String::new();
+    for (i, instance) in batch.iter().enumerate() {
+        body.push_str(&format!(
+            "Question {}: {}\n",
+            i + 1,
+            instance.question_text(config.feature_indices.as_deref())
+        ));
+    }
+    messages.push(Message::user(body));
+
+    ChatRequest::new(messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::AttrSpec;
+    use dprep_llm::comprehend::{comprehend, TaskKind};
+    use dprep_llm::Role;
+    use dprep_tabular::{Record, Schema, Value};
+
+    fn di_instance(city_missing: bool) -> TaskInstance {
+        let schema = Schema::all_text(&["name", "phone", "city"]).unwrap().shared();
+        let record = Record::new(
+            schema,
+            vec![
+                Value::text("carey's corner"),
+                Value::text("770-933-0909"),
+                if city_missing {
+                    Value::Missing
+                } else {
+                    Value::text("marietta")
+                },
+            ],
+        )
+        .unwrap();
+        TaskInstance::Imputation {
+            record,
+            attribute: "city".into(),
+        }
+    }
+
+    #[test]
+    fn builds_three_part_request() {
+        let config = PromptConfig::best(Task::Imputation);
+        let examples = vec![FewShotExample::new(
+            di_instance(false),
+            "The 770 area code points to Marietta.",
+            "marietta",
+        )];
+        let inst = di_instance(true);
+        let req = build_request(&config, &examples, &[&inst]);
+        assert_eq!(req.messages.len(), 4);
+        assert_eq!(req.messages[0].role, Role::System);
+        assert_eq!(req.messages[1].role, Role::User);
+        assert_eq!(req.messages[2].role, Role::Assistant);
+        assert_eq!(req.messages[3].role, Role::User);
+    }
+
+    #[test]
+    fn round_trips_through_model_comprehension() {
+        // The critical invariant: whatever this builder emits, the simulated
+        // LLM's reader must understand.
+        let config = PromptConfig::best(Task::Imputation);
+        let examples = vec![FewShotExample::new(
+            di_instance(false),
+            "The 770 area code points to Marietta.",
+            "marietta",
+        )];
+        let inst = di_instance(true);
+        let req = build_request(&config, &examples, &[&inst, &inst]);
+        let c = comprehend(&req);
+        assert_eq!(c.task, Some(TaskKind::Imputation));
+        assert!(c.wants_reason);
+        assert_eq!(c.examples.len(), 1);
+        assert_eq!(c.examples[0].answer, "marietta");
+        assert_eq!(c.questions.len(), 2);
+        assert_eq!(c.questions[0].target_attribute.as_deref(), Some("city"));
+    }
+
+    #[test]
+    fn ed_round_trip_detects_confirmation() {
+        let schema = Schema::all_text(&["age", "city"]).unwrap().shared();
+        let record = Record::new(
+            schema,
+            vec![Value::text("250"), Value::text("atlanta")],
+        )
+        .unwrap();
+        let inst = TaskInstance::ErrorDetection {
+            record,
+            attribute: "age".into(),
+        };
+        let req = build_request(&PromptConfig::best(Task::ErrorDetection), &[], &[&inst]);
+        let c = comprehend(&req);
+        assert_eq!(c.task, Some(TaskKind::ErrorDetection));
+        assert!(c.confirm_target);
+        assert_eq!(c.questions[0].target_attribute.as_deref(), Some("age"));
+    }
+
+    #[test]
+    fn sm_round_trip() {
+        let inst = TaskInstance::SchemaMatching {
+            a: AttrSpec::new("zip", "postal code"),
+            b: AttrSpec::new("postcode", "zip code"),
+        };
+        let req = build_request(&PromptConfig::best(Task::SchemaMatching), &[], &[&inst]);
+        let c = comprehend(&req);
+        assert_eq!(c.task, Some(TaskKind::SchemaMatching));
+        assert_eq!(c.questions[0].instances.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no instances")]
+    fn empty_batch_panics() {
+        build_request(&PromptConfig::best(Task::Imputation), &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn task_mismatch_panics() {
+        let inst = di_instance(true);
+        build_request(&PromptConfig::best(Task::EntityMatching), &[], &[&inst]);
+    }
+}

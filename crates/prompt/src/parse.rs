@@ -1,0 +1,182 @@
+//! Parses completions back into per-question answers.
+//!
+//! The framework instructs models to emit `Answer N:` segments. This parser
+//! recovers them, tolerating reordered numbering; questions whose segment is
+//! missing or malformed come back as `None` (the "unparseable" outcomes
+//! that, at high rates, the paper reports as N/A).
+
+use std::collections::BTreeMap;
+
+/// One extracted answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedAnswer {
+    /// The reasoning line(s), when the two-line format was used.
+    pub reason: Option<String>,
+    /// The final answer value, trimmed.
+    pub value: String,
+}
+
+impl ExtractedAnswer {
+    /// Interprets the value as a yes/no verdict, `None` when it is neither.
+    pub fn as_yes_no(&self) -> Option<bool> {
+        let v = self.value.trim().trim_end_matches('.').to_lowercase();
+        match v.as_str() {
+            "yes" | "y" | "true" => Some(true),
+            "no" | "n" | "false" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// Splits a completion on `Answer N:` markers into `(N, segment)` pairs.
+fn split_answers(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, usize, usize)> = Vec::new(); // (number, content_start, marker_start)
+    let marker = "Answer ";
+    let mut cursor = 0;
+    while let Some(found) = text[cursor..].find(marker) {
+        let at = cursor + found;
+        let after = &text[at + marker.len()..];
+        let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+        let rest = &after[digits.len()..];
+        if !digits.is_empty() && rest.starts_with(':') {
+            let content_start = at + marker.len() + digits.len() + 1;
+            out.push((digits.parse().unwrap_or(0), content_start, at));
+            cursor = content_start;
+        } else {
+            cursor = at + marker.len();
+        }
+    }
+    let mut segments = Vec::with_capacity(out.len());
+    for (i, &(number, start, _)) in out.iter().enumerate() {
+        let end = out.get(i + 1).map_or(text.len(), |&(_, _, next_marker)| next_marker);
+        segments.push((number, text[start..end].trim().to_string()));
+    }
+    segments
+}
+
+/// Parses a completion into answers keyed by question number (1-based).
+///
+/// `expect_reason` says whether the prompt requested the two-line format:
+/// when true, the last line of a segment is the value and the earlier lines
+/// are the reason; when false, the whole segment is the value. Duplicate
+/// numbers keep the first occurrence.
+pub fn parse_response(text: &str, expect_reason: bool) -> BTreeMap<usize, ExtractedAnswer> {
+    let mut answers = BTreeMap::new();
+    for (number, segment) in split_answers(text) {
+        if number == 0 || answers.contains_key(&number) {
+            continue;
+        }
+        let lines: Vec<&str> = segment
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        let extracted = match (expect_reason, lines.as_slice()) {
+            (_, []) => continue,
+            (false, all) => ExtractedAnswer {
+                reason: None,
+                value: all.join(" "),
+            },
+            (true, [only]) => ExtractedAnswer {
+                reason: None,
+                value: (*only).to_string(),
+            },
+            (true, [reason @ .., value]) => ExtractedAnswer {
+                reason: Some(reason.join(" ")),
+                value: (*value).to_string(),
+            },
+        };
+        answers.insert(number, extracted);
+    }
+    answers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_line_answers() {
+        let text = "Answer 1: The area code suggests Marietta.\nmarietta\n\
+                    Answer 2: The brand token is Sony.\nsony\n";
+        let answers = parse_response(text, true);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[&1].value, "marietta");
+        assert_eq!(
+            answers[&1].reason.as_deref(),
+            Some("The area code suggests Marietta.")
+        );
+        assert_eq!(answers[&2].value, "sony");
+    }
+
+    #[test]
+    fn parses_single_line_answers() {
+        let text = "Answer 1: yes\nAnswer 2: no\n";
+        let answers = parse_response(text, false);
+        assert_eq!(answers[&1].value, "yes");
+        assert_eq!(answers[&1].reason, None);
+        assert_eq!(answers[&2].as_yes_no(), Some(false));
+    }
+
+    #[test]
+    fn missing_segments_are_absent() {
+        let text = "Answer 1: yes\nWell, the second question is hard to say.\n";
+        let answers = parse_response(text, false);
+        assert_eq!(answers.len(), 1);
+        assert!(!answers.contains_key(&2));
+    }
+
+    #[test]
+    fn tolerates_out_of_order_numbers() {
+        let text = "Answer 2: no\nAnswer 1: yes\n";
+        let answers = parse_response(text, false);
+        assert_eq!(answers[&1].value, "yes");
+        assert_eq!(answers[&2].value, "no");
+    }
+
+    #[test]
+    fn yes_no_interpretation() {
+        let yes = ExtractedAnswer {
+            reason: None,
+            value: "Yes.".into(),
+        };
+        assert_eq!(yes.as_yes_no(), Some(true));
+        let unclear = ExtractedAnswer {
+            reason: None,
+            value: "possibly".into(),
+        };
+        assert_eq!(unclear.as_yes_no(), None);
+    }
+
+    #[test]
+    fn two_line_with_single_line_fallback() {
+        // Model ignored the reasoning request; the single line is the value.
+        let answers = parse_response("Answer 1: marietta\n", true);
+        assert_eq!(answers[&1].value, "marietta");
+        assert_eq!(answers[&1].reason, None);
+    }
+
+    #[test]
+    fn rambling_without_markers_parses_to_nothing() {
+        let text = "Well, regarding the first question, it is hard to say.";
+        assert!(parse_response(text, true).is_empty());
+    }
+
+    #[test]
+    fn duplicate_numbers_keep_first() {
+        let answers = parse_response("Answer 1: yes\nAnswer 1: no\n", false);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[&1].value, "yes");
+    }
+
+    #[test]
+    fn multi_line_reason_joined() {
+        let text = "Answer 1: First consideration.\nSecond consideration.\nno\n";
+        let answers = parse_response(text, true);
+        assert_eq!(
+            answers[&1].reason.as_deref(),
+            Some("First consideration. Second consideration.")
+        );
+        assert_eq!(answers[&1].value, "no");
+    }
+}

@@ -1,0 +1,282 @@
+//! Task definitions and data instances.
+//!
+//! The paper (§2.1) defines four tasks over relational data, each handling
+//! one record — or one pair — at a time so a prompt is easy to write.
+
+use dprep_tabular::context::{contextualize, contextualize_pairs, contextualize_selected};
+use dprep_tabular::{Record, Value};
+
+/// The four data-preprocessing tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Error detection: is cell `r_j` erroneous?
+    ErrorDetection,
+    /// Data imputation: infer the missing value of cell `r_j`.
+    Imputation,
+    /// Schema matching: do attributes `j` and `j'` refer to the same thing?
+    SchemaMatching,
+    /// Entity matching: do records `r` and `r'` refer to the same entity?
+    EntityMatching,
+}
+
+impl Task {
+    /// Short lowercase identifier (used in reports and file names).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Task::ErrorDetection => "ed",
+            Task::Imputation => "di",
+            Task::SchemaMatching => "sm",
+            Task::EntityMatching => "em",
+        }
+    }
+
+    /// Human-readable task name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Task::ErrorDetection => "error detection",
+            Task::Imputation => "data imputation",
+            Task::SchemaMatching => "schema matching",
+            Task::EntityMatching => "entity matching",
+        }
+    }
+}
+
+/// An attribute presented to schema matching as `(name, description)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+}
+
+impl AttrSpec {
+    /// Builds an attribute spec.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        AttrSpec {
+            name: name.into(),
+            description: description.into(),
+        }
+    }
+
+    /// Contextualized form: `[name: "...", description: "..."]` (§3.3).
+    pub fn contextualize(&self) -> String {
+        contextualize_pairs([
+            ("name", Value::text(self.name.clone())),
+            ("description", Value::text(self.description.clone())),
+        ])
+    }
+}
+
+/// One data instance for one task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskInstance {
+    /// A record and the attribute to check for an error.
+    ErrorDetection {
+        /// The full record.
+        record: Record,
+        /// Name of the attribute under test.
+        attribute: String,
+    },
+    /// A record with a missing cell to impute.
+    Imputation {
+        /// The record; the target cell should be [`Value::Missing`].
+        record: Record,
+        /// Name of the attribute to impute.
+        attribute: String,
+    },
+    /// A pair of attributes to match.
+    SchemaMatching {
+        /// First attribute.
+        a: AttrSpec,
+        /// Second attribute.
+        b: AttrSpec,
+    },
+    /// A pair of records to match.
+    EntityMatching {
+        /// First record.
+        a: Record,
+        /// Second record.
+        b: Record,
+    },
+}
+
+impl TaskInstance {
+    /// The task this instance belongs to.
+    pub fn task(&self) -> Task {
+        match self {
+            TaskInstance::ErrorDetection { .. } => Task::ErrorDetection,
+            TaskInstance::Imputation { .. } => Task::Imputation,
+            TaskInstance::SchemaMatching { .. } => Task::SchemaMatching,
+            TaskInstance::EntityMatching { .. } => Task::EntityMatching,
+        }
+    }
+
+    /// Renders the question body for this instance (without the
+    /// `Question N:` numbering), applying feature selection when
+    /// `feature_indices` is given (§3.4). For ED/DI the target attribute is
+    /// always kept even if not selected.
+    pub fn question_text(&self, feature_indices: Option<&[usize]>) -> String {
+        match self {
+            TaskInstance::ErrorDetection { record, attribute } => {
+                let ctx = render_record(record, feature_indices, Some(attribute));
+                format!(
+                    "Record is {ctx}. Is there an error in the \"{attribute}\" attribute?"
+                )
+            }
+            TaskInstance::Imputation { record, attribute } => {
+                let ctx = render_record(record, feature_indices, Some(attribute));
+                format!(
+                    "Record is {ctx}. What is the value of the \"{attribute}\" attribute?"
+                )
+            }
+            TaskInstance::SchemaMatching { a, b } => format!(
+                "Attribute A is {}. Attribute B is {}. Do they refer to the same attribute?",
+                a.contextualize(),
+                b.contextualize()
+            ),
+            TaskInstance::EntityMatching { a, b } => format!(
+                "Record A is {}. Record B is {}. Do they refer to the same entity?",
+                render_record(a, feature_indices, None),
+                render_record(b, feature_indices, None)
+            ),
+        }
+    }
+
+    /// All instance text concatenated — the string embedded for cluster
+    /// batching.
+    pub fn flat_text(&self) -> String {
+        match self {
+            TaskInstance::ErrorDetection { record, .. }
+            | TaskInstance::Imputation { record, .. } => flat_record(record),
+            TaskInstance::SchemaMatching { a, b } => {
+                format!("{} {} {} {}", a.name, a.description, b.name, b.description)
+            }
+            TaskInstance::EntityMatching { a, b } => {
+                format!("{} {}", flat_record(a), flat_record(b))
+            }
+        }
+    }
+}
+
+fn flat_record(record: &Record) -> String {
+    let mut out = String::new();
+    for v in record.values() {
+        if !v.is_missing() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&v.to_string());
+        }
+    }
+    out
+}
+
+fn render_record(
+    record: &Record,
+    feature_indices: Option<&[usize]>,
+    keep_attribute: Option<&str>,
+) -> String {
+    match feature_indices {
+        None => contextualize(record),
+        Some(indices) => {
+            let mut indices = indices.to_vec();
+            if let Some(keep) = keep_attribute {
+                if let Some(target_idx) = record.schema().index_of(keep) {
+                    if !indices.contains(&target_idx) {
+                        indices.push(target_idx);
+                    }
+                }
+            }
+            indices.retain(|&i| i < record.schema().len());
+            contextualize_selected(record, &indices)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_tabular::Schema;
+
+    fn restaurant() -> Record {
+        let schema = Schema::all_text(&["name", "phone", "type", "city"])
+            .unwrap()
+            .shared();
+        Record::new(
+            schema,
+            vec![
+                Value::text("carey's corner"),
+                Value::text("770-933-0909"),
+                Value::text("hamburgers"),
+                Value::Missing,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn di_question_names_the_target() {
+        let inst = TaskInstance::Imputation {
+            record: restaurant(),
+            attribute: "city".into(),
+        };
+        let q = inst.question_text(None);
+        assert!(q.contains("What is the value of the \"city\" attribute?"));
+        assert!(q.contains("city: ???"));
+        assert_eq!(inst.task(), Task::Imputation);
+    }
+
+    #[test]
+    fn feature_selection_keeps_target() {
+        let inst = TaskInstance::Imputation {
+            record: restaurant(),
+            attribute: "city".into(),
+        };
+        // Select only phone (index 1); target city (index 3) must survive.
+        let q = inst.question_text(Some(&[1]));
+        assert!(q.contains("phone"));
+        assert!(q.contains("city: ???"));
+        assert!(!q.contains("hamburgers"));
+    }
+
+    #[test]
+    fn em_question_has_two_records() {
+        let inst = TaskInstance::EntityMatching {
+            a: restaurant(),
+            b: restaurant(),
+        };
+        let q = inst.question_text(None);
+        assert!(q.contains("Record A is ["));
+        assert!(q.contains("Record B is ["));
+        assert!(q.contains("same entity"));
+    }
+
+    #[test]
+    fn sm_question_contextualizes_attr_specs() {
+        let inst = TaskInstance::SchemaMatching {
+            a: AttrSpec::new("zip", "postal code of address"),
+            b: AttrSpec::new("postcode", "zip code"),
+        };
+        let q = inst.question_text(None);
+        assert!(q.contains("[name: \"zip\", description: \"postal code of address\"]"));
+        assert!(q.contains("same attribute"));
+    }
+
+    #[test]
+    fn flat_text_skips_missing_cells() {
+        let inst = TaskInstance::ErrorDetection {
+            record: restaurant(),
+            attribute: "phone".into(),
+        };
+        let flat = inst.flat_text();
+        assert!(flat.contains("carey's corner"));
+        assert!(!flat.contains("???"));
+    }
+
+    #[test]
+    fn task_ids_are_stable() {
+        assert_eq!(Task::ErrorDetection.id(), "ed");
+        assert_eq!(Task::EntityMatching.name(), "entity matching");
+    }
+}

@@ -1,0 +1,200 @@
+//! Zero-shot instruction templates (§3.1).
+//!
+//! The system message stacks: the database-engineer persona, the task
+//! specification, a description of the contextualization format, the answer
+//! format (two-line with a reasoning line under chain-of-thought, one line
+//! otherwise), and task-specific safeguards — the ED target-attribute
+//! confirmation and the DI data-type hint.
+//!
+//! Wording matters twice here: a real LLM conditions on these exact
+//! sentences, and so does the simulated model's comprehension layer (task
+//! keywords, `"attr"` quoting, the literal word "reason", the phrase
+//! "confirm the target attribute"). Keep the phrasing stable.
+
+use crate::task::Task;
+
+/// The persona line every prompt starts with.
+pub const PERSONA: &str = "You are a database engineer.";
+
+/// Options controlling the zero-shot instruction.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateOptions {
+    /// Include the chain-of-thought answer format (zero-shot reasoning,
+    /// ZS-R in the paper's Table 2).
+    pub reasoning: bool,
+    /// Include the ED safeguard "Please confirm the target attribute…".
+    pub confirm_target: bool,
+    /// Optional DI data-type hint, e.g. `("hoursperweek", "a range of
+    /// integers")`.
+    pub type_hint: Option<(String, String)>,
+}
+
+fn task_specification(task: Task) -> String {
+    match task {
+        Task::ErrorDetection => "You are requested to detect whether there is an error in the \
+             given attribute of the given record. A value is erroneous when it is \
+             misspelled, out of the plausible range, inconsistent with the rest \
+             of the record, or clearly malformed."
+            .to_string(),
+        Task::Imputation => "You are requested to infer the value of the given attribute based \
+             on the values of other attributes in the record. The missing cell \
+             is shown as ???."
+            .to_string(),
+        Task::SchemaMatching => "You are requested to decide whether the two given attributes \
+             refer to the same attribute. Each attribute is presented with its \
+             name and its description."
+            .to_string(),
+        Task::EntityMatching => "You are requested to decide whether the two given records refer \
+             to the same entity. The records come from different sources and \
+             may format the same information differently."
+            .to_string(),
+    }
+}
+
+fn answer_specification(task: Task) -> &'static str {
+    match task {
+        Task::ErrorDetection => {
+            "\"yes\" if the value is erroneous, or \"no\" otherwise"
+        }
+        Task::Imputation => "the inferred value, with no other words",
+        Task::SchemaMatching | Task::EntityMatching => "\"yes\" or \"no\"",
+    }
+}
+
+/// Builds the full system-message text for a task.
+pub fn system_message(task: Task, options: &TemplateOptions) -> String {
+    let mut out = String::new();
+    out.push_str(PERSONA);
+    out.push('\n');
+    out.push_str(&task_specification(task));
+    out.push('\n');
+    out.push_str(
+        "Each record is written as [attribute: \"value\", ...]; every question \
+         is numbered as \"Question N:\" and you MUST number the corresponding \
+         answers the same way as \"Answer N:\", answering every question in \
+         order without skipping any.\n",
+    );
+    if options.reasoning {
+        out.push_str(&format!(
+            "MUST answer each question in two lines. In the first line, you \
+             give the reason for the inference, thinking step by step about \
+             the evidence in the record. In the second line, you ONLY give {}.\n",
+            answer_specification(task)
+        ));
+    } else {
+        out.push_str(&format!(
+            "MUST answer each question in one line. After \"Answer N:\" you \
+             ONLY give {}, with no explanation.\n",
+            answer_specification(task)
+        ));
+    }
+    if options.confirm_target && task == Task::ErrorDetection {
+        out.push_str("Please confirm the target attribute in your reason for inference.\n");
+    }
+    if let Some((attribute, hint)) = &options.type_hint {
+        out.push_str(&format!(
+            "The \"{attribute}\" attribute can be {hint}.\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_text::count_tokens;
+
+    #[test]
+    fn reasoning_variant_mentions_reason() {
+        let text = system_message(
+            Task::ErrorDetection,
+            &TemplateOptions {
+                reasoning: true,
+                confirm_target: true,
+                type_hint: None,
+            },
+        );
+        assert!(text.contains("reason for the inference"));
+        assert!(text.contains("confirm the target attribute"));
+        assert!(text.contains("You are a database engineer."));
+    }
+
+    #[test]
+    fn plain_variant_avoids_the_word_reason() {
+        for task in [
+            Task::ErrorDetection,
+            Task::Imputation,
+            Task::SchemaMatching,
+            Task::EntityMatching,
+        ] {
+            let text = system_message(task, &TemplateOptions::default());
+            assert!(
+                !text.to_lowercase().contains("reason"),
+                "task {task:?} leaked the reasoning marker: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn type_hint_is_rendered() {
+        let text = system_message(
+            Task::Imputation,
+            &TemplateOptions {
+                reasoning: false,
+                confirm_target: false,
+                type_hint: Some(("hoursperweek".into(), "a range of integers".into())),
+            },
+        );
+        assert!(text.contains("The \"hoursperweek\" attribute can be a range of integers."));
+    }
+
+    #[test]
+    fn confirm_target_only_applies_to_ed() {
+        let text = system_message(
+            Task::EntityMatching,
+            &TemplateOptions {
+                reasoning: true,
+                confirm_target: true,
+                type_hint: None,
+            },
+        );
+        assert!(!text.contains("confirm the target attribute"));
+    }
+
+    #[test]
+    fn instruction_weight_matches_table3_economics() {
+        // Table 3's fixed-vs-variable token split implies roughly 150–300
+        // instruction tokens amortized by batching.
+        let text = system_message(
+            Task::ErrorDetection,
+            &TemplateOptions {
+                reasoning: true,
+                confirm_target: true,
+                type_hint: None,
+            },
+        );
+        let tokens = count_tokens(&text);
+        assert!(
+            (120..=320).contains(&tokens),
+            "instruction tokens = {tokens}"
+        );
+    }
+
+    #[test]
+    fn all_tasks_have_distinct_specifications() {
+        let texts: Vec<String> = [
+            Task::ErrorDetection,
+            Task::Imputation,
+            Task::SchemaMatching,
+            Task::EntityMatching,
+        ]
+        .iter()
+        .map(|t| system_message(*t, &TemplateOptions::default()))
+        .collect();
+        for i in 0..texts.len() {
+            for j in (i + 1)..texts.len() {
+                assert_ne!(texts[i], texts[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the prompt layer: the response parser is total
+//! (never panics), and rendering→parsing is a faithful round trip.
+
+use proptest::prelude::*;
+
+use dprep_prompt::parse_response;
+
+fn answer_value() -> impl Strategy<Value = String> {
+    // Single-line, non-blank values without the "Answer " marker inside
+    // (an all-whitespace answer is legitimately unparseable).
+    proptest::string::string_regex("[a-z0-9.,%$-][a-z0-9 .,%$-]{0,24}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn parser_is_total(text in proptest::string::string_regex("(.|\n){0,300}").unwrap(),
+                       expect_reason in proptest::bool::ANY) {
+        let _ = parse_response(&text, expect_reason);
+    }
+
+    #[test]
+    fn rendered_answers_round_trip(values in proptest::collection::vec(answer_value(), 1..8),
+                                   with_reason in proptest::bool::ANY) {
+        let mut text = String::new();
+        for (i, v) in values.iter().enumerate() {
+            if with_reason {
+                text.push_str(&format!("Answer {}: Some reasoning sentence here.\n{v}\n", i + 1));
+            } else {
+                text.push_str(&format!("Answer {}: {v}\n", i + 1));
+            }
+        }
+        let parsed = parse_response(&text, with_reason);
+        prop_assert_eq!(parsed.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            let got = &parsed[&(i + 1)];
+            prop_assert_eq!(got.value.trim(), v.trim());
+            if with_reason {
+                prop_assert_eq!(got.reason.as_deref(), Some("Some reasoning sentence here."));
+            }
+        }
+    }
+
+    #[test]
+    fn parser_answers_subset_of_mentioned_numbers(
+        numbers in proptest::collection::vec(1usize..20, 0..6),
+    ) {
+        let mut text = String::new();
+        for n in &numbers {
+            text.push_str(&format!("Answer {n}: yes\n"));
+        }
+        let parsed = parse_response(&text, false);
+        for key in parsed.keys() {
+            prop_assert!(numbers.contains(key));
+        }
+    }
+}

@@ -1,0 +1,10 @@
+use dprep_prompt::parse_response;
+
+#[test]
+fn garbled_contamination() {
+    let text = "Answer 1: Because the titles agree.\nyes\nWell, regarding the second question, it is hard to say definitively without more context. One might lean toward yes but several caveats apply, and overall I would want to verify further.\nAnswer 3: Because.\nno\n";
+    let answers = parse_response(text, true);
+    println!("answer1 value = {:?}", answers.get(&1).map(|a| a.value.clone()));
+    println!("answer1 yes/no = {:?}", answers.get(&1).and_then(|a| a.as_yes_no()));
+    println!("answer3 = {:?}", answers.get(&3).map(|a| a.value.clone()));
+}

@@ -1,0 +1,298 @@
+//! Minimal RFC-4180-style CSV reading and writing for [`Table`]s.
+//!
+//! Implemented from scratch (no external CSV crate): quoted fields, embedded
+//! commas/newlines, doubled-quote escaping. The first row is the header and
+//! becomes the schema (all-text by default; callers can type columns with
+//! [`read_csv_typed`]).
+
+use std::sync::Arc;
+
+use crate::error::TabularError;
+use crate::schema::{AttrType, Attribute, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Parses a CSV document into raw string rows.
+fn parse_rows(input: &str) -> Result<Vec<Vec<String>>, TabularError> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut field = String::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    field.push('\n');
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(TabularError::CsvParse {
+                            line,
+                            reason: "quote in the middle of an unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TabularError::CsvParse {
+            line,
+            reason: "unterminated quoted field".into(),
+        });
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Reads a CSV document whose header row defines an all-text schema.
+pub fn read_csv(input: &str) -> Result<Table, TabularError> {
+    read_csv_with(input, |_| AttrType::Text)
+}
+
+/// Reads a CSV document, inferring each cell's type with [`Value::infer`].
+/// Column types in the schema are set per `type_of(column name)`.
+pub fn read_csv_typed(input: &str) -> Result<Table, TabularError> {
+    read_csv_with(input, |_| AttrType::Text).map(|table| {
+        // Re-infer values; keep schema text-typed unless a column is fully
+        // numeric, in which case mark it numeric.
+        retype(table)
+    })
+}
+
+fn retype(table: Table) -> Table {
+    let n = table.schema().len();
+    let mut numeric = vec![true; n];
+    let mut inferred_rows: Vec<Vec<Value>> = Vec::with_capacity(table.len());
+    for row in table.rows() {
+        let mut vals = Vec::with_capacity(n);
+        for (i, v) in row.values().iter().enumerate() {
+            let iv = match v {
+                Value::Text(s) => Value::infer(s),
+                other => other.clone(),
+            };
+            if !iv.is_missing() && iv.as_f64().is_none() {
+                numeric[i] = false;
+            }
+            vals.push(iv);
+        }
+        inferred_rows.push(vals);
+    }
+    let attrs: Vec<Attribute> = table
+        .schema()
+        .attributes()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| Attribute {
+            name: a.name.clone(),
+            description: a.description.clone(),
+            dtype: if numeric[i] { AttrType::Numeric } else { AttrType::Text },
+        })
+        .collect();
+    let schema = Schema::new(attrs).expect("names unchanged").shared();
+    let mut out = Table::new(Arc::clone(&schema));
+    for vals in inferred_rows {
+        out.push_values(vals).expect("arity unchanged");
+    }
+    out
+}
+
+fn read_csv_with(
+    input: &str,
+    type_of: impl Fn(&str) -> AttrType,
+) -> Result<Table, TabularError> {
+    let rows = parse_rows(input)?;
+    let mut it = rows.into_iter();
+    let header = it.next().ok_or(TabularError::CsvParse {
+        line: 1,
+        reason: "empty document".into(),
+    })?;
+    let attrs: Vec<Attribute> = header
+        .iter()
+        .map(|name| Attribute {
+            name: name.clone(),
+            description: None,
+            dtype: type_of(name),
+        })
+        .collect();
+    let schema = Schema::new(attrs)?.shared();
+    let mut table = Table::new(Arc::clone(&schema));
+    for (i, row) in it.enumerate() {
+        if row.len() != schema.len() {
+            return Err(TabularError::CsvParse {
+                line: i + 2,
+                reason: format!(
+                    "row has {} fields but header has {}",
+                    row.len(),
+                    schema.len()
+                ),
+            });
+        }
+        let values = row
+            .into_iter()
+            .map(|s| {
+                if s.is_empty() || s == "???" {
+                    Value::Missing
+                } else {
+                    Value::Text(s)
+                }
+            })
+            .collect();
+        table.push_values(values)?;
+    }
+    Ok(table)
+}
+
+fn write_field(out: &mut String, field: &str) {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serializes a table to CSV text (header + rows, `\n` line endings,
+/// missing cells rendered as empty fields).
+pub fn write_csv(table: &Table) -> String {
+    let mut out = String::new();
+    for (i, name) in table.schema().names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, name);
+    }
+    out.push('\n');
+    for row in table.rows() {
+        for (i, v) in row.values().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if !v.is_missing() {
+                write_field(&mut out, &v.to_string());
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_round_trip() {
+        let csv = "name,city\nann,tokyo\nbob,osaka\n";
+        let t = read_csv(csv).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema().names(), vec!["name", "city"]);
+        assert_eq!(write_csv(&t), csv);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "a,b\n\"x, y\",\"say \"\"hi\"\"\"\n";
+        let t = read_csv(csv).unwrap();
+        assert_eq!(t.row(0).unwrap().get(0), Some(&Value::text("x, y")));
+        assert_eq!(t.row(0).unwrap().get(1), Some(&Value::text("say \"hi\"")));
+        // Round-trips through writer.
+        let back = read_csv(&write_csv(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let csv = "a\n\"line1\nline2\"\n";
+        let t = read_csv(csv).unwrap();
+        assert_eq!(t.row(0).unwrap().get(0), Some(&Value::text("line1\nline2")));
+    }
+
+    #[test]
+    fn missing_cells() {
+        let csv = "a,b\n,x\n???,y\n";
+        let t = read_csv(csv).unwrap();
+        assert!(t.row(0).unwrap().get(0).unwrap().is_missing());
+        assert!(t.row(1).unwrap().get(0).unwrap().is_missing());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_csv("a,b\n1\n").unwrap_err();
+        assert!(matches!(err, TabularError::CsvParse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(read_csv("a\n\"open\n").is_err());
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(read_csv("").is_err());
+    }
+
+    #[test]
+    fn typed_reader_infers_numeric_columns() {
+        let t = read_csv_typed("age,name\n30,ann\n40,bob\n").unwrap();
+        assert_eq!(t.schema().attribute(0).unwrap().dtype, AttrType::Numeric);
+        assert_eq!(t.schema().attribute(1).unwrap().dtype, AttrType::Text);
+        assert_eq!(t.row(0).unwrap().get(0), Some(&Value::Int(30)));
+    }
+
+    #[test]
+    fn typed_reader_mixed_column_stays_text() {
+        let t = read_csv_typed("x\n1\nabc\n").unwrap();
+        assert_eq!(t.schema().attribute(0).unwrap().dtype, AttrType::Text);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = read_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.row(0).unwrap().get(1), Some(&Value::text("2")));
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let t = read_csv("a\nlast").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.row(0).unwrap().get(0), Some(&Value::text("last")));
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for the tabular substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TabularError {
+    /// A schema contained two attributes with the same name.
+    DuplicateAttribute {
+        /// The offending attribute name.
+        name: String,
+    },
+    /// A schema attribute had an empty name.
+    EmptyAttributeName {
+        /// Index of the offending attribute.
+        index: usize,
+    },
+    /// A record's arity did not match its schema.
+    ArityMismatch {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of attributes in the schema.
+        expected: usize,
+    },
+    /// An attribute index was out of range.
+    AttributeIndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The schema length.
+        len: usize,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute {
+        /// The requested name.
+        name: String,
+    },
+    /// A CSV document failed to parse.
+    CsvParse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A contextualized instance string failed to parse.
+    ContextParse {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Two records from different schemas were combined.
+    SchemaMismatch,
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute name: {name:?}")
+            }
+            TabularError::EmptyAttributeName { index } => {
+                write!(f, "attribute at index {index} has an empty name")
+            }
+            TabularError::ArityMismatch { got, expected } => {
+                write!(f, "record has {got} values but schema has {expected} attributes")
+            }
+            TabularError::AttributeIndexOutOfRange { index, len } => {
+                write!(f, "attribute index {index} out of range for schema of length {len}")
+            }
+            TabularError::UnknownAttribute { name } => {
+                write!(f, "unknown attribute: {name:?}")
+            }
+            TabularError::CsvParse { line, reason } => {
+                write!(f, "CSV parse error at line {line}: {reason}")
+            }
+            TabularError::ContextParse { reason } => {
+                write!(f, "contextualized instance parse error: {reason}")
+            }
+            TabularError::SchemaMismatch => write!(f, "records belong to different schemas"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TabularError::ArityMismatch { got: 2, expected: 3 };
+        assert!(e.to_string().contains("2 values"));
+        assert!(e.to_string().contains("3 attributes"));
+        let e = TabularError::CsvParse {
+            line: 7,
+            reason: "unterminated quote".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Schemas and attribute metadata.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::TabularError;
+
+/// Declared type of an attribute.
+///
+/// The paper's data model assumes every attribute is numerical (including
+/// binary) or textual (including categorical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Integer- or float-valued, including binary attributes.
+    Numeric,
+    /// Free text or categorical labels.
+    Text,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Numeric => write!(f, "numeric"),
+            AttrType::Text => write!(f, "text"),
+        }
+    }
+}
+
+/// One attribute of a schema: a name, an optional human-readable description
+/// (used by schema matching, where instances are `(name, description)`
+/// pairs), and a declared type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as it appears in prompts.
+    pub name: String,
+    /// Optional description; schema matching relies on it.
+    pub description: Option<String>,
+    /// Declared type.
+    pub dtype: AttrType,
+}
+
+impl Attribute {
+    /// A text attribute with no description.
+    pub fn text(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            description: None,
+            dtype: AttrType::Text,
+        }
+    }
+
+    /// A numeric attribute with no description.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            description: None,
+            dtype: AttrType::Numeric,
+        }
+    }
+
+    /// Attaches a description (builder style).
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+}
+
+/// An ordered list of attributes with unique names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema, validating that attribute names are unique and
+    /// non-empty.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, TabularError> {
+        for (i, a) in attributes.iter().enumerate() {
+            if a.name.trim().is_empty() {
+                return Err(TabularError::EmptyAttributeName { index: i });
+            }
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(TabularError::DuplicateAttribute {
+                    name: a.name.clone(),
+                });
+            }
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_names(names: &[(&str, AttrType)]) -> Result<Self, TabularError> {
+        Schema::new(
+            names
+                .iter()
+                .map(|(n, t)| Attribute {
+                    name: (*n).to_string(),
+                    description: None,
+                    dtype: *t,
+                })
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor where every attribute is textual.
+    pub fn all_text(names: &[&str]) -> Result<Self, TabularError> {
+        Schema::new(names.iter().map(|n| Attribute::text(*n)).collect())
+    }
+
+    /// Wraps the schema in an [`Arc`] for cheap sharing across records.
+    pub fn shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// All attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute at `index`.
+    pub fn attribute(&self, index: usize) -> Option<&Attribute> {
+        self.attributes.get(index)
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Attribute names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Projects the schema onto the attributes at `indices` (in the given
+    /// order). Used by feature selection (§3.4 of the paper).
+    pub fn project(&self, indices: &[usize]) -> Result<Schema, TabularError> {
+        let mut attrs = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let a = self
+                .attributes
+                .get(i)
+                .ok_or(TabularError::AttributeIndexOutOfRange {
+                    index: i,
+                    len: self.attributes.len(),
+                })?
+                .clone();
+            attrs.push(a);
+        }
+        Schema::new(attrs)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::all_text(&["a", "b", "c"]).unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::all_text(&["a", "a"]).unwrap_err();
+        assert!(matches!(err, TabularError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_names() {
+        let err = Schema::all_text(&["a", "  "]).unwrap_err();
+        assert!(matches!(err, TabularError::EmptyAttributeName { index: 1 }));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = abc();
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn projection_selects_and_reorders() {
+        let s = abc();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+    }
+
+    #[test]
+    fn projection_out_of_range_fails() {
+        let s = abc();
+        assert!(matches!(
+            s.project(&[5]),
+            Err(TabularError::AttributeIndexOutOfRange { index: 5, len: 3 })
+        ));
+    }
+
+    #[test]
+    fn display_shows_types() {
+        let s = Schema::from_names(&[("age", AttrType::Numeric), ("city", AttrType::Text)])
+            .unwrap();
+        assert_eq!(s.to_string(), "(age: numeric, city: text)");
+    }
+
+    #[test]
+    fn attribute_builder() {
+        let a = Attribute::text("phone").with_description("contact phone number");
+        assert_eq!(a.description.as_deref(), Some("contact phone number"));
+        assert_eq!(a.dtype, AttrType::Text);
+        let n = Attribute::numeric("age");
+        assert_eq!(n.dtype, AttrType::Numeric);
+    }
+}

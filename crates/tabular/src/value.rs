@@ -1,0 +1,221 @@
+//! Dynamically typed cell values.
+
+use std::fmt;
+
+/// A single cell value in a relational table.
+///
+/// The paper's data model assumes all attributes are either numerical
+/// (including binary) or textual (including categorical); `Missing` models
+/// the `???` placeholder used for data-imputation targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A missing cell. Rendered as `???` in contextualized prompts (§3.3).
+    Missing,
+    /// A binary value.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// Free text or a categorical label.
+    Text(String),
+}
+
+impl Value {
+    /// Builds a text value from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// True when the cell is [`Value::Missing`].
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// Numeric view of the value, if it has one.
+    ///
+    /// `Bool` maps to 0/1 so that binary attributes count as numerical, as in
+    /// the paper's data model.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Text view of the value, if it is textual.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Renders the value the way it appears inside a contextualized prompt:
+    /// missing cells as `???`, everything else via `Display`.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parses a raw string into the most specific value type.
+    ///
+    /// Empty strings and the `???` placeholder become [`Value::Missing`];
+    /// integers, floats, and booleans are detected; everything else is text.
+    pub fn infer(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed == "???" {
+            return Value::Missing;
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = trimmed.parse::<f64>() {
+            if f.is_finite() {
+                return Value::Float(f);
+            }
+        }
+        match trimmed {
+            "true" | "TRUE" | "True" => return Value::Bool(true),
+            "false" | "FALSE" | "False" => return Value::Bool(false),
+            _ => {}
+        }
+        Value::Text(trimmed.to_string())
+    }
+
+    /// A total-order key usable for sorting and deduplication (floats ordered
+    /// by IEEE total ordering).
+    pub fn sort_key(&self) -> (u8, i64, String) {
+        match self {
+            Value::Missing => (0, 0, String::new()),
+            Value::Bool(b) => (1, *b as i64, String::new()),
+            Value::Int(i) => (2, *i, String::new()),
+            Value::Float(f) => (3, f.to_bits() as i64, String::new()),
+            Value::Text(s) => (4, 0, s.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Missing => write!(f, "???"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{:.1}", x)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_renders_as_question_marks() {
+        assert_eq!(Value::Missing.to_string(), "???");
+        assert!(Value::Missing.is_missing());
+    }
+
+    #[test]
+    fn infer_detects_types() {
+        assert_eq!(Value::infer("42"), Value::Int(42));
+        assert_eq!(Value::infer("-7"), Value::Int(-7));
+        assert_eq!(Value::infer("3.25"), Value::Float(3.25));
+        assert_eq!(Value::infer("true"), Value::Bool(true));
+        assert_eq!(Value::infer("False"), Value::Bool(false));
+        assert_eq!(Value::infer("hello"), Value::text("hello"));
+        assert_eq!(Value::infer(""), Value::Missing);
+        assert_eq!(Value::infer("???"), Value::Missing);
+        assert_eq!(Value::infer("  padded  "), Value::text("padded"));
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::text("x").as_f64(), None);
+        assert_eq!(Value::Missing.as_f64(), None);
+    }
+
+    #[test]
+    fn text_view() {
+        assert_eq!(Value::text("abc").as_text(), Some("abc"));
+        assert_eq!(Value::Int(1).as_text(), None);
+    }
+
+    #[test]
+    fn float_display_keeps_one_decimal_for_integral() {
+        assert_eq!(Value::Float(4.0).to_string(), "4.0");
+        assert_eq!(Value::Float(4.5).to_string(), "4.5");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::text("s"));
+    }
+
+    #[test]
+    fn sort_key_orders_distinct_variants() {
+        let mut vals = vec![
+            Value::text("b"),
+            Value::Int(2),
+            Value::Missing,
+            Value::text("a"),
+            Value::Int(1),
+        ];
+        vals.sort_by_key(|v| v.sort_key());
+        assert_eq!(
+            vals,
+            vec![
+                Value::Missing,
+                Value::Int(1),
+                Value::Int(2),
+                Value::text("a"),
+                Value::text("b"),
+            ]
+        );
+    }
+}

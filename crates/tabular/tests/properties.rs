@@ -1,0 +1,103 @@
+//! Property tests for the tabular substrate: contextualization and CSV are
+//! lossless round trips for arbitrary content.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dprep_tabular::context::{contextualize, parse_instance};
+use dprep_tabular::csv::{read_csv, write_csv};
+use dprep_tabular::{Record, Schema, Value};
+
+/// Attribute names: nonempty, no grammar metacharacters (`:,"[]` and
+/// newline are reserved by the contextualization grammar).
+fn attr_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_ -]{0,14}[a-z0-9]".prop_map(|s| s)
+}
+
+/// Cell text: anything printable, including quotes and backslashes (the
+/// grammar escapes them).
+fn cell_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,30}").expect("valid regex")
+}
+
+fn record_strategy() -> impl Strategy<Value = (Vec<String>, Vec<Option<String>>)> {
+    proptest::collection::vec((attr_name(), proptest::option::of(cell_text())), 1..6).prop_map(
+        |pairs| {
+            // Deduplicate names while preserving order.
+            let mut names = Vec::new();
+            let mut values = Vec::new();
+            for (n, v) in pairs {
+                if !names.contains(&n) {
+                    names.push(n);
+                    values.push(v);
+                }
+            }
+            (names, values)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn contextualization_round_trips((names, values) in record_strategy()) {
+        let schema = Schema::all_text(&names.iter().map(String::as_str).collect::<Vec<_>>())
+            .expect("unique names")
+            .shared();
+        let record = Record::new(
+            Arc::clone(&schema),
+            values
+                .iter()
+                .map(|v| match v {
+                    // The grammar renders both missing and the literal "???"
+                    // as ???, so normalize the expectation.
+                    Some(s) if s != "???" => Value::text(s.clone()),
+                    _ => Value::Missing,
+                })
+                .collect(),
+        )
+        .expect("arity");
+        let text = contextualize(&record);
+        let parsed = parse_instance(&text).expect("own output parses");
+        prop_assert_eq!(parsed.fields.len(), names.len());
+        for (i, name) in names.iter().enumerate() {
+            prop_assert_eq!(&parsed.fields[i].0, name);
+            match record.get(i).unwrap() {
+                Value::Missing => prop_assert_eq!(&parsed.fields[i].1, &None),
+                Value::Text(s) => prop_assert_eq!(parsed.fields[i].1.as_deref(), Some(s.as_str())),
+                _ => unreachable!("all-text schema"),
+            }
+        }
+    }
+
+    #[test]
+    fn csv_round_trips((names, values) in record_strategy()) {
+        let schema = Schema::all_text(&names.iter().map(String::as_str).collect::<Vec<_>>())
+            .expect("unique names")
+            .shared();
+        let mut table = dprep_tabular::Table::new(Arc::clone(&schema));
+        table
+            .push_values(
+                values
+                    .iter()
+                    .map(|v| match v {
+                        // Empty strings and "???" read back as missing.
+                        Some(s) if !s.is_empty() && s != "???" => Value::text(s.clone()),
+                        _ => Value::Missing,
+                    })
+                    .collect(),
+            )
+            .expect("arity");
+        let csv = write_csv(&table);
+        let back = read_csv(&csv).expect("own output parses");
+        prop_assert_eq!(back.schema().names(), table.schema().names());
+        prop_assert_eq!(back.row(0).unwrap().values(), table.row(0).unwrap().values());
+    }
+
+    #[test]
+    fn parse_instance_never_panics(text in proptest::string::string_regex(".{0,120}").unwrap()) {
+        // Arbitrary garbage may fail to parse, but must never panic.
+        let _ = parse_instance(&text);
+        let _ = dprep_tabular::context::extract_instances(&text);
+    }
+}

@@ -1,0 +1,62 @@
+//! Character and word n-grams.
+
+/// Character n-grams of `text` (over the raw character sequence, including
+/// spaces). Returns an empty vector when the text is shorter than `n`.
+pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "n-gram size must be positive");
+    let chars: Vec<char> = text.chars().collect();
+    if chars.len() < n {
+        return Vec::new();
+    }
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
+}
+
+/// Word n-grams over whitespace-separated words.
+pub fn word_ngrams(text: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "n-gram size must be positive");
+    let words: Vec<&str> = text.split_whitespace().collect();
+    if words.len() < n {
+        return Vec::new();
+    }
+    (0..=words.len() - n)
+        .map(|i| words[i..i + n].join(" "))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_bigrams() {
+        assert_eq!(char_ngrams("abc", 2), vec!["ab", "bc"]);
+    }
+
+    #[test]
+    fn char_ngrams_short_text() {
+        assert!(char_ngrams("ab", 3).is_empty());
+        assert_eq!(char_ngrams("ab", 2), vec!["ab"]);
+    }
+
+    #[test]
+    fn char_ngrams_unicode() {
+        assert_eq!(char_ngrams("東京タ", 2), vec!["東京", "京タ"]);
+    }
+
+    #[test]
+    fn word_bigrams() {
+        assert_eq!(
+            word_ngrams("new york city", 2),
+            vec!["new york", "york city"]
+        );
+        assert!(word_ngrams("single", 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_n_panics() {
+        char_ngrams("abc", 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! A deterministic subword tokenizer approximating GPT-style BPE.
+//!
+//! The workspace needs token counts for three things the paper measures:
+//! prompt/response usage, dollar cost (price × tokens), and virtual latency
+//! (per-token generation time). A faithful BPE vocabulary is unnecessary —
+//! what matters is that token counts scale like real BPE counts (≈ 4
+//! characters per token on English text, punctuation as separate tokens) and
+//! are stable across runs. This tokenizer:
+//!
+//! 1. splits text into alphanumeric runs and punctuation characters,
+//! 2. keeps short alphanumeric runs (≤ `MAX_PIECE_CHARS` chars) as single
+//!    tokens,
+//! 3. splits longer runs into `MAX_PIECE_CHARS`-char pieces,
+//! 4. emits every punctuation character as its own token; whitespace only
+//!    separates.
+
+/// Maximum characters per subword piece (mirrors BPE's ≈4 chars/token).
+const MAX_PIECE_CHARS: usize = 4;
+
+/// One token: its text and byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's text.
+    pub text: String,
+    /// Byte offset of the token's first character in the source string.
+    pub offset: usize,
+}
+
+/// Tokenizes `text` into subword tokens.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut run_start: Option<usize> = None;
+
+    let flush_run = |tokens: &mut Vec<Token>, text: &str, start: usize, end: usize| {
+        let run = &text[start..end];
+        let chars: Vec<(usize, char)> = run.char_indices().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let piece_end = (i + MAX_PIECE_CHARS).min(chars.len());
+            let byte_start = chars[i].0;
+            let byte_end = if piece_end == chars.len() {
+                run.len()
+            } else {
+                chars[piece_end].0
+            };
+            tokens.push(Token {
+                text: run[byte_start..byte_end].to_string(),
+                offset: start + byte_start,
+            });
+            i = piece_end;
+        }
+    };
+
+    for (i, c) in text.char_indices() {
+        if c.is_alphanumeric() {
+            if run_start.is_none() {
+                run_start = Some(i);
+            }
+        } else {
+            if let Some(start) = run_start.take() {
+                flush_run(&mut tokens, text, start, i);
+            }
+            if !c.is_whitespace() {
+                tokens.push(Token {
+                    text: c.to_string(),
+                    offset: i,
+                });
+            }
+        }
+    }
+    if let Some(start) = run_start {
+        flush_run(&mut tokens, text, start, text.len());
+    }
+    tokens
+}
+
+/// Number of tokens in `text` (see [`tokenize`]) without allocating tokens.
+pub fn count_tokens(text: &str) -> usize {
+    let mut count = 0usize;
+    let mut run_len = 0usize;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            run_len += 1;
+        } else {
+            if run_len > 0 {
+                count += run_len.div_ceil(MAX_PIECE_CHARS);
+                run_len = 0;
+            }
+            if !c.is_whitespace() {
+                count += 1;
+            }
+        }
+    }
+    if run_len > 0 {
+        count += run_len.div_ceil(MAX_PIECE_CHARS);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_text_has_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("   \n\t"), 0);
+    }
+
+    #[test]
+    fn short_words_are_single_tokens() {
+        let toks = tokenize("the cat sat");
+        assert_eq!(
+            toks.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["the", "cat", "sat"]
+        );
+    }
+
+    #[test]
+    fn long_words_split_into_pieces() {
+        let toks = tokenize("preprocessing");
+        // 13 chars -> ceil(13/4) = 4 pieces.
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].text, "prep");
+        assert_eq!(toks[3].text, "g");
+        let rejoined: String = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rejoined, "preprocessing");
+    }
+
+    #[test]
+    fn punctuation_is_tokenized_separately() {
+        let toks = tokenize("a,b.c");
+        assert_eq!(toks.len(), 5);
+        assert_eq!(toks[1].text, ",");
+        assert_eq!(toks[3].text, ".");
+    }
+
+    #[test]
+    fn count_matches_tokenize() {
+        for text in [
+            "",
+            "hello world",
+            "a,b,c",
+            "[name: \"carey's corner\", phone: \"770-933-0909\"]",
+            "antidisestablishmentarianism",
+            "multi\nline\ttext with  spaces",
+        ] {
+            assert_eq!(count_tokens(text), tokenize(text).len(), "for {text:?}");
+        }
+    }
+
+    #[test]
+    fn offsets_point_at_source() {
+        let src = "ab cd";
+        let toks = tokenize(src);
+        assert_eq!(&src[toks[1].offset..toks[1].offset + 2], "cd");
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        let toks = tokenize("café 東京タワー");
+        let rejoined: String = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rejoined, "café東京タワー");
+        assert_eq!(count_tokens("café 東京タワー"), toks.len());
+    }
+
+    #[test]
+    fn token_density_approximates_bpe() {
+        // English prose should land around 0.2–0.5 tokens per character,
+        // similar to real BPE tokenizers.
+        let prose = "Large language models are capable of understanding and \
+                     generating human-like text across a diverse range of topics.";
+        let ratio = count_tokens(prose) as f64 / prose.len() as f64;
+        assert!(ratio > 0.15 && ratio < 0.55, "ratio = {ratio}");
+    }
+}

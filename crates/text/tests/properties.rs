@@ -1,0 +1,72 @@
+//! Property tests for the text substrate: metric bounds, symmetry, and
+//! tokenizer consistency on arbitrary input.
+
+use proptest::prelude::*;
+
+use dprep_text::{
+    count_tokens, dice_char_ngrams, jaccard_tokens, jaro, jaro_winkler, levenshtein, normalize,
+    normalized_levenshtein, tokenize,
+};
+
+fn any_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\u{e9}\u{4e1c}]{0,40}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn count_tokens_matches_tokenize(text in any_text()) {
+        prop_assert_eq!(count_tokens(&text), tokenize(&text).len());
+    }
+
+    #[test]
+    fn tokens_rejoin_to_non_whitespace_content(text in any_text()) {
+        let rejoined: String = tokenize(&text).iter().map(|t| t.text.as_str()).collect();
+        let expected: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+        prop_assert_eq!(rejoined, expected);
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in any_text(), b in any_text(), c in any_text()) {
+        // Symmetry.
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Identity.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn similarity_scores_are_bounded(a in any_text(), b in any_text()) {
+        for s in [
+            normalized_levenshtein(&a, &b),
+            jaro(&a, &b),
+            jaro_winkler(&a, &b),
+            jaccard_tokens(&a, &b),
+            dice_char_ngrams(&a, &b, 2),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "score {s} out of bounds");
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_one(a in any_text()) {
+        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((normalized_levenshtein(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((jaccard_tokens(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_is_idempotent(a in any_text()) {
+        let once = normalize(&a);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    #[test]
+    fn normalize_output_is_clean(a in any_text()) {
+        let n = normalize(&a);
+        prop_assert!(!n.starts_with(' ') && !n.ends_with(' '));
+        prop_assert!(!n.contains("  "), "double space in {n:?}");
+        prop_assert!(n.chars().all(|c| !c.is_ascii_punctuation() || c == ' '));
+        prop_assert!(n.chars().all(|c| !c.is_uppercase()));
+    }
+}

@@ -1,0 +1,72 @@
+//! Cost explorer: sweep batch sizes on a real workload and watch the
+//! paper's Table 3 economics emerge — the fixed instruction tokens amortize
+//! while quality barely moves. Then compare what the same run costs on each
+//! model.
+//!
+//! ```text
+//! cargo run --release --example cost_explorer
+//! ```
+
+use llm_data_preprocessors::core::{ComponentSet, PipelineConfig};
+use llm_data_preprocessors::eval::harness::run_llm_on_dataset;
+use llm_data_preprocessors::llm::ModelProfile;
+use llm_data_preprocessors::prompt::Task;
+
+fn main() {
+    let dataset = llm_data_preprocessors::datasets::dataset_by_name("Adult", 0.2, 7)
+        .expect("known dataset");
+    println!(
+        "workload: Adult error detection, {} cell instances\n",
+        dataset.len()
+    );
+
+    // ── Batch-size sweep (GPT-3.5) ───────────────────────────────────────
+    println!("batch-size sweep (sim-gpt-3.5):");
+    println!("{:>6} {:>8} {:>10} {:>9} {:>10}", "batch", "F1", "tokens", "cost $", "hours");
+    let profile = ModelProfile::gpt35();
+    for batch_size in [1usize, 2, 4, 8, 15] {
+        let components = ComponentSet {
+            few_shot: false,
+            batching: batch_size > 1,
+            reasoning: true,
+        };
+        let mut config = PipelineConfig::ablation(Task::ErrorDetection, components, batch_size);
+        config.confirm_target = true;
+        let scored = run_llm_on_dataset(&profile, &dataset, &config, 7);
+        println!(
+            "{:>6} {:>8} {:>10} {:>9.2} {:>10.2}",
+            batch_size,
+            scored
+                .value
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "N/A".into()),
+            scored.usage.total_tokens(),
+            scored.usage.cost_usd,
+            scored.usage.hours(),
+        );
+    }
+
+    // ── Same workload, different models ──────────────────────────────────
+    println!("\nmodel comparison (best setting, batch 15):");
+    println!("{:>16} {:>8} {:>10} {:>9} {:>10}", "model", "F1", "tokens", "cost $", "hours");
+    for profile in ModelProfile::all_presets() {
+        let config = PipelineConfig::best(Task::ErrorDetection);
+        let scored = run_llm_on_dataset(&profile, &dataset, &config, 7);
+        println!(
+            "{:>16} {:>8} {:>10} {:>9.2} {:>10.2}",
+            profile.name,
+            scored
+                .value
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "N/A".into()),
+            scored.usage.total_tokens(),
+            scored.usage.cost_usd,
+            scored.usage.hours(),
+        );
+    }
+    println!(
+        "\nNote how GPT-4 buys a few F1 points at ~20x the dollar cost — the \
+         trade-off behind the paper's recommendation of GPT-3.5 for large \
+         datasets."
+    );
+}

@@ -1,0 +1,99 @@
+//! Data cleaning on CSV input: load a dirty table from CSV text, run
+//! cell-level error detection with the simulated LLM, and print a cleaned
+//! report — the workflow a downstream user of this library would script.
+//!
+//! ```text
+//! cargo run --release --example data_cleaning_pipeline
+//! ```
+
+use std::sync::Arc;
+
+use llm_data_preprocessors::core::{PipelineConfig, Preprocessor};
+use llm_data_preprocessors::llm::{Fact, KnowledgeBase, ModelProfile, SimulatedLlm};
+use llm_data_preprocessors::prompt::{Task, TaskInstance};
+use llm_data_preprocessors::tabular::csv::read_csv_typed;
+
+const DIRTY_CSV: &str = "\
+name,age,city,hoursperweek
+ann kowalski,34,atlanta,40
+bob tanaka,251,marietta,38
+carol novak,29,mariettaa,45
+dan garcia,41,savannah,999
+erin patel,38,decatur,35
+frank rossi,55,xxxxx,50
+";
+
+fn main() {
+    // ── 1. Load the dirty table ──────────────────────────────────────────
+    let table = read_csv_typed(DIRTY_CSV).expect("valid CSV");
+    println!(
+        "loaded {} rows x {} columns: {}",
+        table.len(),
+        table.schema().len(),
+        table
+            .schema()
+            .names()
+            .join(", ")
+    );
+
+    // ── 2. World knowledge the model brings ──────────────────────────────
+    let mut kb = KnowledgeBase::new();
+    for city in ["atlanta", "marietta", "savannah", "decatur", "roswell"] {
+        kb.add(Fact::LexiconMember {
+            domain: "city".into(),
+            value: city.into(),
+        });
+    }
+    kb.add(Fact::NumericRange {
+        attribute: "age".into(),
+        min: 0.0,
+        max: 110.0,
+    });
+    kb.add(Fact::NumericRange {
+        attribute: "hoursperweek".into(),
+        min: 1.0,
+        max: 99.0,
+    });
+    let model = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(kb));
+
+    // ── 3. One ED instance per checkable cell ────────────────────────────
+    let mut instances = Vec::new();
+    let mut cells = Vec::new();
+    for (row_idx, row) in table.rows().iter().enumerate() {
+        for attribute in ["age", "city", "hoursperweek"] {
+            instances.push(TaskInstance::ErrorDetection {
+                record: row.clone(),
+                attribute: attribute.into(),
+            });
+            cells.push((row_idx, attribute));
+        }
+    }
+
+    // ── 4. Detect ─────────────────────────────────────────────────────────
+    let config = PipelineConfig::best(Task::ErrorDetection);
+    let preprocessor = Preprocessor::new(&model, config);
+    let result = preprocessor.run(&instances, &[]);
+
+    // ── 5. Report ─────────────────────────────────────────────────────────
+    println!("\nflagged cells:");
+    let mut flagged = 0;
+    for ((row_idx, attribute), prediction) in cells.iter().zip(&result.predictions) {
+        if prediction.as_yes_no() == Some(true) {
+            flagged += 1;
+            let row = table.row(*row_idx).expect("in range");
+            let value = row.get_by_name(attribute).expect("known attr");
+            let reason = prediction
+                .answer()
+                .and_then(|a| a.reason.clone())
+                .unwrap_or_default();
+            println!("  row {row_idx}, {attribute} = {value:?}\n    {reason}");
+        }
+    }
+    println!(
+        "\n{} of {} cells flagged; {} tokens, ${:.4} virtual cost",
+        flagged,
+        instances.len(),
+        result.usage.total_tokens(),
+        result.usage.cost_usd
+    );
+}

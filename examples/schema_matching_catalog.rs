@@ -1,0 +1,112 @@
+//! Schema matching between two health-record catalogs: build all attribute
+//! pairs, run the simulated LLM with and without few-shot anchoring, and
+//! show the correspondence table it discovers — including why zero-shot
+//! chain-of-thought alone is nearly useless here (the paper's Table 2
+//! measures it at 5.9 F1).
+//!
+//! ```text
+//! cargo run --release --example schema_matching_catalog
+//! ```
+
+use std::sync::Arc;
+
+use llm_data_preprocessors::core::{ComponentSet, PipelineConfig, Preprocessor};
+use llm_data_preprocessors::llm::{Fact, KnowledgeBase, ModelProfile, SimulatedLlm};
+use llm_data_preprocessors::prompt::{AttrSpec, FewShotExample, Task, TaskInstance};
+
+/// Schema A: a clinical export.
+const SCHEMA_A: &[(&str, &str)] = &[
+    ("pt_id", "unique identifier of the patient"),
+    ("birthdate", "date the patient was born"),
+    ("dx_code", "code of the primary diagnosis"),
+    ("visit_start", "timestamp when the encounter began"),
+];
+
+/// Schema B: an analytics warehouse.
+const SCHEMA_B: &[(&str, &str)] = &[
+    ("person_ref", "primary key of the person table"),
+    ("birth_date", "dob captured at registration"),
+    ("cond_concept", "condition classification entry"),
+    ("payer_id", "identifier of the insurance payer"),
+];
+
+fn main() {
+    // Cross product of attributes = candidate correspondences.
+    let mut instances = Vec::new();
+    let mut pairs = Vec::new();
+    for (name_a, desc_a) in SCHEMA_A {
+        for (name_b, desc_b) in SCHEMA_B {
+            instances.push(TaskInstance::SchemaMatching {
+                a: AttrSpec::new(name_a.replace('_', " "), *desc_a),
+                b: AttrSpec::new(name_b.replace('_', " "), *desc_b),
+            });
+            pairs.push((*name_a, *name_b));
+        }
+    }
+
+    // The synonym facts a strong model memorized from health-data text.
+    let mut kb = KnowledgeBase::new();
+    kb.add(Fact::AttrSynonym {
+        a: "pt id".into(),
+        b: "person ref".into(),
+    });
+    kb.add(Fact::AttrSynonym {
+        a: "dx code".into(),
+        b: "cond concept".into(),
+    });
+    let model = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(kb));
+
+    let examples = vec![
+        FewShotExample::new(
+            TaskInstance::SchemaMatching {
+                a: AttrSpec::new("last name", "family name of the patient"),
+                b: AttrSpec::new("family_name", "surname on record"),
+            },
+            "Both attributes denote the surname.",
+            "yes",
+        ),
+        FewShotExample::new(
+            TaskInstance::SchemaMatching {
+                a: AttrSpec::new("enc id", "identifier of the clinical encounter"),
+                b: AttrSpec::new("visit_occurrence", "visit this row belongs to"),
+            },
+            "\"enc id\" abbreviates the encounter identifier, which is what a \
+             visit occurrence row is keyed by.",
+            "yes",
+        ),
+        FewShotExample::new(
+            TaskInstance::SchemaMatching {
+                a: AttrSpec::new("city", "city of residence"),
+                b: AttrSpec::new("device_udi", "unique device identifier in use"),
+            },
+            "A city and a device identifier are unrelated concepts.",
+            "no",
+        ),
+    ];
+
+    for (label, few_shot) in [("zero-shot (reasoning only)", false), ("few-shot anchored", true)] {
+        let mut config = PipelineConfig::best(Task::SchemaMatching);
+        config.components = ComponentSet {
+            few_shot,
+            batching: true,
+            reasoning: true,
+        };
+        let preprocessor = Preprocessor::new(&model, config);
+        let result = preprocessor.run(&instances, &examples);
+        let matches: Vec<&(&str, &str)> = pairs
+            .iter()
+            .zip(&result.predictions)
+            .filter(|(_, p)| p.as_yes_no() == Some(true))
+            .map(|(pair, _)| pair)
+            .collect();
+        println!("{label}: {} of {} pairs matched", matches.len(), pairs.len());
+        for (a, b) in &matches {
+            println!("  {a} <-> {b}");
+        }
+        println!();
+    }
+    println!(
+        "Ground truth: pt_id<->person_ref, birthdate<->birth_date, \
+         dx_code<->cond_concept (visit_start and payer_id have no partner)."
+    );
+}

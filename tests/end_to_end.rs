@@ -1,0 +1,140 @@
+//! Cross-crate integration: generated datasets through the full pipeline,
+//! checking the orderings the paper's narrative depends on.
+
+use llm_data_preprocessors::core::{ComponentSet, PipelineConfig};
+use llm_data_preprocessors::eval::harness::{default_batch_size, run_llm_on_dataset};
+use llm_data_preprocessors::llm::ModelProfile;
+
+fn best(profile: &ModelProfile, ds: &llm_data_preprocessors::datasets::Dataset) -> PipelineConfig {
+    let mut config = PipelineConfig::best(ds.task);
+    config.batch_size = default_batch_size(profile);
+    config.feature_indices = ds.informative_features.clone();
+    config.type_hint = ds.type_hint.clone();
+    config
+}
+
+#[test]
+fn gpt4_beats_vicuna_on_entity_matching() {
+    let ds = llm_data_preprocessors::datasets::dataset_by_name("Beer", 1.0, 11).unwrap();
+    let gpt4 = ModelProfile::gpt4();
+    let vicuna = ModelProfile::vicuna13b();
+    let s4 = run_llm_on_dataset(&gpt4, &ds, &best(&gpt4, &ds), 11);
+    let sv = run_llm_on_dataset(&vicuna, &ds, &best(&vicuna, &ds), 11);
+    let f4 = s4.value.expect("gpt-4 parses");
+    if let Some(fv) = sv.value {
+        assert!(f4 > fv + 5.0, "gpt4 {f4:.1} vs vicuna {fv:.1}");
+    }
+    // Vicuna is at least degraded: high unparse rate or far lower F1.
+    assert!(sv.unparsed_rate > 0.05 || sv.value.unwrap_or(0.0) < f4);
+}
+
+#[test]
+fn few_shot_prompting_lifts_error_detection() {
+    let ds = llm_data_preprocessors::datasets::dataset_by_name("Adult", 0.25, 3).unwrap();
+    let profile = ModelProfile::gpt35();
+    let zs = PipelineConfig::ablation(
+        ds.task,
+        ComponentSet { few_shot: false, batching: true, reasoning: true },
+        15,
+    );
+    let fs = PipelineConfig::ablation(
+        ds.task,
+        ComponentSet { few_shot: true, batching: true, reasoning: true },
+        15,
+    );
+    let zs_score = run_llm_on_dataset(&profile, &ds, &zs, 3).value.unwrap();
+    let fs_score = run_llm_on_dataset(&profile, &ds, &fs, 3).value.unwrap();
+    assert!(
+        fs_score > zs_score + 5.0,
+        "few-shot should lift ED: zs {zs_score:.1}, fs {fs_score:.1}"
+    );
+}
+
+#[test]
+fn reasoning_lifts_error_detection() {
+    let ds = llm_data_preprocessors::datasets::dataset_by_name("Hospital", 0.1, 5).unwrap();
+    let profile = ModelProfile::gpt35();
+    let plain = PipelineConfig::ablation(
+        ds.task,
+        ComponentSet { few_shot: false, batching: true, reasoning: false },
+        15,
+    );
+    let reasoned = PipelineConfig::ablation(
+        ds.task,
+        ComponentSet { few_shot: false, batching: true, reasoning: true },
+        15,
+    );
+    let p = run_llm_on_dataset(&profile, &ds, &plain, 5).value.unwrap();
+    let r = run_llm_on_dataset(&profile, &ds, &reasoned, 5).value.unwrap();
+    assert!(r > p + 10.0, "reasoning should lift Hospital ED: {p:.1} -> {r:.1}");
+}
+
+#[test]
+fn batching_cuts_tokens_without_wrecking_quality() {
+    let ds = llm_data_preprocessors::datasets::dataset_by_name("Adult", 0.1, 9).unwrap();
+    let profile = ModelProfile::gpt35();
+    let single = PipelineConfig::ablation(
+        ds.task,
+        ComponentSet { few_shot: false, batching: false, reasoning: true },
+        1,
+    );
+    let batched = PipelineConfig::ablation(
+        ds.task,
+        ComponentSet { few_shot: false, batching: true, reasoning: true },
+        15,
+    );
+    let s = run_llm_on_dataset(&profile, &ds, &single, 9);
+    let b = run_llm_on_dataset(&profile, &ds, &batched, 9);
+    assert!(
+        (b.usage.total_tokens() as f64) < s.usage.total_tokens() as f64 * 0.75,
+        "batching should cut tokens: {} -> {}",
+        s.usage.total_tokens(),
+        b.usage.total_tokens()
+    );
+    assert!(b.usage.latency_secs < s.usage.latency_secs);
+    assert!(b.usage.cost_usd < s.usage.cost_usd);
+    let (sv, bv) = (s.value.unwrap(), b.value.unwrap());
+    assert!((sv - bv).abs() < 25.0, "quality roughly stable: {sv:.1} vs {bv:.1}");
+}
+
+#[test]
+fn gpt4_costs_more_per_token_than_gpt35() {
+    let ds = llm_data_preprocessors::datasets::dataset_by_name("Restaurant", 1.0, 2).unwrap();
+    let gpt35 = ModelProfile::gpt35();
+    let gpt4 = ModelProfile::gpt4();
+    let s35 = run_llm_on_dataset(&gpt35, &ds, &best(&gpt35, &ds), 2);
+    let s4 = run_llm_on_dataset(&gpt4, &ds, &best(&gpt4, &ds), 2);
+    let per35 = s35.usage.cost_usd / s35.usage.total_tokens() as f64;
+    let per4 = s4.usage.cost_usd / s4.usage.total_tokens() as f64;
+    assert!(per4 > per35 * 5.0, "gpt-4 per-token cost {per4:.2e} vs {per35:.2e}");
+}
+
+#[test]
+fn imputation_accuracy_tracks_knowledge_coverage() {
+    // Restaurant city imputation is knowledge-bound: the stronger model's
+    // broader memorized corpus must not score worse.
+    let ds = llm_data_preprocessors::datasets::dataset_by_name("Restaurant", 1.0, 13).unwrap();
+    let gpt4 = ModelProfile::gpt4();
+    let vicuna = ModelProfile::vicuna13b();
+    let s4 = run_llm_on_dataset(&gpt4, &ds, &best(&gpt4, &ds), 13);
+    let sv = run_llm_on_dataset(&vicuna, &ds, &best(&vicuna, &ds), 13);
+    let f4 = s4.value.expect("gpt-4 parses");
+    assert!(f4 > 80.0, "gpt-4 restaurant accuracy {f4:.1}");
+    // Vicuna rambles on free-form imputation: N/A, exactly as in Table 1.
+    assert!(sv.value.is_none(), "vicuna should be N/A (unparsed {:.2})", sv.unparsed_rate);
+}
+
+#[test]
+fn all_twelve_datasets_run_through_the_pipeline() {
+    let profile = ModelProfile::gpt35();
+    for ds in llm_data_preprocessors::datasets::all_datasets(0.03, 21) {
+        let scored = run_llm_on_dataset(&profile, &ds, &best(&profile, &ds), 21);
+        assert!(scored.usage.requests > 0, "{} issued no requests", ds.name);
+        assert!(
+            scored.unparsed_rate < 0.5,
+            "{} mostly unparseable ({:.2})",
+            ds.name,
+            scored.unparsed_rate
+        );
+    }
+}

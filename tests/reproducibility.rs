@@ -1,0 +1,100 @@
+//! Determinism guarantees: the whole stack — generation, prompting,
+//! simulation, parsing, scoring — is a pure function of its seeds.
+
+use llm_data_preprocessors::core::PipelineConfig;
+use llm_data_preprocessors::eval::harness::run_llm_on_dataset;
+use llm_data_preprocessors::llm::{ChatModel, ChatRequest, Message, ModelProfile, SimulatedLlm};
+use std::sync::Arc;
+
+#[test]
+fn identical_runs_produce_identical_scores_and_usage() {
+    let profile = ModelProfile::gpt35();
+    let run = || {
+        let ds = llm_data_preprocessors::datasets::dataset_by_name("Beer", 0.5, 77).unwrap();
+        let config = PipelineConfig::best(ds.task);
+        let scored = run_llm_on_dataset(&profile, &ds, &config, 77);
+        (
+            scored.value.map(|v| (v * 1000.0).round() as i64),
+            scored.usage.total_tokens(),
+            (scored.usage.cost_usd * 1e9).round() as i64,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_simulation_seeds_change_something() {
+    let profile = ModelProfile::vicuna13b();
+    let ds = llm_data_preprocessors::datasets::dataset_by_name("Amazon-Google", 0.1, 5).unwrap();
+    let config = PipelineConfig::best(ds.task);
+    let a = run_llm_on_dataset(&profile, &ds, &config, 1);
+    let b = run_llm_on_dataset(&profile, &ds, &config, 2);
+    assert!(
+        a.value != b.value || a.usage.total_tokens() != b.usage.total_tokens(),
+        "seeds should perturb a noisy model's run"
+    );
+}
+
+#[test]
+fn chat_responses_are_pure_functions_of_requests() {
+    let mut kb = llm_data_preprocessors::llm::KnowledgeBase::new();
+    kb.add(llm_data_preprocessors::llm::Fact::AreaCode {
+        prefix: "770".into(),
+        city: "marietta".into(),
+    });
+    let kb = Arc::new(kb);
+    let model = SimulatedLlm::new(ModelProfile::gpt35(), Arc::clone(&kb));
+    let req = ChatRequest::new(vec![
+        Message::system(
+            "You are requested to infer the value of the \"city\" attribute \
+             based on the values of other attributes.",
+        ),
+        Message::user("Question 1: Record is [phone: \"770-933-0909\", city: ???]."),
+    ])
+    .with_temperature(0.75);
+    let r1 = model.chat(&req);
+    let r2 = model.chat(&req);
+    assert_eq!(r1, r2);
+
+    // A one-character prompt change redraws the stochastic layer but stays
+    // deterministic.
+    let req2 = ChatRequest::new(vec![
+        Message::system(
+            "You are requested to infer the value of the \"city\" attribute \
+             based on the values of other attributes!",
+        ),
+        Message::user("Question 1: Record is [phone: \"770-933-0909\", city: ???]."),
+    ])
+    .with_temperature(0.75);
+    let r3 = model.chat(&req2);
+    assert_eq!(r3, model.chat(&req2));
+}
+
+#[test]
+fn memorization_is_stable_across_requests() {
+    // A fact a model knows in one request it knows in every request.
+    let ds = llm_data_preprocessors::datasets::dataset_by_name("Restaurant", 1.0, 4).unwrap();
+    let model = SimulatedLlm::new(ModelProfile::gpt35(), Arc::new(ds.kb.clone()));
+    let mem = model.memorizer();
+    let known: Vec<bool> = ds.kb.facts().iter().map(|f| mem.knows(f)).collect();
+    let mem2 = model.memorizer();
+    let known2: Vec<bool> = ds.kb.facts().iter().map(|f| mem2.knows(f)).collect();
+    assert_eq!(known, known2);
+    // And the coverage fraction is in the right ballpark.
+    let frac = known.iter().filter(|k| **k).count() as f64 / known.len() as f64;
+    assert!(
+        (0.75..=1.0).contains(&frac),
+        "gpt-3.5 should memorize most of the restaurant corpus, got {frac:.2}"
+    );
+}
+
+#[test]
+fn dataset_generation_is_seed_stable_across_scales() {
+    // Scaling down does not reshuffle what is generated at a given seed in
+    // some chaotic way: validation and counts stay coherent.
+    for scale in [0.05, 0.2, 1.0] {
+        let ds = llm_data_preprocessors::datasets::dataset_by_name("Buy", scale, 99).unwrap();
+        ds.validate().unwrap();
+        assert_eq!(ds.len(), ((65.0 * scale).round() as usize).max(4));
+    }
+}
