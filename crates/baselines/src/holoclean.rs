@@ -68,7 +68,8 @@ impl HoloCleanStyle {
             let n = values.len() as f64;
             let mean = values.iter().sum::<f64>() / n;
             let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-            self.numeric_stats.insert(name, (mean, var.sqrt().max(1e-9)));
+            self.numeric_stats
+                .insert(name, (mean, var.sqrt().max(1e-9)));
         }
     }
 

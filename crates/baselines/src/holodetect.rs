@@ -77,7 +77,9 @@ fn cell_of(instance: &TaskInstance) -> Option<(&str, &Value)> {
     let TaskInstance::ErrorDetection { record, attribute } = instance else {
         return None;
     };
-    record.get_by_name(attribute).map(|v| (attribute.as_str(), v))
+    record
+        .get_by_name(attribute)
+        .map(|v| (attribute.as_str(), v))
 }
 
 impl HoloDetectStyle {
@@ -201,9 +203,7 @@ impl HoloDetectStyle {
         let profile = self.profiles.get(attribute);
 
         let freq = profile
-            .map(|p| {
-                p.counts.get(&rendered).copied().unwrap_or(0) as f64 / p.total.max(1) as f64
-            })
+            .map(|p| p.counts.get(&rendered).copied().unwrap_or(0) as f64 / p.total.max(1) as f64)
             .unwrap_or(0.0);
         let z = match (value.as_f64(), profile) {
             (Some(n), Some(p)) if p.mad > 0.0 => ((n - p.median) / p.mad).abs().min(10.0),

@@ -1,0 +1,67 @@
+//! Serial vs parallel executor benchmark: the same execution plan
+//! dispatched with 1, 2, 4, and 8 worker threads.
+//!
+//! Besides timing, the run cross-checks that every worker count produces
+//! bit-identical predictions and usage — the executor's determinism
+//! contract — and reports the wall-clock speed-up over serial dispatch.
+//!
+//! Run with `cargo bench -p dprep-bench --bench executor`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dprep_core::{PipelineConfig, Preprocessor};
+use dprep_llm::{ModelProfile, SimulatedLlm};
+
+fn main() {
+    let ds = dprep_datasets::dataset_by_name("Adult", 0.25, 0).expect("known dataset");
+    let model = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(ds.kb.clone()));
+    let instances = &ds.instances;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "executor: {} instances of {:?}, batch size {}, {} core(s) available",
+        instances.len(),
+        ds.task,
+        PipelineConfig::best(ds.task).batch_size,
+        cores
+    );
+    if cores == 1 {
+        println!("(single core: expect speedup ~x1.00 — this run checks determinism)");
+    }
+
+    let reference = {
+        let config = PipelineConfig::best(ds.task);
+        Preprocessor::new(&model, config).run(instances, &ds.few_shot)
+    };
+
+    let mut serial_secs = None;
+    for workers in [1usize, 2, 4, 8] {
+        let mut config = PipelineConfig::best(ds.task);
+        config.workers = workers;
+        let pre = Preprocessor::new(&model, config);
+
+        // Warm-up + determinism check.
+        let result = pre.run(instances, &ds.few_shot);
+        assert_eq!(
+            result.predictions, reference.predictions,
+            "workers={workers} diverged from serial predictions"
+        );
+        assert_eq!(
+            result.usage, reference.usage,
+            "workers={workers} diverged from serial usage"
+        );
+
+        let iters = 5u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(pre.run(std::hint::black_box(instances), &ds.few_shot));
+        }
+        let secs = start.elapsed().as_secs_f64() / f64::from(iters);
+        let serial = *serial_secs.get_or_insert(secs);
+        println!(
+            "workers={workers}  {:>9.3} ms/run  speedup x{:.2}  (bit-identical to serial)",
+            secs * 1e3,
+            serial / secs
+        );
+    }
+}

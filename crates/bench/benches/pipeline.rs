@@ -1,35 +1,33 @@
-//! Criterion benchmarks of the end-to-end pipeline and the baselines:
-//! simulated-LLM chat throughput per task, batching effect on wall time,
-//! and baseline training.
+//! Benchmarks of the end-to-end pipeline and the baselines: simulated-LLM
+//! chat throughput per task, batching effect on wall time, and baseline
+//! training.
+//!
+//! Run with `cargo bench -p dprep-bench --bench pipeline`.
 
 use std::sync::Arc;
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use dprep_baselines::DittoStyle;
+use dprep_bench::timing::{bench, black_box, section};
 use dprep_core::{ComponentSet, PipelineConfig, Preprocessor};
 use dprep_llm::{ModelProfile, SimulatedLlm};
 use dprep_prompt::TaskInstance;
 
-fn bench_pipeline_tasks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_64_instances");
+fn main() {
+    section("pipeline_64_instances");
     for name in ["Beer", "Restaurant", "Adult"] {
         let ds = dprep_datasets::dataset_by_name(name, 1.0, 0).expect("known dataset");
         let instances = &ds.instances[..64.min(ds.len())];
         let model = SimulatedLlm::new(ModelProfile::gpt35(), Arc::new(ds.kb.clone()));
         let config = PipelineConfig::best(ds.task);
-        group.bench_with_input(BenchmarkId::new("best_setting", name), &(), |b, ()| {
-            let pre = Preprocessor::new(&model, config.clone());
-            b.iter(|| pre.run(black_box(instances), black_box(&ds.few_shot)))
+        let pre = Preprocessor::new(&model, config);
+        bench(&format!("pipeline/best_setting/{name}"), || {
+            pre.run(black_box(instances), black_box(&ds.few_shot))
         });
     }
-    group.finish();
-}
 
-fn bench_batch_sizes(c: &mut Criterion) {
+    section("batching_wall_time");
     let ds = dprep_datasets::dataset_by_name("Adult", 0.05, 0).expect("known dataset");
     let model = SimulatedLlm::new(ModelProfile::gpt35(), Arc::new(ds.kb.clone()));
-    let mut group = c.benchmark_group("batching_wall_time");
     for batch_size in [1usize, 15] {
         let components = ComponentSet {
             few_shot: false,
@@ -37,19 +35,13 @@ fn bench_batch_sizes(c: &mut Criterion) {
             reasoning: true,
         };
         let config = PipelineConfig::ablation(ds.task, components, batch_size);
-        group.bench_with_input(
-            BenchmarkId::new("adult_ed", batch_size),
-            &batch_size,
-            |b, _| {
-                let pre = Preprocessor::new(&model, config.clone());
-                b.iter(|| pre.run(black_box(&ds.instances), &[]))
-            },
-        );
+        let pre = Preprocessor::new(&model, config);
+        bench(&format!("batching/adult_ed/batch={batch_size}"), || {
+            pre.run(black_box(&ds.instances), &[])
+        });
     }
-    group.finish();
-}
 
-fn bench_baseline_training(c: &mut Criterion) {
+    section("baseline_training");
     let train = dprep_datasets::beer::generate(4.0, 1);
     let labeled: Vec<(TaskInstance, bool)> = train
         .instances
@@ -57,19 +49,9 @@ fn bench_baseline_training(c: &mut Criterion) {
         .zip(&train.labels)
         .map(|(i, l)| (i.clone(), l.as_bool().unwrap()))
         .collect();
-    c.bench_function("baseline/ditto_fit_364_pairs", |b| {
-        b.iter(|| {
-            let mut model = DittoStyle::default();
-            model.fit(black_box(&labeled));
-            model
-        })
+    bench("baseline/ditto_fit_364_pairs", || {
+        let mut model = DittoStyle::default();
+        model.fit(black_box(&labeled));
+        model
     });
 }
-
-criterion_group!(
-    benches,
-    bench_pipeline_tasks,
-    bench_batch_sizes,
-    bench_baseline_training
-);
-criterion_main!(benches);

@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks of the substrates: tokenizer throughput,
-//! embedding, k-means, string similarity, and prompt assembly.
+//! Micro-benchmarks of the substrates: tokenizer throughput, embedding,
+//! k-means, string similarity, and prompt assembly.
+//!
+//! Run with `cargo bench -p dprep-bench --bench substrates`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use dprep_bench::timing::{bench, black_box, section};
 use dprep_embed::{kmeans, HashedNgramEmbedder};
 use dprep_prompt::{build_request, PromptConfig, Task};
 use dprep_text::{count_tokens, jaro_winkler, levenshtein};
@@ -12,67 +13,51 @@ const PROSE: &str = "Large language models are capable of understanding and \
      finding applications in numerous data preprocessing tasks such as \
      error detection, data imputation, schema matching, and entity matching.";
 
-fn bench_tokenizer(c: &mut Criterion) {
-    c.bench_function("tokenizer/count_tokens_prose", |b| {
-        b.iter(|| count_tokens(black_box(PROSE)))
+fn main() {
+    section("tokenizer");
+    bench("tokenizer/count_tokens_prose", || {
+        count_tokens(black_box(PROSE))
     });
-}
 
-fn bench_similarity(c: &mut Criterion) {
-    c.bench_function("similarity/levenshtein_title", |b| {
-        b.iter(|| {
-            levenshtein(
-                black_box("apple iphone 12 pro max 128gb"),
-                black_box("apple iphone 12 pro 256gb"),
-            )
-        })
+    section("similarity");
+    bench("similarity/levenshtein_title", || {
+        levenshtein(
+            black_box("apple iphone 12 pro max 128gb"),
+            black_box("apple iphone 12 pro 256gb"),
+        )
     });
-    c.bench_function("similarity/jaro_winkler_title", |b| {
-        b.iter(|| {
-            jaro_winkler(
-                black_box("apple iphone 12 pro max 128gb"),
-                black_box("apple iphone 12 pro 256gb"),
-            )
-        })
+    bench("similarity/jaro_winkler_title", || {
+        jaro_winkler(
+            black_box("apple iphone 12 pro max 128gb"),
+            black_box("apple iphone 12 pro 256gb"),
+        )
     });
-}
 
-fn bench_embedding(c: &mut Criterion) {
+    section("embedding");
     let embedder = HashedNgramEmbedder::default();
-    c.bench_function("embed/hashed_ngram_title", |b| {
-        b.iter(|| embedder.embed(black_box("apple iphone 12 pro max 128gb black")))
+    bench("embed/hashed_ngram_title", || {
+        embedder.embed(black_box("apple iphone 12 pro max 128gb black"))
     });
-}
 
-fn bench_kmeans(c: &mut Criterion) {
-    let embedder = HashedNgramEmbedder::default();
+    section("kmeans");
     let points: Vec<_> = (0..200)
         .map(|i| embedder.embed(&format!("product number {i} variant {}", i % 7)))
         .collect();
-    let mut group = c.benchmark_group("kmeans");
     for k in [4usize, 16] {
-        group.bench_with_input(BenchmarkId::new("cluster_200pts", k), &k, |b, &k| {
-            b.iter(|| kmeans(black_box(&points), k, 0))
+        bench(&format!("kmeans/cluster_200pts/k={k}"), || {
+            kmeans(black_box(&points), k, 0)
         });
     }
-    group.finish();
-}
 
-fn bench_prompt_build(c: &mut Criterion) {
+    section("prompt");
     let ds = dprep_datasets::beer::generate(1.0, 0);
     let config = PromptConfig::best(Task::EntityMatching);
     let batch: Vec<_> = ds.instances.iter().take(15).collect();
-    c.bench_function("prompt/build_em_batch15_fewshot10", |b| {
-        b.iter(|| build_request(black_box(&config), black_box(&ds.few_shot), black_box(&batch)))
+    bench("prompt/build_em_batch15_fewshot10", || {
+        build_request(
+            black_box(&config),
+            black_box(&ds.few_shot),
+            black_box(&batch),
+        )
     });
 }
-
-criterion_group!(
-    benches,
-    bench_tokenizer,
-    bench_similarity,
-    bench_embedding,
-    bench_kmeans,
-    bench_prompt_build
-);
-criterion_main!(benches);

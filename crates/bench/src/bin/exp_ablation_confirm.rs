@@ -18,7 +18,10 @@ fn main() {
         .map(|r| {
             (
                 r.model.clone(),
-                vec![report::cell(r.with_confirm), report::cell(r.without_confirm)],
+                vec![
+                    report::cell(r.with_confirm),
+                    report::cell(r.without_confirm),
+                ],
             )
         })
         .collect();

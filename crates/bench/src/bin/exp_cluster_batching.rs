@@ -14,8 +14,14 @@ fn main() {
     let result = cluster_batching::run(&cfg);
     let headers = vec!["F1 score (%)".to_string()];
     let rows = vec![
-        ("random batching".to_string(), vec![report::cell(result.random)]),
-        ("cluster batching".to_string(), vec![report::cell(result.cluster)]),
+        (
+            "random batching".to_string(),
+            vec![report::cell(result.random)],
+        ),
+        (
+            "cluster batching".to_string(),
+            vec![report::cell(result.cluster)],
+        ),
     ];
     println!(
         "{}",

@@ -7,7 +7,10 @@ use dprep_eval::report;
 
 fn main() {
     let cfg = dprep_bench::config_from_env();
-    eprintln!("profiling datasets at scale {} (seed {:#x})...", cfg.scale, cfg.seed);
+    eprintln!(
+        "profiling datasets at scale {} (seed {:#x})...",
+        cfg.scale, cfg.seed
+    );
     let headers: Vec<String> = [
         "task",
         "instances",

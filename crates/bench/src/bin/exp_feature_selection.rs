@@ -14,8 +14,14 @@ fn main() {
     let result = feature_selection::run(&cfg);
     let headers = vec!["F1 score (%)".to_string()];
     let rows = vec![
-        ("all attributes".to_string(), vec![report::cell(result.before)]),
-        ("informative attributes".to_string(), vec![report::cell(result.after)]),
+        (
+            "all attributes".to_string(),
+            vec![report::cell(result.before)],
+        ),
+        (
+            "informative attributes".to_string(),
+            vec![report::cell(result.after)],
+        ),
     ];
     println!(
         "{}",

@@ -20,7 +20,11 @@ fn main() {
     let rows = table.to_rows();
     println!(
         "{}",
-        report::render_table("Table 3: batch size evaluation (Adult, ED, GPT-3.5)", &headers, &rows)
+        report::render_table(
+            "Table 3: batch size evaluation (Adult, ED, GPT-3.5)",
+            &headers,
+            &rows
+        )
     );
     match report::write_tsv("table3", &headers, &rows) {
         Ok(path) => eprintln!("wrote {}", path.display()),

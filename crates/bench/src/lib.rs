@@ -1,7 +1,8 @@
 //! # dprep-bench
 //!
 //! Regenerates every table and in-text experiment from the paper's
-//! evaluation section, plus Criterion micro-benchmarks of the substrates.
+//! evaluation section, plus dependency-free micro-benchmarks of the
+//! substrates (`cargo bench -p dprep-bench`).
 //!
 //! Experiment binaries (each prints a paper-style table and writes a TSV
 //! under `target/experiments/`):
@@ -18,6 +19,8 @@
 //! counts) and `DPREP_SEED` (default 0xd472).
 
 use dprep_eval::experiments::ExperimentConfig;
+
+pub mod timing;
 
 /// Reads the experiment configuration from the environment.
 pub fn config_from_env() -> ExperimentConfig {

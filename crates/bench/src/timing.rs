@@ -1,0 +1,82 @@
+//! A tiny wall-clock benchmark harness (the workspace builds offline, so
+//! no Criterion).
+//!
+//! Each benchmark runs a short warm-up, then enough timed iterations to
+//! fill a small time budget, and prints mean / min per-iteration times.
+//! `BENCH_QUICK=1` shrinks the budget for smoke runs (CI, `scripts/check.sh`).
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so bench files can `use dprep_bench::timing::black_box`.
+pub use std::hint::black_box;
+
+/// Per-benchmark time budget.
+fn budget() -> Duration {
+    if std::env::var("BENCH_QUICK").is_ok() {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(400)
+    }
+}
+
+/// Times `f` and prints one result line: `name  mean  min  (iters)`.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimiser cannot delete the measured work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let budget = budget();
+    // Warm-up + calibration: how long does one iteration take?
+    let start = Instant::now();
+    black_box(f());
+    let probe = start.elapsed().max(Duration::from_nanos(50));
+    let iters = (budget.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut min = Duration::MAX;
+    let total_start = Instant::now();
+    for _ in 0..iters {
+        let it = Instant::now();
+        black_box(f());
+        min = min.min(it.elapsed());
+    }
+    let total = total_start.elapsed();
+    let mean = total / iters as u32;
+    println!(
+        "{name:<44} mean {:>12} | min {:>12} | {iters} iter(s)",
+        fmt(mean),
+        fmt(min)
+    );
+}
+
+/// Formats a duration with a unit that keeps 3-4 significant digits.
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_formats() {
+        // Smoke: must terminate quickly and not panic.
+        std::env::set_var("BENCH_QUICK", "1");
+        bench("smoke/add", || std::hint::black_box(2u64) + 2);
+        assert_eq!(fmt(Duration::from_nanos(120)), "120 ns");
+        assert_eq!(fmt(Duration::from_micros(250)), "250.00 µs");
+        assert_eq!(fmt(Duration::from_millis(42)), "42.00 ms");
+    }
+}

@@ -30,6 +30,27 @@ impl Flags {
         }
     }
 
+    /// Parses a usize flag with a default.
+    pub fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{name} must be a non-negative integer, got {raw:?}")),
+        }
+    }
+
+    /// Parses an on/off flag (`true`/`false`/`on`/`off`/`1`/`0`) with a
+    /// default.
+    pub fn bool_or(&self, name: &str, default: bool) -> Result<bool, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some("true") | Some("on") | Some("1") => Ok(true),
+            Some("false") | Some("off") | Some("0") => Ok(false),
+            Some(raw) => Err(format!("--{name} must be on or off, got {raw:?}")),
+        }
+    }
+
     /// Inserts a flag value (used by tests).
     #[cfg(test)]
     pub fn set(&mut self, name: &str, value: &str) {
@@ -112,5 +133,27 @@ mod tests {
         let mut flags = Flags::default();
         flags.set("seed", "xyz");
         assert!(flags.seed().is_err());
+    }
+
+    #[test]
+    fn usize_flag_defaults_and_parses() {
+        let mut flags = Flags::default();
+        assert_eq!(flags.usize_or("workers", 1).unwrap(), 1);
+        flags.set("workers", "8");
+        assert_eq!(flags.usize_or("workers", 1).unwrap(), 8);
+        flags.set("workers", "-2");
+        assert!(flags.usize_or("workers", 1).is_err());
+    }
+
+    #[test]
+    fn bool_flag_accepts_on_off_forms() {
+        let mut flags = Flags::default();
+        assert!(!flags.bool_or("cache", false).unwrap());
+        for (raw, expect) in [("on", true), ("off", false), ("true", true), ("0", false)] {
+            flags.set("cache", raw);
+            assert_eq!(flags.bool_or("cache", false).unwrap(), expect, "{raw}");
+        }
+        flags.set("cache", "maybe");
+        assert!(flags.bool_or("cache", false).is_err());
     }
 }

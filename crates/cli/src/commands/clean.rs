@@ -1,11 +1,14 @@
 //! `dprep clean` — detect-then-repair: flag suspicious cells and re-impute
 //! them, emitting the repaired CSV on stdout and the audit trail on stderr.
 
-use dprep_core::Repairer;
+use dprep_core::{PipelineConfig, Repairer};
+use dprep_prompt::Task;
 use dprep_tabular::csv::write_csv;
 
 use crate::args::{model_profile, Flags};
-use crate::commands::{attrs_for, build_model, load_table, print_usage_footer};
+use crate::commands::{
+    apply_serving, attrs_for, build_model, load_table, print_usage_footer, serving_from_flags,
+};
 use crate::facts;
 
 /// Runs the command.
@@ -14,9 +17,17 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let attrs = attrs_for(flags, &table)?;
     let profile = model_profile(flags)?;
     let kb = facts::load(flags)?;
-    let model = build_model(profile, kb, flags.seed()?);
+    let serving = serving_from_flags(flags)?;
+    let stats = dprep_llm::MiddlewareStats::shared();
+    let model = apply_serving(build_model(profile, kb, flags.seed()?), serving, &stats);
 
-    let repairer = Repairer::new(&model);
+    let mut detect_config = PipelineConfig::best(Task::ErrorDetection);
+    detect_config.workers = serving.workers;
+    let mut impute_config = PipelineConfig::best(Task::Imputation);
+    impute_config.workers = serving.workers;
+    let repairer = Repairer::new(&model)
+        .with_detect_config(detect_config)
+        .with_impute_config(impute_config);
     let outcome = repairer.repair(&table, &attrs, &[], &[]);
 
     print!("{}", write_csv(&outcome.table));
@@ -36,6 +47,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         }
     }
     eprintln!("{} repair(s) applied", outcome.repairs.len());
-    print_usage_footer(&outcome.usage);
+    print_usage_footer(&outcome.usage, Some(&outcome.stats));
     Ok(())
 }

@@ -4,7 +4,9 @@ use dprep_core::{PipelineConfig, Preprocessor};
 use dprep_prompt::{Task, TaskInstance};
 
 use crate::args::{model_profile, Flags};
-use crate::commands::{attrs_for, build_model, load_table, print_usage_footer};
+use crate::commands::{
+    apply_serving, attrs_for, build_model, load_table, print_usage_footer, serving_from_flags,
+};
 use crate::facts;
 
 /// Runs the command.
@@ -13,7 +15,9 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let attrs = attrs_for(flags, &table)?;
     let profile = model_profile(flags)?;
     let kb = facts::load(flags)?;
-    let model = build_model(profile, kb, flags.seed()?);
+    let serving = serving_from_flags(flags)?;
+    let stats = dprep_llm::MiddlewareStats::shared();
+    let model = apply_serving(build_model(profile, kb, flags.seed()?), serving, &stats);
 
     let mut instances = Vec::new();
     let mut cells = Vec::new();
@@ -37,7 +41,9 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         return Err("no checkable cells (everything missing?)".into());
     }
 
-    let preprocessor = Preprocessor::new(&model, PipelineConfig::best(Task::ErrorDetection));
+    let mut config = PipelineConfig::best(Task::ErrorDetection);
+    config.workers = serving.workers;
+    let preprocessor = Preprocessor::new(&model, config);
     let result = preprocessor.run(&instances, &[]);
 
     println!("row\tattribute\tvalue\tverdict\treason");
@@ -60,15 +66,16 @@ pub fn run(flags: &Flags) -> Result<(), String> {
                 .unwrap_or_default();
             println!(
                 "{row_idx}\t{attr}\t{value}\t{}\t{reason}",
-                match verdict {
-                    Some(true) => "error",
-                    Some(false) => "ok",
-                    None => "unparsed",
+                match (verdict, prediction.failure()) {
+                    (Some(true), _) => "error",
+                    (Some(false), _) => "ok",
+                    (None, Some(kind)) => kind.label(),
+                    (None, None) => "unparsed",
                 }
             );
         }
     }
     eprintln!("{flagged} of {} cells flagged", instances.len());
-    print_usage_footer(&result.usage);
+    print_usage_footer(&result.usage, Some(&result.stats));
     Ok(())
 }

@@ -6,7 +6,9 @@ use dprep_prompt::{Task, TaskInstance};
 use dprep_tabular::{csv::write_csv, Table, Value};
 
 use crate::args::{model_profile, Flags};
-use crate::commands::{build_model, load_table, print_usage_footer};
+use crate::commands::{
+    apply_serving, build_model, load_table, print_usage_footer, serving_from_flags,
+};
 use crate::facts;
 
 /// Runs the command.
@@ -21,7 +23,9 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     };
     let profile = model_profile(flags)?;
     let kb = facts::load(flags)?;
-    let model = build_model(profile, kb, flags.seed()?);
+    let serving = serving_from_flags(flags)?;
+    let stats = dprep_llm::MiddlewareStats::shared();
+    let model = apply_serving(build_model(profile, kb, flags.seed()?), serving, &stats);
 
     let mut instances = Vec::new();
     let mut rows_to_fill = Vec::new();
@@ -40,7 +44,9 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         return Ok(());
     }
 
-    let preprocessor = Preprocessor::new(&model, PipelineConfig::best(Task::Imputation));
+    let mut config = PipelineConfig::best(Task::Imputation);
+    config.workers = serving.workers;
+    let preprocessor = Preprocessor::new(&model, config);
     let result = preprocessor.run(&instances, &[]);
 
     // Rebuild the table with imputed values.
@@ -54,10 +60,10 @@ pub fn run(flags: &Flags) -> Result<(), String> {
             filled += 1;
         }
     }
-    let completed =
-        Table::from_records(std::sync::Arc::clone(table.schema()), rows).map_err(|e| e.to_string())?;
+    let completed = Table::from_records(std::sync::Arc::clone(table.schema()), rows)
+        .map_err(|e| e.to_string())?;
     print!("{}", write_csv(&completed));
     eprintln!("imputed {filled} of {} missing cells", instances.len());
-    print_usage_footer(&result.usage);
+    print_usage_footer(&result.usage, Some(&result.stats));
     Ok(())
 }

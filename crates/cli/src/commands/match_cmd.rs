@@ -6,7 +6,9 @@ use dprep_core::{PipelineConfig, Preprocessor};
 use dprep_prompt::{Task, TaskInstance};
 
 use crate::args::{model_profile, Flags};
-use crate::commands::{build_model, load_table, print_usage_footer};
+use crate::commands::{
+    apply_serving, build_model, load_table, print_usage_footer, serving_from_flags,
+};
 use crate::facts;
 
 /// Runs the command.
@@ -15,15 +17,23 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let right = load_table(flags.require("right")?)?;
     let profile = model_profile(flags)?;
     let kb = facts::load(flags)?;
-    let model = build_model(profile, kb, flags.seed()?);
+    let serving = serving_from_flags(flags)?;
+    let stats = dprep_llm::MiddlewareStats::shared();
+    let model = apply_serving(build_model(profile, kb, flags.seed()?), serving, &stats);
 
     // ── blocking ─────────────────────────────────────────────────────────
     let blocker = flags.get("blocker").unwrap_or("ngram");
     let candidates: Vec<(usize, usize)> = match blocker {
-        "ngram" => NgramBlocker::default().block(left.rows(), right.rows()).pairs,
-        "embedding" => EmbeddingBlocker::default()
-            .block(left.rows(), right.rows())
-            .pairs,
+        "ngram" => {
+            NgramBlocker::default()
+                .block(left.rows(), right.rows())
+                .pairs
+        }
+        "embedding" => {
+            EmbeddingBlocker::default()
+                .block(left.rows(), right.rows())
+                .pairs
+        }
         "none" => {
             let mut all = Vec::with_capacity(left.len() * right.len());
             for i in 0..left.len() {
@@ -53,7 +63,9 @@ pub fn run(flags: &Flags) -> Result<(), String> {
             b: right.rows()[j].clone(),
         })
         .collect();
-    let preprocessor = Preprocessor::new(&model, PipelineConfig::best(Task::EntityMatching));
+    let mut config = PipelineConfig::best(Task::EntityMatching);
+    config.workers = serving.workers;
+    let preprocessor = Preprocessor::new(&model, config);
     let result = preprocessor.run(&instances, &[]);
 
     println!("left\tright\tleft_record\tright_record");
@@ -68,7 +80,10 @@ pub fn run(flags: &Flags) -> Result<(), String> {
             );
         }
     }
-    eprintln!("{matches} matching pair(s) of {} candidates", candidates.len());
-    print_usage_footer(&result.usage);
+    eprintln!(
+        "{matches} matching pair(s) of {} candidates",
+        candidates.len()
+    );
+    print_usage_footer(&result.usage, Some(&result.stats));
     Ok(())
 }

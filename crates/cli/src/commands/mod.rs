@@ -8,29 +8,70 @@ pub mod match_cmd;
 
 use std::sync::Arc;
 
-use dprep_llm::{KnowledgeBase, ModelProfile, SimulatedLlm};
+use dprep_core::ExecStats;
+use dprep_llm::{
+    CacheLayer, ChatModel, KnowledgeBase, MiddlewareStats, ModelProfile, RetryLayer, SimulatedLlm,
+};
 use dprep_tabular::Table;
 
 use crate::args::Flags;
 
 /// Loads a CSV file into a typed table.
 pub fn load_table(path: &str) -> Result<Table, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     dprep_tabular::csv::read_csv_typed(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Builds the simulated model from flags and a knowledge base.
-pub fn build_model(
-    profile: ModelProfile,
-    kb: KnowledgeBase,
-    seed: u64,
-) -> SimulatedLlm {
+pub fn build_model(profile: ModelProfile, kb: KnowledgeBase, seed: u64) -> SimulatedLlm {
     SimulatedLlm::new(profile, Arc::new(kb)).with_seed(seed)
 }
 
-/// Prints the run's usage footer.
-pub fn print_usage_footer(usage: &dprep_llm::UsageTotals) {
+/// Serving options shared by every model-running command: `--workers N`,
+/// `--retries N`, `--cache on|off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Serving {
+    /// Executor worker threads.
+    pub workers: usize,
+    /// Retry budget per request.
+    pub retries: u32,
+    /// Response caching enabled.
+    pub cache: bool,
+}
+
+/// Parses the serving flags (defaults: 1 worker, 2 retries, cache off).
+pub fn serving_from_flags(flags: &Flags) -> Result<Serving, String> {
+    let workers = flags.usize_or("workers", 1)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    Ok(Serving {
+        workers,
+        retries: flags.usize_or("retries", 2)? as u32,
+        cache: flags.bool_or("cache", false)?,
+    })
+}
+
+/// Wraps `model` in the middleware stack the serving options ask for
+/// (cache over retry), reporting into `stats`.
+pub fn apply_serving<M: ChatModel + 'static>(
+    model: M,
+    serving: Serving,
+    stats: &Arc<MiddlewareStats>,
+) -> Box<dyn ChatModel> {
+    let mut stack: Box<dyn ChatModel> = Box::new(model);
+    if serving.retries > 0 {
+        stack = Box::new(RetryLayer::new(stack, serving.retries).with_stats(Arc::clone(stats)));
+    }
+    if serving.cache {
+        stack = Box::new(CacheLayer::new(stack).with_stats(Arc::clone(stats)));
+    }
+    stack
+}
+
+/// Prints the run's usage footer, including serving counters when any are
+/// nonzero.
+pub fn print_usage_footer(usage: &dprep_llm::UsageTotals, stats: Option<&ExecStats>) {
     eprintln!(
         "[{} request(s), {} tokens, ${:.4} virtual cost, {:.1}s virtual latency]",
         usage.requests,
@@ -38,6 +79,14 @@ pub fn print_usage_footer(usage: &dprep_llm::UsageTotals) {
         usage.cost_usd,
         usage.latency_secs
     );
+    if let Some(stats) = stats {
+        if stats.deduped + stats.retries + stats.cache_hits + stats.faulted > 0 {
+            eprintln!(
+                "[{} deduped, {} retried, {} cache hit(s), {} faulted]",
+                stats.deduped, stats.retries, stats.cache_hits, stats.faulted
+            );
+        }
+    }
 }
 
 /// Resolves the attribute list for `--attrs` (default: every attribute).

@@ -62,6 +62,11 @@ USAGE:
                  [--model NAME] [--facts FILE] [--seed N]
   dprep datasets
 
+SERVING (detect/impute/clean/match):
+  --workers N      executor threads (default 1; results are identical at any N)
+  --retries N      re-ask on incomplete responses up to N times (default 2; 0 = off)
+  --cache on|off   memoize identical requests across the run (default off)
+
 MODELS: sim-gpt-4 (default), sim-gpt-3.5, sim-gpt-3, sim-vicuna-13b
 
 FACTS FILE (tab-separated, one fact per line):

@@ -199,7 +199,11 @@ impl EmbeddingBlocker {
         let result = kmeans(&points, self.clusters, self.seed);
         let mut pairs = Vec::new();
         for cluster in result.clusters() {
-            let lefts: Vec<usize> = cluster.iter().copied().filter(|&i| i < left.len()).collect();
+            let lefts: Vec<usize> = cluster
+                .iter()
+                .copied()
+                .filter(|&i| i < left.len())
+                .collect();
             let rights: Vec<usize> = cluster
                 .iter()
                 .copied()
@@ -275,7 +279,14 @@ mod tests {
     fn stop_word_keys_are_dropped() {
         // Every record shares the token "widget"; without the frequency cap
         // the cross product would survive intact.
-        let left = records(&["widget alpha", "widget beta", "widget gamma", "widget delta", "widget epsilon", "widget zeta"]);
+        let left = records(&[
+            "widget alpha",
+            "widget beta",
+            "widget gamma",
+            "widget delta",
+            "widget epsilon",
+            "widget zeta",
+        ]);
         let right = left.clone();
         let blocker = NgramBlocker {
             max_key_frequency: 0.3,
@@ -330,10 +341,12 @@ mod tests {
             max_key_frequency: 1.0,
             ..NgramBlocker::default()
         };
-        assert!(title_only.block(&left, &right).is_empty() || {
-            // "unique" is shared across titles.
-            true
-        });
+        assert!(
+            title_only.block(&left, &right).is_empty() || {
+                // "unique" is shared across titles.
+                true
+            }
+        );
         // Keys from color: everything shares "red".
         let color_only = NgramBlocker {
             key_attributes: Some(vec![1]),

@@ -20,12 +20,54 @@ impl ComponentSet {
     /// The six rows of Table 2, in the paper's order.
     pub fn table2_rows() -> [(&'static str, ComponentSet); 6] {
         [
-            ("ZS-T", ComponentSet { few_shot: false, batching: false, reasoning: false }),
-            ("ZS-T+B", ComponentSet { few_shot: false, batching: true, reasoning: false }),
-            ("ZS-T+B+ZS-R", ComponentSet { few_shot: false, batching: true, reasoning: true }),
-            ("ZS-T+FS", ComponentSet { few_shot: true, batching: false, reasoning: false }),
-            ("ZS-T+FS+B", ComponentSet { few_shot: true, batching: true, reasoning: false }),
-            ("ZS-T+FS+B+ZS-R", ComponentSet { few_shot: true, batching: true, reasoning: true }),
+            (
+                "ZS-T",
+                ComponentSet {
+                    few_shot: false,
+                    batching: false,
+                    reasoning: false,
+                },
+            ),
+            (
+                "ZS-T+B",
+                ComponentSet {
+                    few_shot: false,
+                    batching: true,
+                    reasoning: false,
+                },
+            ),
+            (
+                "ZS-T+B+ZS-R",
+                ComponentSet {
+                    few_shot: false,
+                    batching: true,
+                    reasoning: true,
+                },
+            ),
+            (
+                "ZS-T+FS",
+                ComponentSet {
+                    few_shot: true,
+                    batching: false,
+                    reasoning: false,
+                },
+            ),
+            (
+                "ZS-T+FS+B",
+                ComponentSet {
+                    few_shot: true,
+                    batching: true,
+                    reasoning: false,
+                },
+            ),
+            (
+                "ZS-T+FS+B+ZS-R",
+                ComponentSet {
+                    few_shot: true,
+                    batching: true,
+                    reasoning: true,
+                },
+            ),
         ]
     }
 
@@ -67,6 +109,9 @@ pub struct PipelineConfig {
     pub fit_context: bool,
     /// Seed for batching shuffles.
     pub seed: u64,
+    /// Worker threads the executor dispatches batch requests across
+    /// (1 = serial). Results are bit-identical at any worker count.
+    pub workers: usize,
 }
 
 impl PipelineConfig {
@@ -85,6 +130,7 @@ impl PipelineConfig {
             temperature: None,
             fit_context: true,
             seed: 0,
+            workers: 1,
         }
     }
 
@@ -102,6 +148,7 @@ impl PipelineConfig {
             temperature: None,
             fit_context: true,
             seed: 0,
+            workers: 1,
         }
     }
 
@@ -178,7 +225,10 @@ mod tests {
     fn cluster_strategy_selected() {
         let mut cfg = PipelineConfig::best(Task::EntityMatching);
         cfg.cluster_batching = true;
-        assert!(matches!(cfg.batch_strategy(), BatchStrategy::Cluster { .. }));
+        assert!(matches!(
+            cfg.batch_strategy(),
+            BatchStrategy::Cluster { .. }
+        ));
         cfg.cluster_batching = false;
         assert!(matches!(cfg.batch_strategy(), BatchStrategy::Random { .. }));
     }

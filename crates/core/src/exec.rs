@@ -1,0 +1,344 @@
+//! The plan/execute split: batch planning up front, dispatch across worker
+//! threads, deterministic reassembly.
+//!
+//! The serial pipeline interleaved four concerns in one loop: deciding the
+//! batches, building each prompt, calling the model, and folding usage.
+//! This module separates them:
+//!
+//! 1. [`ExecutionPlan::build`] precomputes everything that does not require
+//!    the model to answer — batch membership (including context-window
+//!    fitting), one [`ChatRequest`] per batch, and deduplication of
+//!    byte-identical requests,
+//! 2. [`Executor::run`] dispatches the plan's unique requests across `N`
+//!    worker threads (`std::thread::scope`, work-stealing off an atomic
+//!    cursor), then reassembles responses **in plan order**.
+//!
+//! Because batch membership, request payloads, and deduplication are all
+//! fixed before the first dispatch, and aggregation walks the plan rather
+//! than completion order, a run with 8 workers is bit-identical to a run
+//! with 1 — same predictions, same usage totals, same counters. Parallelism
+//! changes wall-clock time and nothing else.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dprep_llm::{ChatModel, ChatRequest, UsageTotals};
+use dprep_prompt::{build_request, make_batches, parse_response, FewShotExample, TaskInstance};
+use dprep_rng::stable_hash;
+
+use crate::config::PipelineConfig;
+use crate::pipeline::{FailureKind, Prediction, RunResult};
+
+/// One planned batch: which instances it covers and which unique request
+/// serves it.
+#[derive(Debug, Clone)]
+pub struct PlannedBatch {
+    /// Indices into the input instance slice, in prompt question order
+    /// (question `k` is instance `instance_indices[k - 1]`).
+    pub instance_indices: Vec<usize>,
+    /// Index into [`ExecutionPlan::requests`] of the request that serves
+    /// this batch. Several batches share an index when their prompts are
+    /// byte-identical.
+    pub request_index: usize,
+}
+
+/// Everything about a run that is decided before the model is called.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    batches: Vec<PlannedBatch>,
+    requests: Vec<ChatRequest>,
+    n_instances: usize,
+    reasoning: bool,
+}
+
+impl ExecutionPlan {
+    /// Plans a run: batches `instances` per the configuration (clamping the
+    /// batch size to what fits the model's context window when
+    /// `fit_context` is set), builds one request per batch, and deduplicates
+    /// identical requests so each is dispatched once.
+    pub fn build<M: ChatModel + ?Sized>(
+        model: &M,
+        config: &PipelineConfig,
+        instances: &[TaskInstance],
+        examples: &[FewShotExample],
+    ) -> ExecutionPlan {
+        let shots: &[FewShotExample] = if config.components.few_shot {
+            examples
+        } else {
+            &[]
+        };
+        let prompt_config = config.prompt_config();
+        let mut strategy = config.batch_strategy();
+        if config.fit_context {
+            let clamped = context_fitted_batch_size(model, config, instances, shots);
+            strategy = match strategy {
+                dprep_prompt::BatchStrategy::Random { batch_size } => {
+                    dprep_prompt::BatchStrategy::Random {
+                        batch_size: batch_size.min(clamped),
+                    }
+                }
+                dprep_prompt::BatchStrategy::Cluster {
+                    batch_size,
+                    clusters,
+                } => dprep_prompt::BatchStrategy::Cluster {
+                    batch_size: batch_size.min(clamped),
+                    clusters,
+                },
+            };
+        }
+
+        let mut batches = Vec::new();
+        let mut requests: Vec<ChatRequest> = Vec::new();
+        let mut seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for batch in make_batches(instances, &strategy, config.seed) {
+            let batch_refs: Vec<&TaskInstance> = batch.iter().map(|&i| &instances[i]).collect();
+            let mut request = build_request(&prompt_config, shots, &batch_refs);
+            if let Some(t) = config.temperature {
+                request = request.with_temperature(t);
+            }
+            // Dedup key: everything that determines a deterministic model's
+            // response. Doing this at plan time (not in a cache layer racing
+            // under the executor) keeps hit counts worker-independent.
+            let descriptor = format!(
+                "{:?}|{}|{}",
+                request.temperature,
+                request.retry_salt,
+                request.full_text()
+            );
+            let key = stable_hash(0x00de_d001, descriptor.as_bytes());
+            let request_index = *seen.entry(key).or_insert_with(|| {
+                requests.push(request);
+                requests.len() - 1
+            });
+            batches.push(PlannedBatch {
+                instance_indices: batch,
+                request_index,
+            });
+        }
+
+        ExecutionPlan {
+            batches,
+            requests,
+            n_instances: instances.len(),
+            reasoning: prompt_config.reasoning,
+        }
+    }
+
+    /// The planned batches, in dispatch order.
+    pub fn batches(&self) -> &[PlannedBatch] {
+        &self.batches
+    }
+
+    /// The unique requests the plan dispatches (deduplicated).
+    pub fn requests(&self) -> &[ChatRequest] {
+        &self.requests
+    }
+
+    /// Batches whose request is served by an earlier identical batch.
+    pub fn deduped_batches(&self) -> usize {
+        self.batches.len() - self.requests.len()
+    }
+}
+
+/// How the executor dispatches a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionOptions {
+    /// Worker threads. 1 = serial in the calling thread (no threads
+    /// spawned); the output is identical either way.
+    pub workers: usize,
+}
+
+impl Default for ExecutionOptions {
+    fn default() -> Self {
+        ExecutionOptions { workers: 1 }
+    }
+}
+
+/// Serving-layer counters for one run, aggregated from response metadata in
+/// plan order (worker-count independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Unique requests dispatched to the model.
+    pub requests: usize,
+    /// Batches served by deduplication against an identical earlier batch.
+    pub deduped: usize,
+    /// Total retry attempts spent by the retry middleware.
+    pub retries: usize,
+    /// Responses served from the cache middleware.
+    pub cache_hits: usize,
+    /// Responses that still carried a fault after all middleware ran.
+    pub faulted: usize,
+}
+
+impl ExecStats {
+    /// Folds another run's counters into this one (multi-pass pipelines).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.requests += other.requests;
+        self.deduped += other.deduped;
+        self.retries += other.retries;
+        self.cache_hits += other.cache_hits;
+        self.faulted += other.faulted;
+    }
+}
+
+/// Dispatches an [`ExecutionPlan`] and reassembles a [`RunResult`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor {
+    options: ExecutionOptions,
+}
+
+impl Executor {
+    /// An executor with the given options.
+    pub fn new(options: ExecutionOptions) -> Self {
+        Executor { options }
+    }
+
+    /// A serial executor (`workers == 1`).
+    pub fn serial() -> Self {
+        Executor::default()
+    }
+
+    /// Runs the plan against `model`.
+    ///
+    /// With `workers > 1`, requests are claimed off an atomic cursor by
+    /// scoped threads; each response lands in its plan slot, and all
+    /// aggregation (usage totals, counters, per-instance predictions)
+    /// happens afterwards in plan order — so the result is bit-identical to
+    /// a serial run.
+    pub fn run<M: ChatModel + ?Sized>(&self, model: &M, plan: &ExecutionPlan) -> RunResult {
+        let responses = self.dispatch(model, plan);
+
+        let mut predictions =
+            vec![Prediction::Failed(FailureKind::SkippedAnswer); plan.n_instances];
+        let mut usage = UsageTotals::default();
+        let mut stats = ExecStats {
+            requests: plan.requests.len(),
+            deduped: plan.deduped_batches(),
+            ..ExecStats::default()
+        };
+
+        // Usage and serving counters: once per unique request, plan order.
+        for response in &responses {
+            usage.record(
+                &response.usage,
+                model.cost_usd(&response.usage),
+                response.latency_secs,
+            );
+            stats.retries += response.meta.retries as usize;
+            stats.cache_hits += usize::from(response.meta.cache_hit);
+            stats.faulted += usize::from(response.meta.fault.is_some());
+        }
+
+        // Predictions: parse each batch's response and classify the misses.
+        for batch in &plan.batches {
+            let response = &responses[batch.request_index];
+            let answers = parse_response(&response.text, plan.reasoning);
+            let overflowed = response.usage.prompt_tokens > model.context_window();
+            for (position, &instance_idx) in batch.instance_indices.iter().enumerate() {
+                predictions[instance_idx] = match answers.get(&(position + 1)) {
+                    Some(extracted) => Prediction::Answered(extracted.clone()),
+                    None => Prediction::Failed(classify_miss(
+                        response.meta.fault.is_some(),
+                        response.meta.retries,
+                        overflowed,
+                        answers.is_empty(),
+                    )),
+                };
+            }
+        }
+
+        RunResult {
+            predictions,
+            usage,
+            stats,
+        }
+    }
+
+    fn dispatch<M: ChatModel + ?Sized>(
+        &self,
+        model: &M,
+        plan: &ExecutionPlan,
+    ) -> Vec<dprep_llm::ChatResponse> {
+        let requests = &plan.requests;
+        if self.options.workers <= 1 || requests.len() <= 1 {
+            return requests.iter().map(|r| model.chat(r)).collect();
+        }
+
+        let slots: Vec<Mutex<Option<dprep_llm::ChatResponse>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.options.workers.min(requests.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= requests.len() {
+                        break;
+                    }
+                    let response = model.chat(&requests[idx]);
+                    *slots[idx].lock().expect("slot poisoned") = Some(response);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot poisoned")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    }
+}
+
+/// Why an instance's answer is missing from an otherwise-delivered response.
+fn classify_miss(
+    faulted: bool,
+    retries: u32,
+    overflowed: bool,
+    nothing_parsed: bool,
+) -> FailureKind {
+    if faulted {
+        if retries > 0 {
+            FailureKind::RetriesExhausted
+        } else {
+            FailureKind::Faulted
+        }
+    } else if overflowed {
+        FailureKind::ContextOverflow
+    } else if nothing_parsed {
+        FailureKind::FormatViolation
+    } else {
+        FailureKind::SkippedAnswer
+    }
+}
+
+/// Largest batch size whose prompt fits in ~85% of the model's context
+/// window, estimated from a one-instance sample request.
+///
+/// Returns the configured batch size unchanged when batching is off or
+/// there is nothing to sample; returns 1 when even the fixed prompt
+/// overhead (instructions + few-shot examples + one question) blows the
+/// budget — a single oversized question cannot be split further.
+pub fn context_fitted_batch_size<M: ChatModel + ?Sized>(
+    model: &M,
+    config: &PipelineConfig,
+    instances: &[TaskInstance],
+    shots: &[FewShotExample],
+) -> usize {
+    let configured = config.effective_batch_size();
+    if configured <= 1 || instances.is_empty() {
+        return configured.max(1);
+    }
+    let prompt_config = config.prompt_config();
+    let sample = build_request(&prompt_config, shots, &[&instances[0]]);
+    let fixed_plus_one = dprep_text::count_tokens(&sample.full_text());
+    let per_question = dprep_text::count_tokens(
+        &instances[0].question_text(prompt_config.feature_indices.as_deref()),
+    ) + 8;
+    let budget = (model.context_window() as f64 * 0.85) as usize;
+    if fixed_plus_one >= budget {
+        return 1;
+    }
+    (1 + (budget - fixed_plus_one) / per_question.max(1)).min(configured)
+}

@@ -7,7 +7,11 @@
 //! parses answers back out, and meters token/cost/time totals.
 //!
 //! * [`config`] — [`PipelineConfig`] and the Table 2 component switches,
-//! * [`pipeline`] — the [`Preprocessor`] runner and its [`RunResult`],
+//! * [`pipeline`] — the [`Preprocessor`] facade and its [`RunResult`],
+//! * [`exec`] — the plan/execute split: [`exec::ExecutionPlan`] precomputes
+//!   batches, prompts, and request deduplication; [`exec::Executor`]
+//!   dispatches across worker threads with bit-identical output at any
+//!   worker count,
 //! * [`blocking`] — the EM blocking stage (§2.1) the paper's benchmarks
 //!   presuppose: n-gram key blocking and embedding blocking, with pair
 //!   completeness / reduction ratio evaluation,
@@ -15,10 +19,14 @@
 
 pub mod blocking;
 pub mod config;
+pub mod exec;
 pub mod pipeline;
 pub mod repair;
 
-pub use blocking::{evaluate_blocking, BlockingStats, CandidatePairs, EmbeddingBlocker, NgramBlocker};
+pub use blocking::{
+    evaluate_blocking, BlockingStats, CandidatePairs, EmbeddingBlocker, NgramBlocker,
+};
 pub use config::{ComponentSet, PipelineConfig};
-pub use pipeline::{Prediction, Preprocessor, RunResult};
+pub use exec::{ExecStats, ExecutionOptions, ExecutionPlan, Executor};
+pub use pipeline::{FailureKind, Prediction, Preprocessor, RunResult};
 pub use repair::{Repair, RepairOutcome, Repairer};

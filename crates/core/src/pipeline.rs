@@ -7,22 +7,67 @@
 //!                             contextualization,             cost, time)
 //!                             feature selection)
 //! ```
+//!
+//! The [`Preprocessor`] is a thin facade: it plans the run with
+//! [`crate::exec::ExecutionPlan`] and dispatches it with
+//! [`crate::exec::Executor`], serially or across worker threads per
+//! [`crate::config::PipelineConfig::workers`].
 
 use dprep_llm::{ChatModel, UsageTotals};
-use dprep_prompt::{
-    build_request, make_batches, parse_response, ExtractedAnswer, FewShotExample, TaskInstance,
-};
+use dprep_prompt::{ExtractedAnswer, FewShotExample, TaskInstance};
 
 use crate::config::PipelineConfig;
+use crate::exec::{ExecStats, ExecutionOptions, ExecutionPlan, Executor};
+
+/// Why the pipeline has no answer for an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The response ignored the answer format entirely — nothing parsed.
+    FormatViolation,
+    /// The response answered other questions in the batch but skipped this
+    /// one (batch misalignment).
+    SkippedAnswer,
+    /// The prompt exceeded the model's context window; answers past the
+    /// truncation point never existed.
+    ContextOverflow,
+    /// The serving layer faulted (timeout / truncated stream) and no retry
+    /// middleware was in play.
+    Faulted,
+    /// The serving layer faulted and the retry budget ran out.
+    RetriesExhausted,
+}
+
+impl FailureKind {
+    /// A short stable label (CLI tables, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::FormatViolation => "format-violation",
+            FailureKind::SkippedAnswer => "skipped-answer",
+            FailureKind::ContextOverflow => "context-overflow",
+            FailureKind::Faulted => "faulted",
+            FailureKind::RetriesExhausted => "retries-exhausted",
+        }
+    }
+
+    /// All kinds, in reporting order.
+    pub fn all() -> [FailureKind; 5] {
+        [
+            FailureKind::FormatViolation,
+            FailureKind::SkippedAnswer,
+            FailureKind::ContextOverflow,
+            FailureKind::Faulted,
+            FailureKind::RetriesExhausted,
+        ]
+    }
+}
 
 /// The pipeline's output for one data instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Prediction {
     /// A parsed answer.
     Answered(ExtractedAnswer),
-    /// The model's response for this instance could not be parsed (format
-    /// violation, skipped answer, or context overflow).
-    Unparsed,
+    /// No answer, with the reason.
+    Failed(FailureKind),
 }
 
 impl Prediction {
@@ -30,7 +75,15 @@ impl Prediction {
     pub fn answer(&self) -> Option<&ExtractedAnswer> {
         match self {
             Prediction::Answered(a) => Some(a),
-            Prediction::Unparsed => None,
+            Prediction::Failed(_) => None,
+        }
+    }
+
+    /// The failure, if any.
+    pub fn failure(&self) -> Option<FailureKind> {
+        match self {
+            Prediction::Answered(_) => None,
+            Prediction::Failed(kind) => Some(*kind),
         }
     }
 
@@ -46,30 +99,44 @@ impl Prediction {
 }
 
 /// Result of a full run: one prediction per input instance (same order)
-/// plus usage totals.
+/// plus usage totals and serving-layer counters.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Per-instance predictions, parallel to the input slice.
     pub predictions: Vec<Prediction>,
     /// Aggregated tokens, cost, and virtual time.
     pub usage: UsageTotals,
+    /// Request-level counters (dedup, retries, cache hits, faults).
+    pub stats: ExecStats,
 }
 
 impl RunResult {
-    /// Number of instances whose answer could not be parsed.
-    pub fn unparsed_count(&self) -> usize {
+    /// Number of instances with no parsed answer.
+    pub fn failed_count(&self) -> usize {
         self.predictions
             .iter()
-            .filter(|p| matches!(p, Prediction::Unparsed))
+            .filter(|p| matches!(p, Prediction::Failed(_)))
             .count()
     }
 
-    /// Fraction of unparseable instances (0 for an empty run).
-    pub fn unparsed_rate(&self) -> f64 {
+    /// Fraction of failed instances (0 for an empty run).
+    pub fn failure_rate(&self) -> f64 {
         if self.predictions.is_empty() {
             return 0.0;
         }
-        self.unparsed_count() as f64 / self.predictions.len() as f64
+        self.failed_count() as f64 / self.predictions.len() as f64
+    }
+
+    /// Failure counts per kind, in [`FailureKind::all`] order.
+    pub fn failure_breakdown(&self) -> [(FailureKind, usize); 5] {
+        FailureKind::all().map(|kind| {
+            let count = self
+                .predictions
+                .iter()
+                .filter(|p| p.failure() == Some(kind))
+                .count();
+            (kind, count)
+        })
     }
 }
 
@@ -85,30 +152,6 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
         Preprocessor { model, config }
     }
 
-    /// Largest batch size whose prompt fits in ~85% of the model's context
-    /// window, estimated from a one-instance sample request.
-    fn context_fitted_batch_size(
-        &self,
-        instances: &[TaskInstance],
-        shots: &[FewShotExample],
-    ) -> usize {
-        let configured = self.config.effective_batch_size();
-        if configured <= 1 || instances.is_empty() {
-            return configured.max(1);
-        }
-        let prompt_config = self.config.prompt_config();
-        let sample = build_request(&prompt_config, shots, &[&instances[0]]);
-        let fixed_plus_one = dprep_text::count_tokens(&sample.full_text());
-        let per_question = dprep_text::count_tokens(
-            &instances[0].question_text(prompt_config.feature_indices.as_deref()),
-        ) + 8;
-        let budget = (self.model.context_window() as f64 * 0.85) as usize;
-        if fixed_plus_one >= budget {
-            return 1;
-        }
-        (1 + (budget - fixed_plus_one) / per_question.max(1)).min(configured)
-    }
-
     /// The active configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
@@ -117,60 +160,11 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
     /// Runs the pipeline over `instances`, using `examples` when the
     /// configuration enables few-shot prompting.
     pub fn run(&self, instances: &[TaskInstance], examples: &[FewShotExample]) -> RunResult {
-        let mut predictions = vec![Prediction::Unparsed; instances.len()];
-        let mut usage = UsageTotals::default();
-        if instances.is_empty() {
-            return RunResult { predictions, usage };
-        }
-
-        let shots: &[FewShotExample] = if self.config.components.few_shot {
-            examples
-        } else {
-            &[]
-        };
-        let prompt_config = self.config.prompt_config();
-        let mut strategy = self.config.batch_strategy();
-        if self.config.fit_context {
-            let clamped = self.context_fitted_batch_size(instances, shots);
-            strategy = match strategy {
-                dprep_prompt::BatchStrategy::Random { batch_size } => {
-                    dprep_prompt::BatchStrategy::Random {
-                        batch_size: batch_size.min(clamped),
-                    }
-                }
-                dprep_prompt::BatchStrategy::Cluster { batch_size, clusters } => {
-                    dprep_prompt::BatchStrategy::Cluster {
-                        batch_size: batch_size.min(clamped),
-                        clusters,
-                    }
-                }
-            };
-        }
-        let batches = make_batches(instances, &strategy, self.config.seed);
-
-        for batch in batches {
-            let batch_refs: Vec<&TaskInstance> = batch.iter().map(|&i| &instances[i]).collect();
-            let request = build_request(&prompt_config, shots, &batch_refs)
-                .with_temperature(
-                    self.config
-                        .temperature
-                        .unwrap_or_else(|| self.model.default_temperature()),
-                );
-            let response = self.model.chat(&request);
-            usage.record(
-                &response.usage,
-                self.model.cost_usd(&response.usage),
-                response.latency_secs,
-            );
-            let answers = parse_response(&response.text, prompt_config.reasoning);
-            for (position, &instance_idx) in batch.iter().enumerate() {
-                if let Some(extracted) = answers.get(&(position + 1)) {
-                    predictions[instance_idx] = Prediction::Answered(extracted.clone());
-                }
-            }
-        }
-
-        RunResult { predictions, usage }
+        let plan = ExecutionPlan::build(self.model, &self.config, instances, examples);
+        Executor::new(ExecutionOptions {
+            workers: self.config.workers,
+        })
+        .run(self.model, &plan)
     }
 }
 
@@ -178,22 +172,29 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
 mod tests {
     use super::*;
     use crate::config::ComponentSet;
+    use crate::exec::context_fitted_batch_size;
     use dprep_llm::{ChatRequest, ChatResponse, Usage};
     use dprep_prompt::Task;
     use dprep_tabular::{Record, Schema, Value};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
-    /// A scripted model echoing a fixed verdict, counting requests.
+    /// A scripted model echoing a fixed verdict, counting requests
+    /// (atomically — the executor may call it from several threads).
     struct ScriptedModel {
         verdict: &'static str,
-        requests: std::cell::Cell<usize>,
+        requests: AtomicUsize,
     }
 
     impl ScriptedModel {
         fn new(verdict: &'static str) -> Self {
             ScriptedModel {
                 verdict,
-                requests: std::cell::Cell::new(0),
+                requests: AtomicUsize::new(0),
             }
+        }
+
+        fn requests(&self) -> usize {
+            self.requests.load(Ordering::Relaxed)
         }
     }
 
@@ -208,7 +209,7 @@ mod tests {
             usage.total_tokens() as f64 * 1e-6
         }
         fn chat(&self, request: &ChatRequest) -> ChatResponse {
-            self.requests.set(self.requests.get() + 1);
+            self.requests.fetch_add(1, Ordering::Relaxed);
             // Answer every numbered question in the final user message.
             let body = &request.messages.last().unwrap().content;
             let count = body.matches("Question ").count().max(1);
@@ -216,14 +217,14 @@ mod tests {
             for i in 1..=count {
                 text.push_str(&format!("Answer {i}: {}\n", self.verdict));
             }
-            ChatResponse {
+            ChatResponse::new(
                 text,
-                usage: Usage {
+                Usage {
                     prompt_tokens: 100,
                     completion_tokens: 10 * count,
                 },
-                latency_secs: 1.0,
-            }
+                1.0,
+            )
         }
     }
 
@@ -231,11 +232,8 @@ mod tests {
         let schema = Schema::all_text(&["title"]).unwrap().shared();
         (0..n)
             .map(|i| {
-                let rec = Record::new(
-                    schema.clone(),
-                    vec![Value::text(format!("product {i}"))],
-                )
-                .unwrap();
+                let rec =
+                    Record::new(schema.clone(), vec![Value::text(format!("product {i}"))]).unwrap();
                 TaskInstance::EntityMatching {
                     a: rec.clone(),
                     b: rec,
@@ -254,14 +252,15 @@ mod tests {
         let instances = em_instances(10);
         let result = pre.run(&instances, &[]);
         assert_eq!(result.predictions.len(), 10);
-        assert_eq!(result.unparsed_count(), 0);
+        assert_eq!(result.failed_count(), 0);
         assert!(result
             .predictions
             .iter()
             .all(|p| p.as_yes_no() == Some(true)));
         // 10 instances at batch size 4 -> 3 requests.
-        assert_eq!(model.requests.get(), 3);
+        assert_eq!(model.requests(), 3);
         assert_eq!(result.usage.requests, 3);
+        assert_eq!(result.stats.requests, 3);
         assert!(result.usage.cost_usd > 0.0);
         assert!((result.usage.latency_secs - 3.0).abs() < 1e-12);
     }
@@ -281,8 +280,11 @@ mod tests {
         let pre = Preprocessor::new(&model, config);
         let instances = em_instances(5);
         let result = pre.run(&instances, &[]);
-        assert_eq!(model.requests.get(), 5);
-        assert!(result.predictions.iter().all(|p| p.as_yes_no() == Some(false)));
+        assert_eq!(model.requests(), 5);
+        assert!(result
+            .predictions
+            .iter()
+            .all(|p| p.as_yes_no() == Some(false)));
     }
 
     #[test]
@@ -292,7 +294,7 @@ mod tests {
         let result = pre.run(&[], &[]);
         assert!(result.predictions.is_empty());
         assert_eq!(result.usage.requests, 0);
-        assert_eq!(result.unparsed_rate(), 0.0);
+        assert_eq!(result.failure_rate(), 0.0);
     }
 
     /// A model that never answers question 2.
@@ -317,16 +319,12 @@ mod tests {
                     text.push_str(&format!("Answer {i}: yes\n"));
                 }
             }
-            ChatResponse {
-                text,
-                usage: Usage::default(),
-                latency_secs: 0.1,
-            }
+            ChatResponse::new(text, Usage::default(), 0.1)
         }
     }
 
     #[test]
-    fn skipped_answers_become_unparsed() {
+    fn skipped_answers_are_classified() {
         let model = SkippingModel;
         let mut config = PipelineConfig::best(Task::EntityMatching);
         config.components.few_shot = false;
@@ -335,7 +333,154 @@ mod tests {
         let pre = Preprocessor::new(&model, config);
         let instances = em_instances(3);
         let result = pre.run(&instances, &[]);
-        assert_eq!(result.unparsed_count(), 1);
-        assert!((result.unparsed_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(result.failed_count(), 1);
+        assert!((result.failure_rate() - 1.0 / 3.0).abs() < 1e-12);
+        let skipped = result
+            .failure_breakdown()
+            .iter()
+            .find(|(k, _)| *k == FailureKind::SkippedAnswer)
+            .map(|&(_, n)| n)
+            .unwrap();
+        assert_eq!(skipped, 1);
+        // Every instance is accounted for: answered + failed == total.
+        let answered = result
+            .predictions
+            .iter()
+            .filter(|p| p.answer().is_some())
+            .count();
+        assert_eq!(answered + result.failed_count(), instances.len());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let instances = em_instances(23);
+        let mut reference: Option<RunResult> = None;
+        for workers in [1usize, 2, 8] {
+            let model = ScriptedModel::new("yes");
+            let mut config = PipelineConfig::best(Task::EntityMatching);
+            config.components.few_shot = false;
+            config.batch_size = 3;
+            config.workers = workers;
+            let result = Preprocessor::new(&model, config).run(&instances, &[]);
+            if let Some(reference) = &reference {
+                assert_eq!(
+                    result.predictions, reference.predictions,
+                    "workers={workers}"
+                );
+                assert_eq!(result.stats, reference.stats, "workers={workers}");
+                assert_eq!(
+                    result.usage.total_tokens(),
+                    reference.usage.total_tokens(),
+                    "workers={workers}"
+                );
+                assert_eq!(result.usage.requests, reference.usage.requests);
+                assert!((result.usage.cost_usd - reference.usage.cost_usd).abs() < 1e-15);
+                assert!((result.usage.latency_secs - reference.usage.latency_secs).abs() < 1e-15);
+            } else {
+                reference = Some(result);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_batches_are_deduplicated_at_plan_time() {
+        // Ten byte-identical instances at batch size 1 produce ten identical
+        // prompts -> one dispatched request regardless of worker count.
+        let schema = Schema::all_text(&["title"]).unwrap().shared();
+        let rec = Record::new(schema, vec![Value::text("same product")]).unwrap();
+        let instances: Vec<TaskInstance> = (0..10)
+            .map(|_| TaskInstance::EntityMatching {
+                a: rec.clone(),
+                b: rec.clone(),
+            })
+            .collect();
+        for workers in [1usize, 4] {
+            let model = ScriptedModel::new("yes");
+            let mut config = PipelineConfig::best(Task::EntityMatching);
+            config.components.few_shot = false;
+            config.components.batching = false;
+            config.workers = workers;
+            let result = Preprocessor::new(&model, config).run(&instances, &[]);
+            assert_eq!(model.requests(), 1, "workers={workers}");
+            assert_eq!(result.stats.deduped, 9);
+            assert_eq!(result.usage.requests, 1);
+            assert!(result
+                .predictions
+                .iter()
+                .all(|p| p.as_yes_no() == Some(true)));
+        }
+    }
+
+    // --- context_fitted_batch_size edge cases ---------------------------
+
+    fn fit_config(batch_size: usize) -> PipelineConfig {
+        let mut config = PipelineConfig::best(Task::EntityMatching);
+        config.components.few_shot = false;
+        config.batch_size = batch_size;
+        config
+    }
+
+    #[test]
+    fn context_fit_empty_slice_keeps_configured_size() {
+        let model = ScriptedModel::new("yes");
+        let config = fit_config(12);
+        assert_eq!(context_fitted_batch_size(&model, &config, &[], &[]), 12);
+    }
+
+    #[test]
+    fn context_fit_batch_size_one_is_passthrough() {
+        let model = ScriptedModel::new("yes");
+        let mut config = fit_config(1);
+        let instances = em_instances(3);
+        assert_eq!(
+            context_fitted_batch_size(&model, &config, &instances, &[]),
+            1
+        );
+        // Batching disabled entirely behaves the same.
+        config.components.batching = false;
+        config.batch_size = 15;
+        assert_eq!(
+            context_fitted_batch_size(&model, &config, &instances, &[]),
+            1
+        );
+    }
+
+    #[test]
+    fn context_fit_oversized_question_clamps_to_one() {
+        /// A model whose window is smaller than any one-question prompt.
+        struct TinyWindow;
+        impl ChatModel for TinyWindow {
+            fn name(&self) -> &str {
+                "tiny"
+            }
+            fn context_window(&self) -> usize {
+                10
+            }
+            fn cost_usd(&self, _usage: &Usage) -> f64 {
+                0.0
+            }
+            fn chat(&self, _request: &ChatRequest) -> ChatResponse {
+                ChatResponse::new("", Usage::default(), 0.0)
+            }
+        }
+        let config = fit_config(15);
+        let instances = em_instances(5);
+        assert_eq!(
+            context_fitted_batch_size(&TinyWindow, &config, &instances, &[]),
+            1
+        );
+    }
+
+    #[test]
+    fn context_fit_never_exceeds_configured_size() {
+        let model = ScriptedModel::new("yes");
+        let config = fit_config(4);
+        let instances = em_instances(50);
+        // A 100k window fits far more than 4 questions; the configured size
+        // is the ceiling.
+        assert_eq!(
+            context_fitted_batch_size(&model, &config, &instances, &[]),
+            4
+        );
     }
 }

@@ -41,6 +41,8 @@ pub struct RepairOutcome {
     pub repairs: Vec<Repair>,
     /// Combined usage of the detection and imputation passes.
     pub usage: UsageTotals,
+    /// Combined serving counters of both passes.
+    pub stats: crate::exec::ExecStats,
 }
 
 /// Composes error detection and data imputation into table repair.
@@ -100,7 +102,9 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
         let mut cells = Vec::new();
         for (row_idx, row) in table.rows().iter().enumerate() {
             for attr in &attrs {
-                let Some(value) = row.get_by_name(attr) else { continue };
+                let Some(value) = row.get_by_name(attr) else {
+                    continue;
+                };
                 if value.is_missing() {
                     continue;
                 }
@@ -114,6 +118,7 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
         let detector = Preprocessor::new(self.model, self.detect_config.clone());
         let detected = detector.run(&detect_instances, detect_examples);
         let mut usage = detected.usage;
+        let mut stats = detected.stats;
 
         let flagged: Vec<(usize, String, Option<String>)> = cells
             .iter()
@@ -142,13 +147,12 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
         let imputer = Preprocessor::new(self.model, self.impute_config.clone());
         let imputed = imputer.run(&impute_instances, impute_examples);
         usage.merge(&imputed.usage);
+        stats.merge(&imputed.stats);
 
         // ── apply ────────────────────────────────────────────────────────
         let mut rows: Vec<Record> = table.rows().to_vec();
         let mut repairs = Vec::with_capacity(flagged.len());
-        for ((row_idx, attr, reason), prediction) in
-            flagged.into_iter().zip(&imputed.predictions)
-        {
+        for ((row_idx, attr, reason), prediction) in flagged.into_iter().zip(&imputed.predictions) {
             let attr_idx = table.schema().index_of(&attr).expect("attr exists");
             let replacement = prediction.value().map(str::to_string);
             let new_value = match &replacement {
@@ -168,12 +172,13 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
                 detection_reason: reason,
             });
         }
-        let table = Table::from_records(Arc::clone(table.schema()), rows)
-            .expect("schema unchanged");
+        let table =
+            Table::from_records(Arc::clone(table.schema()), rows).expect("schema unchanged");
         RepairOutcome {
             table,
             repairs,
             usage,
+            stats,
         }
     }
 }
@@ -185,7 +190,9 @@ mod tests {
     use dprep_tabular::Schema;
 
     fn dirty_table() -> Table {
-        let schema = Schema::all_text(&["name", "phone", "city"]).unwrap().shared();
+        let schema = Schema::all_text(&["name", "phone", "city"])
+            .unwrap()
+            .shared();
         let mut t = Table::new(Arc::clone(&schema));
         t.push_values(vec![
             Value::text("carey's corner"),
@@ -257,7 +264,7 @@ mod tests {
     #[should_panic(expected = "detect config task")]
     fn wrong_config_task_panics() {
         let model = model();
-        let _ = Repairer::new(&model)
-            .with_detect_config(PipelineConfig::best(Task::EntityMatching));
+        let _ =
+            Repairer::new(&model).with_detect_config(PipelineConfig::best(Task::EntityMatching));
     }
 }

@@ -15,7 +15,9 @@ fn unpair(ds: &dprep_datasets::Dataset) -> (Vec<Record>, Vec<Record>, Vec<(usize
     let mut right = Vec::new();
     let mut gold = Vec::new();
     for (inst, label) in ds.instances.iter().zip(&ds.labels) {
-        let TaskInstance::EntityMatching { a, b } = inst else { continue };
+        let TaskInstance::EntityMatching { a, b } = inst else {
+            continue;
+        };
         let idx = left.len();
         left.push(a.clone());
         right.push(b.clone());

@@ -14,8 +14,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use dprep_rng::Rng;
 
 use dprep_llm::{Fact, KnowledgeBase};
 use dprep_prompt::{FewShotExample, Task, TaskInstance};
@@ -45,19 +44,19 @@ fn schema() -> Arc<Schema> {
     .shared()
 }
 
-fn clean_row(rng: &mut StdRng) -> Vec<Value> {
-    let age = rng.gen_range(17..=90i64);
-    let gain = if rng.gen::<f64>() < 0.8 {
+fn clean_row(rng: &mut Rng) -> Vec<Value> {
+    let age = rng.range_incl(17, 90i64);
+    let gain = if rng.f64() < 0.8 {
         0
     } else {
-        rng.gen_range(100..=99_999i64)
+        rng.range_incl(100, 99_999i64)
     };
-    let loss = if rng.gen::<f64>() < 0.9 {
+    let loss = if rng.f64() < 0.9 {
         0
     } else {
-        rng.gen_range(100..=4356i64)
+        rng.range_incl(100, 4356i64)
     };
-    let hours = rng.gen_range(1..=99i64);
+    let hours = rng.range_incl(1, 99i64);
     vec![
         Value::Int(age),
         Value::text(pick(rng, WORKCLASSES)),
@@ -65,11 +64,11 @@ fn clean_row(rng: &mut StdRng) -> Vec<Value> {
         Value::text(pick(rng, MARITAL_STATUSES)),
         Value::text(pick(rng, OCCUPATIONS)),
         Value::text(pick(rng, RACES)),
-        Value::text(if rng.gen() { "male" } else { "female" }),
+        Value::text(if rng.bool(0.5) { "male" } else { "female" }),
         Value::Int(gain),
         Value::Int(loss),
         Value::Int(hours),
-        Value::text(if rng.gen::<f64>() < 0.25 { ">50k" } else { "<=50k" }),
+        Value::text(if rng.f64() < 0.25 { ">50k" } else { "<=50k" }),
     ]
 }
 
@@ -88,14 +87,14 @@ fn category_pool(attr_index: usize) -> Option<&'static [&'static str]> {
 /// Corrupts the cell at `attr` with an *illustrative* error — the kind a
 /// user would label in a few-shot example (blatant numeric, typo, or
 /// garbage; never a subtle valid-category swap).
-fn corrupt_obvious(rng: &mut StdRng, attr: usize, current: &Value) -> Value {
+fn corrupt_obvious(rng: &mut Rng, attr: usize, current: &Value) -> Value {
     match current {
         Value::Int(_) => corrupt(rng, attr, current),
         Value::Text(s) => {
-            if rng.gen::<f64>() < 0.7 {
+            if rng.f64() < 0.7 {
                 Value::text(typo(rng, s))
             } else {
-                Value::text(GARBAGE[rng.gen_range(0..GARBAGE.len())])
+                Value::text(GARBAGE[rng.range(0, GARBAGE.len())])
             }
         }
         other => other.clone(),
@@ -103,19 +102,19 @@ fn corrupt_obvious(rng: &mut StdRng, attr: usize, current: &Value) -> Value {
 }
 
 /// Corrupts the cell at `attr`, returning the corrupted value.
-fn corrupt(rng: &mut StdRng, attr: usize, current: &Value) -> Value {
+fn corrupt(rng: &mut Rng, attr: usize, current: &Value) -> Value {
     match current {
         Value::Int(_) => match attr {
-            0 => Value::Int(rng.gen_range(120..=400)), // age
-            9 => Value::Int(rng.gen_range(120..=999)), // hoursperweek
-            _ => Value::Int(-rng.gen_range(100..=9999)),
+            0 => Value::Int(rng.range_incl(120, 400)), // age
+            9 => Value::Int(rng.range_incl(120, 999)), // hoursperweek
+            _ => Value::Int(-rng.range_incl(100, 9999)),
         },
         Value::Text(s) => {
-            let roll = rng.gen::<f64>();
+            let roll = rng.f64();
             if roll < 0.6 {
                 Value::text(typo(rng, s))
             } else if roll < 0.8 {
-                Value::text(GARBAGE[rng.gen_range(0..GARBAGE.len())])
+                Value::text(GARBAGE[rng.range(0, GARBAGE.len())])
             } else if let Some(pool) = category_pool(attr) {
                 // Subtle: a different *valid* category.
                 let mut v = pick(rng, pool);
@@ -184,7 +183,7 @@ fn knowledge_base() -> KnowledgeBase {
 
 /// One cell instance: build the (possibly corrupted) record and label.
 fn make_cell_instances(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     schema: &Arc<Schema>,
     n_rows: usize,
     error_rate: f64,
@@ -195,7 +194,7 @@ fn make_cell_instances(
         let mut values = clean_row(rng);
         let mut is_error = vec![false; schema.len()];
         for (attr, flag) in is_error.iter_mut().enumerate() {
-            if rng.gen::<f64>() < error_rate {
+            if rng.f64() < error_rate {
                 values[attr] = corrupt(rng, attr, &values[attr]);
                 *flag = true;
             }
@@ -212,7 +211,7 @@ fn make_cell_instances(
     (instances, labels)
 }
 
-fn few_shot(rng: &mut StdRng, schema: &Arc<Schema>) -> Vec<FewShotExample> {
+fn few_shot(rng: &mut Rng, schema: &Arc<Schema>) -> Vec<FewShotExample> {
     let mut shots = Vec::with_capacity(10);
     // Five clean, five erroneous, across different attributes.
     let attrs = [0usize, 1, 2, 9, 4, 0, 9, 1, 2, 4];

@@ -8,8 +8,6 @@
 
 use std::sync::Arc;
 
-use rand::Rng;
-
 use dprep_llm::{Fact, KnowledgeBase};
 use dprep_prompt::Task;
 use dprep_tabular::{AttrType, Schema, Value};
@@ -47,9 +45,9 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
     for _ in 0..110usize {
         let publisher = pick(&mut rng, SOFTWARE_PUBLISHERS);
         let noun = pick(&mut rng, SOFTWARE_NOUNS);
-        let members = rng.gen_range(2..=4);
+        let members = rng.range_incl(2, 4);
         let mut family = Vec::with_capacity(members);
-        let base_year = rng.gen_range(2002..=2007);
+        let base_year = rng.range_incl(2002, 2007);
         for m in 0..members {
             let edition = pick(&mut rng, EDITIONS);
             family.push(vec![
@@ -58,7 +56,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
                     base_year + m as i64
                 )),
                 Value::text(publisher),
-                Value::Int(rng.gen_range(20..400)),
+                Value::Int(rng.range(20, 400)),
             ]);
         }
         families.push(family);
@@ -130,7 +128,10 @@ mod tests {
             let ta = a.get_by_name("title").unwrap().to_string();
             let tb = b.get_by_name("title").unwrap().to_string();
             let words_a: std::collections::HashSet<&str> = ta.split_whitespace().collect();
-            let shared = tb.split_whitespace().filter(|w| words_a.contains(w)).count();
+            let shared = tb
+                .split_whitespace()
+                .filter(|w| words_a.contains(w))
+                .count();
             if shared >= 2 {
                 hard += 1;
             }

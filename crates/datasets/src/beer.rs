@@ -9,8 +9,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use dprep_rng::Rng;
 
 use dprep_llm::{Fact, KnowledgeBase};
 use dprep_prompt::Task;
@@ -39,7 +38,7 @@ fn schema() -> Arc<Schema> {
     .shared()
 }
 
-fn tasting_notes(rng: &mut StdRng) -> String {
+fn tasting_notes(rng: &mut Rng) -> String {
     // Three distinct random words with no shared scaffolding: review
     // sites describe the same beer completely differently, so this
     // attribute carries no matching signal at all.
@@ -70,10 +69,14 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
     // Families: one brewery brews 2–3 distinct beers (hard negatives).
     let mut families = Vec::new();
     for _ in 0..40usize {
-        let brewery = format!("{} {}", pick(&mut rng, LAST_NAMES), pick(&mut rng, BREWERY_TAILS));
-        let members = rng.gen_range(2..=3);
+        let brewery = format!(
+            "{} {}",
+            pick(&mut rng, LAST_NAMES),
+            pick(&mut rng, BREWERY_TAILS)
+        );
+        let members = rng.range_incl(2, 3);
         let mut family = Vec::new();
-        let first_style = rng.gen_range(0..BEER_STYLES.len());
+        let first_style = rng.range(0, BEER_STYLES.len());
         for m in 0..members {
             // Beers of one brewery differ in style, keeping same-brewery
             // negatives distinguishable by more than the name.
@@ -87,7 +90,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
                 )),
                 Value::text(brewery.clone()),
                 Value::text(BEER_STYLES[style_idx]),
-                Value::text(format!("{:.1}%", rng.gen_range(40..110) as f64 / 10.0)),
+                Value::text(format!("{:.1}%", rng.range(40, 110) as f64 / 10.0)),
                 // Uncorrelated notes: regenerated per variant below would be
                 // ideal, but the pair machinery perturbs a fixed value — a
                 // fresh draw per *entity* plus heavy blanking when rendered
@@ -122,7 +125,8 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
         if let dprep_prompt::TaskInstance::EntityMatching { b, .. } = inst {
             let idx = b.schema().index_of("notes").expect("notes attr");
             if !b.get(idx).expect("in range").is_missing() {
-                b.set(idx, Value::text(tasting_notes(&mut rng))).expect("in range");
+                b.set(idx, Value::text(tasting_notes(&mut rng)))
+                    .expect("in range");
             }
         }
     }

@@ -9,8 +9,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use dprep_rng::Rng;
 
 use dprep_llm::{Fact, KnowledgeBase};
 use dprep_prompt::{FewShotExample, Task, TaskInstance};
@@ -23,9 +22,26 @@ use crate::{scaled, Dataset, Label};
 /// Product-line names, each belonging to a brand (index-aligned with
 /// [`BRANDS`] cyclically).
 const PRODUCT_LINES: &[&str] = &[
-    "bravia", "galaxy", "thinkpad", "powershot", "coolpix", "lumix", "mx master", "nighthawk",
-    "forerunner", "satellite", "hue", "flip", "zenbook", "predator", "ecotank", "scan n cut",
-    "extreme pro", "barracuda", "vengeance", "deathadder",
+    "bravia",
+    "galaxy",
+    "thinkpad",
+    "powershot",
+    "coolpix",
+    "lumix",
+    "mx master",
+    "nighthawk",
+    "forerunner",
+    "satellite",
+    "hue",
+    "flip",
+    "zenbook",
+    "predator",
+    "ecotank",
+    "scan n cut",
+    "extreme pro",
+    "barracuda",
+    "vengeance",
+    "deathadder",
 ];
 
 fn line_brand(line_idx: usize) -> &'static str {
@@ -50,27 +66,31 @@ struct Product {
     manufacturer: &'static str,
 }
 
-fn make_product(rng: &mut StdRng) -> Product {
+fn make_product(rng: &mut Rng) -> Product {
     let noun = pick(rng, PRODUCT_NOUNS);
     let qualifier = pick(rng, PRODUCT_QUALIFIERS);
-    let model = format!("{}{}", (b'a' + rng.gen_range(0..26u8)) as char, rng.gen_range(100..999));
-    if rng.gen::<f64>() < 0.75 {
+    let model = format!(
+        "{}{}",
+        (b'a' + rng.range(0, 26u8)) as char,
+        rng.range(100, 999)
+    );
+    if rng.f64() < 0.75 {
         // Brand named explicitly in the title.
         let brand = pick(rng, BRANDS);
         Product {
             name: format!("{brand} {qualifier} {noun} {model}"),
             description: format!("{qualifier} {noun} with warranty"),
-            price: rng.gen_range(20..1500),
+            price: rng.range(20, 1500),
             manufacturer: brand,
         }
     } else {
         // Only the product line appears; the maker is world knowledge.
-        let line_idx = rng.gen_range(0..PRODUCT_LINES.len());
+        let line_idx = rng.range(0, PRODUCT_LINES.len());
         let line = PRODUCT_LINES[line_idx];
         Product {
             name: format!("{line} {qualifier} {noun} {model}"),
             description: format!("{noun} from the {line} series"),
-            price: rng.gen_range(20..1500),
+            price: rng.range(20, 1500),
             manufacturer: line_brand(line_idx),
         }
     }
@@ -197,21 +217,25 @@ mod tests {
             let name = record.get_by_name("name").unwrap().to_string();
             let found = name
                 .split_whitespace()
-                .chain(name.split_whitespace().zip(name.split_whitespace().skip(1)).map(|(a, _b)| a))
+                .chain(
+                    name.split_whitespace()
+                        .zip(name.split_whitespace().skip(1))
+                        .map(|(a, _b)| a),
+                )
                 .find_map(|tok| ds.kb.manufacturer_for_token(&mem, tok))
                 // Two-word product lines ("mx master", "scan n cut") need a
                 // phrase lookup.
                 .or_else(|| {
                     let words: Vec<&str> = name.split_whitespace().collect();
-                    words.windows(2).find_map(|w| {
-                        ds.kb.manufacturer_for_token(&mem, &w.join(" "))
-                    })
+                    words
+                        .windows(2)
+                        .find_map(|w| ds.kb.manufacturer_for_token(&mem, &w.join(" ")))
                 })
                 .or_else(|| {
                     let words: Vec<&str> = name.split_whitespace().collect();
-                    words.windows(3).find_map(|w| {
-                        ds.kb.manufacturer_for_token(&mem, &w.join(" "))
-                    })
+                    words
+                        .windows(3)
+                        .find_map(|w| ds.kb.manufacturer_for_token(&mem, &w.join(" ")))
                 });
             assert_eq!(
                 found,

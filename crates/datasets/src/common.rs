@@ -3,8 +3,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dprep_rng::Rng;
 
 use dprep_prompt::{FewShotExample, TaskInstance};
 use dprep_tabular::{Record, Schema, Value};
@@ -12,14 +11,14 @@ use dprep_tabular::{Record, Schema, Value};
 use crate::Label;
 
 /// Picks a random element of a pool.
-pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
-    pool[rng.gen_range(0..pool.len())]
+pub fn pick<'a>(rng: &mut Rng, pool: &[&'a str]) -> &'a str {
+    pool[rng.range(0, pool.len())]
 }
 
 /// Introduces one character-level typo (substitution, deletion, or
 /// duplication) into `s`. Strings shorter than 3 characters are returned
 /// unchanged.
-pub fn typo(rng: &mut StdRng, s: &str) -> String {
+pub fn typo(rng: &mut Rng, s: &str) -> String {
     let chars: Vec<char> = s.chars().collect();
     if chars.len() < 3 {
         return s.to_string();
@@ -31,12 +30,12 @@ pub fn typo(rng: &mut StdRng, s: &str) -> String {
     if positions.is_empty() {
         return s.to_string();
     }
-    let at = positions[rng.gen_range(0..positions.len())];
+    let at = positions[rng.range(0, positions.len())];
     let mut out = chars.clone();
-    match rng.gen_range(0..3u8) {
+    match rng.range(0, 3u8) {
         0 => {
             // Substitute with a nearby letter.
-            let replacement = (b'a' + rng.gen_range(0..26u8)) as char;
+            let replacement = (b'a' + rng.range(0, 26u8)) as char;
             out[at] = replacement;
         }
         1 => {
@@ -50,12 +49,12 @@ pub fn typo(rng: &mut StdRng, s: &str) -> String {
 }
 
 /// Drops one random word from a multi-word string.
-pub fn drop_word(rng: &mut StdRng, s: &str) -> String {
+pub fn drop_word(rng: &mut Rng, s: &str) -> String {
     let words: Vec<&str> = s.split_whitespace().collect();
     if words.len() < 2 {
         return s.to_string();
     }
-    let at = rng.gen_range(0..words.len());
+    let at = rng.range(0, words.len());
     words
         .iter()
         .enumerate()
@@ -65,12 +64,12 @@ pub fn drop_word(rng: &mut StdRng, s: &str) -> String {
 }
 
 /// Swaps two adjacent words.
-pub fn swap_words(rng: &mut StdRng, s: &str) -> String {
+pub fn swap_words(rng: &mut Rng, s: &str) -> String {
     let mut words: Vec<&str> = s.split_whitespace().collect();
     if words.len() < 2 {
         return s.to_string();
     }
-    let at = rng.gen_range(0..words.len() - 1);
+    let at = rng.range(0, words.len() - 1);
     words.swap(at, at + 1);
     words.join(" ")
 }
@@ -144,42 +143,42 @@ impl Noise {
 
 /// Renders one canonical value as a noisy variant.
 pub fn perturb_value(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     value: &Value,
     noise: &Noise,
     aliases: &[(&str, &str)],
 ) -> Value {
-    if rng.gen::<f64>() < noise.blank {
+    if rng.f64() < noise.blank {
         return Value::Missing;
     }
     match value {
         Value::Text(s) => {
             let mut out = s.clone();
-            if rng.gen::<f64>() < noise.alias {
+            if rng.f64() < noise.alias {
                 out = apply_aliases(&out, aliases);
             }
-            if rng.gen::<f64>() < noise.word_drop {
+            if rng.f64() < noise.word_drop {
                 out = drop_word(rng, &out);
             }
-            if rng.gen::<f64>() < noise.reorder {
+            if rng.f64() < noise.reorder {
                 out = swap_words(rng, &out);
             }
-            if rng.gen::<f64>() < noise.typo {
+            if rng.f64() < noise.typo {
                 out = typo(rng, &out);
             }
             Value::Text(out)
         }
         Value::Int(i) => {
-            if noise.numeric_jitter > 0.0 && rng.gen::<f64>() < 0.5 {
-                let jitter = 1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * noise.numeric_jitter;
+            if noise.numeric_jitter > 0.0 && rng.f64() < 0.5 {
+                let jitter = 1.0 + (rng.f64() * 2.0 - 1.0) * noise.numeric_jitter;
                 Value::Int(((*i as f64) * jitter).round() as i64)
             } else {
                 value.clone()
             }
         }
         Value::Float(f) => {
-            if noise.numeric_jitter > 0.0 && rng.gen::<f64>() < 0.5 {
-                let jitter = 1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * noise.numeric_jitter;
+            if noise.numeric_jitter > 0.0 && rng.f64() < 0.5 {
+                let jitter = 1.0 + (rng.f64() * 2.0 - 1.0) * noise.numeric_jitter;
                 Value::Float((f * jitter * 100.0).round() / 100.0)
             } else {
                 value.clone()
@@ -190,7 +189,7 @@ pub fn perturb_value(
 }
 
 fn perturb_record(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     schema: &Arc<Schema>,
     values: &[Value],
     noise: &Noise,
@@ -228,7 +227,7 @@ pub fn make_em_pairs(
     families: &[Vec<Vec<Value>>],
     config: &EmPairConfig,
     aliases: &[(&str, &str)],
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> (Vec<TaskInstance>, Vec<Label>) {
     assert!(!families.is_empty(), "need at least one entity family");
     let multi_member: Vec<usize> = families
@@ -247,34 +246,34 @@ pub fn make_em_pairs(
     };
 
     for _ in 0..config.n_pairs {
-        let is_pos = rng.gen::<f64>() < config.pos_rate;
+        let is_pos = rng.f64() < config.pos_rate;
         if is_pos {
-            let family = &families[rng.gen_range(0..families.len())];
-            let entity = &family[rng.gen_range(0..family.len())];
+            let family = &families[rng.range(0, families.len())];
+            let entity = &family[rng.range(0, family.len())];
             let a = perturb_record(rng, schema, entity, &config.noise, aliases);
             let b = perturb_record(rng, schema, entity, &config.noise, aliases);
             instances.push(TaskInstance::EntityMatching { a, b });
             labels.push(Label::YesNo(true));
         } else {
-            let hard = !multi_member.is_empty() && rng.gen::<f64>() < config.hard_neg_rate;
+            let hard = !multi_member.is_empty() && rng.f64() < config.hard_neg_rate;
             let (ea, eb) = if hard {
-                let family = &families[multi_member[rng.gen_range(0..multi_member.len())]];
-                let i = rng.gen_range(0..family.len());
-                let mut j = rng.gen_range(0..family.len());
+                let family = &families[multi_member[rng.range(0, multi_member.len())]];
+                let i = rng.range(0, family.len());
+                let mut j = rng.range(0, family.len());
                 while j == i {
-                    j = rng.gen_range(0..family.len());
+                    j = rng.range(0, family.len());
                 }
                 (&family[i], &family[j])
             } else {
-                let fi = rng.gen_range(0..families.len());
-                let mut fj = rng.gen_range(0..families.len());
+                let fi = rng.range(0, families.len());
+                let mut fj = rng.range(0, families.len());
                 while families.len() > 1 && fj == fi {
-                    fj = rng.gen_range(0..families.len());
+                    fj = rng.range(0, families.len());
                 }
                 let fa = &families[fi];
                 let fb = &families[fj];
-                let i = rng.gen_range(0..fa.len());
-                let mut j = rng.gen_range(0..fb.len());
+                let i = rng.range(0, fa.len());
+                let mut j = rng.range(0, fb.len());
                 // With a single family the two sides coincide; a "negative"
                 // must still be two distinct entities.
                 if fi == fj {
@@ -283,7 +282,7 @@ pub fn make_em_pairs(
                         "cannot draw a negative pair from one single-member family"
                     );
                     while j == i {
-                        j = rng.gen_range(0..fb.len());
+                        j = rng.range(0, fb.len());
                     }
                 }
                 (&fa[i], &fb[j])
@@ -304,7 +303,7 @@ pub fn make_em_few_shot(
     families: &[Vec<Vec<Value>>],
     config: &EmPairConfig,
     aliases: &[(&str, &str)],
-    rng: &mut StdRng,
+    rng: &mut Rng,
     n_pos: usize,
     n_neg: usize,
 ) -> Vec<FewShotExample> {
@@ -333,7 +332,11 @@ pub fn make_em_few_shot(
             "The records disagree on identifying fields, so they describe \
              different items."
         };
-        shots.push(FewShotExample::new(inst, reason, if is_match { "yes" } else { "no" }));
+        shots.push(FewShotExample::new(
+            inst,
+            reason,
+            if is_match { "yes" } else { "no" },
+        ));
         if want_pos {
             need_pos -= 1;
         } else {
@@ -345,13 +348,13 @@ pub fn make_em_few_shot(
 
 /// Derives a child RNG for a named sub-stream, so adding one generator never
 /// shifts another's randomness.
-pub fn sub_rng(seed: u64, label: &str) -> StdRng {
+pub fn sub_rng(seed: u64, label: &str) -> Rng {
     let mut h: u64 = seed ^ 0x9e37_79b9_7f4a_7c15;
     for b in label.as_bytes() {
         h ^= *b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
-    StdRng::seed_from_u64(h)
+    Rng::seed_from_u64(h)
 }
 
 #[cfg(test)]
@@ -359,8 +362,8 @@ mod tests {
     use super::*;
     use dprep_prompt::Task;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(1)
     }
 
     #[test]
@@ -396,8 +399,14 @@ mod tests {
         let schema = Schema::all_text(&["title", "brand"]).unwrap().shared();
         let families = vec![
             vec![
-                vec![Value::text("sony wireless headphones model a"), Value::text("sony")],
-                vec![Value::text("sony wireless headphones model b"), Value::text("sony")],
+                vec![
+                    Value::text("sony wireless headphones model a"),
+                    Value::text("sony"),
+                ],
+                vec![
+                    Value::text("sony wireless headphones model b"),
+                    Value::text("sony"),
+                ],
             ],
             vec![vec![
                 Value::text("garmin gps navigator classic"),
@@ -443,9 +452,9 @@ mod tests {
         let mut a1 = sub_rng(9, "alpha");
         let mut a2 = sub_rng(9, "alpha");
         let mut b = sub_rng(9, "beta");
-        let x1: u64 = a1.gen();
-        let x2: u64 = a2.gen();
-        let y: u64 = b.gen();
+        let x1 = a1.next_u64();
+        let x2 = a2.next_u64();
+        let y = b.next_u64();
         assert_eq!(x1, x2);
         assert_ne!(x1, y);
     }

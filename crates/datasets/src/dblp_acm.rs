@@ -8,8 +8,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use dprep_rng::Rng;
 
 use dprep_llm::{Fact, KnowledgeBase};
 use dprep_prompt::Task;
@@ -40,8 +39,8 @@ pub(crate) fn venue_aliases() -> Vec<(&'static str, &'static str)> {
         .collect()
 }
 
-fn author_list(rng: &mut StdRng) -> String {
-    let n = rng.gen_range(2..=3);
+fn author_list(rng: &mut Rng) -> String {
+    let n = rng.range_incl(2, 3);
     let mut authors = Vec::with_capacity(n);
     for _ in 0..n {
         authors.push(format!(
@@ -55,14 +54,14 @@ fn author_list(rng: &mut StdRng) -> String {
 
 /// Families of papers: each family shares a topic (and often a venue), so
 /// same-family pairs are the hard negatives of citation matching.
-pub(crate) fn paper_families(rng: &mut StdRng, n_families: usize) -> Vec<Vec<Vec<Value>>> {
+pub(crate) fn paper_families(rng: &mut Rng, n_families: usize) -> Vec<Vec<Vec<Value>>> {
     let mut families = Vec::with_capacity(n_families);
     for _ in 0..n_families {
         let topic = pick(rng, PAPER_TOPICS);
-        let members = rng.gen_range(2..=3);
+        let members = rng.range_incl(2, 3);
         let mut family = Vec::with_capacity(members);
         for _ in 0..members {
-            let venue_idx = rng.gen_range(0..VENUES.len());
+            let venue_idx = rng.range(0, VENUES.len());
             family.push(vec![
                 Value::text(format!(
                     "{} {} for {}",
@@ -72,7 +71,7 @@ pub(crate) fn paper_families(rng: &mut StdRng, n_families: usize) -> Vec<Vec<Vec
                 )),
                 Value::text(author_list(rng)),
                 Value::text(VENUES[venue_idx]),
-                Value::Int(rng.gen_range(1995..=2010)),
+                Value::Int(rng.range_incl(1995, 2010)),
             ]);
         }
         families.push(family);
@@ -151,7 +150,11 @@ mod tests {
     #[test]
     fn positive_rate_close_to_target() {
         let ds = generate(0.4, 2);
-        let pos = ds.labels.iter().filter(|l| l.as_bool() == Some(true)).count();
+        let pos = ds
+            .labels
+            .iter()
+            .filter(|l| l.as_bool() == Some(true))
+            .count();
         let rate = pos as f64 / ds.len() as f64;
         assert!((0.12..=0.26).contains(&rate), "rate = {rate}");
     }

@@ -6,8 +6,6 @@
 //! The paper's models score noticeably lower here (GPT-3.5 76.1, GPT-4
 //! 91.9) than on DBLP-ACM.
 
-use rand::Rng;
-
 use dprep_prompt::Task;
 
 use crate::common::{make_em_few_shot, make_em_pairs, sub_rng, EmPairConfig, Noise};
@@ -20,7 +18,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
     let schema = paper_schema();
     let aliases = venue_aliases();
     // A bigger, messier paper pool than DBLP-ACM.
-    let n_families = 150 + rng.gen_range(0..10);
+    let n_families = 150 + rng.range(0, 10);
     let families = paper_families(&mut rng, n_families);
 
     let config = EmPairConfig {

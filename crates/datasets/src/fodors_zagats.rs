@@ -8,8 +8,6 @@
 
 use std::sync::Arc;
 
-use rand::Rng;
-
 use dprep_llm::KnowledgeBase;
 use dprep_prompt::Task;
 use dprep_tabular::{AttrType, Schema, Value};
@@ -40,7 +38,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
     // Singleton families: no hard negatives exist in this benchmark.
     let mut families = Vec::new();
     for i in 0..160usize {
-        let city_idx = rng.gen_range(0..CITIES.len());
+        let city_idx = rng.range(0, CITIES.len());
         let name = format!(
             "{} {} {}",
             pick(&mut rng, RESTAURANT_LEADS),
@@ -51,7 +49,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
             Value::text(name),
             Value::text(format!(
                 "{} {} {}",
-                rng.gen_range(100..9999),
+                rng.range(100, 9999),
                 pick(&mut rng, STREETS),
                 pick(&mut rng, STREET_SUFFIXES)
             )),
@@ -59,8 +57,8 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
             Value::text(format!(
                 "{}-{}-{:04}",
                 AREA_CODES[city_idx],
-                rng.gen_range(200..999),
-                rng.gen_range(0..10_000)
+                rng.range(200, 999),
+                rng.range(0, 10_000)
             )),
             Value::text(pick(&mut rng, CUISINES)),
         ]]);
@@ -118,7 +116,11 @@ mod tests {
     #[test]
     fn positive_rate_near_eleven_percent() {
         let ds = generate(1.0, 1);
-        let pos = ds.labels.iter().filter(|l| l.as_bool() == Some(true)).count();
+        let pos = ds
+            .labels
+            .iter()
+            .filter(|l| l.as_bool() == Some(true))
+            .count();
         let rate = pos as f64 / ds.len() as f64;
         assert!((0.04..=0.20).contains(&rate), "rate = {rate}");
     }

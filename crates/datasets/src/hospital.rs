@@ -9,8 +9,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use dprep_rng::Rng;
 
 use dprep_llm::{Fact, KnowledgeBase};
 use dprep_prompt::{FewShotExample, Task, TaskInstance};
@@ -18,8 +17,8 @@ use dprep_tabular::{AttrType, Record, Schema, Value};
 
 use crate::common::{pick, sub_rng, typo};
 use crate::vocab::{
-    CITIES, CONDITIONS, COUNTIES, HOSPITAL_LEADS, HOSPITAL_TAILS, MEASURE_NAMES, STATES,
-    STREETS, STREET_SUFFIXES,
+    CITIES, CONDITIONS, COUNTIES, HOSPITAL_LEADS, HOSPITAL_TAILS, MEASURE_NAMES, STATES, STREETS,
+    STREET_SUFFIXES,
 };
 use crate::{scaled, Dataset, Label};
 
@@ -62,12 +61,12 @@ fn schema() -> Arc<Schema> {
     .shared()
 }
 
-fn clean_row(rng: &mut StdRng) -> Vec<Value> {
-    let m = rng.gen_range(0..MEASURE_NAMES.len());
+fn clean_row(rng: &mut Rng) -> Vec<Value> {
+    let m = rng.range(0, MEASURE_NAMES.len());
     let state = pick(rng, STATES);
     let code = measure_code(m);
     vec![
-        Value::Int(rng.gen_range(10_000..99_999)),
+        Value::Int(rng.range(10_000, 99_999)),
         Value::text(format!(
             "{} {}",
             pick(rng, HOSPITAL_LEADS),
@@ -75,19 +74,19 @@ fn clean_row(rng: &mut StdRng) -> Vec<Value> {
         )),
         Value::text(format!(
             "{} {} {}",
-            rng.gen_range(100..9999),
+            rng.range(100, 9999),
             pick(rng, STREETS),
             pick(rng, STREET_SUFFIXES)
         )),
         Value::text(pick(rng, CITIES)),
         Value::text(state),
-        Value::Int(rng.gen_range(30_000..39_999)),
+        Value::Int(rng.range(30_000, 39_999)),
         Value::text(pick(rng, COUNTIES)),
         Value::text(format!(
             "{}-{}-{:04}",
             pick(rng, crate::vocab::AREA_CODES),
-            rng.gen_range(200..999),
-            rng.gen_range(0..10_000)
+            rng.range(200, 999),
+            rng.range(0, 10_000)
         )),
         Value::text(pick(rng, HOSPITAL_TYPES)),
         Value::text(pick(rng, OWNERS)),
@@ -95,14 +94,14 @@ fn clean_row(rng: &mut StdRng) -> Vec<Value> {
         Value::text(CONDITIONS[m % CONDITIONS.len()]),
         Value::text(code),
         Value::text(MEASURE_NAMES[m]),
-        Value::text(format!("{} patients", rng.gen_range(10..500))),
+        Value::text(format!("{} patients", rng.range(10, 500))),
         Value::text(format!("{}_{}", state, measure_code(m))),
-        Value::text(format!("{}%", rng.gen_range(50..100))),
+        Value::text(format!("{}%", rng.range(50, 100))),
     ]
 }
 
 /// Hospital errors are typos into text cells (the benchmark's convention).
-fn corrupt(rng: &mut StdRng, value: &Value) -> Value {
+fn corrupt(rng: &mut Rng, value: &Value) -> Value {
     match value {
         Value::Text(s) => {
             let mut out = typo(rng, s);
@@ -134,14 +133,26 @@ fn knowledge_base() -> KnowledgeBase {
     add_lexicon("hospitalname", names);
     add_lexicon("city", CITIES.iter().map(|s| s.to_string()).collect());
     add_lexicon("state", STATES.iter().map(|s| s.to_string()).collect());
-    add_lexicon("countyname", COUNTIES.iter().map(|s| s.to_string()).collect());
+    add_lexicon(
+        "countyname",
+        COUNTIES.iter().map(|s| s.to_string()).collect(),
+    );
     add_lexicon(
         "hospitaltype",
         HOSPITAL_TYPES.iter().map(|s| s.to_string()).collect(),
     );
-    add_lexicon("hospitalowner", OWNERS.iter().map(|s| s.to_string()).collect());
-    add_lexicon("emergencyservice", EMERGENCY.iter().map(|s| s.to_string()).collect());
-    add_lexicon("condition", CONDITIONS.iter().map(|s| s.to_string()).collect());
+    add_lexicon(
+        "hospitalowner",
+        OWNERS.iter().map(|s| s.to_string()).collect(),
+    );
+    add_lexicon(
+        "emergencyservice",
+        EMERGENCY.iter().map(|s| s.to_string()).collect(),
+    );
+    add_lexicon(
+        "condition",
+        CONDITIONS.iter().map(|s| s.to_string()).collect(),
+    );
     add_lexicon(
         "measurename",
         MEASURE_NAMES.iter().map(|s| s.to_string()).collect(),
@@ -170,7 +181,7 @@ fn knowledge_base() -> KnowledgeBase {
     kb
 }
 
-fn few_shot(rng: &mut StdRng, schema: &Arc<Schema>) -> Vec<FewShotExample> {
+fn few_shot(rng: &mut Rng, schema: &Arc<Schema>) -> Vec<FewShotExample> {
     let mut shots = Vec::with_capacity(10);
     let attrs = [3usize, 4, 8, 11, 13, 3, 4, 8, 11, 13];
     for (i, &attr) in attrs.iter().enumerate() {
@@ -217,7 +228,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
         let mut values = clean_row(&mut rng);
         let mut is_error = vec![false; schema.len()];
         for (attr, flag) in is_error.iter_mut().enumerate() {
-            if rng.gen::<f64>() < error_rate {
+            if rng.f64() < error_rate {
                 values[attr] = corrupt(&mut rng, &values[attr]);
                 *flag = true;
             }

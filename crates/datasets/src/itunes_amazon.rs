@@ -8,8 +8,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use dprep_rng::Rng;
 
 use dprep_llm::{Fact, KnowledgeBase};
 use dprep_prompt::Task;
@@ -38,9 +37,9 @@ fn schema() -> Arc<Schema> {
     .shared()
 }
 
-fn song_title(rng: &mut StdRng) -> String {
+fn song_title(rng: &mut Rng) -> String {
     let base = format!("{} {}", pick(rng, SONG_LEADS), pick(rng, SONG_TAILS));
-    if rng.gen::<f64>() < 0.3 {
+    if rng.f64() < 0.3 {
         format!(
             "{base} featuring {} {}",
             pick(rng, FIRST_NAMES),
@@ -59,10 +58,18 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
     // Families: an album holds 2–3 tracks by the same artist.
     let mut families = Vec::new();
     for _ in 0..45usize {
-        let artist = format!("{} {}", pick(&mut rng, FIRST_NAMES), pick(&mut rng, LAST_NAMES));
-        let album = format!("{} {}", pick(&mut rng, SONG_LEADS), pick(&mut rng, SONG_TAILS));
+        let artist = format!(
+            "{} {}",
+            pick(&mut rng, FIRST_NAMES),
+            pick(&mut rng, LAST_NAMES)
+        );
+        let album = format!(
+            "{} {}",
+            pick(&mut rng, SONG_LEADS),
+            pick(&mut rng, SONG_TAILS)
+        );
         let genre = pick(&mut rng, GENRES);
-        let members = rng.gen_range(2..=3);
+        let members = rng.range_incl(2, 3);
         let mut family = Vec::with_capacity(members);
         for _ in 0..members {
             family.push(vec![
@@ -70,8 +77,12 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
                 Value::text(artist.clone()),
                 Value::text(album.clone()),
                 Value::text(genre),
-                Value::text(format!("${}.{:02}", rng.gen_range(0..2), rng.gen_range(29..=129) % 100)),
-                Value::text(format!("{}:{:02}", rng.gen_range(2..=5), rng.gen_range(0..60))),
+                Value::text(format!(
+                    "${}.{:02}",
+                    rng.range(0, 2),
+                    rng.range_incl(29, 129) % 100
+                )),
+                Value::text(format!("{}:{:02}", rng.range_incl(2, 5), rng.range(0, 60))),
             ]);
         }
         families.push(family);
@@ -127,7 +138,11 @@ mod tests {
     #[test]
     fn quarter_positive() {
         let ds = generate(1.0, 1);
-        let pos = ds.labels.iter().filter(|l| l.as_bool() == Some(true)).count();
+        let pos = ds
+            .labels
+            .iter()
+            .filter(|l| l.as_bool() == Some(true))
+            .count();
         let rate = pos as f64 / ds.len() as f64;
         assert!((0.15..=0.38).contains(&rate), "rate = {rate}");
     }

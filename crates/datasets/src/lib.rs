@@ -127,7 +127,10 @@ impl Dataset {
                 _ => matches!(label, Label::YesNo(_)),
             };
             if !ok {
-                return Err(format!("{}: instance {i} has the wrong label kind", self.name));
+                return Err(format!(
+                    "{}: instance {i} has the wrong label kind",
+                    self.name
+                ));
             }
         }
         for (i, ex) in self.few_shot.iter().enumerate() {
@@ -241,7 +244,11 @@ mod tests {
     #[test]
     fn sm_uses_three_shots_others_ten() {
         for ds in all_datasets(0.05, 3) {
-            let expected = if ds.task == Task::SchemaMatching { 3 } else { 10 };
+            let expected = if ds.task == Task::SchemaMatching {
+                3
+            } else {
+                10
+            };
             assert_eq!(ds.few_shot.len(), expected, "{}", ds.name);
         }
     }

@@ -11,8 +11,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use dprep_rng::Rng;
 
 use dprep_llm::{Fact, KnowledgeBase};
 use dprep_prompt::{FewShotExample, Task, TaskInstance};
@@ -50,10 +49,10 @@ struct Restaurant {
     city: &'static str,
 }
 
-fn make_restaurant(rng: &mut StdRng) -> Restaurant {
-    let city_idx = rng.gen_range(0..CITIES.len());
+fn make_restaurant(rng: &mut Rng) -> Restaurant {
+    let city_idx = rng.range(0, CITIES.len());
     // Choose a street belonging to the chosen city.
-    let mut street_idx = rng.gen_range(0..STREETS.len());
+    let mut street_idx = rng.range(0, STREETS.len());
     while street_city(street_idx) != CITIES[city_idx] {
         street_idx = (street_idx + 1) % STREETS.len();
     }
@@ -65,15 +64,15 @@ fn make_restaurant(rng: &mut StdRng) -> Restaurant {
         ),
         addr: format!(
             "{} {} {}",
-            rng.gen_range(100..9999),
+            rng.range(100, 9999),
             STREETS[street_idx],
             pick(rng, STREET_SUFFIXES)
         ),
         phone: format!(
             "{}-{}-{:04}",
             AREA_CODES[city_idx],
-            rng.gen_range(200..999),
-            rng.gen_range(0..10_000)
+            rng.range(200, 999),
+            rng.range(0, 10_000)
         ),
         cuisine: pick(rng, CUISINES),
         city: CITIES[city_idx],
@@ -216,11 +215,7 @@ mod tests {
                 .windows(2)
                 .chain(words.windows(3))
                 .find_map(|w| ds.kb.cue_value(&mem, "city", &w.join(" ")))
-                .or_else(|| {
-                    words
-                        .iter()
-                        .find_map(|w| ds.kb.cue_value(&mem, "city", w))
-                });
+                .or_else(|| words.iter().find_map(|w| ds.kb.cue_value(&mem, "city", w)));
             assert_eq!(cue, Some(label.as_value().unwrap()), "addr = {addr}");
         }
     }

@@ -13,9 +13,7 @@
 //! `patient`), which is why this benchmark is the paper's hardest: SMAT
 //! scores 38.5 F1, GPT-4 only 66.7.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use dprep_rng::Rng;
 
 use dprep_llm::{Fact, KnowledgeBase};
 use dprep_prompt::{AttrSpec, FewShotExample, Task, TaskInstance};
@@ -30,24 +28,132 @@ use crate::{scaled, Dataset, Label};
 /// plain token overlap is an imperfect signal — as it is on the real
 /// Synthea correspondence benchmark.
 const CONCEPTS: &[(&str, &str, &str, &str, u8)] = &[
-    ("birthdate", "birth_date", "date the patient was born", "dob captured at registration", 0),
-    ("deathdate", "death_date", "date the patient died", "deceased date if applicable", 0),
-    ("patient_address", "addr", "street address of the patient", "home address line", 0),
-    ("marital_status", "marital", "marital status of the patient", "married single or widowed flag", 0),
-    ("first_name", "given_name", "given name of the patient", "first part of the legal name", 0),
-    ("last_name", "family_name", "family name of the patient", "surname on record", 0),
-    ("pt_id", "person_ref", "unique identifier of the patient", "primary key of the person table", 1),
-    ("enc_id", "visit_occurrence", "identifier of the clinical encounter", "visit this row belongs to", 1),
-    ("px_code", "proc_concept", "code of the performed procedure", "intervention coding value", 1),
-    ("dx_code", "cond_concept", "code of the primary diagnosis", "condition classification entry", 1),
-    ("rx_ndc", "drug_concept", "national drug code of the prescription", "dispensed drug identifier", 1),
-    ("org_npi", "care_site", "identifier of the care organization", "facility registry number", 1),
-    ("svc_dt", "performed", "timestamp when the service took place", "when it happened", 2),
-    ("amt_due", "base_cost", "monetary amount charged for the encounter", "price before adjustments", 2),
-    ("cov_pct", "payer_coverage", "portion covered by the insurance payer", "insurer share", 2),
-    ("loinc_cd", "observation type", "kind of clinical observation recorded", "what was measured", 2),
-    ("ethn", "ethnicity", "ethnicity of the patient", "demographic background field", 2),
-    ("ssn_last4", "tail_number", "last digits of the social security number", "suffix of the national id", 2),
+    (
+        "birthdate",
+        "birth_date",
+        "date the patient was born",
+        "dob captured at registration",
+        0,
+    ),
+    (
+        "deathdate",
+        "death_date",
+        "date the patient died",
+        "deceased date if applicable",
+        0,
+    ),
+    (
+        "patient_address",
+        "addr",
+        "street address of the patient",
+        "home address line",
+        0,
+    ),
+    (
+        "marital_status",
+        "marital",
+        "marital status of the patient",
+        "married single or widowed flag",
+        0,
+    ),
+    (
+        "first_name",
+        "given_name",
+        "given name of the patient",
+        "first part of the legal name",
+        0,
+    ),
+    (
+        "last_name",
+        "family_name",
+        "family name of the patient",
+        "surname on record",
+        0,
+    ),
+    (
+        "pt_id",
+        "person_ref",
+        "unique identifier of the patient",
+        "primary key of the person table",
+        1,
+    ),
+    (
+        "enc_id",
+        "visit_occurrence",
+        "identifier of the clinical encounter",
+        "visit this row belongs to",
+        1,
+    ),
+    (
+        "px_code",
+        "proc_concept",
+        "code of the performed procedure",
+        "intervention coding value",
+        1,
+    ),
+    (
+        "dx_code",
+        "cond_concept",
+        "code of the primary diagnosis",
+        "condition classification entry",
+        1,
+    ),
+    (
+        "rx_ndc",
+        "drug_concept",
+        "national drug code of the prescription",
+        "dispensed drug identifier",
+        1,
+    ),
+    (
+        "org_npi",
+        "care_site",
+        "identifier of the care organization",
+        "facility registry number",
+        1,
+    ),
+    (
+        "svc_dt",
+        "performed",
+        "timestamp when the service took place",
+        "when it happened",
+        2,
+    ),
+    (
+        "amt_due",
+        "base_cost",
+        "monetary amount charged for the encounter",
+        "price before adjustments",
+        2,
+    ),
+    (
+        "cov_pct",
+        "payer_coverage",
+        "portion covered by the insurance payer",
+        "insurer share",
+        2,
+    ),
+    (
+        "loinc_cd",
+        "observation type",
+        "kind of clinical observation recorded",
+        "what was measured",
+        2,
+    ),
+    (
+        "ethn",
+        "ethnicity",
+        "ethnicity of the patient",
+        "demographic background field",
+        2,
+    ),
+    (
+        "ssn_last4",
+        "tail_number",
+        "last digits of the social security number",
+        "suffix of the national id",
+        2,
+    ),
 ];
 
 /// Unrelated filler attributes used to build negatives.
@@ -95,14 +201,14 @@ fn desc_a(concept: &Concept) -> String {
 
 /// Schema B paraphrases the concept, with a generic tail shared across
 /// concepts to create cross-concept overlap.
-fn desc_b(rng: &mut StdRng, concept: &Concept) -> String {
+fn desc_b(rng: &mut Rng, concept: &Concept) -> String {
     let tails = [
         "as recorded in the source system",
         "of the subject record",
         "per the export specification",
         "",
     ];
-    let tail = tails[rng.gen_range(0..tails.len())];
+    let tail = tails[rng.range(0, tails.len())];
     if tail.is_empty() {
         concept.3.to_string()
     } else {
@@ -129,10 +235,10 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
     for _ in n_pos..n {
         // Negative: one concept attribute against a filler or a different
         // concept — descriptions share generic words.
-        let left = &CONCEPTS[rng.gen_range(0..CONCEPTS.len())];
+        let left = &CONCEPTS[rng.range(0, CONCEPTS.len())];
         let a = AttrSpec::new(left.0.replace('_', " "), desc_a(left));
-        let b = if rng.gen::<f64>() < 0.5 {
-            let f = FILLERS[rng.gen_range(0..FILLERS.len())];
+        let b = if rng.f64() < 0.5 {
+            let f = FILLERS[rng.range(0, FILLERS.len())];
             // Fillers get the same export-spec tails as real schema-B
             // descriptions, so tail phrases carry no label signal.
             let tails = [
@@ -141,7 +247,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
                 "per the export specification",
                 "",
             ];
-            let tail = tails[rng.gen_range(0..tails.len())];
+            let tail = tails[rng.range(0, tails.len())];
             let desc = if tail.is_empty() {
                 f.1.to_string()
             } else {
@@ -149,9 +255,9 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
             };
             AttrSpec::new(f.0.replace('_', " "), desc)
         } else {
-            let mut other = &CONCEPTS[rng.gen_range(0..CONCEPTS.len())];
+            let mut other = &CONCEPTS[rng.range(0, CONCEPTS.len())];
             while other.0 == left.0 {
-                other = &CONCEPTS[rng.gen_range(0..CONCEPTS.len())];
+                other = &CONCEPTS[rng.range(0, CONCEPTS.len())];
             }
             AttrSpec::new(other.1.replace('_', " "), desc_b(&mut rng, other))
         };
@@ -162,7 +268,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
     // Shuffle so positives are not front-loaded (batching would otherwise
     // create label-pure batches).
     let mut order: Vec<usize> = (0..instances.len()).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let instances: Vec<_> = order.iter().map(|&i| instances[i].clone()).collect();
     let labels: Vec<_> = order.iter().map(|&i| labels[i].clone()).collect();
 
@@ -221,7 +327,11 @@ mod tests {
     fn full_scale_is_120_with_quarter_positives() {
         let ds = generate(1.0, 0);
         assert_eq!(ds.len(), 120);
-        let pos = ds.labels.iter().filter(|l| l.as_bool() == Some(true)).count();
+        let pos = ds
+            .labels
+            .iter()
+            .filter(|l| l.as_bool() == Some(true))
+            .count();
         assert_eq!(pos, 30);
         ds.validate().unwrap();
     }
@@ -254,6 +364,9 @@ mod tests {
             .iter()
             .filter(|l| l.as_bool() == Some(true))
             .count();
-        assert!((5..=25).contains(&first_half_pos), "shuffle failed: {first_half_pos}");
+        assert!(
+            (5..=25).contains(&first_half_pos),
+            "shuffle failed: {first_half_pos}"
+        );
     }
 }

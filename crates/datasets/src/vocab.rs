@@ -7,9 +7,26 @@
 /// US-style city names (also the `city` lexicon for error detection and the
 /// hallucination pool for imputation).
 pub const CITIES: &[&str] = &[
-    "atlanta", "marietta", "savannah", "decatur", "roswell", "athens", "macon", "augusta",
-    "columbus", "albany", "valdosta", "smyrna", "duluth", "kennesaw", "alpharetta", "norcross",
-    "newnan", "carrollton", "dalton", "gainesville",
+    "atlanta",
+    "marietta",
+    "savannah",
+    "decatur",
+    "roswell",
+    "athens",
+    "macon",
+    "augusta",
+    "columbus",
+    "albany",
+    "valdosta",
+    "smyrna",
+    "duluth",
+    "kennesaw",
+    "alpharetta",
+    "norcross",
+    "newnan",
+    "carrollton",
+    "dalton",
+    "gainesville",
 ];
 
 /// Phone area-code prefixes aligned with [`CITIES`] (index i ↔ city i % len).
@@ -20,9 +37,26 @@ pub const AREA_CODES: &[&str] = &[
 
 /// Street base names for addresses.
 pub const STREETS: &[&str] = &[
-    "powers ferry", "peachtree", "ponce de leon", "piedmont", "roswell", "spring", "magnolia",
-    "oak hill", "river bend", "lake shore", "cedar grove", "walnut", "dogwood", "mulberry",
-    "canton", "holly springs", "johnson ferry", "chastain", "collier", "howell mill",
+    "powers ferry",
+    "peachtree",
+    "ponce de leon",
+    "piedmont",
+    "roswell",
+    "spring",
+    "magnolia",
+    "oak hill",
+    "river bend",
+    "lake shore",
+    "cedar grove",
+    "walnut",
+    "dogwood",
+    "mulberry",
+    "canton",
+    "holly springs",
+    "johnson ferry",
+    "chastain",
+    "collier",
+    "howell mill",
 ];
 
 /// Street suffixes.
@@ -30,66 +64,162 @@ pub const STREET_SUFFIXES: &[&str] = &["rd.", "st.", "ave.", "blvd.", "ln.", "dr
 
 /// Restaurant cuisine types.
 pub const CUISINES: &[&str] = &[
-    "hamburgers", "italian", "bbq", "seafood", "steakhouse", "mexican", "thai", "diner",
-    "pizza", "sushi", "vegetarian", "cajun", "french", "korean", "indian",
+    "hamburgers",
+    "italian",
+    "bbq",
+    "seafood",
+    "steakhouse",
+    "mexican",
+    "thai",
+    "diner",
+    "pizza",
+    "sushi",
+    "vegetarian",
+    "cajun",
+    "french",
+    "korean",
+    "indian",
 ];
 
 /// Restaurant name leads.
 pub const RESTAURANT_LEADS: &[&str] = &[
-    "carey's", "blue moon", "dixie", "golden", "mama's", "riverside", "old mill", "magnolia",
-    "twin oaks", "sunset", "harbor", "copper kettle", "red barn", "silver spoon", "wild fig",
+    "carey's",
+    "blue moon",
+    "dixie",
+    "golden",
+    "mama's",
+    "riverside",
+    "old mill",
+    "magnolia",
+    "twin oaks",
+    "sunset",
+    "harbor",
+    "copper kettle",
+    "red barn",
+    "silver spoon",
+    "wild fig",
 ];
 
 /// Restaurant name tails.
 pub const RESTAURANT_TAILS: &[&str] = &[
-    "corner", "cafe", "grill", "kitchen", "house", "tavern", "bistro", "smokehouse", "diner",
+    "corner",
+    "cafe",
+    "grill",
+    "kitchen",
+    "house",
+    "tavern",
+    "bistro",
+    "smokehouse",
+    "diner",
     "eatery",
 ];
 
 /// Person first names (authors, patients).
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "wei", "haruto", "fatima", "lucas", "sofia", "chen", "amara", "diego",
-    "yuki", "noah", "priya", "elena", "omar", "grace", "ivan", "leila", "marco", "nina",
+    "james", "mary", "wei", "haruto", "fatima", "lucas", "sofia", "chen", "amara", "diego", "yuki",
+    "noah", "priya", "elena", "omar", "grace", "ivan", "leila", "marco", "nina",
 ];
 
 /// Person last names.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "zhang", "tanaka", "garcia", "mueller", "rossi", "kim", "okafor",
-    "silva", "novak", "patel", "haddad", "kowalski", "nguyen", "brown", "ivanov", "santos",
-    "fischer", "dubois",
+    "smith", "johnson", "zhang", "tanaka", "garcia", "mueller", "rossi", "kim", "okafor", "silva",
+    "novak", "patel", "haddad", "kowalski", "nguyen", "brown", "ivanov", "santos", "fischer",
+    "dubois",
 ];
 
 /// Consumer-electronics brands (Buy imputation, Walmart-Amazon EM).
 pub const BRANDS: &[&str] = &[
-    "sony", "samsung", "lenovo", "canon", "nikon", "panasonic", "logitech", "netgear",
-    "garmin", "toshiba", "philips", "jbl", "asus", "acer", "epson", "brother", "sandisk",
-    "seagate", "corsair", "razer",
+    "sony",
+    "samsung",
+    "lenovo",
+    "canon",
+    "nikon",
+    "panasonic",
+    "logitech",
+    "netgear",
+    "garmin",
+    "toshiba",
+    "philips",
+    "jbl",
+    "asus",
+    "acer",
+    "epson",
+    "brother",
+    "sandisk",
+    "seagate",
+    "corsair",
+    "razer",
 ];
 
 /// Product category nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "laptop", "camera", "router", "headphones", "monitor", "keyboard", "printer", "speaker",
-    "tablet", "projector", "webcam", "microphone", "drive", "charger", "mouse",
+    "laptop",
+    "camera",
+    "router",
+    "headphones",
+    "monitor",
+    "keyboard",
+    "printer",
+    "speaker",
+    "tablet",
+    "projector",
+    "webcam",
+    "microphone",
+    "drive",
+    "charger",
+    "mouse",
 ];
 
 /// Product qualifier words.
 pub const PRODUCT_QUALIFIERS: &[&str] = &[
-    "wireless", "portable", "compact", "professional", "gaming", "ultra", "premium", "digital",
-    "smart", "classic",
+    "wireless",
+    "portable",
+    "compact",
+    "professional",
+    "gaming",
+    "ultra",
+    "premium",
+    "digital",
+    "smart",
+    "classic",
 ];
 
 /// Software product nouns (Amazon-Google).
 pub const SOFTWARE_NOUNS: &[&str] = &[
-    "antivirus", "office suite", "photo editor", "tax software", "encyclopedia", "typing tutor",
-    "video editor", "language course", "accounting software", "backup utility", "web designer",
-    "music studio", "pdf converter", "diagram tool", "genealogy software",
+    "antivirus",
+    "office suite",
+    "photo editor",
+    "tax software",
+    "encyclopedia",
+    "typing tutor",
+    "video editor",
+    "language course",
+    "accounting software",
+    "backup utility",
+    "web designer",
+    "music studio",
+    "pdf converter",
+    "diagram tool",
+    "genealogy software",
 ];
 
 /// Software publishers.
 pub const SOFTWARE_PUBLISHERS: &[&str] = &[
-    "microsoft", "adobe", "intuit", "symantec", "corel", "mcafee", "roxio", "broderbund",
-    "encore", "nova development", "individual software", "topics entertainment", "valusoft",
-    "avanquest", "riverdeep",
+    "microsoft",
+    "adobe",
+    "intuit",
+    "symantec",
+    "corel",
+    "mcafee",
+    "roxio",
+    "broderbund",
+    "encore",
+    "nova development",
+    "individual software",
+    "topics entertainment",
+    "valusoft",
+    "avanquest",
+    "riverdeep",
 ];
 
 /// Beer name adjectives.
@@ -100,38 +230,79 @@ pub const BEER_ADJECTIVES: &[&str] = &[
 
 /// Beer name nouns.
 pub const BEER_NOUNS: &[&str] = &[
-    "trail", "river", "fox", "anvil", "lantern", "orchard", "summit", "harbor", "meadow",
-    "canyon", "bison", "raven", "pine", "ember", "wave",
+    "trail", "river", "fox", "anvil", "lantern", "orchard", "summit", "harbor", "meadow", "canyon",
+    "bison", "raven", "pine", "ember", "wave",
 ];
 
 /// Beer styles, full names.
 pub const BEER_STYLES: &[&str] = &[
-    "india pale ale", "american pale ale", "imperial stout", "hefeweizen", "pilsner", "porter",
-    "saison", "extra special bitter", "brown ale", "double india pale ale",
+    "india pale ale",
+    "american pale ale",
+    "imperial stout",
+    "hefeweizen",
+    "pilsner",
+    "porter",
+    "saison",
+    "extra special bitter",
+    "brown ale",
+    "double india pale ale",
 ];
 
 /// Beer style abbreviations aligned with [`BEER_STYLES`].
 pub const BEER_STYLE_ABBREVS: &[&str] = &[
-    "ipa", "apa", "imp stout", "hefe", "pils", "porter", "saison", "esb", "brown", "dipa",
+    "ipa",
+    "apa",
+    "imp stout",
+    "hefe",
+    "pils",
+    "porter",
+    "saison",
+    "esb",
+    "brown",
+    "dipa",
 ];
 
 /// Brewery name tails.
 pub const BREWERY_TAILS: &[&str] = &[
-    "brewing company", "brewery", "beer works", "brewing co.", "craft brewers", "ale house",
+    "brewing company",
+    "brewery",
+    "beer works",
+    "brewing co.",
+    "craft brewers",
+    "ale house",
 ];
 
 /// Paper-title topic words (DBLP).
 pub const PAPER_TOPICS: &[&str] = &[
-    "query optimization", "data integration", "entity resolution", "schema matching",
-    "stream processing", "index structures", "transaction management", "data cleaning",
-    "approximate joins", "view maintenance", "spatial indexing", "graph queries",
-    "workload forecasting", "cardinality estimation", "columnar storage",
+    "query optimization",
+    "data integration",
+    "entity resolution",
+    "schema matching",
+    "stream processing",
+    "index structures",
+    "transaction management",
+    "data cleaning",
+    "approximate joins",
+    "view maintenance",
+    "spatial indexing",
+    "graph queries",
+    "workload forecasting",
+    "cardinality estimation",
+    "columnar storage",
 ];
 
 /// Paper-title qualifier phrases (DBLP).
 pub const PAPER_QUALIFIERS: &[&str] = &[
-    "efficient", "scalable", "adaptive", "distributed", "incremental", "learned", "robust",
-    "parallel", "interactive", "declarative",
+    "efficient",
+    "scalable",
+    "adaptive",
+    "distributed",
+    "incremental",
+    "learned",
+    "robust",
+    "parallel",
+    "interactive",
+    "declarative",
 ];
 
 /// Venue full names.
@@ -159,37 +330,75 @@ pub const SONG_TAILS: &[&str] = &[
 
 /// Music genres.
 pub const GENRES: &[&str] = &[
-    "pop", "rock", "country", "hip-hop", "electronic", "jazz", "folk", "r&b",
+    "pop",
+    "rock",
+    "country",
+    "hip-hop",
+    "electronic",
+    "jazz",
+    "folk",
+    "r&b",
 ];
 
 /// Workclass categories (Adult).
 pub const WORKCLASSES: &[&str] = &[
-    "private", "self-emp-not-inc", "self-emp-inc", "federal-gov", "local-gov", "state-gov",
+    "private",
+    "self-emp-not-inc",
+    "self-emp-inc",
+    "federal-gov",
+    "local-gov",
+    "state-gov",
     "without-pay",
 ];
 
 /// Education categories (Adult).
 pub const EDUCATIONS: &[&str] = &[
-    "bachelors", "hs-grad", "11th", "masters", "9th", "some-college", "assoc-acdm",
-    "assoc-voc", "7th-8th", "doctorate", "prof-school",
+    "bachelors",
+    "hs-grad",
+    "11th",
+    "masters",
+    "9th",
+    "some-college",
+    "assoc-acdm",
+    "assoc-voc",
+    "7th-8th",
+    "doctorate",
+    "prof-school",
 ];
 
 /// Marital-status categories (Adult).
 pub const MARITAL_STATUSES: &[&str] = &[
-    "married-civ-spouse", "divorced", "never-married", "separated", "widowed",
+    "married-civ-spouse",
+    "divorced",
+    "never-married",
+    "separated",
+    "widowed",
     "married-spouse-absent",
 ];
 
 /// Occupation categories (Adult).
 pub const OCCUPATIONS: &[&str] = &[
-    "tech-support", "craft-repair", "other-service", "sales", "exec-managerial",
-    "prof-specialty", "handlers-cleaners", "machine-op-inspct", "adm-clerical",
-    "farming-fishing", "transport-moving", "protective-serv",
+    "tech-support",
+    "craft-repair",
+    "other-service",
+    "sales",
+    "exec-managerial",
+    "prof-specialty",
+    "handlers-cleaners",
+    "machine-op-inspct",
+    "adm-clerical",
+    "farming-fishing",
+    "transport-moving",
+    "protective-serv",
 ];
 
 /// Race categories (Adult).
 pub const RACES: &[&str] = &[
-    "white", "black", "asian-pac-islander", "amer-indian-eskimo", "other",
+    "white",
+    "black",
+    "asian-pac-islander",
+    "amer-indian-eskimo",
+    "other",
 ];
 
 /// Hospital measure names.
@@ -206,19 +415,34 @@ pub const MEASURE_NAMES: &[&str] = &[
 
 /// Hospital condition names aligned loosely with measures.
 pub const CONDITIONS: &[&str] = &[
-    "heart attack", "heart failure", "pneumonia", "surgical infection prevention",
+    "heart attack",
+    "heart failure",
+    "pneumonia",
+    "surgical infection prevention",
     "children's asthma care",
 ];
 
 /// Hospital name leads.
 pub const HOSPITAL_LEADS: &[&str] = &[
-    "st. mary's", "memorial", "university", "county general", "sacred heart", "riverside",
-    "good samaritan", "providence", "baptist", "mercy",
+    "st. mary's",
+    "memorial",
+    "university",
+    "county general",
+    "sacred heart",
+    "riverside",
+    "good samaritan",
+    "providence",
+    "baptist",
+    "mercy",
 ];
 
 /// Hospital name tails.
 pub const HOSPITAL_TAILS: &[&str] = &[
-    "medical center", "hospital", "regional hospital", "health center", "clinic",
+    "medical center",
+    "hospital",
+    "regional hospital",
+    "health center",
+    "clinic",
 ];
 
 /// US state abbreviations used by the hospital dataset.

@@ -8,8 +8,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use dprep_rng::Rng;
 
 use dprep_llm::{Fact, KnowledgeBase};
 use dprep_prompt::Task;
@@ -37,12 +36,12 @@ fn schema() -> Arc<Schema> {
     .shared()
 }
 
-fn model_number(rng: &mut StdRng) -> String {
+fn model_number(rng: &mut Rng) -> String {
     format!(
         "{}{}{}",
-        (b'a' + rng.gen_range(0..26u8)) as char,
-        (b'a' + rng.gen_range(0..26u8)) as char,
-        rng.gen_range(100..9999)
+        (b'a' + rng.range(0, 26u8)) as char,
+        (b'a' + rng.range(0, 26u8)) as char,
+        rng.range(100, 9999)
     )
 }
 
@@ -57,7 +56,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
         let brand = pick(&mut rng, BRANDS);
         let noun = pick(&mut rng, PRODUCT_NOUNS);
         let qualifier = pick(&mut rng, PRODUCT_QUALIFIERS);
-        let members = rng.gen_range(2..=3);
+        let members = rng.range_incl(2, 3);
         let mut family = Vec::with_capacity(members);
         for _ in 0..members {
             let model = model_number(&mut rng);
@@ -66,7 +65,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
                 Value::text(noun),
                 Value::text(brand),
                 Value::text(model),
-                Value::Int(rng.gen_range(15..900)),
+                Value::Int(rng.range(15, 900)),
             ]);
         }
         families.push(family);
@@ -127,7 +126,10 @@ mod tests {
             let TaskInstance::EntityMatching { a, b } = inst else {
                 panic!("wrong task")
             };
-            let (ma, mb) = (a.get_by_name("modelno").unwrap(), b.get_by_name("modelno").unwrap());
+            let (ma, mb) = (
+                a.get_by_name("modelno").unwrap(),
+                b.get_by_name("modelno").unwrap(),
+            );
             if label.as_bool() == Some(false) && !ma.is_missing() && !mb.is_missing() {
                 // Typos may perturb model numbers, but untouched hard
                 // negatives must differ.

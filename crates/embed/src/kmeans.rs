@@ -4,8 +4,7 @@
 //! clustered, and batches are drawn within clusters so the LLM sees
 //! homogeneous questions it can answer consistently.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dprep_rng::Rng;
 
 use crate::vector::Vector;
 
@@ -51,11 +50,11 @@ pub fn kmeans(points: &[Vector], k: usize, seed: u64) -> KMeansResult {
     }
     assert!(k > 0, "k must be positive for non-empty input");
     let k = k.min(points.len());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // --- k-means++ seeding -------------------------------------------------
     let mut centroids: Vec<Vector> = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    centroids.push(points[rng.range(0, points.len())].clone());
     let mut dist_sq: Vec<f32> = points
         .iter()
         .map(|p| p.distance_sq(&centroids[0]))
@@ -65,9 +64,9 @@ pub fn kmeans(points: &[Vector], k: usize, seed: u64) -> KMeansResult {
         let next = if total <= f64::EPSILON {
             // All remaining points coincide with existing centroids; pick
             // uniformly.
-            rng.gen_range(0..points.len())
+            rng.range(0, points.len())
         } else {
-            let mut target = rng.gen::<f64>() * total;
+            let mut target = rng.f64() * total;
             let mut chosen = points.len() - 1;
             for (i, &d) in dist_sq.iter().enumerate() {
                 target -= d as f64;

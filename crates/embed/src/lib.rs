@@ -15,7 +15,7 @@ pub mod kmeans;
 pub mod vector;
 
 pub use embedder::HashedNgramEmbedder;
-pub use kmeans::KMeansResult;
 #[doc(inline)]
 pub use kmeans::kmeans;
+pub use kmeans::KMeansResult;
 pub use vector::Vector;

@@ -1,82 +1,110 @@
-//! Property tests for embeddings and k-means: unit norms, determinism,
-//! and clustering invariants on arbitrary input.
-
-use proptest::prelude::*;
+//! Property-style tests for embeddings and k-means: unit norms,
+//! determinism, and clustering invariants on arbitrary input.
+//!
+//! Cases are generated with the in-tree [`dprep_rng`] generator from a
+//! fixed seed, so every run exercises the same inputs.
 
 use dprep_embed::{kmeans, HashedNgramEmbedder, Vector};
+use dprep_rng::Rng;
 
-fn any_text() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z0-9 ]{0,40}").expect("valid regex")
+const CASES: usize = 128;
+
+/// Lower-case alphanumeric text with spaces, 0-40 chars — the same
+/// alphabet the proptest regex `[a-z0-9 ]{0,40}` used to draw from.
+fn any_text(rng: &mut Rng) -> String {
+    let alphabet: Vec<u8> = (b'a'..=b'z').chain(b'0'..=b'9').chain([b' ']).collect();
+    let len = rng.range_incl(0usize, 40);
+    rng.ascii_string(&alphabet, len)
 }
 
-proptest! {
-    #[test]
-    fn embeddings_are_unit_norm_or_zero(text in any_text()) {
-        let e = HashedNgramEmbedder::default();
+fn random_points(rng: &mut Rng, n: usize, dim: usize, amp: f32) -> Vec<Vector> {
+    (0..n)
+        .map(|_| {
+            Vector(
+                (0..dim)
+                    .map(|_| rng.range_f64(-amp as f64, amp as f64) as f32)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn embeddings_are_unit_norm_or_zero() {
+    let mut rng = Rng::seed_from_u64(0xe4b_0001);
+    let e = HashedNgramEmbedder::default();
+    for _ in 0..CASES {
+        let text = any_text(&mut rng);
         let v = e.embed(&text);
         let n = v.norm();
-        prop_assert!(n.abs() < 1e-5 || (n - 1.0).abs() < 1e-4, "norm {n}");
+        assert!(
+            n.abs() < 1e-5 || (n - 1.0).abs() < 1e-4,
+            "norm {n} for {text:?}"
+        );
     }
+}
 
-    #[test]
-    fn embedding_is_deterministic(text in any_text()) {
-        let e = HashedNgramEmbedder::default();
-        prop_assert_eq!(e.embed(&text), e.embed(&text));
+#[test]
+fn embedding_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0xe4b_0002);
+    let e = HashedNgramEmbedder::default();
+    for _ in 0..CASES {
+        let text = any_text(&mut rng);
+        assert_eq!(e.embed(&text), e.embed(&text));
     }
+}
 
-    #[test]
-    fn kmeans_assignments_are_valid(
-        points in proptest::collection::vec(
-            proptest::collection::vec(-10.0f32..10.0, 3),
-            0..40,
-        ),
-        k in 1usize..6,
-        seed in 0u64..100,
-    ) {
-        let vectors: Vec<Vector> = points.into_iter().map(Vector).collect();
+#[test]
+fn kmeans_assignments_are_valid() {
+    let mut rng = Rng::seed_from_u64(0xe4b_0003);
+    for _ in 0..CASES {
+        let n = rng.range(0usize, 40);
+        let vectors = random_points(&mut rng, n, 3, 10.0);
+        let k = rng.range(1usize, 6);
+        let seed = rng.range(0u64, 100);
         let result = kmeans(&vectors, k, seed);
-        prop_assert_eq!(result.assignments.len(), vectors.len());
+        assert_eq!(result.assignments.len(), vectors.len());
         if vectors.is_empty() {
-            prop_assert!(result.centroids.is_empty());
+            assert!(result.centroids.is_empty());
         } else {
             let k_eff = k.min(vectors.len());
-            prop_assert_eq!(result.centroids.len(), k_eff);
+            assert_eq!(result.centroids.len(), k_eff);
             for &a in &result.assignments {
-                prop_assert!(a < k_eff);
+                assert!(a < k_eff);
             }
-            prop_assert!(result.inertia >= 0.0);
+            assert!(result.inertia >= 0.0);
             // Every point's assigned centroid is (weakly) its nearest.
             for (p, &a) in vectors.iter().zip(&result.assignments) {
                 let own = p.distance_sq(&result.centroids[a]);
                 for c in &result.centroids {
-                    prop_assert!(own <= p.distance_sq(c) + 1e-3);
+                    assert!(own <= p.distance_sq(c) + 1e-3);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn kmeans_is_deterministic(
-        points in proptest::collection::vec(
-            proptest::collection::vec(-5.0f32..5.0, 2),
-            1..20,
-        ),
-        seed in 0u64..50,
-    ) {
-        let vectors: Vec<Vector> = points.into_iter().map(Vector).collect();
+#[test]
+fn kmeans_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0xe4b_0004);
+    for _ in 0..CASES {
+        let n = rng.range(1usize, 20);
+        let vectors = random_points(&mut rng, n, 2, 5.0);
+        let seed = rng.range(0u64, 50);
         let a = kmeans(&vectors, 3, seed);
         let b = kmeans(&vectors, 3, seed);
-        prop_assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.assignments, b.assignments);
     }
+}
 
-    #[test]
-    fn cosine_is_bounded_and_symmetric(
-        a in proptest::collection::vec(-10.0f32..10.0, 4),
-        b in proptest::collection::vec(-10.0f32..10.0, 4),
-    ) {
-        let (va, vb) = (Vector(a), Vector(b));
+#[test]
+fn cosine_is_bounded_and_symmetric() {
+    let mut rng = Rng::seed_from_u64(0xe4b_0005);
+    for _ in 0..CASES {
+        let va = random_points(&mut rng, 1, 4, 10.0).remove(0);
+        let vb = random_points(&mut rng, 1, 4, 10.0).remove(0);
         let c = va.cosine(&vb);
-        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c));
-        prop_assert!((c - vb.cosine(&va)).abs() < 1e-5);
+        assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c));
+        assert!((c - vb.cosine(&va)).abs() < 1e-5);
     }
 }

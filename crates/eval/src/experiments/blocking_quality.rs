@@ -31,9 +31,7 @@ pub struct BlockingQuality {
 
 /// Splits an EM dataset's pairs back into left/right record collections
 /// with gold index matches.
-fn unpair(
-    ds: &dprep_datasets::Dataset,
-) -> (Vec<Record>, Vec<Record>, Vec<(usize, usize)>) {
+fn unpair(ds: &dprep_datasets::Dataset) -> (Vec<Record>, Vec<Record>, Vec<(usize, usize)>) {
     let mut left = Vec::new();
     let mut right = Vec::new();
     let mut gold = Vec::new();

@@ -10,8 +10,8 @@
 use dprep_core::PipelineConfig;
 use dprep_llm::ModelProfile;
 
-use crate::harness::{default_batch_size, run_baseline, run_llm_on_dataset, BaselineKind};
 use crate::experiments::{train_split, ExperimentConfig};
+use crate::harness::{default_batch_size, run_baseline, run_llm_on_dataset, BaselineKind};
 
 /// The paper's dataset column order.
 pub const DATASETS: [&str; 12] = [
@@ -46,10 +46,7 @@ pub struct Table1 {
 }
 
 /// The best-setting pipeline configuration for one (model, dataset) pair.
-pub fn best_config(
-    profile: &ModelProfile,
-    dataset: &dprep_datasets::Dataset,
-) -> PipelineConfig {
+pub fn best_config(profile: &ModelProfile, dataset: &dprep_datasets::Dataset) -> PipelineConfig {
     let mut config = PipelineConfig::best(dataset.task);
     config.batch_size = default_batch_size(profile);
     config.type_hint = dataset.type_hint.clone();
@@ -65,8 +62,8 @@ pub fn run(cfg: &ExperimentConfig) -> Table1 {
     for kind in BaselineKind::all() {
         let mut cells = Vec::with_capacity(DATASETS.len());
         for name in DATASETS {
-            let test = dprep_datasets::dataset_by_name(name, cfg.scale, cfg.seed)
-                .expect("known dataset");
+            let test =
+                dprep_datasets::dataset_by_name(name, cfg.scale, cfg.seed).expect("known dataset");
             let value = if kind.task() == test.task {
                 let train = train_split(name, cfg).expect("known dataset");
                 run_baseline(kind, &train, &test)
@@ -85,8 +82,8 @@ pub fn run(cfg: &ExperimentConfig) -> Table1 {
     for profile in ModelProfile::all_presets() {
         let mut cells = Vec::with_capacity(DATASETS.len());
         for name in DATASETS {
-            let dataset = dprep_datasets::dataset_by_name(name, cfg.scale, cfg.seed)
-                .expect("known dataset");
+            let dataset =
+                dprep_datasets::dataset_by_name(name, cfg.scale, cfg.seed).expect("known dataset");
             let config = best_config(&profile, &dataset);
             let scored = run_llm_on_dataset(&profile, &dataset, &config, cfg.seed);
             cells.push(scored.value);
@@ -140,7 +137,7 @@ mod tests {
         let holoclean = &table.rows[0];
         assert!(holoclean.cells[0].is_some()); // Adult (ED)
         assert!(holoclean.cells[2].is_none()); // Buy (DI)
-        // Every dataset gets at least one non-N/A LLM score.
+                                               // Every dataset gets at least one non-N/A LLM score.
         for (col, name) in DATASETS.iter().enumerate() {
             assert!(
                 table.rows[6..].iter().any(|r| r.cells[col].is_some()),

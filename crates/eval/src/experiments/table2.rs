@@ -33,8 +33,8 @@ pub fn run(cfg: &ExperimentConfig) -> Table2 {
     for (label, components) in ComponentSet::table2_rows() {
         let mut cells = Vec::with_capacity(DATASETS.len());
         for name in DATASETS {
-            let dataset = dprep_datasets::dataset_by_name(name, cfg.scale, cfg.seed)
-                .expect("known dataset");
+            let dataset =
+                dprep_datasets::dataset_by_name(name, cfg.scale, cfg.seed).expect("known dataset");
             let config = ablation_config(&dataset, components);
             let scored = run_llm_on_dataset(&profile, &dataset, &config, cfg.seed);
             cells.push(scored.value);

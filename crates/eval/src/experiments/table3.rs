@@ -42,8 +42,8 @@ pub struct Table3 {
 /// Runs the sweep.
 pub fn run(cfg: &ExperimentConfig) -> Table3 {
     let profile = ModelProfile::gpt35();
-    let dataset = dprep_datasets::dataset_by_name("Adult", cfg.scale, cfg.seed)
-        .expect("known dataset");
+    let dataset =
+        dprep_datasets::dataset_by_name("Adult", cfg.scale, cfg.seed).expect("known dataset");
     let mut rows = Vec::new();
     for batch_size in BATCH_SIZES {
         let components = ComponentSet {
@@ -98,7 +98,11 @@ mod tests {
             assert!(
                 pair[1].tokens_millions < pair[0].tokens_millions,
                 "tokens should shrink with batching: {:?}",
-                table.rows.iter().map(|r| r.tokens_millions).collect::<Vec<_>>()
+                table
+                    .rows
+                    .iter()
+                    .map(|r| r.tokens_millions)
+                    .collect::<Vec<_>>()
             );
             assert!(pair[1].cost_usd < pair[0].cost_usd);
             assert!(pair[1].hours < pair[0].hours);

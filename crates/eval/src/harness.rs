@@ -5,14 +5,14 @@ use std::sync::Arc;
 use dprep_baselines::{
     DittoStyle, HoloCleanStyle, HoloDetectStyle, ImpStyle, MagellanStyle, SmatStyle,
 };
-use dprep_core::{PipelineConfig, Preprocessor};
+use dprep_core::{ExecStats, FailureKind, PipelineConfig, Preprocessor};
 use dprep_datasets::Dataset;
 use dprep_llm::{ModelProfile, SimulatedLlm, UsageTotals};
 use dprep_prompt::{Task, TaskInstance};
 
 use crate::metrics::{accuracy_di, f1_yes_no};
 
-/// Fraction of unparseable answers beyond which a run is reported "N/A",
+/// Fraction of failed answers beyond which a run is reported "N/A",
 /// matching the paper's treatment of models "unable to return reasonable
 /// answers".
 pub const NA_THRESHOLD: f64 = 0.40;
@@ -24,8 +24,13 @@ pub struct Scored {
     pub value: Option<f64>,
     /// Token/cost/time totals (zero for classical baselines).
     pub usage: UsageTotals,
-    /// Fraction of instances with unparseable answers.
-    pub unparsed_rate: f64,
+    /// Fraction of instances with no parsed answer.
+    pub failure_rate: f64,
+    /// Failure counts per kind (format violations, skipped answers, context
+    /// overflows, faults, exhausted retries).
+    pub failures: [(FailureKind, usize); 5],
+    /// Request-level serving counters (dedup, retries, cache hits, faults).
+    pub stats: ExecStats,
 }
 
 impl Scored {
@@ -61,22 +66,32 @@ pub fn run_llm_on_dataset(
     seed: u64,
 ) -> Scored {
     let model = SimulatedLlm::new(profile.clone(), Arc::new(dataset.kb.clone())).with_seed(seed);
-    let mut config = config.clone();
-    if config.temperature.is_none() {
-        config.temperature = Some(profile.default_temperature);
-    }
-    let preprocessor = Preprocessor::new(&model, config);
+    // Temperature deliberately stays as configured: `None` is resolved to
+    // the model profile's default at dispatch, not silently pinned here.
+    let preprocessor = Preprocessor::new(&model, config.clone());
     let result = preprocessor.run(&dataset.instances, &dataset.few_shot);
 
-    let unparsed_rate = result.unparsed_rate();
+    let failure_rate = result.failure_rate();
+    let failures = result.failure_breakdown();
+    debug_assert_eq!(
+        result.predictions.len() - result.failed_count(),
+        result
+            .predictions
+            .iter()
+            .filter(|p| p.answer().is_some())
+            .count(),
+        "every instance is either answered or classified as failed"
+    );
     let metric = match dataset.task {
         Task::Imputation => accuracy_di(&result.predictions, &dataset.labels),
         _ => f1_yes_no(&result.predictions, &dataset.labels),
     };
     Scored {
-        value: (unparsed_rate <= NA_THRESHOLD).then_some(metric),
+        value: (failure_rate <= NA_THRESHOLD).then_some(metric),
         usage: result.usage,
-        unparsed_rate,
+        failure_rate,
+        failures,
+        stats: result.stats,
     }
 }
 
@@ -233,7 +248,11 @@ mod tests {
         let mut config = PipelineConfig::best(Task::Imputation);
         config.batch_size = default_batch_size(&profile);
         let scored = run_llm_on_dataset(&profile, &ds, &config, 2);
-        assert!(scored.value.is_none(), "unparsed = {}", scored.unparsed_rate);
+        assert!(
+            scored.value.is_none(),
+            "failure rate = {}",
+            scored.failure_rate
+        );
     }
 
     #[test]

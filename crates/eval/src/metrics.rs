@@ -66,7 +66,7 @@ impl Confusion {
     }
 }
 
-/// F1 (%) of yes/no predictions against yes/no labels. Unparsed or
+/// F1 (%) of yes/no predictions against yes/no labels. Failed or
 /// non-yes/no answers count as "no".
 pub fn f1_yes_no(predictions: &[Prediction], labels: &[Label]) -> f64 {
     assert_eq!(predictions.len(), labels.len(), "parallel arrays");
@@ -79,7 +79,7 @@ pub fn f1_yes_no(predictions: &[Prediction], labels: &[Label]) -> f64 {
     confusion.f1() * 100.0
 }
 
-/// Imputation accuracy (%): normalized string equality. Unparsed answers
+/// Imputation accuracy (%): normalized string equality. Failed answers
 /// count as wrong.
 pub fn accuracy_di(predictions: &[Prediction], labels: &[Label]) -> f64 {
     assert_eq!(predictions.len(), labels.len(), "parallel arrays");
@@ -103,6 +103,7 @@ pub fn accuracy_di(predictions: &[Prediction], labels: &[Label]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dprep_core::FailureKind;
     use dprep_prompt::ExtractedAnswer;
 
     fn answered(v: &str) -> Prediction {
@@ -139,12 +140,12 @@ mod tests {
 
     #[test]
     fn f1_counts_unparsed_as_negative() {
-        let preds = vec![answered("yes"), Prediction::Unparsed, answered("no")];
-        let labels = vec![
-            Label::YesNo(true),
-            Label::YesNo(true),
-            Label::YesNo(false),
+        let preds = vec![
+            answered("yes"),
+            Prediction::Failed(FailureKind::SkippedAnswer),
+            answered("no"),
         ];
+        let labels = vec![Label::YesNo(true), Label::YesNo(true), Label::YesNo(false)];
         // tp=1, fn=1 (unparsed positive), tn=1 -> p=1, r=0.5, f1=2/3.
         let f1 = f1_yes_no(&preds, &labels);
         assert!((f1 - 200.0 / 3.0).abs() < 1e-9);
@@ -152,7 +153,11 @@ mod tests {
 
     #[test]
     fn di_accuracy_is_case_insensitive() {
-        let preds = vec![answered("Marietta"), answered("atlanta"), Prediction::Unparsed];
+        let preds = vec![
+            answered("Marietta"),
+            answered("atlanta"),
+            Prediction::Failed(FailureKind::SkippedAnswer),
+        ];
         let labels = vec![
             Label::Value("marietta".into()),
             Label::Value("savannah".into()),

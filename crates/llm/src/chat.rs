@@ -55,24 +55,45 @@ pub struct ChatRequest {
     pub messages: Vec<Message>,
     /// Sampling temperature; scales the simulator's stochastic failure
     /// rates (the paper sets 0.75 / 0.65 / 0.2 for GPT-3.5 / GPT-4 /
-    /// Vicuna).
-    pub temperature: f64,
+    /// Vicuna). `None` means "unset": the serving model resolves it to
+    /// [`ChatModel::default_temperature`] at dispatch, so a caller can
+    /// never accidentally run hotter than the per-model setting.
+    pub temperature: Option<f64>,
+    /// Retry salt. Does not change the prompt text (and therefore not the
+    /// token count), but perturbs the simulator's noise stream — re-issuing
+    /// a failed request with a fresh salt resamples the response, exactly
+    /// like retrying a real nondeterministic API.
+    pub retry_salt: u64,
 }
 
 impl ChatRequest {
-    /// Builds a request with the model's default temperature (overridable
-    /// via [`ChatRequest::with_temperature`]).
+    /// Builds a request with the temperature unset; the serving model
+    /// resolves it to its default at dispatch (overridable via
+    /// [`ChatRequest::with_temperature`]).
     pub fn new(messages: Vec<Message>) -> Self {
         ChatRequest {
             messages,
-            temperature: 1.0,
+            temperature: None,
+            retry_salt: 0,
         }
     }
 
     /// Overrides the sampling temperature.
     pub fn with_temperature(mut self, temperature: f64) -> Self {
-        self.temperature = temperature;
+        self.temperature = Some(temperature);
         self
+    }
+
+    /// Sets the retry salt (used by the retry middleware).
+    pub fn with_retry_salt(mut self, salt: u64) -> Self {
+        self.retry_salt = salt;
+        self
+    }
+
+    /// The temperature this request runs at on a model whose default is
+    /// `default` — the explicit setting when present, the default otherwise.
+    pub fn temperature_or(&self, default: f64) -> f64 {
+        self.temperature.unwrap_or(default)
     }
 
     /// Concatenated text of all messages (used for seeding and token
@@ -94,6 +115,27 @@ impl ChatRequest {
     }
 }
 
+/// The way a request failed at the transport/serving layer (injected by the
+/// fault middleware; a real deployment would map provider errors here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The request timed out: no completion text at all.
+    Timeout,
+    /// The stream was cut off: only a prefix of the completion arrived.
+    TruncatedCompletion,
+}
+
+/// Serving-layer metadata attached to a response by middleware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResponseMeta {
+    /// The fault this response carries, if the serving layer failed.
+    pub fault: Option<FaultKind>,
+    /// Retries spent producing this response (0 = first attempt).
+    pub retries: u32,
+    /// True when the response was served from the cache layer.
+    pub cache_hit: bool,
+}
+
 /// A chat-completion response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChatResponse {
@@ -103,11 +145,30 @@ pub struct ChatResponse {
     pub usage: Usage,
     /// Virtual wall-clock latency of this request, in seconds.
     pub latency_secs: f64,
+    /// Serving-layer metadata (faults, retries, cache hits).
+    pub meta: ResponseMeta,
 }
 
-/// Anything that answers chat requests — implemented by [`crate::model::SimulatedLlm`]
-/// and by test doubles in downstream crates.
-pub trait ChatModel {
+impl ChatResponse {
+    /// A plain successful response with empty metadata.
+    pub fn new(text: impl Into<String>, usage: Usage, latency_secs: f64) -> Self {
+        ChatResponse {
+            text: text.into(),
+            usage,
+            latency_secs,
+            meta: ResponseMeta::default(),
+        }
+    }
+}
+
+/// Anything that answers chat requests — implemented by [`crate::model::SimulatedLlm`],
+/// the middleware layers in [`crate::middleware`], and test doubles in
+/// downstream crates.
+///
+/// The `Send + Sync` bound lets the concurrent executor in `dprep-core`
+/// share one model across worker threads; implementations must use interior
+/// mutability that is thread-safe (atomics, `Mutex`) rather than `Cell`.
+pub trait ChatModel: Send + Sync {
     /// Model identifier (e.g. `sim-gpt-3.5`).
     fn name(&self) -> &str;
     /// The temperature the model runs at when the caller does not choose
@@ -123,6 +184,32 @@ pub trait ChatModel {
     /// Dollar cost of a request with the given usage.
     fn cost_usd(&self, usage: &Usage) -> f64;
 }
+
+macro_rules! delegate_chat_model {
+    ($ty:ty) => {
+        impl<M: ChatModel + ?Sized> ChatModel for $ty {
+            fn name(&self) -> &str {
+                (**self).name()
+            }
+            fn default_temperature(&self) -> f64 {
+                (**self).default_temperature()
+            }
+            fn chat(&self, request: &ChatRequest) -> ChatResponse {
+                (**self).chat(request)
+            }
+            fn context_window(&self) -> usize {
+                (**self).context_window()
+            }
+            fn cost_usd(&self, usage: &Usage) -> f64 {
+                (**self).cost_usd(usage)
+            }
+        }
+    };
+}
+
+delegate_chat_model!(&M);
+delegate_chat_model!(Box<M>);
+delegate_chat_model!(std::sync::Arc<M>);
 
 #[cfg(test)]
 mod tests {
@@ -144,8 +231,58 @@ mod tests {
     }
 
     #[test]
-    fn temperature_builder() {
+    fn temperature_unset_resolves_to_default() {
+        let req = ChatRequest::new(vec![]);
+        assert_eq!(req.temperature, None);
+        assert_eq!(req.temperature_or(0.2), 0.2);
+    }
+
+    #[test]
+    fn temperature_builder_overrides_default() {
         let req = ChatRequest::new(vec![]).with_temperature(0.65);
-        assert_eq!(req.temperature, 0.65);
+        assert_eq!(req.temperature, Some(0.65));
+        assert_eq!(req.temperature_or(0.2), 0.65);
+    }
+
+    #[test]
+    fn retry_salt_defaults_to_zero() {
+        let req = ChatRequest::new(vec![]);
+        assert_eq!(req.retry_salt, 0);
+        assert_eq!(req.with_retry_salt(9).retry_salt, 9);
+    }
+
+    #[test]
+    fn response_meta_defaults_clean() {
+        let meta = ResponseMeta::default();
+        assert_eq!(meta.fault, None);
+        assert_eq!(meta.retries, 0);
+        assert!(!meta.cache_hit);
+    }
+
+    #[test]
+    fn chat_model_is_object_safe() {
+        struct Fixed;
+        impl ChatModel for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn chat(&self, _request: &ChatRequest) -> ChatResponse {
+                ChatResponse::new("Answer 1: yes", Usage::default(), 0.1)
+            }
+            fn context_window(&self) -> usize {
+                1000
+            }
+            fn cost_usd(&self, _usage: &Usage) -> f64 {
+                0.0
+            }
+        }
+        let boxed: Box<dyn ChatModel> = Box::new(Fixed);
+        assert_eq!(boxed.name(), "fixed");
+        // The blanket impls keep wrappers usable as models themselves.
+        fn as_generic<M: ChatModel>(model: M) -> String {
+            model.chat(&ChatRequest::new(vec![])).text
+        }
+        assert_eq!(as_generic(&Fixed), "Answer 1: yes");
+        assert_eq!(as_generic(boxed), "Answer 1: yes");
     }
 }

@@ -188,8 +188,14 @@ pub fn comprehend(request: &ChatRequest) -> ComprehendedPrompt {
         .or_else(|| {
             instruction_text.lines().find_map(|l| {
                 let l = l.trim();
-                l.contains("attribute can be")
-                    .then(|| l.split("can be").nth(1).unwrap_or("").trim().trim_end_matches('.').to_string())
+                l.contains("attribute can be").then(|| {
+                    l.split("can be")
+                        .nth(1)
+                        .unwrap_or("")
+                        .trim()
+                        .trim_end_matches('.')
+                        .to_string()
+                })
             })
         });
 
@@ -329,10 +335,7 @@ mod tests {
         let c = comprehend(&req);
         assert_eq!(c.task, Some(TaskKind::ErrorDetection));
         assert!(c.confirm_target);
-        assert_eq!(
-            c.questions[0].target_attribute.as_deref(),
-            Some("age")
-        );
+        assert_eq!(c.questions[0].target_attribute.as_deref(), Some("age"));
     }
 
     #[test]

@@ -85,7 +85,10 @@ impl Fact {
     pub fn key(&self) -> String {
         match self {
             Fact::AreaCode { prefix, city } => format!("area:{prefix}:{city}"),
-            Fact::Brand { token, manufacturer } => format!("brand:{token}:{manufacturer}"),
+            Fact::Brand {
+                token,
+                manufacturer,
+            } => format!("brand:{token}:{manufacturer}"),
             Fact::LexiconMember { domain, value } => format!("lex:{domain}:{value}"),
             Fact::NumericRange { attribute, .. } => format!("range:{attribute}"),
             Fact::AttrSynonym { a, b } => {
@@ -457,7 +460,10 @@ mod tests {
         let known_a2: Vec<bool> = kb.facts().iter().map(|f| half_a.knows(f)).collect();
         let known_b: Vec<bool> = kb.facts().iter().map(|f| half_b.knows(f)).collect();
         assert_eq!(known_a, known_a2);
-        assert_ne!(known_a, known_b, "different models memorize different subsets");
+        assert_ne!(
+            known_a, known_b,
+            "different models memorize different subsets"
+        );
     }
 
     #[test]
@@ -479,8 +485,17 @@ mod tests {
         let known = kb.facts().iter().filter(|f| mem.knows(f)).count();
         let frac = known as f64 / 2000.0;
         // Retention is coverage^rarity; lexicon facts have rarity 0.8.
-        let expected = 0.7f64.powf(Fact::LexiconMember { domain: String::new(), value: String::new() }.rarity());
-        assert!((frac - expected).abs() < 0.04, "frac = {frac}, expected {expected:.3}");
+        let expected = 0.7f64.powf(
+            Fact::LexiconMember {
+                domain: String::new(),
+                value: String::new(),
+            }
+            .rarity(),
+        );
+        assert!(
+            (frac - expected).abs() < 0.04,
+            "frac = {frac}, expected {expected:.3}"
+        );
     }
 
     #[test]
@@ -499,8 +514,14 @@ mod tests {
 
     #[test]
     fn synonym_key_is_order_insensitive() {
-        let f1 = Fact::AttrSynonym { a: "x".into(), b: "y".into() };
-        let f2 = Fact::AttrSynonym { a: "y".into(), b: "x".into() };
+        let f1 = Fact::AttrSynonym {
+            a: "x".into(),
+            b: "y".into(),
+        };
+        let f2 = Fact::AttrSynonym {
+            a: "y".into(),
+            b: "x".into(),
+        };
         assert_eq!(f1.key(), f2.key());
     }
 }

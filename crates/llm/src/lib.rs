@@ -31,7 +31,12 @@
 //!   (format violations, wrong-attribute confusion, batch misalignment,
 //!   hallucinated imputations),
 //! * [`model`] — [`SimulatedLlm`], wiring everything together,
-//! * [`transcript`] — request/response recording with JSONL export.
+//! * [`middleware`] — composable serving layers over any [`ChatModel`]:
+//!   bounded retries with salted re-issue, request-hash response caching,
+//!   deterministic fault injection,
+//! * [`transcript`] — request/response recording with JSONL export,
+//! * [`json`] — the dependency-free JSON reader/writer behind the
+//!   transcript format.
 //!
 //! ## Determinism
 //!
@@ -42,7 +47,9 @@
 
 pub mod chat;
 pub mod comprehend;
+pub mod json;
 pub mod knowledge;
+pub mod middleware;
 pub mod model;
 pub mod profile;
 pub mod respond;
@@ -51,8 +58,11 @@ pub mod solvers;
 pub mod transcript;
 pub mod usage;
 
-pub use chat::{ChatModel, ChatRequest, ChatResponse, Message, Role};
+pub use chat::{ChatModel, ChatRequest, ChatResponse, FaultKind, Message, ResponseMeta, Role};
 pub use knowledge::{Fact, KnowledgeBase};
+pub use middleware::{
+    CacheLayer, CacheStore, FaultLayer, MiddlewareStats, RetryLayer, StatsSnapshot,
+};
 pub use model::SimulatedLlm;
 pub use profile::{LatencyModel, ModelProfile, Pricing, TaskSkills};
 pub use transcript::{Recorded, TranscriptEntry, TranscriptRecorder};

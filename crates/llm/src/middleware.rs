@@ -1,0 +1,719 @@
+//! Composable middleware over any [`ChatModel`].
+//!
+//! Production LLM serving is never a bare endpoint: requests are retried,
+//! cached, and occasionally fail at the transport layer. This module
+//! provides those layers as decorators that themselves implement
+//! [`ChatModel`], so they stack in any order over any base model:
+//!
+//! ```text
+//! CacheLayer ── RetryLayer ── FaultLayer ── SimulatedLlm
+//!   (memoize      (re-issue     (inject        (solve)
+//!    by request    with fresh    deterministic
+//!    hash)         retry salt)   faults)
+//! ```
+//!
+//! * [`RetryLayer`] re-issues a request with a perturbed retry salt when
+//!   the response answers fewer questions than were asked (or carries a
+//!   fault), with bounded attempts and exponential backoff accounted in
+//!   virtual latency.
+//! * [`CacheLayer`] memoizes responses by a stable request hash,
+//!   deduplicating identical prompts across runs and ablation sweeps.
+//! * [`FaultLayer`] deterministically injects timeouts and truncated
+//!   completions, exercising the retry path without a flaky network.
+//!
+//! All layers report into a shared [`MiddlewareStats`], so a harness can
+//! read retry/recovery/cache counters after a run regardless of how the
+//! stack was assembled.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dprep_rng::stable_hash;
+use dprep_text::count_tokens;
+
+use crate::chat::{ChatModel, ChatRequest, ChatResponse, FaultKind};
+use crate::usage::Usage;
+
+/// Thread-safe counters shared by every layer of one middleware stack.
+#[derive(Debug, Default)]
+pub struct MiddlewareStats {
+    /// Re-issued requests (each retry attempt counts once).
+    pub retries: AtomicUsize,
+    /// Requests that failed at least once and then succeeded on a retry.
+    pub recovered: AtomicUsize,
+    /// Requests still failing after the retry budget was spent.
+    pub exhausted: AtomicUsize,
+    /// Requests served from the cache.
+    pub cache_hits: AtomicUsize,
+    /// Requests that missed the cache and were computed.
+    pub cache_misses: AtomicUsize,
+    /// Faults injected by the fault layer.
+    pub faults_injected: AtomicUsize,
+}
+
+impl MiddlewareStats {
+    /// A fresh, shareable counter set.
+    pub fn shared() -> Arc<MiddlewareStats> {
+        Arc::new(MiddlewareStats::default())
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            retries: self.retries.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value snapshot of [`MiddlewareStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Re-issued requests.
+    pub retries: usize,
+    /// Requests recovered by a retry.
+    pub recovered: usize,
+    /// Requests that exhausted the retry budget.
+    pub exhausted: usize,
+    /// Cache hits.
+    pub cache_hits: usize,
+    /// Cache misses.
+    pub cache_misses: usize,
+    /// Injected faults.
+    pub faults_injected: usize,
+}
+
+/// Number of `Question N:` slots the request asks about (0 when the prompt
+/// is not in the batch-question format).
+pub fn expected_answers(request: &ChatRequest) -> usize {
+    request
+        .messages
+        .last()
+        .map(|m| {
+            let mut n = 0;
+            let mut rest = m.content.as_str();
+            while let Some(at) = rest.find("Question ") {
+                let tail = &rest[at + "Question ".len()..];
+                if tail.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    n += 1;
+                }
+                rest = tail;
+            }
+            n
+        })
+        .unwrap_or(0)
+}
+
+/// Number of `Answer N:` markers present in the completion.
+pub fn answered_count(response: &ChatResponse) -> usize {
+    response
+        .text
+        .lines()
+        .filter(|l| {
+            let l = l.trim_start();
+            l.strip_prefix("Answer ")
+                .is_some_and(|tail| tail.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        })
+        .count()
+}
+
+/// Whether a response fully serves its request: no serving-layer fault, and
+/// at least as many answers as questions.
+pub fn is_complete(request: &ChatRequest, response: &ChatResponse) -> bool {
+    if response.meta.fault.is_some() {
+        return false;
+    }
+    let expected = expected_answers(request);
+    expected == 0 || answered_count(response) >= expected
+}
+
+// ---------------------------------------------------------------------------
+// RetryLayer
+// ---------------------------------------------------------------------------
+
+/// Re-issues incomplete requests with a perturbed retry salt.
+///
+/// A response is incomplete when it carries a fault or parses to fewer
+/// `Answer N:` slots than the request's `Question N:` slots. Each retry
+/// perturbs [`ChatRequest::retry_salt`] — resampling the simulator's noise
+/// without changing the prompt text — and adds exponential backoff to the
+/// response's virtual latency. Usage accumulates over every attempt: the
+/// tokens of a failed attempt are still billed, exactly as a real API would.
+pub struct RetryLayer<M> {
+    inner: M,
+    max_retries: u32,
+    backoff_base_secs: f64,
+    stats: Arc<MiddlewareStats>,
+}
+
+impl<M: ChatModel> RetryLayer<M> {
+    /// Wraps `inner` with a budget of `max_retries` re-issues per request.
+    pub fn new(inner: M, max_retries: u32) -> Self {
+        RetryLayer {
+            inner,
+            max_retries,
+            backoff_base_secs: 1.0,
+            stats: MiddlewareStats::shared(),
+        }
+    }
+
+    /// Reports into an externally owned counter set.
+    pub fn with_stats(mut self, stats: Arc<MiddlewareStats>) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Overrides the base backoff (virtual seconds before the first retry;
+    /// doubles each attempt).
+    pub fn with_backoff(mut self, base_secs: f64) -> Self {
+        self.backoff_base_secs = base_secs;
+        self
+    }
+
+    /// The layer's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl<M: ChatModel> ChatModel for RetryLayer<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn default_temperature(&self) -> f64 {
+        self.inner.default_temperature()
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+
+    fn cost_usd(&self, usage: &Usage) -> f64 {
+        self.inner.cost_usd(usage)
+    }
+
+    fn chat(&self, request: &ChatRequest) -> ChatResponse {
+        let mut total_usage = Usage::default();
+        let mut total_latency = 0.0;
+        let mut response = self.inner.chat(request);
+        let mut attempts: u32 = 0;
+
+        while !is_complete(request, &response) && attempts < self.max_retries {
+            attempts += 1;
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            // Bill the failed attempt and wait out the backoff.
+            total_usage.prompt_tokens += response.usage.prompt_tokens;
+            total_usage.completion_tokens += response.usage.completion_tokens;
+            total_latency += response.latency_secs;
+            total_latency += self.backoff_base_secs * f64::from(1u32 << (attempts - 1));
+
+            let salted = request
+                .clone()
+                .with_retry_salt(request.retry_salt.wrapping_add(u64::from(attempts)));
+            response = self.inner.chat(&salted);
+        }
+
+        let succeeded = is_complete(request, &response);
+        if attempts > 0 {
+            if succeeded {
+                self.stats.recovered.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.exhausted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        response.usage.prompt_tokens += total_usage.prompt_tokens;
+        response.usage.completion_tokens += total_usage.completion_tokens;
+        response.latency_secs += total_latency;
+        response.meta.retries = attempts;
+        response
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CacheLayer
+// ---------------------------------------------------------------------------
+
+/// A shareable request-hash → response memo.
+pub type CacheStore = Arc<Mutex<HashMap<u64, ChatResponse>>>;
+
+/// Memoizes responses by a stable hash of the request.
+///
+/// The key covers the model name, the resolved temperature, the retry salt,
+/// and the full prompt text — everything that determines a deterministic
+/// model's output. Hits are served with zero virtual latency and zero fresh
+/// token usage recorded on the response's `meta.cache_hit` flag left for
+/// the caller to account. Share one [`CacheStore`] across runs to
+/// deduplicate identical prompts in ablation sweeps.
+pub struct CacheLayer<M> {
+    inner: M,
+    store: CacheStore,
+    stats: Arc<MiddlewareStats>,
+}
+
+impl<M: ChatModel> CacheLayer<M> {
+    /// Wraps `inner` with a fresh, empty cache.
+    pub fn new(inner: M) -> Self {
+        CacheLayer {
+            inner,
+            store: Arc::new(Mutex::new(HashMap::new())),
+            stats: MiddlewareStats::shared(),
+        }
+    }
+
+    /// Reuses an existing store (cross-run deduplication).
+    pub fn with_store(mut self, store: CacheStore) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Reports into an externally owned counter set.
+    pub fn with_stats(mut self, stats: Arc<MiddlewareStats>) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// A handle to the memo (share it with another layer via
+    /// [`CacheLayer::with_store`]).
+    pub fn store(&self) -> CacheStore {
+        Arc::clone(&self.store)
+    }
+
+    /// Number of memoized responses.
+    pub fn len(&self) -> usize {
+        self.store.lock().expect("cache poisoned").len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The layer's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn key(&self, request: &ChatRequest) -> u64 {
+        let temperature = request.temperature_or(self.inner.default_temperature());
+        let descriptor = format!(
+            "{}|{temperature}|{}|{}",
+            self.inner.name(),
+            request.retry_salt,
+            request.full_text()
+        );
+        stable_hash(0x00ca_c4e0, descriptor.as_bytes())
+    }
+}
+
+impl<M: ChatModel> ChatModel for CacheLayer<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn default_temperature(&self) -> f64 {
+        self.inner.default_temperature()
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+
+    fn cost_usd(&self, usage: &Usage) -> f64 {
+        self.inner.cost_usd(usage)
+    }
+
+    fn chat(&self, request: &ChatRequest) -> ChatResponse {
+        let key = self.key(request);
+        if let Some(hit) = self.store.lock().expect("cache poisoned").get(&key) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let mut served = hit.clone();
+            served.latency_secs = 0.0;
+            served.meta.cache_hit = true;
+            return served;
+        }
+        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let response = self.inner.chat(request);
+        self.store
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, response.clone());
+        response
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultLayer
+// ---------------------------------------------------------------------------
+
+/// Virtual latency a timed-out request burns before giving up.
+pub const TIMEOUT_LATENCY_SECS: f64 = 30.0;
+
+/// Deterministically injects serving-layer faults.
+///
+/// Whether a request faults is a pure function of `(fault seed, retry salt,
+/// prompt text)`: the same request faults on every run, and a retried
+/// request (fresh salt) usually clears — exactly the behaviour needed to
+/// exercise [`RetryLayer`] reproducibly. Injected kinds alternate by hash
+/// between [`FaultKind::Timeout`] (no completion, full timeout latency) and
+/// [`FaultKind::TruncatedCompletion`] (the completion is cut off mid-text).
+pub struct FaultLayer<M> {
+    inner: M,
+    rate: f64,
+    seed: u64,
+    stats: Arc<MiddlewareStats>,
+}
+
+impl<M: ChatModel> FaultLayer<M> {
+    /// Wraps `inner`, faulting a deterministic `rate` fraction of requests.
+    pub fn new(inner: M, rate: f64, seed: u64) -> Self {
+        FaultLayer {
+            inner,
+            rate: rate.clamp(0.0, 1.0),
+            seed,
+            stats: MiddlewareStats::shared(),
+        }
+    }
+
+    /// Reports into an externally owned counter set.
+    pub fn with_stats(mut self, stats: Arc<MiddlewareStats>) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// The layer's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl<M: ChatModel> ChatModel for FaultLayer<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn default_temperature(&self) -> f64 {
+        self.inner.default_temperature()
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+
+    fn cost_usd(&self, usage: &Usage) -> f64 {
+        self.inner.cost_usd(usage)
+    }
+
+    fn chat(&self, request: &ChatRequest) -> ChatResponse {
+        let full_text = request.full_text();
+        let h = stable_hash(self.seed ^ request.retry_salt, full_text.as_bytes());
+        let roll = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if roll >= self.rate {
+            return self.inner.chat(request);
+        }
+        self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+        if h & 1 == 0 {
+            // Timeout: the prompt was transmitted (and billed) but nothing
+            // came back before the deadline.
+            let mut response = ChatResponse::new(
+                String::new(),
+                Usage {
+                    prompt_tokens: count_tokens(&full_text),
+                    completion_tokens: 0,
+                },
+                TIMEOUT_LATENCY_SECS,
+            );
+            response.meta.fault = Some(FaultKind::Timeout);
+            response
+        } else {
+            // Truncation: the stream was cut partway through the completion.
+            let mut response = self.inner.chat(request);
+            let cut = response.text.len() / 2;
+            let cut = (0..=cut)
+                .rev()
+                .find(|&i| response.text.is_char_boundary(i))
+                .unwrap_or(0);
+            response.text.truncate(cut);
+            response.usage.completion_tokens = count_tokens(&response.text);
+            response.meta.fault = Some(FaultKind::TruncatedCompletion);
+            response
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chat::Message;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A model that answers every question, counting calls thread-safely.
+    struct Scripted {
+        calls: AtomicUsize,
+        /// Salts for which the model answers everything; other salts skip
+        /// the last question.
+        complete_salts: Vec<u64>,
+    }
+
+    impl Scripted {
+        fn always_complete() -> Self {
+            Scripted {
+                calls: AtomicUsize::new(0),
+                complete_salts: (0..64).collect(),
+            }
+        }
+
+        fn complete_only_on(salts: &[u64]) -> Self {
+            Scripted {
+                calls: AtomicUsize::new(0),
+                complete_salts: salts.to_vec(),
+            }
+        }
+
+        fn calls(&self) -> usize {
+            self.calls.load(Ordering::Relaxed)
+        }
+    }
+
+    impl ChatModel for Scripted {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+        fn context_window(&self) -> usize {
+            100_000
+        }
+        fn cost_usd(&self, usage: &Usage) -> f64 {
+            usage.total_tokens() as f64 * 1e-6
+        }
+        fn chat(&self, request: &ChatRequest) -> ChatResponse {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let expected = expected_answers(request);
+            let complete = self.complete_salts.contains(&request.retry_salt);
+            let n = if complete {
+                expected
+            } else {
+                expected.saturating_sub(1)
+            };
+            let mut text = String::new();
+            for i in 1..=n {
+                text.push_str(&format!("Answer {i}: yes\n"));
+            }
+            ChatResponse::new(
+                text,
+                Usage {
+                    prompt_tokens: 100,
+                    completion_tokens: 10 * n,
+                },
+                2.0,
+            )
+        }
+    }
+
+    fn batch_request(k: usize) -> ChatRequest {
+        let mut body = String::new();
+        for i in 1..=k {
+            body.push_str(&format!("Question {i}: Is record {i} correct?\n"));
+        }
+        ChatRequest::new(vec![
+            Message::system("Answer every question."),
+            Message::user(body),
+        ])
+        .with_temperature(0.2)
+    }
+
+    #[test]
+    fn expected_and_answered_counting() {
+        let req = batch_request(4);
+        assert_eq!(expected_answers(&req), 4);
+        let resp = ChatResponse::new("Answer 1: yes\nAnswer 2: no\n", Usage::default(), 0.1);
+        assert_eq!(answered_count(&resp), 2);
+        assert!(!is_complete(&req, &resp));
+    }
+
+    #[test]
+    fn retry_passes_through_complete_responses() {
+        let model = Scripted::always_complete();
+        let layer = RetryLayer::new(&model, 3);
+        let resp = layer.chat(&batch_request(3));
+        assert_eq!(model.calls(), 1);
+        assert_eq!(resp.meta.retries, 0);
+        assert_eq!(answered_count(&resp), 3);
+        assert_eq!(layer.stats(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn retry_reissues_until_complete_and_bills_every_attempt() {
+        // Salt 0 and 1 fail; salt 2 (= second retry) succeeds.
+        let model = Scripted::complete_only_on(&[2]);
+        let layer = RetryLayer::new(&model, 3).with_backoff(1.0);
+        let resp = layer.chat(&batch_request(2));
+        assert_eq!(model.calls(), 3);
+        assert_eq!(resp.meta.retries, 2);
+        assert_eq!(answered_count(&resp), 2);
+        // Usage covers all three attempts (100 prompt tokens each).
+        assert_eq!(resp.usage.prompt_tokens, 300);
+        // Latency: 3 × 2.0s of attempts + 1.0 + 2.0 backoff.
+        assert!(
+            (resp.latency_secs - 9.0).abs() < 1e-12,
+            "{}",
+            resp.latency_secs
+        );
+        let stats = layer.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.exhausted, 0);
+    }
+
+    #[test]
+    fn retry_budget_exhausts() {
+        let model = Scripted::complete_only_on(&[]);
+        let layer = RetryLayer::new(&model, 2);
+        let resp = layer.chat(&batch_request(2));
+        assert_eq!(model.calls(), 3);
+        assert_eq!(resp.meta.retries, 2);
+        let stats = layer.stats();
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.recovered, 0);
+    }
+
+    #[test]
+    fn cache_hits_identical_requests_only() {
+        let model = Scripted::always_complete();
+        let layer = CacheLayer::new(&model);
+        let a = layer.chat(&batch_request(2));
+        assert_eq!(model.calls(), 1);
+        let b = layer.chat(&batch_request(2));
+        assert_eq!(model.calls(), 1, "second identical request must hit");
+        assert!(b.meta.cache_hit);
+        assert_eq!(b.latency_secs, 0.0);
+        assert_eq!(b.text, a.text);
+        let _ = layer.chat(&batch_request(3));
+        assert_eq!(model.calls(), 2, "different prompt must miss");
+        let stats = layer.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(layer.len(), 2);
+    }
+
+    #[test]
+    fn cache_key_covers_temperature_and_salt() {
+        let model = Scripted::always_complete();
+        let layer = CacheLayer::new(&model);
+        let req = batch_request(1);
+        let _ = layer.chat(&req);
+        let _ = layer.chat(&req.clone().with_temperature(0.9));
+        let _ = layer.chat(&req.clone().with_retry_salt(7));
+        assert_eq!(model.calls(), 3);
+        assert_eq!(layer.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_store_shared_across_layers() {
+        let model = Scripted::always_complete();
+        let first = CacheLayer::new(&model);
+        let _ = first.chat(&batch_request(2));
+        let second = CacheLayer::new(&model).with_store(first.store());
+        let resp = second.chat(&batch_request(2));
+        assert!(resp.meta.cache_hit);
+        assert_eq!(model.calls(), 1);
+    }
+
+    #[test]
+    fn fault_layer_is_deterministic_and_rate_bounded() {
+        let model = Scripted::always_complete();
+        let layer = FaultLayer::new(&model, 0.10, 42);
+        let mut faulted = Vec::new();
+        for i in 0..200 {
+            let mut req = batch_request(2);
+            req.messages[1].content.push_str(&format!("variant {i}\n"));
+            let resp = layer.chat(&req);
+            faulted.push(resp.meta.fault.is_some());
+        }
+        let count = faulted.iter().filter(|&&f| f).count();
+        assert!((8..=35).contains(&count), "fault count {count}/200");
+        // Re-running yields the identical fault pattern.
+        let layer2 = FaultLayer::new(&model, 0.10, 42);
+        for (i, &was_faulted) in faulted.iter().enumerate() {
+            let mut req = batch_request(2);
+            req.messages[1].content.push_str(&format!("variant {i}\n"));
+            assert_eq!(layer2.chat(&req).meta.fault.is_some(), was_faulted);
+        }
+    }
+
+    #[test]
+    fn fault_kinds_carry_sensible_payloads() {
+        let model = Scripted::always_complete();
+        let layer = FaultLayer::new(&model, 1.0, 7);
+        let mut kinds = std::collections::HashSet::new();
+        for i in 0..40 {
+            let mut req = batch_request(3);
+            req.messages[1].content.push_str(&format!("v{i}\n"));
+            let resp = layer.chat(&req);
+            match resp.meta.fault.expect("rate 1.0 always faults") {
+                FaultKind::Timeout => {
+                    assert!(resp.text.is_empty());
+                    assert_eq!(resp.usage.completion_tokens, 0);
+                    assert_eq!(resp.latency_secs, TIMEOUT_LATENCY_SECS);
+                    kinds.insert("timeout");
+                }
+                FaultKind::TruncatedCompletion => {
+                    assert!(answered_count(&resp) < 3);
+                    kinds.insert("truncated");
+                }
+            }
+        }
+        assert_eq!(kinds.len(), 2, "both fault kinds appear");
+    }
+
+    #[test]
+    fn retry_recovers_injected_faults() {
+        // The acceptance bar: at 10% faults, ≥ 90% of faulted requests
+        // recover within the retry budget.
+        let model = Scripted::always_complete();
+        let stats = MiddlewareStats::shared();
+        let stack = RetryLayer::new(
+            FaultLayer::new(&model, 0.10, 13).with_stats(Arc::clone(&stats)),
+            2,
+        )
+        .with_stats(Arc::clone(&stats));
+        let mut failures = 0;
+        for i in 0..300 {
+            let mut req = batch_request(2);
+            req.messages[1].content.push_str(&format!("case {i}\n"));
+            let resp = stack.chat(&req);
+            if !is_complete(&req, &resp) {
+                failures += 1;
+            }
+        }
+        let snap = stats.snapshot();
+        assert!(snap.faults_injected > 0);
+        let recovered_rate =
+            snap.recovered as f64 / (snap.recovered + snap.exhausted).max(1) as f64;
+        assert!(
+            recovered_rate >= 0.90,
+            "recovered {}/{}",
+            snap.recovered,
+            snap.recovered + snap.exhausted
+        );
+        assert_eq!(failures, snap.exhausted);
+    }
+
+    #[test]
+    fn shared_stats_aggregate_across_layers() {
+        let model = Scripted::always_complete();
+        let stats = MiddlewareStats::shared();
+        let stack = CacheLayer::new(RetryLayer::new(&model, 1).with_stats(Arc::clone(&stats)))
+            .with_stats(Arc::clone(&stats));
+        let _ = stack.chat(&batch_request(1));
+        let _ = stack.chat(&batch_request(1));
+        let snap = stats.snapshot();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+    }
+}

@@ -14,8 +14,6 @@
 
 use std::sync::Arc;
 
-use rand::Rng;
-
 use dprep_text::count_tokens;
 
 use crate::chat::{ChatModel, ChatRequest, ChatResponse};
@@ -101,8 +99,10 @@ impl ChatModel for SimulatedLlm {
         let prompt_tokens = count_tokens(&full_text);
         let context_fill = prompt_tokens as f64 / self.profile.context_window as f64;
 
+        // The retry salt perturbs the noise stream without touching the
+        // prompt text: salt 0 reproduces the unsalted stream exactly.
         let mut rng = rng_for(
-            self.seed ^ stable_hash(0, self.profile.name.as_bytes()),
+            self.seed ^ stable_hash(request.retry_salt, self.profile.name.as_bytes()),
             &full_text,
         );
         let prompt = comprehend(request);
@@ -110,16 +110,19 @@ impl ChatModel for SimulatedLlm {
         // Context overflow: only the questions that fit are answered.
         let mut questions = prompt.questions.clone();
         if context_fill > 1.0 && !questions.is_empty() {
-            let keep =
-                ((questions.len() as f64 / context_fill).floor() as usize).max(1);
+            let keep = ((questions.len() as f64 / context_fill).floor() as usize).max(1);
             questions.truncate(keep);
         }
 
         // --- Effective decision noise ---------------------------------
         let skill = self.task_skill(prompt.task);
-        let temp_mult = 0.55 + 0.6 * request.temperature;
+        let temp_mult = 0.55 + 0.6 * request.temperature_or(self.profile.default_temperature);
         let reason_mult = if prompt.wants_reason { 1.0 } else { 1.25 };
-        let fewshot_mult = if prompt.examples.is_empty() { 1.15 } else { 1.0 };
+        let fewshot_mult = if prompt.examples.is_empty() {
+            1.15
+        } else {
+            1.0
+        };
         let k = questions.len().max(1);
         let batch_mult = (1.0 + 0.015 * (k as f64 - 1.0)).min(1.25);
         let homogeneity = batch_homogeneity(&questions);
@@ -147,10 +150,12 @@ impl ChatModel for SimulatedLlm {
         if prompt.task == Some(TaskKind::ErrorDetection) && !prompt.confirm_target {
             let p_drift = ((1.0 - self.profile.instruction_following) * 2.0 + 0.10).min(0.4);
             for q in &mut questions {
-                if rng.gen::<f64>() >= p_drift {
+                if rng.f64() >= p_drift {
                     continue;
                 }
-                let Some(instance) = q.instances.first() else { continue };
+                let Some(instance) = q.instances.first() else {
+                    continue;
+                };
                 let current = q.target_attribute.clone();
                 let others: Vec<&str> = instance
                     .fields
@@ -158,7 +163,7 @@ impl ChatModel for SimulatedLlm {
                     .map(|(n, _)| n.as_str())
                     .filter(|n| Some(*n) != current.as_deref())
                     .collect();
-                if let Some(&pick) = others.get(rng.gen_range(0..others.len().max(1))) {
+                if let Some(&pick) = others.get(rng.range_usize(0, others.len().max(1))) {
                     q.target_attribute = Some(pick.to_string());
                 }
             }
@@ -202,11 +207,7 @@ impl ChatModel for SimulatedLlm {
             .latency
             .latency(prompt_tokens, completion_tokens);
 
-        ChatResponse {
-            text,
-            usage,
-            latency_secs,
-        }
+        ChatResponse::new(text, usage, latency_secs)
     }
 }
 

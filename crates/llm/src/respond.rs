@@ -6,11 +6,9 @@
 //! those failures with probabilities derived from the model profile, then
 //! renders the final completion text.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use crate::comprehend::{ComprehendedPrompt, TaskKind};
 use crate::profile::ModelProfile;
+use crate::rng::Rng;
 use crate::solvers::SolvedAnswer;
 
 /// One answer slot in the completion.
@@ -50,7 +48,7 @@ pub fn plan_response(
     prompt: &ComprehendedPrompt,
     mut answers: Vec<(usize, SolvedAnswer)>,
     context_fill: f64,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Vec<AnswerSegment> {
     let k = answers.len();
     let miss_instr = 1.0 - profile.instruction_following;
@@ -58,8 +56,8 @@ pub fn plan_response(
     // Batch misalignment: swap one adjacent pair.
     if k >= 2 {
         let p_swap = (miss_instr * (k as f64 - 1.0) * 0.08).min(0.5);
-        if rng.gen::<f64>() < p_swap {
-            let at = rng.gen_range(0..k - 1);
+        if rng.f64() < p_swap {
+            let at = rng.range_usize(0, k - 1);
             let (left, right) = (answers[at].0, answers[at + 1].0);
             answers.swap(at, at + 1);
             answers[at].0 = left;
@@ -70,20 +68,21 @@ pub fn plan_response(
     // Skipped trailing answer.
     if k >= 2 {
         let p_skip = (miss_instr * k as f64 * 0.02).min(0.3);
-        if rng.gen::<f64>() < p_skip {
+        if rng.f64() < p_skip {
             answers.pop();
         }
     }
 
     let adherence = format_adherence(profile, prompt.task);
-    let p_garble = ((1.0 - adherence) * (0.6 + 0.8 * context_fill.clamp(0.0, 1.0))).clamp(0.0, 0.98);
+    let p_garble =
+        ((1.0 - adherence) * (0.6 + 0.8 * context_fill.clamp(0.0, 1.0))).clamp(0.0, 0.98);
 
     answers
         .into_iter()
         .map(|(number, solved)| AnswerSegment {
             number,
             solved,
-            garbled: rng.gen::<f64>() < p_garble,
+            garbled: rng.f64() < p_garble,
         })
         .collect()
 }
@@ -234,13 +233,7 @@ mod tests {
         let mut garbled = 0;
         for i in 0..200 {
             let mut rng = rng_for(i, "seed");
-            let segs = plan_response(
-                &profile,
-                &prompt,
-                vec![(1, solved("yes"))],
-                0.1,
-                &mut rng,
-            );
+            let segs = plan_response(&profile, &prompt, vec![(1, solved("yes"))], 0.1, &mut rng);
             if segs.iter().any(|s| s.garbled) {
                 garbled += 1;
             }

@@ -1,71 +1,24 @@
-//! Deterministic randomness helpers.
+//! Deterministic randomness helpers, re-exported from the shared
+//! [`dprep_rng`] crate.
 //!
-//! Every stochastic decision the simulator makes is drawn from a
-//! [`StdRng`] seeded by a stable hash of the request content plus the
+//! Every stochastic decision the simulator makes is drawn from an
+//! [`Rng`] seeded by a stable hash of the request content plus the
 //! model's seed — identical prompts always yield identical behaviour, and
 //! changing a single prompt character reshuffles the noise (like resampling
 //! a real API).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// FNV-1a hash of `bytes`, mixed with `seed`.
-pub fn stable_hash(seed: u64, bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET ^ seed;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    // Final avalanche (splitmix64 finalizer) so similar strings diverge.
-    let mut z = h;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// An RNG seeded from `(seed, content)`.
-pub fn rng_for(seed: u64, content: &str) -> StdRng {
-    StdRng::seed_from_u64(stable_hash(seed, content.as_bytes()))
-}
-
-/// A standard-normal sample via Box-Muller.
-pub fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
+pub use dprep_rng::{gaussian, rng_for, stable_hash, Rng};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn stable_hash_is_stable_and_sensitive() {
+    fn reexports_are_wired() {
         assert_eq!(stable_hash(1, b"abc"), stable_hash(1, b"abc"));
-        assert_ne!(stable_hash(1, b"abc"), stable_hash(1, b"abd"));
-        assert_ne!(stable_hash(1, b"abc"), stable_hash(2, b"abc"));
-    }
-
-    #[test]
-    fn rng_reproducible() {
         let mut a = rng_for(7, "prompt");
         let mut b = rng_for(7, "prompt");
-        let xa: f64 = a.gen();
-        let xb: f64 = b.gen();
-        assert_eq!(xa, xb);
-    }
-
-    #[test]
-    fn gaussian_moments() {
-        let mut rng = rng_for(0, "gaussian-test");
-        let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        assert!(mean.abs() < 0.05, "mean = {mean}");
-        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+        assert_eq!(a.f64(), b.f64());
+        assert!(gaussian(&mut a).is_finite());
     }
 }

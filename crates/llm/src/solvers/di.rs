@@ -17,13 +17,11 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use dprep_tabular::context::ParsedInstance;
 use dprep_text::normalize;
 
 use crate::comprehend::Question;
+use crate::rng::Rng;
 use crate::solvers::{SolvedAnswer, SolverContext};
 
 /// A candidate imputation with its evidence weight and provenance phrase.
@@ -72,11 +70,7 @@ fn evidence_phrases(instance: &ParsedInstance, target: &str) -> Vec<String> {
     phrases
 }
 
-fn gather_candidates(
-    ctx: &SolverContext<'_>,
-    question: &Question,
-    target: &str,
-) -> Vec<Candidate> {
+fn gather_candidates(ctx: &SolverContext<'_>, question: &Question, target: &str) -> Vec<Candidate> {
     let mut candidates: Vec<Candidate> = Vec::new();
     let Some(instance) = question.instances.first() else {
         return candidates;
@@ -137,10 +131,10 @@ fn gather_candidates(
     candidates
 }
 
-fn hallucinate(ctx: &SolverContext<'_>, target: &str, rng: &mut StdRng) -> (String, String) {
+fn hallucinate(ctx: &SolverContext<'_>, target: &str, rng: &mut Rng) -> (String, String) {
     let lexicon: Vec<&str> = ctx.kb.known_lexicon(&ctx.memorizer, target).collect();
     if !lexicon.is_empty() {
-        let pick = lexicon[rng.gen_range(0..lexicon.len())];
+        let pick = lexicon[rng.range_usize(0, lexicon.len())];
         return (
             pick.to_string(),
             format!("without direct evidence, {pick} is a typical \"{target}\" value"),
@@ -168,7 +162,7 @@ fn apply_type_hint(ctx: &SolverContext<'_>, value: &str) -> String {
 }
 
 /// Solves one imputation question.
-pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut StdRng) -> SolvedAnswer {
+pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut Rng) -> SolvedAnswer {
     let target = question
         .target_attribute
         .clone()
@@ -196,7 +190,11 @@ pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut StdRng) -> 
     for c in &mut candidates {
         c.weight += ctx.noise(rng);
     }
-    candidates.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let (value, phrase) = match candidates.first() {
         // A sufficiently noisy draw abandons evidence for a hallucination.
@@ -262,8 +260,7 @@ mod tests {
         solve(&ctx, &prompt.questions[0], &mut rng)
     }
 
-    const DI_SYSTEM: &str =
-        "You are requested to infer the value of the \"city\" attribute based \
+    const DI_SYSTEM: &str = "You are requested to infer the value of the \"city\" attribute based \
          on the values of other attributes. MUST answer in two lines; give the \
          reason first.";
 

@@ -15,11 +15,10 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-
 use dprep_text::{normalize, normalized_levenshtein};
 
 use crate::comprehend::Question;
+use crate::rng::Rng;
 use crate::solvers::{SolvedAnswer, SolverContext};
 
 /// Criteria learned from few-shot examples for one target attribute.
@@ -114,15 +113,67 @@ fn looks_garbage(raw: &str) -> bool {
 /// Curated for length (≥ 5 letters) so single-typo neighbourhoods rarely
 /// collide with legitimate rare words.
 const COMMON_WORDS: &[&str] = &[
-    "patients", "medical", "center", "hospital", "regional", "health", "clinic", "heart",
-    "attack", "failure", "surgery", "surgical", "pneumonia", "given", "discharge",
-    "instructions", "aspirin", "arrival", "antibiotics", "within", "assessment",
-    "assessed", "influenza", "vaccination", "received", "reliever", "medication",
-    "hospitalized", "oxygenation", "blocker", "treatment", "prevent", "blood", "clots",
-    "children", "company", "wireless", "professional", "software", "private", "county",
-    "general", "memorial", "university", "providence", "baptist", "samaritan", "sacred",
-    "riverside", "mercy", "emergency", "service", "government", "proprietary", "voluntary",
-    "church", "access", "critical", "acute", "care", "hospitals",
+    "patients",
+    "medical",
+    "center",
+    "hospital",
+    "regional",
+    "health",
+    "clinic",
+    "heart",
+    "attack",
+    "failure",
+    "surgery",
+    "surgical",
+    "pneumonia",
+    "given",
+    "discharge",
+    "instructions",
+    "aspirin",
+    "arrival",
+    "antibiotics",
+    "within",
+    "assessment",
+    "assessed",
+    "influenza",
+    "vaccination",
+    "received",
+    "reliever",
+    "medication",
+    "hospitalized",
+    "oxygenation",
+    "blocker",
+    "treatment",
+    "prevent",
+    "blood",
+    "clots",
+    "children",
+    "company",
+    "wireless",
+    "professional",
+    "software",
+    "private",
+    "county",
+    "general",
+    "memorial",
+    "university",
+    "providence",
+    "baptist",
+    "samaritan",
+    "sacred",
+    "riverside",
+    "mercy",
+    "emergency",
+    "service",
+    "government",
+    "proprietary",
+    "voluntary",
+    "church",
+    "access",
+    "critical",
+    "acute",
+    "care",
+    "hospitals",
 ];
 
 /// True when `word` is one character-edit away from a common English word
@@ -293,9 +344,7 @@ fn gather_evidence(
                 if n < min || n > max {
                     evidence.push(Evidence {
                         score: 0.86,
-                        phrase: format!(
-                            "{n} falls outside the range suggested by the examples"
-                        ),
+                        phrase: format!("{n} falls outside the range suggested by the examples"),
                     });
                 } else {
                     evidence.push(Evidence {
@@ -356,7 +405,7 @@ fn gather_evidence(
 }
 
 /// Solves one error-detection question.
-pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut StdRng) -> SolvedAnswer {
+pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut Rng) -> SolvedAnswer {
     let target = question
         .target_attribute
         .clone()
@@ -522,7 +571,10 @@ mod tests {
              Is there an error in the \"age\" attribute?",
             &kb,
         );
-        assert_eq!(ans.answer, "no", "zero-shot without reasoning is superficial");
+        assert_eq!(
+            ans.answer, "no",
+            "zero-shot without reasoning is superficial"
+        );
     }
 
     #[test]

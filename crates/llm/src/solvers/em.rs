@@ -15,13 +15,12 @@
 //! present in the prompt, so dropping noisy attributes mechanically raises
 //! accuracy.
 
-use rand::rngs::StdRng;
-
 use dprep_tabular::context::ParsedInstance;
 use dprep_text::{jaro_winkler, normalize, overlap_tokens};
 
 use crate::comprehend::Question;
 use crate::knowledge::{KnowledgeBase, Memorizer};
+use crate::rng::Rng;
 use crate::solvers::{calibrate_threshold, SolvedAnswer, SolverContext};
 
 /// Canonicalizes every word through the model's memorized aliases
@@ -48,13 +47,7 @@ fn numeric_tokens(s: &str) -> std::collections::HashSet<String> {
         .collect()
 }
 
-fn value_similarity(
-    kb: &KnowledgeBase,
-    mem: &Memorizer,
-    a: &str,
-    b: &str,
-    contrast: f64,
-) -> f64 {
+fn value_similarity(kb: &KnowledgeBase, mem: &Memorizer, a: &str, b: &str, contrast: f64) -> f64 {
     if let (Ok(x), Ok(y)) = (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
         let denom = x.abs().max(y.abs()).max(1.0);
         return (1.0 - (x - y).abs() / denom).max(0.0);
@@ -94,10 +87,15 @@ pub fn score_pair_with_contrast(
     let mut weight_sum = 0.0;
     for (name, va) in &a.fields {
         let Some(va) = va else { continue };
-        let Some(Some(vb)) = b.get(name) else { continue };
+        let Some(Some(vb)) = b.get(name) else {
+            continue;
+        };
         let sim = value_similarity(kb, mem, va, vb, contrast);
         // Long text fields (titles) carry more identity signal.
-        let words = va.split_whitespace().count().max(vb.split_whitespace().count());
+        let words = va
+            .split_whitespace()
+            .count()
+            .max(vb.split_whitespace().count());
         let mut weight = 1.0 + (words.min(8) as f64) * 0.5;
         // Identifier-like fields (single digit-bearing tokens: model
         // numbers, catalog ids) pin identity: a matcher attends to them
@@ -135,7 +133,7 @@ pub fn score_pair(
 const DEFAULT_THRESHOLD: f64 = 0.75;
 
 /// Solves one entity-matching question.
-pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut StdRng) -> SolvedAnswer {
+pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut Rng) -> SolvedAnswer {
     if question.instances.len() < 2 {
         return SolvedAnswer {
             answer: "no".into(),
@@ -164,10 +162,13 @@ pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut StdRng) -> 
         // a homogeneous batch (cluster batching) restores confidence — the
         // model sees the same question shape repeatedly and settles into a
         // consistent policy.
-        let shift = if example_scores.is_empty() { 0.08 } else { 0.025 };
+        let shift = if example_scores.is_empty() {
+            0.08
+        } else {
+            0.025
+        };
         threshold += shift * (1.0 - ctx.homogeneity).clamp(0.2, 1.0);
     }
-
 
     let noisy = score + ctx.noise(rng);
     let is_match = noisy > threshold;
@@ -213,8 +214,7 @@ mod tests {
         solve(&ctx, &prompt.questions[0], &mut rng)
     }
 
-    const EM_SYSTEM: &str =
-        "You are requested to decide whether the two given records refer to \
+    const EM_SYSTEM: &str = "You are requested to decide whether the two given records refer to \
          the same entity. Answer with only \"yes\" or \"no\".";
 
     #[test]
@@ -342,14 +342,26 @@ mod tests {
         let pairs = [
             ("canon eos camera body", "canon eos camera body"),
             ("canon eos camera body kit", "canon camera body with strap"),
-            ("canon eos camera kit black", "canon powershot camera silver bundle"),
-            ("sony wireless headphones black", "sony wired headphones white pair"),
+            (
+                "canon eos camera kit black",
+                "canon powershot camera silver bundle",
+            ),
+            (
+                "sony wireless headphones black",
+                "sony wired headphones white pair",
+            ),
             (
                 "sony wireless headphones black model one",
                 "sony wireless headset black model two",
             ),
-            ("canon eos rebel dslr camera", "nikon coolpix digital camera"),
-            ("canon printer ink cartridge", "sony bravia television stand"),
+            (
+                "canon eos rebel dslr camera",
+                "nikon coolpix digital camera",
+            ),
+            (
+                "canon printer ink cartridge",
+                "sony bravia television stand",
+            ),
         ];
         let mut flips = 0;
         for (a, b) in pairs {
@@ -365,6 +377,9 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(flips >= 1, "no borderline pair flipped under zero-shot reasoning");
+        assert!(
+            flips >= 1,
+            "no borderline pair flipped under zero-shot reasoning"
+        );
     }
 }

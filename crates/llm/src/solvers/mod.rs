@@ -21,12 +21,11 @@ pub mod ed;
 pub mod em;
 pub mod sm;
 
-use rand::rngs::StdRng;
-
 use crate::comprehend::{ComprehendedPrompt, Question, TaskKind};
 use crate::knowledge::{KnowledgeBase, Memorizer};
 use crate::profile::ModelProfile;
 use crate::rng::gaussian;
+use crate::rng::Rng;
 
 /// One solved question: the final answer line and the reasoning line.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +61,7 @@ pub struct SolverContext<'a> {
 
 impl SolverContext<'_> {
     /// A Gaussian noise sample with the context's sigma.
-    pub fn noise(&self, rng: &mut StdRng) -> f64 {
+    pub fn noise(&self, rng: &mut Rng) -> f64 {
         gaussian(rng) * self.sigma
     }
 
@@ -74,7 +73,7 @@ impl SolverContext<'_> {
 
 /// Dispatches a question to the task solver detected from the prompt.
 /// Questions under an unrecognized task produce a refusal answer.
-pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut StdRng) -> SolvedAnswer {
+pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut Rng) -> SolvedAnswer {
     match ctx.prompt.task {
         Some(TaskKind::ErrorDetection) => ed::solve(ctx, question, rng),
         Some(TaskKind::Imputation) => di::solve(ctx, question, rng),

@@ -14,14 +14,13 @@
 //! conservative (the paper measures SM collapsing to 5.9 F1 there).
 //! Few-shot examples calibrate the decision threshold.
 
-use rand::rngs::StdRng;
-
 use dprep_tabular::context::ParsedInstance;
 use dprep_text::{jaro_winkler, normalize, overlap_tokens};
 
 use crate::comprehend::Question;
 use crate::knowledge::KnowledgeBase;
 use crate::knowledge::Memorizer;
+use crate::rng::Rng;
 use crate::solvers::{calibrate_threshold, SolvedAnswer, SolverContext};
 
 /// Name similarity that sees through schema-name conventions: compound
@@ -67,10 +66,7 @@ fn name_similarity(a: &str, b: &str) -> f64 {
 }
 
 fn field<'a>(instance: &'a ParsedInstance, name: &str) -> &'a str {
-    instance
-        .get(name)
-        .and_then(|v| v.as_deref())
-        .unwrap_or("")
+    instance.get(name).and_then(|v| v.as_deref()).unwrap_or("")
 }
 
 /// Match score for two `(name, description)` attribute instances.
@@ -120,7 +116,7 @@ pub fn score_pair(
 const DEFAULT_THRESHOLD: f64 = 0.60;
 
 /// Solves one schema-matching question.
-pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut StdRng) -> SolvedAnswer {
+pub fn solve(ctx: &SolverContext<'_>, question: &Question, rng: &mut Rng) -> SolvedAnswer {
     if question.instances.len() < 2 {
         return SolvedAnswer {
             answer: "no".into(),
@@ -336,10 +332,9 @@ mod tests {
             "[name: \"total charges total costs\", description: \"sum\"]",
         )
         .unwrap();
-        let b = dprep_tabular::context::parse_instance(
-            "[name: \"total\", description: \"unrelated\"]",
-        )
-        .unwrap();
+        let b =
+            dprep_tabular::context::parse_instance("[name: \"total\", description: \"unrelated\"]")
+                .unwrap();
         for reasoning in [false, true] {
             let s = score_pair(&kb, &mem, &a, &b, reasoning);
             assert!((0.0..=1.0).contains(&s), "score {s} out of bounds");
@@ -349,7 +344,11 @@ mod tests {
     #[test]
     fn malformed_question_defaults_to_no() {
         let kb = kb();
-        let ans = solve_one(SM_REASONING, "Question 1: Attribute A is [name: \"x\"].", &kb);
+        let ans = solve_one(
+            SM_REASONING,
+            "Question 1: Attribute A is [name: \"x\"].",
+            &kb,
+        );
         assert_eq!(ans.answer, "no");
     }
 }

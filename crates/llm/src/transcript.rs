@@ -7,19 +7,19 @@
 
 use std::sync::Mutex;
 
-use serde::{Deserialize, Serialize};
-
 use crate::chat::{ChatModel, ChatRequest, ChatResponse, Role};
+use crate::json::{Json, JsonError};
 use crate::usage::Usage;
 
 /// One recorded exchange.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TranscriptEntry {
     /// Model that served the request.
     pub model: String,
     /// Messages as `(role, content)` pairs.
     pub messages: Vec<(String, String)>,
-    /// Sampling temperature.
+    /// Sampling temperature the request was served at (the explicit setting
+    /// when present, the model default otherwise).
     pub temperature: f64,
     /// Completion text.
     pub completion: String,
@@ -31,6 +31,79 @@ pub struct TranscriptEntry {
     pub cost_usd: f64,
     /// Virtual latency in seconds.
     pub latency_secs: f64,
+}
+
+impl TranscriptEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("model".into(), Json::Str(self.model.clone())),
+            (
+                "messages".into(),
+                Json::Arr(
+                    self.messages
+                        .iter()
+                        .map(|(role, content)| {
+                            Json::Arr(vec![Json::Str(role.clone()), Json::Str(content.clone())])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("temperature".into(), Json::Num(self.temperature)),
+            ("completion".into(), Json::Str(self.completion.clone())),
+            ("prompt_tokens".into(), Json::Num(self.prompt_tokens as f64)),
+            (
+                "completion_tokens".into(),
+                Json::Num(self.completion_tokens as f64),
+            ),
+            ("cost_usd".into(), Json::Num(self.cost_usd)),
+            ("latency_secs".into(), Json::Num(self.latency_secs)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<TranscriptEntry, JsonError> {
+        let field = |key: &str| {
+            value.get(key).ok_or_else(|| JsonError {
+                at: 0,
+                message: format!("missing field {key:?}"),
+            })
+        };
+        let bad = |key: &str| JsonError {
+            at: 0,
+            message: format!("field {key:?} has the wrong type"),
+        };
+        let text = |key: &str| -> Result<String, JsonError> {
+            Ok(field(key)?.as_str().ok_or_else(|| bad(key))?.to_string())
+        };
+        let number = |key: &str| field(key)?.as_f64().ok_or_else(|| bad(key));
+        let count = |key: &str| field(key)?.as_usize().ok_or_else(|| bad(key));
+
+        let messages = field("messages")?
+            .as_arr()
+            .ok_or_else(|| bad("messages"))?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_arr().filter(|a| a.len() == 2);
+                match items {
+                    Some([role, content]) => match (role.as_str(), content.as_str()) {
+                        (Some(r), Some(c)) => Ok((r.to_string(), c.to_string())),
+                        _ => Err(bad("messages")),
+                    },
+                    _ => Err(bad("messages")),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(TranscriptEntry {
+            model: text("model")?,
+            messages,
+            temperature: number("temperature")?,
+            completion: text("completion")?,
+            prompt_tokens: count("prompt_tokens")?,
+            completion_tokens: count("completion_tokens")?,
+            cost_usd: number("cost_usd")?,
+            latency_secs: number("latency_secs")?,
+        })
+    }
 }
 
 /// Thread-safe transcript store.
@@ -70,21 +143,28 @@ impl TranscriptRecorder {
         let entries = self.entries.lock().expect("recorder poisoned");
         let mut out = String::new();
         for entry in entries.iter() {
-            out.push_str(&serde_json::to_string(entry).expect("entry serializes"));
+            out.push_str(&entry.to_json().to_json());
             out.push('\n');
         }
         out
     }
 
     /// Parses a transcript back from JSON Lines.
-    pub fn from_jsonl(text: &str) -> Result<Vec<TranscriptEntry>, serde_json::Error> {
+    pub fn from_jsonl(text: &str) -> Result<Vec<TranscriptEntry>, JsonError> {
         text.lines()
             .filter(|l| !l.trim().is_empty())
-            .map(serde_json::from_str)
+            .map(|l| Json::parse(l).and_then(|v| TranscriptEntry::from_json(&v)))
             .collect()
     }
 
-    fn record(&self, model: &str, request: &ChatRequest, response: &ChatResponse, cost: f64) {
+    fn record(
+        &self,
+        model: &str,
+        request: &ChatRequest,
+        temperature: f64,
+        response: &ChatResponse,
+        cost: f64,
+    ) {
         let entry = TranscriptEntry {
             model: model.to_string(),
             messages: request
@@ -99,7 +179,7 @@ impl TranscriptRecorder {
                     (role.to_string(), m.content.clone())
                 })
                 .collect(),
-            temperature: request.temperature,
+            temperature,
             completion: response.text.clone(),
             prompt_tokens: response.usage.prompt_tokens,
             completion_tokens: response.usage.completion_tokens,
@@ -129,6 +209,10 @@ impl<M: ChatModel + ?Sized> ChatModel for Recorded<'_, M> {
         self.inner.name()
     }
 
+    fn default_temperature(&self) -> f64 {
+        self.inner.default_temperature()
+    }
+
     fn context_window(&self) -> usize {
         self.inner.context_window()
     }
@@ -140,7 +224,9 @@ impl<M: ChatModel + ?Sized> ChatModel for Recorded<'_, M> {
     fn chat(&self, request: &ChatRequest) -> ChatResponse {
         let response = self.inner.chat(request);
         let cost = self.inner.cost_usd(&response.usage);
-        self.recorder.record(self.inner.name(), request, &response, cost);
+        let temperature = request.temperature_or(self.inner.default_temperature());
+        self.recorder
+            .record(self.inner.name(), request, temperature, &response, cost);
         response
     }
 }
@@ -176,6 +262,17 @@ mod tests {
         assert_eq!(entry.temperature, 0.5);
         assert_eq!(entry.messages.len(), 2);
         assert_eq!(entry.messages[0].0, "system");
+    }
+
+    #[test]
+    fn unset_temperature_records_the_model_default() {
+        let model = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(KnowledgeBase::new()));
+        let recorder = TranscriptRecorder::new();
+        let mut req = request();
+        req.temperature = None;
+        Recorded::new(&model, &recorder).chat(&req);
+        let entry = &recorder.entries()[0];
+        assert_eq!(entry.temperature, model.default_temperature());
     }
 
     #[test]
@@ -225,6 +322,7 @@ mod tests {
     #[test]
     fn from_jsonl_rejects_garbage() {
         assert!(TranscriptRecorder::from_jsonl("not json\n").is_err());
+        assert!(TranscriptRecorder::from_jsonl("{\"model\": 3}\n").is_err());
         assert!(TranscriptRecorder::from_jsonl("").unwrap().is_empty());
     }
 }

@@ -113,9 +113,23 @@ mod tests {
     #[test]
     fn merge_combines() {
         let mut a = UsageTotals::default();
-        a.record(&Usage { prompt_tokens: 1, completion_tokens: 2 }, 0.1, 1.0);
+        a.record(
+            &Usage {
+                prompt_tokens: 1,
+                completion_tokens: 2,
+            },
+            0.1,
+            1.0,
+        );
         let mut b = UsageTotals::default();
-        b.record(&Usage { prompt_tokens: 3, completion_tokens: 4 }, 0.2, 2.0);
+        b.record(
+            &Usage {
+                prompt_tokens: 3,
+                completion_tokens: 4,
+            },
+            0.2,
+            2.0,
+        );
         a.merge(&b);
         assert_eq!(a.requests, 2);
         assert_eq!(a.total_tokens(), 10);

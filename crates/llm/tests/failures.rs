@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 
-use dprep_llm::{
-    ChatModel, ChatRequest, Fact, KnowledgeBase, Message, ModelProfile, SimulatedLlm,
-};
+use dprep_llm::{ChatModel, ChatRequest, Fact, KnowledgeBase, Message, ModelProfile, SimulatedLlm};
 
 fn em_request(n_questions: usize) -> ChatRequest {
     let mut body = String::new();
@@ -154,7 +152,10 @@ fn attribute_drift_appears_only_without_the_safeguard() {
             drifted += 1;
         }
     }
-    assert!(drifted > 5, "expected visible drift without the safeguard, got {drifted}/80");
+    assert!(
+        drifted > 5,
+        "expected visible drift without the safeguard, got {drifted}/80"
+    );
 
     let mut drifted_with = 0;
     for i in 0..80 {

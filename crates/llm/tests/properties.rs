@@ -1,17 +1,24 @@
-//! Property tests for the simulated LLM: the chat endpoint is total and
-//! deterministic on arbitrary well-formed requests, and usage accounting is
-//! consistent.
+//! Property-style tests for the simulated LLM: the chat endpoint is total
+//! and deterministic on arbitrary well-formed requests, and usage
+//! accounting is consistent.
+//!
+//! Cases are generated with the in-tree [`dprep_rng`] generator from a
+//! fixed seed, so every run exercises the same inputs.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use dprep_llm::{ChatModel, ChatRequest, Fact, KnowledgeBase, Message, ModelProfile, SimulatedLlm};
+use dprep_rng::Rng;
 
-use dprep_llm::{
-    ChatModel, ChatRequest, Fact, KnowledgeBase, Message, ModelProfile, SimulatedLlm,
-};
+const CASES: usize = 64;
 
-fn any_content() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~\n]{0,200}").expect("valid regex")
+/// Printable ASCII plus newline — the same alphabet the proptest regex
+/// `[ -~\n]{0,200}` used to draw from.
+fn any_content(rng: &mut Rng) -> String {
+    let mut alphabet: Vec<u8> = (b' '..=b'~').collect();
+    alphabet.push(b'\n');
+    let len = rng.range_incl(0usize, 200);
+    rng.ascii_string(&alphabet, len)
 }
 
 fn sample_kb() -> Arc<KnowledgeBase> {
@@ -28,44 +35,49 @@ fn sample_kb() -> Arc<KnowledgeBase> {
     Arc::new(kb)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn chat_is_total_on_arbitrary_prompts(
-        system in any_content(),
-        user in any_content(),
-        temperature in 0.0f64..1.5,
-    ) {
-        // Whatever the prompt says — garbage, partial instructions, stray
-        // brackets — the model answers something without panicking.
-        let model = SimulatedLlm::new(ModelProfile::gpt35(), sample_kb());
+#[test]
+fn chat_is_total_on_arbitrary_prompts() {
+    // Whatever the prompt says — garbage, partial instructions, stray
+    // brackets — the model answers something without panicking.
+    let mut rng = Rng::seed_from_u64(0x11a1);
+    let model = SimulatedLlm::new(ModelProfile::gpt35(), sample_kb());
+    for case in 0..CASES {
+        let system = any_content(&mut rng);
+        let user = any_content(&mut rng);
+        let temperature = rng.range_f64(0.0, 1.5);
         let req = ChatRequest::new(vec![Message::system(system), Message::user(user)])
             .with_temperature(temperature);
         let resp = model.chat(&req);
-        prop_assert!(!resp.text.is_empty());
-        prop_assert!(resp.latency_secs > 0.0);
-        prop_assert!(resp.usage.completion_tokens > 0);
+        assert!(!resp.text.is_empty(), "case {case}");
+        assert!(resp.latency_secs > 0.0, "case {case}");
+        assert!(resp.usage.completion_tokens > 0, "case {case}");
     }
+}
 
-    #[test]
-    fn chat_is_deterministic(user in any_content()) {
-        let model = SimulatedLlm::new(ModelProfile::vicuna13b(), sample_kb());
+#[test]
+fn chat_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0x11a2);
+    let model = SimulatedLlm::new(ModelProfile::vicuna13b(), sample_kb());
+    for _ in 0..CASES {
         let req = ChatRequest::new(vec![
             Message::system("Decide whether the two given records refer to the same entity."),
-            Message::user(user),
+            Message::user(any_content(&mut rng)),
         ])
         .with_temperature(0.2);
-        prop_assert_eq!(model.chat(&req), model.chat(&req));
+        assert_eq!(model.chat(&req), model.chat(&req));
     }
+}
 
-    #[test]
-    fn usage_accounting_is_consistent(user in any_content()) {
-        let model = SimulatedLlm::new(ModelProfile::gpt4(), sample_kb());
+#[test]
+fn usage_accounting_is_consistent() {
+    let mut rng = Rng::seed_from_u64(0x11a3);
+    let model = SimulatedLlm::new(ModelProfile::gpt4(), sample_kb());
+    for _ in 0..CASES {
+        let user = any_content(&mut rng);
         let req = ChatRequest::new(vec![Message::user(user)]).with_temperature(0.65);
         let resp = model.chat(&req);
         // Prompt tokens reflect the request text; cost reflects usage.
-        prop_assert_eq!(
+        assert_eq!(
             resp.usage.prompt_tokens,
             dprep_text::count_tokens(&req.full_text())
         );
@@ -73,24 +85,31 @@ proptest! {
         let profile = model.profile();
         let manual = resp.usage.prompt_tokens as f64 / 1000.0 * profile.pricing.prompt_per_1k
             + resp.usage.completion_tokens as f64 / 1000.0 * profile.pricing.completion_per_1k;
-        prop_assert!((expected_cost - manual).abs() < 1e-12);
+        assert!((expected_cost - manual).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn memorization_fraction_tracks_coverage(coverage in 0.0f64..1.0) {
+#[test]
+fn memorization_fraction_tracks_coverage() {
+    let mut rng = Rng::seed_from_u64(0x11a4);
+    let mut kb = KnowledgeBase::new();
+    for i in 0..400 {
+        kb.add(Fact::Alias {
+            canonical: format!("canon-{i}"),
+            variant: format!("var-{i}"),
+        });
+    }
+    for _ in 0..CASES {
+        let coverage = rng.f64();
         let mem = dprep_llm::knowledge::Memorizer {
             model_name: "prop".into(),
             coverage,
             seed: 11,
         };
-        let mut kb = KnowledgeBase::new();
-        for i in 0..400 {
-            kb.add(Fact::Alias {
-                canonical: format!("canon-{i}"),
-                variant: format!("var-{i}"),
-            });
-        }
         let frac = kb.facts().iter().filter(|f| mem.knows(f)).count() as f64 / 400.0;
-        prop_assert!((frac - coverage).abs() < 0.12, "coverage {coverage:.2}, frac {frac:.2}");
+        assert!(
+            (frac - coverage).abs() < 0.12,
+            "coverage {coverage:.2}, frac {frac:.2}"
+        );
     }
 }

@@ -52,8 +52,11 @@ impl Knn {
                 (d, i)
             })
             .collect();
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.cmp(&b.1)));
+        dists.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
         let mut votes: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
         for &(_, i) in dists.iter().take(self.k) {
             *votes.entry(self.examples[i].1.as_str()).or_insert(0) += 1;

@@ -1,9 +1,7 @@
 //! Binary logistic regression with full-batch gradient descent and L2
 //! regularization.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use dprep_rng::Rng;
 
 /// Training hyperparameters for [`LogisticRegression`].
 #[derive(Debug, Clone)]
@@ -62,11 +60,11 @@ impl LogisticRegression {
         let mut weights = vec![0.0; dim];
         let mut bias = 0.0;
         let mut order: Vec<usize> = (0..examples.len()).collect();
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Rng::seed_from_u64(config.seed);
         let n = examples.len() as f64;
 
         for _ in 0..config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             // Mini-batch of 1 (SGD) with per-epoch shuffling.
             for &i in &order {
                 let (x, y) = &examples[i];
@@ -131,10 +129,7 @@ mod tests {
     fn learns_separable_data() {
         let data = linearly_separable();
         let model = LogisticRegression::train(&data, &LogRegConfig::default());
-        let correct = data
-            .iter()
-            .filter(|(x, y)| model.predict(x) == *y)
-            .count();
+        let correct = data.iter().filter(|(x, y)| model.predict(x) == *y).count();
         assert_eq!(correct, data.len());
     }
 
@@ -164,8 +159,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn wrong_dim_panics() {
-        let model =
-            LogisticRegression::train(&[(vec![1.0], true), (vec![0.0], false)], &LogRegConfig::default());
+        let model = LogisticRegression::train(
+            &[(vec![1.0], true), (vec![0.0], false)],
+            &LogRegConfig::default(),
+        );
         model.predict(&[1.0, 2.0]);
     }
 

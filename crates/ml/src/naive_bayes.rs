@@ -38,7 +38,10 @@ impl MultinomialNb {
     /// Adds one training document: its tokens and its class label.
     pub fn observe<'a>(&mut self, tokens: impl IntoIterator<Item = &'a str>, class: &str) {
         let counts = self.token_counts.entry(class.to_string()).or_default();
-        let total = self.class_token_totals.entry(class.to_string()).or_insert(0);
+        let total = self
+            .class_token_totals
+            .entry(class.to_string())
+            .or_insert(0);
         for t in tokens {
             *counts.entry(t.to_string()).or_insert(0) += 1;
             *total += 1;

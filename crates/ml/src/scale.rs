@@ -15,7 +15,10 @@ impl StandardScaler {
     pub fn fit(rows: &[Vec<f64>]) -> Self {
         assert!(!rows.is_empty(), "empty input");
         let dim = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "inconsistent dimensions"
+        );
         let n = rows.len() as f64;
         let mut means = vec![0.0; dim];
         for r in rows {

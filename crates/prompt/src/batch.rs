@@ -9,11 +9,8 @@
 //!   each cluster, so every batch holds similar questions the model can
 //!   answer consistently.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use dprep_embed::{kmeans, HashedNgramEmbedder};
+use dprep_rng::Rng;
 
 use crate::task::TaskInstance;
 
@@ -58,12 +55,12 @@ pub fn make_batches(
         return Vec::new();
     }
     let batch_size = strategy.batch_size().max(1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     let groups: Vec<Vec<usize>> = match strategy {
         BatchStrategy::Random { .. } => {
             let mut order: Vec<usize> = (0..n).collect();
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             vec![order]
         }
         BatchStrategy::Cluster { clusters, .. } => {
@@ -76,7 +73,7 @@ pub fn make_batches(
             let result = kmeans(&vectors, k, seed);
             let mut groups = result.clusters();
             for g in &mut groups {
-                g.shuffle(&mut rng);
+                rng.shuffle(g);
             }
             groups.retain(|g| !g.is_empty());
             groups
@@ -102,8 +99,7 @@ mod tests {
         texts
             .iter()
             .map(|t| {
-                let rec =
-                    Record::new(schema.clone(), vec![Value::text(t.to_string())]).unwrap();
+                let rec = Record::new(schema.clone(), vec![Value::text(t.to_string())]).unwrap();
                 TaskInstance::EntityMatching {
                     a: rec.clone(),
                     b: rec,
@@ -135,9 +131,15 @@ mod tests {
     fn deterministic_under_seed() {
         let instances = em_instances(&["a", "b", "c", "d", "e"]);
         let s = BatchStrategy::Random { batch_size: 2 };
-        assert_eq!(make_batches(&instances, &s, 7), make_batches(&instances, &s, 7));
+        assert_eq!(
+            make_batches(&instances, &s, 7),
+            make_batches(&instances, &s, 7)
+        );
         // Different seeds usually shuffle differently.
-        assert_ne!(make_batches(&instances, &s, 1), make_batches(&instances, &s, 2));
+        assert_ne!(
+            make_batches(&instances, &s, 1),
+            make_batches(&instances, &s, 2)
+        );
     }
 
     #[test]

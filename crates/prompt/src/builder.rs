@@ -108,7 +108,9 @@ mod tests {
     use dprep_tabular::{Record, Schema, Value};
 
     fn di_instance(city_missing: bool) -> TaskInstance {
-        let schema = Schema::all_text(&["name", "phone", "city"]).unwrap().shared();
+        let schema = Schema::all_text(&["name", "phone", "city"])
+            .unwrap()
+            .shared();
         let record = Record::new(
             schema,
             vec![
@@ -169,11 +171,7 @@ mod tests {
     #[test]
     fn ed_round_trip_detects_confirmation() {
         let schema = Schema::all_text(&["age", "city"]).unwrap().shared();
-        let record = Record::new(
-            schema,
-            vec![Value::text("250"), Value::text("atlanta")],
-        )
-        .unwrap();
+        let record = Record::new(schema, vec![Value::text("250"), Value::text("atlanta")]).unwrap();
         let inst = TaskInstance::ErrorDetection {
             record,
             attribute: "age".into(),

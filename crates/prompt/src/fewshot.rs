@@ -98,8 +98,13 @@ mod tests {
         assert_eq!(assistant.role, Role::Assistant);
         assert!(user.content.contains("Question 1:"));
         assert!(user.content.contains("Question 2:"));
-        assert!(assistant.content.contains("Answer 1: Both name the mailing code"));
-        assert!(assistant.content.lines().count() >= 4, "two lines per answer");
+        assert!(assistant
+            .content
+            .contains("Answer 1: Both name the mailing code"));
+        assert!(
+            assistant.content.lines().count() >= 4,
+            "two lines per answer"
+        );
     }
 
     #[test]

@@ -48,7 +48,9 @@ fn split_answers(text: &str) -> Vec<(usize, String)> {
     }
     let mut segments = Vec::with_capacity(out.len());
     for (i, &(number, start, _)) in out.iter().enumerate() {
-        let end = out.get(i + 1).map_or(text.len(), |&(_, _, next_marker)| next_marker);
+        let end = out
+            .get(i + 1)
+            .map_or(text.len(), |&(_, _, next_marker)| next_marker);
         segments.push((number, text[start..end].trim().to_string()));
     }
     segments

@@ -120,15 +120,11 @@ impl TaskInstance {
         match self {
             TaskInstance::ErrorDetection { record, attribute } => {
                 let ctx = render_record(record, feature_indices, Some(attribute));
-                format!(
-                    "Record is {ctx}. Is there an error in the \"{attribute}\" attribute?"
-                )
+                format!("Record is {ctx}. Is there an error in the \"{attribute}\" attribute?")
             }
             TaskInstance::Imputation { record, attribute } => {
                 let ctx = render_record(record, feature_indices, Some(attribute));
-                format!(
-                    "Record is {ctx}. What is the value of the \"{attribute}\" attribute?"
-                )
+                format!("Record is {ctx}. What is the value of the \"{attribute}\" attribute?")
             }
             TaskInstance::SchemaMatching { a, b } => format!(
                 "Attribute A is {}. Attribute B is {}. Do they refer to the same attribute?",

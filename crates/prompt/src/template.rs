@@ -53,9 +53,7 @@ fn task_specification(task: Task) -> String {
 
 fn answer_specification(task: Task) -> &'static str {
     match task {
-        Task::ErrorDetection => {
-            "\"yes\" if the value is erroneous, or \"no\" otherwise"
-        }
+        Task::ErrorDetection => "\"yes\" if the value is erroneous, or \"no\" otherwise",
         Task::Imputation => "the inferred value, with no other words",
         Task::SchemaMatching | Task::EntityMatching => "\"yes\" or \"no\"",
     }
@@ -92,9 +90,7 @@ pub fn system_message(task: Task, options: &TemplateOptions) -> String {
         out.push_str("Please confirm the target attribute in your reason for inference.\n");
     }
     if let Some((attribute, hint)) = &options.type_hint {
-        out.push_str(&format!(
-            "The \"{attribute}\" attribute can be {hint}.\n"
-        ));
+        out.push_str(&format!("The \"{attribute}\" attribute can be {hint}.\n"));
     }
     out
 }

@@ -1,56 +1,83 @@
-//! Property tests for the prompt layer: the response parser is total
+//! Property-style tests for the prompt layer: the response parser is total
 //! (never panics), and rendering→parsing is a faithful round trip.
-
-use proptest::prelude::*;
+//!
+//! Cases are generated with the in-tree [`dprep_rng`] generator from a
+//! fixed seed, so every run exercises the same inputs.
 
 use dprep_prompt::parse_response;
+use dprep_rng::Rng;
 
-fn answer_value() -> impl Strategy<Value = String> {
-    // Single-line, non-blank values without the "Answer " marker inside
-    // (an all-whitespace answer is legitimately unparseable).
-    proptest::string::string_regex("[a-z0-9.,%$-][a-z0-9 .,%$-]{0,24}").expect("valid regex")
+const CASES: usize = 256;
+
+/// Single-line, non-blank values without the "Answer " marker inside
+/// (an all-whitespace answer is legitimately unparseable). Mirrors the
+/// old proptest regex `[a-z0-9.,%$-][a-z0-9 .,%$-]{0,24}`.
+fn answer_value(rng: &mut Rng) -> String {
+    let first: Vec<u8> = (b'a'..=b'z').chain(b'0'..=b'9').chain(*b".,%$-").collect();
+    let rest: Vec<u8> = first.iter().copied().chain([b' ']).collect();
+    let mut s = rng.ascii_string(&first, 1);
+    let len = rng.range_incl(0usize, 24);
+    s.push_str(&rng.ascii_string(&rest, len));
+    s
 }
 
-proptest! {
-    #[test]
-    fn parser_is_total(text in proptest::string::string_regex("(.|\n){0,300}").unwrap(),
-                       expect_reason in proptest::bool::ANY) {
+#[test]
+fn parser_is_total() {
+    let mut rng = Rng::seed_from_u64(0x9a05_0001);
+    let alphabet: Vec<u8> = (b' '..=b'~').chain([b'\n']).collect();
+    for _ in 0..CASES {
+        let len = rng.range_incl(0usize, 300);
+        let text = rng.ascii_string(&alphabet, len);
+        let expect_reason = rng.bool(0.5);
         let _ = parse_response(&text, expect_reason);
     }
+}
 
-    #[test]
-    fn rendered_answers_round_trip(values in proptest::collection::vec(answer_value(), 1..8),
-                                   with_reason in proptest::bool::ANY) {
+#[test]
+fn rendered_answers_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x9a05_0002);
+    for _ in 0..CASES {
+        let values: Vec<String> = (0..rng.range_incl(1usize, 7))
+            .map(|_| answer_value(&mut rng))
+            .collect();
+        let with_reason = rng.bool(0.5);
         let mut text = String::new();
         for (i, v) in values.iter().enumerate() {
             if with_reason {
-                text.push_str(&format!("Answer {}: Some reasoning sentence here.\n{v}\n", i + 1));
+                text.push_str(&format!(
+                    "Answer {}: Some reasoning sentence here.\n{v}\n",
+                    i + 1
+                ));
             } else {
                 text.push_str(&format!("Answer {}: {v}\n", i + 1));
             }
         }
         let parsed = parse_response(&text, with_reason);
-        prop_assert_eq!(parsed.len(), values.len());
+        assert_eq!(parsed.len(), values.len());
         for (i, v) in values.iter().enumerate() {
             let got = &parsed[&(i + 1)];
-            prop_assert_eq!(got.value.trim(), v.trim());
+            assert_eq!(got.value.trim(), v.trim());
             if with_reason {
-                prop_assert_eq!(got.reason.as_deref(), Some("Some reasoning sentence here."));
+                assert_eq!(got.reason.as_deref(), Some("Some reasoning sentence here."));
             }
         }
     }
+}
 
-    #[test]
-    fn parser_answers_subset_of_mentioned_numbers(
-        numbers in proptest::collection::vec(1usize..20, 0..6),
-    ) {
+#[test]
+fn parser_answers_subset_of_mentioned_numbers() {
+    let mut rng = Rng::seed_from_u64(0x9a05_0003);
+    for _ in 0..CASES {
+        let numbers: Vec<usize> = (0..rng.range(0usize, 6))
+            .map(|_| rng.range(1usize, 20))
+            .collect();
         let mut text = String::new();
         for n in &numbers {
             text.push_str(&format!("Answer {n}: yes\n"));
         }
         let parsed = parse_response(&text, false);
         for key in parsed.keys() {
-            prop_assert!(numbers.contains(key));
+            assert!(numbers.contains(key));
         }
     }
 }

@@ -173,7 +173,9 @@ pub fn parse_instance(text: &str) -> Result<ParsedInstance, TabularError> {
                 fields.push((name, None));
             }
             Some(c) => {
-                return Err(err(&format!("unexpected character {c:?} at value position")))
+                return Err(err(&format!(
+                    "unexpected character {c:?} at value position"
+                )))
             }
             None => return Err(err("missing value after ':'")),
         }
@@ -271,10 +273,7 @@ mod tests {
         let r = restaurant();
         let parsed = parse_instance(&contextualize(&r)).unwrap();
         assert_eq!(parsed.fields.len(), 5);
-        assert_eq!(
-            parsed.get("phone"),
-            Some(&Some("770-933-0909".to_string()))
-        );
+        assert_eq!(parsed.get("phone"), Some(&Some("770-933-0909".to_string())));
         assert_eq!(parsed.get("city"), Some(&None));
     }
 

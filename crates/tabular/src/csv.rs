@@ -116,7 +116,11 @@ fn retype(table: Table) -> Table {
         .map(|(i, a)| Attribute {
             name: a.name.clone(),
             description: a.description.clone(),
-            dtype: if numeric[i] { AttrType::Numeric } else { AttrType::Text },
+            dtype: if numeric[i] {
+                AttrType::Numeric
+            } else {
+                AttrType::Text
+            },
         })
         .collect();
     let schema = Schema::new(attrs).expect("names unchanged").shared();
@@ -127,10 +131,7 @@ fn retype(table: Table) -> Table {
     out
 }
 
-fn read_csv_with(
-    input: &str,
-    type_of: impl Fn(&str) -> AttrType,
-) -> Result<Table, TabularError> {
+fn read_csv_with(input: &str, type_of: impl Fn(&str) -> AttrType) -> Result<Table, TabularError> {
     let rows = parse_rows(input)?;
     let mut it = rows.into_iter();
     let header = it.next().ok_or(TabularError::CsvParse {

@@ -60,10 +60,16 @@ impl fmt::Display for TabularError {
                 write!(f, "attribute at index {index} has an empty name")
             }
             TabularError::ArityMismatch { got, expected } => {
-                write!(f, "record has {got} values but schema has {expected} attributes")
+                write!(
+                    f,
+                    "record has {got} values but schema has {expected} attributes"
+                )
             }
             TabularError::AttributeIndexOutOfRange { index, len } => {
-                write!(f, "attribute index {index} out of range for schema of length {len}")
+                write!(
+                    f,
+                    "attribute index {index} out of range for schema of length {len}"
+                )
             }
             TabularError::UnknownAttribute { name } => {
                 write!(f, "unknown attribute: {name:?}")
@@ -87,7 +93,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TabularError::ArityMismatch { got: 2, expected: 3 };
+        let e = TabularError::ArityMismatch {
+            got: 2,
+            expected: 3,
+        };
         assert!(e.to_string().contains("2 values"));
         assert!(e.to_string().contains("3 attributes"));
         let e = TabularError::CsvParse {

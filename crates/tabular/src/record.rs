@@ -111,15 +111,24 @@ mod tests {
 
     fn sample() -> Record {
         let schema = Schema::all_text(&["name", "city"]).unwrap().shared();
-        Record::new(schema, vec![Value::text("carey's corner"), Value::text("marietta")])
-            .unwrap()
+        Record::new(
+            schema,
+            vec![Value::text("carey's corner"), Value::text("marietta")],
+        )
+        .unwrap()
     }
 
     #[test]
     fn arity_is_validated() {
         let schema = Schema::all_text(&["a"]).unwrap().shared();
         let err = Record::new(schema, vec![]).unwrap_err();
-        assert!(matches!(err, TabularError::ArityMismatch { got: 0, expected: 1 }));
+        assert!(matches!(
+            err,
+            TabularError::ArityMismatch {
+                got: 0,
+                expected: 1
+            }
+        ));
     }
 
     #[test]

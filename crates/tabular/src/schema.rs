@@ -221,8 +221,8 @@ mod tests {
 
     #[test]
     fn display_shows_types() {
-        let s = Schema::from_names(&[("age", AttrType::Numeric), ("city", AttrType::Text)])
-            .unwrap();
+        let s =
+            Schema::from_names(&[("age", AttrType::Numeric), ("city", AttrType::Text)]).unwrap();
         assert_eq!(s.to_string(), "(age: numeric, city: text)");
     }
 

@@ -113,13 +113,14 @@ impl Table {
             if v.is_missing() {
                 continue;
             }
-            let entry = counts
-                .entry(v.sort_key())
-                .or_insert_with(|| (v.clone(), 0));
+            let entry = counts.entry(v.sort_key()).or_insert_with(|| (v.clone(), 0));
             entry.1 += 1;
         }
         let mut out: Vec<(Value, usize)> = counts.into_values().collect();
-        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.sort_key().cmp(&b.0.sort_key())));
+        out.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| a.0.sort_key().cmp(&b.0.sort_key()))
+        });
         Ok(out)
     }
 
@@ -182,9 +183,12 @@ mod tests {
             .unwrap()
             .shared();
         let mut t = Table::new(schema);
-        t.push_values(vec![Value::text("ann"), Value::Int(30)]).unwrap();
-        t.push_values(vec![Value::text("bob"), Value::Int(40)]).unwrap();
-        t.push_values(vec![Value::text("ann"), Value::Missing]).unwrap();
+        t.push_values(vec![Value::text("ann"), Value::Int(30)])
+            .unwrap();
+        t.push_values(vec![Value::text("bob"), Value::Int(40)])
+            .unwrap();
+        t.push_values(vec![Value::text("ann"), Value::Missing])
+            .unwrap();
         t
     }
 

@@ -1,46 +1,67 @@
-//! Property tests for the tabular substrate: contextualization and CSV are
-//! lossless round trips for arbitrary content.
+//! Property-style tests for the tabular substrate: contextualization and
+//! CSV are lossless round trips for arbitrary content.
+//!
+//! Cases are generated with the in-tree [`dprep_rng`] generator from a
+//! fixed seed, so every run exercises the same inputs.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
+use dprep_rng::Rng;
 use dprep_tabular::context::{contextualize, parse_instance};
 use dprep_tabular::csv::{read_csv, write_csv};
 use dprep_tabular::{Record, Schema, Value};
 
+const CASES: usize = 256;
+
 /// Attribute names: nonempty, no grammar metacharacters (`:,"[]` and
-/// newline are reserved by the contextualization grammar).
-fn attr_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_ -]{0,14}[a-z0-9]".prop_map(|s| s)
+/// newline are reserved by the contextualization grammar). Mirrors the
+/// old proptest regex `[a-z][a-z0-9_ -]{0,14}[a-z0-9]`.
+fn attr_name(rng: &mut Rng) -> String {
+    let first: Vec<u8> = (b'a'..=b'z').collect();
+    let mid: Vec<u8> = (b'a'..=b'z')
+        .chain(b'0'..=b'9')
+        .chain([b'_', b' ', b'-'])
+        .collect();
+    let last: Vec<u8> = (b'a'..=b'z').chain(b'0'..=b'9').collect();
+    let mut s = rng.ascii_string(&first, 1);
+    let len = rng.range_incl(0usize, 14);
+    s.push_str(&rng.ascii_string(&mid, len));
+    s.push_str(&rng.ascii_string(&last, 1));
+    s
 }
 
 /// Cell text: anything printable, including quotes and backslashes (the
 /// grammar escapes them).
-fn cell_text() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~]{0,30}").expect("valid regex")
+fn cell_text(rng: &mut Rng) -> String {
+    let alphabet: Vec<u8> = (b' '..=b'~').collect();
+    let len = rng.range_incl(0usize, 30);
+    rng.ascii_string(&alphabet, len)
 }
 
-fn record_strategy() -> impl Strategy<Value = (Vec<String>, Vec<Option<String>>)> {
-    proptest::collection::vec((attr_name(), proptest::option::of(cell_text())), 1..6).prop_map(
-        |pairs| {
-            // Deduplicate names while preserving order.
-            let mut names = Vec::new();
-            let mut values = Vec::new();
-            for (n, v) in pairs {
-                if !names.contains(&n) {
-                    names.push(n);
-                    values.push(v);
-                }
-            }
-            (names, values)
-        },
-    )
+/// 1-5 (name, optional cell) pairs with unique names, order preserved.
+fn random_record(rng: &mut Rng) -> (Vec<String>, Vec<Option<String>>) {
+    let mut names = Vec::new();
+    let mut values = Vec::new();
+    for _ in 0..rng.range_incl(1usize, 5) {
+        let n = attr_name(rng);
+        let v = if rng.bool(0.5) {
+            Some(cell_text(rng))
+        } else {
+            None
+        };
+        if !names.contains(&n) {
+            names.push(n);
+            values.push(v);
+        }
+    }
+    (names, values)
 }
 
-proptest! {
-    #[test]
-    fn contextualization_round_trips((names, values) in record_strategy()) {
+#[test]
+fn contextualization_round_trips() {
+    let mut rng = Rng::seed_from_u64(0x7ab_0001);
+    for _ in 0..CASES {
+        let (names, values) = random_record(&mut rng);
         let schema = Schema::all_text(&names.iter().map(String::as_str).collect::<Vec<_>>())
             .expect("unique names")
             .shared();
@@ -59,19 +80,23 @@ proptest! {
         .expect("arity");
         let text = contextualize(&record);
         let parsed = parse_instance(&text).expect("own output parses");
-        prop_assert_eq!(parsed.fields.len(), names.len());
+        assert_eq!(parsed.fields.len(), names.len());
         for (i, name) in names.iter().enumerate() {
-            prop_assert_eq!(&parsed.fields[i].0, name);
+            assert_eq!(&parsed.fields[i].0, name);
             match record.get(i).unwrap() {
-                Value::Missing => prop_assert_eq!(&parsed.fields[i].1, &None),
-                Value::Text(s) => prop_assert_eq!(parsed.fields[i].1.as_deref(), Some(s.as_str())),
+                Value::Missing => assert_eq!(parsed.fields[i].1, None),
+                Value::Text(s) => assert_eq!(parsed.fields[i].1.as_deref(), Some(s.as_str())),
                 _ => unreachable!("all-text schema"),
             }
         }
     }
+}
 
-    #[test]
-    fn csv_round_trips((names, values) in record_strategy()) {
+#[test]
+fn csv_round_trips() {
+    let mut rng = Rng::seed_from_u64(0x7ab_0002);
+    for _ in 0..CASES {
+        let (names, values) = random_record(&mut rng);
         let schema = Schema::all_text(&names.iter().map(String::as_str).collect::<Vec<_>>())
             .expect("unique names")
             .shared();
@@ -90,13 +115,22 @@ proptest! {
             .expect("arity");
         let csv = write_csv(&table);
         let back = read_csv(&csv).expect("own output parses");
-        prop_assert_eq!(back.schema().names(), table.schema().names());
-        prop_assert_eq!(back.row(0).unwrap().values(), table.row(0).unwrap().values());
+        assert_eq!(back.schema().names(), table.schema().names());
+        assert_eq!(
+            back.row(0).unwrap().values(),
+            table.row(0).unwrap().values()
+        );
     }
+}
 
-    #[test]
-    fn parse_instance_never_panics(text in proptest::string::string_regex(".{0,120}").unwrap()) {
-        // Arbitrary garbage may fail to parse, but must never panic.
+#[test]
+fn parse_instance_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x7ab_0003);
+    // Arbitrary printable garbage may fail to parse, but must never panic.
+    let alphabet: Vec<u8> = (b' '..=b'~').chain([b'\n', b'\t']).collect();
+    for _ in 0..CASES {
+        let len = rng.range_incl(0usize, 120);
+        let text = rng.ascii_string(&alphabet, len);
         let _ = parse_instance(&text);
         let _ = dprep_tabular::context::extract_instances(&text);
     }

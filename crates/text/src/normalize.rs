@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn word_split() {
-        assert_eq!(normalized_words("Bob's Diner, NYC"), vec!["bob", "s", "diner", "nyc"]);
+        assert_eq!(
+            normalized_words("Bob's Diner, NYC"),
+            vec!["bob", "s", "diner", "nyc"]
+        );
         assert!(normalized_words("...").is_empty());
     }
 }

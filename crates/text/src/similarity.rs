@@ -85,12 +85,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         .zip(&b_used)
         .filter_map(|(c, &m)| m.then_some(*c))
         .collect();
-    let transpositions = a_seq
-        .iter()
-        .zip(&b_seq)
-        .filter(|(x, y)| x != y)
-        .count()
-        / 2;
+    let transpositions = a_seq.iter().zip(&b_seq).filter(|(x, y)| x != y).count() / 2;
     let m = matches as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
 }

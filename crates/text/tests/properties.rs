@@ -1,42 +1,71 @@
-//! Property tests for the text substrate: metric bounds, symmetry, and
-//! tokenizer consistency on arbitrary input.
+//! Property-style tests for the text substrate: metric bounds, symmetry,
+//! and tokenizer consistency on arbitrary input.
+//!
+//! Cases are generated with the in-tree [`dprep_rng`] generator from a
+//! fixed seed, so every run exercises the same inputs.
 
-use proptest::prelude::*;
-
+use dprep_rng::Rng;
 use dprep_text::{
     count_tokens, dice_char_ngrams, jaccard_tokens, jaro, jaro_winkler, levenshtein, normalize,
     normalized_levenshtein, tokenize,
 };
 
-fn any_text() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~\u{e9}\u{4e1c}]{0,40}").expect("valid regex")
+const CASES: usize = 256;
+
+/// Printable ASCII plus two multi-byte characters (é, 东) — the same
+/// alphabet the proptest regex `[ -~é东]{0,40}` used to draw from.
+fn any_text(rng: &mut Rng) -> String {
+    let mut alphabet: Vec<char> = (' '..='~').collect();
+    alphabet.push('\u{e9}');
+    alphabet.push('\u{4e1c}');
+    let len = rng.range_incl(0usize, 40);
+    (0..len)
+        .map(|_| *rng.choose(&alphabet).expect("nonempty"))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn count_tokens_matches_tokenize(text in any_text()) {
-        prop_assert_eq!(count_tokens(&text), tokenize(&text).len());
+#[test]
+fn count_tokens_matches_tokenize() {
+    let mut rng = Rng::seed_from_u64(0x7e17_0001);
+    for _ in 0..CASES {
+        let text = any_text(&mut rng);
+        assert_eq!(count_tokens(&text), tokenize(&text).len(), "{text:?}");
     }
+}
 
-    #[test]
-    fn tokens_rejoin_to_non_whitespace_content(text in any_text()) {
+#[test]
+fn tokens_rejoin_to_non_whitespace_content() {
+    let mut rng = Rng::seed_from_u64(0x7e17_0002);
+    for _ in 0..CASES {
+        let text = any_text(&mut rng);
         let rejoined: String = tokenize(&text).iter().map(|t| t.text.as_str()).collect();
         let expected: String = text.chars().filter(|c| !c.is_whitespace()).collect();
-        prop_assert_eq!(rejoined, expected);
+        assert_eq!(rejoined, expected, "{text:?}");
     }
+}
 
-    #[test]
-    fn levenshtein_is_a_metric(a in any_text(), b in any_text(), c in any_text()) {
+#[test]
+fn levenshtein_is_a_metric() {
+    let mut rng = Rng::seed_from_u64(0x7e17_0003);
+    for _ in 0..CASES {
+        let a = any_text(&mut rng);
+        let b = any_text(&mut rng);
+        let c = any_text(&mut rng);
         // Symmetry.
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
         // Identity.
-        prop_assert_eq!(levenshtein(&a, &a), 0);
+        assert_eq!(levenshtein(&a, &a), 0);
         // Triangle inequality.
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
     }
+}
 
-    #[test]
-    fn similarity_scores_are_bounded(a in any_text(), b in any_text()) {
+#[test]
+fn similarity_scores_are_bounded() {
+    let mut rng = Rng::seed_from_u64(0x7e17_0004);
+    for _ in 0..CASES {
+        let a = any_text(&mut rng);
+        let b = any_text(&mut rng);
         for s in [
             normalized_levenshtein(&a, &b),
             jaro(&a, &b),
@@ -44,29 +73,44 @@ proptest! {
             jaccard_tokens(&a, &b),
             dice_char_ngrams(&a, &b, 2),
         ] {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "score {s} out of bounds");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&s),
+                "score {s} out of bounds for {a:?} / {b:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn self_similarity_is_one(a in any_text()) {
-        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-9);
-        prop_assert!((normalized_levenshtein(&a, &a) - 1.0).abs() < 1e-9);
-        prop_assert!((jaccard_tokens(&a, &a) - 1.0).abs() < 1e-9);
+#[test]
+fn self_similarity_is_one() {
+    let mut rng = Rng::seed_from_u64(0x7e17_0005);
+    for _ in 0..CASES {
+        let a = any_text(&mut rng);
+        assert!((jaro(&a, &a) - 1.0).abs() < 1e-9);
+        assert!((normalized_levenshtein(&a, &a) - 1.0).abs() < 1e-9);
+        assert!((jaccard_tokens(&a, &a) - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn normalize_is_idempotent(a in any_text()) {
+#[test]
+fn normalize_is_idempotent() {
+    let mut rng = Rng::seed_from_u64(0x7e17_0006);
+    for _ in 0..CASES {
+        let a = any_text(&mut rng);
         let once = normalize(&a);
-        prop_assert_eq!(normalize(&once), once);
+        assert_eq!(normalize(&once), once.clone(), "{a:?}");
     }
+}
 
-    #[test]
-    fn normalize_output_is_clean(a in any_text()) {
+#[test]
+fn normalize_output_is_clean() {
+    let mut rng = Rng::seed_from_u64(0x7e17_0007);
+    for _ in 0..CASES {
+        let a = any_text(&mut rng);
         let n = normalize(&a);
-        prop_assert!(!n.starts_with(' ') && !n.ends_with(' '));
-        prop_assert!(!n.contains("  "), "double space in {n:?}");
-        prop_assert!(n.chars().all(|c| !c.is_ascii_punctuation() || c == ' '));
-        prop_assert!(n.chars().all(|c| !c.is_uppercase()));
+        assert!(!n.starts_with(' ') && !n.ends_with(' '));
+        assert!(!n.contains("  "), "double space in {n:?}");
+        assert!(n.chars().all(|c| !c.is_ascii_punctuation() || c == ' '));
+        assert!(n.chars().all(|c| !c.is_uppercase()));
     }
 }

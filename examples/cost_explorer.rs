@@ -13,8 +13,8 @@ use llm_data_preprocessors::llm::ModelProfile;
 use llm_data_preprocessors::prompt::Task;
 
 fn main() {
-    let dataset = llm_data_preprocessors::datasets::dataset_by_name("Adult", 0.2, 7)
-        .expect("known dataset");
+    let dataset =
+        llm_data_preprocessors::datasets::dataset_by_name("Adult", 0.2, 7).expect("known dataset");
     println!(
         "workload: Adult error detection, {} cell instances\n",
         dataset.len()
@@ -22,7 +22,10 @@ fn main() {
 
     // ── Batch-size sweep (GPT-3.5) ───────────────────────────────────────
     println!("batch-size sweep (sim-gpt-3.5):");
-    println!("{:>6} {:>8} {:>10} {:>9} {:>10}", "batch", "F1", "tokens", "cost $", "hours");
+    println!(
+        "{:>6} {:>8} {:>10} {:>9} {:>10}",
+        "batch", "F1", "tokens", "cost $", "hours"
+    );
     let profile = ModelProfile::gpt35();
     for batch_size in [1usize, 2, 4, 8, 15] {
         let components = ComponentSet {
@@ -48,7 +51,10 @@ fn main() {
 
     // ── Same workload, different models ──────────────────────────────────
     println!("\nmodel comparison (best setting, batch 15):");
-    println!("{:>16} {:>8} {:>10} {:>9} {:>10}", "model", "F1", "tokens", "cost $", "hours");
+    println!(
+        "{:>16} {:>8} {:>10} {:>9} {:>10}",
+        "model", "F1", "tokens", "cost $", "hours"
+    );
     for profile in ModelProfile::all_presets() {
         let config = PipelineConfig::best(Task::ErrorDetection);
         let scored = run_llm_on_dataset(&profile, &dataset, &config, 7);

@@ -30,10 +30,7 @@ fn main() {
         "loaded {} rows x {} columns: {}",
         table.len(),
         table.schema().len(),
-        table
-            .schema()
-            .names()
-            .join(", ")
+        table.schema().names().join(", ")
     );
 
     // ── 2. World knowledge the model brings ──────────────────────────────

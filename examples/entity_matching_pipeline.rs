@@ -9,8 +9,8 @@
 use llm_data_preprocessors::baselines::DittoStyle;
 use llm_data_preprocessors::core::PipelineConfig;
 use llm_data_preprocessors::eval::experiments::{train_split_public, ExperimentConfig};
-use llm_data_preprocessors::eval::{f1_yes_no, run_llm_on_dataset};
 use llm_data_preprocessors::eval::harness::default_batch_size;
+use llm_data_preprocessors::eval::{f1_yes_no, run_llm_on_dataset};
 use llm_data_preprocessors::llm::ModelProfile;
 use llm_data_preprocessors::prompt::TaskInstance;
 
@@ -29,7 +29,10 @@ fn main() {
     );
 
     // ── Simulated LLMs, best setting ─────────────────────────────────────
-    println!("{:<16} {:>6} {:>10} {:>9} {:>10}", "model", "F1", "tokens", "cost $", "time (s)");
+    println!(
+        "{:<16} {:>6} {:>10} {:>9} {:>10}",
+        "model", "F1", "tokens", "cost $", "time (s)"
+    );
     for profile in ModelProfile::all_presets() {
         let mut config = PipelineConfig::best(dataset.task);
         config.batch_size = default_batch_size(&profile);

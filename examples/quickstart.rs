@@ -9,9 +9,7 @@ use std::sync::Arc;
 
 use llm_data_preprocessors::core::{PipelineConfig, Preprocessor};
 use llm_data_preprocessors::llm::{ChatModel, Fact, KnowledgeBase, ModelProfile, SimulatedLlm};
-use llm_data_preprocessors::prompt::{
-    build_request, FewShotExample, Task, TaskInstance,
-};
+use llm_data_preprocessors::prompt::{build_request, FewShotExample, Task, TaskInstance};
 use llm_data_preprocessors::tabular::{Record, Schema, Value};
 
 fn main() {

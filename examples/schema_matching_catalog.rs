@@ -84,7 +84,10 @@ fn main() {
         ),
     ];
 
-    for (label, few_shot) in [("zero-shot (reasoning only)", false), ("few-shot anchored", true)] {
+    for (label, few_shot) in [
+        ("zero-shot (reasoning only)", false),
+        ("few-shot anchored", true),
+    ] {
         let mut config = PipelineConfig::best(Task::SchemaMatching);
         config.components = ComponentSet {
             few_shot,
@@ -99,7 +102,11 @@ fn main() {
             .filter(|(_, p)| p.as_yes_no() == Some(true))
             .map(|(pair, _)| pair)
             .collect();
-        println!("{label}: {} of {} pairs matched", matches.len(), pairs.len());
+        println!(
+            "{label}: {} of {} pairs matched",
+            matches.len(),
+            pairs.len()
+        );
         for (a, b) in &matches {
             println!("  {a} <-> {b}");
         }

@@ -25,7 +25,7 @@ fn gpt4_beats_vicuna_on_entity_matching() {
         assert!(f4 > fv + 5.0, "gpt4 {f4:.1} vs vicuna {fv:.1}");
     }
     // Vicuna is at least degraded: high unparse rate or far lower F1.
-    assert!(sv.unparsed_rate > 0.05 || sv.value.unwrap_or(0.0) < f4);
+    assert!(sv.failure_rate > 0.05 || sv.value.unwrap_or(0.0) < f4);
 }
 
 #[test]
@@ -34,12 +34,20 @@ fn few_shot_prompting_lifts_error_detection() {
     let profile = ModelProfile::gpt35();
     let zs = PipelineConfig::ablation(
         ds.task,
-        ComponentSet { few_shot: false, batching: true, reasoning: true },
+        ComponentSet {
+            few_shot: false,
+            batching: true,
+            reasoning: true,
+        },
         15,
     );
     let fs = PipelineConfig::ablation(
         ds.task,
-        ComponentSet { few_shot: true, batching: true, reasoning: true },
+        ComponentSet {
+            few_shot: true,
+            batching: true,
+            reasoning: true,
+        },
         15,
     );
     let zs_score = run_llm_on_dataset(&profile, &ds, &zs, 3).value.unwrap();
@@ -56,17 +64,30 @@ fn reasoning_lifts_error_detection() {
     let profile = ModelProfile::gpt35();
     let plain = PipelineConfig::ablation(
         ds.task,
-        ComponentSet { few_shot: false, batching: true, reasoning: false },
+        ComponentSet {
+            few_shot: false,
+            batching: true,
+            reasoning: false,
+        },
         15,
     );
     let reasoned = PipelineConfig::ablation(
         ds.task,
-        ComponentSet { few_shot: false, batching: true, reasoning: true },
+        ComponentSet {
+            few_shot: false,
+            batching: true,
+            reasoning: true,
+        },
         15,
     );
     let p = run_llm_on_dataset(&profile, &ds, &plain, 5).value.unwrap();
-    let r = run_llm_on_dataset(&profile, &ds, &reasoned, 5).value.unwrap();
-    assert!(r > p + 10.0, "reasoning should lift Hospital ED: {p:.1} -> {r:.1}");
+    let r = run_llm_on_dataset(&profile, &ds, &reasoned, 5)
+        .value
+        .unwrap();
+    assert!(
+        r > p + 10.0,
+        "reasoning should lift Hospital ED: {p:.1} -> {r:.1}"
+    );
 }
 
 #[test]
@@ -75,12 +96,20 @@ fn batching_cuts_tokens_without_wrecking_quality() {
     let profile = ModelProfile::gpt35();
     let single = PipelineConfig::ablation(
         ds.task,
-        ComponentSet { few_shot: false, batching: false, reasoning: true },
+        ComponentSet {
+            few_shot: false,
+            batching: false,
+            reasoning: true,
+        },
         1,
     );
     let batched = PipelineConfig::ablation(
         ds.task,
-        ComponentSet { few_shot: false, batching: true, reasoning: true },
+        ComponentSet {
+            few_shot: false,
+            batching: true,
+            reasoning: true,
+        },
         15,
     );
     let s = run_llm_on_dataset(&profile, &ds, &single, 9);
@@ -94,7 +123,10 @@ fn batching_cuts_tokens_without_wrecking_quality() {
     assert!(b.usage.latency_secs < s.usage.latency_secs);
     assert!(b.usage.cost_usd < s.usage.cost_usd);
     let (sv, bv) = (s.value.unwrap(), b.value.unwrap());
-    assert!((sv - bv).abs() < 25.0, "quality roughly stable: {sv:.1} vs {bv:.1}");
+    assert!(
+        (sv - bv).abs() < 25.0,
+        "quality roughly stable: {sv:.1} vs {bv:.1}"
+    );
 }
 
 #[test]
@@ -106,7 +138,10 @@ fn gpt4_costs_more_per_token_than_gpt35() {
     let s4 = run_llm_on_dataset(&gpt4, &ds, &best(&gpt4, &ds), 2);
     let per35 = s35.usage.cost_usd / s35.usage.total_tokens() as f64;
     let per4 = s4.usage.cost_usd / s4.usage.total_tokens() as f64;
-    assert!(per4 > per35 * 5.0, "gpt-4 per-token cost {per4:.2e} vs {per35:.2e}");
+    assert!(
+        per4 > per35 * 5.0,
+        "gpt-4 per-token cost {per4:.2e} vs {per35:.2e}"
+    );
 }
 
 #[test]
@@ -121,7 +156,11 @@ fn imputation_accuracy_tracks_knowledge_coverage() {
     let f4 = s4.value.expect("gpt-4 parses");
     assert!(f4 > 80.0, "gpt-4 restaurant accuracy {f4:.1}");
     // Vicuna rambles on free-form imputation: N/A, exactly as in Table 1.
-    assert!(sv.value.is_none(), "vicuna should be N/A (unparsed {:.2})", sv.unparsed_rate);
+    assert!(
+        sv.value.is_none(),
+        "vicuna should be N/A (failure rate {:.2})",
+        sv.failure_rate
+    );
 }
 
 #[test]
@@ -131,10 +170,10 @@ fn all_twelve_datasets_run_through_the_pipeline() {
         let scored = run_llm_on_dataset(&profile, &ds, &best(&profile, &ds), 21);
         assert!(scored.usage.requests > 0, "{} issued no requests", ds.name);
         assert!(
-            scored.unparsed_rate < 0.5,
+            scored.failure_rate < 0.5,
             "{} mostly unparseable ({:.2})",
             ds.name,
-            scored.unparsed_rate
+            scored.failure_rate
         );
     }
 }

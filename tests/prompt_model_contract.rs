@@ -10,7 +10,9 @@ use llm_data_preprocessors::tabular::{Record, Schema, Value};
 use std::sync::Arc;
 
 fn sample_instance(task: Task) -> TaskInstance {
-    let schema = Schema::all_text(&["title", "brand", "price"]).unwrap().shared();
+    let schema = Schema::all_text(&["title", "brand", "price"])
+        .unwrap()
+        .shared();
     let record = |vals: [&str; 3]| {
         Record::new(
             Arc::clone(&schema),
@@ -90,9 +92,8 @@ fn every_task_and_component_combination_round_trips() {
                     let request = build_request(&config, &shots, &refs);
                     let c = comprehend(&request);
 
-                    let label = format!(
-                        "{task:?} reasoning={reasoning} shots={n_shots} batch={batch}"
-                    );
+                    let label =
+                        format!("{task:?} reasoning={reasoning} shots={n_shots} batch={batch}");
                     assert_eq!(c.task, Some(expected_kind(task)), "{label}");
                     assert_eq!(c.wants_reason, reasoning, "{label}");
                     assert_eq!(c.examples.len(), n_shots, "{label}");
