@@ -1,0 +1,70 @@
+//! Tracer-overhead benchmark: the same execution plan run untraced (the
+//! executor's built-in no-op tracer) versus streaming into the full
+//! observability stack — JSONL exporter + metrics recorder + online ledger
+//! audit fanned out through a [`MultiTracer`].
+//!
+//! Besides timing, the run cross-checks that tracing never changes results
+//! (predictions, usage, and metrics stay bit-identical) and that the audit
+//! finds zero ledger violations.
+//!
+//! Run with `cargo bench -p dprep-bench --bench tracer`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dprep_core::{PipelineConfig, Preprocessor};
+use dprep_llm::{ModelProfile, SimulatedLlm};
+use dprep_obs::{AuditTracer, JsonlTracer, MetricsRecorder, MultiTracer, Tracer};
+
+fn main() {
+    let ds = dprep_datasets::dataset_by_name("Adult", 0.25, 0).expect("known dataset");
+    let model = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(ds.kb.clone()));
+    let instances = &ds.instances;
+    println!(
+        "tracer overhead: {} instances of {:?}, batch size {}",
+        instances.len(),
+        ds.task,
+        PipelineConfig::best(ds.task).batch_size,
+    );
+
+    let iters = 5u32;
+    let time = |pre: &Preprocessor<SimulatedLlm>| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(pre.run(std::hint::black_box(instances), &ds.few_shot));
+        }
+        start.elapsed().as_secs_f64() / f64::from(iters)
+    };
+
+    // Baseline: no external tracer (internal metrics recorder still on).
+    let untraced = Preprocessor::new(&model, PipelineConfig::best(ds.task));
+    let reference = untraced.run(instances, &ds.few_shot);
+    let base_secs = time(&untraced);
+    println!("untraced       {:>9.3} ms/run", base_secs * 1e3);
+
+    // Full stack: JSONL trace + redundant metrics + online audit.
+    let jsonl = Arc::new(JsonlTracer::new());
+    let metrics = Arc::new(MetricsRecorder::new());
+    let audit = Arc::new(AuditTracer::new());
+    let stack = MultiTracer::new()
+        .with(Arc::clone(&jsonl) as Arc<dyn Tracer>)
+        .with(Arc::clone(&metrics) as Arc<dyn Tracer>)
+        .with(Arc::clone(&audit) as Arc<dyn Tracer>);
+    let traced =
+        Preprocessor::new(&model, PipelineConfig::best(ds.task)).with_tracer(Arc::new(stack));
+
+    // Warm-up + invariance checks: tracing must not perturb results.
+    let result = traced.run(instances, &ds.few_shot);
+    assert_eq!(result.predictions, reference.predictions);
+    assert_eq!(result.usage, reference.usage);
+    assert_eq!(result.metrics, reference.metrics);
+    audit.assert_clean();
+
+    let traced_secs = time(&traced);
+    println!(
+        "jsonl+metrics+audit {:>9.3} ms/run  overhead {:+.1}%  ({} events/run, 0 violations)",
+        traced_secs * 1e3,
+        (traced_secs / base_secs - 1.0) * 100.0,
+        jsonl.len() / (iters as usize + 1),
+    );
+}

@@ -26,6 +26,10 @@ fn main() {
             &rows
         )
     );
+    eprintln!("serving metrics per batch size:");
+    for row in &table.rows {
+        eprintln!("  batch {:>2}: {}", row.batch_size, row.metrics.brief());
+    }
     match report::write_tsv("table3", &headers, &rows) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write TSV: {e}"),

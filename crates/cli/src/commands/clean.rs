@@ -7,7 +7,8 @@ use dprep_tabular::csv::write_csv;
 
 use crate::args::{model_profile, Flags};
 use crate::commands::{
-    apply_serving, attrs_for, build_model, load_table, print_usage_footer, serving_from_flags,
+    apply_serving, attrs_for, build_model, load_table, print_metrics, print_usage_footer,
+    serving_from_flags, Observability,
 };
 use crate::facts;
 
@@ -18,8 +19,14 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let profile = model_profile(flags)?;
     let kb = facts::load(flags)?;
     let serving = serving_from_flags(flags)?;
+    let obs = Observability::from_serving(&serving);
     let stats = dprep_llm::MiddlewareStats::shared();
-    let model = apply_serving(build_model(profile, kb, flags.seed()?), serving, &stats);
+    let model = apply_serving(
+        build_model(profile, kb, flags.seed()?),
+        &serving,
+        &stats,
+        obs.tracer(),
+    );
 
     let mut detect_config = PipelineConfig::best(Task::ErrorDetection);
     detect_config.workers = serving.workers;
@@ -27,7 +34,8 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     impute_config.workers = serving.workers;
     let repairer = Repairer::new(&model)
         .with_detect_config(detect_config)
-        .with_impute_config(impute_config);
+        .with_impute_config(impute_config)
+        .with_tracer(obs.tracer());
     let outcome = repairer.repair(&table, &attrs, &[], &[]);
 
     print!("{}", write_csv(&outcome.table));
@@ -48,5 +56,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     }
     eprintln!("{} repair(s) applied", outcome.repairs.len());
     print_usage_footer(&outcome.usage, Some(&outcome.stats));
-    Ok(())
+    print_metrics(&serving, &outcome.metrics);
+    obs.finish()
 }

@@ -5,7 +5,8 @@ use dprep_prompt::{Task, TaskInstance};
 
 use crate::args::{model_profile, Flags};
 use crate::commands::{
-    apply_serving, attrs_for, build_model, load_table, print_usage_footer, serving_from_flags,
+    apply_serving, attrs_for, build_model, load_table, print_metrics, print_usage_footer,
+    serving_from_flags, Observability,
 };
 use crate::facts;
 
@@ -16,8 +17,14 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let profile = model_profile(flags)?;
     let kb = facts::load(flags)?;
     let serving = serving_from_flags(flags)?;
+    let obs = Observability::from_serving(&serving);
     let stats = dprep_llm::MiddlewareStats::shared();
-    let model = apply_serving(build_model(profile, kb, flags.seed()?), serving, &stats);
+    let model = apply_serving(
+        build_model(profile, kb, flags.seed()?),
+        &serving,
+        &stats,
+        obs.tracer(),
+    );
 
     let mut instances = Vec::new();
     let mut cells = Vec::new();
@@ -43,7 +50,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
 
     let mut config = PipelineConfig::best(Task::ErrorDetection);
     config.workers = serving.workers;
-    let preprocessor = Preprocessor::new(&model, config);
+    let preprocessor = Preprocessor::new(&model, config).with_tracer(obs.tracer());
     let result = preprocessor.run(&instances, &[]);
 
     println!("row\tattribute\tvalue\tverdict\treason");
@@ -77,5 +84,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     }
     eprintln!("{flagged} of {} cells flagged", instances.len());
     print_usage_footer(&result.usage, Some(&result.stats));
-    Ok(())
+    print_metrics(&serving, &result.metrics);
+    obs.finish()
 }

@@ -7,7 +7,8 @@ use dprep_tabular::{csv::write_csv, Table, Value};
 
 use crate::args::{model_profile, Flags};
 use crate::commands::{
-    apply_serving, build_model, load_table, print_usage_footer, serving_from_flags,
+    apply_serving, build_model, load_table, print_metrics, print_usage_footer, serving_from_flags,
+    Observability,
 };
 use crate::facts;
 
@@ -24,8 +25,14 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let profile = model_profile(flags)?;
     let kb = facts::load(flags)?;
     let serving = serving_from_flags(flags)?;
+    let obs = Observability::from_serving(&serving);
     let stats = dprep_llm::MiddlewareStats::shared();
-    let model = apply_serving(build_model(profile, kb, flags.seed()?), serving, &stats);
+    let model = apply_serving(
+        build_model(profile, kb, flags.seed()?),
+        &serving,
+        &stats,
+        obs.tracer(),
+    );
 
     let mut instances = Vec::new();
     let mut rows_to_fill = Vec::new();
@@ -41,12 +48,12 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     if instances.is_empty() {
         eprintln!("nothing to impute: no missing {attribute:?} cells");
         print!("{}", write_csv(&table));
-        return Ok(());
+        return obs.finish();
     }
 
     let mut config = PipelineConfig::best(Task::Imputation);
     config.workers = serving.workers;
-    let preprocessor = Preprocessor::new(&model, config);
+    let preprocessor = Preprocessor::new(&model, config).with_tracer(obs.tracer());
     let result = preprocessor.run(&instances, &[]);
 
     // Rebuild the table with imputed values.
@@ -65,5 +72,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     print!("{}", write_csv(&completed));
     eprintln!("imputed {filled} of {} missing cells", instances.len());
     print_usage_footer(&result.usage, Some(&result.stats));
-    Ok(())
+    print_metrics(&serving, &result.metrics);
+    obs.finish()
 }

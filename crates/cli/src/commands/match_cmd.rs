@@ -7,7 +7,8 @@ use dprep_prompt::{Task, TaskInstance};
 
 use crate::args::{model_profile, Flags};
 use crate::commands::{
-    apply_serving, build_model, load_table, print_usage_footer, serving_from_flags,
+    apply_serving, build_model, load_table, print_metrics, print_usage_footer, serving_from_flags,
+    Observability,
 };
 use crate::facts;
 
@@ -18,8 +19,14 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let profile = model_profile(flags)?;
     let kb = facts::load(flags)?;
     let serving = serving_from_flags(flags)?;
+    let obs = Observability::from_serving(&serving);
     let stats = dprep_llm::MiddlewareStats::shared();
-    let model = apply_serving(build_model(profile, kb, flags.seed()?), serving, &stats);
+    let model = apply_serving(
+        build_model(profile, kb, flags.seed()?),
+        &serving,
+        &stats,
+        obs.tracer(),
+    );
 
     // ── blocking ─────────────────────────────────────────────────────────
     let blocker = flags.get("blocker").unwrap_or("ngram");
@@ -52,7 +59,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     );
     if candidates.is_empty() {
         eprintln!("no candidates survived blocking");
-        return Ok(());
+        return obs.finish();
     }
 
     // ── pairwise matching ────────────────────────────────────────────────
@@ -65,7 +72,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         .collect();
     let mut config = PipelineConfig::best(Task::EntityMatching);
     config.workers = serving.workers;
-    let preprocessor = Preprocessor::new(&model, config);
+    let preprocessor = Preprocessor::new(&model, config).with_tracer(obs.tracer());
     let result = preprocessor.run(&instances, &[]);
 
     println!("left\tright\tleft_record\tright_record");
@@ -85,5 +92,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         candidates.len()
     );
     print_usage_footer(&result.usage, Some(&result.stats));
-    Ok(())
+    print_metrics(&serving, &result.metrics);
+    obs.finish()
 }

@@ -12,6 +12,7 @@ use dprep_core::ExecStats;
 use dprep_llm::{
     CacheLayer, ChatModel, KnowledgeBase, MiddlewareStats, ModelProfile, RetryLayer, SimulatedLlm,
 };
+use dprep_obs::{AuditTracer, JsonlTracer, MultiTracer, Tracer};
 use dprep_tabular::Table;
 
 use crate::args::Flags;
@@ -28,8 +29,9 @@ pub fn build_model(profile: ModelProfile, kb: KnowledgeBase, seed: u64) -> Simul
 }
 
 /// Serving options shared by every model-running command: `--workers N`,
-/// `--retries N`, `--cache on|off`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `--retries N`, `--cache on|off`, plus the observability flags
+/// `--trace FILE`, `--metrics on|off`, `--audit on|off`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Serving {
     /// Executor worker threads.
     pub workers: usize,
@@ -37,9 +39,16 @@ pub struct Serving {
     pub retries: u32,
     /// Response caching enabled.
     pub cache: bool,
+    /// JSONL trace output path (`--trace FILE`).
+    pub trace: Option<String>,
+    /// Print the serving-metrics summary after the run.
+    pub metrics: bool,
+    /// Audit ledger invariants online; violations fail the command.
+    pub audit: bool,
 }
 
-/// Parses the serving flags (defaults: 1 worker, 2 retries, cache off).
+/// Parses the serving flags (defaults: 1 worker, 2 retries, cache off,
+/// no trace, metrics off, audit off).
 pub fn serving_from_flags(flags: &Flags) -> Result<Serving, String> {
     let workers = flags.usize_or("workers", 1)?;
     if workers == 0 {
@@ -49,24 +58,109 @@ pub fn serving_from_flags(flags: &Flags) -> Result<Serving, String> {
         workers,
         retries: flags.usize_or("retries", 2)? as u32,
         cache: flags.bool_or("cache", false)?,
+        trace: flags.get("trace").map(str::to_string),
+        metrics: flags.bool_or("metrics", false)?,
+        audit: flags.bool_or("audit", false)?,
     })
 }
 
+/// The observability sinks a command wires into its middleware stack and
+/// executor, built from the serving flags. Call [`Observability::finish`]
+/// after the run to flush the trace file and surface audit violations.
+pub struct Observability {
+    tracer: Arc<dyn Tracer>,
+    jsonl: Option<(Arc<JsonlTracer>, String)>,
+    audit: Option<Arc<AuditTracer>>,
+}
+
+impl Observability {
+    /// Builds the sinks requested by `serving`. With neither `--trace`
+    /// nor `--audit` the composite tracer is an empty no-op fan-out.
+    pub fn from_serving(serving: &Serving) -> Self {
+        let mut multi = MultiTracer::new();
+        let jsonl = serving.trace.as_ref().map(|path| {
+            let sink = Arc::new(JsonlTracer::new());
+            multi.push(Arc::clone(&sink) as Arc<dyn Tracer>);
+            (sink, path.clone())
+        });
+        let audit = serving.audit.then(|| {
+            let sink = Arc::new(AuditTracer::new());
+            multi.push(Arc::clone(&sink) as Arc<dyn Tracer>);
+            sink
+        });
+        Observability {
+            tracer: Arc::new(multi),
+            jsonl,
+            audit,
+        }
+    }
+
+    /// The composite tracer to hand to middleware layers and executors.
+    pub fn tracer(&self) -> Arc<dyn Tracer> {
+        Arc::clone(&self.tracer)
+    }
+
+    /// Writes the JSONL trace (if `--trace` was given) and reports audit
+    /// violations (if `--audit` was on) as a hard error.
+    pub fn finish(self) -> Result<(), String> {
+        if let Some((sink, path)) = &self.jsonl {
+            sink.write_to(std::path::Path::new(path))
+                .map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
+            eprintln!("[trace: {} event(s) -> {path}]", sink.len());
+        }
+        if let Some(audit) = &self.audit {
+            let violations = audit.violations();
+            if violations.is_empty() {
+                eprintln!(
+                    "[audit: {} run(s), ledger invariants hold]",
+                    audit.runs_audited()
+                );
+            } else {
+                for v in &violations {
+                    eprintln!("[audit violation] {v}");
+                }
+                return Err(format!(
+                    "serving-ledger audit failed with {} violation(s)",
+                    violations.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Wraps `model` in the middleware stack the serving options ask for
-/// (cache over retry), reporting into `stats`.
+/// (cache over retry), reporting into `stats` and streaming lifecycle
+/// events into `tracer`.
 pub fn apply_serving<M: ChatModel + 'static>(
     model: M,
-    serving: Serving,
+    serving: &Serving,
     stats: &Arc<MiddlewareStats>,
+    tracer: Arc<dyn Tracer>,
 ) -> Box<dyn ChatModel> {
     let mut stack: Box<dyn ChatModel> = Box::new(model);
     if serving.retries > 0 {
-        stack = Box::new(RetryLayer::new(stack, serving.retries).with_stats(Arc::clone(stats)));
+        stack = Box::new(
+            RetryLayer::new(stack, serving.retries)
+                .with_stats(Arc::clone(stats))
+                .with_tracer(Arc::clone(&tracer)),
+        );
     }
     if serving.cache {
-        stack = Box::new(CacheLayer::new(stack).with_stats(Arc::clone(stats)));
+        stack = Box::new(
+            CacheLayer::new(stack)
+                .with_stats(Arc::clone(stats))
+                .with_tracer(tracer),
+        );
     }
     stack
+}
+
+/// Prints the multi-line serving-metrics summary when `--metrics on`.
+pub fn print_metrics(serving: &Serving, metrics: &dprep_obs::MetricsSnapshot) {
+    if serving.metrics {
+        eprint!("{}", metrics.summary());
+    }
 }
 
 /// Prints the run's usage footer, including serving counters when any are

@@ -67,6 +67,11 @@ SERVING (detect/impute/clean/match):
   --retries N      re-ask on incomplete responses up to N times (default 2; 0 = off)
   --cache on|off   memoize identical requests across the run (default off)
 
+OBSERVABILITY (detect/impute/clean/match):
+  --trace FILE     write the request-lifecycle event stream as JSON lines
+  --metrics on|off print the serving-metrics summary after the run (default off)
+  --audit on|off   check ledger invariants online; violations fail the command
+
 MODELS: sim-gpt-4 (default), sim-gpt-3.5, sim-gpt-3, sim-vicuna-13b
 
 FACTS FILE (tab-separated, one fact per line):

@@ -20,11 +20,11 @@
 //! changes wall-clock time and nothing else.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use dprep_llm::{ChatModel, ChatRequest, UsageTotals};
+use dprep_llm::{request_fingerprint, ChatModel, ChatRequest, FaultKind, UsageTotals};
+use dprep_obs::{MetricsRecorder, NullTracer, TraceEvent, Tracer};
 use dprep_prompt::{build_request, make_batches, parse_response, FewShotExample, TaskInstance};
-use dprep_rng::stable_hash;
 
 use crate::config::PipelineConfig;
 use crate::pipeline::{FailureKind, Prediction, RunResult};
@@ -98,14 +98,11 @@ impl ExecutionPlan {
             }
             // Dedup key: everything that determines a deterministic model's
             // response. Doing this at plan time (not in a cache layer racing
-            // under the executor) keeps hit counts worker-independent.
-            let descriptor = format!(
-                "{:?}|{}|{}",
-                request.temperature,
-                request.retry_salt,
-                request.full_text()
-            );
-            let key = stable_hash(0x00de_d001, descriptor.as_bytes());
+            // under the executor) keeps hit counts worker-independent. The
+            // key is the same fingerprint `CacheLayer` memoizes by — both
+            // resolve the temperature first, so an unset `None` and an
+            // explicit default can never defeat dedup on one side only.
+            let key = request_fingerprint(model, &request);
             let request_index = *seen.entry(key).or_insert_with(|| {
                 requests.push(request);
                 requests.len() - 1
@@ -162,11 +159,13 @@ pub struct ExecStats {
     pub requests: usize,
     /// Batches served by deduplication against an identical earlier batch.
     pub deduped: usize,
-    /// Total retry attempts spent by the retry middleware.
+    /// Total retry attempts spent by the retry middleware on *fresh*
+    /// responses (a cache hit replays its recorded metadata without
+    /// spending anything, so it does not count here).
     pub retries: usize,
     /// Responses served from the cache middleware.
     pub cache_hits: usize,
-    /// Responses that still carried a fault after all middleware ran.
+    /// Fresh responses that still carried a fault after all middleware ran.
     pub faulted: usize,
 }
 
@@ -182,20 +181,52 @@ impl ExecStats {
 }
 
 /// Dispatches an [`ExecutionPlan`] and reassembles a [`RunResult`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Clone)]
 pub struct Executor {
     options: ExecutionOptions,
+    tracer: Arc<dyn Tracer>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor {
+            options: ExecutionOptions::default(),
+            tracer: Arc::new(NullTracer),
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Executor {
     /// An executor with the given options.
     pub fn new(options: ExecutionOptions) -> Self {
-        Executor { options }
+        Executor {
+            options,
+            ..Executor::default()
+        }
     }
 
     /// A serial executor (`workers == 1`).
     pub fn serial() -> Self {
         Executor::default()
+    }
+
+    /// Streams request-lifecycle events into `tracer` during [`run`]
+    /// (`Executor::run`): run start/finish, planned/deduped requests, live
+    /// per-worker dispatches with virtual-time spans, completions, and
+    /// per-instance parse/failure outcomes. Wire the *same* tracer into the
+    /// middleware stack (`with_tracer` on the retry/cache/fault layers) so
+    /// their events correlate by request id.
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Runs the plan against `model`.
@@ -204,9 +235,61 @@ impl Executor {
     /// scoped threads; each response lands in its plan slot, and all
     /// aggregation (usage totals, counters, per-instance predictions)
     /// happens afterwards in plan order — so the result is bit-identical to
-    /// a serial run.
+    /// a serial run. Only the live `dispatched` events interleave
+    /// nondeterministically in a trace; every total, counter, and the
+    /// metrics snapshot are worker-count independent.
+    ///
+    /// **Ledger semantics.** [`UsageTotals`] bills *fresh* model work only:
+    /// a cache-hit response replays recorded text and metadata but spends
+    /// zero tokens, zero dollars, and zero virtual time, so it contributes
+    /// nothing (its original attempt was billed by the run that missed).
+    /// Likewise `stats.retries` / `stats.faulted` count fresh responses
+    /// only. Context-overflow classification compares a **single attempt's**
+    /// prompt size against the window ([`dprep_llm::ResponseMeta`]'s
+    /// `attempt_usage`), never the retry-accumulated total.
     pub fn run<M: ChatModel + ?Sized>(&self, model: &M, plan: &ExecutionPlan) -> RunResult {
-        let responses = self.dispatch(model, plan);
+        let run_id = dprep_obs::next_run_id();
+        let base_id = dprep_obs::reserve_request_ids(plan.requests.len());
+        let recorder = MetricsRecorder::new();
+        // Plan-order events feed both the run's own metrics snapshot and
+        // the external tracer.
+        let emit = |event: TraceEvent| {
+            recorder.record(&event);
+            self.tracer.record(&event);
+        };
+
+        emit(TraceEvent::RunStarted {
+            run: run_id,
+            instances: plan.n_instances,
+            batches: plan.batches.len(),
+            requests: plan.requests.len(),
+        });
+        let mut batches_per = vec![0usize; plan.requests.len()];
+        let mut instances_per = vec![0usize; plan.requests.len()];
+        for batch in &plan.batches {
+            batches_per[batch.request_index] += 1;
+            instances_per[batch.request_index] += batch.instance_indices.len();
+        }
+        for i in 0..plan.requests.len() {
+            emit(TraceEvent::Planned {
+                request: base_id + i as u64,
+                batches: batches_per[i],
+                instances: instances_per[i],
+            });
+        }
+        let mut dispatches_seen = vec![false; plan.requests.len()];
+        for (batch_idx, batch) in plan.batches.iter().enumerate() {
+            if dispatches_seen[batch.request_index] {
+                emit(TraceEvent::Deduped {
+                    request: base_id + batch.request_index as u64,
+                    batch: batch_idx,
+                });
+            } else {
+                dispatches_seen[batch.request_index] = true;
+            }
+        }
+
+        let dispatched = self.dispatch(model, plan, base_id);
 
         let mut predictions =
             vec![Prediction::Failed(FailureKind::SkippedAnswer); plan.n_instances];
@@ -218,39 +301,103 @@ impl Executor {
         };
 
         // Usage and serving counters: once per unique request, plan order.
-        for response in &responses {
-            usage.record(
-                &response.usage,
-                model.cost_usd(&response.usage),
-                response.latency_secs,
-            );
-            stats.retries += response.meta.retries as usize;
-            stats.cache_hits += usize::from(response.meta.cache_hit);
-            stats.faulted += usize::from(response.meta.fault.is_some());
+        // Cache hits bill zero fresh tokens/cost/latency — the run that
+        // missed already paid for the attempt this response replays.
+        for (i, d) in dispatched.iter().enumerate() {
+            let response = &d.response;
+            let fresh = !response.meta.cache_hit;
+            let attempt = response.meta.attempt_usage.unwrap_or(response.usage);
+            let cost = if fresh {
+                model.cost_usd(&response.usage)
+            } else {
+                0.0
+            };
+            if fresh {
+                usage.record(&response.usage, cost, response.latency_secs);
+                stats.retries += response.meta.retries as usize;
+                stats.faulted += usize::from(response.meta.fault.is_some());
+            } else {
+                stats.cache_hits += 1;
+            }
+            emit(TraceEvent::Completed {
+                request: base_id + i as u64,
+                worker: d.worker,
+                cache_hit: response.meta.cache_hit,
+                retries: response.meta.retries,
+                fault: response.meta.fault.map(FaultKind::label),
+                prompt_tokens: response.usage.prompt_tokens,
+                completion_tokens: response.usage.completion_tokens,
+                attempt_prompt_tokens: attempt.prompt_tokens,
+                attempt_completion_tokens: attempt.completion_tokens,
+                cost_usd: cost,
+                latency_secs: response.latency_secs,
+                vt_start_secs: d.vt_start_secs,
+                vt_end_secs: d.vt_end_secs,
+            });
         }
 
         // Predictions: parse each batch's response and classify the misses.
+        let mut answered = 0usize;
         for batch in &plan.batches {
-            let response = &responses[batch.request_index];
+            let d = &dispatched[batch.request_index];
+            let response = &d.response;
+            let request_id = base_id + batch.request_index as u64;
             let answers = parse_response(&response.text, plan.reasoning);
-            let overflowed = response.usage.prompt_tokens > model.context_window();
+            // A retried request accumulates usage over attempts; only the
+            // final attempt's own prompt says whether the window overflowed.
+            let attempt_prompt = response
+                .meta
+                .attempt_usage
+                .unwrap_or(response.usage)
+                .prompt_tokens;
+            let overflowed = attempt_prompt > model.context_window();
             for (position, &instance_idx) in batch.instance_indices.iter().enumerate() {
                 predictions[instance_idx] = match answers.get(&(position + 1)) {
-                    Some(extracted) => Prediction::Answered(extracted.clone()),
-                    None => Prediction::Failed(classify_miss(
-                        response.meta.fault.is_some(),
-                        response.meta.retries,
-                        overflowed,
-                        answers.is_empty(),
-                    )),
+                    Some(extracted) => {
+                        answered += 1;
+                        emit(TraceEvent::Parsed {
+                            request: request_id,
+                            instance: instance_idx,
+                        });
+                        Prediction::Answered(extracted.clone())
+                    }
+                    None => {
+                        let kind = classify_miss(
+                            response.meta.fault.is_some(),
+                            response.meta.retries,
+                            overflowed,
+                            answers.is_empty(),
+                        );
+                        emit(TraceEvent::Failed {
+                            request: request_id,
+                            instance: instance_idx,
+                            kind: kind.label(),
+                        });
+                        Prediction::Failed(kind)
+                    }
                 };
             }
         }
+
+        emit(TraceEvent::RunFinished {
+            run: run_id,
+            instances: plan.n_instances,
+            answered,
+            failed: plan.n_instances - answered,
+            requests: plan.requests.len(),
+            fresh_requests: plan.requests.len() - stats.cache_hits,
+            cache_hits: stats.cache_hits,
+            prompt_tokens: usage.prompt_tokens,
+            completion_tokens: usage.completion_tokens,
+            cost_usd: usage.cost_usd,
+            latency_secs: usage.latency_secs,
+        });
 
         RunResult {
             predictions,
             usage,
             stats,
+            metrics: recorder.snapshot(),
         }
     }
 
@@ -258,25 +405,68 @@ impl Executor {
         &self,
         model: &M,
         plan: &ExecutionPlan,
-    ) -> Vec<dprep_llm::ChatResponse> {
+        base_id: u64,
+    ) -> Vec<DispatchedResponse> {
         let requests = &plan.requests;
         if self.options.workers <= 1 || requests.len() <= 1 {
-            return requests.iter().map(|r| model.chat(r)).collect();
+            let mut clock = 0.0;
+            return requests
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let request = r.clone().with_trace_id(base_id + i as u64);
+                    self.tracer.record(&TraceEvent::Dispatched {
+                        request: request.trace_id,
+                        worker: 0,
+                        vt_start_secs: clock,
+                    });
+                    let response = model.chat(&request);
+                    let vt_start_secs = clock;
+                    clock += response.latency_secs;
+                    DispatchedResponse {
+                        response,
+                        worker: 0,
+                        vt_start_secs,
+                        vt_end_secs: clock,
+                    }
+                })
+                .collect();
         }
 
-        let slots: Vec<Mutex<Option<dprep_llm::ChatResponse>>> =
+        let slots: Vec<Mutex<Option<DispatchedResponse>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         let workers = self.options.workers.min(requests.len());
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    if idx >= requests.len() {
-                        break;
+            for worker in 0..workers {
+                let slots = &slots;
+                let cursor = &cursor;
+                let tracer = &self.tracer;
+                scope.spawn(move || {
+                    // Each worker runs its own virtual clock: spans on one
+                    // worker are sequential, workers overlap.
+                    let mut clock = 0.0;
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= requests.len() {
+                            break;
+                        }
+                        let request = requests[idx].clone().with_trace_id(base_id + idx as u64);
+                        tracer.record(&TraceEvent::Dispatched {
+                            request: request.trace_id,
+                            worker,
+                            vt_start_secs: clock,
+                        });
+                        let response = model.chat(&request);
+                        let vt_start_secs = clock;
+                        clock += response.latency_secs;
+                        *slots[idx].lock().expect("slot poisoned") = Some(DispatchedResponse {
+                            response,
+                            worker,
+                            vt_start_secs,
+                            vt_end_secs: clock,
+                        });
                     }
-                    let response = model.chat(&requests[idx]);
-                    *slots[idx].lock().expect("slot poisoned") = Some(response);
                 });
             }
         });
@@ -289,6 +479,14 @@ impl Executor {
             })
             .collect()
     }
+}
+
+/// A response plus where and when (in virtual time) it was served.
+struct DispatchedResponse {
+    response: dprep_llm::ChatResponse,
+    worker: usize,
+    vt_start_secs: f64,
+    vt_end_secs: f64,
 }
 
 /// Why an instance's answer is missing from an otherwise-delivered response.
@@ -341,4 +539,243 @@ pub fn context_fitted_batch_size<M: ChatModel + ?Sized>(
         return 1;
     }
     (1 + (budget - fixed_plus_one) / per_question.max(1)).min(configured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprep_llm::{CacheLayer, ChatResponse, RetryLayer, Usage};
+    use dprep_prompt::Task;
+    use dprep_tabular::{Record, Schema, Value};
+
+    /// Answers every `Question N:` line (or all but the last when
+    /// `answer_all` is off), billing 100 prompt tokens per attempt.
+    struct CountingModel {
+        window: usize,
+        answer_all: bool,
+    }
+
+    impl ChatModel for CountingModel {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn context_window(&self) -> usize {
+            self.window
+        }
+        fn cost_usd(&self, usage: &Usage) -> f64 {
+            usage.total_tokens() as f64 * 1e-6
+        }
+        fn chat(&self, request: &ChatRequest) -> ChatResponse {
+            let body = &request.messages.last().unwrap().content;
+            let count = body
+                .lines()
+                .filter(|l| l.trim_start().starts_with("Question "))
+                .count()
+                .max(1);
+            let n = if self.answer_all {
+                count
+            } else {
+                count.saturating_sub(1)
+            };
+            let mut text = String::new();
+            for i in 1..=n {
+                text.push_str(&format!("Answer {i}: yes\n"));
+            }
+            ChatResponse::new(
+                text,
+                Usage {
+                    prompt_tokens: 100,
+                    completion_tokens: 10 * n,
+                },
+                2.0,
+            )
+        }
+    }
+
+    fn em_instances(n: usize) -> Vec<TaskInstance> {
+        let schema = Schema::all_text(&["title"]).unwrap().shared();
+        (0..n)
+            .map(|i| {
+                let rec =
+                    Record::new(schema.clone(), vec![Value::text(format!("product {i}"))]).unwrap();
+                TaskInstance::EntityMatching {
+                    a: rec.clone(),
+                    b: rec,
+                }
+            })
+            .collect()
+    }
+
+    fn plan_for<M: ChatModel + ?Sized>(
+        model: &M,
+        instances: &[TaskInstance],
+        batch_size: usize,
+    ) -> ExecutionPlan {
+        let mut config = PipelineConfig::best(Task::EntityMatching);
+        config.components.few_shot = false;
+        config.components.reasoning = false;
+        config.batch_size = batch_size;
+        // Keep the planned batch shape fixed even for tiny test windows —
+        // these tests steer overflow via the window deliberately.
+        config.fit_context = false;
+        ExecutionPlan::build(model, &config, instances, &[])
+    }
+
+    #[test]
+    fn cache_hits_bill_zero_fresh_usage() {
+        let base = CountingModel {
+            window: 100_000,
+            answer_all: true,
+        };
+        let cached = CacheLayer::new(&base);
+        let instances = em_instances(6);
+        let plan = plan_for(&cached, &instances, 3);
+        let exec = Executor::serial();
+        let first = exec.run(&cached, &plan);
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(first.usage.requests, 2);
+        assert!(first.usage.prompt_tokens > 0 && first.usage.cost_usd > 0.0);
+
+        // The same plan again over the warm cache: every response replays,
+        // so the run bills zero fresh tokens, cost, latency, and requests.
+        let second = exec.run(&cached, &plan);
+        assert_eq!(second.stats.cache_hits, first.stats.requests);
+        assert_eq!(second.usage.requests, 0);
+        assert_eq!(second.usage.prompt_tokens, 0);
+        assert_eq!(second.usage.completion_tokens, 0);
+        assert_eq!(second.usage.cost_usd, 0.0);
+        assert_eq!(second.usage.latency_secs, 0.0);
+        assert_eq!(second.predictions, first.predictions);
+        // The metrics snapshot tells the same story.
+        assert_eq!(second.metrics.cache_hits, first.stats.requests);
+        assert_eq!(second.metrics.fresh_requests, 0);
+        assert_eq!(second.metrics.prompt_tokens, 0);
+        // Replayed metadata does not re-count retries or faults.
+        assert_eq!(second.stats.retries, 0);
+        assert_eq!(second.stats.faulted, 0);
+    }
+
+    #[test]
+    fn retried_requests_are_not_misclassified_as_overflow() {
+        // Window 250: a single attempt (100 prompt tokens) fits comfortably,
+        // but the retry-accumulated total (3 × 100) does not. The final
+        // attempt's own size decides overflow, so the missing answer is a
+        // skip — not a phantom context overflow.
+        let base = CountingModel {
+            window: 250,
+            answer_all: false,
+        };
+        let model = RetryLayer::new(&base, 2);
+        let instances = em_instances(2);
+        let plan = plan_for(&model, &instances, 2);
+        let result = Executor::serial().run(&model, &plan);
+        assert_eq!(result.stats.retries, 2, "budget spent");
+        assert!(
+            result.usage.prompt_tokens > model.context_window(),
+            "accumulated usage exceeds the window — the bug's trigger"
+        );
+        let kinds: Vec<FailureKind> = result
+            .predictions
+            .iter()
+            .filter_map(|p| p.failure())
+            .collect();
+        assert_eq!(kinds, vec![FailureKind::SkippedAnswer]);
+    }
+
+    #[test]
+    fn single_oversized_attempt_still_classifies_as_overflow() {
+        let base = CountingModel {
+            window: 50,
+            answer_all: false,
+        };
+        let instances = em_instances(2);
+        let plan = plan_for(&base, &instances, 2);
+        let result = Executor::serial().run(&base, &plan);
+        let kinds: Vec<FailureKind> = result
+            .predictions
+            .iter()
+            .filter_map(|p| p.failure())
+            .collect();
+        assert_eq!(kinds, vec![FailureKind::ContextOverflow]);
+    }
+
+    #[test]
+    fn dedup_and_cache_agree_on_unset_vs_default_temperature() {
+        let base = CountingModel {
+            window: 100_000,
+            answer_all: true,
+        };
+        let cached = CacheLayer::new(&base);
+        let instances = em_instances(4);
+        let mut config = PipelineConfig::best(Task::EntityMatching);
+        config.components.few_shot = false;
+        config.components.reasoning = false;
+        config.batch_size = 2;
+        config.fit_context = false;
+        // Plan A leaves the temperature unset; plan B pins it to the model's
+        // default explicitly. Both fingerprint identically, so run B is
+        // served entirely from run A's cache entries.
+        config.temperature = None;
+        let plan_unset = ExecutionPlan::build(&cached, &config, &instances, &[]);
+        config.temperature = Some(cached.default_temperature());
+        let plan_pinned = ExecutionPlan::build(&cached, &config, &instances, &[]);
+
+        let exec = Executor::serial();
+        let first = exec.run(&cached, &plan_unset);
+        let second = exec.run(&cached, &plan_pinned);
+        assert_eq!(second.stats.cache_hits, first.stats.requests);
+        assert_eq!(second.usage.requests, 0, "no fresh dispatches");
+        assert_eq!(second.predictions, first.predictions);
+    }
+
+    #[test]
+    fn executor_emits_a_complete_event_stream() {
+        use dprep_obs::CollectingTracer;
+        let base = CountingModel {
+            window: 100_000,
+            answer_all: true,
+        };
+        let tracer = Arc::new(CollectingTracer::new());
+        let instances = em_instances(4);
+        let plan = plan_for(&base, &instances, 2);
+        let exec = Executor::new(ExecutionOptions { workers: 2 })
+            .with_tracer(tracer.clone() as Arc<dyn Tracer>);
+        let result = exec.run(&base, &plan);
+        assert_eq!(tracer.count("run_started"), 1);
+        assert_eq!(tracer.count("planned"), plan.requests().len());
+        assert_eq!(tracer.count("dispatched"), plan.requests().len());
+        assert_eq!(tracer.count("completed"), plan.requests().len());
+        assert_eq!(tracer.count("parsed"), 4);
+        assert_eq!(tracer.count("failed"), 0);
+        assert_eq!(tracer.count("run_finished"), 1);
+        assert_eq!(result.metrics.answered, 4);
+        assert_eq!(result.metrics.fresh_requests, plan.requests().len());
+    }
+
+    #[test]
+    fn audit_tracer_passes_on_a_faulty_retried_cached_run() {
+        use dprep_llm::FaultLayer;
+        let base = CountingModel {
+            window: 100_000,
+            answer_all: true,
+        };
+        let audit = Arc::new(dprep_obs::AuditTracer::new());
+        let tracer = audit.clone() as Arc<dyn Tracer>;
+        let stack = CacheLayer::new(
+            RetryLayer::new(
+                FaultLayer::new(&base, 0.2, 11).with_tracer(Arc::clone(&tracer)),
+                2,
+            )
+            .with_tracer(Arc::clone(&tracer)),
+        )
+        .with_tracer(Arc::clone(&tracer));
+        let instances = em_instances(20);
+        let plan = plan_for(&stack, &instances, 2);
+        let exec = Executor::new(ExecutionOptions { workers: 4 }).with_tracer(Arc::clone(&tracer));
+        let _ = exec.run(&stack, &plan);
+        // A second run replays from the shared cache and must stay clean.
+        let _ = exec.run(&stack, &plan);
+        audit.assert_clean();
+        assert_eq!(audit.runs_audited(), 2);
+    }
 }

@@ -13,7 +13,10 @@
 //! [`crate::exec::Executor`], serially or across worker threads per
 //! [`crate::config::PipelineConfig::workers`].
 
+use std::sync::Arc;
+
 use dprep_llm::{ChatModel, UsageTotals};
+use dprep_obs::{MetricsSnapshot, NullTracer, Tracer};
 use dprep_prompt::{ExtractedAnswer, FewShotExample, TaskInstance};
 
 use crate::config::PipelineConfig;
@@ -108,6 +111,10 @@ pub struct RunResult {
     pub usage: UsageTotals,
     /// Request-level counters (dedup, retries, cache hits, faults).
     pub stats: ExecStats,
+    /// Serving metrics for the run: latency/token histograms, failure-kind
+    /// counters, cache/dedup/retry tallies. Aggregated in plan order, so
+    /// identical at any worker count.
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunResult {
@@ -144,12 +151,25 @@ impl RunResult {
 pub struct Preprocessor<'a, M: ChatModel + ?Sized> {
     model: &'a M,
     config: PipelineConfig,
+    tracer: Arc<dyn Tracer>,
 }
 
 impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
     /// Creates a preprocessor over `model` with `config`.
     pub fn new(model: &'a M, config: PipelineConfig) -> Self {
-        Preprocessor { model, config }
+        Preprocessor {
+            model,
+            config,
+            tracer: Arc::new(NullTracer),
+        }
+    }
+
+    /// Streams the executor's request-lifecycle events into `tracer`. Wire
+    /// the same tracer into the model's middleware stack so cache-hit,
+    /// retry-attempt, and fault-injected events correlate by request id.
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The active configuration.
@@ -164,6 +184,7 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
         Executor::new(ExecutionOptions {
             workers: self.config.workers,
         })
+        .with_tracer(Arc::clone(&self.tracer))
         .run(self.model, &plan)
     }
 }
@@ -376,6 +397,9 @@ mod tests {
                 assert_eq!(result.usage.requests, reference.usage.requests);
                 assert!((result.usage.cost_usd - reference.usage.cost_usd).abs() < 1e-15);
                 assert!((result.usage.latency_secs - reference.usage.latency_secs).abs() < 1e-15);
+                // The metrics snapshot aggregates in plan order, so it is
+                // worker-count independent too (histograms included).
+                assert_eq!(result.metrics, reference.metrics, "workers={workers}");
             } else {
                 reference = Some(result);
             }

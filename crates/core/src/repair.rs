@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use dprep_llm::{ChatModel, UsageTotals};
+use dprep_obs::{MetricsSnapshot, NullTracer, Tracer};
 use dprep_prompt::{FewShotExample, Task, TaskInstance};
 use dprep_tabular::{Record, Table, Value};
 
@@ -43,6 +44,8 @@ pub struct RepairOutcome {
     pub usage: UsageTotals,
     /// Combined serving counters of both passes.
     pub stats: crate::exec::ExecStats,
+    /// Combined serving metrics of both passes.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Composes error detection and data imputation into table repair.
@@ -50,6 +53,7 @@ pub struct Repairer<'a, M: ChatModel + ?Sized> {
     model: &'a M,
     detect_config: PipelineConfig,
     impute_config: PipelineConfig,
+    tracer: Arc<dyn Tracer>,
 }
 
 impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
@@ -59,7 +63,15 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
             model,
             detect_config: PipelineConfig::best(Task::ErrorDetection),
             impute_config: PipelineConfig::best(Task::Imputation),
+            tracer: Arc::new(NullTracer),
         }
+    }
+
+    /// Streams both passes' request-lifecycle events into `tracer` (the
+    /// detect run and the impute run appear as two sequential runs).
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Overrides the detection configuration.
@@ -115,10 +127,12 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
                 cells.push((row_idx, attr.clone()));
             }
         }
-        let detector = Preprocessor::new(self.model, self.detect_config.clone());
+        let detector = Preprocessor::new(self.model, self.detect_config.clone())
+            .with_tracer(Arc::clone(&self.tracer));
         let detected = detector.run(&detect_instances, detect_examples);
         let mut usage = detected.usage;
         let mut stats = detected.stats;
+        let mut metrics = detected.metrics;
 
         let flagged: Vec<(usize, String, Option<String>)> = cells
             .iter()
@@ -144,10 +158,12 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
                 attribute: attr.clone(),
             });
         }
-        let imputer = Preprocessor::new(self.model, self.impute_config.clone());
+        let imputer = Preprocessor::new(self.model, self.impute_config.clone())
+            .with_tracer(Arc::clone(&self.tracer));
         let imputed = imputer.run(&impute_instances, impute_examples);
         usage.merge(&imputed.usage);
         stats.merge(&imputed.stats);
+        metrics.merge(&imputed.metrics);
 
         // ── apply ────────────────────────────────────────────────────────
         let mut rows: Vec<Record> = table.rows().to_vec();
@@ -179,6 +195,7 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
             repairs,
             usage,
             stats,
+            metrics,
         }
     }
 }

@@ -9,6 +9,7 @@
 
 use dprep_core::{ComponentSet, PipelineConfig};
 use dprep_llm::ModelProfile;
+use dprep_obs::MetricsSnapshot;
 use dprep_prompt::Task;
 
 use crate::experiments::ExperimentConfig;
@@ -30,6 +31,8 @@ pub struct Row {
     pub cost_usd: f64,
     /// Virtual hours.
     pub hours: f64,
+    /// Serving metrics of the run (request counts, retries, latency).
+    pub metrics: MetricsSnapshot,
 }
 
 /// The full sweep.
@@ -60,6 +63,7 @@ pub fn run(cfg: &ExperimentConfig) -> Table3 {
             tokens_millions: scored.usage.tokens_millions(),
             cost_usd: scored.usage.cost_usd,
             hours: scored.usage.hours(),
+            metrics: scored.metrics,
         });
     }
     Table3 { rows }

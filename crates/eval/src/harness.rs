@@ -8,6 +8,7 @@ use dprep_baselines::{
 use dprep_core::{ExecStats, FailureKind, PipelineConfig, Preprocessor};
 use dprep_datasets::Dataset;
 use dprep_llm::{ModelProfile, SimulatedLlm, UsageTotals};
+use dprep_obs::MetricsSnapshot;
 use dprep_prompt::{Task, TaskInstance};
 
 use crate::metrics::{accuracy_di, f1_yes_no};
@@ -31,6 +32,9 @@ pub struct Scored {
     pub failures: [(FailureKind, usize); 5],
     /// Request-level serving counters (dedup, retries, cache hits, faults).
     pub stats: ExecStats,
+    /// Serving metrics (histograms, per-kind counters; empty for classical
+    /// baselines).
+    pub metrics: MetricsSnapshot,
 }
 
 impl Scored {
@@ -92,6 +96,7 @@ pub fn run_llm_on_dataset(
         failure_rate,
         failures,
         stats: result.stats,
+        metrics: result.metrics,
     }
 }
 

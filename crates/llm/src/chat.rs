@@ -64,6 +64,11 @@ pub struct ChatRequest {
     /// a failed request with a fresh salt resamples the response, exactly
     /// like retrying a real nondeterministic API.
     pub retry_salt: u64,
+    /// Trace correlation id, assigned by the executor so middleware layers
+    /// can tag lifecycle events with the request they concern. `0` means
+    /// "untraced" (a request issued outside any executor). Never part of
+    /// cache or dedup keys — it does not affect the model's output.
+    pub trace_id: u64,
 }
 
 impl ChatRequest {
@@ -75,6 +80,7 @@ impl ChatRequest {
             messages,
             temperature: None,
             retry_salt: 0,
+            trace_id: 0,
         }
     }
 
@@ -87,6 +93,12 @@ impl ChatRequest {
     /// Sets the retry salt (used by the retry middleware).
     pub fn with_retry_salt(mut self, salt: u64) -> Self {
         self.retry_salt = salt;
+        self
+    }
+
+    /// Sets the trace correlation id (used by the executor).
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.trace_id = trace_id;
         self
     }
 
@@ -125,6 +137,16 @@ pub enum FaultKind {
     TruncatedCompletion,
 }
 
+impl FaultKind {
+    /// Stable label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Timeout => "timeout",
+            FaultKind::TruncatedCompletion => "truncated-completion",
+        }
+    }
+}
+
 /// Serving-layer metadata attached to a response by middleware.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResponseMeta {
@@ -134,6 +156,12 @@ pub struct ResponseMeta {
     pub retries: u32,
     /// True when the response was served from the cache layer.
     pub cache_hit: bool,
+    /// Usage of the final attempt alone, recorded by the retry layer before
+    /// it folds failed attempts into the response's accumulated `usage`.
+    /// Context-overflow classification must use this, not the accumulated
+    /// total — a retried request is not a longer prompt. `None` when no
+    /// retry layer is in the stack (the accumulated usage IS the attempt).
+    pub attempt_usage: Option<Usage>,
 }
 
 /// A chat-completion response.

@@ -61,7 +61,8 @@ pub mod usage;
 pub use chat::{ChatModel, ChatRequest, ChatResponse, FaultKind, Message, ResponseMeta, Role};
 pub use knowledge::{Fact, KnowledgeBase};
 pub use middleware::{
-    CacheLayer, CacheStore, FaultLayer, MiddlewareStats, RetryLayer, StatsSnapshot,
+    request_fingerprint, CacheLayer, CacheStore, FaultLayer, MiddlewareStats, RetryLayer,
+    StatsSnapshot,
 };
 pub use model::SimulatedLlm;
 pub use profile::{LatencyModel, ModelProfile, Pricing, TaskSkills};

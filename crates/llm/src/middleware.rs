@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use dprep_obs::{NullTracer, TraceEvent, Tracer};
 use dprep_rng::stable_hash;
 use dprep_text::count_tokens;
 
@@ -88,38 +89,37 @@ pub struct StatsSnapshot {
     pub faults_injected: usize,
 }
 
+/// Counts lines of `text` that start with `prefix` followed by one or more
+/// ASCII digits and a colon — a `Question N:` / `Answer N:` marker. Matching
+/// is anchored to line starts so data values that merely *contain* the
+/// marker text (a paper title quoting "Question 7", say) never count.
+fn count_line_markers(text: &str, prefix: &str) -> usize {
+    text.lines()
+        .filter(|l| {
+            l.trim_start().strip_prefix(prefix).is_some_and(|tail| {
+                let bytes = tail.as_bytes();
+                let digits = bytes.iter().take_while(|b| b.is_ascii_digit()).count();
+                digits > 0 && bytes.get(digits) == Some(&b':')
+            })
+        })
+        .count()
+}
+
 /// Number of `Question N:` slots the request asks about (0 when the prompt
-/// is not in the batch-question format).
+/// is not in the batch-question format). Only line-start `Question N:`
+/// markers count, mirroring [`answered_count`] — a substring inside a data
+/// value must not inflate the expected count and burn the retry budget.
 pub fn expected_answers(request: &ChatRequest) -> usize {
     request
         .messages
         .last()
-        .map(|m| {
-            let mut n = 0;
-            let mut rest = m.content.as_str();
-            while let Some(at) = rest.find("Question ") {
-                let tail = &rest[at + "Question ".len()..];
-                if tail.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-                    n += 1;
-                }
-                rest = tail;
-            }
-            n
-        })
+        .map(|m| count_line_markers(&m.content, "Question "))
         .unwrap_or(0)
 }
 
 /// Number of `Answer N:` markers present in the completion.
 pub fn answered_count(response: &ChatResponse) -> usize {
-    response
-        .text
-        .lines()
-        .filter(|l| {
-            let l = l.trim_start();
-            l.strip_prefix("Answer ")
-                .is_some_and(|tail| tail.chars().next().is_some_and(|c| c.is_ascii_digit()))
-        })
-        .count()
+    count_line_markers(&response.text, "Answer ")
 }
 
 /// Whether a response fully serves its request: no serving-layer fault, and
@@ -130,6 +130,27 @@ pub fn is_complete(request: &ChatRequest, response: &ChatResponse) -> bool {
     }
     let expected = expected_answers(request);
     expected == 0 || answered_count(response) >= expected
+}
+
+/// Stable fingerprint of everything that determines a deterministic model's
+/// response to `request`: model name, **resolved** temperature, retry salt,
+/// and full prompt text.
+///
+/// This is the single definition of request identity shared by plan-time
+/// deduplication (`dprep-core`) and [`CacheLayer`] memoization — resolving
+/// the temperature before hashing means an unset `None` and an explicit
+/// default-valued temperature can never be treated as different requests by
+/// one layer and identical by the other. The trace id is deliberately
+/// excluded: it never affects the model's output.
+pub fn request_fingerprint<M: ChatModel + ?Sized>(model: &M, request: &ChatRequest) -> u64 {
+    let temperature = request.temperature_or(model.default_temperature());
+    let descriptor = format!(
+        "{}|{temperature}|{}|{}",
+        model.name(),
+        request.retry_salt,
+        request.full_text()
+    );
+    stable_hash(0x00ca_c4e0, descriptor.as_bytes())
 }
 
 // ---------------------------------------------------------------------------
@@ -149,6 +170,7 @@ pub struct RetryLayer<M> {
     max_retries: u32,
     backoff_base_secs: f64,
     stats: Arc<MiddlewareStats>,
+    tracer: Arc<dyn Tracer>,
 }
 
 impl<M: ChatModel> RetryLayer<M> {
@@ -159,12 +181,19 @@ impl<M: ChatModel> RetryLayer<M> {
             max_retries,
             backoff_base_secs: 1.0,
             stats: MiddlewareStats::shared(),
+            tracer: Arc::new(NullTracer),
         }
     }
 
     /// Reports into an externally owned counter set.
     pub fn with_stats(mut self, stats: Arc<MiddlewareStats>) -> Self {
         self.stats = stats;
+        self
+    }
+
+    /// Emits a [`TraceEvent::RetryAttempt`] per re-issue into `tracer`.
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -208,10 +237,18 @@ impl<M: ChatModel> ChatModel for RetryLayer<M> {
             attempts += 1;
             self.stats.retries.fetch_add(1, Ordering::Relaxed);
             // Bill the failed attempt and wait out the backoff.
+            let backoff = self.backoff_base_secs * f64::from(1u32 << (attempts - 1));
+            self.tracer.record(&TraceEvent::RetryAttempt {
+                request: request.trace_id,
+                attempt: attempts,
+                prompt_tokens: response.usage.prompt_tokens,
+                completion_tokens: response.usage.completion_tokens,
+                backoff_secs: backoff,
+            });
             total_usage.prompt_tokens += response.usage.prompt_tokens;
             total_usage.completion_tokens += response.usage.completion_tokens;
             total_latency += response.latency_secs;
-            total_latency += self.backoff_base_secs * f64::from(1u32 << (attempts - 1));
+            total_latency += backoff;
 
             let salted = request
                 .clone()
@@ -228,6 +265,10 @@ impl<M: ChatModel> ChatModel for RetryLayer<M> {
             }
         }
 
+        // Record the final attempt's own size before folding failed attempts
+        // into the accumulated usage: context-overflow classification must
+        // compare a single attempt against the window, never the total.
+        response.meta.attempt_usage = Some(response.usage);
         response.usage.prompt_tokens += total_usage.prompt_tokens;
         response.usage.completion_tokens += total_usage.completion_tokens;
         response.latency_secs += total_latency;
@@ -255,6 +296,7 @@ pub struct CacheLayer<M> {
     inner: M,
     store: CacheStore,
     stats: Arc<MiddlewareStats>,
+    tracer: Arc<dyn Tracer>,
 }
 
 impl<M: ChatModel> CacheLayer<M> {
@@ -264,7 +306,14 @@ impl<M: ChatModel> CacheLayer<M> {
             inner,
             store: Arc::new(Mutex::new(HashMap::new())),
             stats: MiddlewareStats::shared(),
+            tracer: Arc::new(NullTracer),
         }
+    }
+
+    /// Emits a [`TraceEvent::CacheHit`] per hit into `tracer`.
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Reuses an existing store (cross-run deduplication).
@@ -301,14 +350,7 @@ impl<M: ChatModel> CacheLayer<M> {
     }
 
     fn key(&self, request: &ChatRequest) -> u64 {
-        let temperature = request.temperature_or(self.inner.default_temperature());
-        let descriptor = format!(
-            "{}|{temperature}|{}|{}",
-            self.inner.name(),
-            request.retry_salt,
-            request.full_text()
-        );
-        stable_hash(0x00ca_c4e0, descriptor.as_bytes())
+        request_fingerprint(&self.inner, request)
     }
 }
 
@@ -333,6 +375,9 @@ impl<M: ChatModel> ChatModel for CacheLayer<M> {
         let key = self.key(request);
         if let Some(hit) = self.store.lock().expect("cache poisoned").get(&key) {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.tracer.record(&TraceEvent::CacheHit {
+                request: request.trace_id,
+            });
             let mut served = hit.clone();
             served.latency_secs = 0.0;
             served.meta.cache_hit = true;
@@ -340,10 +385,16 @@ impl<M: ChatModel> ChatModel for CacheLayer<M> {
         }
         self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
         let response = self.inner.chat(request);
-        self.store
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, response.clone());
+        // Memoize only responses that fully serve their request: a faulted
+        // or incomplete response in a shared cross-run store would otherwise
+        // be replayed as a "hit" forever (cache poisoning). The next run
+        // gets a fresh chance instead.
+        if is_complete(request, &response) {
+            self.store
+                .lock()
+                .expect("cache poisoned")
+                .insert(key, response.clone());
+        }
         response
     }
 }
@@ -368,6 +419,7 @@ pub struct FaultLayer<M> {
     rate: f64,
     seed: u64,
     stats: Arc<MiddlewareStats>,
+    tracer: Arc<dyn Tracer>,
 }
 
 impl<M: ChatModel> FaultLayer<M> {
@@ -378,7 +430,14 @@ impl<M: ChatModel> FaultLayer<M> {
             rate: rate.clamp(0.0, 1.0),
             seed,
             stats: MiddlewareStats::shared(),
+            tracer: Arc::new(NullTracer),
         }
+    }
+
+    /// Emits a [`TraceEvent::FaultInjected`] per fault into `tracer`.
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Reports into an externally owned counter set.
@@ -418,6 +477,15 @@ impl<M: ChatModel> ChatModel for FaultLayer<M> {
             return self.inner.chat(request);
         }
         self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+        let kind = if h & 1 == 0 {
+            FaultKind::Timeout
+        } else {
+            FaultKind::TruncatedCompletion
+        };
+        self.tracer.record(&TraceEvent::FaultInjected {
+            request: request.trace_id,
+            kind: kind.label(),
+        });
         if h & 1 == 0 {
             // Timeout: the prompt was transmitted (and billed) but nothing
             // came back before the deadline.
@@ -715,5 +783,119 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.cache_misses, 1);
+    }
+
+    #[test]
+    fn question_substring_in_data_does_not_inflate_expected_count() {
+        // A data value quoting "Question 2" used to count as a second slot,
+        // driving RetryLayer to burn its whole budget on every batch that
+        // contained the record.
+        let req = ChatRequest::new(vec![
+            Message::system("Answer every question."),
+            Message::user(
+                "Question 1: Does \"Question 42: the ultimate answer\" \
+                 match \"Open Question 7 in algebra\"?\n",
+            ),
+        ]);
+        assert_eq!(expected_answers(&req), 1);
+
+        let model = Scripted::always_complete();
+        let layer = RetryLayer::new(&model, 3);
+        let resp = layer.chat(&req);
+        assert_eq!(model.calls(), 1, "no retry on an adversarial payload");
+        assert_eq!(resp.meta.retries, 0);
+        assert!(is_complete(&req, &resp));
+    }
+
+    #[test]
+    fn marker_counting_requires_line_start_digits_and_colon() {
+        let req = ChatRequest::new(vec![Message::user(
+            "Question 1: ok\n  Question 2: indented ok\nQuestion x: no digit\n\
+             Question 3 no colon\nsee Question 4: mid-line\n",
+        )]);
+        assert_eq!(expected_answers(&req), 2);
+        let resp = ChatResponse::new(
+            "Answer 1: yes\nnoise Answer 2: no\nAnswer 3x: bad\n",
+            Usage::default(),
+            0.1,
+        );
+        assert_eq!(answered_count(&resp), 1);
+    }
+
+    #[test]
+    fn cache_does_not_memoize_faulted_responses() {
+        // rate 1.0: every fresh dispatch faults. A poisoned cache would
+        // replay the fault as a "hit" forever; skipping insertion gives the
+        // next identical request a fresh chance.
+        let model = Scripted::always_complete();
+        let stack = CacheLayer::new(FaultLayer::new(&model, 1.0, 7));
+        let resp = stack.chat(&batch_request(2));
+        assert!(resp.meta.fault.is_some());
+        assert!(stack.is_empty(), "faulted response must not be cached");
+        let again = stack.chat(&batch_request(2));
+        assert!(!again.meta.cache_hit);
+        assert_eq!(stack.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_does_not_memoize_incomplete_responses() {
+        // The model skips the last answer on every salt: incomplete, even
+        // though no fault is set.
+        let model = Scripted::complete_only_on(&[]);
+        let stack = CacheLayer::new(&model);
+        let resp = stack.chat(&batch_request(2));
+        assert!(resp.meta.fault.is_none());
+        assert_eq!(answered_count(&resp), 1);
+        assert!(stack.is_empty(), "incomplete response must not be cached");
+        let _ = stack.chat(&batch_request(2));
+        assert_eq!(model.calls(), 2, "second request re-dispatches");
+    }
+
+    #[test]
+    fn retry_records_final_attempt_usage_separately() {
+        let model = Scripted::complete_only_on(&[2]);
+        let layer = RetryLayer::new(&model, 3);
+        let resp = layer.chat(&batch_request(2));
+        assert_eq!(resp.usage.prompt_tokens, 300, "all attempts billed");
+        let attempt = resp.meta.attempt_usage.expect("retry layer sets it");
+        assert_eq!(attempt.prompt_tokens, 100, "final attempt alone");
+        assert_eq!(attempt.completion_tokens, 20);
+    }
+
+    #[test]
+    fn layers_emit_trace_events_tagged_with_the_request_id() {
+        use dprep_obs::CollectingTracer;
+        let model = Scripted::complete_only_on(&[2]);
+        let tracer = Arc::new(CollectingTracer::new());
+        let stack = CacheLayer::new(
+            RetryLayer::new(&model, 3).with_tracer(tracer.clone() as Arc<dyn Tracer>),
+        )
+        .with_tracer(tracer.clone() as Arc<dyn Tracer>);
+        let req = batch_request(2).with_trace_id(99);
+        let _ = stack.chat(&req);
+        assert_eq!(tracer.count("retry_attempt"), 2);
+        let _ = stack.chat(&req);
+        assert_eq!(tracer.count("cache_hit"), 1);
+        assert!(tracer.events().iter().all(|e| e.request() == Some(99)));
+    }
+
+    #[test]
+    fn fault_layer_emits_fault_events_with_kind_labels() {
+        use dprep_obs::CollectingTracer;
+        let model = Scripted::always_complete();
+        let tracer = Arc::new(CollectingTracer::new());
+        let layer = FaultLayer::new(&model, 1.0, 7).with_tracer(tracer.clone() as Arc<dyn Tracer>);
+        for i in 0..10 {
+            let mut req = batch_request(1);
+            req.messages[1].content.push_str(&format!("v{i}\n"));
+            let _ = layer.chat(&req);
+        }
+        assert_eq!(tracer.count("fault_injected"), 10);
+        for event in tracer.events() {
+            let TraceEvent::FaultInjected { kind, .. } = event else {
+                panic!("unexpected event {event:?}");
+            };
+            assert!(kind == "timeout" || kind == "truncated-completion");
+        }
     }
 }

@@ -1,0 +1,515 @@
+//! Online ledger auditing.
+//!
+//! [`AuditTracer`] replays the serving ledger's invariants against the
+//! event stream as it arrives. A violation means the serving stack's
+//! bookkeeping is wrong (double-billed cache hit, misattributed retry
+//! usage, lost instance) — never that the data is bad.
+//!
+//! ## Invariants
+//!
+//! 1. **Coverage** — every instance is answered or failed:
+//!    `answered + failed == instances`, and the run's self-reported counts
+//!    match the `parsed` / `failed` events actually emitted.
+//! 2. **Completion** — every planned request completes exactly once, and
+//!    nothing completes that was never planned.
+//! 3. **Attempt reconciliation** — for every *fresh* (non-cache-hit)
+//!    request, the accumulated usage equals the sum of its retry attempts
+//!    plus the final attempt:
+//!    `prompt_tokens == Σ retry.prompt_tokens + attempt_prompt_tokens`
+//!    (same for completion tokens), and the retry count equals the number
+//!    of `retry_attempt` events observed.
+//! 4. **Cache hits bill zero** — a cache-hit completion carries zero cost
+//!    and zero latency, and contributes nothing to the run totals.
+//! 5. **Ledger totals** — the `run_finished` billed totals equal the sums
+//!    over fresh completions exactly (integer tokens; cost and latency to
+//!    float tolerance).
+//!
+//! Runs sharing one tracer must be sequential (the executor guarantees
+//! this: events of a run are bracketed by `run_started`/`run_finished`
+//! emitted from the coordinating thread).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+use crate::tracer::Tracer;
+
+/// Absolute tolerance for float sums (cost, latency).
+const EPS: f64 = 1e-6;
+
+#[derive(Debug, Default)]
+struct RequestState {
+    planned: bool,
+    completed: bool,
+    retry_events: u32,
+    retry_prompt_tokens: usize,
+    retry_completion_tokens: usize,
+}
+
+#[derive(Debug, Default)]
+struct RunState {
+    instances: usize,
+    planned_requests: usize,
+    parsed_events: usize,
+    failed_events: usize,
+    fresh_completions: usize,
+    cache_hit_completions: usize,
+    fresh_prompt_tokens: usize,
+    fresh_completion_tokens: usize,
+    fresh_cost_usd: f64,
+    fresh_latency_secs: f64,
+    requests: HashMap<u64, RequestState>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    run: RunState,
+    violations: Vec<String>,
+    runs_finished: usize,
+}
+
+/// A [`Tracer`] that checks the ledger invariants online.
+#[derive(Debug, Default)]
+pub struct AuditTracer {
+    state: Mutex<State>,
+}
+
+impl AuditTracer {
+    /// A fresh auditor with no recorded violations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every violation found so far, in detection order.
+    pub fn violations(&self) -> Vec<String> {
+        self.state.lock().expect("audit lock").violations.clone()
+    }
+
+    /// True when no invariant has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.state.lock().expect("audit lock").violations.is_empty()
+    }
+
+    /// Number of `run_finished` events audited.
+    pub fn runs_audited(&self) -> usize {
+        self.state.lock().expect("audit lock").runs_finished
+    }
+
+    /// Panics with the full violation list unless the ledger is clean.
+    pub fn assert_clean(&self) {
+        let violations = self.violations();
+        assert!(
+            violations.is_empty(),
+            "ledger audit found {} violation(s):\n  {}",
+            violations.len(),
+            violations.join("\n  ")
+        );
+    }
+}
+
+impl Tracer for AuditTracer {
+    #[allow(clippy::too_many_lines)]
+    fn record(&self, event: &TraceEvent) {
+        let mut state = self.state.lock().expect("audit lock");
+        let state = &mut *state;
+        match event {
+            TraceEvent::RunStarted { instances, .. } => {
+                state.run = RunState {
+                    instances: *instances,
+                    ..RunState::default()
+                };
+            }
+            TraceEvent::Planned { request, .. } => {
+                let req = state.run.requests.entry(*request).or_default();
+                if req.planned {
+                    state
+                        .violations
+                        .push(format!("request {request} planned twice"));
+                }
+                req.planned = true;
+                state.run.planned_requests += 1;
+            }
+            TraceEvent::RetryAttempt {
+                request,
+                prompt_tokens,
+                completion_tokens,
+                ..
+            } => {
+                let req = state.run.requests.entry(*request).or_default();
+                req.retry_events += 1;
+                req.retry_prompt_tokens += prompt_tokens;
+                req.retry_completion_tokens += completion_tokens;
+            }
+            TraceEvent::Completed {
+                request,
+                cache_hit,
+                retries,
+                prompt_tokens,
+                completion_tokens,
+                attempt_prompt_tokens,
+                attempt_completion_tokens,
+                cost_usd,
+                latency_secs,
+                ..
+            } => {
+                let req = state.run.requests.entry(*request).or_default();
+                if !req.planned {
+                    state
+                        .violations
+                        .push(format!("request {request} completed but never planned"));
+                } else if req.completed {
+                    state
+                        .violations
+                        .push(format!("request {request} completed twice"));
+                }
+                req.completed = true;
+                if *cache_hit {
+                    state.run.cache_hit_completions += 1;
+                    if *cost_usd != 0.0 {
+                        state.violations.push(format!(
+                            "request {request}: cache hit billed ${cost_usd} (must be $0)"
+                        ));
+                    }
+                    if *latency_secs != 0.0 {
+                        state.violations.push(format!(
+                            "request {request}: cache hit billed {latency_secs}s latency \
+                             (must be 0)"
+                        ));
+                    }
+                } else {
+                    state.run.fresh_completions += 1;
+                    state.run.fresh_prompt_tokens += prompt_tokens;
+                    state.run.fresh_completion_tokens += completion_tokens;
+                    state.run.fresh_cost_usd += cost_usd;
+                    state.run.fresh_latency_secs += latency_secs;
+                    if req.retry_events != *retries {
+                        state.violations.push(format!(
+                            "request {request}: {retries} retries reported but {} \
+                             retry_attempt events observed",
+                            req.retry_events
+                        ));
+                    }
+                    let want_prompt = req.retry_prompt_tokens + attempt_prompt_tokens;
+                    if *prompt_tokens != want_prompt {
+                        state.violations.push(format!(
+                            "request {request}: billed {prompt_tokens} prompt tokens but \
+                             attempts sum to {want_prompt}"
+                        ));
+                    }
+                    let want_completion = req.retry_completion_tokens + attempt_completion_tokens;
+                    if *completion_tokens != want_completion {
+                        state.violations.push(format!(
+                            "request {request}: billed {completion_tokens} completion tokens \
+                             but attempts sum to {want_completion}"
+                        ));
+                    }
+                }
+            }
+            TraceEvent::Parsed { .. } => state.run.parsed_events += 1,
+            TraceEvent::Failed { .. } => state.run.failed_events += 1,
+            TraceEvent::RunFinished {
+                run,
+                instances,
+                answered,
+                failed,
+                requests,
+                fresh_requests,
+                cache_hits,
+                prompt_tokens,
+                completion_tokens,
+                cost_usd,
+                latency_secs,
+            } => {
+                let r = &state.run;
+                let v = &mut state.violations;
+                if answered + failed != *instances {
+                    v.push(format!(
+                        "run {run}: answered {answered} + failed {failed} != \
+                         instances {instances}"
+                    ));
+                }
+                if *instances != r.instances {
+                    v.push(format!(
+                        "run {run}: finished with {instances} instances, started with {}",
+                        r.instances
+                    ));
+                }
+                if *answered != r.parsed_events {
+                    v.push(format!(
+                        "run {run}: reports {answered} answered but {} parsed events",
+                        r.parsed_events
+                    ));
+                }
+                if *failed != r.failed_events {
+                    v.push(format!(
+                        "run {run}: reports {failed} failed but {} failed events",
+                        r.failed_events
+                    ));
+                }
+                if *requests != r.planned_requests {
+                    v.push(format!(
+                        "run {run}: reports {requests} requests but {} planned",
+                        r.planned_requests
+                    ));
+                }
+                if *fresh_requests != r.fresh_completions {
+                    v.push(format!(
+                        "run {run}: reports {fresh_requests} fresh requests but {} \
+                         fresh completions",
+                        r.fresh_completions
+                    ));
+                }
+                if *cache_hits != r.cache_hit_completions {
+                    v.push(format!(
+                        "run {run}: reports {cache_hits} cache hits but {} cache-hit \
+                         completions",
+                        r.cache_hit_completions
+                    ));
+                }
+                if *prompt_tokens != r.fresh_prompt_tokens {
+                    v.push(format!(
+                        "run {run}: bills {prompt_tokens} prompt tokens but fresh \
+                         completions sum to {}",
+                        r.fresh_prompt_tokens
+                    ));
+                }
+                if *completion_tokens != r.fresh_completion_tokens {
+                    v.push(format!(
+                        "run {run}: bills {completion_tokens} completion tokens but fresh \
+                         completions sum to {}",
+                        r.fresh_completion_tokens
+                    ));
+                }
+                if (cost_usd - r.fresh_cost_usd).abs() > EPS {
+                    v.push(format!(
+                        "run {run}: bills ${cost_usd} but fresh completions sum to ${}",
+                        r.fresh_cost_usd
+                    ));
+                }
+                if (latency_secs - r.fresh_latency_secs).abs() > EPS {
+                    v.push(format!(
+                        "run {run}: bills {latency_secs}s latency but fresh completions \
+                         sum to {}s",
+                        r.fresh_latency_secs
+                    ));
+                }
+                for (id, req) in &r.requests {
+                    if req.planned && !req.completed {
+                        v.push(format!(
+                            "run {run}: request {id} planned but never completed"
+                        ));
+                    }
+                }
+                state.runs_finished += 1;
+                state.run = RunState::default();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(request: u64, cache_hit: bool, retries: u32, tokens: usize) -> TraceEvent {
+        TraceEvent::Completed {
+            request,
+            worker: 0,
+            cache_hit,
+            retries,
+            fault: None,
+            prompt_tokens: tokens,
+            completion_tokens: tokens / 10,
+            attempt_prompt_tokens: tokens,
+            attempt_completion_tokens: tokens / 10,
+            cost_usd: if cache_hit { 0.0 } else { 0.25 },
+            latency_secs: if cache_hit { 0.0 } else { 2.0 },
+            vt_start_secs: 0.0,
+            vt_end_secs: 2.0,
+        }
+    }
+
+    fn finished(answered: usize, failed: usize, tokens: usize) -> TraceEvent {
+        TraceEvent::RunFinished {
+            run: 1,
+            instances: answered + failed,
+            answered,
+            failed,
+            requests: 1,
+            fresh_requests: 1,
+            cache_hits: 0,
+            prompt_tokens: tokens,
+            completion_tokens: tokens / 10,
+            cost_usd: 0.25,
+            latency_secs: 2.0,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 2,
+            batches: 1,
+            requests: 1,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 2,
+        });
+        audit.record(&completed(1, false, 0, 100));
+        audit.record(&TraceEvent::Parsed {
+            request: 1,
+            instance: 0,
+        });
+        audit.record(&TraceEvent::Failed {
+            request: 1,
+            instance: 1,
+            kind: "skipped-answer",
+        });
+        audit.record(&finished(1, 1, 100));
+        audit.assert_clean();
+        assert_eq!(audit.runs_audited(), 1);
+    }
+
+    #[test]
+    fn detects_cache_hit_double_billing() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        // A cache hit that was billed fresh cost: the PR-1 bug.
+        let mut hit = completed(1, true, 0, 100);
+        if let TraceEvent::Completed { cost_usd, .. } = &mut hit {
+            *cost_usd = 0.25;
+        }
+        audit.record(&hit);
+        assert!(!audit.is_clean());
+        assert!(audit.violations()[0].contains("cache hit billed"));
+    }
+
+    #[test]
+    fn detects_unreconciled_retry_usage() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&TraceEvent::RetryAttempt {
+            request: 1,
+            attempt: 1,
+            prompt_tokens: 100,
+            completion_tokens: 10,
+            backoff_secs: 1.0,
+        });
+        // Reports 1 retry but bills only the final attempt's tokens:
+        // the accumulated usage does not reconcile.
+        audit.record(&completed(1, false, 1, 100));
+        assert!(!audit.is_clean());
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("attempts sum to 200")));
+    }
+
+    #[test]
+    fn detects_lost_instances_and_unfinished_requests() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 3,
+            batches: 2,
+            requests: 2,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 2,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 2,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&completed(1, false, 0, 100));
+        audit.record(&TraceEvent::Parsed {
+            request: 1,
+            instance: 0,
+        });
+        // Instance 1 and 2 vanish; request 2 never completes.
+        audit.record(&TraceEvent::RunFinished {
+            run: 1,
+            instances: 3,
+            answered: 1,
+            failed: 0,
+            requests: 2,
+            fresh_requests: 1,
+            cache_hits: 0,
+            prompt_tokens: 100,
+            completion_tokens: 10,
+            cost_usd: 0.25,
+            latency_secs: 2.0,
+        });
+        let violations = audit.violations();
+        assert!(violations.iter().any(|v| v.contains("!= instances 3")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("planned but never completed")));
+    }
+
+    #[test]
+    fn sequential_runs_reset_state() {
+        let audit = AuditTracer::new();
+        for run in 1..=2u64 {
+            audit.record(&TraceEvent::RunStarted {
+                run,
+                instances: 1,
+                batches: 1,
+                requests: 1,
+            });
+            audit.record(&TraceEvent::Planned {
+                request: run,
+                batches: 1,
+                instances: 1,
+            });
+            audit.record(&completed(run, false, 0, 100));
+            audit.record(&TraceEvent::Parsed {
+                request: run,
+                instance: 0,
+            });
+            audit.record(&TraceEvent::RunFinished {
+                run,
+                instances: 1,
+                answered: 1,
+                failed: 0,
+                requests: 1,
+                fresh_requests: 1,
+                cache_hits: 0,
+                prompt_tokens: 100,
+                completion_tokens: 10,
+                cost_usd: 0.25,
+                latency_secs: 2.0,
+            });
+        }
+        audit.assert_clean();
+        assert_eq!(audit.runs_audited(), 2);
+    }
+}

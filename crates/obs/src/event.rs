@@ -1,0 +1,212 @@
+//! The request-lifecycle event vocabulary.
+//!
+//! Events are plain data: token counts as `usize`, kinds as `&'static str`
+//! labels (this crate sits below the crates that own the typed enums).
+//! All times are **virtual seconds** from the simulator's latency model.
+//!
+//! A run emits, in causal order:
+//!
+//! ```text
+//! RunStarted
+//!   Planned*        (one per unique request, after dedup)
+//!   Deduped*        (one per batch served by an earlier identical request)
+//!   Dispatched*     (one per unique request, from its worker thread)
+//!     CacheHit | RetryAttempt* | FaultInjected*   (middleware, interleaved)
+//!   Completed*      (one per unique request, in plan order)
+//!   Parsed* / Failed*   (one per instance, in plan order)
+//! RunFinished       (the run's ledger totals)
+//! ```
+
+/// One structured request-lifecycle event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A run began: the plan's shape before any model call.
+    RunStarted {
+        /// Run id (process-wide, from [`crate::next_run_id`]).
+        run: u64,
+        /// Input instances covered by the plan.
+        instances: usize,
+        /// Planned batches (before dedup).
+        batches: usize,
+        /// Unique requests to dispatch (after dedup).
+        requests: usize,
+    },
+    /// A unique request entered the plan.
+    Planned {
+        /// Request id.
+        request: u64,
+        /// Batches this request serves (> 1 when identical batches dedup).
+        batches: usize,
+        /// Instances this request covers across those batches.
+        instances: usize,
+    },
+    /// A batch was served by an earlier identical request (no dispatch).
+    Deduped {
+        /// The request that serves the batch.
+        request: u64,
+        /// Index of the deduplicated batch in plan order.
+        batch: usize,
+    },
+    /// A worker claimed the request; its virtual-time span starts.
+    Dispatched {
+        /// Request id.
+        request: u64,
+        /// Worker index (0-based; 0 for serial runs).
+        worker: usize,
+        /// Virtual-clock start of the request's span on that worker.
+        vt_start_secs: f64,
+    },
+    /// The cache middleware served the request from its store: zero fresh
+    /// tokens were spent.
+    CacheHit {
+        /// Request id (0 when issued outside an executor).
+        request: u64,
+    },
+    /// The retry middleware re-issued the request, billing the failed
+    /// attempt it replaces.
+    RetryAttempt {
+        /// Request id (0 when issued outside an executor).
+        request: u64,
+        /// 1-based attempt counter (1 = first retry).
+        attempt: u32,
+        /// Prompt tokens billed for the failed attempt.
+        prompt_tokens: usize,
+        /// Completion tokens billed for the failed attempt.
+        completion_tokens: usize,
+        /// Exponential backoff added to virtual latency before re-issue.
+        backoff_secs: f64,
+    },
+    /// The fault middleware injected a serving-layer fault.
+    FaultInjected {
+        /// Request id (0 when issued outside an executor).
+        request: u64,
+        /// Fault kind label (`timeout` / `truncated-completion`).
+        kind: &'static str,
+    },
+    /// The executor received the request's final response.
+    Completed {
+        /// Request id.
+        request: u64,
+        /// Worker that served it.
+        worker: usize,
+        /// Served from cache (bills zero fresh tokens).
+        cache_hit: bool,
+        /// Retry attempts folded into this response.
+        retries: u32,
+        /// Fault label carried by the final response, if any.
+        fault: Option<&'static str>,
+        /// Prompt tokens accumulated over every attempt.
+        prompt_tokens: usize,
+        /// Completion tokens accumulated over every attempt.
+        completion_tokens: usize,
+        /// Prompt tokens of the final attempt alone.
+        attempt_prompt_tokens: usize,
+        /// Completion tokens of the final attempt alone.
+        attempt_completion_tokens: usize,
+        /// Dollar cost billed for this request (0 for cache hits).
+        cost_usd: f64,
+        /// Virtual latency including retries and backoff.
+        latency_secs: f64,
+        /// Virtual-clock start of the span on the worker.
+        vt_start_secs: f64,
+        /// Virtual-clock end of the span on the worker.
+        vt_end_secs: f64,
+    },
+    /// An instance's answer parsed out of its batch response.
+    Parsed {
+        /// The request that carried the answer.
+        request: u64,
+        /// Instance index in the input slice.
+        instance: usize,
+    },
+    /// An instance ended with no answer, classified.
+    Failed {
+        /// The request that should have carried the answer.
+        request: u64,
+        /// Instance index in the input slice.
+        instance: usize,
+        /// Failure-kind label (e.g. `skipped-answer`, `context-overflow`).
+        kind: &'static str,
+    },
+    /// The run finished; the ledger the run reported.
+    RunFinished {
+        /// Run id.
+        run: u64,
+        /// Input instances.
+        instances: usize,
+        /// Instances with a parsed answer.
+        answered: usize,
+        /// Instances classified as failed.
+        failed: usize,
+        /// Unique requests in the plan.
+        requests: usize,
+        /// Requests billed fresh (dispatched past the cache).
+        fresh_requests: usize,
+        /// Requests served from cache.
+        cache_hits: usize,
+        /// Billed prompt tokens (fresh attempts only).
+        prompt_tokens: usize,
+        /// Billed completion tokens (fresh attempts only).
+        completion_tokens: usize,
+        /// Billed dollar cost.
+        cost_usd: f64,
+        /// Billed virtual latency (sequential-account, as the paper's
+        /// Table 3 measures).
+        latency_secs: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case name of the event variant (JSONL `"event"` tag).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStarted { .. } => "run_started",
+            TraceEvent::Planned { .. } => "planned",
+            TraceEvent::Deduped { .. } => "deduped",
+            TraceEvent::Dispatched { .. } => "dispatched",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::RetryAttempt { .. } => "retry_attempt",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::Completed { .. } => "completed",
+            TraceEvent::Parsed { .. } => "parsed",
+            TraceEvent::Failed { .. } => "failed",
+            TraceEvent::RunFinished { .. } => "run_finished",
+        }
+    }
+
+    /// The request id the event concerns, when it concerns one.
+    pub fn request(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Planned { request, .. }
+            | TraceEvent::Deduped { request, .. }
+            | TraceEvent::Dispatched { request, .. }
+            | TraceEvent::CacheHit { request }
+            | TraceEvent::RetryAttempt { request, .. }
+            | TraceEvent::FaultInjected { request, .. }
+            | TraceEvent::Completed { request, .. }
+            | TraceEvent::Parsed { request, .. }
+            | TraceEvent::Failed { request, .. } => Some(*request),
+            TraceEvent::RunStarted { .. } | TraceEvent::RunFinished { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let e = TraceEvent::CacheHit { request: 3 };
+        assert_eq!(e.name(), "cache_hit");
+        assert_eq!(e.request(), Some(3));
+        let run = TraceEvent::RunStarted {
+            run: 1,
+            instances: 0,
+            batches: 0,
+            requests: 0,
+        };
+        assert_eq!(run.name(), "run_started");
+        assert_eq!(run.request(), None);
+    }
+}

@@ -1,0 +1,339 @@
+//! JSON-lines trace export.
+//!
+//! [`JsonlTracer`] serializes every event as one flat JSON object per line,
+//! tagged with an `"event"` field holding [`TraceEvent::name`]. The writer
+//! is dependency-free; numbers are emitted as JSON numbers (floats via
+//! `{:?}`, which round-trips f64 exactly).
+
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+use crate::tracer::Tracer;
+
+/// A minimal single-line JSON object writer.
+struct Line {
+    buf: String,
+}
+
+impl Line {
+    fn new(event: &'static str) -> Self {
+        let mut buf = String::with_capacity(128);
+        buf.push_str("{\"event\":\"");
+        buf.push_str(event);
+        buf.push('"');
+        Line { buf }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push(',');
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+    }
+
+    fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    fn usize(&mut self, key: &str, value: usize) -> &mut Self {
+        self.u64(key, value as u64)
+    }
+
+    fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            // `{:?}` prints the shortest representation that round-trips.
+            self.buf.push_str(&format!("{value:?}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        for ch in value.chars() {
+            match ch {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+        self
+    }
+
+    fn opt_str(&mut self, key: &str, value: Option<&str>) -> &mut Self {
+        match value {
+            Some(v) => self.str(key, v),
+            None => {
+                self.key(key);
+                self.buf.push_str("null");
+                self
+            }
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Serializes one event to its JSON line (no trailing newline).
+pub fn event_to_json(event: &TraceEvent) -> String {
+    let mut line = Line::new(event.name());
+    match event {
+        TraceEvent::RunStarted {
+            run,
+            instances,
+            batches,
+            requests,
+        } => {
+            line.u64("run", *run)
+                .usize("instances", *instances)
+                .usize("batches", *batches)
+                .usize("requests", *requests);
+        }
+        TraceEvent::Planned {
+            request,
+            batches,
+            instances,
+        } => {
+            line.u64("request", *request)
+                .usize("batches", *batches)
+                .usize("instances", *instances);
+        }
+        TraceEvent::Deduped { request, batch } => {
+            line.u64("request", *request).usize("batch", *batch);
+        }
+        TraceEvent::Dispatched {
+            request,
+            worker,
+            vt_start_secs,
+        } => {
+            line.u64("request", *request)
+                .usize("worker", *worker)
+                .f64("vt_start_secs", *vt_start_secs);
+        }
+        TraceEvent::CacheHit { request } => {
+            line.u64("request", *request);
+        }
+        TraceEvent::RetryAttempt {
+            request,
+            attempt,
+            prompt_tokens,
+            completion_tokens,
+            backoff_secs,
+        } => {
+            line.u64("request", *request)
+                .u64("attempt", u64::from(*attempt))
+                .usize("prompt_tokens", *prompt_tokens)
+                .usize("completion_tokens", *completion_tokens)
+                .f64("backoff_secs", *backoff_secs);
+        }
+        TraceEvent::FaultInjected { request, kind } => {
+            line.u64("request", *request).str("kind", kind);
+        }
+        TraceEvent::Completed {
+            request,
+            worker,
+            cache_hit,
+            retries,
+            fault,
+            prompt_tokens,
+            completion_tokens,
+            attempt_prompt_tokens,
+            attempt_completion_tokens,
+            cost_usd,
+            latency_secs,
+            vt_start_secs,
+            vt_end_secs,
+        } => {
+            line.u64("request", *request)
+                .usize("worker", *worker)
+                .bool("cache_hit", *cache_hit)
+                .u64("retries", u64::from(*retries))
+                .opt_str("fault", *fault)
+                .usize("prompt_tokens", *prompt_tokens)
+                .usize("completion_tokens", *completion_tokens)
+                .usize("attempt_prompt_tokens", *attempt_prompt_tokens)
+                .usize("attempt_completion_tokens", *attempt_completion_tokens)
+                .f64("cost_usd", *cost_usd)
+                .f64("latency_secs", *latency_secs)
+                .f64("vt_start_secs", *vt_start_secs)
+                .f64("vt_end_secs", *vt_end_secs);
+        }
+        TraceEvent::Parsed { request, instance } => {
+            line.u64("request", *request).usize("instance", *instance);
+        }
+        TraceEvent::Failed {
+            request,
+            instance,
+            kind,
+        } => {
+            line.u64("request", *request)
+                .usize("instance", *instance)
+                .str("kind", kind);
+        }
+        TraceEvent::RunFinished {
+            run,
+            instances,
+            answered,
+            failed,
+            requests,
+            fresh_requests,
+            cache_hits,
+            prompt_tokens,
+            completion_tokens,
+            cost_usd,
+            latency_secs,
+        } => {
+            line.u64("run", *run)
+                .usize("instances", *instances)
+                .usize("answered", *answered)
+                .usize("failed", *failed)
+                .usize("requests", *requests)
+                .usize("fresh_requests", *fresh_requests)
+                .usize("cache_hits", *cache_hits)
+                .usize("prompt_tokens", *prompt_tokens)
+                .usize("completion_tokens", *completion_tokens)
+                .f64("cost_usd", *cost_usd)
+                .f64("latency_secs", *latency_secs);
+        }
+    }
+    line.finish()
+}
+
+/// A [`Tracer`] that buffers one JSON line per event.
+///
+/// Lines are buffered in memory (traces are small: a few hundred bytes per
+/// request) and flushed to disk with [`write_to`](Self::write_to), or read
+/// back with [`lines`](Self::lines) / [`contents`](Self::contents).
+#[derive(Debug, Default)]
+pub struct JsonlTracer {
+    lines: Mutex<Vec<String>>,
+}
+
+impl JsonlTracer {
+    /// An empty exporter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clone of every serialized line, in arrival order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("jsonl lock").clone()
+    }
+
+    /// Number of buffered lines.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("jsonl lock").len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole trace as one newline-terminated string.
+    pub fn contents(&self) -> String {
+        let lines = self.lines.lock().expect("jsonl lock");
+        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the trace to `path`, replacing any existing file.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.contents())
+    }
+}
+
+impl Tracer for JsonlTracer {
+    fn record(&self, event: &TraceEvent) {
+        let line = event_to_json(event);
+        self.lines.lock().expect("jsonl lock").push(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_flat_tagged_objects() {
+        let line = event_to_json(&TraceEvent::Failed {
+            request: 9,
+            instance: 4,
+            kind: "context-overflow",
+        });
+        assert_eq!(
+            line,
+            "{\"event\":\"failed\",\"request\":9,\"instance\":4,\"kind\":\"context-overflow\"}"
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_and_null_fault_serializes() {
+        let line = event_to_json(&TraceEvent::Completed {
+            request: 1,
+            worker: 0,
+            cache_hit: false,
+            retries: 0,
+            fault: None,
+            prompt_tokens: 100,
+            completion_tokens: 10,
+            attempt_prompt_tokens: 100,
+            attempt_completion_tokens: 10,
+            cost_usd: 0.125,
+            latency_secs: 2.5,
+            vt_start_secs: 0.0,
+            vt_end_secs: 2.5,
+        });
+        assert!(line.contains("\"fault\":null"));
+        assert!(line.contains("\"cost_usd\":0.125"));
+        assert!(line.contains("\"cache_hit\":false"));
+    }
+
+    #[test]
+    fn tracer_buffers_lines_and_renders_contents() {
+        let t = JsonlTracer::new();
+        t.record(&TraceEvent::CacheHit { request: 2 });
+        t.record(&TraceEvent::Parsed {
+            request: 2,
+            instance: 0,
+        });
+        assert_eq!(t.len(), 2);
+        let contents = t.contents();
+        assert_eq!(contents.lines().count(), 2);
+        assert!(contents.ends_with('\n'));
+        assert!(t.lines()[0].starts_with("{\"event\":\"cache_hit\""));
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let mut line = Line::new("x");
+        line.str("v", "a\"b\\c\nd\u{1}");
+        let out = line.finish();
+        assert_eq!(out, "{\"event\":\"x\",\"v\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+    }
+}

@@ -1,0 +1,83 @@
+//! # dprep-obs
+//!
+//! The observability substrate for the serving stack: structured
+//! request-lifecycle tracing, metrics aggregation, JSONL trace export, and
+//! an online auditor that proves the token/cost/failure ledger correct.
+//!
+//! The paper's central claim is a cost/quality trade-off, so the
+//! reproduction's accounting must be exactly right. This crate makes the
+//! ledger *observable* and *checkable*:
+//!
+//! * [`event`] — [`TraceEvent`], the request-lifecycle vocabulary: planned,
+//!   deduped, dispatched-on-worker, cache-hit, retry-attempt,
+//!   fault-injected, parsed, failed-with-kind, bracketed by run start/finish
+//!   events carrying the run's totals. Events use **virtual time** (the
+//!   simulator's latency model), not wall clocks, so traces are
+//!   reproducible.
+//! * [`tracer`] — the [`Tracer`] sink trait plus combinators:
+//!   [`NullTracer`] (default, near-zero overhead), [`MultiTracer`]
+//!   (fan-out), [`CollectingTracer`] (in-memory, for tests).
+//! * [`metrics`] — [`MetricsRecorder`], a [`Tracer`] that aggregates
+//!   latency/token histograms and per-failure-kind counters into a
+//!   [`MetricsSnapshot`] with human-readable summaries.
+//! * [`export`] — [`JsonlTracer`], serializing every event as one JSON line
+//!   (dependency-free writer; each line is a flat object tagged `"event"`).
+//! * [`audit`] — [`AuditTracer`], which replays the ledger invariants
+//!   online: every instance is answered or failed, billed tokens equal the
+//!   sum of fresh attempts, and cache hits bill zero fresh tokens. A
+//!   violation is a bug in the serving stack, never in the data.
+//!
+//! The crate is dependency-free (std only) and sits below `dprep-llm` and
+//! `dprep-core` in the workspace DAG: the middleware layers and the
+//! executor emit events, everything above consumes snapshots.
+//!
+//! ## Identity
+//!
+//! Events correlate through `request` ids drawn from a process-wide counter
+//! ([`reserve_request_ids`]) so that several sequential runs (multi-pass
+//! pipelines, shared caches) can share one tracer without collisions. Id 0
+//! means "untraced" (a request issued outside any executor).
+
+pub mod audit;
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod tracer;
+
+pub use audit::AuditTracer;
+pub use event::TraceEvent;
+pub use export::JsonlTracer;
+pub use metrics::{Histogram, MetricsRecorder, MetricsSnapshot};
+pub use tracer::{CollectingTracer, MultiTracer, NullTracer, Tracer};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_RUN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh run id (process-wide, starts at 1).
+pub fn next_run_id() -> u64 {
+    NEXT_RUN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Reserves `count` consecutive request ids and returns the first (ids are
+/// `first .. first + count`). Request id 0 is reserved for "untraced".
+pub fn reserve_request_ids(count: usize) -> u64 {
+    NEXT_REQUEST_ID.fetch_add(count as u64, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_run_id();
+        let b = next_run_id();
+        assert!(a > 0 && b > a);
+        let first = reserve_request_ids(3);
+        let next = reserve_request_ids(1);
+        assert!(first > 0);
+        assert!(next >= first + 3);
+    }
+}

@@ -1,0 +1,439 @@
+//! Metrics aggregation: histograms, counters, and run summaries.
+//!
+//! [`MetricsRecorder`] is a [`Tracer`] that folds the event stream into a
+//! [`MetricsSnapshot`]. Aggregation is commutative (counters and
+//! log2-bucketed histograms), so the snapshot is identical no matter how
+//! worker threads interleave their events — the same determinism contract
+//! the executor gives for predictions and usage.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+use crate::tracer::Tracer;
+
+/// Number of log2 buckets: values up to `2^63` land in a bucket.
+const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds values `v` with `bit_length(v) == i`, i.e. bucket 0 is
+/// exactly `{0}`, bucket 1 is `{1}`, bucket 2 is `{2, 3}`, bucket 3 is
+/// `{4..=7}`, and so on. Merging histograms is element-wise addition, so
+/// aggregation order never matters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `0.0..=1.0`): upper bound of the bucket
+    /// holding the `q`-th sample. Exact for small values, within 2x above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i, clamped to the observed max.
+                let hi = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self` (element-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// Converts virtual seconds to the microsecond ticks histograms store.
+fn micros(secs: f64) -> u64 {
+    (secs * 1e6).round().max(0.0) as u64
+}
+
+/// Immutable aggregate of one or more runs' serving behaviour.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Unique requests completed (fresh + cache hits).
+    pub requests: usize,
+    /// Requests served past the cache (billed).
+    pub fresh_requests: usize,
+    /// Requests served from cache (billed zero fresh tokens).
+    pub cache_hits: usize,
+    /// Batches folded into earlier identical requests at plan time.
+    pub deduped: usize,
+    /// Retry attempts across all fresh requests.
+    pub retries: usize,
+    /// Fresh requests whose final response still carried a fault.
+    pub faulted: usize,
+    /// Instances with a parsed answer.
+    pub answered: usize,
+    /// Instances classified as failed, per failure-kind label.
+    pub failures: BTreeMap<&'static str, usize>,
+    /// Faults injected by the fault middleware, per kind label.
+    pub faults_injected: BTreeMap<&'static str, usize>,
+    /// Billed prompt tokens (fresh attempts only).
+    pub prompt_tokens: usize,
+    /// Billed completion tokens (fresh attempts only).
+    pub completion_tokens: usize,
+    /// Billed dollar cost.
+    pub cost_usd: f64,
+    /// Per-request virtual latency, in microseconds (fresh requests only).
+    pub latency_us: Histogram,
+    /// Per-request prompt tokens (fresh requests only).
+    pub prompt_hist: Histogram,
+    /// Per-request completion tokens (fresh requests only).
+    pub completion_hist: Histogram,
+}
+
+impl MetricsSnapshot {
+    /// Total failed instances across all kinds.
+    pub fn failed(&self) -> usize {
+        self.failures.values().sum()
+    }
+
+    /// Adds every count and sample of `other` into `self`.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.requests += other.requests;
+        self.fresh_requests += other.fresh_requests;
+        self.cache_hits += other.cache_hits;
+        self.deduped += other.deduped;
+        self.retries += other.retries;
+        self.faulted += other.faulted;
+        self.answered += other.answered;
+        for (kind, n) in &other.failures {
+            *self.failures.entry(kind).or_insert(0) += n;
+        }
+        for (kind, n) in &other.faults_injected {
+            *self.faults_injected.entry(kind).or_insert(0) += n;
+        }
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+        self.cost_usd += other.cost_usd;
+        self.latency_us.merge(&other.latency_us);
+        self.prompt_hist.merge(&other.prompt_hist);
+        self.completion_hist.merge(&other.completion_hist);
+    }
+
+    /// One-line digest, for report tables.
+    pub fn brief(&self) -> String {
+        format!(
+            "req {} (fresh {}, cached {}, deduped {}), retries {}, faulted {}, \
+             tokens {}+{}, p50/p99 latency {:.1}/{:.1}s",
+            self.requests,
+            self.fresh_requests,
+            self.cache_hits,
+            self.deduped,
+            self.retries,
+            self.faulted,
+            self.prompt_tokens,
+            self.completion_tokens,
+            self.latency_us.quantile(0.50) as f64 / 1e6,
+            self.latency_us.quantile(0.99) as f64 / 1e6,
+        )
+    }
+
+    /// Multi-line human-readable run summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("serving metrics\n");
+        out.push_str(&format!(
+            "  requests        {} ({} fresh, {} cache hits, {} batches deduped)\n",
+            self.requests, self.fresh_requests, self.cache_hits, self.deduped
+        ));
+        out.push_str(&format!(
+            "  retries         {} attempts, {} requests still faulted\n",
+            self.retries, self.faulted
+        ));
+        out.push_str(&format!(
+            "  instances       {} answered, {} failed\n",
+            self.answered,
+            self.failed()
+        ));
+        for (kind, n) in &self.failures {
+            out.push_str(&format!("    failure {kind:<20} {n}\n"));
+        }
+        for (kind, n) in &self.faults_injected {
+            out.push_str(&format!("    fault-injected {kind:<13} {n}\n"));
+        }
+        out.push_str(&format!(
+            "  tokens billed   {} prompt + {} completion, ${:.4}\n",
+            self.prompt_tokens, self.completion_tokens, self.cost_usd
+        ));
+        if self.latency_us.count() > 0 {
+            out.push_str(&format!(
+                "  latency (virt.) mean {:.2}s  p50 {:.2}s  p99 {:.2}s  max {:.2}s\n",
+                self.latency_us.mean() / 1e6,
+                self.latency_us.quantile(0.50) as f64 / 1e6,
+                self.latency_us.quantile(0.99) as f64 / 1e6,
+                self.latency_us.max() as f64 / 1e6,
+            ));
+        }
+        if self.prompt_hist.count() > 0 {
+            out.push_str(&format!(
+                "  prompt/request  mean {:.0}  max {}\n",
+                self.prompt_hist.mean(),
+                self.prompt_hist.max()
+            ));
+        }
+        out
+    }
+}
+
+/// A [`Tracer`] that folds events into a [`MetricsSnapshot`].
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    snapshot: Mutex<MetricsSnapshot>,
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clone of the aggregate so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot.lock().expect("metrics lock").clone()
+    }
+}
+
+impl Tracer for MetricsRecorder {
+    fn record(&self, event: &TraceEvent) {
+        let mut m = self.snapshot.lock().expect("metrics lock");
+        match event {
+            TraceEvent::Deduped { .. } => m.deduped += 1,
+            TraceEvent::FaultInjected { kind, .. } => {
+                *m.faults_injected.entry(kind).or_insert(0) += 1;
+            }
+            TraceEvent::Completed {
+                cache_hit,
+                retries,
+                fault,
+                prompt_tokens,
+                completion_tokens,
+                cost_usd,
+                latency_secs,
+                ..
+            } => {
+                m.requests += 1;
+                if *cache_hit {
+                    m.cache_hits += 1;
+                } else {
+                    m.fresh_requests += 1;
+                    m.retries += *retries as usize;
+                    m.faulted += usize::from(fault.is_some());
+                    m.prompt_tokens += prompt_tokens;
+                    m.completion_tokens += completion_tokens;
+                    m.cost_usd += cost_usd;
+                    m.latency_us.record(micros(*latency_secs));
+                    m.prompt_hist.record(*prompt_tokens as u64);
+                    m.completion_hist.record(*completion_tokens as u64);
+                }
+            }
+            TraceEvent::Parsed { .. } => m.answered += 1,
+            TraceEvent::Failed { kind, .. } => {
+                *m.failures.entry(kind).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1110);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(1.0) >= 100);
+        assert!(h.quantile(1.0) <= 1023);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [5u64, 17, 256] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 9999] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn recorder_bills_fresh_requests_only() {
+        let rec = MetricsRecorder::new();
+        let fresh = TraceEvent::Completed {
+            request: 1,
+            worker: 0,
+            cache_hit: false,
+            retries: 2,
+            fault: None,
+            prompt_tokens: 300,
+            completion_tokens: 30,
+            attempt_prompt_tokens: 100,
+            attempt_completion_tokens: 10,
+            cost_usd: 0.5,
+            latency_secs: 6.0,
+            vt_start_secs: 0.0,
+            vt_end_secs: 6.0,
+        };
+        let cached = TraceEvent::Completed {
+            request: 2,
+            worker: 0,
+            cache_hit: true,
+            retries: 2,
+            fault: None,
+            prompt_tokens: 300,
+            completion_tokens: 30,
+            attempt_prompt_tokens: 100,
+            attempt_completion_tokens: 10,
+            cost_usd: 0.0,
+            latency_secs: 0.0,
+            vt_start_secs: 6.0,
+            vt_end_secs: 6.0,
+        };
+        rec.record(&fresh);
+        rec.record(&cached);
+        rec.record(&TraceEvent::Parsed {
+            request: 1,
+            instance: 0,
+        });
+        rec.record(&TraceEvent::Failed {
+            request: 1,
+            instance: 1,
+            kind: "skipped-answer",
+        });
+        let m = rec.snapshot();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.fresh_requests, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.retries, 2, "cache replay must not re-count retries");
+        assert_eq!(m.prompt_tokens, 300, "cache hit billed fresh tokens");
+        assert_eq!(m.answered, 1);
+        assert_eq!(m.failed(), 1);
+        assert_eq!(m.failures.get("skipped-answer"), Some(&1));
+        assert!(!m.summary().is_empty());
+        assert!(m.brief().contains("cached 1"));
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative() {
+        let rec = MetricsRecorder::new();
+        rec.record(&TraceEvent::Deduped {
+            request: 1,
+            batch: 2,
+        });
+        let a = rec.snapshot();
+        let rec2 = MetricsRecorder::new();
+        rec2.record(&TraceEvent::Parsed {
+            request: 4,
+            instance: 0,
+        });
+        let b = rec2.snapshot();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.deduped, 1);
+        assert_eq!(ab.answered, 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! The [`Tracer`] sink trait and its combinators.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+
+/// A sink for [`TraceEvent`]s.
+///
+/// Implementations must be thread-safe: the executor's workers and the
+/// middleware layers record events concurrently. Events within one request
+/// arrive in causal order; events of different requests interleave
+/// arbitrarily.
+pub trait Tracer: Send + Sync {
+    /// Records one event. Must not panic on well-formed events.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// The default sink: drops every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Fans every event out to a list of sinks, in order.
+#[derive(Clone, Default)]
+pub struct MultiTracer {
+    sinks: Vec<Arc<dyn Tracer>>,
+}
+
+impl MultiTracer {
+    /// An empty fan-out (equivalent to [`NullTracer`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink to the end of the fan-out list.
+    pub fn push(&mut self, sink: Arc<dyn Tracer>) {
+        self.sinks.push(sink);
+    }
+
+    /// Builder-style [`push`](Self::push).
+    #[must_use]
+    pub fn with(mut self, sink: Arc<dyn Tracer>) -> Self {
+        self.push(sink);
+        self
+    }
+
+    /// Number of sinks in the fan-out.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no sinks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl std::fmt::Debug for MultiTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiTracer")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Tracer for MultiTracer {
+    fn record(&self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
+/// Buffers every event in memory, in arrival order. Intended for tests.
+#[derive(Debug, Default)]
+pub struct CollectingTracer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectingTracer {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clone of every event recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("collector lock").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collector lock").len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events matching a predicate, in arrival order.
+    pub fn filtered(&self, keep: impl Fn(&TraceEvent) -> bool) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("collector lock")
+            .iter()
+            .filter(|e| keep(e))
+            .cloned()
+            .collect()
+    }
+
+    /// Count of events with the given [`TraceEvent::name`].
+    pub fn count(&self, name: &str) -> usize {
+        self.events
+            .lock()
+            .expect("collector lock")
+            .iter()
+            .filter(|e| e.name() == name)
+            .count()
+    }
+}
+
+impl Tracer for CollectingTracer {
+    fn record(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("collector lock")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_tracer_fans_out() {
+        let a = Arc::new(CollectingTracer::new());
+        let b = Arc::new(CollectingTracer::new());
+        let multi = MultiTracer::new()
+            .with(a.clone() as Arc<dyn Tracer>)
+            .with(b.clone() as Arc<dyn Tracer>);
+        assert_eq!(multi.len(), 2);
+        multi.record(&TraceEvent::CacheHit { request: 7 });
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.count("cache_hit"), 1);
+    }
+
+    #[test]
+    fn collector_filters_by_name() {
+        let c = CollectingTracer::new();
+        c.record(&TraceEvent::CacheHit { request: 1 });
+        c.record(&TraceEvent::Parsed {
+            request: 1,
+            instance: 0,
+        });
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.count("parsed"), 1);
+        assert_eq!(c.filtered(|e| e.request() == Some(1)).len(), 2);
+    }
+}

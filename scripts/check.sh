@@ -13,4 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== serving-ledger audit invariants =="
+cargo test -q --test audit_invariants
+cargo test -q -p dprep-core --lib exec::tests::audit_tracer_passes_on_a_faulty_retried_cached_run
+
 echo "All checks passed."

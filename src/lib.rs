@@ -11,6 +11,7 @@
 //! * [`embed`] — embeddings and k-means (cluster batching),
 //! * [`ml`] — classic-ML substrate used by the baselines,
 //! * [`llm`] — the deterministic simulated-LLM substrate,
+//! * [`obs`] — tracing, metrics, and online ledger auditing,
 //! * [`prompt`] — the paper's prompt-engineering framework (§3),
 //! * [`core`] — the end-to-end preprocessing pipeline,
 //! * [`datasets`] — the 12 synthetic benchmark datasets,
@@ -27,6 +28,7 @@ pub use dprep_embed as embed;
 pub use dprep_eval as eval;
 pub use dprep_llm as llm;
 pub use dprep_ml as ml;
+pub use dprep_obs as obs;
 pub use dprep_prompt as prompt;
 pub use dprep_tabular as tabular;
 pub use dprep_text as text;
