@@ -17,7 +17,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let profile = model_profile(flags)?;
     let kb = facts::load(flags)?;
     let serving = serving_from_flags(flags)?;
-    let obs = Observability::from_serving(&serving);
+    let obs = Observability::from_serving(&serving)?;
     let stats = dprep_llm::MiddlewareStats::shared();
     let model = apply_serving(
         build_model(profile, kb, flags.seed()?),

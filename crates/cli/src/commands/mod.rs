@@ -5,6 +5,7 @@ pub mod datasets;
 pub mod detect;
 pub mod impute;
 pub mod match_cmd;
+pub mod report;
 
 use std::sync::Arc;
 
@@ -76,23 +77,38 @@ pub struct Observability {
 impl Observability {
     /// Builds the sinks requested by `serving`. With neither `--trace`
     /// nor `--audit` the composite tracer is an empty no-op fan-out.
-    pub fn from_serving(serving: &Serving) -> Self {
+    ///
+    /// A `--trace FILE` path is probed for writability **up front**, so a
+    /// typo'd directory or a read-only target fails the command before any
+    /// (potentially expensive) model work runs, not after.
+    pub fn from_serving(serving: &Serving) -> Result<Self, String> {
         let mut multi = MultiTracer::new();
-        let jsonl = serving.trace.as_ref().map(|path| {
-            let sink = Arc::new(JsonlTracer::new());
-            multi.push(Arc::clone(&sink) as Arc<dyn Tracer>);
-            (sink, path.clone())
-        });
+        let jsonl = match serving.trace.as_ref() {
+            None => None,
+            Some(path) => {
+                // Open write+create without truncating: an existing trace
+                // survives until the run actually finishes and overwrites it.
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .create(true)
+                    .truncate(false)
+                    .open(path)
+                    .map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
+                let sink = Arc::new(JsonlTracer::new());
+                multi.push(Arc::clone(&sink) as Arc<dyn Tracer>);
+                Some((sink, path.clone()))
+            }
+        };
         let audit = serving.audit.then(|| {
             let sink = Arc::new(AuditTracer::new());
             multi.push(Arc::clone(&sink) as Arc<dyn Tracer>);
             sink
         });
-        Observability {
+        Ok(Observability {
             tracer: Arc::new(multi),
             jsonl,
             audit,
-        }
+        })
     }
 
     /// The composite tracer to hand to middleware layers and executors.

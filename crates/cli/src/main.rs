@@ -23,6 +23,17 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    // `report` takes positional file arguments, which the shared flag
+    // parser rejects, so it dispatches on the raw argv.
+    if command == "report" {
+        return match commands::report::run(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let parsed = match args::parse_flags(rest) {
         Ok(p) => p,
         Err(e) => {
@@ -60,6 +71,8 @@ USAGE:
   dprep clean    --input FILE [--attrs A,B] [--model NAME] [--facts FILE] [--seed N]
   dprep match    --left FILE --right FILE [--blocker ngram|embedding|none]
                  [--model NAME] [--facts FILE] [--seed N]
+  dprep report   FILE [--format text|json|prom]
+  dprep report   --diff BEFORE AFTER
   dprep datasets
 
 SERVING (detect/impute/clean/match):
@@ -71,6 +84,11 @@ OBSERVABILITY (detect/impute/clean/match):
   --trace FILE     write the request-lifecycle event stream as JSON lines
   --metrics on|off print the serving-metrics summary after the run (default off)
   --audit on|off   check ledger invariants online; violations fail the command
+
+REPORT:
+  Reads a --trace JSONL file or a metrics-snapshot JSON file and renders
+  quality, cost breakdown by prompt component, latency quantiles, the
+  failure taxonomy, and the span-tree profile. --diff compares two runs.
 
 MODELS: sim-gpt-4 (default), sim-gpt-3.5, sim-gpt-3, sim-vicuna-13b
 

@@ -24,7 +24,10 @@ use std::sync::{Arc, Mutex};
 
 use dprep_llm::{request_fingerprint, ChatModel, ChatRequest, FaultKind, UsageTotals};
 use dprep_obs::{MetricsRecorder, NullTracer, TraceEvent, Tracer};
-use dprep_prompt::{build_request, make_batches, parse_response, FewShotExample, TaskInstance};
+use dprep_prompt::{
+    build_request, build_request_sections, make_batches, parse_response, FewShotExample,
+    TaskInstance,
+};
 
 use crate::config::PipelineConfig;
 use crate::pipeline::{FailureKind, Prediction, RunResult};
@@ -47,8 +50,16 @@ pub struct PlannedBatch {
 pub struct ExecutionPlan {
     batches: Vec<PlannedBatch>,
     requests: Vec<ChatRequest>,
+    /// Per-request prompt-component token counts, aligned with `requests`
+    /// (attribution order: task-spec, answer-format, cot, few-shot,
+    /// instances).
+    sections: Vec<[usize; 5]>,
     n_instances: usize,
     reasoning: bool,
+    /// Wall-clock seconds spent deciding batch membership and deduplication.
+    plan_wall_secs: f64,
+    /// Wall-clock seconds spent rendering prompts.
+    prompt_build_wall_secs: f64,
 }
 
 impl ExecutionPlan {
@@ -87,12 +98,18 @@ impl ExecutionPlan {
             };
         }
 
+        let plan_started = std::time::Instant::now();
+        let mut prompt_build_wall_secs = 0.0;
         let mut batches = Vec::new();
         let mut requests: Vec<ChatRequest> = Vec::new();
+        let mut sections: Vec<[usize; 5]> = Vec::new();
         let mut seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for batch in make_batches(instances, &strategy, config.seed) {
             let batch_refs: Vec<&TaskInstance> = batch.iter().map(|&i| &instances[i]).collect();
-            let mut request = build_request(&prompt_config, shots, &batch_refs);
+            let build_started = std::time::Instant::now();
+            let (mut request, request_sections) =
+                build_request_sections(&prompt_config, shots, &batch_refs);
+            prompt_build_wall_secs += build_started.elapsed().as_secs_f64();
             if let Some(t) = config.temperature {
                 request = request.with_temperature(t);
             }
@@ -105,6 +122,7 @@ impl ExecutionPlan {
             let key = request_fingerprint(model, &request);
             let request_index = *seen.entry(key).or_insert_with(|| {
                 requests.push(request);
+                sections.push(request_sections.as_array());
                 requests.len() - 1
             });
             batches.push(PlannedBatch {
@@ -116,8 +134,12 @@ impl ExecutionPlan {
         ExecutionPlan {
             batches,
             requests,
+            sections,
             n_instances: instances.len(),
             reasoning: prompt_config.reasoning,
+            plan_wall_secs: (plan_started.elapsed().as_secs_f64() - prompt_build_wall_secs)
+                .max(0.0),
+            prompt_build_wall_secs,
         }
     }
 
@@ -129,6 +151,13 @@ impl ExecutionPlan {
     /// The unique requests the plan dispatches (deduplicated).
     pub fn requests(&self) -> &[ChatRequest] {
         &self.requests
+    }
+
+    /// Per-request prompt-component token counts, aligned with
+    /// [`requests`](Self::requests). Order: task-spec, answer-format, cot,
+    /// few-shot, instances (message framing is the billed remainder).
+    pub fn sections(&self) -> &[[usize; 5]] {
+        &self.sections
     }
 
     /// Batches whose request is served by an earlier identical batch.
@@ -288,8 +317,22 @@ impl Executor {
                 dispatches_seen[batch.request_index] = true;
             }
         }
+        emit(TraceEvent::Stage {
+            run: run_id,
+            stage: "plan",
+            wall_secs: plan.plan_wall_secs,
+            vt_secs: 0.0,
+        });
+        emit(TraceEvent::Stage {
+            run: run_id,
+            stage: "prompt-build",
+            wall_secs: plan.prompt_build_wall_secs,
+            vt_secs: 0.0,
+        });
 
+        let dispatch_started = std::time::Instant::now();
         let dispatched = self.dispatch(model, plan, base_id);
+        let dispatch_wall_secs = dispatch_started.elapsed().as_secs_f64();
 
         let mut predictions =
             vec![Prediction::Failed(FailureKind::SkippedAnswer); plan.n_instances];
@@ -334,9 +377,39 @@ impl Executor {
                 vt_start_secs: d.vt_start_secs,
                 vt_end_secs: d.vt_end_secs,
             });
+            // Attribute every billed prompt token to a prompt component.
+            // Each retry attempt re-bills the same prompt, so the planned
+            // section counts scale by the attempt count; the framing
+            // remainder (role tags, tokenization residue) reconciles the
+            // sum to exactly the billed total. A cache hit billed nothing
+            // fresh and attributes zero everywhere.
+            let attributed = if fresh {
+                let attempts = response.meta.retries as usize + 1;
+                let scaled = plan.sections[i].map(|n| n * attempts);
+                dprep_obs::component::reconcile(scaled, response.usage.prompt_tokens)
+            } else {
+                [0; 6]
+            };
+            emit(TraceEvent::PromptComponents {
+                request: base_id + i as u64,
+                cache_hit: response.meta.cache_hit,
+                task_spec: attributed[0],
+                answer_format: attributed[1],
+                cot: attributed[2],
+                few_shot: attributed[3],
+                instances: attributed[4],
+                framing: attributed[5],
+            });
         }
+        emit(TraceEvent::Stage {
+            run: run_id,
+            stage: "dispatch",
+            wall_secs: dispatch_wall_secs,
+            vt_secs: usage.latency_secs,
+        });
 
         // Predictions: parse each batch's response and classify the misses.
+        let parse_started = std::time::Instant::now();
         let mut answered = 0usize;
         for batch in &plan.batches {
             let d = &dispatched[batch.request_index];
@@ -378,6 +451,13 @@ impl Executor {
                 };
             }
         }
+
+        emit(TraceEvent::Stage {
+            run: run_id,
+            stage: "parse",
+            wall_secs: parse_started.elapsed().as_secs_f64(),
+            vt_secs: 0.0,
+        });
 
         emit(TraceEvent::RunFinished {
             run: run_id,
@@ -745,11 +825,22 @@ mod tests {
         assert_eq!(tracer.count("planned"), plan.requests().len());
         assert_eq!(tracer.count("dispatched"), plan.requests().len());
         assert_eq!(tracer.count("completed"), plan.requests().len());
+        assert_eq!(tracer.count("prompt_components"), plan.requests().len());
+        assert_eq!(
+            tracer.count("stage"),
+            4,
+            "plan, prompt-build, dispatch, parse"
+        );
         assert_eq!(tracer.count("parsed"), 4);
         assert_eq!(tracer.count("failed"), 0);
         assert_eq!(tracer.count("run_finished"), 1);
         assert_eq!(result.metrics.answered, 4);
         assert_eq!(result.metrics.fresh_requests, plan.requests().len());
+        // Every billed prompt token lands in exactly one component.
+        assert_eq!(
+            result.metrics.component_tokens.values().sum::<usize>(),
+            result.metrics.prompt_tokens
+        );
     }
 
     #[test]

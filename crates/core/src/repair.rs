@@ -166,6 +166,7 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
         metrics.merge(&imputed.metrics);
 
         // ── apply ────────────────────────────────────────────────────────
+        let apply_started = std::time::Instant::now();
         let mut rows: Vec<Record> = table.rows().to_vec();
         let mut repairs = Vec::with_capacity(flagged.len());
         for ((row_idx, attr, reason), prediction) in flagged.into_iter().zip(&imputed.predictions) {
@@ -190,6 +191,14 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
         }
         let table =
             Table::from_records(Arc::clone(table.schema()), rows).expect("schema unchanged");
+        // The apply phase runs outside any single executor run; run id 0
+        // marks it as a top-level pipeline stage in the span profile.
+        self.tracer.record(&dprep_obs::TraceEvent::Stage {
+            run: 0,
+            stage: "repair",
+            wall_secs: apply_started.elapsed().as_secs_f64(),
+            vt_secs: 0.0,
+        });
         RepairOutcome {
             table,
             repairs,

@@ -23,6 +23,15 @@
 //! 5. **Ledger totals** — the `run_finished` billed totals equal the sums
 //!    over fresh completions exactly (integer tokens; cost and latency to
 //!    float tolerance).
+//! 6. **Component attribution** — a `prompt_components` event must follow
+//!    its request's completion, arrive at most once per request, and its
+//!    six counts must sum to **exactly** the completion's accumulated
+//!    billed prompt tokens (every billed prompt token belongs to exactly
+//!    one component). A cache hit attributes zero everywhere. When every
+//!    fresh completion in a run was attributed, the per-component totals
+//!    must also sum to the run's billed prompt tokens. Attribution events
+//!    are optional (hand-built traces may omit them); when present they
+//!    must reconcile.
 //!
 //! Runs sharing one tracer must be sequential (the executor guarantees
 //! this: events of a run are bracketed by `run_started`/`run_finished`
@@ -41,6 +50,9 @@ const EPS: f64 = 1e-6;
 struct RequestState {
     planned: bool,
     completed: bool,
+    cache_hit: bool,
+    billed_prompt_tokens: usize,
+    attributed: bool,
     retry_events: u32,
     retry_prompt_tokens: usize,
     retry_completion_tokens: usize,
@@ -58,6 +70,8 @@ struct RunState {
     fresh_completion_tokens: usize,
     fresh_cost_usd: f64,
     fresh_latency_secs: f64,
+    attributed_fresh: usize,
+    attributed_prompt_tokens: usize,
     requests: HashMap<u64, RequestState>,
 }
 
@@ -163,6 +177,8 @@ impl Tracer for AuditTracer {
                         .push(format!("request {request} completed twice"));
                 }
                 req.completed = true;
+                req.cache_hit = *cache_hit;
+                req.billed_prompt_tokens = *prompt_tokens;
                 if *cache_hit {
                     state.run.cache_hit_completions += 1;
                     if *cost_usd != 0.0 {
@@ -202,6 +218,54 @@ impl Tracer for AuditTracer {
                             "request {request}: billed {completion_tokens} completion tokens \
                              but attempts sum to {want_completion}"
                         ));
+                    }
+                }
+            }
+            TraceEvent::PromptComponents {
+                request,
+                cache_hit,
+                task_spec,
+                answer_format,
+                cot,
+                few_shot,
+                instances,
+                framing,
+            } => {
+                let sum = task_spec + answer_format + cot + few_shot + instances + framing;
+                let req = state.run.requests.entry(*request).or_default();
+                if !req.completed {
+                    state.violations.push(format!(
+                        "request {request}: prompt components attributed before completion"
+                    ));
+                } else if req.attributed {
+                    state
+                        .violations
+                        .push(format!("request {request} attributed twice"));
+                } else {
+                    req.attributed = true;
+                    if req.cache_hit != *cache_hit {
+                        state.violations.push(format!(
+                            "request {request}: attribution cache_hit={cache_hit} disagrees \
+                             with its completion"
+                        ));
+                    }
+                    if *cache_hit {
+                        if sum != 0 {
+                            state.violations.push(format!(
+                                "request {request}: cache hit attributes {sum} prompt tokens \
+                                 (must be 0)"
+                            ));
+                        }
+                    } else {
+                        let billed = req.billed_prompt_tokens;
+                        if sum != billed {
+                            state.violations.push(format!(
+                                "request {request}: components sum to {sum} prompt tokens \
+                                 but completion billed {billed}"
+                            ));
+                        }
+                        state.run.attributed_fresh += 1;
+                        state.run.attributed_prompt_tokens += sum;
                     }
                 }
             }
@@ -299,6 +363,19 @@ impl Tracer for AuditTracer {
                             "run {run}: request {id} planned but never completed"
                         ));
                     }
+                }
+                // Run-level attribution total — only meaningful when every
+                // fresh completion was attributed (attribution is optional
+                // per request, exact when present).
+                if r.attributed_fresh == r.fresh_completions
+                    && r.attributed_fresh > 0
+                    && r.attributed_prompt_tokens != *prompt_tokens
+                {
+                    v.push(format!(
+                        "run {run}: components attribute {} prompt tokens but the run \
+                         bills {prompt_tokens}",
+                        r.attributed_prompt_tokens
+                    ));
                 }
                 state.runs_finished += 1;
                 state.run = RunState::default();
@@ -473,6 +550,110 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| v.contains("planned but never completed")));
+    }
+
+    fn components(request: u64, cache_hit: bool, task_spec: usize, framing: usize) -> TraceEvent {
+        TraceEvent::PromptComponents {
+            request,
+            cache_hit,
+            task_spec,
+            answer_format: 0,
+            cot: 0,
+            few_shot: 0,
+            instances: 0,
+            framing,
+        }
+    }
+
+    #[test]
+    fn component_attribution_reconciles_against_billed_prompt_tokens() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&completed(1, false, 0, 100));
+        audit.record(&components(1, false, 60, 40));
+        audit.record(&TraceEvent::Parsed {
+            request: 1,
+            instance: 0,
+        });
+        audit.record(&finished(1, 0, 100));
+        audit.assert_clean();
+    }
+
+    #[test]
+    fn detects_component_sum_mismatch() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&completed(1, false, 0, 100));
+        audit.record(&components(1, false, 60, 30));
+        assert!(!audit.is_clean());
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("components sum to 90")));
+    }
+
+    #[test]
+    fn detects_nonzero_attribution_on_cache_hit_and_double_attribution() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 2,
+            batches: 2,
+            requests: 2,
+        });
+        for request in 1..=2u64 {
+            audit.record(&TraceEvent::Planned {
+                request,
+                batches: 1,
+                instances: 1,
+            });
+        }
+        audit.record(&completed(1, true, 0, 100));
+        audit.record(&components(1, true, 5, 0));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("cache hit attributes 5")));
+        audit.record(&completed(2, false, 0, 100));
+        audit.record(&components(2, false, 60, 40));
+        audit.record(&components(2, false, 60, 40));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("attributed twice")));
+        // Attribution before completion is also flagged.
+        let early = AuditTracer::new();
+        early.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        early.record(&components(9, false, 1, 0));
+        assert!(early
+            .violations()
+            .iter()
+            .any(|v| v.contains("before completion")));
     }
 
     #[test]

@@ -10,12 +10,22 @@
 //! RunStarted
 //!   Planned*        (one per unique request, after dedup)
 //!   Deduped*        (one per batch served by an earlier identical request)
+//!   Stage{plan} Stage{prompt-build}   (planning-phase span totals)
 //!   Dispatched*     (one per unique request, from its worker thread)
 //!     CacheHit | RetryAttempt* | FaultInjected*   (middleware, interleaved)
 //!   Completed*      (one per unique request, in plan order)
+//!   PromptComponents*   (one per completion, right after it, in plan order)
+//!   Stage{dispatch}
 //!   Parsed* / Failed*   (one per instance, in plan order)
+//!   Stage{parse}
 //! RunFinished       (the run's ledger totals)
 //! ```
+//!
+//! `Stage` events carry both the stage's **wall-clock** duration (real
+//! time spent computing, the only non-reproducible field in a trace) and
+//! its **virtual-time** share (billed simulator latency; zero for stages
+//! that never call the model). A `Stage` with `run == 0` is a pipeline
+//! phase outside any single run (e.g. the repairer's apply phase).
 
 /// One structured request-lifecycle event.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +122,52 @@ pub enum TraceEvent {
         /// Virtual-clock end of the span on the worker.
         vt_end_secs: f64,
     },
+    /// Attribution of a completion's billed prompt tokens to prompt
+    /// components. Each billed prompt token belongs to exactly one
+    /// component; the six fields sum to the completion's accumulated
+    /// `prompt_tokens` (each retry attempt re-bills the same prompt, so
+    /// per-section counts are scaled by the attempt count). A cache hit
+    /// bills zero fresh tokens and therefore attributes zero everywhere.
+    PromptComponents {
+        /// Request id.
+        request: u64,
+        /// Served from cache (all component counts are zero).
+        cache_hit: bool,
+        /// Persona + zero-shot task specification + data-type hints.
+        task_spec: usize,
+        /// Contextualization-format and answer-numbering instructions,
+        /// plus the ED confirm-target safeguard.
+        answer_format: usize,
+        /// The chain-of-thought two-line answer instruction (zero when
+        /// reasoning is off).
+        cot: usize,
+        /// Few-shot example questions and answers.
+        few_shot: usize,
+        /// The batched instance questions — contextualized records with
+        /// feature-selected columns.
+        instances: usize,
+        /// Message framing: role tags plus tokenization residue. Computed
+        /// as billed-total minus the tagged sections, so sums reconcile
+        /// exactly.
+        framing: usize,
+    },
+    /// A pipeline stage finished: its aggregate wall-clock and
+    /// virtual-time span.
+    Stage {
+        /// Run id the stage belongs to, or 0 for a pipeline phase outside
+        /// any single run (e.g. the repairer's apply phase).
+        run: u64,
+        /// Stage label: `plan`, `prompt-build`, `dispatch`, `parse`,
+        /// `repair`.
+        stage: &'static str,
+        /// Real time spent, in seconds. The only non-deterministic field
+        /// in a trace; profile folds keep it out of their determinism
+        /// contract.
+        wall_secs: f64,
+        /// Billed virtual latency attributed to the stage (zero for
+        /// stages that never call the model).
+        vt_secs: f64,
+    },
     /// An instance's answer parsed out of its batch response.
     Parsed {
         /// The request that carried the answer.
@@ -168,6 +224,8 @@ impl TraceEvent {
             TraceEvent::RetryAttempt { .. } => "retry_attempt",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::Completed { .. } => "completed",
+            TraceEvent::PromptComponents { .. } => "prompt_components",
+            TraceEvent::Stage { .. } => "stage",
             TraceEvent::Parsed { .. } => "parsed",
             TraceEvent::Failed { .. } => "failed",
             TraceEvent::RunFinished { .. } => "run_finished",
@@ -184,9 +242,12 @@ impl TraceEvent {
             | TraceEvent::RetryAttempt { request, .. }
             | TraceEvent::FaultInjected { request, .. }
             | TraceEvent::Completed { request, .. }
+            | TraceEvent::PromptComponents { request, .. }
             | TraceEvent::Parsed { request, .. }
             | TraceEvent::Failed { request, .. } => Some(*request),
-            TraceEvent::RunStarted { .. } | TraceEvent::RunFinished { .. } => None,
+            TraceEvent::RunStarted { .. }
+            | TraceEvent::Stage { .. }
+            | TraceEvent::RunFinished { .. } => None,
         }
     }
 }

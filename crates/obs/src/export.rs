@@ -8,6 +8,7 @@
 use std::sync::Mutex;
 
 use crate::event::TraceEvent;
+use crate::json::Json;
 use crate::tracer::Tracer;
 
 /// A minimal single-line JSON object writer.
@@ -179,6 +180,36 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 .f64("vt_start_secs", *vt_start_secs)
                 .f64("vt_end_secs", *vt_end_secs);
         }
+        TraceEvent::PromptComponents {
+            request,
+            cache_hit,
+            task_spec,
+            answer_format,
+            cot,
+            few_shot,
+            instances,
+            framing,
+        } => {
+            line.u64("request", *request)
+                .bool("cache_hit", *cache_hit)
+                .usize("task_spec", *task_spec)
+                .usize("answer_format", *answer_format)
+                .usize("cot", *cot)
+                .usize("few_shot", *few_shot)
+                .usize("instances", *instances)
+                .usize("framing", *framing);
+        }
+        TraceEvent::Stage {
+            run,
+            stage,
+            wall_secs,
+            vt_secs,
+        } => {
+            line.u64("run", *run)
+                .str("stage", stage)
+                .f64("wall_secs", *wall_secs)
+                .f64("vt_secs", *vt_secs);
+        }
         TraceEvent::Parsed { request, instance } => {
             line.u64("request", *request).usize("instance", *instance);
         }
@@ -218,6 +249,155 @@ pub fn event_to_json(event: &TraceEvent) -> String {
         }
     }
     line.finish()
+}
+
+/// Parses one JSONL trace line (or an already-parsed [`Json`] object)
+/// back into the [`TraceEvent`] it serializes. The inverse of
+/// [`event_to_json`]: `event_from_json(&Json::parse(&event_to_json(e))?)`
+/// reproduces `e` exactly (string kinds are interned through
+/// [`crate::component::intern_label`]).
+pub fn event_from_json(value: &Json) -> Result<TraceEvent, String> {
+    let kind = value
+        .get("event")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "object has no \"event\" tag".to_string())?;
+    let u = |key: &str| -> Result<u64, String> {
+        value
+            .get(key)
+            .and_then(Json::as_usize)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("{kind}: missing integer field {key:?}"))
+    };
+    let us = |key: &str| -> Result<usize, String> { u(key).map(|v| v as usize) };
+    let f = |key: &str| -> Result<f64, String> {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{kind}: missing number field {key:?}"))
+    };
+    let s = |key: &str| -> Result<&'static str, String> {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(crate::component::intern_label)
+            .ok_or_else(|| format!("{kind}: missing string field {key:?}"))
+    };
+    let b = |key: &str| -> Result<bool, String> {
+        match value.get(key) {
+            Some(Json::Bool(v)) => Ok(*v),
+            _ => Err(format!("{kind}: missing bool field {key:?}")),
+        }
+    };
+    match kind {
+        "run_started" => Ok(TraceEvent::RunStarted {
+            run: u("run")?,
+            instances: us("instances")?,
+            batches: us("batches")?,
+            requests: us("requests")?,
+        }),
+        "planned" => Ok(TraceEvent::Planned {
+            request: u("request")?,
+            batches: us("batches")?,
+            instances: us("instances")?,
+        }),
+        "deduped" => Ok(TraceEvent::Deduped {
+            request: u("request")?,
+            batch: us("batch")?,
+        }),
+        "dispatched" => Ok(TraceEvent::Dispatched {
+            request: u("request")?,
+            worker: us("worker")?,
+            vt_start_secs: f("vt_start_secs")?,
+        }),
+        "cache_hit" => Ok(TraceEvent::CacheHit {
+            request: u("request")?,
+        }),
+        "retry_attempt" => Ok(TraceEvent::RetryAttempt {
+            request: u("request")?,
+            attempt: u("attempt")? as u32,
+            prompt_tokens: us("prompt_tokens")?,
+            completion_tokens: us("completion_tokens")?,
+            backoff_secs: f("backoff_secs")?,
+        }),
+        "fault_injected" => Ok(TraceEvent::FaultInjected {
+            request: u("request")?,
+            kind: s("kind")?,
+        }),
+        "completed" => Ok(TraceEvent::Completed {
+            request: u("request")?,
+            worker: us("worker")?,
+            cache_hit: b("cache_hit")?,
+            retries: u("retries")? as u32,
+            fault: match value.get("fault") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(crate::component::intern_label(
+                    v.as_str().ok_or("completed: fault is not a string")?,
+                )),
+            },
+            prompt_tokens: us("prompt_tokens")?,
+            completion_tokens: us("completion_tokens")?,
+            attempt_prompt_tokens: us("attempt_prompt_tokens")?,
+            attempt_completion_tokens: us("attempt_completion_tokens")?,
+            cost_usd: f("cost_usd")?,
+            latency_secs: f("latency_secs")?,
+            vt_start_secs: f("vt_start_secs")?,
+            vt_end_secs: f("vt_end_secs")?,
+        }),
+        "prompt_components" => Ok(TraceEvent::PromptComponents {
+            request: u("request")?,
+            cache_hit: b("cache_hit")?,
+            task_spec: us("task_spec")?,
+            answer_format: us("answer_format")?,
+            cot: us("cot")?,
+            few_shot: us("few_shot")?,
+            instances: us("instances")?,
+            framing: us("framing")?,
+        }),
+        "stage" => Ok(TraceEvent::Stage {
+            run: u("run")?,
+            stage: s("stage")?,
+            wall_secs: f("wall_secs")?,
+            vt_secs: f("vt_secs")?,
+        }),
+        "parsed" => Ok(TraceEvent::Parsed {
+            request: u("request")?,
+            instance: us("instance")?,
+        }),
+        "failed" => Ok(TraceEvent::Failed {
+            request: u("request")?,
+            instance: us("instance")?,
+            kind: s("kind")?,
+        }),
+        "run_finished" => Ok(TraceEvent::RunFinished {
+            run: u("run")?,
+            instances: us("instances")?,
+            answered: us("answered")?,
+            failed: us("failed")?,
+            requests: us("requests")?,
+            fresh_requests: us("fresh_requests")?,
+            cache_hits: us("cache_hits")?,
+            prompt_tokens: us("prompt_tokens")?,
+            completion_tokens: us("completion_tokens")?,
+            cost_usd: f("cost_usd")?,
+            latency_secs: f("latency_secs")?,
+        }),
+        other => Err(format!("unknown event kind {other:?}")),
+    }
+}
+
+/// Parses a whole JSONL trace (one event object per non-empty line) back
+/// into events, reporting the first malformed line with its 1-based line
+/// number.
+pub fn parse_trace(contents: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in contents.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        events.push(event_from_json(&value).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    Ok(events)
 }
 
 /// A [`Tracer`] that buffers one JSON line per event.
@@ -335,5 +515,113 @@ mod tests {
         line.str("v", "a\"b\\c\nd\u{1}");
         let out = line.finish();
         assert_eq!(out, "{\"event\":\"x\",\"v\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl() {
+        let events = vec![
+            TraceEvent::RunStarted {
+                run: 7,
+                instances: 12,
+                batches: 3,
+                requests: 2,
+            },
+            TraceEvent::Planned {
+                request: 701,
+                batches: 2,
+                instances: 8,
+            },
+            TraceEvent::Deduped {
+                request: 701,
+                batch: 1,
+            },
+            TraceEvent::Stage {
+                run: 7,
+                stage: "plan",
+                wall_secs: 0.001,
+                vt_secs: 0.0,
+            },
+            TraceEvent::Dispatched {
+                request: 701,
+                worker: 3,
+                vt_start_secs: 0.5,
+            },
+            TraceEvent::CacheHit { request: 701 },
+            TraceEvent::RetryAttempt {
+                request: 702,
+                attempt: 1,
+                prompt_tokens: 40,
+                completion_tokens: 4,
+                backoff_secs: 1.0,
+            },
+            TraceEvent::FaultInjected {
+                request: 702,
+                kind: "timeout",
+            },
+            TraceEvent::Completed {
+                request: 702,
+                worker: 0,
+                cache_hit: false,
+                retries: 1,
+                fault: Some("timeout"),
+                prompt_tokens: 80,
+                completion_tokens: 8,
+                attempt_prompt_tokens: 40,
+                attempt_completion_tokens: 4,
+                cost_usd: 0.003,
+                latency_secs: 4.5,
+                vt_start_secs: 0.5,
+                vt_end_secs: 5.0,
+            },
+            TraceEvent::PromptComponents {
+                request: 702,
+                cache_hit: false,
+                task_spec: 20,
+                answer_format: 14,
+                cot: 0,
+                few_shot: 16,
+                instances: 22,
+                framing: 8,
+            },
+            TraceEvent::Parsed {
+                request: 702,
+                instance: 0,
+            },
+            TraceEvent::Failed {
+                request: 702,
+                instance: 1,
+                kind: "skipped-answer",
+            },
+            TraceEvent::RunFinished {
+                run: 7,
+                instances: 12,
+                answered: 11,
+                failed: 1,
+                requests: 2,
+                fresh_requests: 1,
+                cache_hits: 1,
+                prompt_tokens: 80,
+                completion_tokens: 8,
+                cost_usd: 0.003,
+                latency_secs: 4.5,
+            },
+        ];
+        let trace: String = events
+            .iter()
+            .map(|e| event_to_json(e) + "\n")
+            .collect::<String>()
+            + "\n"; // blank lines are tolerated
+        let parsed = parse_trace(&trace).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn parser_reports_line_numbers() {
+        let err = parse_trace("{\"event\":\"cache_hit\",\"request\":1}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = parse_trace("{\"event\":\"mystery\"}\n").unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
+        let err = parse_trace("{\"event\":\"cache_hit\"}\n").unwrap_err();
+        assert!(err.contains("missing integer field"), "{err}");
     }
 }

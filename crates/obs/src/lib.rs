@@ -21,10 +21,23 @@
 //!   latency/token histograms and per-failure-kind counters into a
 //!   [`MetricsSnapshot`] with human-readable summaries.
 //! * [`export`] — [`JsonlTracer`], serializing every event as one JSON line
-//!   (dependency-free writer; each line is a flat object tagged `"event"`).
+//!   (dependency-free writer; each line is a flat object tagged `"event"`),
+//!   plus the inverse: [`export::parse_trace`] reads a JSONL trace back
+//!   into events.
+//! * [`span`] — [`SpanProfile`], a deterministic flame-style fold of a
+//!   trace into a span tree (run → stage → request → retry/fault) that
+//!   merges bit-identically at any worker count.
+//! * [`component`] — the prompt-component vocabulary for per-token cost
+//!   attribution (task-spec, answer-format, cot, few-shot, instances,
+//!   framing).
+//! * [`report`] — [`RunReport`]: renders a trace or snapshot as text,
+//!   JSON, or Prometheus exposition, and diffs two runs deterministically.
+//! * [`json`] — the workspace's dependency-free JSON reader/writer
+//!   (re-exported by `dprep-llm` for its transcript format).
 //! * [`audit`] — [`AuditTracer`], which replays the ledger invariants
 //!   online: every instance is answered or failed, billed tokens equal the
-//!   sum of fresh attempts, and cache hits bill zero fresh tokens. A
+//!   sum of fresh attempts, cache hits bill zero fresh tokens, and prompt
+//!   component attributions sum to exactly the billed prompt tokens. A
 //!   violation is a bug in the serving stack, never in the data.
 //!
 //! The crate is dependency-free (std only) and sits below `dprep-llm` and
@@ -39,15 +52,22 @@
 //! means "untraced" (a request issued outside any executor).
 
 pub mod audit;
+pub mod component;
 pub mod event;
 pub mod export;
+pub mod json;
 pub mod metrics;
+pub mod report;
+pub mod span;
 pub mod tracer;
 
 pub use audit::AuditTracer;
 pub use event::TraceEvent;
-pub use export::JsonlTracer;
+pub use export::{parse_trace, JsonlTracer};
+pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsRecorder, MetricsSnapshot};
+pub use report::{ReportFormat, RunReport};
+pub use span::{SpanProfile, SpanProfileBuilder, SpanStat};
 pub use tracer::{CollectingTracer, MultiTracer, NullTracer, Tracer};
 
 use std::sync::atomic::{AtomicU64, Ordering};

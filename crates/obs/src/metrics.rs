@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use crate::event::TraceEvent;
+use crate::json::Json;
 use crate::tracer::Tracer;
 
 /// Number of log2 buckets: values up to `2^63` land in a bucket.
@@ -94,23 +95,49 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile (`q` in `0.0..=1.0`): upper bound of the bucket
-    /// holding the `q`-th sample. Exact for small values, within 2x above.
+    /// Approximate quantile (`q` in `0.0..=1.0`): **upper bound** of the
+    /// bucket holding the `q`-th sample. Exact for small values, within 2x
+    /// above.
+    ///
+    /// **Bias**: because the estimate is the bucket's upper bound, low
+    /// quantiles on skewed data are systematically *overstated* — a p50
+    /// sitting anywhere in bucket `{4..=7}` reports 7. Report paths should
+    /// prefer [`quantile_midpoint`](Self::quantile_midpoint), which halves
+    /// the worst-case error by answering from the bucket's middle.
     pub fn quantile(&self, q: f64) -> u64 {
+        let (_, hi) = self.quantile_bucket(q);
+        hi.min(self.max)
+    }
+
+    /// Approximate quantile answered from the **midpoint** of the bucket
+    /// holding the `q`-th sample, clamped to the observed min/max. Less
+    /// biased than [`quantile`](Self::quantile) (which always answers the
+    /// bucket's upper bound); this is the estimator the report path uses.
+    pub fn quantile_midpoint(&self, q: f64) -> u64 {
+        let (lo, hi) = self.quantile_bucket(q);
+        ((lo + hi) / 2).clamp(self.min(), self.max)
+    }
+
+    /// `(lower, upper)` bounds of the bucket holding the `q`-th sample
+    /// (`(0, 0)` when empty).
+    fn quantile_bucket(&self, q: f64) -> (u64, u64) {
         if self.count == 0 {
-            return 0;
+            return (0, 0);
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                // Upper bound of bucket i, clamped to the observed max.
-                let hi = if i == 0 { 0 } else { (1u64 << i) - 1 };
-                return hi.min(self.max);
+                // Bucket i holds values with bit_length i.
+                return if i == 0 {
+                    (0, 0)
+                } else {
+                    (1u64 << (i - 1), (1u64 << i) - 1)
+                };
             }
         }
-        self.max
+        (self.max, self.max)
     }
 
     /// Adds every sample of `other` into `self` (element-wise).
@@ -124,6 +151,51 @@ impl Histogram {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
+    }
+
+    /// Serializes the histogram as a JSON object (sparse `[index, count]`
+    /// bucket pairs). Counts above 2^53 would lose precision through the
+    /// JSON number type; serving histograms never get near that.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| Json::Arr(vec![Json::Num(i as f64), Json::Num(n as f64)]))
+            .collect();
+        Json::Obj(vec![
+            ("count".into(), Json::Num(self.count as f64)),
+            ("sum".into(), Json::Num(self.sum as f64)),
+            ("min".into(), Json::Num(self.min() as f64)),
+            ("max".into(), Json::Num(self.max as f64)),
+            ("buckets".into(), Json::Arr(buckets)),
+        ])
+    }
+
+    /// Parses a histogram serialized by [`to_json`](Self::to_json).
+    pub fn from_json(value: &Json) -> Option<Histogram> {
+        let count = value.get("count")?.as_usize()? as u64;
+        let mut h = Histogram {
+            count,
+            sum: value.get("sum")?.as_usize()? as u64,
+            min: if count == 0 {
+                u64::MAX
+            } else {
+                value.get("min")?.as_usize()? as u64
+            },
+            max: value.get("max")?.as_usize()? as u64,
+            ..Histogram::default()
+        };
+        for pair in value.get("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            let index = pair.first()?.as_usize()?;
+            if index >= BUCKETS {
+                return None;
+            }
+            h.buckets[index] = pair.get(1)?.as_usize()? as u64;
+        }
+        Some(h)
     }
 }
 
@@ -157,6 +229,11 @@ pub struct MetricsSnapshot {
     pub prompt_tokens: usize,
     /// Billed completion tokens (fresh attempts only).
     pub completion_tokens: usize,
+    /// Billed prompt tokens attributed per prompt component (from
+    /// `prompt_components` events; empty when the producer does not
+    /// attribute). Values sum to `prompt_tokens` when every fresh
+    /// completion was attributed.
+    pub component_tokens: BTreeMap<&'static str, usize>,
     /// Billed dollar cost.
     pub cost_usd: f64,
     /// Per-request virtual latency, in microseconds (fresh requests only).
@@ -171,6 +248,91 @@ impl MetricsSnapshot {
     /// Total failed instances across all kinds.
     pub fn failed(&self) -> usize {
         self.failures.values().sum()
+    }
+
+    /// Rebuilds a snapshot by replaying `events` through a
+    /// [`MetricsRecorder`] — the exact fold a live run performs, so a
+    /// trace parsed back from JSONL reproduces the live snapshot
+    /// bit-identically.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> MetricsSnapshot {
+        let recorder = MetricsRecorder::new();
+        for event in events {
+            recorder.record(event);
+        }
+        recorder.snapshot()
+    }
+
+    /// Serializes the snapshot as a tagged JSON object (histograms
+    /// included), so a snapshot file can feed `dprep report` or a bench
+    /// baseline and round-trip through [`from_json`](Self::from_json).
+    pub fn to_json(&self) -> Json {
+        let map = |m: &BTreeMap<&'static str, usize>| {
+            Json::Obj(
+                m.iter()
+                    .map(|(k, v)| ((*k).to_string(), Json::Num(*v as f64)))
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("metrics_snapshot".into(), Json::Num(1.0)),
+            ("requests".into(), Json::Num(self.requests as f64)),
+            (
+                "fresh_requests".into(),
+                Json::Num(self.fresh_requests as f64),
+            ),
+            ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
+            ("deduped".into(), Json::Num(self.deduped as f64)),
+            ("retries".into(), Json::Num(self.retries as f64)),
+            ("faulted".into(), Json::Num(self.faulted as f64)),
+            ("answered".into(), Json::Num(self.answered as f64)),
+            ("failures".into(), map(&self.failures)),
+            ("faults_injected".into(), map(&self.faults_injected)),
+            ("prompt_tokens".into(), Json::Num(self.prompt_tokens as f64)),
+            (
+                "completion_tokens".into(),
+                Json::Num(self.completion_tokens as f64),
+            ),
+            ("component_tokens".into(), map(&self.component_tokens)),
+            ("cost_usd".into(), Json::Num(self.cost_usd)),
+            ("latency_us".into(), self.latency_us.to_json()),
+            ("prompt_hist".into(), self.prompt_hist.to_json()),
+            ("completion_hist".into(), self.completion_hist.to_json()),
+        ])
+    }
+
+    /// Parses a snapshot serialized by [`to_json`](Self::to_json).
+    /// Returns `None` when `value` is not a tagged snapshot object.
+    /// String keys are interned through [`crate::component::intern_label`].
+    pub fn from_json(value: &Json) -> Option<MetricsSnapshot> {
+        value.get("metrics_snapshot")?;
+        let map = |key: &str| -> Option<BTreeMap<&'static str, usize>> {
+            let Json::Obj(fields) = value.get(key)? else {
+                return None;
+            };
+            let mut out = BTreeMap::new();
+            for (k, v) in fields {
+                *out.entry(crate::component::intern_label(k)).or_insert(0) += v.as_usize()?;
+            }
+            Some(out)
+        };
+        Some(MetricsSnapshot {
+            requests: value.get("requests")?.as_usize()?,
+            fresh_requests: value.get("fresh_requests")?.as_usize()?,
+            cache_hits: value.get("cache_hits")?.as_usize()?,
+            deduped: value.get("deduped")?.as_usize()?,
+            retries: value.get("retries")?.as_usize()?,
+            faulted: value.get("faulted")?.as_usize()?,
+            answered: value.get("answered")?.as_usize()?,
+            failures: map("failures")?,
+            faults_injected: map("faults_injected")?,
+            prompt_tokens: value.get("prompt_tokens")?.as_usize()?,
+            completion_tokens: value.get("completion_tokens")?.as_usize()?,
+            component_tokens: map("component_tokens")?,
+            cost_usd: value.get("cost_usd")?.as_f64()?,
+            latency_us: Histogram::from_json(value.get("latency_us")?)?,
+            prompt_hist: Histogram::from_json(value.get("prompt_hist")?)?,
+            completion_hist: Histogram::from_json(value.get("completion_hist")?)?,
+        })
     }
 
     /// Adds every count and sample of `other` into `self`.
@@ -190,17 +352,21 @@ impl MetricsSnapshot {
         }
         self.prompt_tokens += other.prompt_tokens;
         self.completion_tokens += other.completion_tokens;
+        for (component, n) in &other.component_tokens {
+            *self.component_tokens.entry(component).or_insert(0) += n;
+        }
         self.cost_usd += other.cost_usd;
         self.latency_us.merge(&other.latency_us);
         self.prompt_hist.merge(&other.prompt_hist);
         self.completion_hist.merge(&other.completion_hist);
     }
 
-    /// One-line digest, for report tables.
+    /// One-line digest, for report tables. Quantiles use the midpoint
+    /// estimator ([`Histogram::quantile_midpoint`]).
     pub fn brief(&self) -> String {
         format!(
             "req {} (fresh {}, cached {}, deduped {}), retries {}, faulted {}, \
-             tokens {}+{}, p50/p99 latency {:.1}/{:.1}s",
+             tokens {}+{}, p50/p90/p99 latency {:.1}/{:.1}/{:.1}s",
             self.requests,
             self.fresh_requests,
             self.cache_hits,
@@ -209,8 +375,9 @@ impl MetricsSnapshot {
             self.faulted,
             self.prompt_tokens,
             self.completion_tokens,
-            self.latency_us.quantile(0.50) as f64 / 1e6,
-            self.latency_us.quantile(0.99) as f64 / 1e6,
+            self.latency_us.quantile_midpoint(0.50) as f64 / 1e6,
+            self.latency_us.quantile_midpoint(0.90) as f64 / 1e6,
+            self.latency_us.quantile_midpoint(0.99) as f64 / 1e6,
         )
     }
 
@@ -241,12 +408,25 @@ impl MetricsSnapshot {
             "  tokens billed   {} prompt + {} completion, ${:.4}\n",
             self.prompt_tokens, self.completion_tokens, self.cost_usd
         ));
+        for (component, n) in &self.component_tokens {
+            let share = if self.prompt_tokens > 0 {
+                100.0 * *n as f64 / self.prompt_tokens as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "    component {component:<17} {n:>8} ({share:.1}%)\n"
+            ));
+        }
         if self.latency_us.count() > 0 {
             out.push_str(&format!(
-                "  latency (virt.) mean {:.2}s  p50 {:.2}s  p99 {:.2}s  max {:.2}s\n",
+                "  latency (virt.) mean {:.2}s  p50 {:.2}s  p90 {:.2}s  p95 {:.2}s  \
+                 p99 {:.2}s  max {:.2}s\n",
                 self.latency_us.mean() / 1e6,
-                self.latency_us.quantile(0.50) as f64 / 1e6,
-                self.latency_us.quantile(0.99) as f64 / 1e6,
+                self.latency_us.quantile_midpoint(0.50) as f64 / 1e6,
+                self.latency_us.quantile_midpoint(0.90) as f64 / 1e6,
+                self.latency_us.quantile_midpoint(0.95) as f64 / 1e6,
+                self.latency_us.quantile_midpoint(0.99) as f64 / 1e6,
                 self.latency_us.max() as f64 / 1e6,
             ));
         }
@@ -310,6 +490,30 @@ impl Tracer for MetricsRecorder {
                     m.latency_us.record(micros(*latency_secs));
                     m.prompt_hist.record(*prompt_tokens as u64);
                     m.completion_hist.record(*completion_tokens as u64);
+                }
+            }
+            TraceEvent::PromptComponents {
+                task_spec,
+                answer_format,
+                cot,
+                few_shot,
+                instances,
+                framing,
+                ..
+            } => {
+                // Cache hits attribute zero everywhere, so folding their
+                // all-zero events is a no-op by construction.
+                for (component, n) in [
+                    (crate::component::TASK_SPEC, task_spec),
+                    (crate::component::ANSWER_FORMAT, answer_format),
+                    (crate::component::COT, cot),
+                    (crate::component::FEW_SHOT, few_shot),
+                    (crate::component::INSTANCES, instances),
+                    (crate::component::FRAMING, framing),
+                ] {
+                    if *n > 0 {
+                        *m.component_tokens.entry(component).or_insert(0) += n;
+                    }
                 }
             }
             TraceEvent::Parsed { .. } => m.answered += 1,
@@ -435,5 +639,69 @@ mod tests {
         assert_eq!(ab, ba);
         assert_eq!(ab.deduped, 1);
         assert_eq!(ab.answered, 1);
+    }
+
+    #[test]
+    fn midpoint_quantile_sits_at_or_below_the_upper_bound() {
+        let mut h = Histogram::new();
+        // Heavily skewed: most mass in bucket {4..=7}.
+        for v in [4u64, 4, 5, 5, 6, 7, 900] {
+            h.record(v);
+        }
+        let p50_upper = h.quantile(0.50);
+        let p50_mid = h.quantile_midpoint(0.50);
+        assert_eq!(p50_upper, 7, "upper-bound estimator answers bucket hi");
+        assert_eq!(p50_mid, 5, "midpoint halves the bias");
+        assert!(p50_mid <= p50_upper);
+        // Quantiles clamp to the observed range.
+        assert!(h.quantile_midpoint(1.0) <= h.max());
+        assert!(h.quantile_midpoint(0.0) >= h.min());
+        assert_eq!(Histogram::new().quantile_midpoint(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_and_snapshot_round_trip_through_json() {
+        let rec = MetricsRecorder::new();
+        rec.record(&TraceEvent::Completed {
+            request: 1,
+            worker: 0,
+            cache_hit: false,
+            retries: 1,
+            fault: Some("timeout"),
+            prompt_tokens: 200,
+            completion_tokens: 20,
+            attempt_prompt_tokens: 100,
+            attempt_completion_tokens: 10,
+            cost_usd: 0.125,
+            latency_secs: 3.5,
+            vt_start_secs: 0.0,
+            vt_end_secs: 3.5,
+        });
+        rec.record(&TraceEvent::PromptComponents {
+            request: 1,
+            cache_hit: false,
+            task_spec: 80,
+            answer_format: 40,
+            cot: 30,
+            few_shot: 0,
+            instances: 44,
+            framing: 6,
+        });
+        rec.record(&TraceEvent::Failed {
+            request: 1,
+            instance: 0,
+            kind: "skipped-answer",
+        });
+        let live = rec.snapshot();
+        assert_eq!(live.component_tokens.values().sum::<usize>(), 200);
+        let text = live.to_json().to_json();
+        let parsed = crate::json::Json::parse(&text).expect("valid JSON");
+        let rebuilt = MetricsSnapshot::from_json(&parsed).expect("tagged snapshot");
+        assert_eq!(rebuilt, live);
+        // A non-snapshot object is rejected, not misparsed.
+        assert_eq!(
+            MetricsSnapshot::from_json(&crate::json::Json::Obj(vec![])),
+            None
+        );
     }
 }

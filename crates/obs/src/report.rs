@@ -1,0 +1,450 @@
+//! Run reports: render a trace or metrics snapshot as text, JSON, or
+//! Prometheus text exposition, and diff two runs deterministically.
+//!
+//! This is the library behind the `dprep report` subcommand. Input is
+//! either a JSONL trace (rebuilt into a [`MetricsSnapshot`] and a
+//! [`SpanProfile`] by replaying the events — the exact fold a live run
+//! performs) or a snapshot JSON file written by
+//! [`MetricsSnapshot::to_json`]. All renderers are pure functions of
+//! their inputs, so two reports over the same files are byte-identical.
+
+use std::fmt::Write as _;
+
+use crate::export::parse_trace;
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanProfile;
+
+/// Output format for a rendered report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Human-readable text (default).
+    Text,
+    /// One JSON object (metrics + span profile).
+    Json,
+    /// Prometheus text exposition format.
+    Prom,
+}
+
+impl ReportFormat {
+    /// Parses a `--format` flag value.
+    pub fn parse(name: &str) -> Result<ReportFormat, String> {
+        match name {
+            "text" => Ok(ReportFormat::Text),
+            "json" => Ok(ReportFormat::Json),
+            "prom" => Ok(ReportFormat::Prom),
+            other => Err(format!(
+                "unknown format {other:?} (expected text, json, or prom)"
+            )),
+        }
+    }
+}
+
+/// One run's aggregate, loaded from a trace or a snapshot file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The metrics aggregate.
+    pub metrics: MetricsSnapshot,
+    /// The span-tree profile; empty when loaded from a snapshot file
+    /// (snapshots carry no span data).
+    pub profile: SpanProfile,
+}
+
+impl RunReport {
+    /// Builds a report from file contents, auto-detecting the format:
+    /// a JSONL trace (lines tagged `"event"`) or a metrics snapshot
+    /// (one object tagged `"metrics_snapshot"`).
+    pub fn from_contents(contents: &str) -> Result<RunReport, String> {
+        let first = contents
+            .lines()
+            .find(|l| !l.trim().is_empty())
+            .ok_or_else(|| "input is empty".to_string())?;
+        let probe = Json::parse(first).map_err(|e| format!("input is not JSON: {e}"))?;
+        if probe.get("metrics_snapshot").is_some() {
+            let metrics = MetricsSnapshot::from_json(&probe)
+                .ok_or_else(|| "malformed metrics snapshot".to_string())?;
+            return Ok(RunReport {
+                metrics,
+                profile: SpanProfile::new(),
+            });
+        }
+        if probe.get("event").is_some() {
+            let events = parse_trace(contents)?;
+            return Ok(RunReport {
+                metrics: MetricsSnapshot::from_events(&events),
+                profile: SpanProfile::from_events(&events),
+            });
+        }
+        Err(
+            "input is neither a JSONL trace (\"event\" tag) nor a metrics \
+             snapshot (\"metrics_snapshot\" tag)"
+                .to_string(),
+        )
+    }
+
+    /// Renders the report in `format`.
+    pub fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Text => self.render_text(),
+            ReportFormat::Json => self.render_json(),
+            ReportFormat::Prom => self.render_prom(),
+        }
+    }
+
+    /// The human-readable report: quality, cost breakdown, latency
+    /// percentiles, failure taxonomy, and the span profile when present.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("dprep run report\n\n");
+        let m = &self.metrics;
+        let instances = m.answered + m.failed();
+        let answer_rate = if instances > 0 {
+            100.0 * m.answered as f64 / instances as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "quality: {} / {} instances answered ({answer_rate:.1}%)",
+            m.answered, instances
+        );
+        out.push('\n');
+        out.push_str(&m.summary());
+        if !self.profile.is_empty() {
+            out.push('\n');
+            out.push_str("span profile\n");
+            out.push_str(&self.profile.render());
+        }
+        out
+    }
+
+    /// The report as one JSON object (`metrics` + `span_profile`).
+    pub fn render_json(&self) -> String {
+        Json::Obj(vec![
+            ("metrics".into(), self.metrics.to_json()),
+            ("span_profile".into(), self.profile.to_json()),
+        ])
+        .to_json()
+    }
+
+    /// Prometheus text exposition of the report's counters, gauges, and
+    /// latency quantiles.
+    pub fn render_prom(&self) -> String {
+        let m = &self.metrics;
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", Json::Num(value).to_json());
+        };
+        counter(
+            "dprep_requests_total",
+            "Unique requests completed (fresh + cache hits).",
+            m.requests as f64,
+        );
+        counter(
+            "dprep_fresh_requests_total",
+            "Requests billed past the cache.",
+            m.fresh_requests as f64,
+        );
+        counter(
+            "dprep_cache_hits_total",
+            "Requests served from cache.",
+            m.cache_hits as f64,
+        );
+        counter(
+            "dprep_deduped_batches_total",
+            "Batches folded into earlier identical requests.",
+            m.deduped as f64,
+        );
+        counter(
+            "dprep_retries_total",
+            "Retry attempts across all fresh requests.",
+            m.retries as f64,
+        );
+        counter(
+            "dprep_answered_total",
+            "Instances with a parsed answer.",
+            m.answered as f64,
+        );
+        counter(
+            "dprep_prompt_tokens_total",
+            "Billed prompt tokens.",
+            m.prompt_tokens as f64,
+        );
+        counter(
+            "dprep_completion_tokens_total",
+            "Billed completion tokens.",
+            m.completion_tokens as f64,
+        );
+        counter("dprep_cost_usd_total", "Billed dollar cost.", m.cost_usd);
+        let _ = writeln!(out, "# HELP dprep_failures_total Failed instances by kind.");
+        let _ = writeln!(out, "# TYPE dprep_failures_total counter");
+        for (kind, n) in &m.failures {
+            let _ = writeln!(out, "dprep_failures_total{{kind=\"{kind}\"}} {n}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP dprep_faults_injected_total Injected serving faults by kind."
+        );
+        let _ = writeln!(out, "# TYPE dprep_faults_injected_total counter");
+        for (kind, n) in &m.faults_injected {
+            let _ = writeln!(out, "dprep_faults_injected_total{{kind=\"{kind}\"}} {n}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP dprep_component_prompt_tokens_total Billed prompt tokens by \
+             prompt component."
+        );
+        let _ = writeln!(out, "# TYPE dprep_component_prompt_tokens_total counter");
+        for (component, n) in &m.component_tokens {
+            let _ = writeln!(
+                out,
+                "dprep_component_prompt_tokens_total{{component=\"{component}\"}} {n}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP dprep_request_latency_seconds Per-request virtual latency."
+        );
+        let _ = writeln!(out, "# TYPE dprep_request_latency_seconds summary");
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.95, "0.95"), (0.99, "0.99")] {
+            let _ = writeln!(
+                out,
+                "dprep_request_latency_seconds{{quantile=\"{label}\"}} {}",
+                Json::Num(m.latency_us.quantile_midpoint(q) as f64 / 1e6).to_json()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "dprep_request_latency_seconds_sum {}",
+            Json::Num(m.latency_us.sum() as f64 / 1e6).to_json()
+        );
+        let _ = writeln!(
+            out,
+            "dprep_request_latency_seconds_count {}",
+            m.latency_us.count()
+        );
+        out
+    }
+
+    /// Renders a deterministic A-vs-B comparison of two reports.
+    ///
+    /// Scalar rows show `A`, `B`, and the delta; map rows (failures,
+    /// components) union both key sets in sorted order, so swapping the
+    /// inputs only swaps the columns.
+    pub fn render_diff(&self, other: &RunReport) -> String {
+        let a = &self.metrics;
+        let b = &other.metrics;
+        let mut out = String::new();
+        out.push_str("dprep run diff (A -> B)\n\n");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>14} {:>14}",
+            "metric", "A", "B", "delta"
+        );
+        let mut row = |name: &str, va: f64, vb: f64| {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14} {:>14} {:>+14}",
+                name,
+                trim_num(va),
+                trim_num(vb),
+                DiffNum(vb - va)
+            );
+        };
+        row("requests", a.requests as f64, b.requests as f64);
+        row(
+            "fresh requests",
+            a.fresh_requests as f64,
+            b.fresh_requests as f64,
+        );
+        row("cache hits", a.cache_hits as f64, b.cache_hits as f64);
+        row("deduped batches", a.deduped as f64, b.deduped as f64);
+        row("retries", a.retries as f64, b.retries as f64);
+        row("faulted", a.faulted as f64, b.faulted as f64);
+        row("answered", a.answered as f64, b.answered as f64);
+        row("failed", a.failed() as f64, b.failed() as f64);
+        row(
+            "prompt tokens",
+            a.prompt_tokens as f64,
+            b.prompt_tokens as f64,
+        );
+        row(
+            "completion tokens",
+            a.completion_tokens as f64,
+            b.completion_tokens as f64,
+        );
+        row("cost ($)", a.cost_usd, b.cost_usd);
+        for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+            row(
+                &format!("latency {label} (s)"),
+                a.latency_us.quantile_midpoint(q) as f64 / 1e6,
+                b.latency_us.quantile_midpoint(q) as f64 / 1e6,
+            );
+        }
+        let maps: [(&str, &std::collections::BTreeMap<&'static str, usize>, _); 3] = [
+            ("failure", &a.failures, &b.failures),
+            ("fault-injected", &a.faults_injected, &b.faults_injected),
+            ("component", &a.component_tokens, &b.component_tokens),
+        ];
+        for (prefix, ma, mb) in maps {
+            let keys: std::collections::BTreeSet<&&str> = ma.keys().chain(mb.keys()).collect();
+            for key in keys {
+                let va = *ma.get(*key).unwrap_or(&0) as f64;
+                let vb = *mb.get(*key).unwrap_or(&0) as f64;
+                row(&format!("{prefix} {key}"), va, vb);
+            }
+        }
+        out
+    }
+}
+
+/// Formats a float with no trailing zeros (integers render bare).
+fn trim_num(v: f64) -> String {
+    Json::Num(v).to_json()
+}
+
+/// A signed delta that renders integers bare and floats trimmed.
+struct DiffNum(f64);
+
+impl std::fmt::Display for DiffNum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = if self.0 >= 0.0 {
+            format!("+{}", trim_num(self.0))
+        } else {
+            trim_num(self.0)
+        };
+        f.pad(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::export::event_to_json;
+
+    fn sample_trace() -> String {
+        let events = [
+            TraceEvent::RunStarted {
+                run: 1,
+                instances: 2,
+                batches: 1,
+                requests: 1,
+            },
+            TraceEvent::Planned {
+                request: 1,
+                batches: 1,
+                instances: 2,
+            },
+            TraceEvent::Completed {
+                request: 1,
+                worker: 0,
+                cache_hit: false,
+                retries: 0,
+                fault: None,
+                prompt_tokens: 100,
+                completion_tokens: 10,
+                attempt_prompt_tokens: 100,
+                attempt_completion_tokens: 10,
+                cost_usd: 0.25,
+                latency_secs: 2.0,
+                vt_start_secs: 0.0,
+                vt_end_secs: 2.0,
+            },
+            TraceEvent::PromptComponents {
+                request: 1,
+                cache_hit: false,
+                task_spec: 40,
+                answer_format: 20,
+                cot: 0,
+                few_shot: 0,
+                instances: 30,
+                framing: 10,
+            },
+            TraceEvent::Parsed {
+                request: 1,
+                instance: 0,
+            },
+            TraceEvent::Failed {
+                request: 1,
+                instance: 1,
+                kind: "skipped-answer",
+            },
+            TraceEvent::RunFinished {
+                run: 1,
+                instances: 2,
+                answered: 1,
+                failed: 1,
+                requests: 1,
+                fresh_requests: 1,
+                cache_hits: 0,
+                prompt_tokens: 100,
+                completion_tokens: 10,
+                cost_usd: 0.25,
+                latency_secs: 2.0,
+            },
+        ];
+        events.iter().map(|e| event_to_json(e) + "\n").collect()
+    }
+
+    #[test]
+    fn detects_trace_and_snapshot_inputs() {
+        let trace = sample_trace();
+        let from_trace = RunReport::from_contents(&trace).unwrap();
+        assert_eq!(from_trace.metrics.prompt_tokens, 100);
+        assert!(!from_trace.profile.is_empty());
+        // A snapshot file yields the same metrics but no profile.
+        let snapshot = from_trace.metrics.to_json().to_json();
+        let from_snapshot = RunReport::from_contents(&snapshot).unwrap();
+        assert_eq!(from_snapshot.metrics, from_trace.metrics);
+        assert!(from_snapshot.profile.is_empty());
+        // Garbage is rejected with a clear message.
+        assert!(RunReport::from_contents("").is_err());
+        assert!(RunReport::from_contents("{\"x\":1}")
+            .unwrap_err()
+            .contains("neither"));
+    }
+
+    #[test]
+    fn renders_are_deterministic_and_cover_the_components() {
+        let report = RunReport::from_contents(&sample_trace()).unwrap();
+        let text = report.render(ReportFormat::Text);
+        assert_eq!(text, report.render(ReportFormat::Text));
+        assert!(text.contains("1 / 2 instances answered (50.0%)"), "{text}");
+        assert!(text.contains("component task-spec"), "{text}");
+        assert!(text.contains("span profile"), "{text}");
+        let json = report.render(ReportFormat::Json);
+        let parsed = Json::parse(&json).unwrap();
+        assert!(parsed.get("metrics").is_some());
+        assert!(parsed.get("span_profile").is_some());
+        let prom = report.render(ReportFormat::Prom);
+        assert!(prom.contains("dprep_prompt_tokens_total 100"), "{prom}");
+        assert!(
+            prom.contains("dprep_component_prompt_tokens_total{component=\"task-spec\"} 40"),
+            "{prom}"
+        );
+        assert!(prom.contains("dprep_failures_total{kind=\"skipped-answer\"} 1"));
+        assert!(prom.contains("quantile=\"0.99\""));
+        assert!(ReportFormat::parse("yaml").is_err());
+    }
+
+    #[test]
+    fn diff_lists_scalars_and_unioned_map_keys() {
+        let a = RunReport::from_contents(&sample_trace()).unwrap();
+        let mut b = a.clone();
+        b.metrics.prompt_tokens += 50;
+        *b.metrics
+            .component_tokens
+            .entry(crate::component::FEW_SHOT)
+            .or_insert(0) += 50;
+        let diff = a.render_diff(&b);
+        assert!(diff.contains("prompt tokens"), "{diff}");
+        assert!(diff.contains("+50"), "{diff}");
+        // few-shot only exists in B; the union still lists it.
+        assert!(diff.contains("component few-shot"), "{diff}");
+        // Deterministic output.
+        assert_eq!(diff, a.render_diff(&b));
+    }
+}

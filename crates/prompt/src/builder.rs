@@ -1,10 +1,11 @@
 //! Assembles complete chat requests from the framework's components.
 
 use dprep_llm::{ChatRequest, Message};
+use dprep_text::count_tokens;
 
 use crate::fewshot::{render_examples, FewShotExample};
 use crate::task::{Task, TaskInstance};
-use crate::template::{system_message, TemplateOptions};
+use crate::template::{system_sections, TemplateOptions};
 
 /// Configuration of one prompt — the component switches of the paper's
 /// Table 2 plus feature selection.
@@ -48,6 +49,40 @@ impl PromptConfig {
     }
 }
 
+/// Token counts of a built request's prompt components, for cost
+/// attribution (the five tagged sections; message framing — role tags and
+/// tokenization residue — is whatever the billed total leaves over).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PromptSections {
+    /// Persona + task specification + data-type hint.
+    pub task_spec: usize,
+    /// Contextualization-format / answer-numbering instructions and
+    /// safeguards.
+    pub answer_format: usize,
+    /// The chain-of-thought answer instruction (zero when reasoning is
+    /// off).
+    pub cot: usize,
+    /// Few-shot example questions and answers.
+    pub few_shot: usize,
+    /// The batched instance questions (contextualized, feature-selected).
+    pub instances: usize,
+}
+
+impl PromptSections {
+    /// The five counts in attribution order (task-spec, answer-format,
+    /// cot, few-shot, instances) — the shape the executor reconciles
+    /// against the billed total.
+    pub fn as_array(&self) -> [usize; 5] {
+        [
+            self.task_spec,
+            self.answer_format,
+            self.cot,
+            self.few_shot,
+            self.instances,
+        ]
+    }
+}
+
 /// Builds the chat request for one batch of instances.
 ///
 /// Message layout (matching §3's framework figure):
@@ -64,6 +99,23 @@ pub fn build_request(
     examples: &[FewShotExample],
     batch: &[&TaskInstance],
 ) -> ChatRequest {
+    build_request_sections(config, examples, batch).0
+}
+
+/// Builds the chat request together with its per-component token counts
+/// ([`PromptSections`]). The request is byte-identical to
+/// [`build_request`]; the counts tag each message's content with the
+/// component it belongs to, so an executor can attribute every billed
+/// prompt token.
+///
+/// # Panics
+/// Panics when `batch` is empty or an instance's task differs from
+/// `config.task`.
+pub fn build_request_sections(
+    config: &PromptConfig,
+    examples: &[FewShotExample],
+    batch: &[&TaskInstance],
+) -> (ChatRequest, PromptSections) {
     assert!(!batch.is_empty(), "cannot build a prompt with no instances");
     assert!(
         batch.iter().all(|i| i.task() == config.task),
@@ -75,13 +127,21 @@ pub fn build_request(
         confirm_target: config.confirm_target,
         type_hint: config.type_hint.clone(),
     };
-    let mut messages = vec![Message::system(system_message(config.task, &options))];
+    let system = system_sections(config.task, &options);
+    let mut sections = PromptSections {
+        task_spec: system.task_spec_tokens,
+        answer_format: system.answer_format_tokens,
+        cot: system.cot_tokens,
+        ..PromptSections::default()
+    };
+    let mut messages = vec![Message::system(system.text)];
 
     if let Some((user, assistant)) = render_examples(
         examples,
         config.reasoning,
         config.feature_indices.as_deref(),
     ) {
+        sections.few_shot = count_tokens(&user.content) + count_tokens(&assistant.content);
         messages.push(user);
         messages.push(assistant);
     }
@@ -94,9 +154,10 @@ pub fn build_request(
             instance.question_text(config.feature_indices.as_deref())
         ));
     }
+    sections.instances = count_tokens(&body);
     messages.push(Message::user(body));
 
-    ChatRequest::new(messages)
+    (ChatRequest::new(messages), sections)
 }
 
 #[cfg(test)]
@@ -193,6 +254,33 @@ mod tests {
         let c = comprehend(&req);
         assert_eq!(c.task, Some(TaskKind::SchemaMatching));
         assert_eq!(c.questions[0].instances.len(), 2);
+    }
+
+    #[test]
+    fn sections_partition_the_prompt_within_the_billed_total() {
+        let config = PromptConfig::best(Task::Imputation);
+        let examples = vec![FewShotExample::new(
+            di_instance(false),
+            "The 770 area code points to Marietta.",
+            "marietta",
+        )];
+        let inst = di_instance(true);
+        let (req, sections) = build_request_sections(&config, &examples, &[&inst, &inst]);
+        assert_eq!(req, build_request(&config, &examples, &[&inst, &inst]));
+        assert!(sections.task_spec > 0);
+        assert!(sections.cot > 0, "reasoning is on");
+        assert!(sections.few_shot > 0);
+        assert!(sections.instances > 0);
+        // The tagged sections never exceed what the model bills for the
+        // full request text: the remainder is message framing (role tags).
+        let billed = dprep_text::count_tokens(&req.full_text());
+        let tagged: usize = sections.as_array().iter().sum();
+        assert!(
+            tagged <= billed,
+            "tagged {tagged} tokens exceed billed {billed}"
+        );
+        // Framing is small: two tokens per message tag plus residue.
+        assert!(billed - tagged <= 4 * req.messages.len());
     }
 
     #[test]

@@ -11,10 +11,38 @@
 //! keywords, `"attr"` quoting, the literal word "reason", the phrase
 //! "confirm the target attribute"). Keep the phrasing stable.
 
+use dprep_text::count_tokens;
+
 use crate::task::Task;
 
 /// The persona line every prompt starts with.
 pub const PERSONA: &str = "You are a database engineer.";
+
+/// The system message together with per-component token counts, for cost
+/// attribution: which fraction of every billed prompt went to the task
+/// specification, the answer-format scaffolding, and the chain-of-thought
+/// instruction.
+///
+/// The counts are additive: each section is a block of newline-terminated
+/// lines and the tokenizer never merges across a newline, so
+/// `task_spec_tokens + answer_format_tokens + cot_tokens ==
+/// count_tokens(&text)` exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemSections {
+    /// The full system-message text (byte-identical to
+    /// [`system_message`]).
+    pub text: String,
+    /// Tokens in the persona, the task specification, and the data-type
+    /// hint.
+    pub task_spec_tokens: usize,
+    /// Tokens in the contextualization-format / answer-numbering
+    /// instructions, the plain answer format (when reasoning is off), and
+    /// the ED confirm-target safeguard.
+    pub answer_format_tokens: usize,
+    /// Tokens in the chain-of-thought answer instruction (zero when
+    /// reasoning is off).
+    pub cot_tokens: usize,
+}
 
 /// Options controlling the zero-shot instruction.
 #[derive(Debug, Clone, Default)]
@@ -61,38 +89,76 @@ fn answer_specification(task: Task) -> &'static str {
 
 /// Builds the full system-message text for a task.
 pub fn system_message(task: Task, options: &TemplateOptions) -> String {
-    let mut out = String::new();
-    out.push_str(PERSONA);
-    out.push('\n');
-    out.push_str(&task_specification(task));
-    out.push('\n');
-    out.push_str(
+    system_sections(task, options).text
+}
+
+/// Builds the system message with its per-component token counts. The
+/// `text` field is byte-identical to [`system_message`]; the counts tag
+/// each line block with the component it belongs to.
+pub fn system_sections(task: Task, options: &TemplateOptions) -> SystemSections {
+    let mut text = String::new();
+    let mut task_spec_tokens = 0;
+    let mut answer_format_tokens = 0;
+    let mut cot_tokens = 0;
+    let push = |text: &mut String, counter: &mut usize, part: &str| {
+        *counter += count_tokens(part);
+        text.push_str(part);
+    };
+
+    push(&mut text, &mut task_spec_tokens, PERSONA);
+    push(&mut text, &mut task_spec_tokens, "\n");
+    push(&mut text, &mut task_spec_tokens, &task_specification(task));
+    push(&mut text, &mut task_spec_tokens, "\n");
+    push(
+        &mut text,
+        &mut answer_format_tokens,
         "Each record is written as [attribute: \"value\", ...]; every question \
          is numbered as \"Question N:\" and you MUST number the corresponding \
          answers the same way as \"Answer N:\", answering every question in \
          order without skipping any.\n",
     );
     if options.reasoning {
-        out.push_str(&format!(
-            "MUST answer each question in two lines. In the first line, you \
-             give the reason for the inference, thinking step by step about \
-             the evidence in the record. In the second line, you ONLY give {}.\n",
-            answer_specification(task)
-        ));
+        push(
+            &mut text,
+            &mut cot_tokens,
+            &format!(
+                "MUST answer each question in two lines. In the first line, you \
+                 give the reason for the inference, thinking step by step about \
+                 the evidence in the record. In the second line, you ONLY give {}.\n",
+                answer_specification(task)
+            ),
+        );
     } else {
-        out.push_str(&format!(
-            "MUST answer each question in one line. After \"Answer N:\" you \
-             ONLY give {}, with no explanation.\n",
-            answer_specification(task)
-        ));
+        push(
+            &mut text,
+            &mut answer_format_tokens,
+            &format!(
+                "MUST answer each question in one line. After \"Answer N:\" you \
+                 ONLY give {}, with no explanation.\n",
+                answer_specification(task)
+            ),
+        );
     }
     if options.confirm_target && task == Task::ErrorDetection {
-        out.push_str("Please confirm the target attribute in your reason for inference.\n");
+        push(
+            &mut text,
+            &mut answer_format_tokens,
+            "Please confirm the target attribute in your reason for inference.\n",
+        );
     }
     if let Some((attribute, hint)) = &options.type_hint {
-        out.push_str(&format!("The \"{attribute}\" attribute can be {hint}.\n"));
+        push(
+            &mut text,
+            &mut task_spec_tokens,
+            &format!("The \"{attribute}\" attribute can be {hint}.\n"),
+        );
     }
-    out
+    SystemSections {
+        text,
+        task_spec_tokens,
+        answer_format_tokens,
+        cot_tokens,
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +240,33 @@ mod tests {
             (120..=320).contains(&tokens),
             "instruction tokens = {tokens}"
         );
+    }
+
+    #[test]
+    fn sections_sum_to_the_whole_message_exactly() {
+        for reasoning in [false, true] {
+            for task in [
+                Task::ErrorDetection,
+                Task::Imputation,
+                Task::SchemaMatching,
+                Task::EntityMatching,
+            ] {
+                let options = TemplateOptions {
+                    reasoning,
+                    confirm_target: true,
+                    type_hint: Some(("age".into(), "an integer".into())),
+                };
+                let sections = system_sections(task, &options);
+                assert_eq!(sections.text, system_message(task, &options));
+                assert_eq!(
+                    sections.task_spec_tokens + sections.answer_format_tokens + sections.cot_tokens,
+                    count_tokens(&sections.text),
+                    "sections must partition the message ({task:?}, \
+                     reasoning={reasoning})"
+                );
+                assert_eq!(sections.cot_tokens > 0, reasoning);
+            }
+        }
     }
 
     #[test]

@@ -17,4 +17,10 @@ echo "== serving-ledger audit invariants =="
 cargo test -q --test audit_invariants
 cargo test -q -p dprep-core --lib exec::tests::audit_tracer_passes_on_a_faulty_retried_cached_run
 
+echo "== bench-regression gate (pinned Table 3 sweep vs BENCH_baseline.json) =="
+# Fails on any billed-token change or a >20% virtual-latency regression,
+# and prints the sweep's per-component cost table.
+cargo run --release -q -p dprep-bench --bin bench_report -- \
+  --out BENCH_report.json --check BENCH_baseline.json
+
 echo "All checks passed."

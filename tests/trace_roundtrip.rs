@@ -1,0 +1,126 @@
+//! JSONL trace round-trip: a faulty, retried, cached 8-worker run is
+//! exported as JSON lines, re-parsed with the in-tree JSON parser, and the
+//! replayed event stream must rebuild the live metrics snapshot
+//! bit-identically — component attribution included. The span profile
+//! folded from the same parsed stream must equal the live profile up to
+//! wall time, at any worker count.
+
+use std::sync::Arc;
+
+use llm_data_preprocessors::core::{PipelineConfig, Preprocessor, RunResult};
+use llm_data_preprocessors::llm::{
+    CacheLayer, CacheStore, ChatModel, FaultLayer, ModelProfile, RetryLayer, SimulatedLlm,
+};
+use llm_data_preprocessors::obs::{
+    parse_trace, AuditTracer, JsonlTracer, MetricsRecorder, MetricsSnapshot, MultiTracer,
+    SpanProfile, SpanProfileBuilder, Tracer,
+};
+
+const FAULT_RATE: f64 = 0.1;
+const FAULT_SEED: u64 = 17;
+const RETRIES: u32 = 2;
+
+fn stack(
+    ds: &llm_data_preprocessors::datasets::Dataset,
+    tracer: Arc<dyn Tracer>,
+) -> impl ChatModel {
+    let model = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(ds.kb.clone()));
+    let faulty = FaultLayer::new(model, FAULT_RATE, FAULT_SEED).with_tracer(Arc::clone(&tracer));
+    let retried = RetryLayer::new(faulty, RETRIES).with_tracer(Arc::clone(&tracer));
+    CacheLayer::new(retried)
+        .with_store(CacheStore::default())
+        .with_tracer(tracer)
+}
+
+fn traced_run(
+    ds: &llm_data_preprocessors::datasets::Dataset,
+    workers: usize,
+) -> (
+    RunResult,
+    Arc<JsonlTracer>,
+    Arc<SpanProfileBuilder>,
+    Arc<MetricsRecorder>,
+) {
+    let jsonl = Arc::new(JsonlTracer::new());
+    let spans = Arc::new(SpanProfileBuilder::new());
+    let audit = Arc::new(AuditTracer::new());
+    // A live recorder on the same tracer chain as the JSONL exporter: it
+    // folds exactly the event stream that gets exported, middleware events
+    // (retries, fault injections, cache hits) included.
+    let recorder = Arc::new(MetricsRecorder::new());
+    let tracer: Arc<dyn Tracer> = Arc::new(
+        MultiTracer::new()
+            .with(Arc::clone(&jsonl) as Arc<dyn Tracer>)
+            .with(Arc::clone(&spans) as Arc<dyn Tracer>)
+            .with(Arc::clone(&audit) as Arc<dyn Tracer>)
+            .with(Arc::clone(&recorder) as Arc<dyn Tracer>),
+    );
+    let model = stack(ds, Arc::clone(&tracer));
+    let mut config = PipelineConfig::best(ds.task);
+    config.workers = workers;
+    let result = Preprocessor::new(&model, config)
+        .with_tracer(tracer)
+        .run(&ds.instances, &ds.few_shot);
+    // The exporter ran under the online auditor the whole time, component
+    // attribution invariants included.
+    audit.assert_clean();
+    (result, jsonl, spans, recorder)
+}
+
+#[test]
+fn jsonl_trace_rebuilds_the_live_snapshot_bit_identically() {
+    let ds = llm_data_preprocessors::datasets::dataset_by_name("Restaurant", 0.5, 5).unwrap();
+    let (live, jsonl, spans, recorder) = traced_run(&ds, 8);
+    assert!(live.stats.retries > 0, "fault rate produced no retries");
+
+    // Export -> parse -> replay. The parsed stream must tell exactly the
+    // story the live recorder saw.
+    let exported: String = jsonl
+        .lines()
+        .into_iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let events = parse_trace(&exported).expect("trace parses");
+    assert!(!events.is_empty());
+    let rebuilt = MetricsSnapshot::from_events(&events);
+    assert_eq!(rebuilt, recorder.snapshot(), "replayed snapshot diverged");
+
+    // The run's own snapshot scopes to executor events — it cannot see the
+    // middleware's fault-injection events — and must agree with the replay
+    // on everything else.
+    let mut exec_scope = rebuilt.clone();
+    exec_scope.faults_injected.clear();
+    assert_eq!(exec_scope, live.metrics);
+    assert!(
+        !rebuilt.faults_injected.is_empty(),
+        "fault layer injected nothing — the round trip was not exercised"
+    );
+
+    // Component attribution survived the round trip and still sums to the
+    // billed prompt tokens.
+    assert_eq!(
+        rebuilt.component_tokens.values().sum::<usize>(),
+        live.usage.prompt_tokens
+    );
+
+    // The span profile folded from the parsed stream matches the live
+    // builder up to wall time (wall time is real elapsed time and is the
+    // only nondeterministic field).
+    let replayed = SpanProfile::from_events(&events).without_wall();
+    assert_eq!(replayed, spans.profile().without_wall());
+    assert!(replayed.get("run/dispatch/request").is_some());
+}
+
+#[test]
+fn span_profile_is_worker_count_invariant() {
+    let ds = llm_data_preprocessors::datasets::dataset_by_name("Restaurant", 0.5, 5).unwrap();
+    let (serial, _, serial_spans, _) = traced_run(&ds, 1);
+    let (parallel, _, parallel_spans, _) = traced_run(&ds, 8);
+    assert_eq!(serial.predictions, parallel.predictions);
+    assert_eq!(serial.metrics, parallel.metrics);
+    assert_eq!(
+        serial_spans.profile().without_wall(),
+        parallel_spans.profile().without_wall(),
+        "span profile must merge identically at any worker count"
+    );
+}
