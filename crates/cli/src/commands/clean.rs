@@ -56,6 +56,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     }
     eprintln!("{} repair(s) applied", outcome.repairs.len());
     print_usage_footer(&outcome.usage, Some(&outcome.stats));
-    print_metrics(&serving, &outcome.metrics);
+    print_metrics(&serving, &outcome.metrics)?;
     obs.finish()
 }

@@ -84,6 +84,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     }
     eprintln!("{flagged} of {} cells flagged", instances.len());
     print_usage_footer(&result.usage, Some(&result.stats));
-    print_metrics(&serving, &result.metrics);
+    print_metrics(&serving, &result.metrics)?;
     obs.finish()
 }

@@ -72,6 +72,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     print!("{}", write_csv(&completed));
     eprintln!("imputed {filled} of {} missing cells", instances.len());
     print_usage_footer(&result.usage, Some(&result.stats));
-    print_metrics(&serving, &result.metrics);
+    print_metrics(&serving, &result.metrics)?;
     obs.finish()
 }

@@ -92,6 +92,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         candidates.len()
     );
     print_usage_footer(&result.usage, Some(&result.stats));
-    print_metrics(&serving, &result.metrics);
+    print_metrics(&serving, &result.metrics)?;
     obs.finish()
 }

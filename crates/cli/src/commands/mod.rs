@@ -1,5 +1,6 @@
 //! CLI subcommands.
 
+pub mod chaos;
 pub mod clean;
 pub mod datasets;
 pub mod detect;
@@ -31,7 +32,7 @@ pub fn build_model(profile: ModelProfile, kb: KnowledgeBase, seed: u64) -> Simul
 
 /// Serving options shared by every model-running command: `--workers N`,
 /// `--retries N`, `--cache on|off`, plus the observability flags
-/// `--trace FILE`, `--metrics on|off`, `--audit on|off`.
+/// `--trace FILE`, `--metrics on|off|FILE`, `--audit on|off`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Serving {
     /// Executor worker threads.
@@ -44,25 +45,48 @@ pub struct Serving {
     pub trace: Option<String>,
     /// Print the serving-metrics summary after the run.
     pub metrics: bool,
+    /// Write the metrics snapshot as JSON to this path (`--metrics FILE`).
+    pub metrics_out: Option<String>,
     /// Audit ledger invariants online; violations fail the command.
     pub audit: bool,
 }
 
 /// Parses the serving flags (defaults: 1 worker, 2 retries, cache off,
-/// no trace, metrics off, audit off).
+/// no trace, metrics off, audit off). `--metrics` accepts `on`/`off` (print
+/// the summary to stderr) or a file path (write the snapshot JSON there).
 pub fn serving_from_flags(flags: &Flags) -> Result<Serving, String> {
     let workers = flags.usize_or("workers", 1)?;
     if workers == 0 {
         return Err("--workers must be at least 1".into());
     }
+    let (metrics, metrics_out) = match flags.get("metrics") {
+        None => (false, None),
+        Some("on" | "true" | "1") => (true, None),
+        Some("off" | "false" | "0") => (false, None),
+        Some(path) => (false, Some(path.to_string())),
+    };
     Ok(Serving {
         workers,
         retries: flags.usize_or("retries", 2)? as u32,
         cache: flags.bool_or("cache", false)?,
         trace: flags.get("trace").map(str::to_string),
-        metrics: flags.bool_or("metrics", false)?,
+        metrics,
+        metrics_out,
         audit: flags.bool_or("audit", false)?,
     })
+}
+
+/// Probes an output path for writability without truncating existing
+/// content, so a typo'd directory or read-only target fails the command
+/// before any (potentially expensive) model work runs.
+fn probe_writable(path: &str, what: &str) -> Result<(), String> {
+    std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)
+        .map(|_| ())
+        .map_err(|e| format!("cannot write {what} {path:?}: {e}"))
 }
 
 /// The observability sinks a command wires into its middleware stack and
@@ -86,19 +110,19 @@ impl Observability {
         let jsonl = match serving.trace.as_ref() {
             None => None,
             Some(path) => {
-                // Open write+create without truncating: an existing trace
+                // Probed up front, without truncating: an existing trace
                 // survives until the run actually finishes and overwrites it.
-                std::fs::OpenOptions::new()
-                    .write(true)
-                    .create(true)
-                    .truncate(false)
-                    .open(path)
-                    .map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
+                probe_writable(path, "trace")?;
                 let sink = Arc::new(JsonlTracer::new());
                 multi.push(Arc::clone(&sink) as Arc<dyn Tracer>);
                 Some((sink, path.clone()))
             }
         };
+        // The metrics snapshot path gets the same up-front probe as the
+        // trace path: fail before the run, not after it.
+        if let Some(path) = serving.metrics_out.as_ref() {
+            probe_writable(path, "metrics")?;
+        }
         let audit = serving.audit.then(|| {
             let sink = Arc::new(AuditTracer::new());
             multi.push(Arc::clone(&sink) as Arc<dyn Tracer>);
@@ -172,11 +196,22 @@ pub fn apply_serving<M: ChatModel + 'static>(
     stack
 }
 
-/// Prints the multi-line serving-metrics summary when `--metrics on`.
-pub fn print_metrics(serving: &Serving, metrics: &dprep_obs::MetricsSnapshot) {
+/// Prints the multi-line serving-metrics summary when `--metrics on`, and
+/// writes the snapshot JSON when `--metrics FILE` was given.
+pub fn print_metrics(
+    serving: &Serving,
+    metrics: &dprep_obs::MetricsSnapshot,
+) -> Result<(), String> {
     if serving.metrics {
         eprint!("{}", metrics.summary());
     }
+    if let Some(path) = &serving.metrics_out {
+        let mut json = metrics.to_json().to_json();
+        json.push('\n');
+        std::fs::write(path, json).map_err(|e| format!("cannot write metrics {path:?}: {e}"))?;
+        eprintln!("[metrics snapshot -> {path}]");
+    }
+    Ok(())
 }
 
 /// Prints the run's usage footer, including serving counters when any are

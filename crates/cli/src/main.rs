@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "clean" => commands::clean::run(&parsed),
         "impute" => commands::impute::run(&parsed),
         "match" => commands::match_cmd::run(&parsed),
+        "chaos" => commands::chaos::run(&parsed),
         "datasets" => commands::datasets::run(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -73,6 +74,7 @@ USAGE:
                  [--model NAME] [--facts FILE] [--seed N]
   dprep report   FILE [--format text|json|prom]
   dprep report   --diff BEFORE AFTER
+  dprep chaos    [--scenario NAME] [--workers N] [--retries N] [--seed N]
   dprep datasets
 
 SERVING (detect/impute/clean/match):
@@ -82,13 +84,24 @@ SERVING (detect/impute/clean/match):
 
 OBSERVABILITY (detect/impute/clean/match):
   --trace FILE     write the request-lifecycle event stream as JSON lines
-  --metrics on|off print the serving-metrics summary after the run (default off)
+  --metrics on|off|FILE
+                   print the serving-metrics summary after the run (default
+                   off), or write the metrics snapshot as JSON to FILE
   --audit on|off   check ledger invariants online; violations fail the command
 
 REPORT:
   Reads a --trace JSONL file or a metrics-snapshot JSON file and renders
   quality, cost breakdown by prompt component, latency quantiles, the
   failure taxonomy, and the span-tree profile. --diff compares two runs.
+
+CHAOS:
+  Sweeps the seeded fault-scenario presets (burst outages, rate-limit
+  storms, latency spikes, garbled completions, partial batch answers) over
+  a pinned ED/EM workload with graceful batch degradation on, asserting
+  terminal coverage, the serving-ledger audit, monotone degradation, and
+  bit-identical results across worker counts; then drives the circuit
+  breaker through closed -> open -> half-open -> closed under a burst
+  outage. Any violation fails the command.
 
 MODELS: sim-gpt-4 (default), sim-gpt-3.5, sim-gpt-3, sim-vicuna-13b
 

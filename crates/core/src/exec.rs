@@ -26,7 +26,7 @@ use dprep_llm::{request_fingerprint, ChatModel, ChatRequest, FaultKind, UsageTot
 use dprep_obs::{MetricsRecorder, NullTracer, TraceEvent, Tracer};
 use dprep_prompt::{
     build_request, build_request_sections, make_batches, parse_response, FewShotExample,
-    TaskInstance,
+    PromptConfig, TaskInstance,
 };
 
 use crate::config::PipelineConfig;
@@ -55,7 +55,12 @@ pub struct ExecutionPlan {
     /// instances).
     sections: Vec<[usize; 5]>,
     n_instances: usize,
-    reasoning: bool,
+    /// Prompt-building context retained so the executor can rebuild smaller
+    /// sub-batches when graceful degradation splits a failing batch.
+    prompt_config: PromptConfig,
+    shots: Vec<FewShotExample>,
+    instances: Vec<TaskInstance>,
+    temperature: Option<f64>,
     /// Wall-clock seconds spent deciding batch membership and deduplication.
     plan_wall_secs: f64,
     /// Wall-clock seconds spent rendering prompts.
@@ -136,7 +141,10 @@ impl ExecutionPlan {
             requests,
             sections,
             n_instances: instances.len(),
-            reasoning: prompt_config.reasoning,
+            prompt_config,
+            shots: shots.to_vec(),
+            instances: instances.to_vec(),
+            temperature: config.temperature,
             plan_wall_secs: (plan_started.elapsed().as_secs_f64() - prompt_build_wall_secs)
                 .max(0.0),
             prompt_build_wall_secs,
@@ -167,16 +175,35 @@ impl ExecutionPlan {
 }
 
 /// How the executor dispatches a plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecutionOptions {
     /// Worker threads. 1 = serial in the calling thread (no threads
     /// spawned); the output is identical either way.
     pub workers: usize,
+    /// Virtual-time deadline for the run, in seconds. The request whose
+    /// billed latency reaches the deadline still completes; every later
+    /// unique request is cancelled unbilled and its instances fail with
+    /// [`FailureKind::BudgetExhausted`].
+    pub deadline_secs: Option<f64>,
+    /// Ceiling on billed tokens (prompt + completion) for the run, with the
+    /// same reach-then-stop semantics as `deadline_secs`. Cache hits bill
+    /// zero and never consume budget.
+    pub token_budget: Option<usize>,
+    /// Graceful batch degradation: a multi-instance batch left with
+    /// unanswered instances is deterministically split into smaller
+    /// sub-batches (halving down to single instances) before any instance
+    /// is marked failed.
+    pub degrade: bool,
 }
 
 impl Default for ExecutionOptions {
     fn default() -> Self {
-        ExecutionOptions { workers: 1 }
+        ExecutionOptions {
+            workers: 1,
+            deadline_secs: None,
+            token_budget: None,
+            degrade: false,
+        }
     }
 }
 
@@ -196,6 +223,14 @@ pub struct ExecStats {
     pub cache_hits: usize,
     /// Fresh responses that still carried a fault after all middleware ran.
     pub faulted: usize,
+    /// Unique requests cancelled unbilled by a tripped deadline or token
+    /// budget.
+    pub cancelled: usize,
+    /// Degradation sub-batches dispatched after splitting a failing batch.
+    pub splits: usize,
+    /// Instances recovered by a degradation sub-batch after the original
+    /// batch left them unanswered.
+    pub split_recovered: usize,
 }
 
 impl ExecStats {
@@ -206,6 +241,9 @@ impl ExecStats {
         self.retries += other.retries;
         self.cache_hits += other.cache_hits;
         self.faulted += other.faulted;
+        self.cancelled += other.cancelled;
+        self.splits += other.splits;
+        self.split_recovered += other.split_recovered;
     }
 }
 
@@ -346,7 +384,25 @@ impl Executor {
         // Usage and serving counters: once per unique request, plan order.
         // Cache hits bill zero fresh tokens/cost/latency — the run that
         // missed already paid for the attempt this response replays.
+        //
+        // The budget gauge folds along the same walk. Every request was
+        // dispatched speculatively (so cache state and response content stay
+        // worker-count independent), but the gauge is authoritative: once
+        // the cumulative billed latency or tokens reach a configured
+        // ceiling, every later response is discarded unbilled — a
+        // `cancelled` terminal event instead of a completion.
+        let mut gauge = BudgetGauge::new(self.options.deadline_secs, self.options.token_budget);
+        let mut request_cancelled = vec![false; plan.requests.len()];
         for (i, d) in dispatched.iter().enumerate() {
+            if let Some(reason) = gauge.tripped {
+                request_cancelled[i] = true;
+                stats.cancelled += 1;
+                emit(TraceEvent::Cancelled {
+                    request: base_id + i as u64,
+                    reason,
+                });
+                continue;
+            }
             let response = &d.response;
             let fresh = !response.meta.cache_hit;
             let attempt = response.meta.attempt_usage.unwrap_or(response.usage);
@@ -359,6 +415,7 @@ impl Executor {
                 usage.record(&response.usage, cost, response.latency_secs);
                 stats.retries += response.meta.retries as usize;
                 stats.faulted += usize::from(response.meta.fault.is_some());
+                gauge.charge(response.latency_secs, response.usage.total_tokens());
             } else {
                 stats.cache_hits += 1;
             }
@@ -409,13 +466,30 @@ impl Executor {
         });
 
         // Predictions: parse each batch's response and classify the misses.
+        // A batch whose request was budget-cancelled fails wholesale; a
+        // multi-instance batch with unanswered instances enters the
+        // degradation ladder when enabled (failure events for its missed
+        // instances are deferred until the ladder exhausts, so every
+        // instance gets exactly one terminal event).
         let parse_started = std::time::Instant::now();
         let mut answered = 0usize;
+        let mut ladder_requests = 0usize;
         for batch in &plan.batches {
+            let request_id = base_id + batch.request_index as u64;
+            if request_cancelled[batch.request_index] {
+                for &instance_idx in &batch.instance_indices {
+                    emit(TraceEvent::Failed {
+                        request: request_id,
+                        instance: instance_idx,
+                        kind: FailureKind::BudgetExhausted.label(),
+                    });
+                    predictions[instance_idx] = Prediction::Failed(FailureKind::BudgetExhausted);
+                }
+                continue;
+            }
             let d = &dispatched[batch.request_index];
             let response = &d.response;
-            let request_id = base_id + batch.request_index as u64;
-            let answers = parse_response(&response.text, plan.reasoning);
+            let answers = parse_response(&response.text, plan.prompt_config.reasoning);
             // A retried request accumulates usage over attempts; only the
             // final attempt's own prompt says whether the window overflowed.
             let attempt_prompt = response
@@ -424,31 +498,53 @@ impl Executor {
                 .unwrap_or(response.usage)
                 .prompt_tokens;
             let overflowed = attempt_prompt > model.context_window();
+            let mut missed: Vec<usize> = Vec::new();
             for (position, &instance_idx) in batch.instance_indices.iter().enumerate() {
-                predictions[instance_idx] = match answers.get(&(position + 1)) {
+                match answers.get(&(position + 1)) {
                     Some(extracted) => {
                         answered += 1;
                         emit(TraceEvent::Parsed {
                             request: request_id,
                             instance: instance_idx,
                         });
-                        Prediction::Answered(extracted.clone())
+                        predictions[instance_idx] = Prediction::Answered(extracted.clone());
                     }
-                    None => {
-                        let kind = classify_miss(
-                            response.meta.fault.is_some(),
-                            response.meta.retries,
-                            overflowed,
-                            answers.is_empty(),
-                        );
-                        emit(TraceEvent::Failed {
-                            request: request_id,
-                            instance: instance_idx,
-                            kind: kind.label(),
-                        });
-                        Prediction::Failed(kind)
-                    }
-                };
+                    None => missed.push(instance_idx),
+                }
+            }
+            if missed.is_empty() {
+                continue;
+            }
+            if self.options.degrade && batch.instance_indices.len() > 1 {
+                answered += self.degrade_batch(
+                    model,
+                    plan,
+                    d,
+                    request_id,
+                    &missed,
+                    batch.instance_indices.len(),
+                    &mut gauge,
+                    &mut usage,
+                    &mut stats,
+                    &mut predictions,
+                    &mut ladder_requests,
+                    &emit,
+                );
+            } else {
+                let kind = classify_miss(
+                    response.meta.fault,
+                    response.meta.retries,
+                    overflowed,
+                    answers.is_empty(),
+                );
+                for &instance_idx in &missed {
+                    emit(TraceEvent::Failed {
+                        request: request_id,
+                        instance: instance_idx,
+                        kind: kind.label(),
+                    });
+                    predictions[instance_idx] = Prediction::Failed(kind);
+                }
             }
         }
 
@@ -459,13 +555,22 @@ impl Executor {
             vt_secs: 0.0,
         });
 
+        if let Some(reason) = gauge.tripped {
+            emit(TraceEvent::BudgetTripped {
+                run: run_id,
+                reason,
+                cancelled: stats.cancelled,
+            });
+        }
+
+        let total_requests = plan.requests.len() + ladder_requests;
         emit(TraceEvent::RunFinished {
             run: run_id,
             instances: plan.n_instances,
             answered,
             failed: plan.n_instances - answered,
-            requests: plan.requests.len(),
-            fresh_requests: plan.requests.len() - stats.cache_hits,
+            requests: total_requests,
+            fresh_requests: total_requests - stats.cache_hits - stats.cancelled,
             cache_hits: stats.cache_hits,
             prompt_tokens: usage.prompt_tokens,
             completion_tokens: usage.completion_tokens,
@@ -479,6 +584,182 @@ impl Executor {
             stats,
             metrics: recorder.snapshot(),
         }
+    }
+
+    /// The graceful-degradation ladder for one failing batch: rebuilds the
+    /// missed instances into smaller sub-batches and dispatches them
+    /// serially (plan order, single virtual clock) until every instance is
+    /// answered or has shrunk to a single-instance request that still
+    /// fails. Returns the number of instances recovered.
+    ///
+    /// The ladder never re-dispatches a group identical to the batch it is
+    /// degrading — a deterministic model given the same prompt and salt
+    /// returns the same response, faults included. When a strict subset of
+    /// the batch missed, that subset is retried whole (its prompt already
+    /// differs from the parent's); when the whole batch missed, the ladder
+    /// seeds with its halves. Each sub-request is planned, completed, and
+    /// billed exactly like a primary request, so the ledger invariants
+    /// (one terminal event per request, attempt-reconciled billing) hold
+    /// under audit, and the budget gauge keeps charging — a mid-ladder trip
+    /// fails the remaining groups with `BudgetExhausted`.
+    #[allow(clippy::too_many_arguments)]
+    fn degrade_batch<M: ChatModel + ?Sized>(
+        &self,
+        model: &M,
+        plan: &ExecutionPlan,
+        parent: &DispatchedResponse,
+        parent_request_id: u64,
+        missed: &[usize],
+        batch_len: usize,
+        gauge: &mut BudgetGauge,
+        usage: &mut UsageTotals,
+        stats: &mut ExecStats,
+        predictions: &mut [Prediction],
+        ladder_requests: &mut usize,
+        emit: &dyn Fn(TraceEvent),
+    ) -> usize {
+        let mut recovered = 0usize;
+        let mut ladder_clock = parent.vt_end_secs;
+        let mut queue: std::collections::VecDeque<Vec<usize>> = std::collections::VecDeque::new();
+        if missed.len() < batch_len {
+            queue.push_back(missed.to_vec());
+        } else {
+            let mid = missed.len().div_ceil(2);
+            queue.push_back(missed[..mid].to_vec());
+            queue.push_back(missed[mid..].to_vec());
+        }
+        while let Some(group) = queue.pop_front() {
+            if gauge.tripped.is_some() {
+                // The budget ran out mid-ladder: the remaining groups are
+                // never dispatched (nothing to cancel — they were never
+                // planned), their instances fail as budget-exhausted.
+                for &instance_idx in &group {
+                    emit(TraceEvent::Failed {
+                        request: parent_request_id,
+                        instance: instance_idx,
+                        kind: FailureKind::BudgetExhausted.label(),
+                    });
+                    predictions[instance_idx] = Prediction::Failed(FailureKind::BudgetExhausted);
+                }
+                continue;
+            }
+            let sub_id = dprep_obs::reserve_request_ids(1);
+            let refs: Vec<&TaskInstance> = group.iter().map(|&i| &plan.instances[i]).collect();
+            let (mut request, request_sections) =
+                build_request_sections(&plan.prompt_config, &plan.shots, &refs);
+            if let Some(t) = plan.temperature {
+                request = request.with_temperature(t);
+            }
+            let request = request.with_trace_id(sub_id);
+            emit(TraceEvent::Planned {
+                request: sub_id,
+                batches: 1,
+                instances: group.len(),
+            });
+            emit(TraceEvent::BatchSplit {
+                request: sub_id,
+                instances: group.len(),
+            });
+            stats.splits += 1;
+            stats.requests += 1;
+            *ladder_requests += 1;
+            self.tracer.record(&TraceEvent::Dispatched {
+                request: sub_id,
+                worker: parent.worker,
+                vt_start_secs: ladder_clock,
+            });
+            let response = model.chat(&request);
+            let vt_start_secs = ladder_clock;
+            ladder_clock += response.latency_secs;
+            let fresh = !response.meta.cache_hit;
+            let attempt = response.meta.attempt_usage.unwrap_or(response.usage);
+            let cost = if fresh {
+                model.cost_usd(&response.usage)
+            } else {
+                0.0
+            };
+            if fresh {
+                usage.record(&response.usage, cost, response.latency_secs);
+                stats.retries += response.meta.retries as usize;
+                stats.faulted += usize::from(response.meta.fault.is_some());
+                gauge.charge(response.latency_secs, response.usage.total_tokens());
+            } else {
+                stats.cache_hits += 1;
+            }
+            emit(TraceEvent::Completed {
+                request: sub_id,
+                worker: parent.worker,
+                cache_hit: response.meta.cache_hit,
+                retries: response.meta.retries,
+                fault: response.meta.fault.map(FaultKind::label),
+                prompt_tokens: response.usage.prompt_tokens,
+                completion_tokens: response.usage.completion_tokens,
+                attempt_prompt_tokens: attempt.prompt_tokens,
+                attempt_completion_tokens: attempt.completion_tokens,
+                cost_usd: cost,
+                latency_secs: response.latency_secs,
+                vt_start_secs,
+                vt_end_secs: ladder_clock,
+            });
+            let attributed = if fresh {
+                let attempts = response.meta.retries as usize + 1;
+                let scaled = request_sections.as_array().map(|n| n * attempts);
+                dprep_obs::component::reconcile(scaled, response.usage.prompt_tokens)
+            } else {
+                [0; 6]
+            };
+            emit(TraceEvent::PromptComponents {
+                request: sub_id,
+                cache_hit: response.meta.cache_hit,
+                task_spec: attributed[0],
+                answer_format: attributed[1],
+                cot: attributed[2],
+                few_shot: attributed[3],
+                instances: attributed[4],
+                framing: attributed[5],
+            });
+            let answers = parse_response(&response.text, plan.prompt_config.reasoning);
+            let overflowed = attempt.prompt_tokens > model.context_window();
+            let mut still_missed: Vec<usize> = Vec::new();
+            for (position, &instance_idx) in group.iter().enumerate() {
+                match answers.get(&(position + 1)) {
+                    Some(extracted) => {
+                        recovered += 1;
+                        stats.split_recovered += 1;
+                        emit(TraceEvent::Parsed {
+                            request: sub_id,
+                            instance: instance_idx,
+                        });
+                        predictions[instance_idx] = Prediction::Answered(extracted.clone());
+                    }
+                    None => still_missed.push(instance_idx),
+                }
+            }
+            if still_missed.is_empty() {
+                continue;
+            }
+            if group.len() == 1 {
+                let kind = classify_miss(
+                    response.meta.fault,
+                    response.meta.retries,
+                    overflowed,
+                    answers.is_empty(),
+                );
+                emit(TraceEvent::Failed {
+                    request: sub_id,
+                    instance: still_missed[0],
+                    kind: kind.label(),
+                });
+                predictions[still_missed[0]] = Prediction::Failed(kind);
+            } else if still_missed.len() < group.len() {
+                queue.push_back(still_missed);
+            } else {
+                let mid = still_missed.len().div_ceil(2);
+                queue.push_back(still_missed[..mid].to_vec());
+                queue.push_back(still_missed[mid..].to_vec());
+            }
+        }
+        recovered
     }
 
     fn dispatch<M: ChatModel + ?Sized>(
@@ -569,14 +850,55 @@ struct DispatchedResponse {
     vt_end_secs: f64,
 }
 
+/// The run-level budget fold: cumulative billed virtual latency and billed
+/// tokens, checked after each fresh completion (charge-then-check, so the
+/// request that reaches a ceiling still completes).
+#[derive(Debug)]
+struct BudgetGauge {
+    deadline_secs: Option<f64>,
+    token_budget: Option<usize>,
+    latency_secs: f64,
+    tokens: usize,
+    /// `Some(reason)` once a ceiling was reached ("deadline" or
+    /// "token-budget"); the deadline wins when one completion trips both.
+    tripped: Option<&'static str>,
+}
+
+impl BudgetGauge {
+    fn new(deadline_secs: Option<f64>, token_budget: Option<usize>) -> BudgetGauge {
+        BudgetGauge {
+            deadline_secs,
+            token_budget,
+            latency_secs: 0.0,
+            tokens: 0,
+            tripped: None,
+        }
+    }
+
+    fn charge(&mut self, latency_secs: f64, tokens: usize) {
+        if self.tripped.is_some() {
+            return;
+        }
+        self.latency_secs += latency_secs;
+        self.tokens += tokens;
+        if self.deadline_secs.is_some_and(|d| self.latency_secs >= d) {
+            self.tripped = Some("deadline");
+        } else if self.token_budget.is_some_and(|b| self.tokens >= b) {
+            self.tripped = Some("token-budget");
+        }
+    }
+}
+
 /// Why an instance's answer is missing from an otherwise-delivered response.
 fn classify_miss(
-    faulted: bool,
+    fault: Option<FaultKind>,
     retries: u32,
     overflowed: bool,
     nothing_parsed: bool,
 ) -> FailureKind {
-    if faulted {
+    if matches!(fault, Some(FaultKind::CircuitOpen)) {
+        FailureKind::CircuitOpen
+    } else if fault.is_some() {
         if retries > 0 {
             FailureKind::RetriesExhausted
         } else {
@@ -818,8 +1140,11 @@ mod tests {
         let tracer = Arc::new(CollectingTracer::new());
         let instances = em_instances(4);
         let plan = plan_for(&base, &instances, 2);
-        let exec = Executor::new(ExecutionOptions { workers: 2 })
-            .with_tracer(tracer.clone() as Arc<dyn Tracer>);
+        let exec = Executor::new(ExecutionOptions {
+            workers: 2,
+            ..ExecutionOptions::default()
+        })
+        .with_tracer(tracer.clone() as Arc<dyn Tracer>);
         let result = exec.run(&base, &plan);
         assert_eq!(tracer.count("run_started"), 1);
         assert_eq!(tracer.count("planned"), plan.requests().len());
@@ -844,6 +1169,219 @@ mod tests {
     }
 
     #[test]
+    fn token_budget_trips_mid_run_and_cancels_the_rest() {
+        use dprep_obs::CollectingTracer;
+        let base = CountingModel {
+            window: 100_000,
+            answer_all: true,
+        };
+        let audit = Arc::new(dprep_obs::AuditTracer::new());
+        let instances = em_instances(6);
+        let plan = plan_for(&base, &instances, 2);
+        assert_eq!(plan.requests().len(), 3);
+        let tracer = Arc::new(CollectingTracer::new());
+        let fan = Arc::new(
+            dprep_obs::MultiTracer::new()
+                .with(audit.clone() as Arc<dyn Tracer>)
+                .with(tracer.clone() as Arc<dyn Tracer>),
+        );
+        // Each request bills 120 tokens (100 prompt + 20 completion). A
+        // 150-token ceiling lets two complete (charge-then-check: the
+        // second crosses) and cancels the third unbilled.
+        let exec = Executor::new(ExecutionOptions {
+            token_budget: Some(150),
+            ..ExecutionOptions::default()
+        })
+        .with_tracer(fan as Arc<dyn Tracer>);
+        let result = exec.run(&base, &plan);
+        assert_eq!(result.stats.cancelled, 1);
+        assert_eq!(result.usage.prompt_tokens, 200, "third request unbilled");
+        assert_eq!(result.metrics.cancelled, 1);
+        assert_eq!(tracer.count("cancelled"), 1);
+        assert_eq!(tracer.count("budget_tripped"), 1);
+        let failed: Vec<FailureKind> = result
+            .predictions
+            .iter()
+            .filter_map(|p| p.failure())
+            .collect();
+        assert_eq!(
+            failed,
+            vec![FailureKind::BudgetExhausted, FailureKind::BudgetExhausted],
+            "the cancelled batch's two instances fail as budget-exhausted"
+        );
+        assert_eq!(result.predictions.len() - failed.len(), 4, "partial run");
+        audit.assert_clean();
+    }
+
+    #[test]
+    fn deadline_trips_on_virtual_latency() {
+        let base = CountingModel {
+            window: 100_000,
+            answer_all: true,
+        };
+        let instances = em_instances(6);
+        let plan = plan_for(&base, &instances, 2);
+        // Each request takes 2.0s of virtual time; a 2.0s deadline is
+        // reached by the first completion, cancelling the other two.
+        let exec = Executor::new(ExecutionOptions {
+            deadline_secs: Some(2.0),
+            ..ExecutionOptions::default()
+        });
+        let result = exec.run(&base, &plan);
+        assert_eq!(result.stats.cancelled, 2);
+        assert!((result.usage.latency_secs - 2.0).abs() < 1e-12);
+        assert_eq!(
+            result
+                .predictions
+                .iter()
+                .filter(|p| p.failure() == Some(FailureKind::BudgetExhausted))
+                .count(),
+            4
+        );
+    }
+
+    /// Answers only single-question prompts; any larger batch gets an
+    /// empty response.
+    struct SingletonModel;
+
+    impl ChatModel for SingletonModel {
+        fn name(&self) -> &str {
+            "singleton"
+        }
+        fn context_window(&self) -> usize {
+            100_000
+        }
+        fn cost_usd(&self, usage: &Usage) -> f64 {
+            usage.total_tokens() as f64 * 1e-6
+        }
+        fn chat(&self, request: &ChatRequest) -> ChatResponse {
+            let body = &request.messages.last().unwrap().content;
+            let count = body
+                .lines()
+                .filter(|l| l.trim_start().starts_with("Question "))
+                .count()
+                .max(1);
+            let text = if count == 1 {
+                "Answer 1: yes\n".to_string()
+            } else {
+                String::new()
+            };
+            ChatResponse::new(
+                text,
+                Usage {
+                    prompt_tokens: 50,
+                    completion_tokens: 5,
+                },
+                1.0,
+            )
+        }
+    }
+
+    #[test]
+    fn degradation_splits_a_failing_batch_down_to_single_instances() {
+        use dprep_obs::CollectingTracer;
+        let audit = Arc::new(dprep_obs::AuditTracer::new());
+        let tracer = Arc::new(CollectingTracer::new());
+        let fan = Arc::new(
+            dprep_obs::MultiTracer::new()
+                .with(audit.clone() as Arc<dyn Tracer>)
+                .with(tracer.clone() as Arc<dyn Tracer>),
+        );
+        let instances = em_instances(4);
+        let plan = plan_for(&SingletonModel, &instances, 4);
+        assert_eq!(plan.requests().len(), 1);
+
+        // Without degradation the whole batch fails flat.
+        let flat = Executor::serial().run(&SingletonModel, &plan);
+        assert_eq!(flat.failed_count(), 4);
+
+        // With degradation the ladder halves 4 -> (2, 2) -> four singles,
+        // each of which answers: every instance recovers.
+        let exec = Executor::new(ExecutionOptions {
+            degrade: true,
+            ..ExecutionOptions::default()
+        })
+        .with_tracer(fan as Arc<dyn Tracer>);
+        let result = exec.run(&SingletonModel, &plan);
+        assert_eq!(result.failed_count(), 0, "all four recovered");
+        assert_eq!(result.stats.splits, 6, "two halves + four singles");
+        assert_eq!(result.stats.split_recovered, 4);
+        assert_eq!(result.stats.requests, 7);
+        assert_eq!(tracer.count("batch_split"), 6);
+        assert_eq!(tracer.count("planned"), 7);
+        assert_eq!(result.metrics.batch_splits, 6);
+        audit.assert_clean();
+    }
+
+    #[test]
+    fn degradation_retries_a_partial_miss_whole_before_splitting() {
+        // The parent batch answers questions 1 and 3 but skips 2: the miss
+        // set is a strict subset, so the ladder retries it as one
+        // single-instance request (a different prompt than the parent's)
+        // and recovers it without further splitting.
+        struct SkipSecond;
+        impl ChatModel for SkipSecond {
+            fn name(&self) -> &str {
+                "skip-second"
+            }
+            fn context_window(&self) -> usize {
+                100_000
+            }
+            fn cost_usd(&self, _usage: &Usage) -> f64 {
+                0.0
+            }
+            fn chat(&self, request: &ChatRequest) -> ChatResponse {
+                let body = &request.messages.last().unwrap().content;
+                let count = body
+                    .lines()
+                    .filter(|l| l.trim_start().starts_with("Question "))
+                    .count()
+                    .max(1);
+                let mut text = String::new();
+                for i in 1..=count {
+                    if i != 2 {
+                        text.push_str(&format!("Answer {i}: yes\n"));
+                    }
+                }
+                ChatResponse::new(text, Usage::default(), 0.5)
+            }
+        }
+        let instances = em_instances(3);
+        let plan = plan_for(&SkipSecond, &instances, 3);
+        let exec = Executor::new(ExecutionOptions {
+            degrade: true,
+            ..ExecutionOptions::default()
+        });
+        let result = exec.run(&SkipSecond, &plan);
+        assert_eq!(result.failed_count(), 0);
+        assert_eq!(result.stats.splits, 1, "one whole-miss retry, no halving");
+        assert_eq!(result.stats.split_recovered, 1);
+    }
+
+    #[test]
+    fn degraded_run_is_bit_identical_across_worker_counts() {
+        let instances = em_instances(12);
+        let mut reference: Option<RunResult> = None;
+        for workers in [1usize, 4] {
+            let plan = plan_for(&SingletonModel, &instances, 3);
+            let exec = Executor::new(ExecutionOptions {
+                workers,
+                degrade: true,
+                token_budget: Some(260),
+                ..ExecutionOptions::default()
+            });
+            let result = exec.run(&SingletonModel, &plan);
+            if let Some(reference) = &reference {
+                assert_eq!(result.predictions, reference.predictions);
+                assert_eq!(result.stats, reference.stats);
+                assert_eq!(result.metrics, reference.metrics, "workers={workers}");
+            } else {
+                reference = Some(result);
+            }
+        }
+    }
+
+    #[test]
     fn audit_tracer_passes_on_a_faulty_retried_cached_run() {
         use dprep_llm::FaultLayer;
         let base = CountingModel {
@@ -862,7 +1400,11 @@ mod tests {
         .with_tracer(Arc::clone(&tracer));
         let instances = em_instances(20);
         let plan = plan_for(&stack, &instances, 2);
-        let exec = Executor::new(ExecutionOptions { workers: 4 }).with_tracer(Arc::clone(&tracer));
+        let exec = Executor::new(ExecutionOptions {
+            workers: 4,
+            ..ExecutionOptions::default()
+        })
+        .with_tracer(Arc::clone(&tracer));
         let _ = exec.run(&stack, &plan);
         // A second run replays from the shared cache and must stay clean.
         let _ = exec.run(&stack, &plan);

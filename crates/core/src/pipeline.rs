@@ -38,6 +38,12 @@ pub enum FailureKind {
     Faulted,
     /// The serving layer faulted and the retry budget ran out.
     RetriesExhausted,
+    /// The run's deadline or token budget tripped before this instance's
+    /// request was consumed; its response (if any) was discarded unbilled.
+    BudgetExhausted,
+    /// The circuit breaker was open and short-circuited the request without
+    /// reaching the model.
+    CircuitOpen,
 }
 
 impl FailureKind {
@@ -49,17 +55,21 @@ impl FailureKind {
             FailureKind::ContextOverflow => "context-overflow",
             FailureKind::Faulted => "faulted",
             FailureKind::RetriesExhausted => "retries-exhausted",
+            FailureKind::BudgetExhausted => "budget-exhausted",
+            FailureKind::CircuitOpen => "circuit-open",
         }
     }
 
     /// All kinds, in reporting order.
-    pub fn all() -> [FailureKind; 5] {
+    pub fn all() -> [FailureKind; 7] {
         [
             FailureKind::FormatViolation,
             FailureKind::SkippedAnswer,
             FailureKind::ContextOverflow,
             FailureKind::Faulted,
             FailureKind::RetriesExhausted,
+            FailureKind::BudgetExhausted,
+            FailureKind::CircuitOpen,
         ]
     }
 }
@@ -135,7 +145,7 @@ impl RunResult {
     }
 
     /// Failure counts per kind, in [`FailureKind::all`] order.
-    pub fn failure_breakdown(&self) -> [(FailureKind, usize); 5] {
+    pub fn failure_breakdown(&self) -> [(FailureKind, usize); 7] {
         FailureKind::all().map(|kind| {
             let count = self
                 .predictions
@@ -152,6 +162,7 @@ pub struct Preprocessor<'a, M: ChatModel + ?Sized> {
     model: &'a M,
     config: PipelineConfig,
     tracer: Arc<dyn Tracer>,
+    exec_options: Option<ExecutionOptions>,
 }
 
 impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
@@ -161,7 +172,16 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
             model,
             config,
             tracer: Arc::new(NullTracer),
+            exec_options: None,
         }
+    }
+
+    /// Overrides the executor options wholesale (deadline, token budget,
+    /// batch degradation, workers). When set, the override's `workers`
+    /// field wins over [`PipelineConfig::workers`].
+    pub fn with_exec_options(mut self, options: ExecutionOptions) -> Self {
+        self.exec_options = Some(options);
+        self
     }
 
     /// Streams the executor's request-lifecycle events into `tracer`. Wire
@@ -181,11 +201,13 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
     /// configuration enables few-shot prompting.
     pub fn run(&self, instances: &[TaskInstance], examples: &[FewShotExample]) -> RunResult {
         let plan = ExecutionPlan::build(self.model, &self.config, instances, examples);
-        Executor::new(ExecutionOptions {
+        let options = self.exec_options.unwrap_or(ExecutionOptions {
             workers: self.config.workers,
-        })
-        .with_tracer(Arc::clone(&self.tracer))
-        .run(self.model, &plan)
+            ..ExecutionOptions::default()
+        });
+        Executor::new(options)
+            .with_tracer(Arc::clone(&self.tracer))
+            .run(self.model, &plan)
     }
 }
 

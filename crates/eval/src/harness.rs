@@ -29,7 +29,7 @@ pub struct Scored {
     pub failure_rate: f64,
     /// Failure counts per kind (format violations, skipped answers, context
     /// overflows, faults, exhausted retries).
-    pub failures: [(FailureKind, usize); 5],
+    pub failures: [(FailureKind, usize); 7],
     /// Request-level serving counters (dedup, retries, cache hits, faults).
     pub stats: ExecStats,
     /// Serving metrics (histograms, per-kind counters; empty for classical

@@ -135,6 +135,24 @@ pub enum FaultKind {
     Timeout,
     /// The stream was cut off: only a prefix of the completion arrived.
     TruncatedCompletion,
+    /// A transient transport error (connection reset, 5xx): nothing
+    /// arrived, nothing was billed.
+    Transient,
+    /// The provider rate-limited the request, suggesting a wait of
+    /// `retry_after_ms` milliseconds before re-issuing.
+    RateLimited {
+        /// Suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The completion arrived but was corrupted in transit: answer
+    /// markers are scrambled and nothing parses.
+    Garbled,
+    /// The provider rejected the request outright (a content filter or
+    /// policy refusal). Retrying the same request cannot succeed.
+    Rejected,
+    /// Shorted by an open circuit breaker: the request never reached the
+    /// model. Retrying through the same breaker cannot succeed.
+    CircuitOpen,
 }
 
 impl FaultKind {
@@ -143,6 +161,27 @@ impl FaultKind {
         match self {
             FaultKind::Timeout => "timeout",
             FaultKind::TruncatedCompletion => "truncated-completion",
+            FaultKind::Transient => "transient",
+            FaultKind::RateLimited { .. } => "rate-limited",
+            FaultKind::Garbled => "garbled",
+            FaultKind::Rejected => "rejected",
+            FaultKind::CircuitOpen => "circuit-open",
+        }
+    }
+
+    /// Whether re-issuing the request could plausibly succeed. Rejections
+    /// and breaker shorts are terminal: the retry layer stops immediately
+    /// instead of burning its budget.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, FaultKind::Rejected | FaultKind::CircuitOpen)
+    }
+
+    /// The provider's suggested wait before retrying, in seconds
+    /// (`None` unless rate-limited).
+    pub fn retry_after_secs(self) -> Option<f64> {
+        match self {
+            FaultKind::RateLimited { retry_after_ms } => Some(retry_after_ms as f64 / 1000.0),
+            _ => None,
         }
     }
 }
@@ -285,6 +324,28 @@ mod tests {
         assert_eq!(meta.fault, None);
         assert_eq!(meta.retries, 0);
         assert!(!meta.cache_hit);
+    }
+
+    #[test]
+    fn fault_kinds_classify_retryability() {
+        assert!(FaultKind::Timeout.is_retryable());
+        assert!(FaultKind::TruncatedCompletion.is_retryable());
+        assert!(FaultKind::Transient.is_retryable());
+        assert!(FaultKind::RateLimited {
+            retry_after_ms: 250
+        }
+        .is_retryable());
+        assert!(FaultKind::Garbled.is_retryable());
+        assert!(!FaultKind::Rejected.is_retryable());
+        assert!(!FaultKind::CircuitOpen.is_retryable());
+        assert_eq!(
+            FaultKind::RateLimited {
+                retry_after_ms: 250
+            }
+            .retry_after_secs(),
+            Some(0.25)
+        );
+        assert_eq!(FaultKind::Timeout.retry_after_secs(), None);
     }
 
     #[test]

@@ -34,6 +34,9 @@
 //! * [`middleware`] — composable serving layers over any [`ChatModel`]:
 //!   bounded retries with salted re-issue, request-hash response caching,
 //!   deterministic fault injection,
+//! * [`fault`] — scenario-driven fault schedules ([`FaultScenario`]
+//!   presets: burst outages, rate-limit storms, latency spikes, garbled
+//!   and partial completions) and the [`CircuitBreakerLayer`],
 //! * [`transcript`] — request/response recording with JSONL export,
 //! * [`json`] — the dependency-free JSON reader/writer behind the
 //!   transcript format.
@@ -47,6 +50,7 @@
 
 pub mod chat;
 pub mod comprehend;
+pub mod fault;
 pub mod json;
 pub mod knowledge;
 pub mod middleware;
@@ -59,6 +63,7 @@ pub mod transcript;
 pub mod usage;
 
 pub use chat::{ChatModel, ChatRequest, ChatResponse, FaultKind, Message, ResponseMeta, Role};
+pub use fault::{BreakerConfig, CircuitBreakerLayer, FaultEffect, FaultRule, FaultScenario};
 pub use knowledge::{Fact, KnowledgeBase};
 pub use middleware::{
     request_fingerprint, CacheLayer, CacheStore, FaultLayer, MiddlewareStats, RetryLayer,

@@ -34,6 +34,7 @@ use dprep_rng::stable_hash;
 use dprep_text::count_tokens;
 
 use crate::chat::{ChatModel, ChatRequest, ChatResponse, FaultKind};
+use crate::fault::{FaultEffect, FaultScenario};
 use crate::usage::Usage;
 
 /// Thread-safe counters shared by every layer of one middleware stack.
@@ -233,11 +234,22 @@ impl<M: ChatModel> ChatModel for RetryLayer<M> {
         let mut response = self.inner.chat(request);
         let mut attempts: u32 = 0;
 
-        while !is_complete(request, &response) && attempts < self.max_retries {
+        while !is_complete(request, &response)
+            && attempts < self.max_retries
+            // A non-retryable fault (rejection, open breaker) cannot clear
+            // on a re-issue: stop immediately instead of burning budget.
+            && response.meta.fault.is_none_or(FaultKind::is_retryable)
+        {
             attempts += 1;
             self.stats.retries.fetch_add(1, Ordering::Relaxed);
-            // Bill the failed attempt and wait out the backoff.
-            let backoff = self.backoff_base_secs * f64::from(1u32 << (attempts - 1));
+            // Bill the failed attempt and wait out the backoff: exponential,
+            // but never shorter than the provider's `retry_after` hint.
+            let exponential = self.backoff_base_secs * f64::from(1u32 << (attempts - 1));
+            let backoff = response
+                .meta
+                .fault
+                .and_then(FaultKind::retry_after_secs)
+                .map_or(exponential, |hint| exponential.max(hint));
             self.tracer.record(&TraceEvent::RetryAttempt {
                 request: request.trace_id,
                 attempt: attempts,
@@ -406,17 +418,29 @@ impl<M: ChatModel> ChatModel for CacheLayer<M> {
 /// Virtual latency a timed-out request burns before giving up.
 pub const TIMEOUT_LATENCY_SECS: f64 = 30.0;
 
+/// How a [`FaultLayer`] decides what to inject.
+enum FaultMode {
+    /// The original memoryless coin flip: `rate` of requests fault,
+    /// alternating by hash between timeout and truncation.
+    Uniform { rate: f64 },
+    /// A seeded [`FaultScenario`] schedule (burst outages, rate-limit
+    /// storms, latency spikes, …).
+    Scenario(FaultScenario),
+}
+
 /// Deterministically injects serving-layer faults.
 ///
 /// Whether a request faults is a pure function of `(fault seed, retry salt,
 /// prompt text)`: the same request faults on every run, and a retried
 /// request (fresh salt) usually clears — exactly the behaviour needed to
-/// exercise [`RetryLayer`] reproducibly. Injected kinds alternate by hash
-/// between [`FaultKind::Timeout`] (no completion, full timeout latency) and
-/// [`FaultKind::TruncatedCompletion`] (the completion is cut off mid-text).
+/// exercise [`RetryLayer`] reproducibly. [`FaultLayer::new`] keeps the
+/// original uniform mode (kinds alternate by hash between
+/// [`FaultKind::Timeout`] and [`FaultKind::TruncatedCompletion`]);
+/// [`FaultLayer::scenario`] injects a [`FaultScenario`] schedule instead,
+/// whose persistent rules deliberately outlast retry salts.
 pub struct FaultLayer<M> {
     inner: M,
-    rate: f64,
+    mode: FaultMode,
     seed: u64,
     stats: Arc<MiddlewareStats>,
     tracer: Arc<dyn Tracer>,
@@ -427,7 +451,20 @@ impl<M: ChatModel> FaultLayer<M> {
     pub fn new(inner: M, rate: f64, seed: u64) -> Self {
         FaultLayer {
             inner,
-            rate: rate.clamp(0.0, 1.0),
+            mode: FaultMode::Uniform {
+                rate: rate.clamp(0.0, 1.0),
+            },
+            seed,
+            stats: MiddlewareStats::shared(),
+            tracer: Arc::new(NullTracer),
+        }
+    }
+
+    /// Wraps `inner` with a scenario-driven fault schedule.
+    pub fn scenario(inner: M, scenario: FaultScenario, seed: u64) -> Self {
+        FaultLayer {
+            inner,
+            mode: FaultMode::Scenario(scenario),
             seed,
             stats: MiddlewareStats::shared(),
             tracer: Arc::new(NullTracer),
@@ -471,46 +508,144 @@ impl<M: ChatModel> ChatModel for FaultLayer<M> {
 
     fn chat(&self, request: &ChatRequest) -> ChatResponse {
         let full_text = request.full_text();
-        let h = stable_hash(self.seed ^ request.retry_salt, full_text.as_bytes());
-        let roll = (h >> 11) as f64 / (1u64 << 53) as f64;
-        if roll >= self.rate {
-            return self.inner.chat(request);
+        match &self.mode {
+            FaultMode::Uniform { rate } => {
+                let h = stable_hash(self.seed ^ request.retry_salt, full_text.as_bytes());
+                let roll = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if roll >= *rate {
+                    return self.inner.chat(request);
+                }
+                self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+                let kind = if h & 1 == 0 {
+                    FaultKind::Timeout
+                } else {
+                    FaultKind::TruncatedCompletion
+                };
+                self.tracer.record(&TraceEvent::FaultInjected {
+                    request: request.trace_id,
+                    kind: kind.label(),
+                });
+                if h & 1 == 0 {
+                    self.timeout_response(&full_text)
+                } else {
+                    self.truncate_response(request)
+                }
+            }
+            FaultMode::Scenario(scenario) => {
+                let Some((rule, h)) = scenario.decide(self.seed, request, &full_text) else {
+                    return self.inner.chat(request);
+                };
+                self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+                self.tracer.record(&TraceEvent::FaultInjected {
+                    request: request.trace_id,
+                    kind: rule.effect.label(),
+                });
+                self.apply_effect(rule.effect, h, request, &full_text)
+            }
         }
-        self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
-        let kind = if h & 1 == 0 {
-            FaultKind::Timeout
-        } else {
-            FaultKind::TruncatedCompletion
-        };
-        self.tracer.record(&TraceEvent::FaultInjected {
-            request: request.trace_id,
-            kind: kind.label(),
-        });
-        if h & 1 == 0 {
-            // Timeout: the prompt was transmitted (and billed) but nothing
-            // came back before the deadline.
-            let mut response = ChatResponse::new(
-                String::new(),
-                Usage {
-                    prompt_tokens: count_tokens(&full_text),
-                    completion_tokens: 0,
-                },
-                TIMEOUT_LATENCY_SECS,
-            );
-            response.meta.fault = Some(FaultKind::Timeout);
-            response
-        } else {
-            // Truncation: the stream was cut partway through the completion.
-            let mut response = self.inner.chat(request);
-            let cut = response.text.len() / 2;
-            let cut = (0..=cut)
-                .rev()
-                .find(|&i| response.text.is_char_boundary(i))
-                .unwrap_or(0);
-            response.text.truncate(cut);
-            response.usage.completion_tokens = count_tokens(&response.text);
-            response.meta.fault = Some(FaultKind::TruncatedCompletion);
-            response
+    }
+}
+
+impl<M: ChatModel> FaultLayer<M> {
+    /// Timeout: the prompt was transmitted (and billed) but nothing came
+    /// back before the deadline.
+    fn timeout_response(&self, full_text: &str) -> ChatResponse {
+        let mut response = ChatResponse::new(
+            String::new(),
+            Usage {
+                prompt_tokens: count_tokens(full_text),
+                completion_tokens: 0,
+            },
+            TIMEOUT_LATENCY_SECS,
+        );
+        response.meta.fault = Some(FaultKind::Timeout);
+        response
+    }
+
+    /// Truncation: the stream was cut partway through the completion.
+    fn truncate_response(&self, request: &ChatRequest) -> ChatResponse {
+        let mut response = self.inner.chat(request);
+        let cut = response.text.len() / 2;
+        let cut = (0..=cut)
+            .rev()
+            .find(|&i| response.text.is_char_boundary(i))
+            .unwrap_or(0);
+        response.text.truncate(cut);
+        response.usage.completion_tokens = count_tokens(&response.text);
+        response.meta.fault = Some(FaultKind::TruncatedCompletion);
+        response
+    }
+
+    fn apply_effect(
+        &self,
+        effect: FaultEffect,
+        h: u64,
+        request: &ChatRequest,
+        full_text: &str,
+    ) -> ChatResponse {
+        match effect {
+            FaultEffect::Timeout => self.timeout_response(full_text),
+            FaultEffect::Truncate => self.truncate_response(request),
+            FaultEffect::Transient => {
+                // Connection reset before anything was transmitted: nothing
+                // billed, one virtual second lost.
+                let mut response = ChatResponse::new(String::new(), Usage::default(), 1.0);
+                response.meta.fault = Some(FaultKind::Transient);
+                response
+            }
+            FaultEffect::RateLimited { base_ms } => {
+                // Throttled at the door: nothing billed, a fast refusal
+                // carrying a seeded `retry_after` hint.
+                let retry_after_ms = base_ms * (1 + h % 4);
+                let mut response = ChatResponse::new(String::new(), Usage::default(), 0.05);
+                response.meta.fault = Some(FaultKind::RateLimited { retry_after_ms });
+                response
+            }
+            FaultEffect::Garble => {
+                // The completion arrives, is billed in full, but its answer
+                // markers are corrupted so nothing parses.
+                let mut response = self.inner.chat(request);
+                response.text = response.text.replace("Answer ", "Answ#r ");
+                response.usage.completion_tokens = count_tokens(&response.text);
+                response.meta.fault = Some(FaultKind::Garbled);
+                response
+            }
+            FaultEffect::PartialAnswers => {
+                // The model silently drops the tail of the batch: no fault
+                // is flagged — incompleteness is the only signal.
+                let mut response = self.inner.chat(request);
+                let answers = answered_count(&response);
+                if answers > 1 {
+                    let keep = 1 + (h as usize) % (answers - 1).max(1);
+                    let mut kept = 0usize;
+                    let mut out = String::new();
+                    for line in response.text.lines() {
+                        if count_line_markers(line, "Answer ") == 1 {
+                            kept += 1;
+                            if kept > keep {
+                                break;
+                            }
+                        }
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                    response.text = out;
+                    response.usage.completion_tokens = count_tokens(&response.text);
+                }
+                response
+            }
+            FaultEffect::LatencySpike { factor } => {
+                // Intact but slow: correctness unharmed, deadlines burned.
+                let mut response = self.inner.chat(request);
+                response.latency_secs *= factor;
+                response
+            }
+            FaultEffect::Reject => {
+                // Refused outright; retrying the same request cannot help.
+                let mut response = ChatResponse::new(String::new(), Usage::default(), 0.1);
+                response.meta.fault = Some(FaultKind::Rejected);
+                response
+            }
         }
     }
 }
@@ -734,9 +869,161 @@ mod tests {
                     assert!(answered_count(&resp) < 3);
                     kinds.insert("truncated");
                 }
+                other => panic!("uniform mode never injects {other:?}"),
             }
         }
         assert_eq!(kinds.len(), 2, "both fault kinds appear");
+    }
+
+    #[test]
+    fn scenario_effects_carry_sensible_payloads() {
+        use crate::fault::{FaultEffect, FaultRule, FaultScenario};
+        let model = Scripted::always_complete();
+        let effects = [
+            FaultEffect::Transient,
+            FaultEffect::RateLimited { base_ms: 1000 },
+            FaultEffect::Garble,
+            FaultEffect::PartialAnswers,
+            FaultEffect::LatencySpike { factor: 10.0 },
+            FaultEffect::Reject,
+        ];
+        for effect in effects {
+            let scenario = FaultScenario {
+                name: "test",
+                rules: vec![FaultRule {
+                    rate: 1.0,
+                    effect,
+                    persist_attempts: 0,
+                    tag: 0,
+                }],
+            };
+            let layer = FaultLayer::scenario(&model, scenario, 5);
+            let req = batch_request(3);
+            let resp = layer.chat(&req);
+            match effect {
+                FaultEffect::Transient => {
+                    assert_eq!(resp.meta.fault, Some(FaultKind::Transient));
+                    assert_eq!(resp.usage, Usage::default(), "nothing billed");
+                }
+                FaultEffect::RateLimited { .. } => {
+                    let fault = resp.meta.fault.expect("rate-limited");
+                    let hint = fault.retry_after_secs().expect("carries a hint");
+                    assert!((1.0..=4.0).contains(&hint), "hint {hint}");
+                    assert_eq!(resp.usage, Usage::default(), "nothing billed");
+                }
+                FaultEffect::Garble => {
+                    assert_eq!(resp.meta.fault, Some(FaultKind::Garbled));
+                    assert_eq!(answered_count(&resp), 0, "markers corrupted");
+                    assert!(resp.usage.completion_tokens > 0, "billed in full");
+                }
+                FaultEffect::PartialAnswers => {
+                    assert_eq!(resp.meta.fault, None, "silent misalignment");
+                    let n = answered_count(&resp);
+                    assert!((1..3).contains(&n), "answered {n}/3");
+                    assert!(!is_complete(&req, &resp));
+                }
+                FaultEffect::LatencySpike { factor } => {
+                    assert_eq!(resp.meta.fault, None);
+                    assert!(is_complete(&req, &resp), "payload intact");
+                    assert!((resp.latency_secs - 2.0 * factor).abs() < 1e-9);
+                }
+                FaultEffect::Reject => {
+                    assert_eq!(resp.meta.fault, Some(FaultKind::Rejected));
+                    assert_eq!(resp.usage, Usage::default());
+                }
+                other => panic!("untested effect {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_layer_is_deterministic() {
+        use crate::fault::FaultScenario;
+        let model = Scripted::always_complete();
+        let run = |seed: u64| {
+            let layer = FaultLayer::scenario(&model, FaultScenario::flaky(), seed);
+            (0..100)
+                .map(|i| {
+                    let mut req = batch_request(2);
+                    req.messages[1].content.push_str(&format!("variant {i}\n"));
+                    layer.chat(&req).meta.fault.map(FaultKind::label)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3), "same seed, same weather");
+        assert_ne!(run(3), run(4), "different seed, different weather");
+        assert!(run(3).iter().any(Option::is_some), "flaky does fault");
+    }
+
+    #[test]
+    fn retry_honors_retry_after_hints_in_latency_and_trace() {
+        use crate::fault::{FaultEffect, FaultRule, FaultScenario};
+        use dprep_obs::CollectingTracer;
+        // Every request is throttled on its first attempt (persistent for
+        // one attempt) with a hint far above the exponential backoff; the
+        // first retry gets through.
+        let scenario = FaultScenario {
+            name: "throttle-once",
+            rules: vec![FaultRule {
+                rate: 1.0,
+                effect: FaultEffect::RateLimited { base_ms: 8000 },
+                persist_attempts: 1,
+                tag: 0,
+            }],
+        };
+        let model = Scripted::always_complete();
+        let tracer = Arc::new(CollectingTracer::new());
+        let stack = RetryLayer::new(FaultLayer::scenario(&model, scenario, 11), 2)
+            .with_backoff(1.0)
+            .with_tracer(tracer.clone() as Arc<dyn Tracer>);
+        let req = batch_request(2).with_trace_id(7);
+        let resp = stack.chat(&req);
+        assert_eq!(resp.meta.retries, 1);
+        assert!(is_complete(&req, &resp));
+
+        let events = tracer.events();
+        let TraceEvent::RetryAttempt { backoff_secs, .. } = events
+            .iter()
+            .find(|e| e.name() == "retry_attempt")
+            .expect("one retry")
+        else {
+            panic!("wrong event");
+        };
+        // The hint is 8s × (1 + h%4) ∈ [8, 32]: always above the 1s
+        // exponential backoff, so the honored wait IS the hint.
+        assert!(
+            (8.0..=32.0).contains(backoff_secs),
+            "backoff {backoff_secs}"
+        );
+        // And the wait shows up in the response's virtual latency:
+        // 0.05s throttle + hint + 2.0s successful attempt.
+        assert!(
+            (resp.latency_secs - (0.05 + backoff_secs + 2.0)).abs() < 1e-9,
+            "latency {} vs hint {}",
+            resp.latency_secs,
+            backoff_secs
+        );
+    }
+
+    #[test]
+    fn retry_stops_on_non_retryable_faults() {
+        use crate::fault::{FaultEffect, FaultRule, FaultScenario};
+        let scenario = FaultScenario {
+            name: "reject-all",
+            rules: vec![FaultRule {
+                rate: 1.0,
+                effect: FaultEffect::Reject,
+                persist_attempts: 0,
+                tag: 0,
+            }],
+        };
+        let model = Scripted::always_complete();
+        let layer = RetryLayer::new(FaultLayer::scenario(&model, scenario, 1), 3);
+        let resp = layer.chat(&batch_request(2));
+        assert_eq!(resp.meta.fault, Some(FaultKind::Rejected));
+        assert_eq!(resp.meta.retries, 0, "no budget burned on a rejection");
+        assert_eq!(model.calls(), 0, "the model was never consulted");
+        assert_eq!(layer.stats().retries, 0);
     }
 
     #[test]

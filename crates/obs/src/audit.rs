@@ -10,8 +10,9 @@
 //! 1. **Coverage** — every instance is answered or failed:
 //!    `answered + failed == instances`, and the run's self-reported counts
 //!    match the `parsed` / `failed` events actually emitted.
-//! 2. **Completion** — every planned request completes exactly once, and
-//!    nothing completes that was never planned.
+//! 2. **Completion** — every planned request completes exactly once **or**
+//!    is cancelled exactly once by a tripped run budget (never both), and
+//!    nothing completes or cancels that was never planned.
 //! 3. **Attempt reconciliation** — for every *fresh* (non-cache-hit)
 //!    request, the accumulated usage equals the sum of its retry attempts
 //!    plus the final attempt:
@@ -50,6 +51,7 @@ const EPS: f64 = 1e-6;
 struct RequestState {
     planned: bool,
     completed: bool,
+    cancelled: bool,
     cache_hit: bool,
     billed_prompt_tokens: usize,
     attributed: bool,
@@ -271,6 +273,27 @@ impl Tracer for AuditTracer {
             }
             TraceEvent::Parsed { .. } => state.run.parsed_events += 1,
             TraceEvent::Failed { .. } => state.run.failed_events += 1,
+            TraceEvent::Cancelled { request, .. } => {
+                // Cancellation is a terminal outcome that bills nothing: a
+                // request is either completed or cancelled, never both.
+                let req = state.run.requests.entry(*request).or_default();
+                if !req.planned {
+                    state
+                        .violations
+                        .push(format!("request {request} cancelled but never planned"));
+                }
+                if req.completed {
+                    state
+                        .violations
+                        .push(format!("request {request} both completed and cancelled"));
+                }
+                if req.cancelled {
+                    state
+                        .violations
+                        .push(format!("request {request} cancelled twice"));
+                }
+                req.cancelled = true;
+            }
             TraceEvent::RunFinished {
                 run,
                 instances,
@@ -358,7 +381,7 @@ impl Tracer for AuditTracer {
                     ));
                 }
                 for (id, req) in &r.requests {
-                    if req.planned && !req.completed {
+                    if req.planned && !req.completed && !req.cancelled {
                         v.push(format!(
                             "run {run}: request {id} planned but never completed"
                         ));
@@ -654,6 +677,94 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.contains("before completion")));
+    }
+
+    #[test]
+    fn cancelled_requests_are_a_valid_terminal_state() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 2,
+            batches: 2,
+            requests: 2,
+        });
+        for request in 1..=2u64 {
+            audit.record(&TraceEvent::Planned {
+                request,
+                batches: 1,
+                instances: 1,
+            });
+        }
+        audit.record(&completed(1, false, 0, 100));
+        audit.record(&TraceEvent::Parsed {
+            request: 1,
+            instance: 0,
+        });
+        // Request 2 is cancelled by a tripped budget: unbilled, its
+        // instance fails, and the ledger still reconciles.
+        audit.record(&TraceEvent::Cancelled {
+            request: 2,
+            reason: "token-budget",
+        });
+        audit.record(&TraceEvent::Failed {
+            request: 2,
+            instance: 1,
+            kind: "budget-exhausted",
+        });
+        audit.record(&TraceEvent::BudgetTripped {
+            run: 1,
+            reason: "token-budget",
+            cancelled: 1,
+        });
+        audit.record(&TraceEvent::RunFinished {
+            run: 1,
+            instances: 2,
+            answered: 1,
+            failed: 1,
+            requests: 2,
+            fresh_requests: 1,
+            cache_hits: 0,
+            prompt_tokens: 100,
+            completion_tokens: 10,
+            cost_usd: 0.25,
+            latency_secs: 2.0,
+        });
+        audit.assert_clean();
+    }
+
+    #[test]
+    fn detects_cancellation_bookkeeping_errors() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        // Cancelling something never planned is flagged...
+        audit.record(&TraceEvent::Cancelled {
+            request: 9,
+            reason: "deadline",
+        });
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("cancelled but never planned")));
+        // ...and so is cancelling a request that already completed.
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&completed(1, false, 0, 100));
+        audit.record(&TraceEvent::Cancelled {
+            request: 1,
+            reason: "deadline",
+        });
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("both completed and cancelled")));
     }
 
     #[test]

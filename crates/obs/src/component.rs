@@ -71,7 +71,7 @@ pub fn reconcile(sections: [usize; 5], billed: usize) -> [usize; 6] {
 /// maps to `"other"` — snapshots rebuilt from a trace produced by this
 /// workspace only ever see known labels.
 pub fn intern_label(label: &str) -> &'static str {
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 31] = [
         // components
         TASK_SPEC,
         ANSWER_FORMAT,
@@ -85,9 +85,24 @@ pub fn intern_label(label: &str) -> &'static str {
         "context-overflow",
         "faulted",
         "retries-exhausted",
-        // fault kinds (dprep-llm's FaultKind labels)
+        "budget-exhausted",
+        "circuit-open",
+        // fault kinds (dprep-llm's FaultKind / FaultEffect labels)
         "timeout",
         "truncated-completion",
+        "transient",
+        "rate-limited",
+        "garbled",
+        "rejected",
+        "partial-answers",
+        "latency-spike",
+        // budget-trip reasons
+        "deadline",
+        "token-budget",
+        // breaker states
+        "closed",
+        "open",
+        "half-open",
         // stages
         "plan",
         "prompt-build",

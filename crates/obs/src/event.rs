@@ -184,6 +184,40 @@ pub enum TraceEvent {
         /// Failure-kind label (e.g. `skipped-answer`, `context-overflow`).
         kind: &'static str,
     },
+    /// A planned request was cancelled before dispatch results were used:
+    /// a run budget tripped, so its instances fail without billing.
+    Cancelled {
+        /// Request id.
+        request: u64,
+        /// What tripped: `deadline` or `token-budget`.
+        reason: &'static str,
+    },
+    /// A run budget tripped: in-flight work finishes, the rest is
+    /// cancelled. Emitted once, before `RunFinished`.
+    BudgetTripped {
+        /// Run id.
+        run: u64,
+        /// What tripped: `deadline` or `token-budget`.
+        reason: &'static str,
+        /// Unique requests cancelled as a result.
+        cancelled: usize,
+    },
+    /// The circuit breaker changed state.
+    BreakerTransition {
+        /// The request whose outcome (or admission) drove the transition.
+        request: u64,
+        /// State before: `closed` / `open` / `half-open`.
+        from: &'static str,
+        /// State after.
+        to: &'static str,
+    },
+    /// The executor split a degraded batch in half for re-dispatch.
+    BatchSplit {
+        /// The fresh sub-request carrying the split group.
+        request: u64,
+        /// Instances in the split group.
+        instances: usize,
+    },
     /// The run finished; the ledger the run reported.
     RunFinished {
         /// Run id.
@@ -228,6 +262,10 @@ impl TraceEvent {
             TraceEvent::Stage { .. } => "stage",
             TraceEvent::Parsed { .. } => "parsed",
             TraceEvent::Failed { .. } => "failed",
+            TraceEvent::Cancelled { .. } => "cancelled",
+            TraceEvent::BudgetTripped { .. } => "budget_tripped",
+            TraceEvent::BreakerTransition { .. } => "breaker_transition",
+            TraceEvent::BatchSplit { .. } => "batch_split",
             TraceEvent::RunFinished { .. } => "run_finished",
         }
     }
@@ -244,9 +282,13 @@ impl TraceEvent {
             | TraceEvent::Completed { request, .. }
             | TraceEvent::PromptComponents { request, .. }
             | TraceEvent::Parsed { request, .. }
-            | TraceEvent::Failed { request, .. } => Some(*request),
+            | TraceEvent::Failed { request, .. }
+            | TraceEvent::Cancelled { request, .. }
+            | TraceEvent::BreakerTransition { request, .. }
+            | TraceEvent::BatchSplit { request, .. } => Some(*request),
             TraceEvent::RunStarted { .. }
             | TraceEvent::Stage { .. }
+            | TraceEvent::BudgetTripped { .. }
             | TraceEvent::RunFinished { .. } => None,
         }
     }

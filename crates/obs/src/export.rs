@@ -222,6 +222,26 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 .usize("instance", *instance)
                 .str("kind", kind);
         }
+        TraceEvent::Cancelled { request, reason } => {
+            line.u64("request", *request).str("reason", reason);
+        }
+        TraceEvent::BudgetTripped {
+            run,
+            reason,
+            cancelled,
+        } => {
+            line.u64("run", *run)
+                .str("reason", reason)
+                .usize("cancelled", *cancelled);
+        }
+        TraceEvent::BreakerTransition { request, from, to } => {
+            line.u64("request", *request)
+                .str("from", from)
+                .str("to", to);
+        }
+        TraceEvent::BatchSplit { request, instances } => {
+            line.u64("request", *request).usize("instances", *instances);
+        }
         TraceEvent::RunFinished {
             run,
             instances,
@@ -367,6 +387,24 @@ pub fn event_from_json(value: &Json) -> Result<TraceEvent, String> {
             request: u("request")?,
             instance: us("instance")?,
             kind: s("kind")?,
+        }),
+        "cancelled" => Ok(TraceEvent::Cancelled {
+            request: u("request")?,
+            reason: s("reason")?,
+        }),
+        "budget_tripped" => Ok(TraceEvent::BudgetTripped {
+            run: u("run")?,
+            reason: s("reason")?,
+            cancelled: us("cancelled")?,
+        }),
+        "breaker_transition" => Ok(TraceEvent::BreakerTransition {
+            request: u("request")?,
+            from: s("from")?,
+            to: s("to")?,
+        }),
+        "batch_split" => Ok(TraceEvent::BatchSplit {
+            request: u("request")?,
+            instances: us("instances")?,
         }),
         "run_finished" => Ok(TraceEvent::RunFinished {
             run: u("run")?,
@@ -591,6 +629,24 @@ mod tests {
                 request: 702,
                 instance: 1,
                 kind: "skipped-answer",
+            },
+            TraceEvent::Cancelled {
+                request: 703,
+                reason: "token-budget",
+            },
+            TraceEvent::BudgetTripped {
+                run: 7,
+                reason: "token-budget",
+                cancelled: 1,
+            },
+            TraceEvent::BreakerTransition {
+                request: 702,
+                from: "closed",
+                to: "open",
+            },
+            TraceEvent::BatchSplit {
+                request: 704,
+                instances: 4,
             },
             TraceEvent::RunFinished {
                 run: 7,

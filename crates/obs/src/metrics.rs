@@ -219,6 +219,10 @@ pub struct MetricsSnapshot {
     pub retries: usize,
     /// Fresh requests whose final response still carried a fault.
     pub faulted: usize,
+    /// Planned requests cancelled un-dispatched by a tripped run budget.
+    pub cancelled: usize,
+    /// Degraded batches split in half for re-dispatch.
+    pub batch_splits: usize,
     /// Instances with a parsed answer.
     pub answered: usize,
     /// Instances classified as failed, per failure-kind label.
@@ -284,6 +288,8 @@ impl MetricsSnapshot {
             ("deduped".into(), Json::Num(self.deduped as f64)),
             ("retries".into(), Json::Num(self.retries as f64)),
             ("faulted".into(), Json::Num(self.faulted as f64)),
+            ("cancelled".into(), Json::Num(self.cancelled as f64)),
+            ("batch_splits".into(), Json::Num(self.batch_splits as f64)),
             ("answered".into(), Json::Num(self.answered as f64)),
             ("failures".into(), map(&self.failures)),
             ("faults_injected".into(), map(&self.faults_injected)),
@@ -322,6 +328,13 @@ impl MetricsSnapshot {
             deduped: value.get("deduped")?.as_usize()?,
             retries: value.get("retries")?.as_usize()?,
             faulted: value.get("faulted")?.as_usize()?,
+            // Absent in snapshots written before the chaos harness: treat
+            // as zero so old baselines keep parsing.
+            cancelled: value.get("cancelled").and_then(Json::as_usize).unwrap_or(0),
+            batch_splits: value
+                .get("batch_splits")
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
             answered: value.get("answered")?.as_usize()?,
             failures: map("failures")?,
             faults_injected: map("faults_injected")?,
@@ -343,6 +356,8 @@ impl MetricsSnapshot {
         self.deduped += other.deduped;
         self.retries += other.retries;
         self.faulted += other.faulted;
+        self.cancelled += other.cancelled;
+        self.batch_splits += other.batch_splits;
         self.answered += other.answered;
         for (kind, n) in &other.failures {
             *self.failures.entry(kind).or_insert(0) += n;
@@ -393,6 +408,12 @@ impl MetricsSnapshot {
             "  retries         {} attempts, {} requests still faulted\n",
             self.retries, self.faulted
         ));
+        if self.cancelled + self.batch_splits > 0 {
+            out.push_str(&format!(
+                "  degradation     {} requests cancelled by budget, {} batch splits\n",
+                self.cancelled, self.batch_splits
+            ));
+        }
         out.push_str(&format!(
             "  instances       {} answered, {} failed\n",
             self.answered,
@@ -520,6 +541,8 @@ impl Tracer for MetricsRecorder {
             TraceEvent::Failed { kind, .. } => {
                 *m.failures.entry(kind).or_insert(0) += 1;
             }
+            TraceEvent::Cancelled { .. } => m.cancelled += 1,
+            TraceEvent::BatchSplit { .. } => m.batch_splits += 1,
             _ => {}
         }
     }
@@ -657,6 +680,43 @@ mod tests {
         assert!(h.quantile_midpoint(1.0) <= h.max());
         assert!(h.quantile_midpoint(0.0) >= h.min());
         assert_eq!(Histogram::new().quantile_midpoint(0.5), 0);
+    }
+
+    #[test]
+    fn cancellations_and_splits_fold_and_old_snapshots_still_parse() {
+        let rec = MetricsRecorder::new();
+        rec.record(&TraceEvent::Cancelled {
+            request: 3,
+            reason: "token-budget",
+        });
+        rec.record(&TraceEvent::BatchSplit {
+            request: 9,
+            instances: 4,
+        });
+        rec.record(&TraceEvent::BudgetTripped {
+            run: 1,
+            reason: "token-budget",
+            cancelled: 1,
+        });
+        let m = rec.snapshot();
+        assert_eq!(m.cancelled, 1);
+        assert_eq!(m.batch_splits, 1);
+        assert!(m.summary().contains("degradation"));
+        // Round trip keeps the new counters.
+        let text = m.to_json().to_json();
+        let rebuilt =
+            MetricsSnapshot::from_json(&crate::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(rebuilt, m);
+        // A pre-chaos snapshot (no cancelled/batch_splits keys) still
+        // parses, defaulting the new counters to zero.
+        let legacy = text
+            .replace("\"cancelled\":1,", "")
+            .replace("\"batch_splits\":1,", "");
+        assert_ne!(legacy, text, "fields were present to strip");
+        let parsed =
+            MetricsSnapshot::from_json(&crate::json::Json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(parsed.cancelled, 0);
+        assert_eq!(parsed.batch_splits, 0);
     }
 
     #[test]

@@ -168,6 +168,16 @@ impl RunReport {
             m.answered as f64,
         );
         counter(
+            "dprep_cancelled_requests_total",
+            "Requests cancelled by a tripped deadline or token budget.",
+            m.cancelled as f64,
+        );
+        counter(
+            "dprep_batch_splits_total",
+            "Degradation batch splits (halving a failing batch).",
+            m.batch_splits as f64,
+        );
+        counter(
             "dprep_prompt_tokens_total",
             "Billed prompt tokens.",
             m.prompt_tokens as f64,
@@ -263,6 +273,8 @@ impl RunReport {
         row("deduped batches", a.deduped as f64, b.deduped as f64);
         row("retries", a.retries as f64, b.retries as f64);
         row("faulted", a.faulted as f64, b.faulted as f64);
+        row("cancelled", a.cancelled as f64, b.cancelled as f64);
+        row("batch splits", a.batch_splits as f64, b.batch_splits as f64);
         row("answered", a.answered as f64, b.answered as f64);
         row("failed", a.failed() as f64, b.failed() as f64);
         row(

@@ -295,7 +295,11 @@ impl Tracer for SpanProfileBuilder {
             | TraceEvent::Dispatched { .. }
             | TraceEvent::PromptComponents { .. }
             | TraceEvent::Parsed { .. }
-            | TraceEvent::Failed { .. } => {}
+            | TraceEvent::Failed { .. }
+            | TraceEvent::Cancelled { .. }
+            | TraceEvent::BudgetTripped { .. }
+            | TraceEvent::BreakerTransition { .. }
+            | TraceEvent::BatchSplit { .. } => {}
         }
     }
 }

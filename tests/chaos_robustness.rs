@@ -1,0 +1,219 @@
+//! End-to-end chaos robustness: a token budget tripping mid-run leaves a
+//! partial, bit-identical, audited result; a burst-outage schedule drives
+//! the circuit breaker through its full closed → open → half-open → closed
+//! cycle while the ledger stays sound.
+
+use std::sync::Arc;
+
+use llm_data_preprocessors::core::{
+    ExecutionOptions, FailureKind, PipelineConfig, Prediction, Preprocessor, RunResult,
+};
+use llm_data_preprocessors::datasets::{dataset_by_name, Dataset};
+use llm_data_preprocessors::llm::{
+    CacheLayer, ChatModel, CircuitBreakerLayer, FaultLayer, FaultScenario, ModelProfile,
+    RetryLayer, SimulatedLlm,
+};
+use llm_data_preprocessors::obs::{AuditTracer, CollectingTracer, MultiTracer, TraceEvent, Tracer};
+
+/// Runs a dataset through the pipeline with explicit execution options.
+fn run_with_options(
+    ds: &Dataset,
+    model: &dyn ChatModel,
+    options: ExecutionOptions,
+    tracer: Arc<dyn Tracer>,
+) -> RunResult {
+    let mut config = PipelineConfig::best(ds.task);
+    config.workers = options.workers;
+    Preprocessor::new(model, config)
+        .with_exec_options(options)
+        .with_tracer(tracer)
+        .run(&ds.instances, &ds.few_shot)
+}
+
+#[test]
+fn token_budget_trips_mid_run_with_partial_results() {
+    let ds = dataset_by_name("Restaurant", 2.0, 0).unwrap();
+    let model = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(ds.kb.clone())).with_seed(0);
+
+    // Reference: unbudgeted run establishes the full cost of the workload.
+    let full = run_with_options(
+        &ds,
+        &model,
+        ExecutionOptions::default(),
+        Arc::new(MultiTracer::new()),
+    );
+    let full_tokens = full.usage.total_tokens();
+    let full_answered = full.predictions.len() - full.failed_count();
+    assert!(
+        full_answered > ds.len() / 2,
+        "unbudgeted run answers most instances"
+    );
+
+    // Under test: a budget of roughly half the workload, serial and
+    // parallel, both under the online ledger audit.
+    let budget = full_tokens / 2;
+    let mut runs = Vec::new();
+    for workers in [1usize, 4] {
+        let audit = Arc::new(AuditTracer::new());
+        let collector = Arc::new(CollectingTracer::new());
+        let tracer: Arc<dyn Tracer> = Arc::new(
+            MultiTracer::new()
+                .with(Arc::clone(&audit) as Arc<dyn Tracer>)
+                .with(Arc::clone(&collector) as Arc<dyn Tracer>),
+        );
+        let result = run_with_options(
+            &ds,
+            &model,
+            ExecutionOptions {
+                workers,
+                token_budget: Some(budget),
+                ..ExecutionOptions::default()
+            },
+            tracer,
+        );
+
+        // Partial completion: some instances answered, the rest classified
+        // as budget-exhausted — never silently dropped.
+        assert_eq!(result.predictions.len(), ds.len());
+        let answered = result.predictions.len() - result.failed_count();
+        assert!(answered > 0, "budgeted run answered nothing");
+        let exhausted = result
+            .predictions
+            .iter()
+            .filter(|p| p.failure() == Some(FailureKind::BudgetExhausted))
+            .count();
+        assert!(exhausted > 0, "budget never tripped");
+        assert!(
+            answered < full_answered,
+            "budgeted run answered as much as the unbudgeted one"
+        );
+        assert!(result.stats.cancelled > 0);
+
+        // The bill honors the budget up to the crossing request: strictly
+        // less than the full workload, and nothing billed after the trip.
+        assert!(result.usage.total_tokens() < full_tokens);
+
+        // The trip is visible in the trace, once, with the right reason.
+        let events = collector.events();
+        let trips: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BudgetTripped { .. }))
+            .collect();
+        assert_eq!(trips.len(), 1, "exactly one budget-tripped event");
+        if let TraceEvent::BudgetTripped {
+            reason, cancelled, ..
+        } = trips[0]
+        {
+            assert_eq!(*reason, "token-budget");
+            assert_eq!(*cancelled, result.stats.cancelled);
+        }
+
+        audit.assert_clean();
+        runs.push(result);
+    }
+
+    // Bit-identical partial results at any worker count.
+    assert_eq!(runs[0].predictions, runs[1].predictions);
+    assert_eq!(runs[0].usage, runs[1].usage);
+    assert_eq!(runs[0].metrics, runs[1].metrics);
+    assert_eq!(runs[0].stats.cancelled, runs[1].stats.cancelled);
+}
+
+#[test]
+fn burst_outage_drives_breaker_through_full_cycle() {
+    // Pinned workload and seed, chosen so the 30% burst-outage schedule
+    // produces at least one full closed → open → half-open → closed cycle.
+    let ds = dataset_by_name("Adult", 0.1, 0).unwrap();
+    let collector = Arc::new(CollectingTracer::new());
+    let audit = Arc::new(AuditTracer::new());
+    let tracer: Arc<dyn Tracer> = Arc::new(
+        MultiTracer::new()
+            .with(Arc::clone(&collector) as Arc<dyn Tracer>)
+            .with(Arc::clone(&audit) as Arc<dyn Tracer>),
+    );
+
+    // The breaker sits outside retry, so it observes post-retry outcomes;
+    // serial by construction — its consecutive-failure state is
+    // order-sensitive, so it never goes behind the parallel executor.
+    let sim = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(ds.kb.clone())).with_seed(0);
+    let faulty = FaultLayer::scenario(sim, FaultScenario::burst_outage(), 0)
+        .with_tracer(Arc::clone(&tracer));
+    let retried = RetryLayer::new(faulty, 2).with_tracer(Arc::clone(&tracer));
+    let breaker = CircuitBreakerLayer::new(retried).with_tracer(Arc::clone(&tracer));
+    let stack = CacheLayer::new(breaker).with_tracer(Arc::clone(&tracer));
+
+    let result = run_with_options(
+        &ds,
+        &stack,
+        ExecutionOptions::default(),
+        Arc::clone(&tracer),
+    );
+
+    // The breaker walked its full state machine, in order: it opened after
+    // consecutive failures, probed half-open after the cooldown, and closed
+    // again on a successful probe.
+    let transitions: Vec<(&'static str, &'static str)> = collector
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::BreakerTransition { from, to, .. } => Some((*from, *to)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        transitions.windows(3).any(|w| w
+            == [
+                ("closed", "open"),
+                ("open", "half-open"),
+                ("half-open", "closed"),
+            ]),
+        "no full breaker cycle in {transitions:?}"
+    );
+    // Every observed transition is a legal edge of the state machine.
+    for (from, to) in &transitions {
+        assert!(
+            matches!(
+                (*from, *to),
+                ("closed", "open")
+                    | ("open", "half-open")
+                    | ("half-open", "closed")
+                    | ("half-open", "open")
+            ),
+            "illegal transition {from} -> {to}"
+        );
+    }
+
+    // While open, requests were short-circuited: unbilled circuit-open
+    // responses that surface as classified failures, not hangs.
+    let shorted = collector
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::FaultInjected { kind, .. } if *kind == "circuit-open"))
+        .count();
+    assert!(shorted > 0, "open breaker never short-circuited a request");
+    let circuit_failures = result
+        .predictions
+        .iter()
+        .filter(|p| p.failure() == Some(FailureKind::CircuitOpen))
+        .count();
+    assert!(circuit_failures > 0, "no instance classified circuit-open");
+
+    // Terminal coverage holds under the outage: every instance is either
+    // answered or classified, and the ledger audits clean.
+    assert_eq!(result.predictions.len(), ds.len());
+    let answered = result.predictions.len() - result.failed_count();
+    assert!(answered > 0, "outage wiped out the whole run");
+    for p in &result.predictions {
+        match p {
+            Prediction::Answered(_) => {}
+            Prediction::Failed(kind) => assert!(
+                matches!(
+                    kind,
+                    FailureKind::CircuitOpen | FailureKind::RetriesExhausted | FailureKind::Faulted
+                ),
+                "unexpected failure kind under outage: {kind:?}"
+            ),
+        }
+    }
+    audit.assert_clean();
+}
