@@ -27,13 +27,18 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use dprep_core::{ExecutionOptions, PipelineConfig, Preprocessor, RunResult};
+use dprep_core::{
+    Durability, ExecutionOptions, KillSwitch, PipelineConfig, Preprocessor, RunResult,
+};
 use dprep_datasets::{dataset_by_name, Dataset};
 use dprep_llm::{
-    CacheLayer, CircuitBreakerLayer, FaultLayer, FaultScenario, ModelProfile, RetryLayer,
-    SimulatedLlm,
+    warm_cache_store, CacheLayer, CircuitBreakerLayer, FaultLayer, FaultScenario, ModelProfile,
+    RetryLayer, SimulatedLlm,
 };
-use dprep_obs::{AuditTracer, CollectingTracer, MetricsRecorder, MultiTracer, TraceEvent, Tracer};
+use dprep_obs::{
+    AuditTracer, CollectingTracer, DurableJournal, JournalEntry, MetricsRecorder, MetricsSnapshot,
+    MultiTracer, TerminalKind, TraceEvent, Tracer,
+};
 
 use crate::args::Flags;
 
@@ -102,6 +107,9 @@ pub fn run(flags: &Flags) -> Result<(), String> {
 
     println!();
     print!("{}", breaker_drill(&workloads[0], seed, retries)?);
+
+    println!();
+    print!("{}", kill_drill(&workloads[0], seed, retries, workers)?);
 
     if violations.is_empty() {
         println!();
@@ -230,6 +238,200 @@ fn failure_suffix(result: &RunResult) -> String {
         out.push(']');
     }
     out
+}
+
+/// The kill-point drill's pinned parameters: one workload under the
+/// partial-batch scenario with degradation on.
+struct Drill<'a> {
+    ds: &'a Dataset,
+    seed: u64,
+    retries: u32,
+}
+
+impl Drill<'_> {
+    /// One drill run with a fresh fault → retry → cache stack under the
+    /// given durability, kill switch, and warm cache entries.
+    fn run(
+        &self,
+        workers: usize,
+        durability: Durability,
+        kill: Option<KillSwitch>,
+        warm: &[JournalEntry],
+        audit: Option<&Arc<AuditTracer>>,
+    ) -> Result<RunResult, String> {
+        let recorder = Arc::new(MetricsRecorder::new());
+        let mut multi = MultiTracer::new().with(Arc::clone(&recorder) as Arc<dyn Tracer>);
+        if let Some(audit) = audit {
+            multi = multi.with(Arc::clone(audit) as Arc<dyn Tracer>);
+        }
+        let tracer: Arc<dyn Tracer> = Arc::new(multi);
+        let sim = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(self.ds.kb.clone()))
+            .with_seed(self.seed);
+        let faulty = FaultLayer::scenario(sim, FaultScenario::partial_batch(), self.seed)
+            .with_tracer(Arc::clone(&tracer));
+        let retried = RetryLayer::new(faulty, self.retries).with_tracer(Arc::clone(&tracer));
+        let mut cache = CacheLayer::new(retried).with_tracer(Arc::clone(&tracer));
+        if !warm.is_empty() {
+            cache = cache.with_store(warm_cache_store(warm));
+        }
+        let mut config = PipelineConfig::best(self.ds.task);
+        config.workers = workers;
+        let mut preprocessor = Preprocessor::new(&cache, config)
+            .with_exec_options(ExecutionOptions {
+                workers,
+                degrade: true,
+                ..ExecutionOptions::default()
+            })
+            .with_durability(durability)
+            .with_tracer(tracer);
+        if let Some(kill) = kill {
+            preprocessor = preprocessor.with_kill_switch(kill);
+        }
+        preprocessor.try_run(&self.ds.instances, &self.ds.few_shot)
+    }
+}
+
+/// A metrics snapshot with its journal counters zeroed, so a resumed run
+/// (which replays instead of writing) compares equal to the uninterrupted
+/// reference on everything else.
+fn strip_journal_counters(mut metrics: MetricsSnapshot) -> MetricsSnapshot {
+    metrics.journal_replayed = 0;
+    metrics.journal_written = 0;
+    metrics.journal_truncated = 0;
+    metrics
+}
+
+/// The kill-point drill: journal an uninterrupted reference run, then for
+/// every kill point N in the sweep, run with a seeded [`KillSwitch`] that
+/// aborts right after the Nth terminal event is journaled, resume from
+/// that journal with a fresh stack, and assert the resumed run is
+/// **bit-identical** to the reference — predictions, billed usage, stats,
+/// and metrics (minus the journal counters) — with every fingerprint
+/// billed exactly once across the kill/resume pair. Resumes alternate
+/// between serial and `--workers N` to cover worker-count invariance too.
+fn kill_drill(ds: &Dataset, seed: u64, retries: u32, workers: usize) -> Result<String, String> {
+    let temp = |tag: &str| {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "dprep-chaos-kill-{}-{seed}-{tag}.jsonl",
+            std::process::id()
+        ));
+        p
+    };
+
+    // Uninterrupted reference, journaled: its entry count is the number of
+    // kill points, and its fingerprint set is the exactly-once oracle.
+    let ref_path = temp("ref");
+    let ref_journal = Arc::new(
+        DurableJournal::fresh(&ref_path, "sim-gpt-4", "chaos-kill", seed)
+            .map_err(|e| format!("cannot create drill journal: {e}"))?,
+    );
+    let drill = Drill { ds, seed, retries };
+    let reference = drill.run(
+        workers,
+        Durability::new().with_journal(Arc::clone(&ref_journal)),
+        None,
+        &[],
+        None,
+    )?;
+    let kill_points = ref_journal.written();
+    let recovered = DurableJournal::resume(&ref_path)?;
+    let mut oracle: Vec<u64> = recovered
+        .entries
+        .iter()
+        .filter(|e| e.kind == TerminalKind::Completed)
+        .map(|e| e.fingerprint)
+        .collect();
+    oracle.sort_unstable();
+    std::fs::remove_file(&ref_path).ok();
+
+    let mut violations: Vec<String> = Vec::new();
+    for n in 1..=kill_points {
+        let path = temp(&n.to_string());
+        let journal = Arc::new(
+            DurableJournal::fresh(&path, "sim-gpt-4", "chaos-kill", seed)
+                .map_err(|e| format!("cannot create drill journal: {e}"))?,
+        );
+        let kill = KillSwitch::after(n);
+        let killed = drill.run(
+            workers,
+            Durability::new().with_journal(journal),
+            Some(kill.clone()),
+            &[],
+            None,
+        )?;
+        drop(killed); // a crashed process would never have delivered it
+        if !kill.fired() {
+            violations.push(format!("kill point {n}: switch never fired"));
+            std::fs::remove_file(&path).ok();
+            continue;
+        }
+        let recovered = DurableJournal::resume(&path)?;
+        // Resume keeps journaling into the same file, like a restarted
+        // command with both --resume and --journal pointing at it.
+        let durability = Durability::new()
+            .with_replay(&recovered.entries, recovered.header.plan)
+            .with_journal(Arc::new(recovered.journal));
+        let audit = Arc::new(AuditTracer::new());
+        let resume_workers = if n % 2 == 0 { 1 } else { workers };
+        let resumed = drill.run(
+            resume_workers,
+            durability,
+            None,
+            &recovered.entries,
+            Some(&audit),
+        )?;
+        if resumed.predictions != reference.predictions {
+            violations.push(format!("kill point {n}: predictions diverge after resume"));
+        }
+        if resumed.usage != reference.usage {
+            violations.push(format!(
+                "kill point {n}: billed usage diverges after resume ({} vs {} tokens)",
+                resumed.usage.total_tokens(),
+                reference.usage.total_tokens()
+            ));
+        }
+        if resumed.stats != reference.stats {
+            violations.push(format!("kill point {n}: exec stats diverge after resume"));
+        }
+        if strip_journal_counters(resumed.metrics.clone())
+            != strip_journal_counters(reference.metrics.clone())
+        {
+            violations.push(format!("kill point {n}: metrics diverge after resume"));
+        }
+        for v in audit.violations() {
+            violations.push(format!("kill point {n}: audit: {v}"));
+        }
+        // Exactly-once billing: the final journal holds each completed
+        // fingerprint once, and the set matches the reference run's.
+        let finished = DurableJournal::resume(&path)?;
+        let mut fingerprints: Vec<u64> = finished
+            .entries
+            .iter()
+            .filter(|e| e.kind == TerminalKind::Completed)
+            .map(|e| e.fingerprint)
+            .collect();
+        fingerprints.sort_unstable();
+        if fingerprints.windows(2).any(|w| w[0] == w[1]) {
+            violations.push(format!("kill point {n}: a fingerprint was billed twice"));
+        }
+        if fingerprints != oracle {
+            violations.push(format!(
+                "kill point {n}: journaled fingerprint set diverges from the reference"
+            ));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    if violations.is_empty() {
+        Ok(format!(
+            "kill drill ({}, partial-batch, degrade on): {kill_points} kill point(s), \
+             every resume bit-identical, 0 double-billed fingerprints\n",
+            ds.name
+        ))
+    } else {
+        Err(format!("kill drill failed: {}", violations.join("; ")))
+    }
 }
 
 /// The serial circuit-breaker drill: a burst-outage schedule behind a

@@ -7,8 +7,8 @@ use dprep_tabular::csv::write_csv;
 
 use crate::args::{model_profile, Flags};
 use crate::commands::{
-    apply_serving, attrs_for, build_model, load_table, print_metrics, print_usage_footer,
-    serving_from_flags, Observability,
+    apply_serving, attrs_for, build_model, durability_from_serving, load_table, print_metrics,
+    print_usage_footer, serving_from_flags, Observability,
 };
 use crate::facts;
 
@@ -21,22 +21,34 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let serving = serving_from_flags(flags)?;
     let obs = Observability::from_serving(&serving)?;
     let stats = dprep_llm::MiddlewareStats::shared();
-    let model = apply_serving(
-        build_model(profile, kb, flags.seed()?),
-        &serving,
-        &stats,
-        obs.tracer(),
-    );
-
+    let seed = flags.seed()?;
     let mut detect_config = PipelineConfig::best(Task::ErrorDetection);
     detect_config.workers = serving.workers;
     let mut impute_config = PipelineConfig::best(Task::Imputation);
     impute_config.workers = serving.workers;
+    // One journal covers both passes; its config identity is the pair of
+    // pass descriptors (the header's plan fingerprint binds the detect
+    // pass — the impute plan derives deterministically from its results).
+    let descriptor = format!(
+        "{} ++ {}",
+        detect_config.descriptor(),
+        impute_config.descriptor()
+    );
+    let (durability, warm) = durability_from_serving(&serving, &profile.name, &descriptor, seed)?;
+    let model = apply_serving(
+        build_model(profile, kb, seed),
+        &serving,
+        &stats,
+        obs.tracer(),
+        &warm,
+    );
+
     let repairer = Repairer::new(&model)
         .with_detect_config(detect_config)
         .with_impute_config(impute_config)
+        .with_durability(durability)
         .with_tracer(obs.tracer());
-    let outcome = repairer.repair(&table, &attrs, &[], &[]);
+    let outcome = repairer.try_repair(&table, &attrs, &[], &[])?;
 
     print!("{}", write_csv(&outcome.table));
     for repair in &outcome.repairs {

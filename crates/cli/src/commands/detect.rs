@@ -5,8 +5,8 @@ use dprep_prompt::{Task, TaskInstance};
 
 use crate::args::{model_profile, Flags};
 use crate::commands::{
-    apply_serving, attrs_for, build_model, load_table, print_metrics, print_usage_footer,
-    serving_from_flags, Observability,
+    apply_serving, attrs_for, build_model, durability_from_serving, load_table, print_metrics,
+    print_usage_footer, serving_from_flags, Observability,
 };
 use crate::facts;
 
@@ -19,11 +19,17 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let serving = serving_from_flags(flags)?;
     let obs = Observability::from_serving(&serving)?;
     let stats = dprep_llm::MiddlewareStats::shared();
+    let seed = flags.seed()?;
+    let mut config = PipelineConfig::best(Task::ErrorDetection);
+    config.workers = serving.workers;
+    let (durability, warm) =
+        durability_from_serving(&serving, &profile.name, &config.descriptor(), seed)?;
     let model = apply_serving(
-        build_model(profile, kb, flags.seed()?),
+        build_model(profile, kb, seed),
         &serving,
         &stats,
         obs.tracer(),
+        &warm,
     );
 
     let mut instances = Vec::new();
@@ -48,10 +54,10 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         return Err("no checkable cells (everything missing?)".into());
     }
 
-    let mut config = PipelineConfig::best(Task::ErrorDetection);
-    config.workers = serving.workers;
-    let preprocessor = Preprocessor::new(&model, config).with_tracer(obs.tracer());
-    let result = preprocessor.run(&instances, &[]);
+    let preprocessor = Preprocessor::new(&model, config)
+        .with_durability(durability)
+        .with_tracer(obs.tracer());
+    let result = preprocessor.try_run(&instances, &[])?;
 
     println!("row\tattribute\tvalue\tverdict\treason");
     let mut flagged = 0usize;

@@ -10,11 +10,12 @@ pub mod report;
 
 use std::sync::Arc;
 
-use dprep_core::ExecStats;
+use dprep_core::{Durability, ExecStats};
 use dprep_llm::{
-    CacheLayer, ChatModel, KnowledgeBase, MiddlewareStats, ModelProfile, RetryLayer, SimulatedLlm,
+    warm_cache_store, CacheLayer, ChatModel, KnowledgeBase, MiddlewareStats, ModelProfile,
+    RetryLayer, SimulatedLlm,
 };
-use dprep_obs::{AuditTracer, JsonlTracer, MultiTracer, Tracer};
+use dprep_obs::{AuditTracer, DurableJournal, JournalEntry, JsonlTracer, MultiTracer, Tracer};
 use dprep_tabular::Table;
 
 use crate::args::Flags;
@@ -49,6 +50,11 @@ pub struct Serving {
     pub metrics_out: Option<String>,
     /// Audit ledger invariants online; violations fail the command.
     pub audit: bool,
+    /// Crash-safe run journal output path (`--journal FILE`).
+    pub journal: Option<String>,
+    /// Journal to resume from (`--resume FILE`): completed requests replay
+    /// instead of re-dispatching.
+    pub resume: Option<String>,
 }
 
 /// Parses the serving flags (defaults: 1 worker, 2 retries, cache off,
@@ -73,6 +79,8 @@ pub fn serving_from_flags(flags: &Flags) -> Result<Serving, String> {
         metrics,
         metrics_out,
         audit: flags.bool_or("audit", false)?,
+        journal: flags.get("journal").map(str::to_string),
+        resume: flags.get("resume").map(str::to_string),
     })
 }
 
@@ -169,14 +177,104 @@ impl Observability {
     }
 }
 
+/// Whether two flag paths name the same file. Falls back to literal
+/// equality when either path cannot be canonicalized (e.g. does not exist
+/// yet) — a nonexistent journal target cannot be the recovered file.
+fn same_path(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    match (std::fs::canonicalize(a), std::fs::canonicalize(b)) {
+        (Ok(ca), Ok(cb)) => ca == cb,
+        _ => false,
+    }
+}
+
+/// Builds the [`Durability`] a command's run executes under from the
+/// `--journal` / `--resume` serving flags, plus the recovered entries (for
+/// seeding a journal-warmed response cache).
+///
+/// `--resume FILE` recovers the journal — truncating a torn final line
+/// with a warning — and rejects it unless the header's model, config
+/// descriptor, and seed all match the current invocation. (The plan
+/// fingerprint in the header is checked by the executor itself, against
+/// the actual plan, before any request runs.) `--journal FILE` opens the
+/// file up front, which doubles as the startup writability probe; when it
+/// names the same file as `--resume`, the recovered handle is reused so
+/// appends extend the existing journal instead of truncating it.
+pub fn durability_from_serving(
+    serving: &Serving,
+    model_name: &str,
+    config: &str,
+    seed: u64,
+) -> Result<(Durability, Vec<JournalEntry>), String> {
+    let mut durability = Durability::new();
+    let Some(resume_path) = serving.resume.as_deref() else {
+        if let Some(journal_path) = serving.journal.as_deref() {
+            let journal = DurableJournal::fresh(journal_path, model_name, config, seed)
+                .map_err(|e| format!("cannot create journal {journal_path:?}: {e}"))?;
+            durability = durability.with_journal(Arc::new(journal));
+        }
+        return Ok((durability, Vec::new()));
+    };
+    let recovered = DurableJournal::resume(resume_path)?;
+    if let Some(warning) = &recovered.warning {
+        eprintln!("[journal warning] {warning}");
+    }
+    let mismatch = |what: &str, recorded: &str, current: &str| {
+        format!(
+            "journal {resume_path:?} was recorded under {what} {recorded:?} \
+             but this run uses {current:?}; refusing to resume"
+        )
+    };
+    if recovered.header.model != model_name {
+        return Err(mismatch("model", &recovered.header.model, model_name));
+    }
+    if recovered.header.config != config {
+        return Err(mismatch("config", &recovered.header.config, config));
+    }
+    if recovered.header.seed != seed {
+        return Err(mismatch(
+            "seed",
+            &recovered.header.seed.to_string(),
+            &seed.to_string(),
+        ));
+    }
+    durability = durability.with_replay(&recovered.entries, recovered.header.plan);
+    let truncated = recovered.journal.truncated();
+    match serving.journal.as_deref() {
+        // Same file: keep appending to the recovered journal (it carries
+        // its own torn-tail truncation count into the run's JournalState).
+        Some(journal_path) if same_path(journal_path, resume_path) => {
+            durability = durability.with_journal(Arc::new(recovered.journal));
+        }
+        // Different file: start it fresh; the recovered handle is dropped,
+        // so its truncation count rides on the durability instead.
+        Some(journal_path) => {
+            let journal = DurableJournal::fresh(journal_path, model_name, config, seed)
+                .map_err(|e| format!("cannot create journal {journal_path:?}: {e}"))?;
+            durability = durability
+                .with_journal(Arc::new(journal))
+                .with_truncated(truncated);
+        }
+        // Read-only resume: replay without journaling further.
+        None => durability = durability.with_truncated(truncated),
+    }
+    Ok((durability, recovered.entries))
+}
+
 /// Wraps `model` in the middleware stack the serving options ask for
 /// (cache over retry), reporting into `stats` and streaming lifecycle
-/// events into `tracer`.
+/// events into `tracer`. `warm` is the recovered journal of a resumed run:
+/// when caching is on, the cache store is pre-seeded with every journaled
+/// response the uninterrupted run's cache would have memoized, so
+/// cross-run cache hits bill identically on resume.
 pub fn apply_serving<M: ChatModel + 'static>(
     model: M,
     serving: &Serving,
     stats: &Arc<MiddlewareStats>,
     tracer: Arc<dyn Tracer>,
+    warm: &[JournalEntry],
 ) -> Box<dyn ChatModel> {
     let mut stack: Box<dyn ChatModel> = Box::new(model);
     if serving.retries > 0 {
@@ -187,11 +285,13 @@ pub fn apply_serving<M: ChatModel + 'static>(
         );
     }
     if serving.cache {
-        stack = Box::new(
-            CacheLayer::new(stack)
-                .with_stats(Arc::clone(stats))
-                .with_tracer(tracer),
-        );
+        let mut cache = CacheLayer::new(stack)
+            .with_stats(Arc::clone(stats))
+            .with_tracer(tracer);
+        if !warm.is_empty() {
+            cache = cache.with_store(warm_cache_store(warm));
+        }
+        stack = Box::new(cache);
     }
     stack
 }

@@ -89,6 +89,16 @@ OBSERVABILITY (detect/impute/clean/match):
                    off), or write the metrics snapshot as JSON to FILE
   --audit on|off   check ledger invariants online; violations fail the command
 
+DURABILITY (detect/impute/clean/match):
+  --journal FILE   append every terminal request to a crash-safe JSONL run
+                   journal (flushed line-atomically; probed at startup)
+  --resume FILE    replay completed requests from a recovered journal and
+                   execute only the remainder — bit-identical to an
+                   uninterrupted run. A torn final line is truncated with a
+                   warning; a journal whose header (plan, model, config,
+                   seed) mismatches the current run is rejected up front.
+                   Pass the same FILE to both flags to keep extending it.
+
 REPORT:
   Reads a --trace JSONL file or a metrics-snapshot JSON file and renders
   quality, cost breakdown by prompt component, latency quantiles, the
@@ -101,7 +111,10 @@ CHAOS:
   terminal coverage, the serving-ledger audit, monotone degradation, and
   bit-identical results across worker counts; then drives the circuit
   breaker through closed -> open -> half-open -> closed under a burst
-  outage. Any violation fails the command.
+  outage, and runs the kill-point drill: a journaled run is aborted after
+  every Nth terminal event in turn and resumed, asserting bit-identity
+  with the uninterrupted run and exactly-once billing at every kill
+  point. Any violation fails the command.
 
 MODELS: sim-gpt-4 (default), sim-gpt-3.5, sim-gpt-3, sim-vicuna-13b
 

@@ -174,6 +174,29 @@ impl PipelineConfig {
         }
     }
 
+    /// A stable one-line descriptor of everything that shapes prompts and
+    /// batching — the run journal's config identity. The worker count is
+    /// deliberately excluded (results are worker-invariant, so a journal
+    /// recorded at `--workers 8` resumes fine at `--workers 1`); the seed
+    /// is excluded too because the journal header carries it separately.
+    pub fn descriptor(&self) -> String {
+        format!(
+            "{:?}|fs={}|b={}|r={}|bs={}|cluster={}|k={}|confirm={}|hint={:?}|feat={:?}|temp={:?}|fit={}",
+            self.task,
+            self.components.few_shot,
+            self.components.batching,
+            self.components.reasoning,
+            self.batch_size,
+            self.cluster_batching,
+            self.clusters,
+            self.confirm_target,
+            self.type_hint,
+            self.feature_indices,
+            self.temperature,
+            self.fit_context,
+        )
+    }
+
     /// The prompt-level configuration (what `dprep-prompt` consumes).
     pub fn prompt_config(&self) -> PromptConfig {
         PromptConfig {

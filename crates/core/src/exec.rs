@@ -19,14 +19,20 @@
 //! with 1 — same predictions, same usage totals, same counters. Parallelism
 //! changes wall-clock time and nothing else.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use dprep_llm::{request_fingerprint, ChatModel, ChatRequest, FaultKind, UsageTotals};
-use dprep_obs::{MetricsRecorder, NullTracer, TraceEvent, Tracer};
+use dprep_llm::{
+    is_complete, request_fingerprint, ChatModel, ChatRequest, ChatResponse, FaultKind, Usage,
+    UsageTotals,
+};
+use dprep_obs::{
+    DurableJournal, JournalEntry, MetricsRecorder, NullTracer, TerminalKind, TraceEvent, Tracer,
+};
 use dprep_prompt::{
-    build_request, build_request_sections, make_batches, parse_response, FewShotExample,
-    PromptConfig, TaskInstance,
+    build_request, make_batches, parse_response, FewShotExample, PromptConfig, PromptContext,
+    TaskInstance,
 };
 
 use crate::config::PipelineConfig;
@@ -54,11 +60,17 @@ pub struct ExecutionPlan {
     /// (attribution order: task-spec, answer-format, cot, few-shot,
     /// instances).
     sections: Vec<[usize; 5]>,
+    /// `request_fingerprint` of each unique request, aligned with
+    /// `requests` — the dedup keys, kept because they are also the
+    /// journal's request identities and the plan fingerprint's input.
+    fingerprints: Vec<u64>,
     n_instances: usize,
-    /// Prompt-building context retained so the executor can rebuild smaller
-    /// sub-batches when graceful degradation splits a failing batch.
+    /// Prompt configuration retained for response parsing (reasoning mode).
     prompt_config: PromptConfig,
-    shots: Vec<FewShotExample>,
+    /// Prompt-building context with the plan-invariant sections (system
+    /// message, few-shot turns) rendered and tokenized exactly once; reused
+    /// when graceful degradation rebuilds smaller sub-batches.
+    context: PromptContext,
     instances: Vec<TaskInstance>,
     temperature: Option<f64>,
     /// Wall-clock seconds spent deciding batch membership and deduplication.
@@ -104,16 +116,21 @@ impl ExecutionPlan {
         }
 
         let plan_started = std::time::Instant::now();
-        let mut prompt_build_wall_secs = 0.0;
+        // Render the plan-invariant sections (system message, few-shot
+        // turns) exactly once; every batch below shares them and only the
+        // per-batch question body is rendered and tokenized per request.
+        let context_started = std::time::Instant::now();
+        let context = PromptContext::new(&prompt_config, shots);
+        let mut prompt_build_wall_secs = context_started.elapsed().as_secs_f64();
         let mut batches = Vec::new();
         let mut requests: Vec<ChatRequest> = Vec::new();
         let mut sections: Vec<[usize; 5]> = Vec::new();
-        let mut seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut fingerprints: Vec<u64> = Vec::new();
+        let mut seen: HashMap<u64, usize> = HashMap::new();
         for batch in make_batches(instances, &strategy, config.seed) {
             let batch_refs: Vec<&TaskInstance> = batch.iter().map(|&i| &instances[i]).collect();
             let build_started = std::time::Instant::now();
-            let (mut request, request_sections) =
-                build_request_sections(&prompt_config, shots, &batch_refs);
+            let (mut request, request_sections) = context.build(&batch_refs);
             prompt_build_wall_secs += build_started.elapsed().as_secs_f64();
             if let Some(t) = config.temperature {
                 request = request.with_temperature(t);
@@ -128,6 +145,7 @@ impl ExecutionPlan {
             let request_index = *seen.entry(key).or_insert_with(|| {
                 requests.push(request);
                 sections.push(request_sections.as_array());
+                fingerprints.push(key);
                 requests.len() - 1
             });
             batches.push(PlannedBatch {
@@ -140,9 +158,10 @@ impl ExecutionPlan {
             batches,
             requests,
             sections,
+            fingerprints,
             n_instances: instances.len(),
             prompt_config,
-            shots: shots.to_vec(),
+            context,
             instances: instances.to_vec(),
             temperature: config.temperature,
             plan_wall_secs: (plan_started.elapsed().as_secs_f64() - prompt_build_wall_secs)
@@ -171,6 +190,26 @@ impl ExecutionPlan {
     /// Batches whose request is served by an earlier identical batch.
     pub fn deduped_batches(&self) -> usize {
         self.batches.len() - self.requests.len()
+    }
+
+    /// `request_fingerprint` of each unique request, aligned with
+    /// [`requests`](Self::requests).
+    pub fn fingerprints(&self) -> &[u64] {
+        &self.fingerprints
+    }
+
+    /// A stable fingerprint of the whole plan: a deterministic fold over
+    /// the unique request fingerprints in plan order. Two plans built from
+    /// the same model, configuration, instances, and seed always agree; any
+    /// change to a prompt, the batch shape, the temperature, or the model
+    /// changes it. This is the identity a run journal is recorded under —
+    /// a resumed run refuses a journal whose plan fingerprint differs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0x9e37_79b9_7f4a_7c15u64 ^ (self.fingerprints.len() as u64);
+        for &f in &self.fingerprints {
+            acc = acc.rotate_left(13) ^ f.wrapping_mul(0x0100_0000_01b3);
+        }
+        acc
     }
 }
 
@@ -247,11 +286,136 @@ impl ExecStats {
     }
 }
 
+/// Durable-run wiring for an executor: an optional journal that records
+/// every terminal request, and (on resume) a replay map of completed
+/// requests recovered from a previous journal plus the plan fingerprint
+/// that journal was recorded under.
+///
+/// A `Durability` value is shared across the sequential runs of a
+/// multi-pass pipeline (clean = detect + impute): the expected plan
+/// fingerprint is validated once, by the first run — later passes derive
+/// deterministically from the first run's results and are covered by it.
+/// Each replay entry is consumed by the first request that matches it;
+/// later duplicates of the same fingerprint dispatch normally and are
+/// served by the (journal-warmed) cache layer, exactly as they would have
+/// been in the uninterrupted run.
+#[derive(Debug, Clone, Default)]
+pub struct Durability {
+    journal: Option<Arc<DurableJournal>>,
+    replay: Arc<Mutex<HashMap<u64, JournalEntry>>>,
+    expected_plan: Arc<Mutex<Option<u64>>>,
+    /// Torn-tail truncations performed by a recovery whose journal handle
+    /// is not carried here (read-only resume, or resume into a different
+    /// journal file). Drained into the first run's `JournalState`.
+    truncated: Arc<Mutex<usize>>,
+    /// Whether this durability was built from a recovered journal (kept
+    /// separate from the replay map, which drains as entries are consumed).
+    resumed: bool,
+}
+
+impl Durability {
+    /// Durability that neither journals nor replays (the default).
+    pub fn new() -> Self {
+        Durability::default()
+    }
+
+    /// Appends every terminal request to `journal`.
+    pub fn with_journal(mut self, journal: Arc<DurableJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Rehydrates completed requests from recovered journal `entries` and
+    /// arms the plan-fingerprint check: the first run must compute exactly
+    /// `expected_plan` or it is rejected before any request executes.
+    /// Cancelled entries are ignored — they billed nothing and re-execute.
+    pub fn with_replay(mut self, entries: &[JournalEntry], expected_plan: u64) -> Self {
+        let map: HashMap<u64, JournalEntry> = entries
+            .iter()
+            .filter(|e| e.kind == TerminalKind::Completed)
+            .map(|e| (e.fingerprint, e.clone()))
+            .collect();
+        self.replay = Arc::new(Mutex::new(map));
+        self.expected_plan = Arc::new(Mutex::new(Some(expected_plan)));
+        self.resumed = true;
+        self
+    }
+
+    /// Records `count` torn-tail truncations performed by a recovery whose
+    /// journal handle is not attached here (read-only resume, or resume
+    /// into a different journal file). Reported once in `JournalState`.
+    pub fn with_truncated(self, count: usize) -> Self {
+        *self.truncated.lock().expect("truncated lock") = count;
+        self
+    }
+
+    /// The journal, when one is attached.
+    pub fn journal(&self) -> Option<&Arc<DurableJournal>> {
+        self.journal.as_ref()
+    }
+
+    /// Whether runs under this durability journal or replay at all.
+    fn active(&self) -> bool {
+        self.journal.is_some() || self.resumed
+    }
+
+    /// Consumes the replay entry for `fingerprint`, if one remains.
+    fn take_replay(&self, fingerprint: u64) -> Option<JournalEntry> {
+        self.replay
+            .lock()
+            .expect("replay lock")
+            .remove(&fingerprint)
+    }
+
+    /// Drains the recovery-time truncation count (reported at most once).
+    fn take_truncated(&self) -> usize {
+        std::mem::take(&mut *self.truncated.lock().expect("truncated lock"))
+    }
+}
+
+/// A seeded abort trigger for kill-point drills: fires after the Nth
+/// terminal event reaches the journal, making the executor return early
+/// exactly where a crash at that point would have stopped it (minus the
+/// process exit). The partial [`RunResult`] it returns is what a crashed
+/// process would never have delivered — drills discard it and assert that
+/// a resumed run reproduces the uninterrupted one.
+#[derive(Debug, Clone)]
+pub struct KillSwitch {
+    countdown: Arc<AtomicUsize>,
+    fired: Arc<AtomicBool>,
+}
+
+impl KillSwitch {
+    /// A switch that fires after the `n`th terminal event (`n >= 1`).
+    pub fn after(n: usize) -> KillSwitch {
+        assert!(n >= 1, "a kill switch must allow at least one terminal");
+        KillSwitch {
+            countdown: Arc::new(AtomicUsize::new(n)),
+            fired: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Whether the switch has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Counts one terminal event; true once the switch has fired.
+    fn on_terminal(&self) -> bool {
+        if !self.fired() && self.countdown.fetch_sub(1, Ordering::Relaxed) <= 1 {
+            self.fired.store(true, Ordering::Relaxed);
+        }
+        self.fired()
+    }
+}
+
 /// Dispatches an [`ExecutionPlan`] and reassembles a [`RunResult`].
 #[derive(Clone)]
 pub struct Executor {
     options: ExecutionOptions,
     tracer: Arc<dyn Tracer>,
+    durability: Durability,
+    kill: Option<KillSwitch>,
 }
 
 impl Default for Executor {
@@ -259,6 +423,8 @@ impl Default for Executor {
         Executor {
             options: ExecutionOptions::default(),
             tracer: Arc::new(NullTracer),
+            durability: Durability::default(),
+            kill: None,
         }
     }
 }
@@ -296,6 +462,20 @@ impl Executor {
         self
     }
 
+    /// Journals terminal requests and/or replays a recovered journal
+    /// during runs (see [`Durability`]).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Arms a kill-point drill: the run aborts right after the Nth terminal
+    /// event is journaled (see [`KillSwitch`]).
+    pub fn with_kill_switch(mut self, kill: KillSwitch) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+
     /// Runs the plan against `model`.
     ///
     /// With `workers > 1`, requests are claimed off an atomic cursor by
@@ -314,7 +494,51 @@ impl Executor {
     /// only. Context-overflow classification compares a **single attempt's**
     /// prompt size against the window ([`dprep_llm::ResponseMeta`]'s
     /// `attempt_usage`), never the retry-accumulated total.
+    ///
+    /// # Panics
+    /// Panics when durability rejects the run ([`try_run`](Self::try_run)
+    /// returns the rejection as an error instead).
     pub fn run<M: ChatModel + ?Sized>(&self, model: &M, plan: &ExecutionPlan) -> RunResult {
+        self.try_run(model, plan).expect("durable run rejected")
+    }
+
+    /// [`run`](Self::run), with durability failures surfaced as errors: a
+    /// resumed journal whose plan fingerprint does not match this plan is
+    /// rejected **before any request executes**, and a journal write
+    /// failure aborts the run at the request it could not record.
+    pub fn try_run<M: ChatModel + ?Sized>(
+        &self,
+        model: &M,
+        plan: &ExecutionPlan,
+    ) -> Result<RunResult, String> {
+        let plan_fp = plan.fingerprint();
+        if let Some(expected) = self
+            .durability
+            .expected_plan
+            .lock()
+            .expect("plan lock")
+            .take()
+        {
+            if expected != plan_fp {
+                return Err(format!(
+                    "journal was recorded for plan {expected:016x} but this run plans \
+                     {plan_fp:016x} (model, config, data, or seed changed); refusing to resume"
+                ));
+            }
+        }
+        if let Some(journal) = &self.durability.journal {
+            journal.ensure_header(plan_fp).map_err(|e| {
+                format!(
+                    "cannot write journal header to {}: {e}",
+                    journal.path().display()
+                )
+            })?;
+        }
+        let written_before = self
+            .durability
+            .journal
+            .as_deref()
+            .map_or(0, DurableJournal::written);
         let run_id = dprep_obs::next_run_id();
         let base_id = dprep_obs::reserve_request_ids(plan.requests.len());
         let recorder = MetricsRecorder::new();
@@ -393,6 +617,7 @@ impl Executor {
         // `cancelled` terminal event instead of a completion.
         let mut gauge = BudgetGauge::new(self.options.deadline_secs, self.options.token_budget);
         let mut request_cancelled = vec![false; plan.requests.len()];
+        let mut replayed_count = 0usize;
         for (i, d) in dispatched.iter().enumerate() {
             if let Some(reason) = gauge.tripped {
                 request_cancelled[i] = true;
@@ -401,9 +626,28 @@ impl Executor {
                     request: base_id + i as u64,
                     reason,
                 });
+                self.journal_append(&JournalEntry::cancelled(plan.fingerprints[i]))?;
+                if self.kill.as_ref().is_some_and(KillSwitch::on_terminal) {
+                    return Ok(RunResult {
+                        predictions,
+                        usage,
+                        stats,
+                        metrics: recorder.snapshot(),
+                    });
+                }
                 continue;
             }
             let response = &d.response;
+            if d.replayed {
+                // The journal already holds this request's completion: no
+                // model call happened, but its billed numbers re-enter the
+                // ledger so the resumed run's totals match the
+                // uninterrupted run's.
+                replayed_count += 1;
+                emit(TraceEvent::Replayed {
+                    request: base_id + i as u64,
+                });
+            }
             let fresh = !response.meta.cache_hit;
             let attempt = response.meta.attempt_usage.unwrap_or(response.usage);
             let cost = if fresh {
@@ -457,6 +701,21 @@ impl Executor {
                 instances: attributed[4],
                 framing: attributed[5],
             });
+            self.journal_append(&completion_entry(
+                plan.fingerprints[i],
+                &plan.requests[i],
+                response,
+                attempt,
+                cost,
+            ))?;
+            if self.kill.as_ref().is_some_and(KillSwitch::on_terminal) {
+                return Ok(RunResult {
+                    predictions,
+                    usage,
+                    stats,
+                    metrics: recorder.snapshot(),
+                });
+            }
         }
         emit(TraceEvent::Stage {
             run: run_id,
@@ -528,8 +787,17 @@ impl Executor {
                     &mut stats,
                     &mut predictions,
                     &mut ladder_requests,
+                    &mut replayed_count,
                     &emit,
-                );
+                )?;
+                if self.kill.as_ref().is_some_and(KillSwitch::fired) {
+                    return Ok(RunResult {
+                        predictions,
+                        usage,
+                        stats,
+                        metrics: recorder.snapshot(),
+                    });
+                }
             } else {
                 let kind = classify_miss(
                     response.meta.fault,
@@ -563,6 +831,17 @@ impl Executor {
             });
         }
 
+        if self.durability.active() {
+            let journal = self.durability.journal.as_deref();
+            emit(TraceEvent::JournalState {
+                run: run_id,
+                replayed: replayed_count,
+                written: journal.map_or(0, |j| j.written() - written_before),
+                truncated: journal.map_or(0, DurableJournal::take_truncated)
+                    + self.durability.take_truncated(),
+            });
+        }
+
         let total_requests = plan.requests.len() + ladder_requests;
         emit(TraceEvent::RunFinished {
             run: run_id,
@@ -578,12 +857,22 @@ impl Executor {
             latency_secs: usage.latency_secs,
         });
 
-        RunResult {
+        Ok(RunResult {
             predictions,
             usage,
             stats,
             metrics: recorder.snapshot(),
-        }
+        })
+    }
+
+    /// Appends one terminal entry to the journal, when one is attached.
+    fn journal_append(&self, entry: &JournalEntry) -> Result<(), String> {
+        let Some(journal) = &self.durability.journal else {
+            return Ok(());
+        };
+        journal
+            .append(entry)
+            .map_err(|e| format!("cannot append to journal {}: {e}", journal.path().display()))
     }
 
     /// The graceful-degradation ladder for one failing batch: rebuilds the
@@ -616,8 +905,9 @@ impl Executor {
         stats: &mut ExecStats,
         predictions: &mut [Prediction],
         ladder_requests: &mut usize,
+        replayed_count: &mut usize,
         emit: &dyn Fn(TraceEvent),
-    ) -> usize {
+    ) -> Result<usize, String> {
         let mut recovered = 0usize;
         let mut ladder_clock = parent.vt_end_secs;
         let mut queue: std::collections::VecDeque<Vec<usize>> = std::collections::VecDeque::new();
@@ -645,12 +935,12 @@ impl Executor {
             }
             let sub_id = dprep_obs::reserve_request_ids(1);
             let refs: Vec<&TaskInstance> = group.iter().map(|&i| &plan.instances[i]).collect();
-            let (mut request, request_sections) =
-                build_request_sections(&plan.prompt_config, &plan.shots, &refs);
+            let (mut request, request_sections) = plan.context.build(&refs);
             if let Some(t) = plan.temperature {
                 request = request.with_temperature(t);
             }
             let request = request.with_trace_id(sub_id);
+            let fingerprint = request_fingerprint(model, &request);
             emit(TraceEvent::Planned {
                 request: sub_id,
                 batches: 1,
@@ -668,7 +958,14 @@ impl Executor {
                 worker: parent.worker,
                 vt_start_secs: ladder_clock,
             });
-            let response = model.chat(&request);
+            let response = match self.durability.take_replay(fingerprint) {
+                Some(entry) => {
+                    *replayed_count += 1;
+                    emit(TraceEvent::Replayed { request: sub_id });
+                    replay_response(&entry)
+                }
+                None => model.chat(&request),
+            };
             let vt_start_secs = ladder_clock;
             ladder_clock += response.latency_secs;
             let fresh = !response.meta.cache_hit;
@@ -718,6 +1015,16 @@ impl Executor {
                 instances: attributed[4],
                 framing: attributed[5],
             });
+            self.journal_append(&completion_entry(
+                fingerprint,
+                &request,
+                &response,
+                attempt,
+                cost,
+            ))?;
+            if self.kill.as_ref().is_some_and(KillSwitch::on_terminal) {
+                return Ok(recovered);
+            }
             let answers = parse_response(&response.text, plan.prompt_config.reasoning);
             let overflowed = attempt.prompt_tokens > model.context_window();
             let mut still_missed: Vec<usize> = Vec::new();
@@ -759,7 +1066,7 @@ impl Executor {
                 queue.push_back(still_missed[mid..].to_vec());
             }
         }
-        recovered
+        Ok(recovered)
     }
 
     fn dispatch<M: ChatModel + ?Sized>(
@@ -769,6 +1076,16 @@ impl Executor {
         base_id: u64,
     ) -> Vec<DispatchedResponse> {
         let requests = &plan.requests;
+        // A request whose fingerprint is in the replay map rehydrates from
+        // its journal entry instead of reaching the model; its journaled
+        // latency still advances the worker's virtual clock, so the span
+        // layout matches the uninterrupted run at the same worker count.
+        let serve = |idx: usize, request: &ChatRequest| -> (ChatResponse, bool) {
+            match self.durability.take_replay(plan.fingerprints[idx]) {
+                Some(entry) => (replay_response(&entry), true),
+                None => (model.chat(request), false),
+            }
+        };
         if self.options.workers <= 1 || requests.len() <= 1 {
             let mut clock = 0.0;
             return requests
@@ -781,11 +1098,12 @@ impl Executor {
                         worker: 0,
                         vt_start_secs: clock,
                     });
-                    let response = model.chat(&request);
+                    let (response, replayed) = serve(i, &request);
                     let vt_start_secs = clock;
                     clock += response.latency_secs;
                     DispatchedResponse {
                         response,
+                        replayed,
                         worker: 0,
                         vt_start_secs,
                         vt_end_secs: clock,
@@ -803,6 +1121,7 @@ impl Executor {
                 let slots = &slots;
                 let cursor = &cursor;
                 let tracer = &self.tracer;
+                let serve = &serve;
                 scope.spawn(move || {
                     // Each worker runs its own virtual clock: spans on one
                     // worker are sequential, workers overlap.
@@ -818,11 +1137,12 @@ impl Executor {
                             worker,
                             vt_start_secs: clock,
                         });
-                        let response = model.chat(&request);
+                        let (response, replayed) = serve(idx, &request);
                         let vt_start_secs = clock;
                         clock += response.latency_secs;
                         *slots[idx].lock().expect("slot poisoned") = Some(DispatchedResponse {
                             response,
+                            replayed,
                             worker,
                             vt_start_secs,
                             vt_end_secs: clock,
@@ -844,10 +1164,62 @@ impl Executor {
 
 /// A response plus where and when (in virtual time) it was served.
 struct DispatchedResponse {
-    response: dprep_llm::ChatResponse,
+    response: ChatResponse,
+    /// Rehydrated from a run journal — no model call happened.
+    replayed: bool,
     worker: usize,
     vt_start_secs: f64,
     vt_end_secs: f64,
+}
+
+/// Reconstructs the response a journaled completion recorded: same text,
+/// billed and final-attempt usage, retry count, fault, and latency, so the
+/// plan-order fold re-bills it exactly as the original run did.
+fn replay_response(entry: &JournalEntry) -> ChatResponse {
+    let mut response = ChatResponse::new(
+        entry.text.clone(),
+        Usage {
+            prompt_tokens: entry.prompt_tokens,
+            completion_tokens: entry.completion_tokens,
+        },
+        entry.latency_secs,
+    );
+    response.meta.retries = entry.retries;
+    response.meta.cache_hit = entry.cache_hit;
+    response.meta.fault = entry.fault.as_deref().and_then(FaultKind::from_label);
+    response.meta.attempt_usage = Some(Usage {
+        prompt_tokens: entry.attempt_prompt_tokens,
+        completion_tokens: entry.attempt_completion_tokens,
+    });
+    response
+}
+
+/// The journal entry for a completed request. `complete` records whether
+/// the response fully served the request — exactly the condition the cache
+/// layer memoizes under, so a journal-warmed cache on resume holds the same
+/// entries the uninterrupted run's store would.
+fn completion_entry(
+    fingerprint: u64,
+    request: &ChatRequest,
+    response: &ChatResponse,
+    attempt: Usage,
+    cost: f64,
+) -> JournalEntry {
+    JournalEntry {
+        fingerprint,
+        kind: TerminalKind::Completed,
+        text: response.text.clone(),
+        prompt_tokens: response.usage.prompt_tokens,
+        completion_tokens: response.usage.completion_tokens,
+        attempt_prompt_tokens: attempt.prompt_tokens,
+        attempt_completion_tokens: attempt.completion_tokens,
+        retries: response.meta.retries,
+        fault: response.meta.fault.map(|f| f.label().to_string()),
+        cache_hit: response.meta.cache_hit,
+        complete: is_complete(request, response),
+        cost_usd: cost,
+        latency_secs: response.latency_secs,
+    }
 }
 
 /// The run-level budget fold: cumulative billed virtual latency and billed
@@ -1379,6 +1751,152 @@ mod tests {
                 reference = Some(result);
             }
         }
+    }
+
+    fn journal_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "dprep-exec-test-{}-{name}.jsonl",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn killed_and_resumed_runs_are_bit_identical_at_every_kill_point() {
+        let base = CountingModel {
+            window: 100_000,
+            answer_all: true,
+        };
+        let instances = em_instances(8);
+        let plan = plan_for(&base, &instances, 2);
+        assert_eq!(plan.requests().len(), 4);
+        let reference = Executor::serial().run(&base, &plan);
+
+        for kill_at in 1..=plan.requests().len() {
+            let path = journal_path(&format!("kill-{kill_at}"));
+            let journal = Arc::new(DurableJournal::fresh(&path, "counting", "cfg", 0).unwrap());
+            let kill = KillSwitch::after(kill_at);
+            let killed = Executor::serial()
+                .with_durability(Durability::new().with_journal(journal))
+                .with_kill_switch(kill.clone())
+                .run(&base, &plan);
+            assert!(kill.fired(), "kill_at={kill_at}");
+            assert!(killed.usage.requests <= kill_at);
+
+            let recovered = DurableJournal::resume(&path).unwrap();
+            assert!(recovered.warning.is_none());
+            assert_eq!(recovered.entries.len(), kill_at);
+            let audit = Arc::new(dprep_obs::AuditTracer::new());
+            let durability = Durability::new()
+                .with_journal(Arc::new(recovered.journal))
+                .with_replay(&recovered.entries, recovered.header.plan);
+            let resumed = Executor::serial()
+                .with_durability(durability)
+                .with_tracer(audit.clone() as Arc<dyn Tracer>)
+                .run(&base, &plan);
+            audit.assert_clean();
+            assert_eq!(
+                resumed.predictions, reference.predictions,
+                "kill_at={kill_at}"
+            );
+            assert_eq!(resumed.stats, reference.stats, "kill_at={kill_at}");
+            assert_eq!(resumed.usage.total_tokens(), reference.usage.total_tokens());
+            assert!((resumed.usage.cost_usd - reference.usage.cost_usd).abs() < 1e-15);
+            assert!((resumed.usage.latency_secs - reference.usage.latency_secs).abs() < 1e-15);
+            // The metrics reconcile too, modulo the journal counters the
+            // uninterrupted run never incremented.
+            let mut metrics = resumed.metrics.clone();
+            assert_eq!(metrics.journal_replayed, kill_at);
+            assert_eq!(
+                metrics.journal_written,
+                plan.requests().len() - kill_at,
+                "only the remainder is appended on resume"
+            );
+            metrics.journal_replayed = 0;
+            metrics.journal_written = 0;
+            metrics.journal_truncated = 0;
+            assert_eq!(metrics, reference.metrics, "kill_at={kill_at}");
+            // The journal now covers the whole run: a second resume replays
+            // everything and appends nothing.
+            let full = DurableJournal::resume(&path).unwrap();
+            assert_eq!(full.entries.len(), plan.requests().len());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_a_different_plan() {
+        let base = CountingModel {
+            window: 100_000,
+            answer_all: true,
+        };
+        let instances = em_instances(4);
+        let plan = plan_for(&base, &instances, 2);
+        let other_plan = plan_for(&base, &em_instances(6), 2);
+        assert_ne!(plan.fingerprint(), other_plan.fingerprint());
+
+        let path = journal_path("mismatch");
+        let journal = Arc::new(DurableJournal::fresh(&path, "counting", "cfg", 0).unwrap());
+        Executor::serial()
+            .with_durability(Durability::new().with_journal(journal))
+            .run(&base, &plan);
+        let recovered = DurableJournal::resume(&path).unwrap();
+        let durability = Durability::new().with_replay(&recovered.entries, recovered.header.plan);
+        let err = Executor::serial()
+            .with_durability(durability)
+            .try_run(&base, &other_plan)
+            .unwrap_err();
+        assert!(err.contains("refusing to resume"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cancelled_entries_reexecute_and_stay_unbilled_on_resume() {
+        // A token budget trips mid-run: the uninterrupted run completes two
+        // requests and cancels the third. Kill after the cancellation is
+        // journaled; the resumed run must re-execute (not replay) the
+        // cancelled request, cancel it again at the same gauge state, and
+        // bill exactly the reference totals.
+        let base = CountingModel {
+            window: 100_000,
+            answer_all: true,
+        };
+        let instances = em_instances(6);
+        let plan = plan_for(&base, &instances, 2);
+        assert_eq!(plan.requests().len(), 3);
+        let options = ExecutionOptions {
+            token_budget: Some(150),
+            ..ExecutionOptions::default()
+        };
+        let reference = Executor::new(options).run(&base, &plan);
+        assert_eq!(reference.stats.cancelled, 1);
+
+        let path = journal_path("cancelled");
+        let journal = Arc::new(DurableJournal::fresh(&path, "counting", "cfg", 0).unwrap());
+        let kill = KillSwitch::after(3);
+        let _ = Executor::new(options)
+            .with_durability(Durability::new().with_journal(journal))
+            .with_kill_switch(kill.clone())
+            .run(&base, &plan);
+        assert!(kill.fired());
+        let recovered = DurableJournal::resume(&path).unwrap();
+        assert_eq!(recovered.entries.len(), 3);
+        assert_eq!(recovered.entries[2].kind, TerminalKind::Cancelled);
+        let durability = Durability::new()
+            .with_journal(Arc::new(recovered.journal))
+            .with_replay(&recovered.entries, recovered.header.plan);
+        let resumed = Executor::new(options)
+            .with_durability(durability)
+            .run(&base, &plan);
+        assert_eq!(resumed.predictions, reference.predictions);
+        assert_eq!(resumed.stats, reference.stats);
+        assert_eq!(resumed.usage.total_tokens(), reference.usage.total_tokens());
+        assert_eq!(
+            resumed.metrics.journal_replayed, 2,
+            "cancelled entry re-executes"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

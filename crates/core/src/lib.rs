@@ -27,6 +27,6 @@ pub use blocking::{
     evaluate_blocking, BlockingStats, CandidatePairs, EmbeddingBlocker, NgramBlocker,
 };
 pub use config::{ComponentSet, PipelineConfig};
-pub use exec::{ExecStats, ExecutionOptions, ExecutionPlan, Executor};
+pub use exec::{Durability, ExecStats, ExecutionOptions, ExecutionPlan, Executor, KillSwitch};
 pub use pipeline::{FailureKind, Prediction, Preprocessor, RunResult};
 pub use repair::{Repair, RepairOutcome, Repairer};

@@ -20,7 +20,7 @@ use dprep_obs::{MetricsSnapshot, NullTracer, Tracer};
 use dprep_prompt::{ExtractedAnswer, FewShotExample, TaskInstance};
 
 use crate::config::PipelineConfig;
-use crate::exec::{ExecStats, ExecutionOptions, ExecutionPlan, Executor};
+use crate::exec::{Durability, ExecStats, ExecutionOptions, ExecutionPlan, Executor, KillSwitch};
 
 /// Why the pipeline has no answer for an instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -163,6 +163,8 @@ pub struct Preprocessor<'a, M: ChatModel + ?Sized> {
     config: PipelineConfig,
     tracer: Arc<dyn Tracer>,
     exec_options: Option<ExecutionOptions>,
+    durability: Durability,
+    kill: Option<KillSwitch>,
 }
 
 impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
@@ -173,6 +175,8 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
             config,
             tracer: Arc::new(NullTracer),
             exec_options: None,
+            durability: Durability::default(),
+            kill: None,
         }
     }
 
@@ -192,6 +196,21 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
         self
     }
 
+    /// Journals terminal requests and/or replays a recovered journal
+    /// (see [`Durability`]). Failures surface through
+    /// [`try_run`](Self::try_run); [`run`](Self::run) panics on them.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Arms a kill-point drill: the run aborts right after the Nth
+    /// terminal event is journaled (see [`KillSwitch`]).
+    pub fn with_kill_switch(mut self, kill: KillSwitch) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
@@ -199,15 +218,34 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
 
     /// Runs the pipeline over `instances`, using `examples` when the
     /// configuration enables few-shot prompting.
+    ///
+    /// # Panics
+    /// Panics when durability rejects the run ([`try_run`](Self::try_run)
+    /// returns the rejection as an error instead).
     pub fn run(&self, instances: &[TaskInstance], examples: &[FewShotExample]) -> RunResult {
+        self.try_run(instances, examples)
+            .expect("durable run rejected")
+    }
+
+    /// [`run`](Self::run), with durability failures surfaced as errors
+    /// (plan-fingerprint mismatch on resume, journal write failure).
+    pub fn try_run(
+        &self,
+        instances: &[TaskInstance],
+        examples: &[FewShotExample],
+    ) -> Result<RunResult, String> {
         let plan = ExecutionPlan::build(self.model, &self.config, instances, examples);
         let options = self.exec_options.unwrap_or(ExecutionOptions {
             workers: self.config.workers,
             ..ExecutionOptions::default()
         });
-        Executor::new(options)
+        let mut executor = Executor::new(options)
             .with_tracer(Arc::clone(&self.tracer))
-            .run(self.model, &plan)
+            .with_durability(self.durability.clone());
+        if let Some(kill) = &self.kill {
+            executor = executor.with_kill_switch(kill.clone());
+        }
+        executor.try_run(self.model, &plan)
     }
 }
 

@@ -15,6 +15,7 @@ use dprep_prompt::{FewShotExample, Task, TaskInstance};
 use dprep_tabular::{Record, Table, Value};
 
 use crate::config::PipelineConfig;
+use crate::exec::{Durability, KillSwitch};
 use crate::pipeline::Preprocessor;
 
 /// One applied (or attempted) repair.
@@ -54,6 +55,8 @@ pub struct Repairer<'a, M: ChatModel + ?Sized> {
     detect_config: PipelineConfig,
     impute_config: PipelineConfig,
     tracer: Arc<dyn Tracer>,
+    durability: Durability,
+    kill: Option<KillSwitch>,
 }
 
 impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
@@ -64,6 +67,8 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
             detect_config: PipelineConfig::best(Task::ErrorDetection),
             impute_config: PipelineConfig::best(Task::Imputation),
             tracer: Arc::new(NullTracer),
+            durability: Durability::default(),
+            kill: None,
         }
     }
 
@@ -71,6 +76,21 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
     /// detect run and the impute run appear as two sequential runs).
     pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Shares one [`Durability`] across both passes: they append to (and
+    /// replay from) the same journal, and the plan-fingerprint check binds
+    /// the detect pass — the impute pass derives deterministically from it.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Arms a kill-point drill spanning both passes (see
+    /// [`KillSwitch`]): the repair aborts as soon as the switch fires.
+    pub fn with_kill_switch(mut self, kill: KillSwitch) -> Self {
+        self.kill = Some(kill);
         self
     }
 
@@ -91,6 +111,10 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
     /// Repairs `table`, checking the attributes named in `attributes`
     /// (every attribute when empty). `detect_examples` / `impute_examples`
     /// are optional few-shot pools for the two passes.
+    ///
+    /// # Panics
+    /// Panics when durability rejects a pass
+    /// ([`try_repair`](Self::try_repair) returns the rejection instead).
     pub fn repair(
         &self,
         table: &Table,
@@ -98,6 +122,21 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
         detect_examples: &[FewShotExample],
         impute_examples: &[FewShotExample],
     ) -> RepairOutcome {
+        self.try_repair(table, attributes, detect_examples, impute_examples)
+            .expect("durable repair rejected")
+    }
+
+    /// [`repair`](Self::repair), with durability failures surfaced as
+    /// errors. When an armed kill switch fires mid-repair, the partial
+    /// outcome (empty repairs, whatever usage accrued) is returned — the
+    /// crash-drill harness discards it and asserts the resumed repair.
+    pub fn try_repair(
+        &self,
+        table: &Table,
+        attributes: &[String],
+        detect_examples: &[FewShotExample],
+        impute_examples: &[FewShotExample],
+    ) -> Result<RepairOutcome, String> {
         let attrs: Vec<String> = if attributes.is_empty() {
             table
                 .schema()
@@ -127,12 +166,27 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
                 cells.push((row_idx, attr.clone()));
             }
         }
-        let detector = Preprocessor::new(self.model, self.detect_config.clone())
-            .with_tracer(Arc::clone(&self.tracer));
-        let detected = detector.run(&detect_instances, detect_examples);
+        let mut detector = Preprocessor::new(self.model, self.detect_config.clone())
+            .with_tracer(Arc::clone(&self.tracer))
+            .with_durability(self.durability.clone());
+        if let Some(kill) = &self.kill {
+            detector = detector.with_kill_switch(kill.clone());
+        }
+        let detected = detector.try_run(&detect_instances, detect_examples)?;
         let mut usage = detected.usage;
         let mut stats = detected.stats;
         let mut metrics = detected.metrics;
+        if self.kill.as_ref().is_some_and(KillSwitch::fired) {
+            // The drill's simulated crash hit the detect pass: stop exactly
+            // here, as a dead process would have.
+            return Ok(RepairOutcome {
+                table: table.clone(),
+                repairs: Vec::new(),
+                usage,
+                stats,
+                metrics,
+            });
+        }
 
         let flagged: Vec<(usize, String, Option<String>)> = cells
             .iter()
@@ -158,12 +212,25 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
                 attribute: attr.clone(),
             });
         }
-        let imputer = Preprocessor::new(self.model, self.impute_config.clone())
-            .with_tracer(Arc::clone(&self.tracer));
-        let imputed = imputer.run(&impute_instances, impute_examples);
+        let mut imputer = Preprocessor::new(self.model, self.impute_config.clone())
+            .with_tracer(Arc::clone(&self.tracer))
+            .with_durability(self.durability.clone());
+        if let Some(kill) = &self.kill {
+            imputer = imputer.with_kill_switch(kill.clone());
+        }
+        let imputed = imputer.try_run(&impute_instances, impute_examples)?;
         usage.merge(&imputed.usage);
         stats.merge(&imputed.stats);
         metrics.merge(&imputed.metrics);
+        if self.kill.as_ref().is_some_and(KillSwitch::fired) {
+            return Ok(RepairOutcome {
+                table: table.clone(),
+                repairs: Vec::new(),
+                usage,
+                stats,
+                metrics,
+            });
+        }
 
         // ── apply ────────────────────────────────────────────────────────
         let apply_started = std::time::Instant::now();
@@ -199,13 +266,13 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
             wall_secs: apply_started.elapsed().as_secs_f64(),
             vt_secs: 0.0,
         });
-        RepairOutcome {
+        Ok(RepairOutcome {
             table,
             repairs,
             usage,
             stats,
             metrics,
-        }
+        })
     }
 }
 

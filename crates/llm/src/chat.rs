@@ -69,6 +69,13 @@ pub struct ChatRequest {
     /// "untraced" (a request issued outside any executor). Never part of
     /// cache or dedup keys — it does not affect the model's output.
     pub trace_id: u64,
+    /// Prompt-side token count of [`ChatRequest::full_text`], precomputed
+    /// by the prompt builder so the serving model need not re-tokenize the
+    /// prompt it just counted. Purely an optimization hint: it MUST equal
+    /// `count_tokens(&self.full_text())` (the simulator debug-asserts
+    /// this), and like `trace_id` it is never part of cache or dedup keys.
+    /// `None` means "uncounted": the model tokenizes at dispatch.
+    pub prompt_tokens_hint: Option<usize>,
 }
 
 impl ChatRequest {
@@ -81,6 +88,7 @@ impl ChatRequest {
             temperature: None,
             retry_salt: 0,
             trace_id: 0,
+            prompt_tokens_hint: None,
         }
     }
 
@@ -99,6 +107,14 @@ impl ChatRequest {
     /// Sets the trace correlation id (used by the executor).
     pub fn with_trace_id(mut self, trace_id: u64) -> Self {
         self.trace_id = trace_id;
+        self
+    }
+
+    /// Records the prompt-side token count of [`ChatRequest::full_text`]
+    /// (set by the prompt builder, which already tokenized the prompt to
+    /// size the batch).
+    pub fn with_prompt_tokens_hint(mut self, tokens: usize) -> Self {
+        self.prompt_tokens_hint = Some(tokens);
         self
     }
 
@@ -183,6 +199,23 @@ impl FaultKind {
             FaultKind::RateLimited { retry_after_ms } => Some(retry_after_ms as f64 / 1000.0),
             _ => None,
         }
+    }
+
+    /// The inverse of [`FaultKind::label`], for rehydrating fault kinds
+    /// from a run journal. Payload detail not carried by the label (the
+    /// rate-limit wait) comes back zeroed — only the label, retryability,
+    /// and failure classification matter downstream of a terminal event.
+    pub fn from_label(label: &str) -> Option<FaultKind> {
+        Some(match label {
+            "timeout" => FaultKind::Timeout,
+            "truncated-completion" => FaultKind::TruncatedCompletion,
+            "transient" => FaultKind::Transient,
+            "rate-limited" => FaultKind::RateLimited { retry_after_ms: 0 },
+            "garbled" => FaultKind::Garbled,
+            "rejected" => FaultKind::Rejected,
+            "circuit-open" => FaultKind::CircuitOpen,
+            _ => return None,
+        })
     }
 }
 
@@ -346,6 +379,22 @@ mod tests {
             Some(0.25)
         );
         assert_eq!(FaultKind::Timeout.retry_after_secs(), None);
+    }
+
+    #[test]
+    fn fault_labels_round_trip() {
+        for kind in [
+            FaultKind::Timeout,
+            FaultKind::TruncatedCompletion,
+            FaultKind::Transient,
+            FaultKind::RateLimited { retry_after_ms: 0 },
+            FaultKind::Garbled,
+            FaultKind::Rejected,
+            FaultKind::CircuitOpen,
+        ] {
+            assert_eq!(FaultKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_label("no-such-fault"), None);
     }
 
     #[test]

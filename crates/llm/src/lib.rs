@@ -66,8 +66,8 @@ pub use chat::{ChatModel, ChatRequest, ChatResponse, FaultKind, Message, Respons
 pub use fault::{BreakerConfig, CircuitBreakerLayer, FaultEffect, FaultRule, FaultScenario};
 pub use knowledge::{Fact, KnowledgeBase};
 pub use middleware::{
-    request_fingerprint, CacheLayer, CacheStore, FaultLayer, MiddlewareStats, RetryLayer,
-    StatsSnapshot,
+    is_complete, request_fingerprint, warm_cache_store, CacheLayer, CacheStore, FaultLayer,
+    MiddlewareStats, RetryLayer, StatsSnapshot,
 };
 pub use model::SimulatedLlm;
 pub use profile::{LatencyModel, ModelProfile, Pricing, TaskSkills};

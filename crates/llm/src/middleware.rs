@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use dprep_obs::{NullTracer, TraceEvent, Tracer};
+use dprep_obs::{JournalEntry, NullTracer, TerminalKind, TraceEvent, Tracer};
 use dprep_rng::stable_hash;
 use dprep_text::count_tokens;
 
@@ -411,6 +411,41 @@ impl<M: ChatModel> ChatModel for CacheLayer<M> {
     }
 }
 
+/// Seeds a [`CacheStore`] from a run journal's recovered entries, so a
+/// resumed multi-pass pipeline reproduces the cross-pass cache hits of the
+/// uninterrupted run.
+///
+/// Journal fingerprints are [`request_fingerprint`]s of the planned
+/// (salt-0) requests — the same keys [`CacheLayer`] memoizes under. Only
+/// entries the uninterrupted run's store would hold are seeded: completed,
+/// not themselves cache hits, and marked `complete` (the exact
+/// [`is_complete`] condition the cache checks before memoizing). Everything
+/// else — faults, short answers, cancellations — misses the warm store and
+/// dispatches fresh, exactly as it would have without the crash.
+pub fn warm_cache_store(entries: &[JournalEntry]) -> CacheStore {
+    let mut store = HashMap::new();
+    for entry in entries {
+        if entry.kind != TerminalKind::Completed || entry.cache_hit || !entry.complete {
+            continue;
+        }
+        let mut response = ChatResponse::new(
+            entry.text.clone(),
+            Usage {
+                prompt_tokens: entry.prompt_tokens,
+                completion_tokens: entry.completion_tokens,
+            },
+            entry.latency_secs,
+        );
+        response.meta.retries = entry.retries;
+        response.meta.attempt_usage = Some(Usage {
+            prompt_tokens: entry.attempt_prompt_tokens,
+            completion_tokens: entry.attempt_completion_tokens,
+        });
+        store.insert(entry.fingerprint, response);
+    }
+    Arc::new(Mutex::new(store))
+}
+
 // ---------------------------------------------------------------------------
 // FaultLayer
 // ---------------------------------------------------------------------------
@@ -526,7 +561,7 @@ impl<M: ChatModel> ChatModel for FaultLayer<M> {
                     kind: kind.label(),
                 });
                 if h & 1 == 0 {
-                    self.timeout_response(&full_text)
+                    self.timeout_response(request, &full_text)
                 } else {
                     self.truncate_response(request)
                 }
@@ -549,11 +584,13 @@ impl<M: ChatModel> ChatModel for FaultLayer<M> {
 impl<M: ChatModel> FaultLayer<M> {
     /// Timeout: the prompt was transmitted (and billed) but nothing came
     /// back before the deadline.
-    fn timeout_response(&self, full_text: &str) -> ChatResponse {
+    fn timeout_response(&self, request: &ChatRequest, full_text: &str) -> ChatResponse {
         let mut response = ChatResponse::new(
             String::new(),
             Usage {
-                prompt_tokens: count_tokens(full_text),
+                prompt_tokens: request
+                    .prompt_tokens_hint
+                    .unwrap_or_else(|| count_tokens(full_text)),
                 completion_tokens: 0,
             },
             TIMEOUT_LATENCY_SECS,
@@ -584,7 +621,7 @@ impl<M: ChatModel> FaultLayer<M> {
         full_text: &str,
     ) -> ChatResponse {
         match effect {
-            FaultEffect::Timeout => self.timeout_response(full_text),
+            FaultEffect::Timeout => self.timeout_response(request, full_text),
             FaultEffect::Truncate => self.truncate_response(request),
             FaultEffect::Transient => {
                 // Connection reset before anything was transmitted: nothing
@@ -802,6 +839,41 @@ mod tests {
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.cache_misses, 2);
         assert_eq!(layer.len(), 2);
+    }
+
+    #[test]
+    fn journal_warmed_cache_serves_complete_entries_only() {
+        let model = Scripted::always_complete();
+        let req = batch_request(2);
+        let entry = |fingerprint: u64, complete: bool| JournalEntry {
+            fingerprint,
+            kind: TerminalKind::Completed,
+            text: "Answer 1: yes\nAnswer 2: yes\n".into(),
+            prompt_tokens: 100,
+            completion_tokens: 20,
+            attempt_prompt_tokens: 100,
+            attempt_completion_tokens: 20,
+            retries: 0,
+            fault: None,
+            cache_hit: false,
+            complete,
+            cost_usd: 0.0001,
+            latency_secs: 2.0,
+        };
+        let fp = request_fingerprint(&&model, &req);
+        let warmed = warm_cache_store(&[
+            entry(fp, true),
+            entry(fp ^ 1, false), // incomplete: never memoized
+            JournalEntry::cancelled(fp ^ 2),
+        ]);
+        assert_eq!(warmed.lock().unwrap().len(), 1);
+        let layer = CacheLayer::new(&model).with_store(warmed);
+        let served = layer.chat(&req);
+        assert_eq!(model.calls(), 0, "warm entry must hit without dispatch");
+        assert!(served.meta.cache_hit);
+        assert_eq!(served.text, "Answer 1: yes\nAnswer 2: yes\n");
+        assert_eq!(served.usage.prompt_tokens, 100);
+        assert_eq!(served.latency_secs, 0.0);
     }
 
     #[test]

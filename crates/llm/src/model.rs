@@ -96,7 +96,16 @@ impl ChatModel for SimulatedLlm {
 
     fn chat(&self, request: &ChatRequest) -> ChatResponse {
         let full_text = request.full_text();
-        let prompt_tokens = count_tokens(&full_text);
+        // The prompt builder already tokenized the prompt to size the
+        // batch; reuse its count instead of tokenizing a second time.
+        let prompt_tokens = request
+            .prompt_tokens_hint
+            .unwrap_or_else(|| count_tokens(&full_text));
+        debug_assert_eq!(
+            prompt_tokens,
+            count_tokens(&full_text),
+            "prompt_tokens_hint disagrees with the request text"
+        );
         let context_fill = prompt_tokens as f64 / self.profile.context_window as f64;
 
         // The retry salt perturbs the noise stream without touching the

@@ -33,6 +33,14 @@
 //!    must also sum to the run's billed prompt tokens. Attribution events
 //!    are optional (hand-built traces may omit them); when present they
 //!    must reconcile.
+//! 7. **Journal replay** — a `replayed` marker must target a planned,
+//!    not-yet-completed request, at most once. A replayed completion
+//!    re-enters its journaled billing (so it counts as fresh in the run
+//!    totals) but performed no model call this run, so the per-attempt
+//!    reconciliation is replaced by consistency checks: no `retry_attempt`
+//!    events may accompany it, and its accumulated usage must cover the
+//!    final attempt. A `journal_state` event's replay count must equal the
+//!    `replayed` markers observed in the run.
 //!
 //! Runs sharing one tracer must be sequential (the executor guarantees
 //! this: events of a run are bracketed by `run_started`/`run_finished`
@@ -52,6 +60,7 @@ struct RequestState {
     planned: bool,
     completed: bool,
     cancelled: bool,
+    replayed: bool,
     cache_hit: bool,
     billed_prompt_tokens: usize,
     attributed: bool,
@@ -68,6 +77,7 @@ struct RunState {
     failed_events: usize,
     fresh_completions: usize,
     cache_hit_completions: usize,
+    replayed_requests: usize,
     fresh_prompt_tokens: usize,
     fresh_completion_tokens: usize,
     fresh_cost_usd: f64,
@@ -200,26 +210,51 @@ impl Tracer for AuditTracer {
                     state.run.fresh_completion_tokens += completion_tokens;
                     state.run.fresh_cost_usd += cost_usd;
                     state.run.fresh_latency_secs += latency_secs;
-                    if req.retry_events != *retries {
-                        state.violations.push(format!(
-                            "request {request}: {retries} retries reported but {} \
-                             retry_attempt events observed",
-                            req.retry_events
-                        ));
-                    }
-                    let want_prompt = req.retry_prompt_tokens + attempt_prompt_tokens;
-                    if *prompt_tokens != want_prompt {
-                        state.violations.push(format!(
-                            "request {request}: billed {prompt_tokens} prompt tokens but \
-                             attempts sum to {want_prompt}"
-                        ));
-                    }
-                    let want_completion = req.retry_completion_tokens + attempt_completion_tokens;
-                    if *completion_tokens != want_completion {
-                        state.violations.push(format!(
-                            "request {request}: billed {completion_tokens} completion tokens \
-                             but attempts sum to {want_completion}"
-                        ));
+                    if req.replayed {
+                        // A replayed completion carries its journaled retry
+                        // count, but the retry_attempt events happened in the
+                        // original run — none may re-fire here, and the
+                        // per-attempt sum check degrades to a coverage bound.
+                        if req.retry_events != 0 {
+                            state.violations.push(format!(
+                                "request {request}: replayed completion accompanied by {} \
+                                 retry_attempt events (must be 0)",
+                                req.retry_events
+                            ));
+                        }
+                        if prompt_tokens < attempt_prompt_tokens
+                            || completion_tokens < attempt_completion_tokens
+                        {
+                            state.violations.push(format!(
+                                "request {request}: replayed completion bills \
+                                 {prompt_tokens}p/{completion_tokens}c tokens, less than its \
+                                 final attempt \
+                                 {attempt_prompt_tokens}p/{attempt_completion_tokens}c"
+                            ));
+                        }
+                    } else {
+                        if req.retry_events != *retries {
+                            state.violations.push(format!(
+                                "request {request}: {retries} retries reported but {} \
+                                 retry_attempt events observed",
+                                req.retry_events
+                            ));
+                        }
+                        let want_prompt = req.retry_prompt_tokens + attempt_prompt_tokens;
+                        if *prompt_tokens != want_prompt {
+                            state.violations.push(format!(
+                                "request {request}: billed {prompt_tokens} prompt tokens but \
+                                 attempts sum to {want_prompt}"
+                            ));
+                        }
+                        let want_completion =
+                            req.retry_completion_tokens + attempt_completion_tokens;
+                        if *completion_tokens != want_completion {
+                            state.violations.push(format!(
+                                "request {request}: billed {completion_tokens} completion \
+                                 tokens but attempts sum to {want_completion}"
+                            ));
+                        }
                     }
                 }
             }
@@ -293,6 +328,38 @@ impl Tracer for AuditTracer {
                         .push(format!("request {request} cancelled twice"));
                 }
                 req.cancelled = true;
+            }
+            TraceEvent::Replayed { request } => {
+                // Replay rehydrates a planned request from the journal in
+                // place of a dispatch: it must precede the request's
+                // completion and happen at most once.
+                let req = state.run.requests.entry(*request).or_default();
+                if !req.planned {
+                    state
+                        .violations
+                        .push(format!("request {request} replayed but never planned"));
+                }
+                if req.completed {
+                    state
+                        .violations
+                        .push(format!("request {request} replayed after completion"));
+                }
+                if req.replayed {
+                    state
+                        .violations
+                        .push(format!("request {request} replayed twice"));
+                }
+                req.replayed = true;
+                state.run.replayed_requests += 1;
+            }
+            TraceEvent::JournalState { run, replayed, .. }
+                if *replayed != state.run.replayed_requests =>
+            {
+                state.violations.push(format!(
+                    "run {run}: journal reports {replayed} replayed requests but {} \
+                     replayed events observed",
+                    state.run.replayed_requests
+                ));
             }
             TraceEvent::RunFinished {
                 run,
@@ -765,6 +832,133 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.contains("both completed and cancelled")));
+    }
+
+    #[test]
+    fn replayed_completions_reconcile_without_retry_events() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&TraceEvent::Replayed { request: 1 });
+        // The journaled completion carries two retries' accumulated usage,
+        // but no retry_attempt events re-fire on replay.
+        audit.record(&TraceEvent::Completed {
+            request: 1,
+            worker: 0,
+            cache_hit: false,
+            retries: 2,
+            fault: None,
+            prompt_tokens: 300,
+            completion_tokens: 30,
+            attempt_prompt_tokens: 100,
+            attempt_completion_tokens: 10,
+            cost_usd: 0.25,
+            latency_secs: 2.0,
+            vt_start_secs: 0.0,
+            vt_end_secs: 2.0,
+        });
+        audit.record(&TraceEvent::Parsed {
+            request: 1,
+            instance: 0,
+        });
+        audit.record(&TraceEvent::JournalState {
+            run: 1,
+            replayed: 1,
+            written: 0,
+            truncated: 0,
+        });
+        audit.record(&finished(1, 0, 300));
+        audit.assert_clean();
+    }
+
+    #[test]
+    fn detects_replay_bookkeeping_errors() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 2,
+            batches: 2,
+            requests: 2,
+        });
+        // Replaying something never planned is flagged...
+        audit.record(&TraceEvent::Replayed { request: 9 });
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("replayed but never planned")));
+        // ...and so is replaying twice, or after completion.
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&TraceEvent::Replayed { request: 1 });
+        audit.record(&TraceEvent::Replayed { request: 1 });
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("replayed twice")));
+        audit.record(&TraceEvent::Planned {
+            request: 2,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&completed(2, false, 0, 100));
+        audit.record(&TraceEvent::Replayed { request: 2 });
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("replayed after completion")));
+        // A journal_state whose replay count disagrees with the observed
+        // markers is flagged too.
+        audit.record(&TraceEvent::JournalState {
+            run: 1,
+            replayed: 1,
+            written: 0,
+            truncated: 0,
+        });
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("replayed events observed")));
+    }
+
+    #[test]
+    fn detects_retry_events_alongside_a_replayed_completion() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&TraceEvent::Replayed { request: 1 });
+        audit.record(&TraceEvent::RetryAttempt {
+            request: 1,
+            attempt: 1,
+            prompt_tokens: 100,
+            completion_tokens: 10,
+            backoff_secs: 1.0,
+        });
+        audit.record(&completed(1, false, 1, 200));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("retry_attempt events (must be 0)")));
     }
 
     #[test]

@@ -218,6 +218,29 @@ pub enum TraceEvent {
         /// Instances in the split group.
         instances: usize,
     },
+    /// A completed request was rehydrated from a run journal instead of
+    /// dispatched: its original billed usage re-enters this run's ledger
+    /// (so a resumed run's totals match the uninterrupted run), but no
+    /// model call happened. Emitted immediately before the request's
+    /// `Completed`, which carries the journaled numbers.
+    Replayed {
+        /// Request id.
+        request: u64,
+    },
+    /// The run's journal reconciliation: how many planned requests were
+    /// rehydrated from the journal, how many terminal entries this run
+    /// appended, and how many torn tail lines recovery truncated. Emitted
+    /// once per journaled run, before `RunFinished`.
+    JournalState {
+        /// Run id.
+        run: u64,
+        /// Planned requests served by journal replay.
+        replayed: usize,
+        /// Terminal entries appended during this run.
+        written: usize,
+        /// Torn final lines truncated when the journal was recovered.
+        truncated: usize,
+    },
     /// The run finished; the ledger the run reported.
     RunFinished {
         /// Run id.
@@ -266,6 +289,8 @@ impl TraceEvent {
             TraceEvent::BudgetTripped { .. } => "budget_tripped",
             TraceEvent::BreakerTransition { .. } => "breaker_transition",
             TraceEvent::BatchSplit { .. } => "batch_split",
+            TraceEvent::Replayed { .. } => "replayed",
+            TraceEvent::JournalState { .. } => "journal_state",
             TraceEvent::RunFinished { .. } => "run_finished",
         }
     }
@@ -285,10 +310,12 @@ impl TraceEvent {
             | TraceEvent::Failed { request, .. }
             | TraceEvent::Cancelled { request, .. }
             | TraceEvent::BreakerTransition { request, .. }
-            | TraceEvent::BatchSplit { request, .. } => Some(*request),
+            | TraceEvent::BatchSplit { request, .. }
+            | TraceEvent::Replayed { request } => Some(*request),
             TraceEvent::RunStarted { .. }
             | TraceEvent::Stage { .. }
             | TraceEvent::BudgetTripped { .. }
+            | TraceEvent::JournalState { .. }
             | TraceEvent::RunFinished { .. } => None,
         }
     }

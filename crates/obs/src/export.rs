@@ -242,6 +242,20 @@ pub fn event_to_json(event: &TraceEvent) -> String {
         TraceEvent::BatchSplit { request, instances } => {
             line.u64("request", *request).usize("instances", *instances);
         }
+        TraceEvent::Replayed { request } => {
+            line.u64("request", *request);
+        }
+        TraceEvent::JournalState {
+            run,
+            replayed,
+            written,
+            truncated,
+        } => {
+            line.u64("run", *run)
+                .usize("replayed", *replayed)
+                .usize("written", *written)
+                .usize("truncated", *truncated);
+        }
         TraceEvent::RunFinished {
             run,
             instances,
@@ -405,6 +419,15 @@ pub fn event_from_json(value: &Json) -> Result<TraceEvent, String> {
         "batch_split" => Ok(TraceEvent::BatchSplit {
             request: u("request")?,
             instances: us("instances")?,
+        }),
+        "replayed" => Ok(TraceEvent::Replayed {
+            request: u("request")?,
+        }),
+        "journal_state" => Ok(TraceEvent::JournalState {
+            run: u("run")?,
+            replayed: us("replayed")?,
+            written: us("written")?,
+            truncated: us("truncated")?,
         }),
         "run_finished" => Ok(TraceEvent::RunFinished {
             run: u("run")?,
@@ -647,6 +670,13 @@ mod tests {
             TraceEvent::BatchSplit {
                 request: 704,
                 instances: 4,
+            },
+            TraceEvent::Replayed { request: 702 },
+            TraceEvent::JournalState {
+                run: 7,
+                replayed: 1,
+                written: 1,
+                truncated: 1,
             },
             TraceEvent::RunFinished {
                 run: 7,

@@ -34,6 +34,10 @@
 //!   JSON, or Prometheus exposition, and diffs two runs deterministically.
 //! * [`json`] — the workspace's dependency-free JSON reader/writer
 //!   (re-exported by `dprep-llm` for its transcript format).
+//! * [`journal`] — [`DurableJournal`], the crash-safe append-only run
+//!   journal (one JSONL line per terminal request outcome, fsync-free but
+//!   flushed per entry) that checkpoint/resume rehydrates completed
+//!   requests from after a crash, tolerating a torn final line.
 //! * [`audit`] — [`AuditTracer`], which replays the ledger invariants
 //!   online: every instance is answered or failed, billed tokens equal the
 //!   sum of fresh attempts, cache hits bill zero fresh tokens, and prompt
@@ -55,6 +59,7 @@ pub mod audit;
 pub mod component;
 pub mod event;
 pub mod export;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -64,6 +69,7 @@ pub mod tracer;
 pub use audit::AuditTracer;
 pub use event::TraceEvent;
 pub use export::{parse_trace, JsonlTracer};
+pub use journal::{DurableJournal, JournalEntry, JournalHeader, ResumedJournal, TerminalKind};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsRecorder, MetricsSnapshot};
 pub use report::{ReportFormat, RunReport};

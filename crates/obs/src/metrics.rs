@@ -240,6 +240,13 @@ pub struct MetricsSnapshot {
     pub component_tokens: BTreeMap<&'static str, usize>,
     /// Billed dollar cost.
     pub cost_usd: f64,
+    /// Planned requests rehydrated from a run journal instead of
+    /// dispatched (their original billed usage re-enters the totals).
+    pub journal_replayed: usize,
+    /// Terminal entries appended to the run journal.
+    pub journal_written: usize,
+    /// Torn journal tail lines truncated at recovery.
+    pub journal_truncated: usize,
     /// Per-request virtual latency, in microseconds (fresh requests only).
     pub latency_us: Histogram,
     /// Per-request prompt tokens (fresh requests only).
@@ -300,6 +307,18 @@ impl MetricsSnapshot {
             ),
             ("component_tokens".into(), map(&self.component_tokens)),
             ("cost_usd".into(), Json::Num(self.cost_usd)),
+            (
+                "journal_replayed".into(),
+                Json::Num(self.journal_replayed as f64),
+            ),
+            (
+                "journal_written".into(),
+                Json::Num(self.journal_written as f64),
+            ),
+            (
+                "journal_truncated".into(),
+                Json::Num(self.journal_truncated as f64),
+            ),
             ("latency_us".into(), self.latency_us.to_json()),
             ("prompt_hist".into(), self.prompt_hist.to_json()),
             ("completion_hist".into(), self.completion_hist.to_json()),
@@ -342,6 +361,19 @@ impl MetricsSnapshot {
             completion_tokens: value.get("completion_tokens")?.as_usize()?,
             component_tokens: map("component_tokens")?,
             cost_usd: value.get("cost_usd")?.as_f64()?,
+            // Absent in snapshots written before durable runs: zero.
+            journal_replayed: value
+                .get("journal_replayed")
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
+            journal_written: value
+                .get("journal_written")
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
+            journal_truncated: value
+                .get("journal_truncated")
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
             latency_us: Histogram::from_json(value.get("latency_us")?)?,
             prompt_hist: Histogram::from_json(value.get("prompt_hist")?)?,
             completion_hist: Histogram::from_json(value.get("completion_hist")?)?,
@@ -371,6 +403,9 @@ impl MetricsSnapshot {
             *self.component_tokens.entry(component).or_insert(0) += n;
         }
         self.cost_usd += other.cost_usd;
+        self.journal_replayed += other.journal_replayed;
+        self.journal_written += other.journal_written;
+        self.journal_truncated += other.journal_truncated;
         self.latency_us.merge(&other.latency_us);
         self.prompt_hist.merge(&other.prompt_hist);
         self.completion_hist.merge(&other.completion_hist);
@@ -424,6 +459,12 @@ impl MetricsSnapshot {
         }
         for (kind, n) in &self.faults_injected {
             out.push_str(&format!("    fault-injected {kind:<13} {n}\n"));
+        }
+        if self.journal_replayed + self.journal_written + self.journal_truncated > 0 {
+            out.push_str(&format!(
+                "  journal         {} replayed, {} written, {} torn line(s) truncated\n",
+                self.journal_replayed, self.journal_written, self.journal_truncated
+            ));
         }
         out.push_str(&format!(
             "  tokens billed   {} prompt + {} completion, ${:.4}\n",
@@ -543,6 +584,15 @@ impl Tracer for MetricsRecorder {
             }
             TraceEvent::Cancelled { .. } => m.cancelled += 1,
             TraceEvent::BatchSplit { .. } => m.batch_splits += 1,
+            TraceEvent::Replayed { .. } => m.journal_replayed += 1,
+            TraceEvent::JournalState {
+                written, truncated, ..
+            } => {
+                // `replayed` folds from the per-request `Replayed` events;
+                // this event contributes the journal-file-level counters.
+                m.journal_written += written;
+                m.journal_truncated += truncated;
+            }
             _ => {}
         }
     }
@@ -717,6 +767,39 @@ mod tests {
             MetricsSnapshot::from_json(&crate::json::Json::parse(&legacy).unwrap()).unwrap();
         assert_eq!(parsed.cancelled, 0);
         assert_eq!(parsed.batch_splits, 0);
+    }
+
+    #[test]
+    fn journal_counters_fold_and_round_trip() {
+        let rec = MetricsRecorder::new();
+        rec.record(&TraceEvent::Replayed { request: 4 });
+        rec.record(&TraceEvent::Replayed { request: 5 });
+        rec.record(&TraceEvent::JournalState {
+            run: 1,
+            replayed: 2,
+            written: 3,
+            truncated: 1,
+        });
+        let m = rec.snapshot();
+        assert_eq!(m.journal_replayed, 2);
+        assert_eq!(m.journal_written, 3);
+        assert_eq!(m.journal_truncated, 1);
+        assert!(m.summary().contains("journal"), "{}", m.summary());
+        let text = m.to_json().to_json();
+        let rebuilt =
+            MetricsSnapshot::from_json(&crate::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(rebuilt, m);
+        // Pre-durability snapshots (no journal keys) still parse as zero.
+        let legacy = text
+            .replace("\"journal_replayed\":2,", "")
+            .replace("\"journal_written\":3,", "")
+            .replace("\"journal_truncated\":1,", "");
+        assert_ne!(legacy, text);
+        let parsed =
+            MetricsSnapshot::from_json(&crate::json::Json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(parsed.journal_replayed, 0);
+        assert_eq!(parsed.journal_written, 0);
+        assert_eq!(parsed.journal_truncated, 0);
     }
 
     #[test]

@@ -188,6 +188,21 @@ impl RunReport {
             m.completion_tokens as f64,
         );
         counter("dprep_cost_usd_total", "Billed dollar cost.", m.cost_usd);
+        counter(
+            "dprep_journal_replayed_total",
+            "Requests rehydrated from a run journal on resume.",
+            m.journal_replayed as f64,
+        );
+        counter(
+            "dprep_journal_written_total",
+            "Terminal entries appended to the run journal.",
+            m.journal_written as f64,
+        );
+        counter(
+            "dprep_journal_torn_lines_total",
+            "Torn journal tail lines truncated during recovery.",
+            m.journal_truncated as f64,
+        );
         let _ = writeln!(out, "# HELP dprep_failures_total Failed instances by kind.");
         let _ = writeln!(out, "# TYPE dprep_failures_total counter");
         for (kind, n) in &m.failures {
@@ -288,6 +303,21 @@ impl RunReport {
             b.completion_tokens as f64,
         );
         row("cost ($)", a.cost_usd, b.cost_usd);
+        row(
+            "journal replayed",
+            a.journal_replayed as f64,
+            b.journal_replayed as f64,
+        );
+        row(
+            "journal written",
+            a.journal_written as f64,
+            b.journal_written as f64,
+        );
+        row(
+            "journal torn lines",
+            a.journal_truncated as f64,
+            b.journal_truncated as f64,
+        );
         for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
             row(
                 &format!("latency {label} (s)"),

@@ -288,7 +288,9 @@ impl Tracer for SpanProfileBuilder {
             // Plan-shape and per-instance events carry no duration; the
             // nondeterministically interleaved `Dispatched` is deliberately
             // ignored (its information reappears in plan order on
-            // `Completed`).
+            // `Completed`). A replayed completion folds like any other —
+            // its journaled latency is the span, so a resumed run's profile
+            // reconciles with the uninterrupted one.
             TraceEvent::RunStarted { .. }
             | TraceEvent::Planned { .. }
             | TraceEvent::Deduped { .. }
@@ -299,7 +301,9 @@ impl Tracer for SpanProfileBuilder {
             | TraceEvent::Cancelled { .. }
             | TraceEvent::BudgetTripped { .. }
             | TraceEvent::BreakerTransition { .. }
-            | TraceEvent::BatchSplit { .. } => {}
+            | TraceEvent::BatchSplit { .. }
+            | TraceEvent::Replayed { .. }
+            | TraceEvent::JournalState { .. } => {}
         }
     }
 }

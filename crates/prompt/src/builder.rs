@@ -1,5 +1,7 @@
 //! Assembles complete chat requests from the framework's components.
 
+use std::sync::Arc;
+
 use dprep_llm::{ChatRequest, Message};
 use dprep_text::count_tokens;
 
@@ -116,48 +118,131 @@ pub fn build_request_sections(
     examples: &[FewShotExample],
     batch: &[&TaskInstance],
 ) -> (ChatRequest, PromptSections) {
-    assert!(!batch.is_empty(), "cannot build a prompt with no instances");
-    assert!(
-        batch.iter().all(|i| i.task() == config.task),
-        "instance task does not match the prompt configuration"
-    );
+    PromptContext::new(config, examples).build(batch)
+}
 
-    let options = TemplateOptions {
-        reasoning: config.reasoning,
-        confirm_target: config.confirm_target,
-        type_hint: config.type_hint.clone(),
-    };
-    let system = system_sections(config.task, &options);
-    let mut sections = PromptSections {
-        task_spec: system.task_spec_tokens,
-        answer_format: system.answer_format_tokens,
-        cot: system.cot_tokens,
-        ..PromptSections::default()
-    };
-    let mut messages = vec![Message::system(system.text)];
+/// The full-text token contribution of one chat message: its role tag, the
+/// `:` separator, and its content. [`ChatRequest::full_text`] renders
+/// `"{tag}: {content}\n"` per message, and the tokenizer never merges runs
+/// across the `:` or the newline, so per-message counts sum exactly to the
+/// full-text count the serving model bills.
+fn message_tokens(tag: &str, content: &str) -> usize {
+    count_tokens(tag) + 1 + count_tokens(content)
+}
 
-    if let Some((user, assistant)) = render_examples(
-        examples,
-        config.reasoning,
-        config.feature_indices.as_deref(),
-    ) {
-        sections.few_shot = count_tokens(&user.content) + count_tokens(&assistant.content);
-        messages.push(user);
-        messages.push(assistant);
+/// Invariant prompt parts of one execution plan, rendered and tokenized
+/// once.
+///
+/// The system message and the few-shot turns depend only on the prompt
+/// configuration and the example set — never on the batch — yet a naive
+/// builder re-renders and re-tokenizes them for every request. A plan
+/// builds one `PromptContext` up front and stacks each batch's questions
+/// under the shared (`Arc`-held) sections; the context also accumulates
+/// the exact full-text token count as it goes, so the built request
+/// carries [`ChatRequest::prompt_tokens_hint`] and the serving model
+/// never tokenizes the prompt a second time.
+#[derive(Debug, Clone)]
+pub struct PromptContext {
+    config: PromptConfig,
+    system: Arc<str>,
+    /// Section counts of the system message (task-spec, answer-format, cot).
+    task_spec: usize,
+    answer_format: usize,
+    cot: usize,
+    /// Full-text token contribution of the system message.
+    system_message_tokens: usize,
+    few_shot: Option<FewShotContext>,
+}
+
+/// The rendered few-shot user/assistant pair and its token counts.
+#[derive(Debug, Clone)]
+struct FewShotContext {
+    user: Arc<str>,
+    assistant: Arc<str>,
+    /// The few-shot attribution section: content tokens of both turns.
+    section_tokens: usize,
+    /// Full-text token contribution of both messages (role tags included).
+    message_tokens: usize,
+}
+
+impl PromptContext {
+    /// Renders the plan-invariant sections for `config` and `examples`.
+    pub fn new(config: &PromptConfig, examples: &[FewShotExample]) -> Self {
+        let options = TemplateOptions {
+            reasoning: config.reasoning,
+            confirm_target: config.confirm_target,
+            type_hint: config.type_hint.clone(),
+        };
+        let system = system_sections(config.task, &options);
+        let system_message_tokens = message_tokens("system", &system.text);
+        let few_shot = render_examples(
+            examples,
+            config.reasoning,
+            config.feature_indices.as_deref(),
+        )
+        .map(|(user, assistant)| FewShotContext {
+            section_tokens: count_tokens(&user.content) + count_tokens(&assistant.content),
+            message_tokens: message_tokens("user", &user.content)
+                + message_tokens("assistant", &assistant.content),
+            user: user.content.into(),
+            assistant: assistant.content.into(),
+        });
+        PromptContext {
+            config: config.clone(),
+            system: system.text.into(),
+            task_spec: system.task_spec_tokens,
+            answer_format: system.answer_format_tokens,
+            cot: system.cot_tokens,
+            system_message_tokens,
+            few_shot,
+        }
     }
 
-    let mut body = String::new();
-    for (i, instance) in batch.iter().enumerate() {
-        body.push_str(&format!(
-            "Question {}: {}\n",
-            i + 1,
-            instance.question_text(config.feature_indices.as_deref())
-        ));
-    }
-    sections.instances = count_tokens(&body);
-    messages.push(Message::user(body));
+    /// Builds the request for one batch under the shared sections. The
+    /// request is byte-identical to [`build_request`] on the same inputs;
+    /// only the batch body is rendered and tokenized per call.
+    ///
+    /// # Panics
+    /// Panics when `batch` is empty or an instance's task differs from the
+    /// context's configuration.
+    pub fn build(&self, batch: &[&TaskInstance]) -> (ChatRequest, PromptSections) {
+        assert!(!batch.is_empty(), "cannot build a prompt with no instances");
+        assert!(
+            batch.iter().all(|i| i.task() == self.config.task),
+            "instance task does not match the prompt configuration"
+        );
+        let mut sections = PromptSections {
+            task_spec: self.task_spec,
+            answer_format: self.answer_format,
+            cot: self.cot,
+            ..PromptSections::default()
+        };
+        let mut full_text_tokens = self.system_message_tokens;
+        let mut messages = vec![Message::system(self.system.to_string())];
+        if let Some(fs) = &self.few_shot {
+            sections.few_shot = fs.section_tokens;
+            full_text_tokens += fs.message_tokens;
+            messages.push(Message::user(fs.user.to_string()));
+            messages.push(Message::assistant(fs.assistant.to_string()));
+        }
 
-    (ChatRequest::new(messages), sections)
+        let mut body = String::new();
+        for (i, instance) in batch.iter().enumerate() {
+            body.push_str(&format!(
+                "Question {}: {}\n",
+                i + 1,
+                instance.question_text(self.config.feature_indices.as_deref())
+            ));
+        }
+        sections.instances = count_tokens(&body);
+        full_text_tokens += count_tokens("user") + 1 + sections.instances;
+        messages.push(Message::user(body));
+
+        (
+            ChatRequest::new(messages).with_prompt_tokens_hint(full_text_tokens),
+            sections,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +366,40 @@ mod tests {
         );
         // Framing is small: two tokens per message tag plus residue.
         assert!(billed - tagged <= 4 * req.messages.len());
+    }
+
+    #[test]
+    fn context_build_matches_one_shot_build_and_hints_exactly() {
+        let config = PromptConfig::best(Task::Imputation);
+        let examples = vec![FewShotExample::new(
+            di_instance(false),
+            "The 770 area code points to Marietta.",
+            "marietta",
+        )];
+        let inst = di_instance(true);
+        let context = PromptContext::new(&config, &examples);
+        for k in 1..=3usize {
+            let batch: Vec<&TaskInstance> = std::iter::repeat_n(&inst, k).collect();
+            let (req, sections) = context.build(&batch);
+            let (oneshot, oneshot_sections) = build_request_sections(&config, &examples, &batch);
+            assert_eq!(req, oneshot, "shared sections must not change bytes");
+            assert_eq!(sections, oneshot_sections);
+            // The hint is exact: the serving model trusts it in place of
+            // re-tokenizing the prompt.
+            assert_eq!(
+                req.prompt_tokens_hint,
+                Some(dprep_text::count_tokens(&req.full_text())),
+                "batch size {k}"
+            );
+        }
+        // Without few-shot examples (and without reasoning) too.
+        let plain = PromptContext::new(&PromptConfig::zero_shot_task_only(Task::Imputation), &[]);
+        let (req, _) = plain.build(&[&inst]);
+        assert_eq!(
+            req.prompt_tokens_hint,
+            Some(dprep_text::count_tokens(&req.full_text()))
+        );
+        assert_eq!(req.messages.len(), 2);
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod task;
 pub mod template;
 
 pub use batch::{make_batches, BatchStrategy};
-pub use builder::{build_request, build_request_sections, PromptConfig, PromptSections};
+pub use builder::{
+    build_request, build_request_sections, PromptConfig, PromptContext, PromptSections,
+};
 pub use fewshot::FewShotExample;
 pub use parse::{parse_response, ExtractedAnswer};
 pub use task::{AttrSpec, Task, TaskInstance};

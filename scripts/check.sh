@@ -17,6 +17,13 @@ echo "== serving-ledger audit invariants =="
 cargo test -q --test audit_invariants
 cargo test -q -p dprep-core --lib exec::tests::audit_tracer_passes_on_a_faulty_retried_cached_run
 
+echo "== durable runs: journal resume tests + chaos kill-point drill =="
+cargo test -q --test durable_resume
+# One-scenario sweep still runs the breaker drill and the full kill-point
+# drill (kill after every Nth terminal event, resume, assert bit-identity
+# and exactly-once billing).
+cargo run --release -q -p dprep-cli --bin dprep -- chaos --scenario partial-batch > /dev/null
+
 echo "== bench-regression gate (pinned Table 3 sweep vs BENCH_baseline.json) =="
 # Fails on any billed-token change or a >20% virtual-latency regression,
 # and prints the sweep's per-component cost table.

@@ -1,0 +1,227 @@
+//! Durable-run integration tests: a journaled run torn mid-write resumes
+//! bit-identically, a stale journal header is rejected before any request
+//! executes, and a budget-tripped run resumes under a raised budget to the
+//! same result an uninterrupted run at that budget produces.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use llm_data_preprocessors::core::{
+    Durability, ExecutionOptions, PipelineConfig, Preprocessor, RunResult,
+};
+use llm_data_preprocessors::datasets::{dataset_by_name, Dataset};
+use llm_data_preprocessors::llm::{
+    warm_cache_store, CacheLayer, ChatModel, ChatRequest, ChatResponse, FaultLayer, ModelProfile,
+    RetryLayer, SimulatedLlm, Usage,
+};
+use llm_data_preprocessors::obs::{DurableJournal, JournalEntry, MetricsSnapshot, TerminalKind};
+
+const FAULT_RATE: f64 = 0.1;
+const FAULT_SEED: u64 = 17;
+const RETRIES: u32 = 2;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dprep-durable-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn stack(ds: &Dataset, warm: &[JournalEntry]) -> impl ChatModel {
+    let model = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(ds.kb.clone()));
+    let faulty = FaultLayer::new(model, FAULT_RATE, FAULT_SEED);
+    let retried = RetryLayer::new(faulty, RETRIES);
+    let mut cache = CacheLayer::new(retried);
+    if !warm.is_empty() {
+        cache = cache.with_store(warm_cache_store(warm));
+    }
+    cache
+}
+
+fn run(
+    ds: &Dataset,
+    workers: usize,
+    durability: Durability,
+    warm: &[JournalEntry],
+    options: Option<ExecutionOptions>,
+) -> RunResult {
+    let model = stack(ds, warm);
+    let mut config = PipelineConfig::best(ds.task);
+    config.workers = workers;
+    let mut preprocessor = Preprocessor::new(&model, config).with_durability(durability);
+    if let Some(options) = options {
+        preprocessor = preprocessor.with_exec_options(options);
+    }
+    preprocessor
+        .try_run(&ds.instances, &ds.few_shot)
+        .expect("durable run accepted")
+}
+
+fn strip_journal_counters(mut metrics: MetricsSnapshot) -> MetricsSnapshot {
+    metrics.journal_replayed = 0;
+    metrics.journal_written = 0;
+    metrics.journal_truncated = 0;
+    metrics
+}
+
+#[test]
+fn torn_journal_resumes_bit_identically_with_a_warning() {
+    let ds = dataset_by_name("Restaurant", 0.5, 5).unwrap();
+    let reference = run(&ds, 4, Durability::new(), &[], None);
+
+    // Journal an uninterrupted run, then tear the final line mid-write the
+    // way a crash during the last append would.
+    let path = temp_path("torn");
+    let journal = Arc::new(DurableJournal::fresh(&path, "m", "c", 5).unwrap());
+    let full = run(
+        &ds,
+        4,
+        Durability::new().with_journal(Arc::clone(&journal)),
+        &[],
+        None,
+    );
+    assert_eq!(full.predictions, reference.predictions);
+    let written = journal.written();
+    assert!(written > 1, "workload journaled only {written} entries");
+    drop(journal);
+    let bytes = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 19]).unwrap();
+
+    // Recovery drops the torn entry, warns, and repairs the file; the
+    // resumed run replays the rest and re-executes only the remainder.
+    let recovered = DurableJournal::resume(&path).unwrap();
+    let warning = recovered.warning.as_deref().expect("torn tail warns");
+    assert!(warning.contains("torn final line"), "{warning}");
+    assert_eq!(recovered.entries.len(), written - 1);
+    let truncated = recovered.journal.truncated();
+    // Read-only resume (no --journal): the recovered handle is dropped, so
+    // the truncation count rides on the durability.
+    let durability = Durability::new()
+        .with_replay(&recovered.entries, recovered.header.plan)
+        .with_truncated(truncated);
+    let resumed = run(&ds, 4, durability, &recovered.entries, None);
+
+    assert_eq!(resumed.predictions, reference.predictions);
+    assert_eq!(resumed.usage, reference.usage);
+    assert_eq!(resumed.stats, reference.stats);
+    assert_eq!(resumed.metrics.journal_truncated, 1);
+    assert!(resumed.metrics.journal_replayed > 0);
+    assert_eq!(resumed.metrics.journal_written, 0, "read-only resume");
+    assert_eq!(
+        strip_journal_counters(resumed.metrics),
+        strip_journal_counters(reference.metrics)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Counts dispatches so a rejected resume can prove nothing executed.
+struct CountingModel<M> {
+    inner: M,
+    calls: AtomicUsize,
+}
+
+impl<M: ChatModel> ChatModel for CountingModel<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn default_temperature(&self) -> f64 {
+        self.inner.default_temperature()
+    }
+    fn chat(&self, request: &ChatRequest) -> ChatResponse {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.chat(request)
+    }
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+    fn cost_usd(&self, usage: &Usage) -> f64 {
+        self.inner.cost_usd(usage)
+    }
+}
+
+#[test]
+fn stale_journal_header_is_rejected_before_any_request_executes() {
+    let ds = dataset_by_name("Restaurant", 0.5, 5).unwrap();
+    let path = temp_path("stale");
+    let journal = Arc::new(DurableJournal::fresh(&path, "m", "c", 5).unwrap());
+    run(
+        &ds,
+        1,
+        Durability::new().with_journal(Arc::clone(&journal)),
+        &[],
+        None,
+    );
+    drop(journal);
+
+    // The same journal against a different workload: the plan fingerprint
+    // in the header no longer matches, and the run must refuse up front.
+    let other = dataset_by_name("Restaurant", 0.5, 6).unwrap();
+    let recovered = DurableJournal::resume(&path).unwrap();
+    let durability = Durability::new().with_replay(&recovered.entries, recovered.header.plan);
+    let model = CountingModel {
+        inner: stack(&other, &[]),
+        calls: AtomicUsize::new(0),
+    };
+    let mut config = PipelineConfig::best(other.task);
+    config.workers = 4;
+    let err = Preprocessor::new(&model, config)
+        .with_durability(durability)
+        .try_run(&other.instances, &other.few_shot)
+        .expect_err("stale journal must be rejected");
+    assert!(err.contains("refusing to resume"), "{err}");
+    assert_eq!(model.calls.load(Ordering::Relaxed), 0, "requests executed");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn budget_tripped_run_resumes_under_a_raised_budget() {
+    let ds = dataset_by_name("Restaurant", 0.5, 5).unwrap();
+    let tight = ExecutionOptions {
+        workers: 4,
+        token_budget: Some(4_000),
+        ..ExecutionOptions::default()
+    };
+    let roomy = ExecutionOptions {
+        workers: 4,
+        token_budget: Some(1_000_000),
+        ..ExecutionOptions::default()
+    };
+    let reference = run(&ds, 4, Durability::new(), &[], Some(roomy));
+
+    // Trip the budget: the run completes what fits and journals the rest
+    // as cancelled (unbilled).
+    let path = temp_path("budget");
+    let journal = Arc::new(DurableJournal::fresh(&path, "m", "c", 5).unwrap());
+    let tripped = run(
+        &ds,
+        4,
+        Durability::new().with_journal(Arc::clone(&journal)),
+        &[],
+        Some(tight),
+    );
+    assert!(
+        tripped.failed_count() > 0,
+        "budget was not tight enough to trip"
+    );
+    drop(journal);
+
+    // Resume with a raised budget: completed requests replay and bill the
+    // journaled numbers; cancelled ones execute for the first time. The
+    // outcome matches an uninterrupted run at the raised budget.
+    let recovered = DurableJournal::resume(&path).unwrap();
+    assert!(recovered
+        .entries
+        .iter()
+        .any(|e| e.kind == TerminalKind::Cancelled));
+    let durability = Durability::new().with_replay(&recovered.entries, recovered.header.plan);
+    let resumed = run(&ds, 4, durability, &recovered.entries, Some(roomy));
+
+    assert_eq!(resumed.predictions, reference.predictions);
+    assert_eq!(resumed.usage, reference.usage);
+    assert_eq!(resumed.stats, reference.stats);
+    assert_eq!(
+        strip_journal_counters(resumed.metrics),
+        strip_journal_counters(reference.metrics)
+    );
+    std::fs::remove_file(&path).ok();
+}
