@@ -109,7 +109,17 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     print!("{}", breaker_drill(&workloads[0], seed, retries)?);
 
     println!();
-    print!("{}", kill_drill(&workloads[0], seed, retries, workers)?);
+    print!(
+        "{}",
+        kill_drill(&workloads[0], seed, retries, workers, None)?
+    );
+    // The same drill with the streaming planner on: shards of 2 batches
+    // put several shard boundaries inside the kill sweep, so resume is
+    // proven bit-identical when the plan was never materialized.
+    print!(
+        "{}",
+        kill_drill(&workloads[0], seed, retries, workers, Some(2))?
+    );
 
     if violations.is_empty() {
         println!();
@@ -246,6 +256,8 @@ struct Drill<'a> {
     ds: &'a Dataset,
     seed: u64,
     retries: u32,
+    /// Streaming-planner shard size; `None` materializes the plan.
+    plan_shard: Option<usize>,
 }
 
 impl Drill<'_> {
@@ -276,6 +288,7 @@ impl Drill<'_> {
         }
         let mut config = PipelineConfig::best(self.ds.task);
         config.workers = workers;
+        config.plan_shard_size = self.plan_shard;
         let mut preprocessor = Preprocessor::new(&cache, config)
             .with_exec_options(ExecutionOptions {
                 workers,
@@ -309,12 +322,28 @@ fn strip_journal_counters(mut metrics: MetricsSnapshot) -> MetricsSnapshot {
 /// and metrics (minus the journal counters) — with every fingerprint
 /// billed exactly once across the kill/resume pair. Resumes alternate
 /// between serial and `--workers N` to cover worker-count invariance too.
-fn kill_drill(ds: &Dataset, seed: u64, retries: u32, workers: usize) -> Result<String, String> {
+///
+/// With `plan_shard` set the whole drill — reference, killed runs, and
+/// resumes — executes under the streaming planner, proving the resume
+/// contract holds when the plan is consumed shard by shard instead of
+/// materialized.
+fn kill_drill(
+    ds: &Dataset,
+    seed: u64,
+    retries: u32,
+    workers: usize,
+    plan_shard: Option<usize>,
+) -> Result<String, String> {
+    let mode = match plan_shard {
+        None => "materialized".to_string(),
+        Some(n) => format!("streaming shard {n}"),
+    };
     let temp = |tag: &str| {
         let mut p = std::env::temp_dir();
         p.push(format!(
-            "dprep-chaos-kill-{}-{seed}-{tag}.jsonl",
-            std::process::id()
+            "dprep-chaos-kill-{}-{seed}-{}-{tag}.jsonl",
+            std::process::id(),
+            plan_shard.map_or(0, |n| n),
         ));
         p
     };
@@ -326,7 +355,12 @@ fn kill_drill(ds: &Dataset, seed: u64, retries: u32, workers: usize) -> Result<S
         DurableJournal::fresh(&ref_path, "sim-gpt-4", "chaos-kill", seed)
             .map_err(|e| format!("cannot create drill journal: {e}"))?,
     );
-    let drill = Drill { ds, seed, retries };
+    let drill = Drill {
+        ds,
+        seed,
+        retries,
+        plan_shard,
+    };
     let reference = drill.run(
         workers,
         Durability::new().with_journal(Arc::clone(&ref_journal)),
@@ -425,12 +459,15 @@ fn kill_drill(ds: &Dataset, seed: u64, retries: u32, workers: usize) -> Result<S
 
     if violations.is_empty() {
         Ok(format!(
-            "kill drill ({}, partial-batch, degrade on): {kill_points} kill point(s), \
-             every resume bit-identical, 0 double-billed fingerprints\n",
+            "kill drill ({}, partial-batch, degrade on, {mode} plan): {kill_points} kill \
+             point(s), every resume bit-identical, 0 double-billed fingerprints\n",
             ds.name
         ))
     } else {
-        Err(format!("kill drill failed: {}", violations.join("; ")))
+        Err(format!(
+            "kill drill ({mode} plan) failed: {}",
+            violations.join("; ")
+        ))
     }
 }
 

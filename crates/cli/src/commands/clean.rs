@@ -5,43 +5,26 @@ use dprep_core::{PipelineConfig, Repairer};
 use dprep_prompt::Task;
 use dprep_tabular::csv::write_csv;
 
-use crate::args::{model_profile, Flags};
+use crate::args::Flags;
 use crate::commands::{
-    apply_serving, attrs_for, build_model, durability_from_serving, load_table, print_metrics,
-    print_usage_footer, serving_from_flags, Observability,
+    attrs_for, load_table, print_metrics, print_usage_footer, serving_setup, ServingSetup,
 };
-use crate::facts;
 
 /// Runs the command.
 pub fn run(flags: &Flags) -> Result<(), String> {
     let table = load_table(flags.require("input")?)?;
     let attrs = attrs_for(flags, &table)?;
-    let profile = model_profile(flags)?;
-    let kb = facts::load(flags)?;
-    let serving = serving_from_flags(flags)?;
-    let obs = Observability::from_serving(&serving)?;
-    let stats = dprep_llm::MiddlewareStats::shared();
-    let seed = flags.seed()?;
     let mut detect_config = PipelineConfig::best(Task::ErrorDetection);
-    detect_config.workers = serving.workers;
     let mut impute_config = PipelineConfig::best(Task::Imputation);
-    impute_config.workers = serving.workers;
     // One journal covers both passes; its config identity is the pair of
     // pass descriptors (the header's plan fingerprint binds the detect
     // pass — the impute plan derives deterministically from its results).
-    let descriptor = format!(
-        "{} ++ {}",
-        detect_config.descriptor(),
-        impute_config.descriptor()
-    );
-    let (durability, warm) = durability_from_serving(&serving, &profile.name, &descriptor, seed)?;
-    let model = apply_serving(
-        build_model(profile, kb, seed),
-        &serving,
-        &stats,
-        obs.tracer(),
-        &warm,
-    );
+    let ServingSetup {
+        serving,
+        obs,
+        durability,
+        model,
+    } = serving_setup(flags, &mut [&mut detect_config, &mut impute_config])?;
 
     let repairer = Repairer::new(&model)
         .with_detect_config(detect_config)

@@ -5,12 +5,8 @@ use dprep_core::{PipelineConfig, Preprocessor};
 use dprep_prompt::{Task, TaskInstance};
 use dprep_tabular::{csv::write_csv, Table, Value};
 
-use crate::args::{model_profile, Flags};
-use crate::commands::{
-    apply_serving, build_model, durability_from_serving, load_table, print_metrics,
-    print_usage_footer, serving_from_flags, Observability,
-};
-use crate::facts;
+use crate::args::Flags;
+use crate::commands::{load_table, print_metrics, print_usage_footer, serving_setup, ServingSetup};
 
 /// Runs the command.
 pub fn run(flags: &Flags) -> Result<(), String> {
@@ -22,23 +18,13 @@ pub fn run(flags: &Flags) -> Result<(), String> {
             table.schema().names().join(", ")
         ));
     };
-    let profile = model_profile(flags)?;
-    let kb = facts::load(flags)?;
-    let serving = serving_from_flags(flags)?;
-    let obs = Observability::from_serving(&serving)?;
-    let stats = dprep_llm::MiddlewareStats::shared();
-    let seed = flags.seed()?;
     let mut config = PipelineConfig::best(Task::Imputation);
-    config.workers = serving.workers;
-    let (durability, warm) =
-        durability_from_serving(&serving, &profile.name, &config.descriptor(), seed)?;
-    let model = apply_serving(
-        build_model(profile, kb, seed),
-        &serving,
-        &stats,
-        obs.tracer(),
-        &warm,
-    );
+    let ServingSetup {
+        serving,
+        obs,
+        durability,
+        model,
+    } = serving_setup(flags, &mut [&mut config])?;
 
     let mut instances = Vec::new();
     let mut rows_to_fill = Vec::new();

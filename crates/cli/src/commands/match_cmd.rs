@@ -5,34 +5,20 @@ use dprep_core::blocking::{EmbeddingBlocker, NgramBlocker};
 use dprep_core::{PipelineConfig, Preprocessor};
 use dprep_prompt::{Task, TaskInstance};
 
-use crate::args::{model_profile, Flags};
-use crate::commands::{
-    apply_serving, build_model, durability_from_serving, load_table, print_metrics,
-    print_usage_footer, serving_from_flags, Observability,
-};
-use crate::facts;
+use crate::args::Flags;
+use crate::commands::{load_table, print_metrics, print_usage_footer, serving_setup, ServingSetup};
 
 /// Runs the command.
 pub fn run(flags: &Flags) -> Result<(), String> {
     let left = load_table(flags.require("left")?)?;
     let right = load_table(flags.require("right")?)?;
-    let profile = model_profile(flags)?;
-    let kb = facts::load(flags)?;
-    let serving = serving_from_flags(flags)?;
-    let obs = Observability::from_serving(&serving)?;
-    let stats = dprep_llm::MiddlewareStats::shared();
-    let seed = flags.seed()?;
     let mut config = PipelineConfig::best(Task::EntityMatching);
-    config.workers = serving.workers;
-    let (durability, warm) =
-        durability_from_serving(&serving, &profile.name, &config.descriptor(), seed)?;
-    let model = apply_serving(
-        build_model(profile, kb, seed),
-        &serving,
-        &stats,
-        obs.tracer(),
-        &warm,
-    );
+    let ServingSetup {
+        serving,
+        obs,
+        durability,
+        model,
+    } = serving_setup(flags, &mut [&mut config])?;
 
     // ── blocking ─────────────────────────────────────────────────────────
     let blocker = flags.get("blocker").unwrap_or("ngram");

@@ -10,7 +10,7 @@ pub mod report;
 
 use std::sync::Arc;
 
-use dprep_core::{Durability, ExecStats};
+use dprep_core::{Durability, ExecStats, PipelineConfig};
 use dprep_llm::{
     warm_cache_store, CacheLayer, ChatModel, KnowledgeBase, MiddlewareStats, ModelProfile,
     RetryLayer, SimulatedLlm,
@@ -18,7 +18,8 @@ use dprep_llm::{
 use dprep_obs::{AuditTracer, DurableJournal, JournalEntry, JsonlTracer, MultiTracer, Tracer};
 use dprep_tabular::Table;
 
-use crate::args::Flags;
+use crate::args::{model_profile, Flags};
+use crate::facts;
 
 /// Loads a CSV file into a typed table.
 pub fn load_table(path: &str) -> Result<Table, String> {
@@ -55,6 +56,10 @@ pub struct Serving {
     /// Journal to resume from (`--resume FILE`): completed requests replay
     /// instead of re-dispatching.
     pub resume: Option<String>,
+    /// Streaming-planner shard size (`--plan-shard-size N`): plan and
+    /// execute N batches at a time under bounded memory instead of
+    /// materializing the whole plan. `None` plans materialized.
+    pub plan_shard: Option<usize>,
 }
 
 /// Parses the serving flags (defaults: 1 worker, 2 retries, cache off,
@@ -65,6 +70,18 @@ pub fn serving_from_flags(flags: &Flags) -> Result<Serving, String> {
     if workers == 0 {
         return Err("--workers must be at least 1".into());
     }
+    let plan_shard = match flags.get("plan-shard-size") {
+        None => None,
+        Some(raw) => {
+            let n: usize = raw.parse().map_err(|_| {
+                format!("--plan-shard-size expects a positive integer, got {raw:?}")
+            })?;
+            if n == 0 {
+                return Err("--plan-shard-size must be at least 1".into());
+            }
+            Some(n)
+        }
+    };
     let (metrics, metrics_out) = match flags.get("metrics") {
         None => (false, None),
         Some("on" | "true" | "1") => (true, None),
@@ -81,6 +98,68 @@ pub fn serving_from_flags(flags: &Flags) -> Result<Serving, String> {
         audit: flags.bool_or("audit", false)?,
         journal: flags.get("journal").map(str::to_string),
         resume: flags.get("resume").map(str::to_string),
+        plan_shard,
+    })
+}
+
+/// Everything a model-running command needs standing before it builds its
+/// task instances: the parsed serving flags, the observability sinks, the
+/// run's durability (journal/resume), and the middleware-wrapped model.
+/// Built once by [`serving_setup`]; consume the fields by value.
+pub struct ServingSetup {
+    /// Parsed serving flags (workers, retries, cache, metrics, ...).
+    pub serving: Serving,
+    /// Trace/audit sinks; call [`Observability::finish`] after the run.
+    pub obs: Observability,
+    /// Journal/resume wiring for the executor.
+    pub durability: Durability,
+    /// The simulated model wrapped in the requested middleware stack.
+    pub model: Box<dyn ChatModel>,
+}
+
+/// The startup sequence shared by `detect`, `impute`, `clean`, and
+/// `match`: resolve the model profile and facts file, parse the serving
+/// flags, build the observability sinks, apply the `--workers` and
+/// `--plan-shard-size` knobs to every pass config, open or recover the run
+/// journal under the joint config descriptor, and wrap the model in the
+/// middleware stack (cache warm-started from a resumed journal).
+///
+/// Multi-pass commands hand in one config per pass; the journal's config
+/// identity is the pass descriptors joined with ` ++ `, so a journal
+/// recorded by one command is never resumed by another with different
+/// pass settings.
+pub fn serving_setup(
+    flags: &Flags,
+    configs: &mut [&mut PipelineConfig],
+) -> Result<ServingSetup, String> {
+    let profile = model_profile(flags)?;
+    let kb = facts::load(flags)?;
+    let serving = serving_from_flags(flags)?;
+    let obs = Observability::from_serving(&serving)?;
+    let stats = MiddlewareStats::shared();
+    let seed = flags.seed()?;
+    for config in configs.iter_mut() {
+        config.workers = serving.workers;
+        config.plan_shard_size = serving.plan_shard;
+    }
+    let descriptor = configs
+        .iter()
+        .map(|c| c.descriptor())
+        .collect::<Vec<_>>()
+        .join(" ++ ");
+    let (durability, warm) = durability_from_serving(&serving, &profile.name, &descriptor, seed)?;
+    let model = apply_serving(
+        build_model(profile, kb, seed),
+        &serving,
+        &stats,
+        obs.tracer(),
+        &warm,
+    );
+    Ok(ServingSetup {
+        serving,
+        obs,
+        durability,
+        model,
     })
 }
 

@@ -81,6 +81,10 @@ SERVING (detect/impute/clean/match):
   --workers N      executor threads (default 1; results are identical at any N)
   --retries N      re-ask on incomplete responses up to N times (default 2; 0 = off)
   --cache on|off   memoize identical requests across the run (default off)
+  --plan-shard-size N
+                   stream the plan in shards of N batches under bounded
+                   memory instead of materializing it up front (default:
+                   materialized; results are identical either way)
 
 OBSERVABILITY (detect/impute/clean/match):
   --trace FILE     write the request-lifecycle event stream as JSON lines
@@ -114,7 +118,8 @@ CHAOS:
   outage, and runs the kill-point drill: a journaled run is aborted after
   every Nth terminal event in turn and resumed, asserting bit-identity
   with the uninterrupted run and exactly-once billing at every kill
-  point. Any violation fails the command.
+  point — once with the materialized plan and once under the streaming
+  planner. Any violation fails the command.
 
 MODELS: sim-gpt-4 (default), sim-gpt-3.5, sim-gpt-3, sim-vicuna-13b
 

@@ -112,6 +112,12 @@ pub struct PipelineConfig {
     /// Worker threads the executor dispatches batch requests across
     /// (1 = serial). Results are bit-identical at any worker count.
     pub workers: usize,
+    /// Streaming planner: when set (and > 0), the run plans and executes in
+    /// shards of this many batches instead of materializing every request
+    /// up front, bounding planner memory by the shard size rather than the
+    /// corpus size. Results are shard-size invariant, so this knob (like
+    /// `workers`) is excluded from [`descriptor`](Self::descriptor).
+    pub plan_shard_size: Option<usize>,
 }
 
 impl PipelineConfig {
@@ -131,6 +137,7 @@ impl PipelineConfig {
             fit_context: true,
             seed: 0,
             workers: 1,
+            plan_shard_size: None,
         }
     }
 
@@ -149,6 +156,7 @@ impl PipelineConfig {
             fit_context: true,
             seed: 0,
             workers: 1,
+            plan_shard_size: None,
         }
     }
 
@@ -179,6 +187,9 @@ impl PipelineConfig {
     /// deliberately excluded (results are worker-invariant, so a journal
     /// recorded at `--workers 8` resumes fine at `--workers 1`); the seed
     /// is excluded too because the journal header carries it separately.
+    /// `plan_shard_size` is likewise excluded — the streaming planner yields
+    /// the same plan in shards, so a journal recorded materialized resumes
+    /// fine under any shard size and vice versa.
     pub fn descriptor(&self) -> String {
         format!(
             "{:?}|fs={}|b={}|r={}|bs={}|cluster={}|k={}|confirm={}|hint={:?}|feat={:?}|temp={:?}|fit={}",

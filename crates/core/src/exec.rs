@@ -96,24 +96,7 @@ impl ExecutionPlan {
             &[]
         };
         let prompt_config = config.prompt_config();
-        let mut strategy = config.batch_strategy();
-        if config.fit_context {
-            let clamped = context_fitted_batch_size(model, config, instances, shots);
-            strategy = match strategy {
-                dprep_prompt::BatchStrategy::Random { batch_size } => {
-                    dprep_prompt::BatchStrategy::Random {
-                        batch_size: batch_size.min(clamped),
-                    }
-                }
-                dprep_prompt::BatchStrategy::Cluster {
-                    batch_size,
-                    clusters,
-                } => dprep_prompt::BatchStrategy::Cluster {
-                    batch_size: batch_size.min(clamped),
-                    clusters,
-                },
-            };
-        }
+        let strategy = effective_strategy(model, config, instances, shots);
 
         let plan_started = std::time::Instant::now();
         // Render the plan-invariant sections (system message, few-shot
@@ -127,8 +110,13 @@ impl ExecutionPlan {
         let mut sections: Vec<[usize; 5]> = Vec::new();
         let mut fingerprints: Vec<u64> = Vec::new();
         let mut seen: HashMap<u64, usize> = HashMap::new();
+        // One scratch buffer of instance refs, reused across every batch —
+        // the planning loop allocates nothing per batch beyond the rendered
+        // request itself.
+        let mut batch_refs: Vec<&TaskInstance> = Vec::new();
         for batch in make_batches(instances, &strategy, config.seed) {
-            let batch_refs: Vec<&TaskInstance> = batch.iter().map(|&i| &instances[i]).collect();
+            batch_refs.clear();
+            batch_refs.extend(batch.iter().map(|&i| &instances[i]));
             let build_started = std::time::Instant::now();
             let (mut request, request_sections) = context.build(&batch_refs);
             prompt_build_wall_secs += build_started.elapsed().as_secs_f64();
@@ -205,11 +193,48 @@ impl ExecutionPlan {
     /// changes it. This is the identity a run journal is recorded under —
     /// a resumed run refuses a journal whose plan fingerprint differs.
     pub fn fingerprint(&self) -> u64 {
-        let mut acc = 0x9e37_79b9_7f4a_7c15u64 ^ (self.fingerprints.len() as u64);
-        for &f in &self.fingerprints {
-            acc = acc.rotate_left(13) ^ f.wrapping_mul(0x0100_0000_01b3);
-        }
-        acc
+        fold_plan_fingerprint(&self.fingerprints)
+    }
+}
+
+/// The plan-fingerprint fold shared by the materialized and streaming
+/// planners: a deterministic fold over the unique request fingerprints in
+/// plan order. Both planners visit batches in the same order and dedup by
+/// the same key, so they always agree on this value.
+pub(crate) fn fold_plan_fingerprint(fingerprints: &[u64]) -> u64 {
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64 ^ (fingerprints.len() as u64);
+    for &f in fingerprints {
+        acc = acc.rotate_left(13) ^ f.wrapping_mul(0x0100_0000_01b3);
+    }
+    acc
+}
+
+/// The batching strategy a run actually uses: the configured strategy with
+/// its batch size clamped to what fits the model's context window (when
+/// `fit_context` is set). Shared by [`ExecutionPlan::build`] and the
+/// streaming [`crate::stream::PlanStream`] so both plan identical batches.
+pub(crate) fn effective_strategy<M: ChatModel + ?Sized>(
+    model: &M,
+    config: &PipelineConfig,
+    instances: &[TaskInstance],
+    shots: &[FewShotExample],
+) -> dprep_prompt::BatchStrategy {
+    let strategy = config.batch_strategy();
+    if !config.fit_context {
+        return strategy;
+    }
+    let clamped = context_fitted_batch_size(model, config, instances, shots);
+    match strategy {
+        dprep_prompt::BatchStrategy::Random { batch_size } => dprep_prompt::BatchStrategy::Random {
+            batch_size: batch_size.min(clamped),
+        },
+        dprep_prompt::BatchStrategy::Cluster {
+            batch_size,
+            clusters,
+        } => dprep_prompt::BatchStrategy::Cluster {
+            batch_size: batch_size.min(clamped),
+            clusters,
+        },
     }
 }
 
@@ -593,7 +618,14 @@ impl Executor {
         });
 
         let dispatch_started = std::time::Instant::now();
-        let dispatched = self.dispatch(model, plan, base_id);
+        let mut clocks = vec![0.0; self.options.workers.max(1)];
+        let dispatched = self.dispatch_slice(
+            model,
+            &plan.requests,
+            &plan.fingerprints,
+            base_id,
+            &mut clocks,
+        );
         let dispatch_wall_secs = dispatch_started.elapsed().as_secs_f64();
 
         let mut predictions =
@@ -619,96 +651,21 @@ impl Executor {
         let mut request_cancelled = vec![false; plan.requests.len()];
         let mut replayed_count = 0usize;
         for (i, d) in dispatched.iter().enumerate() {
-            if let Some(reason) = gauge.tripped {
-                request_cancelled[i] = true;
-                stats.cancelled += 1;
-                emit(TraceEvent::Cancelled {
-                    request: base_id + i as u64,
-                    reason,
-                });
-                self.journal_append(&JournalEntry::cancelled(plan.fingerprints[i]))?;
-                if self.kill.as_ref().is_some_and(KillSwitch::on_terminal) {
-                    return Ok(RunResult {
-                        predictions,
-                        usage,
-                        stats,
-                        metrics: recorder.snapshot(),
-                    });
-                }
-                continue;
-            }
-            let response = &d.response;
-            if d.replayed {
-                // The journal already holds this request's completion: no
-                // model call happened, but its billed numbers re-enter the
-                // ledger so the resumed run's totals match the
-                // uninterrupted run's.
-                replayed_count += 1;
-                emit(TraceEvent::Replayed {
-                    request: base_id + i as u64,
-                });
-            }
-            let fresh = !response.meta.cache_hit;
-            let attempt = response.meta.attempt_usage.unwrap_or(response.usage);
-            let cost = if fresh {
-                model.cost_usd(&response.usage)
-            } else {
-                0.0
-            };
-            if fresh {
-                usage.record(&response.usage, cost, response.latency_secs);
-                stats.retries += response.meta.retries as usize;
-                stats.faulted += usize::from(response.meta.fault.is_some());
-                gauge.charge(response.latency_secs, response.usage.total_tokens());
-            } else {
-                stats.cache_hits += 1;
-            }
-            emit(TraceEvent::Completed {
-                request: base_id + i as u64,
-                worker: d.worker,
-                cache_hit: response.meta.cache_hit,
-                retries: response.meta.retries,
-                fault: response.meta.fault.map(FaultKind::label),
-                prompt_tokens: response.usage.prompt_tokens,
-                completion_tokens: response.usage.completion_tokens,
-                attempt_prompt_tokens: attempt.prompt_tokens,
-                attempt_completion_tokens: attempt.completion_tokens,
-                cost_usd: cost,
-                latency_secs: response.latency_secs,
-                vt_start_secs: d.vt_start_secs,
-                vt_end_secs: d.vt_end_secs,
-            });
-            // Attribute every billed prompt token to a prompt component.
-            // Each retry attempt re-bills the same prompt, so the planned
-            // section counts scale by the attempt count; the framing
-            // remainder (role tags, tokenization residue) reconciles the
-            // sum to exactly the billed total. A cache hit billed nothing
-            // fresh and attributes zero everywhere.
-            let attributed = if fresh {
-                let attempts = response.meta.retries as usize + 1;
-                let scaled = plan.sections[i].map(|n| n * attempts);
-                dprep_obs::component::reconcile(scaled, response.usage.prompt_tokens)
-            } else {
-                [0; 6]
-            };
-            emit(TraceEvent::PromptComponents {
-                request: base_id + i as u64,
-                cache_hit: response.meta.cache_hit,
-                task_spec: attributed[0],
-                answer_format: attributed[1],
-                cot: attributed[2],
-                few_shot: attributed[3],
-                instances: attributed[4],
-                framing: attributed[5],
-            });
-            self.journal_append(&completion_entry(
+            let (cancelled, killed) = self.fold_terminal(
+                model,
+                base_id + i as u64,
                 plan.fingerprints[i],
                 &plan.requests[i],
-                response,
-                attempt,
-                cost,
-            ))?;
-            if self.kill.as_ref().is_some_and(KillSwitch::on_terminal) {
+                plan.sections[i],
+                d,
+                &mut gauge,
+                &mut usage,
+                &mut stats,
+                &mut replayed_count,
+                &emit,
+            )?;
+            request_cancelled[i] = cancelled;
+            if killed {
                 return Ok(RunResult {
                     predictions,
                     usage,
@@ -734,85 +691,33 @@ impl Executor {
         let mut answered = 0usize;
         let mut ladder_requests = 0usize;
         for batch in &plan.batches {
-            let request_id = base_id + batch.request_index as u64;
-            if request_cancelled[batch.request_index] {
-                for &instance_idx in &batch.instance_indices {
-                    emit(TraceEvent::Failed {
-                        request: request_id,
-                        instance: instance_idx,
-                        kind: FailureKind::BudgetExhausted.label(),
-                    });
-                    predictions[instance_idx] = Prediction::Failed(FailureKind::BudgetExhausted);
-                }
-                continue;
-            }
-            let d = &dispatched[batch.request_index];
-            let response = &d.response;
-            let answers = parse_response(&response.text, plan.prompt_config.reasoning);
-            // A retried request accumulates usage over attempts; only the
-            // final attempt's own prompt says whether the window overflowed.
-            let attempt_prompt = response
-                .meta
-                .attempt_usage
-                .unwrap_or(response.usage)
-                .prompt_tokens;
-            let overflowed = attempt_prompt > model.context_window();
-            let mut missed: Vec<usize> = Vec::new();
-            for (position, &instance_idx) in batch.instance_indices.iter().enumerate() {
-                match answers.get(&(position + 1)) {
-                    Some(extracted) => {
-                        answered += 1;
-                        emit(TraceEvent::Parsed {
-                            request: request_id,
-                            instance: instance_idx,
-                        });
-                        predictions[instance_idx] = Prediction::Answered(extracted.clone());
-                    }
-                    None => missed.push(instance_idx),
-                }
-            }
-            if missed.is_empty() {
-                continue;
-            }
-            if self.options.degrade && batch.instance_indices.len() > 1 {
-                answered += self.degrade_batch(
-                    model,
-                    plan,
-                    d,
-                    request_id,
-                    &missed,
-                    batch.instance_indices.len(),
-                    &mut gauge,
-                    &mut usage,
-                    &mut stats,
-                    &mut predictions,
-                    &mut ladder_requests,
-                    &mut replayed_count,
-                    &emit,
-                )?;
-                if self.kill.as_ref().is_some_and(KillSwitch::fired) {
-                    return Ok(RunResult {
-                        predictions,
-                        usage,
-                        stats,
-                        metrics: recorder.snapshot(),
-                    });
-                }
-            } else {
-                let kind = classify_miss(
-                    response.meta.fault,
-                    response.meta.retries,
-                    overflowed,
-                    answers.is_empty(),
-                );
-                for &instance_idx in &missed {
-                    emit(TraceEvent::Failed {
-                        request: request_id,
-                        instance: instance_idx,
-                        kind: kind.label(),
-                    });
-                    predictions[instance_idx] = Prediction::Failed(kind);
-                }
+            let d =
+                (!request_cancelled[batch.request_index]).then(|| &dispatched[batch.request_index]);
+            let killed = self.parse_one_batch(
+                model,
+                &batch.instance_indices,
+                base_id + batch.request_index as u64,
+                d,
+                plan.prompt_config.reasoning,
+                &plan.instances,
+                &plan.context,
+                plan.temperature,
+                &mut gauge,
+                &mut usage,
+                &mut stats,
+                &mut predictions,
+                &mut answered,
+                &mut ladder_requests,
+                &mut replayed_count,
+                &emit,
+            )?;
+            if killed {
+                return Ok(RunResult {
+                    predictions,
+                    usage,
+                    stats,
+                    metrics: recorder.snapshot(),
+                });
             }
         }
 
@@ -865,6 +770,293 @@ impl Executor {
         })
     }
 
+    /// [`try_run`](Self::try_run) over a streaming plan: consumes `stream`
+    /// shard by shard — dispatching, folding, and parsing each shard before
+    /// the next is rendered — so the executor holds at most one shard of
+    /// rendered requests plus the responses still referenced by a later
+    /// batch, instead of the whole plan.
+    ///
+    /// **Equivalence.** Predictions, usage totals, serving counters, and the
+    /// metrics snapshot are bit-identical to the materialized path at any
+    /// shard size and worker count: dedup and batch membership come from the
+    /// same survey ([`crate::stream::PlanStream`]), unique requests are
+    /// folded in the same global plan order (each worker's virtual clock
+    /// persists across shards), and the budget gauge charges along the same
+    /// sequence. The journal is byte-identical too when no degradation
+    /// ladder runs; with a ladder, the same entry *set* is written but
+    /// ladder entries interleave at shard boundaries instead of trailing the
+    /// whole dispatch, a budget that trips mid-run can cancel a
+    /// different (never larger) suffix of requests because streaming charges
+    /// ladder work as soon as its shard parses, and the billed `cost_usd` /
+    /// `latency_secs` totals — the same per-request addends summed in shard
+    /// order — can differ from the materialized total in the last ulp. Streaming runs resumed from
+    /// streaming journals are always bit-identical. Trace-event differences:
+    /// `Planned`/`Deduped` arrive per shard (same payloads, global totals),
+    /// and the four `Stage` events arrive once at the end with wall-clock
+    /// totals aggregated across every shard.
+    pub fn try_run_stream<M: ChatModel + ?Sized>(
+        &self,
+        model: &M,
+        stream: &mut crate::stream::PlanStream<'_>,
+    ) -> Result<RunResult, String> {
+        let plan_fp = stream.fingerprint();
+        if let Some(expected) = self
+            .durability
+            .expected_plan
+            .lock()
+            .expect("plan lock")
+            .take()
+        {
+            if expected != plan_fp {
+                return Err(format!(
+                    "journal was recorded for plan {expected:016x} but this run plans \
+                     {plan_fp:016x} (model, config, data, or seed changed); refusing to resume"
+                ));
+            }
+        }
+        if let Some(journal) = &self.durability.journal {
+            journal.ensure_header(plan_fp).map_err(|e| {
+                format!(
+                    "cannot write journal header to {}: {e}",
+                    journal.path().display()
+                )
+            })?;
+        }
+        let written_before = self
+            .durability
+            .journal
+            .as_deref()
+            .map_or(0, DurableJournal::written);
+        let run_id = dprep_obs::next_run_id();
+        let base_id = dprep_obs::reserve_request_ids(stream.n_requests());
+        let recorder = MetricsRecorder::new();
+        let emit = |event: TraceEvent| {
+            recorder.record(&event);
+            self.tracer.record(&event);
+        };
+
+        let n_instances = stream.n_instances();
+        let n_requests = stream.n_requests();
+        let n_batches = stream.n_batches();
+        // Copies of the stream's shared pieces, so parsing can borrow them
+        // while `next_shard` holds the stream mutably.
+        let instances = stream.instances();
+        let context = stream.context().clone();
+        let temperature = stream.temperature();
+        let reasoning = stream.reasoning();
+
+        emit(TraceEvent::RunStarted {
+            run: run_id,
+            instances: n_instances,
+            batches: n_batches,
+            requests: n_requests,
+        });
+
+        let mut predictions = vec![Prediction::Failed(FailureKind::SkippedAnswer); n_instances];
+        let mut usage = UsageTotals::default();
+        let mut stats = ExecStats {
+            requests: n_requests,
+            deduped: stream.deduped_batches(),
+            ..ExecStats::default()
+        };
+        let mut gauge = BudgetGauge::new(self.options.deadline_secs, self.options.token_budget);
+        let mut request_cancelled = vec![false; n_requests];
+        let mut batch_seen = vec![false; n_requests];
+        // Responses that a batch in a not-yet-parsed shard still references;
+        // bounded by how far dedup reaches across shards, not by plan size.
+        let mut live: HashMap<usize, DispatchedResponse> = HashMap::new();
+        // Worker virtual clocks persist across shards, so the virtual-time
+        // span layout matches one uninterrupted dispatch of the whole plan.
+        let mut clocks = vec![0.0; self.options.workers.max(1)];
+        let mut replayed_count = 0usize;
+        let mut answered = 0usize;
+        let mut ladder_requests = 0usize;
+        let mut dispatch_wall_secs = 0.0;
+        let mut dispatch_vt_secs = 0.0;
+        let mut parse_wall_secs = 0.0;
+        let mut killed = false;
+
+        while let Some(shard) = stream.next_shard(model) {
+            for i in 0..shard.requests.len() {
+                let g = shard.first_request + i;
+                emit(TraceEvent::Planned {
+                    request: base_id + g as u64,
+                    batches: stream.batches_per(g),
+                    instances: stream.instances_per(g),
+                });
+            }
+            for (offset, batch) in shard.batches.iter().enumerate() {
+                if batch_seen[batch.request_index] {
+                    emit(TraceEvent::Deduped {
+                        request: base_id + batch.request_index as u64,
+                        batch: shard.first_batch + offset,
+                    });
+                } else {
+                    batch_seen[batch.request_index] = true;
+                }
+            }
+
+            let dispatch_started = std::time::Instant::now();
+            let dispatched = self.dispatch_slice(
+                model,
+                &shard.requests,
+                &shard.fingerprints,
+                base_id + shard.first_request as u64,
+                &mut clocks,
+            );
+            dispatch_wall_secs += dispatch_started.elapsed().as_secs_f64();
+
+            let vt_before_fold = usage.latency_secs;
+            for (i, d) in dispatched.into_iter().enumerate() {
+                let g = shard.first_request + i;
+                let (cancelled, fired) = self.fold_terminal(
+                    model,
+                    base_id + g as u64,
+                    shard.fingerprints[i],
+                    &shard.requests[i],
+                    shard.sections[i],
+                    &d,
+                    &mut gauge,
+                    &mut usage,
+                    &mut stats,
+                    &mut replayed_count,
+                    &emit,
+                )?;
+                request_cancelled[g] = cancelled;
+                if !cancelled {
+                    live.insert(g, d);
+                }
+                if fired {
+                    killed = true;
+                    break;
+                }
+            }
+            dispatch_vt_secs += usage.latency_secs - vt_before_fold;
+            if killed {
+                break;
+            }
+
+            let parse_started = std::time::Instant::now();
+            for batch in &shard.batches {
+                let g = batch.request_index;
+                let d = (!request_cancelled[g]).then(|| {
+                    live.get(&g)
+                        .expect("response retained until its last referencing batch")
+                });
+                let fired = self.parse_one_batch(
+                    model,
+                    &batch.instance_indices,
+                    base_id + g as u64,
+                    d,
+                    reasoning,
+                    instances,
+                    &context,
+                    temperature,
+                    &mut gauge,
+                    &mut usage,
+                    &mut stats,
+                    &mut predictions,
+                    &mut answered,
+                    &mut ladder_requests,
+                    &mut replayed_count,
+                    &emit,
+                )?;
+                if fired {
+                    killed = true;
+                    break;
+                }
+            }
+            parse_wall_secs += parse_started.elapsed().as_secs_f64();
+            if killed {
+                break;
+            }
+
+            // Drop responses no later batch references: `frontier` is the
+            // first batch of the next shard, so anything whose last use is
+            // behind it is done.
+            let frontier = shard.first_batch + shard.batches.len();
+            live.retain(|&g, _| stream.last_batch_of(g) >= frontier);
+        }
+
+        if killed {
+            return Ok(RunResult {
+                predictions,
+                usage,
+                stats,
+                metrics: recorder.snapshot(),
+            });
+        }
+
+        // Stage wall-clock totals aggregate across every shard (the survey
+        // pass counts toward plan/prompt-build); emitted once so a span
+        // profile reads like the materialized run's.
+        emit(TraceEvent::Stage {
+            run: run_id,
+            stage: "plan",
+            wall_secs: stream.plan_wall_secs(),
+            vt_secs: 0.0,
+        });
+        emit(TraceEvent::Stage {
+            run: run_id,
+            stage: "prompt-build",
+            wall_secs: stream.prompt_build_wall_secs(),
+            vt_secs: 0.0,
+        });
+        emit(TraceEvent::Stage {
+            run: run_id,
+            stage: "dispatch",
+            wall_secs: dispatch_wall_secs,
+            vt_secs: dispatch_vt_secs,
+        });
+        emit(TraceEvent::Stage {
+            run: run_id,
+            stage: "parse",
+            wall_secs: parse_wall_secs,
+            vt_secs: 0.0,
+        });
+
+        if let Some(reason) = gauge.tripped {
+            emit(TraceEvent::BudgetTripped {
+                run: run_id,
+                reason,
+                cancelled: stats.cancelled,
+            });
+        }
+
+        if self.durability.active() {
+            let journal = self.durability.journal.as_deref();
+            emit(TraceEvent::JournalState {
+                run: run_id,
+                replayed: replayed_count,
+                written: journal.map_or(0, |j| j.written() - written_before),
+                truncated: journal.map_or(0, DurableJournal::take_truncated)
+                    + self.durability.take_truncated(),
+            });
+        }
+
+        let total_requests = n_requests + ladder_requests;
+        emit(TraceEvent::RunFinished {
+            run: run_id,
+            instances: n_instances,
+            answered,
+            failed: n_instances - answered,
+            requests: total_requests,
+            fresh_requests: total_requests - stats.cache_hits - stats.cancelled,
+            cache_hits: stats.cache_hits,
+            prompt_tokens: usage.prompt_tokens,
+            completion_tokens: usage.completion_tokens,
+            cost_usd: usage.cost_usd,
+            latency_secs: usage.latency_secs,
+        });
+
+        Ok(RunResult {
+            predictions,
+            usage,
+            stats,
+            metrics: recorder.snapshot(),
+        })
+    }
+
     /// Appends one terminal entry to the journal, when one is attached.
     fn journal_append(&self, entry: &JournalEntry) -> Result<(), String> {
         let Some(journal) = &self.durability.journal else {
@@ -873,6 +1065,218 @@ impl Executor {
         journal
             .append(entry)
             .map_err(|e| format!("cannot append to journal {}: {e}", journal.path().display()))
+    }
+
+    /// Folds one dispatched request's terminal into the ledger: either a
+    /// budget cancellation (the gauge tripped before this request's slot in
+    /// plan order) or a completion with its billing, component attribution,
+    /// and journal append. Shared by the materialized and streaming run
+    /// paths — both walk unique requests in plan order, so the fold sequence
+    /// (and therefore the journal, the gauge, and every counter) is
+    /// identical between them.
+    ///
+    /// Returns `(cancelled, killed)`; `killed` means an armed kill switch
+    /// fired on this terminal and the run must return its partial result.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_terminal<M: ChatModel + ?Sized>(
+        &self,
+        model: &M,
+        request_id: u64,
+        fingerprint: u64,
+        request: &ChatRequest,
+        sections: [usize; 5],
+        d: &DispatchedResponse,
+        gauge: &mut BudgetGauge,
+        usage: &mut UsageTotals,
+        stats: &mut ExecStats,
+        replayed_count: &mut usize,
+        emit: &dyn Fn(TraceEvent),
+    ) -> Result<(bool, bool), String> {
+        if let Some(reason) = gauge.tripped {
+            stats.cancelled += 1;
+            emit(TraceEvent::Cancelled {
+                request: request_id,
+                reason,
+            });
+            self.journal_append(&JournalEntry::cancelled(fingerprint))?;
+            let killed = self.kill.as_ref().is_some_and(KillSwitch::on_terminal);
+            return Ok((true, killed));
+        }
+        let response = &d.response;
+        if d.replayed {
+            // The journal already holds this request's completion: no
+            // model call happened, but its billed numbers re-enter the
+            // ledger so the resumed run's totals match the
+            // uninterrupted run's.
+            *replayed_count += 1;
+            emit(TraceEvent::Replayed {
+                request: request_id,
+            });
+        }
+        let fresh = !response.meta.cache_hit;
+        let attempt = response.meta.attempt_usage.unwrap_or(response.usage);
+        let cost = if fresh {
+            model.cost_usd(&response.usage)
+        } else {
+            0.0
+        };
+        if fresh {
+            usage.record(&response.usage, cost, response.latency_secs);
+            stats.retries += response.meta.retries as usize;
+            stats.faulted += usize::from(response.meta.fault.is_some());
+            gauge.charge(response.latency_secs, response.usage.total_tokens());
+        } else {
+            stats.cache_hits += 1;
+        }
+        emit(TraceEvent::Completed {
+            request: request_id,
+            worker: d.worker,
+            cache_hit: response.meta.cache_hit,
+            retries: response.meta.retries,
+            fault: response.meta.fault.map(FaultKind::label),
+            prompt_tokens: response.usage.prompt_tokens,
+            completion_tokens: response.usage.completion_tokens,
+            attempt_prompt_tokens: attempt.prompt_tokens,
+            attempt_completion_tokens: attempt.completion_tokens,
+            cost_usd: cost,
+            latency_secs: response.latency_secs,
+            vt_start_secs: d.vt_start_secs,
+            vt_end_secs: d.vt_end_secs,
+        });
+        // Attribute every billed prompt token to a prompt component.
+        // Each retry attempt re-bills the same prompt, so the planned
+        // section counts scale by the attempt count; the framing
+        // remainder (role tags, tokenization residue) reconciles the
+        // sum to exactly the billed total. A cache hit billed nothing
+        // fresh and attributes zero everywhere.
+        let attributed = if fresh {
+            let attempts = response.meta.retries as usize + 1;
+            let scaled = sections.map(|n| n * attempts);
+            dprep_obs::component::reconcile(scaled, response.usage.prompt_tokens)
+        } else {
+            [0; 6]
+        };
+        emit(TraceEvent::PromptComponents {
+            request: request_id,
+            cache_hit: response.meta.cache_hit,
+            task_spec: attributed[0],
+            answer_format: attributed[1],
+            cot: attributed[2],
+            few_shot: attributed[3],
+            instances: attributed[4],
+            framing: attributed[5],
+        });
+        self.journal_append(&completion_entry(
+            fingerprint,
+            request,
+            response,
+            attempt,
+            cost,
+        ))?;
+        let killed = self.kill.as_ref().is_some_and(KillSwitch::on_terminal);
+        Ok((false, killed))
+    }
+
+    /// Parses one batch's response into predictions: answered instances get
+    /// their extracted answers, misses are classified (or handed to the
+    /// degradation ladder when enabled), and a batch whose request was
+    /// budget-cancelled (`d` is `None`) fails wholesale. Shared by the
+    /// materialized and streaming run paths. Returns whether an armed kill
+    /// switch fired mid-ladder.
+    #[allow(clippy::too_many_arguments)]
+    fn parse_one_batch<M: ChatModel + ?Sized>(
+        &self,
+        model: &M,
+        instance_indices: &[usize],
+        request_id: u64,
+        d: Option<&DispatchedResponse>,
+        reasoning: bool,
+        instances: &[TaskInstance],
+        context: &PromptContext,
+        temperature: Option<f64>,
+        gauge: &mut BudgetGauge,
+        usage: &mut UsageTotals,
+        stats: &mut ExecStats,
+        predictions: &mut [Prediction],
+        answered: &mut usize,
+        ladder_requests: &mut usize,
+        replayed_count: &mut usize,
+        emit: &dyn Fn(TraceEvent),
+    ) -> Result<bool, String> {
+        let Some(d) = d else {
+            for &instance_idx in instance_indices {
+                emit(TraceEvent::Failed {
+                    request: request_id,
+                    instance: instance_idx,
+                    kind: FailureKind::BudgetExhausted.label(),
+                });
+                predictions[instance_idx] = Prediction::Failed(FailureKind::BudgetExhausted);
+            }
+            return Ok(false);
+        };
+        let response = &d.response;
+        let answers = parse_response(&response.text, reasoning);
+        // A retried request accumulates usage over attempts; only the
+        // final attempt's own prompt says whether the window overflowed.
+        let attempt_prompt = response
+            .meta
+            .attempt_usage
+            .unwrap_or(response.usage)
+            .prompt_tokens;
+        let overflowed = attempt_prompt > model.context_window();
+        let mut missed: Vec<usize> = Vec::new();
+        for (position, &instance_idx) in instance_indices.iter().enumerate() {
+            match answers.get(&(position + 1)) {
+                Some(extracted) => {
+                    *answered += 1;
+                    emit(TraceEvent::Parsed {
+                        request: request_id,
+                        instance: instance_idx,
+                    });
+                    predictions[instance_idx] = Prediction::Answered(extracted.clone());
+                }
+                None => missed.push(instance_idx),
+            }
+        }
+        if missed.is_empty() {
+            return Ok(false);
+        }
+        if self.options.degrade && instance_indices.len() > 1 {
+            *answered += self.degrade_batch(
+                model,
+                instances,
+                context,
+                temperature,
+                reasoning,
+                d,
+                request_id,
+                &missed,
+                instance_indices.len(),
+                gauge,
+                usage,
+                stats,
+                predictions,
+                ladder_requests,
+                replayed_count,
+                emit,
+            )?;
+            return Ok(self.kill.as_ref().is_some_and(KillSwitch::fired));
+        }
+        let kind = classify_miss(
+            response.meta.fault,
+            response.meta.retries,
+            overflowed,
+            answers.is_empty(),
+        );
+        for &instance_idx in &missed {
+            emit(TraceEvent::Failed {
+                request: request_id,
+                instance: instance_idx,
+                kind: kind.label(),
+            });
+            predictions[instance_idx] = Prediction::Failed(kind);
+        }
+        Ok(false)
     }
 
     /// The graceful-degradation ladder for one failing batch: rebuilds the
@@ -895,7 +1299,10 @@ impl Executor {
     fn degrade_batch<M: ChatModel + ?Sized>(
         &self,
         model: &M,
-        plan: &ExecutionPlan,
+        instances: &[TaskInstance],
+        context: &PromptContext,
+        temperature: Option<f64>,
+        reasoning: bool,
         parent: &DispatchedResponse,
         parent_request_id: u64,
         missed: &[usize],
@@ -934,9 +1341,9 @@ impl Executor {
                 continue;
             }
             let sub_id = dprep_obs::reserve_request_ids(1);
-            let refs: Vec<&TaskInstance> = group.iter().map(|&i| &plan.instances[i]).collect();
-            let (mut request, request_sections) = plan.context.build(&refs);
-            if let Some(t) = plan.temperature {
+            let refs: Vec<&TaskInstance> = group.iter().map(|&i| &instances[i]).collect();
+            let (mut request, request_sections) = context.build(&refs);
+            if let Some(t) = temperature {
                 request = request.with_temperature(t);
             }
             let request = request.with_trace_id(sub_id);
@@ -1025,7 +1432,7 @@ impl Executor {
             if self.kill.as_ref().is_some_and(KillSwitch::on_terminal) {
                 return Ok(recovered);
             }
-            let answers = parse_response(&response.text, plan.prompt_config.reasoning);
+            let answers = parse_response(&response.text, reasoning);
             let overflowed = attempt.prompt_tokens > model.context_window();
             let mut still_missed: Vec<usize> = Vec::new();
             for (position, &instance_idx) in group.iter().enumerate() {
@@ -1069,25 +1476,34 @@ impl Executor {
         Ok(recovered)
     }
 
-    fn dispatch<M: ChatModel + ?Sized>(
+    /// Dispatches a slice of unique requests across the configured workers,
+    /// continuing each worker's virtual clock from `clocks` (and writing the
+    /// advanced clocks back). The materialized path calls this once with
+    /// zeroed clocks; the streaming path calls it once per plan shard so
+    /// virtual-time spans accumulate across shards exactly as they would in
+    /// one uninterrupted dispatch.
+    ///
+    /// Request ids are `base_id + index`. A request whose fingerprint is in
+    /// the replay map rehydrates from its journal entry instead of reaching
+    /// the model; its journaled latency still advances the worker's virtual
+    /// clock, so the span layout matches the uninterrupted run at the same
+    /// worker count.
+    fn dispatch_slice<M: ChatModel + ?Sized>(
         &self,
         model: &M,
-        plan: &ExecutionPlan,
+        requests: &[ChatRequest],
+        fingerprints: &[u64],
         base_id: u64,
+        clocks: &mut [f64],
     ) -> Vec<DispatchedResponse> {
-        let requests = &plan.requests;
-        // A request whose fingerprint is in the replay map rehydrates from
-        // its journal entry instead of reaching the model; its journaled
-        // latency still advances the worker's virtual clock, so the span
-        // layout matches the uninterrupted run at the same worker count.
         let serve = |idx: usize, request: &ChatRequest| -> (ChatResponse, bool) {
-            match self.durability.take_replay(plan.fingerprints[idx]) {
+            match self.durability.take_replay(fingerprints[idx]) {
                 Some(entry) => (replay_response(&entry), true),
                 None => (model.chat(request), false),
             }
         };
         if self.options.workers <= 1 || requests.len() <= 1 {
-            let mut clock = 0.0;
+            let clock = &mut clocks[0];
             return requests
                 .iter()
                 .enumerate()
@@ -1096,17 +1512,17 @@ impl Executor {
                     self.tracer.record(&TraceEvent::Dispatched {
                         request: request.trace_id,
                         worker: 0,
-                        vt_start_secs: clock,
+                        vt_start_secs: *clock,
                     });
                     let (response, replayed) = serve(i, &request);
-                    let vt_start_secs = clock;
-                    clock += response.latency_secs;
+                    let vt_start_secs = *clock;
+                    *clock += response.latency_secs;
                     DispatchedResponse {
                         response,
                         replayed,
                         worker: 0,
                         vt_start_secs,
-                        vt_end_secs: clock,
+                        vt_end_secs: *clock,
                     }
                 })
                 .collect();
@@ -1117,38 +1533,44 @@ impl Executor {
         let cursor = AtomicUsize::new(0);
         let workers = self.options.workers.min(requests.len());
         std::thread::scope(|scope| {
-            for worker in 0..workers {
-                let slots = &slots;
-                let cursor = &cursor;
-                let tracer = &self.tracer;
-                let serve = &serve;
-                scope.spawn(move || {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let slots = &slots;
+                    let cursor = &cursor;
+                    let tracer = &self.tracer;
+                    let serve = &serve;
                     // Each worker runs its own virtual clock: spans on one
                     // worker are sequential, workers overlap.
-                    let mut clock = 0.0;
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= requests.len() {
-                            break;
+                    let mut clock = clocks[worker];
+                    scope.spawn(move || {
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= requests.len() {
+                                break;
+                            }
+                            let request = requests[idx].clone().with_trace_id(base_id + idx as u64);
+                            tracer.record(&TraceEvent::Dispatched {
+                                request: request.trace_id,
+                                worker,
+                                vt_start_secs: clock,
+                            });
+                            let (response, replayed) = serve(idx, &request);
+                            let vt_start_secs = clock;
+                            clock += response.latency_secs;
+                            *slots[idx].lock().expect("slot poisoned") = Some(DispatchedResponse {
+                                response,
+                                replayed,
+                                worker,
+                                vt_start_secs,
+                                vt_end_secs: clock,
+                            });
                         }
-                        let request = requests[idx].clone().with_trace_id(base_id + idx as u64);
-                        tracer.record(&TraceEvent::Dispatched {
-                            request: request.trace_id,
-                            worker,
-                            vt_start_secs: clock,
-                        });
-                        let (response, replayed) = serve(idx, &request);
-                        let vt_start_secs = clock;
-                        clock += response.latency_secs;
-                        *slots[idx].lock().expect("slot poisoned") = Some(DispatchedResponse {
-                            response,
-                            replayed,
-                            worker,
-                            vt_start_secs,
-                            vt_end_secs: clock,
-                        });
-                    }
-                });
+                        clock
+                    })
+                })
+                .collect();
+            for (worker, handle) in handles.into_iter().enumerate() {
+                clocks[worker] = handle.join().expect("worker panicked");
             }
         });
         slots

@@ -12,6 +12,9 @@
 //!   batches, prompts, and request deduplication; [`exec::Executor`]
 //!   dispatches across worker threads with bit-identical output at any
 //!   worker count,
+//! * [`stream`] — the streaming planner: [`stream::PlanStream`] yields the
+//!   same plan in fixed-size shards so million-row runs execute in bounded
+//!   memory,
 //! * [`blocking`] — the EM blocking stage (§2.1) the paper's benchmarks
 //!   presuppose: n-gram key blocking and embedding blocking, with pair
 //!   completeness / reduction ratio evaluation,
@@ -22,6 +25,7 @@ pub mod config;
 pub mod exec;
 pub mod pipeline;
 pub mod repair;
+pub mod stream;
 
 pub use blocking::{
     evaluate_blocking, BlockingStats, CandidatePairs, EmbeddingBlocker, NgramBlocker,
@@ -30,3 +34,4 @@ pub use config::{ComponentSet, PipelineConfig};
 pub use exec::{Durability, ExecStats, ExecutionOptions, ExecutionPlan, Executor, KillSwitch};
 pub use pipeline::{FailureKind, Prediction, Preprocessor, RunResult};
 pub use repair::{Repair, RepairOutcome, Repairer};
+pub use stream::{PlanShard, PlanStream};

@@ -229,12 +229,17 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
 
     /// [`run`](Self::run), with durability failures surfaced as errors
     /// (plan-fingerprint mismatch on resume, journal write failure).
+    ///
+    /// When [`PipelineConfig::plan_shard_size`] is set (and > 0), the run
+    /// plans and executes through the streaming
+    /// [`PlanStream`](crate::stream::PlanStream) instead of materializing
+    /// the whole [`ExecutionPlan`] — same predictions, usage, counters, and
+    /// metrics, with planner memory bounded by the shard size.
     pub fn try_run(
         &self,
         instances: &[TaskInstance],
         examples: &[FewShotExample],
     ) -> Result<RunResult, String> {
-        let plan = ExecutionPlan::build(self.model, &self.config, instances, examples);
         let options = self.exec_options.unwrap_or(ExecutionOptions {
             workers: self.config.workers,
             ..ExecutionOptions::default()
@@ -245,6 +250,17 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
         if let Some(kill) = &self.kill {
             executor = executor.with_kill_switch(kill.clone());
         }
+        if let Some(shard_size) = self.config.plan_shard_size.filter(|&s| s > 0) {
+            let mut stream = crate::stream::PlanStream::new(
+                self.model,
+                &self.config,
+                instances,
+                examples,
+                shard_size,
+            );
+            return executor.try_run_stream(self.model, &mut stream);
+        }
+        let plan = ExecutionPlan::build(self.model, &self.config, instances, examples);
         executor.try_run(self.model, &plan)
     }
 }

@@ -94,7 +94,10 @@ impl<'a, M: ChatModel + ?Sized> Repairer<'a, M> {
         self
     }
 
-    /// Overrides the detection configuration.
+    /// Overrides the detection configuration. Both passes run through
+    /// [`Preprocessor`], so per-pass knobs like
+    /// [`PipelineConfig::plan_shard_size`] (streaming planner) apply here
+    /// unchanged.
     pub fn with_detect_config(mut self, config: PipelineConfig) -> Self {
         assert_eq!(config.task, Task::ErrorDetection, "detect config task");
         self.detect_config = config;

@@ -1,0 +1,407 @@
+//! Streaming-planner equivalence: a run through `PlanStream` +
+//! `Executor::try_run_stream` must be bit-identical to the materialized
+//! `ExecutionPlan` + `Executor::try_run` path at every shard size and worker
+//! count — same predictions, usage totals, serving counters, and metrics
+//! snapshot — and a ladder-free streaming run must write the byte-identical
+//! journal. Kill-point drills prove that a streaming run resumed from a
+//! partial journal reproduces the uninterrupted streaming run exactly.
+
+use std::sync::Arc;
+
+use dprep_core::exec::{ExecutionOptions, ExecutionPlan};
+use dprep_core::{
+    Durability, Executor, KillSwitch, PipelineConfig, PlanStream, Prediction, Preprocessor,
+    RunResult,
+};
+use dprep_llm::{ChatModel, ChatRequest, ChatResponse, Usage};
+use dprep_obs::{AuditTracer, CollectingTracer, DurableJournal, Tracer};
+use dprep_prompt::{Task, TaskInstance};
+use dprep_tabular::{Record, Schema, Value};
+
+/// Answers every question except one per multi-question batch (steering some
+/// batches into the degradation ladder when it is enabled), billing fixed
+/// per-attempt usage so budget arithmetic is exact.
+struct FlakyModel {
+    /// 1-based question number skipped in multi-question prompts.
+    skip: usize,
+}
+
+impl ChatModel for FlakyModel {
+    fn name(&self) -> &str {
+        "flaky"
+    }
+    fn context_window(&self) -> usize {
+        100_000
+    }
+    fn cost_usd(&self, usage: &Usage) -> f64 {
+        usage.total_tokens() as f64 * 1e-6
+    }
+    fn chat(&self, request: &ChatRequest) -> ChatResponse {
+        let body = &request.messages.last().unwrap().content;
+        let count = body
+            .lines()
+            .filter(|l| l.trim_start().starts_with("Question "))
+            .count()
+            .max(1);
+        let mut text = String::new();
+        for i in 1..=count {
+            if count == 1 || i != self.skip {
+                text.push_str(&format!("Answer {i}: yes\n"));
+            }
+        }
+        ChatResponse::new(
+            text,
+            Usage {
+                prompt_tokens: 100,
+                completion_tokens: 10 * count,
+            },
+            2.0,
+        )
+    }
+}
+
+/// `n` EM instances; every `dup_every`-th repeats a fixed pair so plans
+/// contain cross-batch duplicate requests (dedup + response retention across
+/// shards).
+fn em_instances(n: usize, dup_every: usize) -> Vec<TaskInstance> {
+    let schema = Schema::all_text(&["title"]).unwrap().shared();
+    (0..n)
+        .map(|i| {
+            let label = if dup_every > 0 && i % dup_every == 0 {
+                "duplicate product".to_string()
+            } else {
+                format!("product {i}")
+            };
+            let rec = Record::new(schema.clone(), vec![Value::text(label)]).unwrap();
+            TaskInstance::EntityMatching {
+                a: rec.clone(),
+                b: rec,
+            }
+        })
+        .collect()
+}
+
+fn config(batch_size: usize) -> PipelineConfig {
+    let mut config = PipelineConfig::best(Task::EntityMatching);
+    config.components.few_shot = false;
+    config.components.reasoning = false;
+    config.batch_size = batch_size;
+    config.fit_context = false;
+    config
+}
+
+fn assert_identical(result: &RunResult, reference: &RunResult, label: &str) {
+    assert_eq!(result.predictions, reference.predictions, "{label}");
+    assert_eq!(result.stats, reference.stats, "{label}");
+    assert_eq!(result.usage.requests, reference.usage.requests, "{label}");
+    assert_eq!(
+        result.usage.total_tokens(),
+        reference.usage.total_tokens(),
+        "{label}"
+    );
+    assert!(
+        (result.usage.cost_usd - reference.usage.cost_usd).abs() < 1e-15,
+        "{label}"
+    );
+    assert!(
+        (result.usage.latency_secs - reference.usage.latency_secs).abs() < 1e-15,
+        "{label}"
+    );
+    // When the degradation ladder runs, streaming sums the same per-request
+    // costs in shard order instead of materialized order, so the f64 total
+    // can differ in the last ulp; every other metric is integral.
+    let mut metrics = result.metrics.clone();
+    let mut reference_metrics = reference.metrics.clone();
+    assert!(
+        (metrics.cost_usd - reference_metrics.cost_usd).abs() < 1e-15,
+        "{label}"
+    );
+    metrics.cost_usd = 0.0;
+    reference_metrics.cost_usd = 0.0;
+    assert_eq!(metrics, reference_metrics, "{label}");
+}
+
+/// The tentpole equivalence: dedup + parse misses + the degradation ladder,
+/// across shard sizes bracketing the batch count and across worker counts.
+#[test]
+fn streaming_matches_materialized_at_every_shard_size_and_worker_count() {
+    let model = FlakyModel { skip: 2 };
+    let instances = em_instances(23, 5);
+    let config = config(3);
+    for workers in [1usize, 4] {
+        let options = ExecutionOptions {
+            workers,
+            degrade: true,
+            ..ExecutionOptions::default()
+        };
+        let plan = ExecutionPlan::build(&model, &config, &instances, &[]);
+        let reference = Executor::new(options).run(&model, &plan);
+        assert!(
+            reference.stats.splits > 0,
+            "workload must exercise the ladder"
+        );
+        for shard_size in [1usize, 2, 3, 7, 1000] {
+            let audit = Arc::new(AuditTracer::new());
+            let mut stream = PlanStream::new(&model, &config, &instances, &[], shard_size);
+            assert_eq!(stream.fingerprint(), plan.fingerprint());
+            let result = Executor::new(options)
+                .with_tracer(audit.clone() as Arc<dyn Tracer>)
+                .try_run_stream(&model, &mut stream)
+                .unwrap();
+            audit.assert_clean();
+            assert_identical(
+                &result,
+                &reference,
+                &format!("shard_size={shard_size} workers={workers}"),
+            );
+        }
+    }
+}
+
+/// Cross-shard dedup and response retention: with batching off, duplicate
+/// instances in later shards are served by a request dispatched shards
+/// earlier — the executor must keep that response alive until its last
+/// referencing batch parses, and drop it afterwards.
+#[test]
+fn deduped_responses_are_retained_across_shards() {
+    let model = FlakyModel { skip: 999 };
+    // Every even instance is the same pair: 6 duplicate batches collapsing
+    // into one request first seen in shard 0 and last used in the final
+    // shard, interleaved with 5 unique batches.
+    let instances = em_instances(11, 2);
+    let mut config = config(1);
+    config.components.batching = false;
+    let plan = ExecutionPlan::build(&model, &config, &instances, &[]);
+    let reference = Executor::serial().run(&model, &plan);
+    assert_eq!(reference.stats.deduped, 5, "workload must exercise dedup");
+    for shard_size in [1usize, 2, 3] {
+        let mut stream = PlanStream::new(&model, &config, &instances, &[], shard_size);
+        let result = Executor::serial()
+            .try_run_stream(&model, &mut stream)
+            .unwrap();
+        assert_identical(&result, &reference, &format!("shard_size={shard_size}"));
+    }
+}
+
+/// The `Preprocessor` facade routes through the streaming path when
+/// `plan_shard_size` is set, with identical output.
+#[test]
+fn preprocessor_shard_size_knob_is_result_invariant() {
+    let instances = em_instances(14, 4);
+    let model = FlakyModel { skip: 1 };
+    let mut reference: Option<RunResult> = None;
+    for plan_shard_size in [None, Some(1), Some(2), Some(6)] {
+        let mut config = config(3);
+        config.plan_shard_size = plan_shard_size;
+        let result = Preprocessor::new(&model, config)
+            .with_exec_options(ExecutionOptions {
+                degrade: true,
+                ..ExecutionOptions::default()
+            })
+            .run(&instances, &[]);
+        if let Some(reference) = &reference {
+            assert_identical(&result, reference, &format!("{plan_shard_size:?}"));
+        } else {
+            reference = Some(result);
+        }
+    }
+}
+
+fn journal_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "dprep-stream-test-{}-{name}.jsonl",
+        std::process::id()
+    ));
+    p
+}
+
+/// With no degradation ladder in play, the streaming journal is not just the
+/// same entry set — it is the byte-identical file.
+#[test]
+fn ladder_free_streaming_journal_is_byte_identical() {
+    let model = FlakyModel { skip: 999 }; // answers everything: no ladder
+    let instances = em_instances(12, 4);
+    let config = config(2);
+    let materialized_path = journal_path("bytes-materialized");
+    let plan = ExecutionPlan::build(&model, &config, &instances, &[]);
+    let journal = Arc::new(DurableJournal::fresh(&materialized_path, "flaky", "cfg", 0).unwrap());
+    Executor::serial()
+        .with_durability(Durability::new().with_journal(journal))
+        .run(&model, &plan);
+    let reference_bytes = std::fs::read(&materialized_path).unwrap();
+    assert!(!reference_bytes.is_empty());
+    for shard_size in [1usize, 3, 100] {
+        let path = journal_path(&format!("bytes-shard-{shard_size}"));
+        let journal = Arc::new(DurableJournal::fresh(&path, "flaky", "cfg", 0).unwrap());
+        let mut stream = PlanStream::new(&model, &config, &instances, &[], shard_size);
+        Executor::serial()
+            .with_durability(Durability::new().with_journal(journal))
+            .try_run_stream(&model, &mut stream)
+            .unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            reference_bytes,
+            "shard_size={shard_size}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_file(&materialized_path).ok();
+}
+
+/// Stage events aggregate across shards: exactly four, once, with the other
+/// lifecycle counts matching the materialized run's.
+#[test]
+fn streaming_emits_aggregated_stage_events_once() {
+    let model = FlakyModel { skip: 999 };
+    let instances = em_instances(10, 0);
+    let config = config(2);
+    let tracer = Arc::new(CollectingTracer::new());
+    let mut stream = PlanStream::new(&model, &config, &instances, &[], 2);
+    let n_requests = stream.n_requests();
+    let result = Executor::serial()
+        .with_tracer(tracer.clone() as Arc<dyn Tracer>)
+        .try_run_stream(&model, &mut stream)
+        .unwrap();
+    assert_eq!(tracer.count("run_started"), 1);
+    assert_eq!(tracer.count("planned"), n_requests);
+    assert_eq!(tracer.count("dispatched"), n_requests);
+    assert_eq!(tracer.count("completed"), n_requests);
+    assert_eq!(tracer.count("prompt_components"), n_requests);
+    assert_eq!(
+        tracer.count("stage"),
+        4,
+        "plan, prompt-build, dispatch, parse — once each, aggregated"
+    );
+    assert_eq!(tracer.count("parsed"), 10);
+    assert_eq!(tracer.count("run_finished"), 1);
+    assert_eq!(result.metrics.answered, 10);
+}
+
+/// A tripped token budget cancels the identical request suffix in both paths
+/// when no ladder interleaves extra charges.
+#[test]
+fn budget_cancellation_matches_materialized_without_a_ladder() {
+    let model = FlakyModel { skip: 999 };
+    let instances = em_instances(12, 0);
+    let config = config(2);
+    // Each request bills 120 tokens; 300 lets three complete
+    // (charge-then-check) and cancels the rest.
+    let options = ExecutionOptions {
+        token_budget: Some(300),
+        ..ExecutionOptions::default()
+    };
+    let plan = ExecutionPlan::build(&model, &config, &instances, &[]);
+    let reference = Executor::new(options).run(&model, &plan);
+    assert!(reference.stats.cancelled > 0);
+    for shard_size in [1usize, 2, 4] {
+        let mut stream = PlanStream::new(&model, &config, &instances, &[], shard_size);
+        let result = Executor::new(options)
+            .try_run_stream(&model, &mut stream)
+            .unwrap();
+        assert_identical(&result, &reference, &format!("shard_size={shard_size}"));
+    }
+}
+
+/// The kill-point drill on the streaming path: kill after every terminal,
+/// resume streaming from the partial journal, and land bit-identical to the
+/// uninterrupted streaming run — the journal contract survives sharding.
+#[test]
+fn killed_and_resumed_streaming_runs_are_bit_identical() {
+    let model = FlakyModel { skip: 999 };
+    let instances = em_instances(8, 0);
+    let config = config(2);
+    let shard_size = 2;
+    let run_streaming = |durability: Durability,
+                         kill: Option<KillSwitch>,
+                         tracer: Option<Arc<dyn Tracer>>|
+     -> RunResult {
+        let mut executor = Executor::serial().with_durability(durability);
+        if let Some(kill) = kill {
+            executor = executor.with_kill_switch(kill);
+        }
+        if let Some(tracer) = tracer {
+            executor = executor.with_tracer(tracer);
+        }
+        let mut stream = PlanStream::new(&model, &config, &instances, &[], shard_size);
+        executor.try_run_stream(&model, &mut stream).unwrap()
+    };
+    let reference = run_streaming(Durability::new(), None, None);
+    let n_requests = reference.stats.requests;
+    assert_eq!(n_requests, 4);
+
+    for kill_at in 1..=n_requests {
+        let path = journal_path(&format!("kill-{kill_at}"));
+        let journal = Arc::new(DurableJournal::fresh(&path, "flaky", "cfg", 0).unwrap());
+        let kill = KillSwitch::after(kill_at);
+        let killed = run_streaming(
+            Durability::new().with_journal(journal),
+            Some(kill.clone()),
+            None,
+        );
+        assert!(kill.fired(), "kill_at={kill_at}");
+        assert!(killed.usage.requests <= kill_at);
+        // The partial result really is partial: later instances never got a
+        // prediction beyond the placeholder.
+        if kill_at < n_requests {
+            assert!(killed
+                .predictions
+                .iter()
+                .any(|p| matches!(p, Prediction::Failed(_))));
+        }
+
+        let recovered = DurableJournal::resume(&path).unwrap();
+        assert!(recovered.warning.is_none());
+        assert_eq!(recovered.entries.len(), kill_at);
+        let audit = Arc::new(AuditTracer::new());
+        let resumed = run_streaming(
+            Durability::new()
+                .with_journal(Arc::new(recovered.journal))
+                .with_replay(&recovered.entries, recovered.header.plan),
+            None,
+            Some(audit.clone() as Arc<dyn Tracer>),
+        );
+        audit.assert_clean();
+        assert_eq!(
+            resumed.predictions, reference.predictions,
+            "kill_at={kill_at}"
+        );
+        assert_eq!(resumed.stats, reference.stats, "kill_at={kill_at}");
+        assert_eq!(resumed.usage.total_tokens(), reference.usage.total_tokens());
+        assert!((resumed.usage.cost_usd - reference.usage.cost_usd).abs() < 1e-15);
+        assert!((resumed.usage.latency_secs - reference.usage.latency_secs).abs() < 1e-15);
+        let mut metrics = resumed.metrics.clone();
+        assert_eq!(metrics.journal_replayed, kill_at);
+        assert_eq!(metrics.journal_written, n_requests - kill_at);
+        metrics.journal_replayed = 0;
+        metrics.journal_written = 0;
+        metrics.journal_truncated = 0;
+        assert_eq!(metrics, reference.metrics, "kill_at={kill_at}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// A streaming resume refuses a journal recorded for a different plan, just
+/// like the materialized path — and the check fires before any dispatch.
+#[test]
+fn streaming_resume_rejects_a_mismatched_plan() {
+    let model = FlakyModel { skip: 999 };
+    let config = config(2);
+    let instances = em_instances(4, 0);
+    let path = journal_path("mismatch");
+    let journal = Arc::new(DurableJournal::fresh(&path, "flaky", "cfg", 0).unwrap());
+    let mut stream = PlanStream::new(&model, &config, &instances, &[], 2);
+    Executor::serial()
+        .with_durability(Durability::new().with_journal(journal))
+        .try_run_stream(&model, &mut stream)
+        .unwrap();
+    let recovered = DurableJournal::resume(&path).unwrap();
+    let other = em_instances(6, 0);
+    let mut other_stream = PlanStream::new(&model, &config, &other, &[], 2);
+    let err = Executor::serial()
+        .with_durability(Durability::new().with_replay(&recovered.entries, recovered.header.plan))
+        .try_run_stream(&model, &mut other_stream)
+        .unwrap_err();
+    assert!(err.contains("refusing to resume"), "{err}");
+    std::fs::remove_file(&path).ok();
+}

@@ -94,29 +94,35 @@ pub fn plan_response(
 /// ramble without the marker so downstream parsing fails, as a misbehaving
 /// model's output would.
 pub fn render(prompt: &ComprehendedPrompt, segments: &[AnswerSegment]) -> String {
-    let mut out = String::new();
+    use std::fmt::Write;
+    // Writing segments straight into one pre-sized buffer keeps this on the
+    // dispatch hot path free of per-answer temporaries: a million-row run
+    // renders tens of millions of answer lines through here.
+    let mut out = String::with_capacity(segments.iter().map(|s| 24 + s.solved.answer.len()).sum());
     // Rambling about garbled questions comes first, as unstructured
     // preamble: text before the first `Answer N:` marker is ignored by
     // parsers, so a garble costs exactly its own answer slot. (Appended
     // after a well-formed segment it would be absorbed into *that*
     // segment and corrupt a correctly answered question.)
     for seg in segments.iter().filter(|s| s.garbled) {
-        out.push_str(&format!(
+        let _ = writeln!(
+            out,
             "Well, regarding the {} question, it is hard to say definitively \
              without more context. One might lean toward {} but several \
-             caveats apply, and overall I would want to verify further.\n",
-            ordinal(seg.number),
+             caveats apply, and overall I would want to verify further.",
+            Ordinal(seg.number),
             seg.solved.answer
-        ));
+        );
     }
     for seg in segments.iter().filter(|s| !s.garbled) {
         if prompt.wants_reason {
-            out.push_str(&format!(
-                "Answer {}: {}\n{}\n",
+            let _ = writeln!(
+                out,
+                "Answer {}: {}\n{}",
                 seg.number, seg.solved.reason, seg.solved.answer
-            ));
+            );
         } else {
-            out.push_str(&format!("Answer {}: {}\n", seg.number, seg.solved.answer));
+            let _ = writeln!(out, "Answer {}: {}", seg.number, seg.solved.answer);
         }
     }
     if out.is_empty() {
@@ -125,12 +131,18 @@ pub fn render(prompt: &ComprehendedPrompt, segments: &[AnswerSegment]) -> String
     out
 }
 
-fn ordinal(n: usize) -> String {
-    match n {
-        1 => "first".into(),
-        2 => "second".into(),
-        3 => "third".into(),
-        _ => format!("{n}th"),
+/// `Display` for an ordinal word ("first") or suffix form ("7th"),
+/// formatted in place without allocating.
+struct Ordinal(usize);
+
+impl std::fmt::Display for Ordinal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            1 => f.write_str("first"),
+            2 => f.write_str("second"),
+            3 => f.write_str("third"),
+            n => write!(f, "{n}th"),
+        }
     }
 }
 

@@ -226,13 +226,18 @@ impl PromptContext {
             messages.push(Message::assistant(fs.assistant.to_string()));
         }
 
+        // The batch body is the one per-request render on the planning hot
+        // path; write each question straight into the buffer instead of
+        // allocating a `format!` temporary per line.
         let mut body = String::new();
         for (i, instance) in batch.iter().enumerate() {
-            body.push_str(&format!(
-                "Question {}: {}\n",
+            use std::fmt::Write;
+            let _ = writeln!(
+                body,
+                "Question {}: {}",
                 i + 1,
                 instance.question_text(self.config.feature_indices.as_deref())
-            ));
+            );
         }
         sections.instances = count_tokens(&body);
         full_text_tokens += count_tokens("user") + 1 + sections.instances;

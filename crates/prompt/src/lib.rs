@@ -36,5 +36,7 @@ pub use builder::{
     build_request, build_request_sections, PromptConfig, PromptContext, PromptSections,
 };
 pub use fewshot::FewShotExample;
+#[doc(hidden)]
+pub use parse::parse_response_legacy;
 pub use parse::{parse_response, ExtractedAnswer};
 pub use task::{AttrSpec, Task, TaskInstance};

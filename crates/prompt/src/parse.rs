@@ -28,32 +28,89 @@ impl ExtractedAnswer {
     }
 }
 
-/// Splits a completion on `Answer N:` markers into `(N, segment)` pairs.
-fn split_answers(text: &str) -> Vec<(usize, String)> {
-    let mut out: Vec<(usize, usize, usize)> = Vec::new(); // (number, content_start, marker_start)
-    let marker = "Answer ";
-    let mut cursor = 0;
-    while let Some(found) = text[cursor..].find(marker) {
-        let at = cursor + found;
-        let after = &text[at + marker.len()..];
-        let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
-        let rest = &after[digits.len()..];
-        if !digits.is_empty() && rest.starts_with(':') {
-            let content_start = at + marker.len() + digits.len() + 1;
-            out.push((digits.parse().unwrap_or(0), content_start, at));
-            cursor = content_start;
-        } else {
-            cursor = at + marker.len();
+/// The `Answer N:` marker prefix both scanners look for.
+const MARKER: &str = "Answer ";
+
+/// Index-based scanner over `Answer N:` markers.
+///
+/// Yields `(number, segment)` pairs where `segment` borrows from the raw
+/// completion — no intermediate `Vec` of line slices and no per-segment
+/// `String` copies. A segment runs from the byte after the marker's colon to
+/// the start of the next valid marker (or end of text), trimmed.
+struct AnswerScanner<'a> {
+    text: &'a str,
+    cursor: usize,
+    /// The next valid marker, pre-scanned while delimiting the previous
+    /// segment: `(marker_start, number, content_start)`.
+    pending: Option<(usize, usize, usize)>,
+    done: bool,
+}
+
+impl<'a> AnswerScanner<'a> {
+    fn new(text: &'a str) -> Self {
+        AnswerScanner {
+            text,
+            cursor: 0,
+            pending: None,
+            done: false,
         }
     }
-    let mut segments = Vec::with_capacity(out.len());
-    for (i, &(number, start, _)) in out.iter().enumerate() {
-        let end = out
-            .get(i + 1)
-            .map_or(text.len(), |&(_, _, next_marker)| next_marker);
-        segments.push((number, text[start..end].trim().to_string()));
+
+    /// Finds the next valid `Answer N:` marker at or after `self.cursor`,
+    /// advancing the cursor past it. Returns `(marker_start, number,
+    /// content_start)`; numbers that overflow `usize` come back as 0 (and
+    /// are skipped by the caller, matching the legacy parser).
+    fn next_marker(&mut self) -> Option<(usize, usize, usize)> {
+        while let Some(found) = self.text[self.cursor..].find(MARKER) {
+            let at = self.cursor + found;
+            let after = &self.text[at + MARKER.len()..];
+            let digits_len = after
+                .as_bytes()
+                .iter()
+                .take_while(|b| b.is_ascii_digit())
+                .count();
+            let rest = &after[digits_len..];
+            if digits_len > 0 && rest.starts_with(':') {
+                let content_start = at + MARKER.len() + digits_len + 1;
+                let number = after[..digits_len].parse().unwrap_or(0);
+                self.cursor = content_start;
+                return Some((at, number, content_start));
+            }
+            self.cursor = at + MARKER.len();
+        }
+        None
     }
-    segments
+}
+
+impl<'a> Iterator for AnswerScanner<'a> {
+    type Item = (usize, &'a str);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let (_, number, start) = match self.pending.take() {
+            Some(marker) => marker,
+            None => match self.next_marker() {
+                Some(marker) => marker,
+                None => {
+                    self.done = true;
+                    return None;
+                }
+            },
+        };
+        let end = match self.next_marker() {
+            Some(next) => {
+                self.pending = Some(next);
+                next.0
+            }
+            None => {
+                self.done = true;
+                self.text.len()
+            }
+        };
+        Some((number, self.text[start..end].trim()))
+    }
 }
 
 /// Parses a completion into answers keyed by question number (1-based).
@@ -62,7 +119,94 @@ fn split_answers(text: &str) -> Vec<(usize, String)> {
 /// when true, the last line of a segment is the value and the earlier lines
 /// are the reason; when false, the whole segment is the value. Duplicate
 /// numbers keep the first occurrence.
+///
+/// This is the dispatch/parse hot path: it walks the completion once with an
+/// index-based scanner and allocates only the final `reason`/`value`
+/// `String`s — no intermediate line vectors or segment copies.
 pub fn parse_response(text: &str, expect_reason: bool) -> BTreeMap<usize, ExtractedAnswer> {
+    let mut answers = BTreeMap::new();
+    for (number, segment) in AnswerScanner::new(text) {
+        if number == 0 || answers.contains_key(&number) {
+            continue;
+        }
+        let extracted = if expect_reason {
+            // Stream the trimmed, non-empty lines: the running `last` becomes
+            // the value; everything before it accretes into the reason.
+            let mut reason = String::new();
+            let mut last: Option<&str> = None;
+            for line in segment.split('\n') {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some(prev) = last.replace(line) {
+                    if !reason.is_empty() {
+                        reason.push(' ');
+                    }
+                    reason.push_str(prev);
+                }
+            }
+            let Some(value) = last else { continue };
+            ExtractedAnswer {
+                reason: (!reason.is_empty()).then_some(reason),
+                value: value.to_string(),
+            }
+        } else {
+            let mut value = String::new();
+            for line in segment.split('\n') {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if !value.is_empty() {
+                    value.push(' ');
+                }
+                value.push_str(line);
+            }
+            if value.is_empty() {
+                continue;
+            }
+            ExtractedAnswer {
+                reason: None,
+                value,
+            }
+        };
+        answers.insert(number, extracted);
+    }
+    answers
+}
+
+/// The pre-scanner implementation of [`parse_response`], retained verbatim as
+/// the reference oracle for the seeded equivalence suite
+/// (`tests/parse_equivalence.rs`). Not for production use.
+#[doc(hidden)]
+pub fn parse_response_legacy(text: &str, expect_reason: bool) -> BTreeMap<usize, ExtractedAnswer> {
+    fn split_answers(text: &str) -> Vec<(usize, String)> {
+        let mut out: Vec<(usize, usize, usize)> = Vec::new(); // (number, content_start, marker_start)
+        let mut cursor = 0;
+        while let Some(found) = text[cursor..].find(MARKER) {
+            let at = cursor + found;
+            let after = &text[at + MARKER.len()..];
+            let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+            let rest = &after[digits.len()..];
+            if !digits.is_empty() && rest.starts_with(':') {
+                let content_start = at + MARKER.len() + digits.len() + 1;
+                out.push((digits.parse().unwrap_or(0), content_start, at));
+                cursor = content_start;
+            } else {
+                cursor = at + MARKER.len();
+            }
+        }
+        let mut segments = Vec::with_capacity(out.len());
+        for (i, &(number, start, _)) in out.iter().enumerate() {
+            let end = out
+                .get(i + 1)
+                .map_or(text.len(), |&(_, _, next_marker)| next_marker);
+            segments.push((number, text[start..end].trim().to_string()));
+        }
+        segments
+    }
+
     let mut answers = BTreeMap::new();
     for (number, segment) in split_answers(text) {
         if number == 0 || answers.contains_key(&number) {

@@ -24,6 +24,17 @@ cargo test -q --test durable_resume
 # and exactly-once billing).
 cargo run --release -q -p dprep-cli --bin dprep -- chaos --scenario partial-batch > /dev/null
 
+echo "== streaming-planner scaling smoke (10k rows, stream vs materialized) =="
+# Runs both plan modes at 10k rows, asserts their predictions agree via
+# checksum, and gates the streaming run's peak RSS and both runs'
+# throughput. The ceilings are generous (the 10k streaming run peaks
+# around 9 MB and 60k+ rows/sec on a dev container) so only a regression
+# in kind — a materialized plan sneaking back into the streaming path, or
+# an order-of-magnitude slowdown — trips them.
+cargo run --release -q -p dprep-bench --bin bench_scale -- \
+  --rows 10000 --shard-size 64 --mode both \
+  --max-rss-mb 64 --min-rows-per-sec 2000 --out BENCH_scale.json
+
 echo "== bench-regression gate (pinned Table 3 sweep vs BENCH_baseline.json) =="
 # Fails on any billed-token change or a >20% virtual-latency regression,
 # and prints the sweep's per-component cost table.
