@@ -50,6 +50,10 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         return Err("--workers must be at least 1".into());
     }
     let retries = flags.usize_or("retries", 2)? as u32;
+    if flags.bool_or("soak", false)? {
+        print!("{}", soak_drill(seed, retries)?);
+        return Ok(());
+    }
     let scenarios: Vec<FaultScenario> = match flags.get("scenario") {
         None => FaultScenario::presets(),
         Some(name) => {
@@ -404,7 +408,7 @@ fn kill_drill(
         // Resume keeps journaling into the same file, like a restarted
         // command with both --resume and --journal pointing at it.
         let durability = Durability::new()
-            .with_replay(&recovered.entries, recovered.header.plan)
+            .with_replay(&recovered.entries, recovered.require_header()?.plan)
             .with_journal(Arc::new(recovered.journal));
         let audit = Arc::new(AuditTracer::new());
         let resume_workers = if n % 2 == 0 { 1 } else { workers };
@@ -537,4 +541,244 @@ fn breaker_drill(ds: &Dataset, seed: u64, retries: u32) -> Result<String, String
         result.predictions.len()
     );
     Ok(out)
+}
+
+/// The serving soak drill behind `--soak on`: an ephemeral daemon running
+/// the production dataset handler, exercised the way a long-lived
+/// deployment would be.
+///
+/// 1. **Tenant isolation under faults** — three tenants submit
+///    concurrently: one under a fault scenario, one clean, one with a
+///    token budget small enough to trip mid-run. The tripped tenant must
+///    report `budget_tripped` while the other two stay bit-identical to
+///    their one-shot reference runs.
+/// 2. **Kill + resume, exactly once** — a journaled job is killed after
+///    its Nth terminal, then resubmitted with the same `journal_key`: the
+///    resumed reply must replay the journal, match the uninterrupted
+///    fingerprint, and bill the uninterrupted total exactly once.
+/// 3. **Accounting reconciliation** — the `stats` ledger totals must
+///    equal the sum of every reply's `tokens_billed`, and the `metrics`
+///    Prometheus text must carry per-tenant series.
+/// 4. **Clean shutdown** — the `shutdown` op stops the accept loop and
+///    the daemon thread exits without error.
+fn soak_drill(seed: u64, retries: u32) -> Result<String, String> {
+    use std::io::BufReader;
+    use std::net::TcpStream;
+
+    use dprep_core::serve::{roundtrip, Daemon, JobScheduler};
+    use dprep_core::{ExecutionOptions, TenantLedger};
+    use dprep_obs::Json;
+
+    use super::serve::{dataset_handler, HandlerDefaults};
+
+    let journal_dir =
+        std::env::temp_dir().join(format!("dprep-chaos-soak-{}-{seed}", std::process::id()));
+    std::fs::create_dir_all(&journal_dir)
+        .map_err(|e| format!("cannot create soak journal dir: {e}"))?;
+    let defaults = HandlerDefaults {
+        seed,
+        retries,
+        plan_shard_size: 2,
+        journal_dir: Some(journal_dir.clone()),
+    };
+    let handler = dataset_handler(defaults.clone());
+
+    // A `submit` body. `journal_key: None` jobs run unjournaled, so the
+    // reference runs below see the exact same workload the daemon runs.
+    let body = |tenant: &str, dataset: &str, extra: Vec<(&str, Json)>| -> Json {
+        let mut fields = vec![
+            ("op".to_string(), Json::Str("submit".to_string())),
+            ("tenant".to_string(), Json::Str(tenant.to_string())),
+            ("dataset".to_string(), Json::Str(dataset.to_string())),
+            ("scale".to_string(), Json::Num(0.5)),
+            ("workers".to_string(), Json::Num(2.0)),
+            ("plan_shard_size".to_string(), Json::Num(2.0)),
+        ];
+        fields.extend(extra.into_iter().map(|(k, v)| (k.to_string(), v)));
+        Json::Obj(fields)
+    };
+    let str_field = |reply: &Json, key: &str| -> Result<String, String> {
+        reply
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("soak reply has no {key:?}: {}", reply.to_json()))
+    };
+    let num_field = |reply: &Json, key: &str| -> Result<usize, String> {
+        reply
+            .get(key)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("soak reply has no {key:?}: {}", reply.to_json()))
+    };
+
+    // One-shot references through the same handler, outside the daemon: an
+    // idle scheduler grants every shard turn immediately.
+    let reference = |tenant: &str, dataset: &str, extra: Vec<(&str, Json)>| {
+        let scheduler = JobScheduler::new(TenantLedger::new());
+        let request = body(tenant, dataset, extra);
+        let (_, outcome) = scheduler.run_job(
+            tenant,
+            ExecutionOptions {
+                workers: 2,
+                ..ExecutionOptions::default()
+            },
+            |grant| handler(&request, grant),
+        )?;
+        let reply = Json::Obj(outcome.reply.to_vec());
+        Ok::<(String, usize), String>((str_field(&reply, "fingerprint")?, outcome.tokens_billed))
+    };
+    let faulted = vec![("scenario", Json::Str("partial-batch".to_string()))];
+    let (alpha_fp, _) = reference("alpha", "Restaurant", faulted.clone())?;
+    let (beta_fp, beta_tokens) = reference("beta", "Adult", vec![])?;
+    let (delta_fp, delta_tokens) = reference("delta", "Adult", vec![])?;
+
+    // Tenant gamma gets a budget that trips partway through an Adult run.
+    let ledger = TenantLedger::new();
+    ledger.set_budget("gamma", Some(beta_tokens / 2));
+    let daemon = Daemon::bind("127.0.0.1:0", JobScheduler::new(ledger), handler)
+        .map_err(|e| format!("cannot bind soak daemon: {e}"))?;
+    let addr = daemon.local_addr();
+
+    let mut lines: Vec<String> = Vec::new();
+    let outcome: Result<(), String> = std::thread::scope(|scope| {
+        let server = scope.spawn(|| daemon.run());
+        let submit = |request: &Json| -> Result<Json, String> {
+            let mut stream =
+                TcpStream::connect(addr).map_err(|e| format!("soak connect failed: {e}"))?;
+            let mut reader = BufReader::new(
+                stream
+                    .try_clone()
+                    .map_err(|e| format!("soak clone failed: {e}"))?,
+            );
+            roundtrip(&mut stream, &mut reader, request)
+        };
+
+        // Phase 1+3 setup: three tenants in flight at once.
+        let (alpha, beta, gamma) = std::thread::scope(|jobs| {
+            let a = jobs.spawn(|| submit(&body("alpha", "Restaurant", faulted.clone())));
+            let b = jobs.spawn(|| submit(&body("beta", "Adult", vec![])));
+            let g = jobs.spawn(|| submit(&body("gamma", "Adult", vec![])));
+            (
+                a.join().expect("alpha client"),
+                b.join().expect("beta client"),
+                g.join().expect("gamma client"),
+            )
+        });
+        let (alpha, beta, gamma) = (alpha?, beta?, gamma?);
+        if str_field(&alpha, "fingerprint")? != alpha_fp {
+            return Err("soak: faulted tenant alpha diverged from its one-shot run".into());
+        }
+        if str_field(&beta, "fingerprint")? != beta_fp {
+            return Err("soak: tenant beta diverged from its one-shot run".into());
+        }
+        if gamma.get("budget_tripped") != Some(&Json::Bool(true)) {
+            return Err(format!(
+                "soak: tenant gamma should have tripped its budget: {}",
+                gamma.to_json()
+            ));
+        }
+        lines.push(format!(
+            "soak phase 1: 3 concurrent tenants; alpha (partial-batch faults) and beta \
+             bit-identical to one-shot runs; gamma tripped its {}-token budget",
+            beta_tokens / 2
+        ));
+
+        // Phase 2: kill + resume with exactly-once billing.
+        let killed = submit(&body(
+            "delta",
+            "Adult",
+            vec![
+                ("journal_key", Json::Str("soak".to_string())),
+                ("kill_after", Json::Num(3.0)),
+            ],
+        ))?;
+        if killed.get("killed") != Some(&Json::Bool(true)) {
+            return Err(format!(
+                "soak: kill switch never fired: {}",
+                killed.to_json()
+            ));
+        }
+        let resumed = submit(&body(
+            "delta",
+            "Adult",
+            vec![("journal_key", Json::Str("soak".to_string()))],
+        ))?;
+        if str_field(&resumed, "journal")? != "resumed" {
+            return Err(format!(
+                "soak: resubmit did not resume its journal: {}",
+                resumed.to_json()
+            ));
+        }
+        let replayed = num_field(&resumed, "replayed")?;
+        if replayed == 0 {
+            return Err("soak: resumed job replayed nothing".into());
+        }
+        if str_field(&resumed, "fingerprint")? != delta_fp {
+            return Err("soak: resumed job diverged from the uninterrupted run".into());
+        }
+        if num_field(&resumed, "tokens_billed")? != delta_tokens {
+            return Err(format!(
+                "soak: resumed job billed {} tokens, uninterrupted run billed {delta_tokens}",
+                num_field(&resumed, "tokens_billed")?
+            ));
+        }
+        lines.push(format!(
+            "soak phase 2: killed after 3 terminals, resumed from its journal \
+             ({replayed} replayed), bit-identical and billed exactly once"
+        ));
+
+        // Phase 3: the ledger and the replies agree to the token.
+        let expected: usize = [&alpha, &beta, &gamma, &killed, &resumed]
+            .into_iter()
+            .map(|r| num_field(r, "tokens_billed"))
+            .sum::<Result<usize, String>>()?;
+        let stats = submit(&Json::Obj(vec![(
+            "op".to_string(),
+            Json::Str("stats".to_string()),
+        )]))?;
+        let ledger_total: usize = match stats.get("tenants") {
+            Some(Json::Arr(rows)) => rows
+                .iter()
+                .filter_map(|r| r.get("tokens_billed").and_then(Json::as_usize))
+                .sum(),
+            _ => return Err(format!("soak: stats has no tenants: {}", stats.to_json())),
+        };
+        if ledger_total != expected {
+            return Err(format!(
+                "soak: ledger bills {ledger_total} tokens, replies bill {expected}"
+            ));
+        }
+        let metrics = submit(&Json::Obj(vec![(
+            "op".to_string(),
+            Json::Str("metrics".to_string()),
+        )]))?;
+        let prom = str_field(&metrics, "prom")?;
+        for tenant in ["alpha", "beta", "gamma", "delta"] {
+            let needle = format!("{{tenant=\"{tenant}\"}}");
+            if !prom.contains(&needle) {
+                return Err(format!("soak: prom exposition has no series for {tenant}"));
+            }
+        }
+        lines.push(format!(
+            "soak phase 3: ledger, replies, and prom series reconcile at {ledger_total} tokens"
+        ));
+
+        // Phase 4: clean shutdown.
+        submit(&Json::Obj(vec![(
+            "op".to_string(),
+            Json::Str("shutdown".to_string()),
+        )]))?;
+        server
+            .join()
+            .expect("soak daemon thread")
+            .map_err(|e| format!("soak daemon exited uncleanly: {e}"))?;
+        lines.push("soak phase 4: shutdown acknowledged, daemon thread exited cleanly".to_string());
+        Ok(())
+    });
+    std::fs::remove_dir_all(&journal_dir).ok();
+    outcome?;
+    Ok(format!(
+        "dprep chaos soak (seed {seed})\n{}\n",
+        lines.join("\n")
+    ))
 }

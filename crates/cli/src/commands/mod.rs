@@ -7,6 +7,7 @@ pub mod detect;
 pub mod impute;
 pub mod match_cmd;
 pub mod report;
+pub mod serve;
 
 use std::sync::Arc;
 
@@ -300,26 +301,39 @@ pub fn durability_from_serving(
     if let Some(warning) = &recovered.warning {
         eprintln!("[journal warning] {warning}");
     }
+    // An empty file (a crash between journal creation and the first header
+    // write) recovers with no header and nothing to replay: fall back to
+    // fresh-journal behaviour. `fresh` truncating the empty file is
+    // harmless even when `--journal` names the same path.
+    let Some(header) = recovered.header.clone() else {
+        drop(recovered);
+        if let Some(journal_path) = serving.journal.as_deref() {
+            let journal = DurableJournal::fresh(journal_path, model_name, config, seed)
+                .map_err(|e| format!("cannot create journal {journal_path:?}: {e}"))?;
+            durability = durability.with_journal(Arc::new(journal));
+        }
+        return Ok((durability, Vec::new()));
+    };
     let mismatch = |what: &str, recorded: &str, current: &str| {
         format!(
             "journal {resume_path:?} was recorded under {what} {recorded:?} \
              but this run uses {current:?}; refusing to resume"
         )
     };
-    if recovered.header.model != model_name {
-        return Err(mismatch("model", &recovered.header.model, model_name));
+    if header.model != model_name {
+        return Err(mismatch("model", &header.model, model_name));
     }
-    if recovered.header.config != config {
-        return Err(mismatch("config", &recovered.header.config, config));
+    if header.config != config {
+        return Err(mismatch("config", &header.config, config));
     }
-    if recovered.header.seed != seed {
+    if header.seed != seed {
         return Err(mismatch(
             "seed",
-            &recovered.header.seed.to_string(),
+            &header.seed.to_string(),
             &seed.to_string(),
         ));
     }
-    durability = durability.with_replay(&recovered.entries, recovered.header.plan);
+    durability = durability.with_replay(&recovered.entries, header.plan);
     let truncated = recovered.journal.truncated();
     match serving.journal.as_deref() {
         // Same file: keep appending to the recovered journal (it carries
@@ -438,5 +452,45 @@ pub fn attrs_for(flags: &Flags, table: &Table) -> Result<Vec<String>, String> {
             }
             Ok(out)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Flags;
+
+    #[test]
+    fn zero_plan_shard_size_is_rejected_at_flag_parse() {
+        let mut flags = Flags::default();
+        flags.set("plan-shard-size", "0");
+        let err = serving_from_flags(&flags).unwrap_err();
+        assert!(err.contains("--plan-shard-size"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+        flags.set("plan-shard-size", "64");
+        assert_eq!(serving_from_flags(&flags).unwrap().plan_shard, Some(64));
+    }
+
+    #[test]
+    fn resuming_an_empty_journal_falls_back_to_a_fresh_one() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("dprep-cli-empty-journal-{}", std::process::id()));
+        let path_str = path.to_string_lossy().to_string();
+        // A crash between journal creation and the first header write
+        // leaves a zero-length file behind.
+        std::fs::write(&path, "").unwrap();
+        let serving = Serving {
+            journal: Some(path_str.clone()),
+            resume: Some(path_str),
+            ..serving_from_flags(&Flags::default()).unwrap()
+        };
+        let (durability, warm) =
+            durability_from_serving(&serving, "sim-gpt-4", "cfg", 7).expect("empty file recovers");
+        assert!(warm.is_empty(), "nothing to replay");
+        assert!(
+            durability.journal().is_some(),
+            "journaling restarts fresh at the same path"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         "impute" => commands::impute::run(&parsed),
         "match" => commands::match_cmd::run(&parsed),
         "chaos" => commands::chaos::run(&parsed),
+        "serve" => commands::serve::run(&parsed),
         "datasets" => commands::datasets::run(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -75,6 +76,10 @@ USAGE:
   dprep report   FILE [--format text|json|prom]
   dprep report   --diff BEFORE AFTER
   dprep chaos    [--scenario NAME] [--workers N] [--retries N] [--seed N]
+                 [--soak on]
+  dprep serve    [--host ADDR] [--port N] [--journal-dir DIR] [--seed N]
+                 [--tenant-budgets NAME=TOKENS,..] [--default-tenant-budget N]
+                 [--plan-shard-size N] [--retries N] [--check on]
   dprep datasets
 
 SERVING (detect/impute/clean/match):
@@ -107,6 +112,20 @@ REPORT:
   Reads a --trace JSONL file or a metrics-snapshot JSON file and renders
   quality, cost breakdown by prompt component, latency quantiles, the
   failure taxonomy, and the span-tree profile. --diff compares two runs.
+
+SERVE:
+  Long-running multi-tenant daemon: newline-delimited JSON over TCP, one
+  object per line, ops ping | submit | stats | metrics | shutdown. Each
+  submit names a dataset workload plus a tenant; concurrent jobs
+  interleave fairly at plan-shard granularity through a round-robin
+  turnstile (gating never changes results — each job stays bit-identical
+  to its one-shot run) and bill against per-tenant token budgets. With
+  --journal-dir, a submit carrying journal_key is journaled per job and
+  resumable after a crash with exactly-once billing. stats returns the
+  tenant ledger; metrics returns Prometheus text with a tenant label.
+  --check on runs the serving smoke drill (ephemeral port, two concurrent
+  tenants, bit-identity, ledger/prom reconciliation, clean shutdown)
+  instead of listening.
 
 CHAOS:
   Sweeps the seeded fault-scenario presets (burst outages, rate-limit

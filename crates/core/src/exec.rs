@@ -37,6 +37,7 @@ use dprep_prompt::{
 
 use crate::config::PipelineConfig;
 use crate::pipeline::{FailureKind, Prediction, RunResult};
+use crate::serve::ShardGate;
 
 /// One planned batch: which instances it covers and which unique request
 /// serves it.
@@ -441,6 +442,7 @@ pub struct Executor {
     tracer: Arc<dyn Tracer>,
     durability: Durability,
     kill: Option<KillSwitch>,
+    gate: Option<Arc<dyn ShardGate>>,
 }
 
 impl Default for Executor {
@@ -450,6 +452,7 @@ impl Default for Executor {
             tracer: Arc::new(NullTracer),
             durability: Durability::default(),
             kill: None,
+            gate: None,
         }
     }
 }
@@ -498,6 +501,19 @@ impl Executor {
     /// event is journaled (see [`KillSwitch`]).
     pub fn with_kill_switch(mut self, kill: KillSwitch) -> Self {
         self.kill = Some(kill);
+        self
+    }
+
+    /// Brackets every streaming plan-shard iteration with
+    /// `gate.acquire()` / `gate.release()`, so concurrent jobs sharing a
+    /// [`ShardGate`] (e.g. a serve turnstile) interleave at shard
+    /// granularity. Each turn still uses the executor's full worker pool,
+    /// and shard boundaries don't affect results, so gating never changes
+    /// a run's output — only when its shards execute. The materialized
+    /// path ([`run`](Self::run) on a whole plan) has a single implicit
+    /// shard and is not gated.
+    pub fn with_shard_gate(mut self, gate: Arc<dyn ShardGate>) -> Self {
+        self.gate = Some(gate);
         self
     }
 
@@ -876,7 +892,14 @@ impl Executor {
         let mut parse_wall_secs = 0.0;
         let mut killed = false;
 
-        while let Some(shard) = stream.next_shard(model) {
+        loop {
+            // One gate turn spans the whole shard iteration — planning,
+            // dispatch, fold, and parse — and is released even on an
+            // error return, so a failing job never wedges the rotation.
+            let _turn = self.gate.as_deref().map(GateTurn::acquire);
+            let Some(shard) = stream.next_shard(model) else {
+                break;
+            };
             for i in 0..shard.requests.len() {
                 let g = shard.first_request + i;
                 emit(TraceEvent::Planned {
@@ -1584,6 +1607,24 @@ impl Executor {
     }
 }
 
+/// RAII shard turn: acquired at the top of a streaming shard iteration,
+/// released when the iteration ends — including early `?` returns and
+/// kill-switch breaks.
+struct GateTurn<'a>(&'a dyn ShardGate);
+
+impl<'a> GateTurn<'a> {
+    fn acquire(gate: &'a dyn ShardGate) -> GateTurn<'a> {
+        gate.acquire();
+        GateTurn(gate)
+    }
+}
+
+impl Drop for GateTurn<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
 /// A response plus where and when (in virtual time) it was served.
 struct DispatchedResponse {
     response: ChatResponse,
@@ -2211,8 +2252,8 @@ mod tests {
             assert_eq!(recovered.entries.len(), kill_at);
             let audit = Arc::new(dprep_obs::AuditTracer::new());
             let durability = Durability::new()
-                .with_journal(Arc::new(recovered.journal))
-                .with_replay(&recovered.entries, recovered.header.plan);
+                .with_replay(&recovered.entries, recovered.require_header().unwrap().plan)
+                .with_journal(Arc::new(recovered.journal));
             let resumed = Executor::serial()
                 .with_durability(durability)
                 .with_tracer(audit.clone() as Arc<dyn Tracer>)
@@ -2264,7 +2305,8 @@ mod tests {
             .with_durability(Durability::new().with_journal(journal))
             .run(&base, &plan);
         let recovered = DurableJournal::resume(&path).unwrap();
-        let durability = Durability::new().with_replay(&recovered.entries, recovered.header.plan);
+        let durability = Durability::new()
+            .with_replay(&recovered.entries, recovered.require_header().unwrap().plan);
         let err = Executor::serial()
             .with_durability(durability)
             .try_run(&base, &other_plan)
@@ -2306,8 +2348,8 @@ mod tests {
         assert_eq!(recovered.entries.len(), 3);
         assert_eq!(recovered.entries[2].kind, TerminalKind::Cancelled);
         let durability = Durability::new()
-            .with_journal(Arc::new(recovered.journal))
-            .with_replay(&recovered.entries, recovered.header.plan);
+            .with_replay(&recovered.entries, recovered.require_header().unwrap().plan)
+            .with_journal(Arc::new(recovered.journal));
         let resumed = Executor::new(options)
             .with_durability(durability)
             .run(&base, &plan);

@@ -18,13 +18,17 @@
 //! * [`blocking`] — the EM blocking stage (§2.1) the paper's benchmarks
 //!   presuppose: n-gram key blocking and embedding blocking, with pair
 //!   completeness / reduction ratio evaluation,
-//! * [`repair`] — detect-then-repair table cleaning, composing ED and DI.
+//! * [`repair`] — detect-then-repair table cleaning, composing ED and DI,
+//! * [`serve`] — multi-tenant serving: the round-robin shard turnstile,
+//!   per-tenant token ledgers, the job scheduler, and the `dprep serve`
+//!   NDJSON-over-TCP daemon core.
 
 pub mod blocking;
 pub mod config;
 pub mod exec;
 pub mod pipeline;
 pub mod repair;
+pub mod serve;
 pub mod stream;
 
 pub use blocking::{
@@ -34,4 +38,8 @@ pub use config::{ComponentSet, PipelineConfig};
 pub use exec::{Durability, ExecStats, ExecutionOptions, ExecutionPlan, Executor, KillSwitch};
 pub use pipeline::{FailureKind, Prediction, Preprocessor, RunResult};
 pub use repair::{Repair, RepairOutcome, Repairer};
+pub use serve::{
+    result_fingerprint, Daemon, JobGrant, JobHandler, JobOutcome, JobScheduler, ShardGate,
+    TenantLedger, TenantUsage, Turnstile, TurnstileHandle,
+};
 pub use stream::{PlanShard, PlanStream};

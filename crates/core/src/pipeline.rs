@@ -165,6 +165,7 @@ pub struct Preprocessor<'a, M: ChatModel + ?Sized> {
     exec_options: Option<ExecutionOptions>,
     durability: Durability,
     kill: Option<KillSwitch>,
+    gate: Option<Arc<dyn crate::serve::ShardGate>>,
 }
 
 impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
@@ -177,6 +178,7 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
             exec_options: None,
             durability: Durability::default(),
             kill: None,
+            gate: None,
         }
     }
 
@@ -208,6 +210,16 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
     /// terminal event is journaled (see [`KillSwitch`]).
     pub fn with_kill_switch(mut self, kill: KillSwitch) -> Self {
         self.kill = Some(kill);
+        self
+    }
+
+    /// Interleaves this run's streaming plan shards with other jobs
+    /// sharing the same gate (see
+    /// [`ShardGate`](crate::serve::ShardGate)). Only effective together
+    /// with [`PipelineConfig::plan_shard_size`]; the materialized path is
+    /// a single shard and never yields.
+    pub fn with_shard_gate(mut self, gate: Arc<dyn crate::serve::ShardGate>) -> Self {
+        self.gate = Some(gate);
         self
     }
 
@@ -250,7 +262,19 @@ impl<'a, M: ChatModel + ?Sized> Preprocessor<'a, M> {
         if let Some(kill) = &self.kill {
             executor = executor.with_kill_switch(kill.clone());
         }
-        if let Some(shard_size) = self.config.plan_shard_size.filter(|&s| s > 0) {
+        if let Some(gate) = &self.gate {
+            executor = executor.with_shard_gate(Arc::clone(gate));
+        }
+        if let Some(shard_size) = self.config.plan_shard_size {
+            if shard_size == 0 {
+                // Rejected rather than silently falling back to the
+                // materialized path: a zero shard is a config bug, and a
+                // caller asking for bounded planner memory must not get an
+                // unbounded plan.
+                return Err("plan_shard_size must be at least 1 (0 disables nothing; \
+                     unset the option to use the materialized planner)"
+                    .to_string());
+            }
             let mut stream = crate::stream::PlanStream::new(
                 self.model,
                 &self.config,
@@ -382,6 +406,20 @@ mod tests {
             .predictions
             .iter()
             .all(|p| p.as_yes_no() == Some(false)));
+    }
+
+    #[test]
+    fn zero_plan_shard_size_is_rejected_with_a_clear_error() {
+        let model = ScriptedModel::new("yes");
+        let mut config = PipelineConfig::best(Task::EntityMatching);
+        config.components.few_shot = false;
+        config.plan_shard_size = Some(0);
+        let err = Preprocessor::new(&model, config)
+            .try_run(&em_instances(3), &[])
+            .expect_err("zero shard size must be rejected");
+        assert!(err.contains("plan_shard_size"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+        assert_eq!(model.requests(), 0, "nothing may dispatch");
     }
 
     #[test]

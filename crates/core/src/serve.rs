@@ -1,0 +1,908 @@
+//! Multi-tenant serving: the `dprep serve` daemon's scheduling core.
+//!
+//! Long-running deployments want one resident process accepting
+//! detect/impute/clean/match jobs from several tenants at once, with each
+//! tenant's spend capped and no tenant able to starve another. This module
+//! supplies the pieces, bottom-up:
+//!
+//! * [`ShardGate`] — the executor-side fairness hook: the streaming
+//!   executor brackets every plan-shard iteration with
+//!   `acquire`/`release`, so concurrent jobs interleave at shard
+//!   granularity. Each shard turn still uses the job's full worker pool
+//!   (time-sliced fairness, not core-partitioned), so a job running alone
+//!   is exactly as fast as without the gate.
+//! * [`Turnstile`] — the round-robin [`ShardGate`]: registered jobs take
+//!   strict turns; a finished job leaves the rotation when its handle
+//!   drops.
+//! * [`TenantLedger`] — per-tenant token allowances and billed totals.
+//!   Admission clamps a job's own token budget to the tenant's remaining
+//!   allowance, so the job runs under a private [`ExecutionOptions`]
+//!   budget gauge and stays **bit-identical to a one-shot run at that
+//!   clamped budget** — tenancy never perturbs a job's results, only which
+//!   budget it gets.
+//! * [`JobScheduler`] — admission + turnstile registration + settlement,
+//!   emitting `job_accepted` / `job_completed` / `job_rejected` trace
+//!   events.
+//! * [`Daemon`] — the TCP front end: newline-delimited JSON requests, one
+//!   thread per connection, with `ping` / `submit` / `stats` / `metrics`
+//!   (Prometheus text with a `tenant` label) / `shutdown` operations. The
+//!   workload itself is supplied as a [`JobHandler`] closure, so the
+//!   daemon core stays free of dataset and model-stack dependencies.
+//!
+//! Everything here is std-only, like the rest of the workspace.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use dprep_obs::{render_prom_tenants, Json, MetricsSnapshot, NullTracer, TraceEvent, Tracer};
+
+use crate::exec::ExecutionOptions;
+use crate::pipeline::RunResult;
+
+/// The executor's cooperative fairness hook. The streaming executor calls
+/// [`acquire`](ShardGate::acquire) before planning each shard and
+/// [`release`](ShardGate::release) after parsing it (release always runs,
+/// even when the shard errors), so an implementation can interleave
+/// concurrent jobs at shard granularity. Both calls happen on the job's
+/// own thread; `acquire` may block.
+pub trait ShardGate: Send + Sync {
+    /// Blocks until the job holds the turn. Balanced by `release`.
+    fn acquire(&self);
+    /// Gives the turn up; the next waiter may proceed.
+    fn release(&self);
+}
+
+/// Shared state of a [`Turnstile`]: the rotation queue, front = current
+/// turn-holder.
+#[derive(Debug, Default)]
+struct Rotation {
+    queue: VecDeque<u64>,
+}
+
+/// A round-robin [`ShardGate`]: jobs registered with [`register`]
+/// (`Turnstile::register`) take strict turns in registration order, each
+/// turn covering one plan shard. Dropping a job's [`TurnstileHandle`]
+/// removes it from the rotation, so finished (or crashed) jobs never block
+/// the others.
+#[derive(Debug, Default)]
+pub struct Turnstile {
+    rotation: Mutex<Rotation>,
+    turned: Condvar,
+}
+
+impl Turnstile {
+    /// An empty turnstile.
+    pub fn new() -> Arc<Turnstile> {
+        Arc::new(Turnstile::default())
+    }
+
+    /// Adds `job` to the back of the rotation and returns its gate handle.
+    pub fn register(self: &Arc<Self>, job: u64) -> TurnstileHandle {
+        self.rotation
+            .lock()
+            .expect("rotation lock")
+            .queue
+            .push_back(job);
+        self.turned.notify_all();
+        TurnstileHandle {
+            turnstile: Arc::clone(self),
+            job,
+        }
+    }
+
+    /// Jobs currently in the rotation.
+    pub fn len(&self) -> usize {
+        self.rotation.lock().expect("rotation lock").queue.len()
+    }
+
+    /// Whether the rotation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One job's membership in a [`Turnstile`]. Implements [`ShardGate`];
+/// dropping it leaves the rotation.
+#[derive(Debug)]
+pub struct TurnstileHandle {
+    turnstile: Arc<Turnstile>,
+    job: u64,
+}
+
+impl ShardGate for TurnstileHandle {
+    fn acquire(&self) {
+        let mut rotation = self.turnstile.rotation.lock().expect("rotation lock");
+        while rotation.queue.front() != Some(&self.job) {
+            rotation = self.turnstile.turned.wait(rotation).expect("rotation lock");
+        }
+    }
+
+    fn release(&self) {
+        let mut rotation = self.turnstile.rotation.lock().expect("rotation lock");
+        if rotation.queue.front() == Some(&self.job) {
+            rotation.queue.pop_front();
+            rotation.queue.push_back(self.job);
+        }
+        drop(rotation);
+        self.turnstile.turned.notify_all();
+    }
+}
+
+impl Drop for TurnstileHandle {
+    fn drop(&mut self) {
+        let mut rotation = self.turnstile.rotation.lock().expect("rotation lock");
+        rotation.queue.retain(|&j| j != self.job);
+        drop(rotation);
+        self.turnstile.turned.notify_all();
+    }
+}
+
+/// One tenant's ledger row.
+#[derive(Debug, Clone, Default)]
+struct TenantState {
+    budget: Option<usize>,
+    tokens_billed: usize,
+    cost_usd: f64,
+    jobs_completed: u64,
+    jobs_failed: u64,
+    jobs_rejected: u64,
+    jobs_tripped: u64,
+}
+
+/// A tenant's billing snapshot (see [`TenantLedger::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantUsage {
+    /// Tenant name.
+    pub tenant: String,
+    /// The tenant's token allowance, if capped.
+    pub budget: Option<usize>,
+    /// Tokens billed across the tenant's completed jobs.
+    pub tokens_billed: usize,
+    /// Dollars billed across the tenant's completed jobs.
+    pub cost_usd: f64,
+    /// Jobs that completed and settled.
+    pub jobs_completed: u64,
+    /// Jobs that errored while running.
+    pub jobs_failed: u64,
+    /// Jobs turned away at admission (allowance exhausted).
+    pub jobs_rejected: u64,
+    /// Completed jobs whose own deadline or token budget tripped.
+    pub jobs_tripped: u64,
+}
+
+/// Per-tenant token allowances and billed totals.
+///
+/// Admission is charge-aware, not reservation-based: a job is admitted
+/// with `min(its own budget, tenant remaining)` as its effective token
+/// budget and bills what it actually spent at settlement. Two concurrent
+/// jobs of one tenant can therefore jointly overshoot the allowance by at
+/// most one job's effective budget — the same charge-then-check semantics
+/// the per-run [`ExecutionOptions::token_budget`] gauge uses.
+#[derive(Debug, Default)]
+pub struct TenantLedger {
+    tenants: Mutex<BTreeMap<String, TenantState>>,
+    /// Allowance for tenants never configured explicitly (None = uncapped).
+    default_budget: Option<usize>,
+}
+
+impl TenantLedger {
+    /// A ledger with uncapped tenants by default.
+    pub fn new() -> TenantLedger {
+        TenantLedger::default()
+    }
+
+    /// Caps tenants that were never configured explicitly.
+    pub fn with_default_budget(mut self, tokens: Option<usize>) -> TenantLedger {
+        self.default_budget = tokens;
+        self
+    }
+
+    /// Sets (or lifts, with `None`) a tenant's token allowance.
+    pub fn set_budget(&self, tenant: &str, tokens: Option<usize>) {
+        let mut tenants = self.tenants.lock().expect("ledger lock");
+        tenants.entry(tenant.to_string()).or_default().budget = tokens;
+    }
+
+    /// Admission check: the effective token budget a new job of `tenant`
+    /// may run under, or why it cannot run at all.
+    fn admit(&self, tenant: &str, requested: Option<usize>) -> Result<Option<usize>, String> {
+        let mut tenants = self.tenants.lock().expect("ledger lock");
+        let state = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState {
+                budget: self.default_budget,
+                ..TenantState::default()
+            });
+        let Some(budget) = state.budget else {
+            return Ok(requested);
+        };
+        let remaining = budget.saturating_sub(state.tokens_billed);
+        if remaining == 0 {
+            state.jobs_rejected += 1;
+            return Err(format!(
+                "tenant {tenant:?} token allowance exhausted ({} billed of {budget})",
+                state.tokens_billed
+            ));
+        }
+        Ok(Some(requested.map_or(remaining, |r| r.min(remaining))))
+    }
+
+    /// Settles a finished job's bill.
+    fn settle(&self, tenant: &str, tokens: usize, cost_usd: f64, tripped: bool) {
+        let mut tenants = self.tenants.lock().expect("ledger lock");
+        let state = tenants.entry(tenant.to_string()).or_default();
+        state.tokens_billed += tokens;
+        state.cost_usd += cost_usd;
+        state.jobs_completed += 1;
+        state.jobs_tripped += u64::from(tripped);
+    }
+
+    /// Records a job that errored after admission.
+    fn fail(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().expect("ledger lock");
+        tenants.entry(tenant.to_string()).or_default().jobs_failed += 1;
+    }
+
+    /// Every tenant's row, in name order.
+    pub fn snapshot(&self) -> Vec<TenantUsage> {
+        let tenants = self.tenants.lock().expect("ledger lock");
+        tenants
+            .iter()
+            .map(|(tenant, s)| TenantUsage {
+                tenant: tenant.clone(),
+                budget: s.budget,
+                tokens_billed: s.tokens_billed,
+                cost_usd: s.cost_usd,
+                jobs_completed: s.jobs_completed,
+                jobs_failed: s.jobs_failed,
+                jobs_rejected: s.jobs_rejected,
+                jobs_tripped: s.jobs_tripped,
+            })
+            .collect()
+    }
+}
+
+/// What the scheduler grants an admitted job: its id, its turnstile gate
+/// (wire it into the executor with `with_shard_gate`), and its effective
+/// execution options — the requested options with `token_budget` clamped
+/// to the tenant's remaining allowance.
+pub struct JobGrant {
+    /// Job id (per-scheduler, starts at 1).
+    pub job: u64,
+    /// The job's slot in the shard-turn rotation.
+    pub gate: Arc<dyn ShardGate>,
+    /// Admission-clamped execution options for the run.
+    pub options: ExecutionOptions,
+}
+
+/// What a finished job reports back for settlement and the reply wire.
+#[derive(Debug, Clone, Default)]
+pub struct JobOutcome {
+    /// Extra reply fields the daemon merges into the `submit` response.
+    pub reply: Vec<(String, Json)>,
+    /// Tokens billed by the run (fresh attempts only).
+    pub tokens_billed: usize,
+    /// Dollars billed by the run.
+    pub cost_usd: f64,
+    /// Whether the job's own deadline or token budget tripped.
+    pub budget_tripped: bool,
+    /// The run's metrics snapshot, folded into the tenant's registry.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Admission, fair-share registration, and settlement for concurrent jobs.
+pub struct JobScheduler {
+    ledger: TenantLedger,
+    turnstile: Arc<Turnstile>,
+    tracer: Arc<dyn Tracer>,
+    next_job: AtomicU64,
+    active: AtomicU64,
+}
+
+impl JobScheduler {
+    /// A scheduler billing against `ledger`.
+    pub fn new(ledger: TenantLedger) -> JobScheduler {
+        JobScheduler {
+            ledger,
+            turnstile: Turnstile::new(),
+            tracer: Arc::new(NullTracer),
+            next_job: AtomicU64::new(1),
+            active: AtomicU64::new(0),
+        }
+    }
+
+    /// Streams `job_accepted` / `job_completed` / `job_rejected` events
+    /// into `tracer`.
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> JobScheduler {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The billing ledger.
+    pub fn ledger(&self) -> &TenantLedger {
+        &self.ledger
+    }
+
+    /// Jobs currently running.
+    pub fn active_jobs(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Admits, runs, and settles one job on the calling thread.
+    ///
+    /// `body` receives the [`JobGrant`] and must run the workload under
+    /// `grant.options` with `grant.gate` wired into the executor
+    /// (`with_shard_gate`), returning the outcome to bill. The grant's
+    /// turnstile slot is freed when `body` returns, whatever the result.
+    pub fn run_job(
+        &self,
+        tenant: &str,
+        requested: ExecutionOptions,
+        body: impl FnOnce(&JobGrant) -> Result<JobOutcome, String>,
+    ) -> Result<(u64, JobOutcome), String> {
+        let effective_budget = match self.ledger.admit(tenant, requested.token_budget) {
+            Ok(budget) => budget,
+            Err(reason) => {
+                self.tracer.record(&TraceEvent::JobRejected {
+                    tenant: tenant.to_string(),
+                    reason: reason.clone(),
+                });
+                return Err(reason);
+            }
+        };
+        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let grant = JobGrant {
+            job,
+            gate: Arc::new(self.turnstile.register(job)),
+            options: ExecutionOptions {
+                token_budget: effective_budget,
+                ..requested
+            },
+        };
+        self.tracer.record(&TraceEvent::JobAccepted {
+            job,
+            tenant: tenant.to_string(),
+        });
+        self.active.fetch_add(1, Ordering::Relaxed);
+        let result = body(&grant);
+        drop(grant);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        match &result {
+            Ok(outcome) => {
+                self.ledger.settle(
+                    tenant,
+                    outcome.tokens_billed,
+                    outcome.cost_usd,
+                    outcome.budget_tripped,
+                );
+                self.tracer.record(&TraceEvent::JobCompleted {
+                    job,
+                    tenant: tenant.to_string(),
+                    tokens: outcome.tokens_billed,
+                    cost_usd: outcome.cost_usd,
+                    budget_tripped: outcome.budget_tripped,
+                });
+            }
+            Err(reason) => {
+                self.ledger.fail(tenant);
+                self.tracer.record(&TraceEvent::JobRejected {
+                    tenant: tenant.to_string(),
+                    reason: reason.clone(),
+                });
+            }
+        }
+        result.map(|outcome| (job, outcome))
+    }
+}
+
+/// A stable 64-bit digest of a run's observable outcome (predictions,
+/// usage totals, serving counters). Two runs are bit-identical for serving
+/// purposes exactly when their fingerprints match; the daemon returns it
+/// on every `submit` so clients can compare against a one-shot run without
+/// shipping predictions over the wire.
+pub fn result_fingerprint(result: &RunResult) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |text: &str| {
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&format!("{:?}", result.predictions));
+    eat(&format!("{:?}", result.usage));
+    eat(&format!("{:?}", result.stats));
+    hash
+}
+
+/// The daemon's workload: given the parsed `submit` request body and the
+/// scheduler's grant, run the job and report its outcome. Implementations
+/// must run under `grant.options` and wire `grant.gate` into the executor
+/// — the daemon cannot enforce either from outside the closure.
+pub type JobHandler = dyn Fn(&Json, &JobGrant) -> Result<JobOutcome, String> + Send + Sync;
+
+/// How long a blocked connection read waits before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// The `dprep serve` TCP front end: newline-delimited JSON over a
+/// listening socket, one thread per connection, jobs scheduled through a
+/// [`JobScheduler`].
+///
+/// Requests are single-line JSON objects with an `"op"` field:
+///
+/// ```text
+/// {"op":"ping"}
+/// {"op":"submit","tenant":"acme", ...handler-defined fields...}
+/// {"op":"stats"}
+/// {"op":"metrics"}            -> Prometheus text with a tenant label
+/// {"op":"shutdown"}
+/// ```
+///
+/// Every response is a single-line JSON object with `"ok"` and, on
+/// failure, `"error"`. A connection serves requests sequentially;
+/// concurrency comes from concurrent connections.
+pub struct Daemon {
+    listener: TcpListener,
+    scheduler: JobScheduler,
+    handler: Arc<JobHandler>,
+    tenants: Mutex<BTreeMap<String, MetricsSnapshot>>,
+    shutdown: AtomicBool,
+}
+
+impl Daemon {
+    /// Binds `addr` (use port 0 for an ephemeral port) and prepares the
+    /// daemon. Call [`run`](Self::run) to serve.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        scheduler: JobScheduler,
+        handler: Arc<JobHandler>,
+    ) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Daemon {
+            listener,
+            scheduler,
+            handler,
+            tenants: Mutex::new(BTreeMap::new()),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// The job scheduler (ledger access for tests and reports).
+    pub fn scheduler(&self) -> &JobScheduler {
+        &self.scheduler
+    }
+
+    /// A copy of the per-tenant metrics registry.
+    pub fn tenant_metrics(&self) -> BTreeMap<String, MetricsSnapshot> {
+        self.tenants.lock().expect("tenant metrics lock").clone()
+    }
+
+    /// Asks the accept loop to stop (also reachable over the wire via
+    /// `{"op":"shutdown"}`). In-flight jobs finish first.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Serves until shutdown is requested, then waits for in-flight
+    /// connections to finish.
+    pub fn run(&self) -> std::io::Result<()> {
+        std::thread::scope(|scope| {
+            while !self.shutdown.load(Ordering::Relaxed) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        scope.spawn(move || self.serve_connection(stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// One connection: read a line, answer a line, until EOF or shutdown.
+    fn serve_connection(&self, stream: TcpStream) {
+        // The timeout bounds how long a quiet connection can delay
+        // shutdown, not how long a request may take.
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return,
+                Ok(_) => {
+                    let reply = self.dispatch(line.trim());
+                    line.clear();
+                    if writeln!(writer, "{}", reply.to_json()).is_err() {
+                        return;
+                    }
+                }
+                // Timed out mid-wait: `line` keeps any partial read, so
+                // the next read_line continues the same request.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Routes one request line to its operation.
+    fn dispatch(&self, line: &str) -> Json {
+        if line.is_empty() {
+            return error_reply("empty request line");
+        }
+        let body = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return error_reply(&format!("malformed request: {e}")),
+        };
+        match body.get("op").and_then(Json::as_str) {
+            Some("ping") => Json::Obj(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("pong".to_string(), Json::Bool(true)),
+                (
+                    "active_jobs".to_string(),
+                    Json::Num(self.scheduler.active_jobs() as f64),
+                ),
+            ]),
+            Some("submit") => self.submit(&body),
+            Some("stats") => self.stats(),
+            Some("metrics") => Json::Obj(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                (
+                    "prom".to_string(),
+                    Json::Str(render_prom_tenants(&self.tenant_metrics())),
+                ),
+            ]),
+            Some("shutdown") => {
+                self.request_shutdown();
+                Json::Obj(vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("shutting_down".to_string(), Json::Bool(true)),
+                ])
+            }
+            Some(other) => error_reply(&format!("unknown op {other:?}")),
+            None => error_reply("request has no \"op\" field"),
+        }
+    }
+
+    /// Runs one `submit` request through the scheduler and handler.
+    fn submit(&self, body: &Json) -> Json {
+        let tenant = body
+            .get("tenant")
+            .and_then(Json::as_str)
+            .unwrap_or("default")
+            .to_string();
+        let requested = ExecutionOptions {
+            workers: body
+                .get("workers")
+                .and_then(Json::as_usize)
+                .unwrap_or(1)
+                .max(1),
+            token_budget: body.get("token_budget").and_then(Json::as_usize),
+            deadline_secs: body.get("deadline_secs").and_then(Json::as_f64),
+            ..ExecutionOptions::default()
+        };
+        match self
+            .scheduler
+            .run_job(&tenant, requested, |grant| (self.handler)(body, grant))
+        {
+            Ok((job, outcome)) => {
+                self.tenants
+                    .lock()
+                    .expect("tenant metrics lock")
+                    .entry(tenant.clone())
+                    .or_default()
+                    .merge(&outcome.metrics);
+                let mut fields = vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("job".to_string(), Json::Num(job as f64)),
+                    ("tenant".to_string(), Json::Str(tenant)),
+                    (
+                        "tokens_billed".to_string(),
+                        Json::Num(outcome.tokens_billed as f64),
+                    ),
+                    ("cost_usd".to_string(), Json::Num(outcome.cost_usd)),
+                    (
+                        "budget_tripped".to_string(),
+                        Json::Bool(outcome.budget_tripped),
+                    ),
+                ];
+                fields.extend(outcome.reply);
+                Json::Obj(fields)
+            }
+            Err(e) => error_reply(&e),
+        }
+    }
+
+    /// The `stats` reply: active jobs plus every tenant's ledger row.
+    fn stats(&self) -> Json {
+        let tenants = self
+            .scheduler
+            .ledger()
+            .snapshot()
+            .into_iter()
+            .map(|row| {
+                Json::Obj(vec![
+                    ("tenant".to_string(), Json::Str(row.tenant)),
+                    (
+                        "budget".to_string(),
+                        row.budget.map_or(Json::Null, |b| Json::Num(b as f64)),
+                    ),
+                    (
+                        "tokens_billed".to_string(),
+                        Json::Num(row.tokens_billed as f64),
+                    ),
+                    ("cost_usd".to_string(), Json::Num(row.cost_usd)),
+                    (
+                        "jobs_completed".to_string(),
+                        Json::Num(row.jobs_completed as f64),
+                    ),
+                    ("jobs_failed".to_string(), Json::Num(row.jobs_failed as f64)),
+                    (
+                        "jobs_rejected".to_string(),
+                        Json::Num(row.jobs_rejected as f64),
+                    ),
+                    (
+                        "jobs_tripped".to_string(),
+                        Json::Num(row.jobs_tripped as f64),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            (
+                "active_jobs".to_string(),
+                Json::Num(self.scheduler.active_jobs() as f64),
+            ),
+            ("tenants".to_string(), Json::Arr(tenants)),
+        ])
+    }
+}
+
+/// A failed reply line.
+fn error_reply(message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(message.to_string())),
+    ])
+}
+
+/// Client-side helper: sends one request line on `stream` and parses the
+/// single-line reply. Used by the CLI's self-check, the chaos soak drill,
+/// and the e2e tests; exported so external clients don't re-implement the
+/// framing.
+pub fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &Json,
+) -> Result<Json, String> {
+    writeln!(stream, "{}", request.to_json()).map_err(|e| format!("send failed: {e}"))?;
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err("daemon closed the connection".to_string()),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(format!("receive failed: {e}")),
+        }
+    }
+    Json::parse(line.trim()).map_err(|e| format!("malformed reply: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turnstile_rotates_strictly_and_drops_finished_jobs() {
+        let turnstile = Turnstile::new();
+        let a = turnstile.register(1);
+        let b = turnstile.register(2);
+        assert_eq!(turnstile.len(), 2);
+
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for (handle, label) in [(&a, 'a'), (&b, 'b')] {
+                let order = Arc::clone(&order);
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        handle.acquire();
+                        order.lock().unwrap().push(label);
+                        handle.release();
+                    }
+                });
+            }
+        });
+        // Strict alternation starting with the first registrant: the
+        // rotation is deterministic even though thread scheduling is not.
+        assert_eq!(*order.lock().unwrap(), vec!['a', 'b', 'a', 'b', 'a', 'b']);
+
+        drop(a);
+        assert_eq!(turnstile.len(), 1);
+        // With `a` gone, `b` holds every turn and never blocks.
+        b.acquire();
+        b.release();
+        drop(b);
+        assert!(turnstile.is_empty());
+    }
+
+    #[test]
+    fn ledger_clamps_admission_and_rejects_exhausted_tenants() {
+        let ledger = TenantLedger::new().with_default_budget(Some(50));
+        ledger.set_budget("acme", Some(100));
+
+        // Own budget smaller than the allowance: the job keeps its own.
+        assert_eq!(ledger.admit("acme", Some(30)).unwrap(), Some(30));
+        // No own budget: clamped to what remains.
+        ledger.settle("acme", 80, 0.8, false);
+        assert_eq!(ledger.admit("acme", None).unwrap(), Some(20));
+        // Own budget above the remainder: clamped down.
+        assert_eq!(ledger.admit("acme", Some(1_000)).unwrap(), Some(20));
+        // Exhausted: rejected with the billed/allowance numbers.
+        ledger.settle("acme", 20, 0.2, true);
+        let err = ledger.admit("acme", Some(5)).unwrap_err();
+        assert!(err.contains("exhausted"), "{err}");
+        assert!(err.contains("100 billed of 100"), "{err}");
+
+        // Unconfigured tenants get the default allowance.
+        assert_eq!(ledger.admit("fresh", None).unwrap(), Some(50));
+        // An explicitly uncapped tenant passes its request through.
+        ledger.set_budget("open", None);
+        assert_eq!(ledger.admit("open", None).unwrap(), None);
+
+        let rows = ledger.snapshot();
+        let acme = rows.iter().find(|r| r.tenant == "acme").unwrap();
+        assert_eq!(acme.tokens_billed, 100);
+        assert_eq!(acme.jobs_completed, 2);
+        assert_eq!(acme.jobs_rejected, 1);
+        assert_eq!(acme.jobs_tripped, 1);
+    }
+
+    #[test]
+    fn scheduler_settles_bills_and_emits_job_events() {
+        let tracer = Arc::new(dprep_obs::CollectingTracer::new());
+        let ledger = TenantLedger::new();
+        ledger.set_budget("acme", Some(100));
+        let scheduler =
+            JobScheduler::new(ledger).with_tracer(Arc::clone(&tracer) as Arc<dyn Tracer>);
+
+        let (job, outcome) = scheduler
+            .run_job("acme", ExecutionOptions::default(), |grant| {
+                assert_eq!(
+                    grant.options.token_budget,
+                    Some(100),
+                    "clamped to allowance"
+                );
+                Ok(JobOutcome {
+                    tokens_billed: 100,
+                    cost_usd: 0.5,
+                    ..JobOutcome::default()
+                })
+            })
+            .unwrap();
+        assert_eq!(job, 1);
+        assert_eq!(outcome.tokens_billed, 100);
+
+        // The allowance is spent: the next job is rejected at admission
+        // and the failure is traced.
+        let err = scheduler
+            .run_job("acme", ExecutionOptions::default(), |_| {
+                panic!("rejected jobs must not run")
+            })
+            .unwrap_err();
+        assert!(err.contains("exhausted"), "{err}");
+
+        let names: Vec<&'static str> = tracer.events().iter().map(TraceEvent::name).collect();
+        assert_eq!(names, vec!["job_accepted", "job_completed", "job_rejected"]);
+        assert_eq!(scheduler.active_jobs(), 0);
+    }
+
+    #[test]
+    fn daemon_answers_ping_submit_stats_and_shuts_down() {
+        let handler: Arc<JobHandler> = Arc::new(|body: &Json, grant: &JobGrant| {
+            let cost = body.get("cost").and_then(Json::as_f64).unwrap_or(0.0);
+            Ok(JobOutcome {
+                reply: vec![("echo_job".to_string(), Json::Num(grant.job as f64))],
+                tokens_billed: 7,
+                cost_usd: cost,
+                ..JobOutcome::default()
+            })
+        });
+        let ledger = TenantLedger::new();
+        let daemon = Daemon::bind("127.0.0.1:0", JobScheduler::new(ledger), handler).unwrap();
+        let addr = daemon.local_addr();
+
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| daemon.run());
+
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let ping = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![("op".to_string(), Json::Str("ping".to_string()))]),
+            )
+            .unwrap();
+            assert_eq!(ping.get("pong"), Some(&Json::Bool(true)));
+
+            let submit = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![
+                    ("op".to_string(), Json::Str("submit".to_string())),
+                    ("tenant".to_string(), Json::Str("acme".to_string())),
+                    ("cost".to_string(), Json::Num(0.25)),
+                ]),
+            )
+            .unwrap();
+            assert_eq!(submit.get("ok"), Some(&Json::Bool(true)));
+            assert_eq!(
+                submit.get("tokens_billed").and_then(Json::as_usize),
+                Some(7)
+            );
+            assert_eq!(submit.get("echo_job").and_then(Json::as_usize), Some(1));
+
+            let stats = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![("op".to_string(), Json::Str("stats".to_string()))]),
+            )
+            .unwrap();
+            let tenants = match stats.get("tenants") {
+                Some(Json::Arr(rows)) => rows,
+                other => panic!("stats has no tenants array: {other:?}"),
+            };
+            assert_eq!(tenants.len(), 1);
+            assert_eq!(
+                tenants[0].get("tokens_billed").and_then(Json::as_usize),
+                Some(7)
+            );
+
+            let bad = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![("op".to_string(), Json::Str("warp".to_string()))]),
+            )
+            .unwrap();
+            assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+
+            let down = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![("op".to_string(), Json::Str("shutdown".to_string()))]),
+            )
+            .unwrap();
+            assert_eq!(down.get("shutting_down"), Some(&Json::Bool(true)));
+            server.join().unwrap().unwrap();
+        });
+    }
+}

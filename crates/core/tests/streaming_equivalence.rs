@@ -354,10 +354,11 @@ fn killed_and_resumed_streaming_runs_are_bit_identical() {
         assert!(recovered.warning.is_none());
         assert_eq!(recovered.entries.len(), kill_at);
         let audit = Arc::new(AuditTracer::new());
+        let plan = recovered.require_header().unwrap().plan;
         let resumed = run_streaming(
             Durability::new()
                 .with_journal(Arc::new(recovered.journal))
-                .with_replay(&recovered.entries, recovered.header.plan),
+                .with_replay(&recovered.entries, plan),
             None,
             Some(audit.clone() as Arc<dyn Tracer>),
         );
@@ -399,9 +400,73 @@ fn streaming_resume_rejects_a_mismatched_plan() {
     let other = em_instances(6, 0);
     let mut other_stream = PlanStream::new(&model, &config, &other, &[], 2);
     let err = Executor::serial()
-        .with_durability(Durability::new().with_replay(&recovered.entries, recovered.header.plan))
+        .with_durability(
+            Durability::new()
+                .with_replay(&recovered.entries, recovered.require_header().unwrap().plan),
+        )
         .try_run_stream(&model, &mut other_stream)
         .unwrap_err();
     assert!(err.contains("refusing to resume"), "{err}");
     std::fs::remove_file(&path).ok();
+}
+
+/// Satellite of the serving tentpole: two tenants running the same
+/// streaming workload concurrently through the [`JobScheduler`] — their
+/// shards strictly interleaved by the shared turnstile — each produce a
+/// result byte-identical to a serial one-shot run. Fair-share gating is
+/// pure scheduling; it must never leak into results.
+#[test]
+fn concurrent_tenants_through_the_scheduler_stay_bit_identical() {
+    use dprep_core::{JobOutcome, JobScheduler, TenantLedger};
+    use std::sync::Mutex;
+
+    let instances = em_instances(16, 5);
+    let run_config = || {
+        let mut c = config(3);
+        c.plan_shard_size = Some(2);
+        c
+    };
+    let options = ExecutionOptions {
+        workers: 2,
+        degrade: true,
+        ..ExecutionOptions::default()
+    };
+
+    // Serial one-shot reference, no gate: what either tenant would get
+    // running alone.
+    let model = FlakyModel { skip: 1 };
+    let reference = Preprocessor::new(&model, run_config())
+        .with_exec_options(options)
+        .run(&instances, &[]);
+
+    let scheduler = JobScheduler::new(TenantLedger::new());
+    let results: Vec<Mutex<Option<RunResult>>> = vec![Mutex::new(None), Mutex::new(None)];
+    std::thread::scope(|scope| {
+        for (tenant, slot) in ["acme", "bmce"].into_iter().zip(&results) {
+            let scheduler = &scheduler;
+            let instances = &instances;
+            scope.spawn(move || {
+                scheduler
+                    .run_job(tenant, options, |grant| {
+                        let model = FlakyModel { skip: 1 };
+                        let result = Preprocessor::new(&model, run_config())
+                            .with_exec_options(grant.options)
+                            .with_shard_gate(Arc::clone(&grant.gate))
+                            .try_run(instances, &[])?;
+                        *slot.lock().unwrap() = Some(result);
+                        Ok(JobOutcome::default())
+                    })
+                    .expect("job admitted and completed");
+            });
+        }
+    });
+
+    for (i, slot) in results.iter().enumerate() {
+        let result = slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("tenant produced a result");
+        assert_identical(&result, &reference, &format!("concurrent tenant {i}"));
+    }
 }

@@ -241,6 +241,36 @@ pub enum TraceEvent {
         /// Torn final lines truncated when the journal was recovered.
         truncated: usize,
     },
+    /// A serve job passed admission: the scheduler granted it a turn slot
+    /// and an effective token budget (its own request clamped to the
+    /// tenant's remaining allowance).
+    JobAccepted {
+        /// Job id (per-scheduler, starts at 1).
+        job: u64,
+        /// Tenant the job bills against.
+        tenant: String,
+    },
+    /// A serve job finished and settled its bill against the tenant.
+    JobCompleted {
+        /// Job id.
+        job: u64,
+        /// Tenant the job billed against.
+        tenant: String,
+        /// Billed tokens (prompt + completion, fresh attempts only).
+        tokens: usize,
+        /// Billed dollar cost.
+        cost_usd: f64,
+        /// Whether the job's own deadline or token budget tripped.
+        budget_tripped: bool,
+    },
+    /// A serve job was turned away at admission (tenant budget exhausted)
+    /// or failed while running.
+    JobRejected {
+        /// Tenant whose job was rejected.
+        tenant: String,
+        /// Why the job did not complete.
+        reason: String,
+    },
     /// The run finished; the ledger the run reported.
     RunFinished {
         /// Run id.
@@ -291,6 +321,9 @@ impl TraceEvent {
             TraceEvent::BatchSplit { .. } => "batch_split",
             TraceEvent::Replayed { .. } => "replayed",
             TraceEvent::JournalState { .. } => "journal_state",
+            TraceEvent::JobAccepted { .. } => "job_accepted",
+            TraceEvent::JobCompleted { .. } => "job_completed",
+            TraceEvent::JobRejected { .. } => "job_rejected",
             TraceEvent::RunFinished { .. } => "run_finished",
         }
     }
@@ -316,6 +349,9 @@ impl TraceEvent {
             | TraceEvent::Stage { .. }
             | TraceEvent::BudgetTripped { .. }
             | TraceEvent::JournalState { .. }
+            | TraceEvent::JobAccepted { .. }
+            | TraceEvent::JobCompleted { .. }
+            | TraceEvent::JobRejected { .. }
             | TraceEvent::RunFinished { .. } => None,
         }
     }

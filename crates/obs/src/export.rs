@@ -256,6 +256,25 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 .usize("written", *written)
                 .usize("truncated", *truncated);
         }
+        TraceEvent::JobAccepted { job, tenant } => {
+            line.u64("job", *job).str("tenant", tenant);
+        }
+        TraceEvent::JobCompleted {
+            job,
+            tenant,
+            tokens,
+            cost_usd,
+            budget_tripped,
+        } => {
+            line.u64("job", *job)
+                .str("tenant", tenant)
+                .usize("tokens", *tokens)
+                .f64("cost_usd", *cost_usd)
+                .bool("budget_tripped", *budget_tripped);
+        }
+        TraceEvent::JobRejected { tenant, reason } => {
+            line.str("tenant", tenant).str("reason", reason);
+        }
         TraceEvent::RunFinished {
             run,
             instances,
@@ -314,6 +333,15 @@ pub fn event_from_json(value: &Json) -> Result<TraceEvent, String> {
             .get(key)
             .and_then(Json::as_str)
             .map(crate::component::intern_label)
+            .ok_or_else(|| format!("{kind}: missing string field {key:?}"))
+    };
+    // Owned-string fields (tenant names, rejection reasons) are unbounded
+    // vocabularies, so they are not interned like the `&'static str` kinds.
+    let so = |key: &str| -> Result<String, String> {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
             .ok_or_else(|| format!("{kind}: missing string field {key:?}"))
     };
     let b = |key: &str| -> Result<bool, String> {
@@ -428,6 +456,21 @@ pub fn event_from_json(value: &Json) -> Result<TraceEvent, String> {
             replayed: us("replayed")?,
             written: us("written")?,
             truncated: us("truncated")?,
+        }),
+        "job_accepted" => Ok(TraceEvent::JobAccepted {
+            job: u("job")?,
+            tenant: so("tenant")?,
+        }),
+        "job_completed" => Ok(TraceEvent::JobCompleted {
+            job: u("job")?,
+            tenant: so("tenant")?,
+            tokens: us("tokens")?,
+            cost_usd: f("cost_usd")?,
+            budget_tripped: b("budget_tripped")?,
+        }),
+        "job_rejected" => Ok(TraceEvent::JobRejected {
+            tenant: so("tenant")?,
+            reason: so("reason")?,
         }),
         "run_finished" => Ok(TraceEvent::RunFinished {
             run: u("run")?,
@@ -677,6 +720,21 @@ mod tests {
                 replayed: 1,
                 written: 1,
                 truncated: 1,
+            },
+            TraceEvent::JobAccepted {
+                job: 11,
+                tenant: "acme".to_string(),
+            },
+            TraceEvent::JobCompleted {
+                job: 11,
+                tenant: "acme".to_string(),
+                tokens: 88,
+                cost_usd: 0.004,
+                budget_tripped: true,
+            },
+            TraceEvent::JobRejected {
+                tenant: "bmce".to_string(),
+                reason: "tenant \"bmce\" token budget exhausted".to_string(),
             },
             TraceEvent::RunFinished {
                 run: 7,

@@ -168,10 +168,13 @@ fn header_to_line(header: &JournalHeader) -> String {
 }
 
 fn header_from_json(value: &Json) -> Result<JournalHeader, String> {
-    let version = value
-        .get("version")
-        .and_then(Json::as_usize)
-        .ok_or("header has no version")? as u64;
+    let version_field = value.get("version").ok_or("header has no version")?;
+    let version = version_field.as_usize().ok_or_else(|| {
+        format!(
+            "header version is not an integer: {}",
+            version_field.to_json()
+        )
+    })? as u64;
     if version != JOURNAL_VERSION {
         return Err(format!(
             "journal version {version} is not the supported version {JOURNAL_VERSION}"
@@ -314,14 +317,39 @@ pub struct DurableJournal {
 /// The result of recovering a journal from disk.
 #[derive(Debug)]
 pub struct ResumedJournal {
-    /// The journal, reopened for further appends.
+    /// The journal, reopened for further appends. When [`header`] is
+    /// `None` the file was empty — nothing was recovered, and callers
+    /// should recreate the journal via [`DurableJournal::fresh`] so the
+    /// real run identity is stamped (truncating an empty file is
+    /// harmless).
+    ///
+    /// [`header`]: Self::header
     pub journal: DurableJournal,
-    /// The header the journal was recorded under.
-    pub header: JournalHeader,
+    /// The header the journal was recorded under. `None` for a
+    /// zero-length file — a crash between journal creation and the first
+    /// header write leaves one behind, and it recovers as an empty
+    /// journal rather than an error.
+    pub header: Option<JournalHeader>,
     /// Every intact terminal entry, in append order.
     pub entries: Vec<JournalEntry>,
-    /// Human-readable torn-tail warning, when the final line was truncated.
+    /// Human-readable recovery note: torn-tail truncation, or an empty
+    /// file recovered with nothing to replay.
     pub warning: Option<String>,
+}
+
+impl ResumedJournal {
+    /// The recovered header, or a clear error naming the file when the
+    /// journal was empty. Resume paths that cannot proceed without a
+    /// recorded identity (plan fingerprint, model, config, seed) go
+    /// through this.
+    pub fn require_header(&self) -> Result<&JournalHeader, String> {
+        self.header.as_ref().ok_or_else(|| {
+            format!(
+                "journal {} is empty: no header to resume from",
+                self.journal.path().display()
+            )
+        })
+    }
 }
 
 impl DurableJournal {
@@ -379,10 +407,34 @@ impl DurableJournal {
         let mut entries = Vec::new();
         let mut valid_end = 0usize;
         let mut warning = None;
+        // A zero-length or whitespace-only file is what a crash between
+        // journal creation and the first header write leaves behind; a
+        // lone unparseable first line is that same header write torn
+        // mid-flush. Both recover as an empty journal.
+        let mut empty_recovery = lines.is_empty();
         let last_index = lines.len().saturating_sub(1);
         for (i, (line_no, end, line)) in lines.iter().enumerate() {
+            let value = match Json::parse(line) {
+                Ok(value) => value,
+                Err(_) if i == last_index && header.is_none() => {
+                    empty_recovery = true;
+                    break;
+                }
+                Err(e) if i == last_index => {
+                    warning = Some(format!(
+                        "journal {}: truncating torn final line {line_no} ({e})",
+                        path.display()
+                    ));
+                    break;
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "journal {} is corrupt at line {line_no}: {e}",
+                        path.display()
+                    ))
+                }
+            };
             let parsed: Result<(), String> = (|| {
-                let value = Json::parse(line).map_err(|e| e.to_string())?;
                 let tag = value
                     .get("journal")
                     .and_then(Json::as_str)
@@ -419,6 +471,39 @@ impl DurableJournal {
                 }
             }
         }
+        if empty_recovery && header.is_none() && entries.is_empty() {
+            let mut file = OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| format!("cannot reopen journal {}: {e}", path.display()))?;
+            file.set_len(0)
+                .and_then(|()| file.seek(SeekFrom::Start(0)).map(|_| ()))
+                .map_err(|e| format!("cannot repair journal {}: {e}", path.display()))?;
+            return Ok(ResumedJournal {
+                journal: DurableJournal {
+                    path: path.clone(),
+                    inner: Mutex::new(Inner {
+                        file,
+                        // Placeholder identity: callers recreate via
+                        // `fresh` before writing anything.
+                        header: HeaderState::Pending {
+                            model: String::new(),
+                            config: String::new(),
+                            seed: 0,
+                        },
+                        seen: HashSet::new(),
+                        written: 0,
+                        truncated: 0,
+                    }),
+                },
+                header: None,
+                entries: Vec::new(),
+                warning: Some(format!(
+                    "journal {}: empty journal, nothing replayed",
+                    path.display()
+                )),
+            });
+        }
         let header = header
             .ok_or_else(|| format!("journal {} has no complete header line", path.display()))?;
         let mut file = OpenOptions::new()
@@ -444,7 +529,7 @@ impl DurableJournal {
                     truncated,
                 }),
             },
-            header,
+            header: Some(header),
             entries,
             warning,
         })
@@ -585,9 +670,10 @@ mod tests {
         assert_eq!(journal.written(), 3);
         drop(journal);
         let resumed = DurableJournal::resume(&path).unwrap();
-        assert_eq!(resumed.header.plan, 42);
-        assert_eq!(resumed.header.model, "sim-gpt-4");
-        assert_eq!(resumed.header.seed, 7);
+        let header = resumed.header.as_ref().expect("journal has a header");
+        assert_eq!(header.plan, 42);
+        assert_eq!(header.model, "sim-gpt-4");
+        assert_eq!(header.seed, 7);
         assert!(resumed.warning.is_none());
         assert_eq!(resumed.entries.len(), 3);
         assert_eq!(resumed.entries[0], sample_entry(1));
@@ -646,10 +732,71 @@ mod tests {
             err.contains("before header") || err.contains("no complete header"),
             "{err}"
         );
-        std::fs::write(&path, "").unwrap();
-        let err = DurableJournal::resume(&path).unwrap_err();
-        assert!(err.contains("no complete header"), "{err}");
         assert!(DurableJournal::resume(temp_path("does-not-exist")).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_torn_header_files_recover_as_empty_journals() {
+        // A crash between `fresh` and `ensure_header` leaves a zero-length
+        // file; a crash mid-header-write leaves one torn line. Both must
+        // recover as "nothing replayed", not a hard error.
+        for (name, contents) in [
+            ("empty", String::new()),
+            ("blank", "\n\n".to_string()),
+            ("torn-header", {
+                let header = JournalHeader {
+                    plan: 9,
+                    model: "m".into(),
+                    config: "c".into(),
+                    seed: 1,
+                };
+                let line = header_to_line(&header);
+                line[..line.len() / 2].to_string()
+            }),
+        ] {
+            let path = temp_path(&format!("recover-{name}"));
+            std::fs::write(&path, &contents).unwrap();
+            let resumed = DurableJournal::resume(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(resumed.header.is_none(), "{name}");
+            assert!(resumed.entries.is_empty(), "{name}");
+            let warning = resumed.warning.as_deref().expect("empty journal warns");
+            assert!(warning.contains("empty journal"), "{name}: {warning}");
+            // The recovered file was truncated to zero, so a fresh journal
+            // at the same path starts clean.
+            drop(resumed);
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), 0, "{name}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn non_integer_and_unsupported_versions_are_rejected_clearly() {
+        let header = JournalHeader {
+            plan: 9,
+            model: "m".into(),
+            config: "c".into(),
+            seed: 1,
+        };
+        let line = header_to_line(&header);
+        let fractional = line.replace("\"version\":1", "\"version\":1.5");
+        assert_ne!(fractional, line, "version field was present to replace");
+        let err = header_from_json(&Json::parse(&fractional).unwrap()).unwrap_err();
+        assert!(err.contains("not an integer"), "{err}");
+        assert!(err.contains("1.5"), "{err}");
+        let unsupported = line.replace("\"version\":1", "\"version\":99");
+        let err = header_from_json(&Json::parse(&unsupported).unwrap()).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+        // A mid-file bad header is still a hard resume error, with the
+        // clear version message surfaced.
+        let path = temp_path("bad-version");
+        std::fs::write(
+            &path,
+            format!("{fractional}\n{}\n", entry_to_line(&sample_entry(1))),
+        )
+        .unwrap();
+        let err = DurableJournal::resume(&path).unwrap_err();
+        assert!(err.contains("not an integer"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -72,7 +72,7 @@ pub use export::{parse_trace, JsonlTracer};
 pub use journal::{DurableJournal, JournalEntry, JournalHeader, ResumedJournal, TerminalKind};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsRecorder, MetricsSnapshot};
-pub use report::{ReportFormat, RunReport};
+pub use report::{render_prom_tenants, ReportFormat, RunReport};
 pub use span::{SpanProfile, SpanProfileBuilder, SpanStat};
 pub use tracer::{CollectingTracer, MultiTracer, NullTracer, Tracer};
 

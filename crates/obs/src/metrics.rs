@@ -50,7 +50,9 @@ impl Histogram {
     }
 
     fn bucket_index(value: u64) -> usize {
-        (64 - value.leading_zeros()) as usize
+        // Bit-length 64 values (>= 2^63) share the top bucket with
+        // bit-length 63; without the clamp they would index past the array.
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
     }
 
     /// Records one sample.
@@ -115,7 +117,9 @@ impl Histogram {
     /// bucket's upper bound); this is the estimator the report path uses.
     pub fn quantile_midpoint(&self, q: f64) -> u64 {
         let (lo, hi) = self.quantile_bucket(q);
-        ((lo + hi) / 2).clamp(self.min(), self.max)
+        // `lo + (hi - lo) / 2`, never `(lo + hi) / 2`: the top bucket's
+        // upper bound is `u64::MAX`, so the naive sum wraps.
+        (lo + (hi - lo) / 2).clamp(self.min(), self.max)
     }
 
     /// `(lower, upper)` bounds of the bucket holding the `q`-th sample
@@ -129,9 +133,12 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                // Bucket i holds values with bit_length i.
+                // Bucket i holds values with bit_length i; the top bucket
+                // also absorbs bit-length 64, so it runs to u64::MAX.
                 return if i == 0 {
                     (0, 0)
+                } else if i == BUCKETS - 1 {
+                    (1u64 << (BUCKETS - 2), u64::MAX)
                 } else {
                     (1u64 << (i - 1), (1u64 << i) - 1)
                 };
@@ -730,6 +737,29 @@ mod tests {
         assert!(h.quantile_midpoint(1.0) <= h.max());
         assert!(h.quantile_midpoint(0.0) >= h.min());
         assert_eq!(Histogram::new().quantile_midpoint(0.5), 0);
+    }
+
+    #[test]
+    fn max_bucket_samples_do_not_panic_or_wrap_the_midpoint() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX); // bit-length 64: must clamp into the top bucket
+        h.record(1u64 << 63);
+        h.record(5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), u64::MAX);
+        // The p99 sample sits in the top bucket; the midpoint must stay
+        // inside it instead of wrapping to a tiny value.
+        let mid = h.quantile_midpoint(0.99);
+        assert!(mid >= 1u64 << 62, "midpoint wrapped: {mid}");
+        assert!(mid <= h.max());
+        assert!(h.quantile(0.99) >= 1u64 << 62);
+        // Merge and JSON round-trip keep the top bucket intact.
+        let mut other = Histogram::new();
+        other.merge(&h);
+        assert_eq!(other, h);
+        let rebuilt = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(rebuilt.count(), 3);
     }
 
     #[test]

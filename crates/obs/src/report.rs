@@ -342,6 +342,81 @@ impl RunReport {
     }
 }
 
+/// Prometheus exposition of a per-tenant metrics registry: every series
+/// carries a `tenant` label, so one daemon scrape separates each tenant's
+/// spend, quality, and failure mix. Tenants render in `BTreeMap` order and
+/// each tenant's series fold from plan-ordered events, so the output is
+/// deterministic for a given set of completed jobs.
+pub fn render_prom_tenants(
+    tenants: &std::collections::BTreeMap<String, MetricsSnapshot>,
+) -> String {
+    /// One counter series: name, help text, and the snapshot field it reads.
+    type Series = (&'static str, &'static str, fn(&MetricsSnapshot) -> f64);
+    let mut out = String::new();
+    let series: [Series; 7] = [
+        (
+            "dprep_tenant_requests_total",
+            "Unique requests completed for the tenant (fresh + cache hits).",
+            |m| m.requests as f64,
+        ),
+        (
+            "dprep_tenant_answered_total",
+            "Instances answered for the tenant.",
+            |m| m.answered as f64,
+        ),
+        (
+            "dprep_tenant_cancelled_requests_total",
+            "Tenant requests cancelled by a tripped deadline or token budget.",
+            |m| m.cancelled as f64,
+        ),
+        (
+            "dprep_tenant_prompt_tokens_total",
+            "Prompt tokens billed to the tenant.",
+            |m| m.prompt_tokens as f64,
+        ),
+        (
+            "dprep_tenant_completion_tokens_total",
+            "Completion tokens billed to the tenant.",
+            |m| m.completion_tokens as f64,
+        ),
+        (
+            "dprep_tenant_cost_usd_total",
+            "Dollar cost billed to the tenant.",
+            |m| m.cost_usd,
+        ),
+        (
+            "dprep_tenant_journal_replayed_total",
+            "Tenant requests rehydrated from per-job journals on resume.",
+            |m| m.journal_replayed as f64,
+        ),
+    ];
+    for (name, help, value) in series {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (tenant, m) in tenants {
+            let _ = writeln!(
+                out,
+                "{name}{{tenant=\"{tenant}\"}} {}",
+                Json::Num(value(m)).to_json()
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP dprep_tenant_failures_total Tenant instances failed, by kind."
+    );
+    let _ = writeln!(out, "# TYPE dprep_tenant_failures_total counter");
+    for (tenant, m) in tenants {
+        for (kind, n) in &m.failures {
+            let _ = writeln!(
+                out,
+                "dprep_tenant_failures_total{{tenant=\"{tenant}\",kind=\"{kind}\"}} {n}"
+            );
+        }
+    }
+    out
+}
+
 /// Formats a float with no trailing zeros (integers render bare).
 fn trim_num(v: f64) -> String {
     Json::Num(v).to_json()
@@ -470,6 +545,28 @@ mod tests {
         assert!(prom.contains("dprep_failures_total{kind=\"skipped-answer\"} 1"));
         assert!(prom.contains("quantile=\"0.99\""));
         assert!(ReportFormat::parse("yaml").is_err());
+    }
+
+    #[test]
+    fn tenant_prom_series_carry_the_tenant_label() {
+        let report = RunReport::from_contents(&sample_trace()).unwrap();
+        let mut tenants = std::collections::BTreeMap::new();
+        tenants.insert("acme".to_string(), report.metrics.clone());
+        tenants.insert("bmce".to_string(), MetricsSnapshot::default());
+        let prom = render_prom_tenants(&tenants);
+        assert_eq!(prom, render_prom_tenants(&tenants), "nondeterministic");
+        assert!(
+            prom.contains("dprep_tenant_prompt_tokens_total{tenant=\"acme\"} 100"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("dprep_tenant_requests_total{tenant=\"bmce\"} 0"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("dprep_tenant_failures_total{tenant=\"acme\",kind=\"skipped-answer\"} 1"),
+            "{prom}"
+        );
     }
 
     #[test]

@@ -303,7 +303,10 @@ impl Tracer for SpanProfileBuilder {
             | TraceEvent::BreakerTransition { .. }
             | TraceEvent::BatchSplit { .. }
             | TraceEvent::Replayed { .. }
-            | TraceEvent::JournalState { .. } => {}
+            | TraceEvent::JournalState { .. }
+            | TraceEvent::JobAccepted { .. }
+            | TraceEvent::JobCompleted { .. }
+            | TraceEvent::JobRejected { .. } => {}
         }
     }
 }

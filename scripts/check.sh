@@ -24,6 +24,14 @@ cargo test -q --test durable_resume
 # and exactly-once billing).
 cargo run --release -q -p dprep-cli --bin dprep -- chaos --scenario partial-batch > /dev/null
 
+echo "== serving smoke: daemon self-check + e2e suite =="
+# Ephemeral daemon, two tenants submitting concurrently, bit-identity
+# against one-shot runs, ledger/prometheus reconciliation, clean
+# shutdown; then the TCP e2e tests (budget-trip isolation, kill+resume
+# with exactly-once billing through per-job journals).
+cargo run --release -q -p dprep-cli --bin dprep -- serve --check on > /dev/null
+cargo test -q --test serve_e2e
+
 echo "== streaming-planner scaling smoke (10k rows, stream vs materialized) =="
 # Runs both plan modes at 10k rows, asserts their predictions agree via
 # checksum, and gates the streaming run's peak RSS and both runs'

@@ -97,7 +97,7 @@ fn torn_journal_resumes_bit_identically_with_a_warning() {
     // Read-only resume (no --journal): the recovered handle is dropped, so
     // the truncation count rides on the durability.
     let durability = Durability::new()
-        .with_replay(&recovered.entries, recovered.header.plan)
+        .with_replay(&recovered.entries, recovered.require_header().unwrap().plan)
         .with_truncated(truncated);
     let resumed = run(&ds, 4, durability, &recovered.entries, None);
 
@@ -157,7 +157,8 @@ fn stale_journal_header_is_rejected_before_any_request_executes() {
     // in the header no longer matches, and the run must refuse up front.
     let other = dataset_by_name("Restaurant", 0.5, 6).unwrap();
     let recovered = DurableJournal::resume(&path).unwrap();
-    let durability = Durability::new().with_replay(&recovered.entries, recovered.header.plan);
+    let durability =
+        Durability::new().with_replay(&recovered.entries, recovered.require_header().unwrap().plan);
     let model = CountingModel {
         inner: stack(&other, &[]),
         calls: AtomicUsize::new(0),
@@ -213,7 +214,8 @@ fn budget_tripped_run_resumes_under_a_raised_budget() {
         .entries
         .iter()
         .any(|e| e.kind == TerminalKind::Cancelled));
-    let durability = Durability::new().with_replay(&recovered.entries, recovered.header.plan);
+    let durability =
+        Durability::new().with_replay(&recovered.entries, recovered.require_header().unwrap().plan);
     let resumed = run(&ds, 4, durability, &recovered.entries, Some(roomy));
 
     assert_eq!(resumed.predictions, reference.predictions);
