@@ -581,7 +581,7 @@ fn soak_drill(seed: u64, retries: u32) -> Result<String, String> {
         plan_shard_size: 2,
         journal_dir: Some(journal_dir.clone()),
     };
-    let handler = dataset_handler(defaults.clone());
+    let handler = dataset_handler(defaults.clone(), None);
 
     // A `submit` body. `journal_key: None` jobs run unjournaled, so the
     // reference runs below see the exact same workload the daemon runs.

@@ -8,6 +8,7 @@ pub mod impute;
 pub mod match_cmd;
 pub mod report;
 pub mod serve;
+pub mod top;
 
 use std::sync::Arc;
 

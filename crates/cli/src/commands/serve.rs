@@ -22,14 +22,14 @@ use std::sync::Arc;
 
 use dprep_core::serve::{roundtrip, Daemon, JobGrant, JobHandler, JobOutcome, JobScheduler};
 use dprep_core::{
-    result_fingerprint, Durability, FailureKind, KillSwitch, PipelineConfig, Preprocessor,
-    TenantLedger,
+    result_fingerprint, Durability, FailureKind, KillSwitch, OpsPlane, PipelineConfig,
+    Preprocessor, TenantLedger,
 };
 use dprep_datasets::dataset_by_name;
 use dprep_llm::{
     warm_cache_store, CacheLayer, FaultLayer, FaultScenario, ModelProfile, RetryLayer, SimulatedLlm,
 };
-use dprep_obs::{DurableJournal, Json};
+use dprep_obs::{DurableJournal, FlightRecorder, Json, SloSpec, WindowConfig};
 
 use crate::args::Flags;
 
@@ -83,7 +83,10 @@ fn sanitize(name: &str) -> String {
 /// * `journal_key` — with `--journal-dir`, journal this job at
 ///   `DIR/<tenant>-<key>.jsonl` and resume it when the file exists,
 /// * `kill_after` — drill hook: abort after the Nth journaled terminal.
-pub fn dataset_handler(defaults: HandlerDefaults) -> Arc<JobHandler> {
+///
+/// With an ops plane attached, every job's trace stream feeds the tenant's
+/// sliding window and SLO engine through [`OpsPlane::tracer_for`].
+pub fn dataset_handler(defaults: HandlerDefaults, ops: Option<Arc<OpsPlane>>) -> Arc<JobHandler> {
     Arc::new(move |body: &Json, grant: &JobGrant| {
         let name = body
             .get("dataset")
@@ -183,6 +186,13 @@ pub fn dataset_handler(defaults: HandlerDefaults) -> Arc<JobHandler> {
             .with_exec_options(grant.options)
             .with_durability(durability)
             .with_shard_gate(Arc::clone(&grant.gate));
+        if let Some(ops) = &ops {
+            let tenant = body
+                .get("tenant")
+                .and_then(Json::as_str)
+                .unwrap_or("default");
+            preprocessor = preprocessor.with_tracer(ops.tracer_for(tenant));
+        }
         if let Some(kill) = &kill {
             preprocessor = preprocessor.with_kill_switch(kill.clone());
         }
@@ -247,6 +257,26 @@ fn ledger_from_flags(flags: &Flags) -> Result<TenantLedger, String> {
     Ok(ledger)
 }
 
+/// Builds the daemon's live ops plane from `--slo` (objective spec list,
+/// e.g. `latency-p95=30,failure-rate=0.1,budget-headroom=0.25`) and
+/// `--recorder DIR` (flight-recorder postmortem directory). The plane is
+/// always on — with no `--slo` it still aggregates per-tenant windows for
+/// `dprep top`, just without alerting.
+fn ops_from_flags(flags: &Flags) -> Result<Arc<OpsPlane>, String> {
+    let specs = match flags.get("slo") {
+        Some(spec) => SloSpec::parse_list(spec).map_err(|e| format!("--slo: {e}"))?,
+        None => Vec::new(),
+    };
+    let mut plane = OpsPlane::new(specs, WindowConfig::default());
+    if let Some(dir) = flags.get("recorder") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create --recorder {}: {e}", dir.display()))?;
+        plane = plane.with_recorder(Arc::new(FlightRecorder::new(&dir, 256)));
+    }
+    Ok(Arc::new(plane))
+}
+
 /// Runs the command.
 pub fn run(flags: &Flags) -> Result<(), String> {
     let defaults = HandlerDefaults {
@@ -271,14 +301,16 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let host = flags.get("host").unwrap_or("127.0.0.1");
     let port = flags.usize_or("port", 7077)? as u16;
     let ledger = ledger_from_flags(flags)?;
+    let ops = ops_from_flags(flags)?;
     let daemon = Daemon::bind(
         (host, port),
         JobScheduler::new(ledger),
-        dataset_handler(defaults),
+        dataset_handler(defaults, Some(Arc::clone(&ops))),
     )
-    .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+    .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?
+    .with_ops(ops);
     println!("dprep serve listening on {}", daemon.local_addr());
-    println!("ops: ping | submit | stats | metrics | shutdown (one JSON object per line)");
+    println!("ops: ping | submit | stats | metrics | health | shutdown (one JSON object per line)");
     daemon.run().map_err(|e| format!("serve failed: {e}"))
 }
 
@@ -302,7 +334,7 @@ fn submit_body(tenant: &str, dataset: &str, workers: usize, budget: Option<usize
 /// ephemeral daemon, two tenants submitting concurrently, bit-identity
 /// against one-shot runs, metrics/ledger reconciliation, clean shutdown.
 fn self_check(defaults: &HandlerDefaults) -> Result<(), String> {
-    let handler = dataset_handler(defaults.clone());
+    let handler = dataset_handler(defaults.clone(), None);
 
     // One-shot references, computed through the same handler but outside
     // the daemon: an idle scheduler grants every turn immediately.
@@ -325,7 +357,7 @@ fn self_check(defaults: &HandlerDefaults) -> Result<(), String> {
     let daemon = Daemon::bind(
         "127.0.0.1:0",
         JobScheduler::new(TenantLedger::new()),
-        dataset_handler(defaults.clone()),
+        dataset_handler(defaults.clone(), None),
     )
     .map_err(|e| format!("cannot bind self-check daemon: {e}"))?;
     let addr = daemon.local_addr();

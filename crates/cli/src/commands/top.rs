@@ -1,0 +1,280 @@
+//! `dprep top` — a live per-tenant view of a running `dprep serve` daemon.
+//!
+//! Polls the daemon's `health` op and renders one table row per tenant:
+//! windowed request/token rates, windowed error rate and p95 latency (all
+//! over the sequential-account virtual clock), budget headroom, active
+//! jobs, and the current SLO alert states. `--once` prints a single
+//! snapshot and exits (scripts and CI use this); without it the table
+//! refreshes every `--interval` seconds until interrupted. `--format json`
+//! emits the raw health reply instead of the table.
+//!
+//! `--check on` runs the ops-plane determinism drill instead of
+//! connecting anywhere: the same breach-inducing workload is executed at
+//! several worker counts through the real job handler, and the resulting
+//! alert timelines and windowed snapshots must be byte-identical — the
+//! live ops plane observes, it never perturbs, and what it observes does
+//! not depend on scheduling. CI gates on it.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use dprep_core::serve::{roundtrip, JobScheduler};
+use dprep_core::{ExecutionOptions, OpsPlane, TenantLedger};
+use dprep_obs::export::event_to_json;
+use dprep_obs::{Json, SloSpec, WindowConfig};
+
+use super::serve::{dataset_handler, HandlerDefaults};
+use crate::args::Flags;
+
+/// Runs the command.
+pub fn run(flags: &Flags) -> Result<(), String> {
+    if flags.bool_or("check", false)? {
+        return self_check(flags.seed()?);
+    }
+    let host = flags.get("host").unwrap_or("127.0.0.1");
+    let port = flags.usize_or("port", 7077)? as u16;
+    let once = flags.bool_or("once", false)?;
+    let interval = flags.usize_or("interval", 2)?.max(1);
+    let format = flags.get("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("--format must be text or json, got {format:?}"));
+    }
+    loop {
+        let health = poll(host, port)?;
+        if format == "json" {
+            println!("{}", health.to_json());
+        } else {
+            print!("{}", render(&health));
+        }
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval as u64));
+    }
+}
+
+/// One `health` round trip against the daemon.
+fn poll(host: &str, port: u16) -> Result<Json, String> {
+    let mut stream = TcpStream::connect((host, port))
+        .map_err(|e| format!("cannot connect to {host}:{port}: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone failed: {e}"))?,
+    );
+    let reply = roundtrip(
+        &mut stream,
+        &mut reader,
+        &Json::Obj(vec![("op".to_string(), Json::Str("health".to_string()))]),
+    )?;
+    if reply.get("ok") != Some(&Json::Bool(true)) {
+        return Err(format!("health op failed: {}", reply.to_json()));
+    }
+    Ok(reply)
+}
+
+/// Renders one health reply as the per-tenant table.
+fn render(health: &Json) -> String {
+    let mut out = String::new();
+    let active = health
+        .get("active_jobs")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    let tenants = match health.get("tenants") {
+        Some(Json::Arr(rows)) => rows.as_slice(),
+        _ => &[],
+    };
+    out.push_str(&format!(
+        "dprep top — {} tenant(s), {} active job(s)\n",
+        tenants.len(),
+        active
+    ));
+    if tenants.is_empty() {
+        out.push_str("(no tenants yet — submit a job first)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>9} {:>6} {:>8} {:>9} {:>7}  {}\n",
+        "TENANT", "REQ/S", "TOK/S", "ERR%", "P95(S)", "HEADROOM", "ACTIVE", "ALERTS"
+    ));
+    for row in tenants {
+        let tenant = row.get("tenant").and_then(Json::as_str).unwrap_or("?");
+        let num = |outer: &Json, key: &str| outer.get(key).and_then(Json::as_f64);
+        let window = row.get("window");
+        let wnum = |key: &str| window.and_then(|w| num(w, key));
+        let headroom = match num(row, "headroom") {
+            Some(f) => format!("{:.0}%", f * 100.0),
+            None => "-".to_string(),
+        };
+        let alerts = match row.get("slos") {
+            Some(Json::Arr(slos)) if !slos.is_empty() => slos
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{}:{}",
+                        s.get("slo").and_then(Json::as_str).unwrap_or("?"),
+                        s.get("state").and_then(Json::as_str).unwrap_or("?")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
+            _ => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<14} {:>8.2} {:>9.1} {:>6.1} {:>8.2} {:>9} {:>7}  {}\n",
+            tenant,
+            wnum("requests_per_sec").unwrap_or(0.0),
+            wnum("tokens_per_sec").unwrap_or(0.0),
+            wnum("error_rate").unwrap_or(0.0) * 100.0,
+            wnum("latency_p95_secs").unwrap_or(0.0),
+            headroom,
+            row.get("jobs_active").and_then(Json::as_usize).unwrap_or(0),
+            alerts
+        ));
+    }
+    out
+}
+
+/// The ops-plane determinism drill behind `--check on` (CI gates on it).
+///
+/// Runs one breach-inducing workload (a latency-spike scenario against a
+/// tight latency-p95 objective) through the real dataset handler at worker
+/// counts 1, 2, and 4, each time through a fresh [`OpsPlane`], and asserts
+/// the serialized alert timelines and windowed snapshots are byte-identical
+/// across all three — and that the timeline actually pages, so the drill
+/// cannot pass vacuously.
+fn self_check(seed: u64) -> Result<(), String> {
+    let fingerprint = |workers: usize| -> Result<(String, String), String> {
+        let plane = Arc::new(OpsPlane::new(
+            SloSpec::parse_list("latency-p95=0.5,failure-rate=0.05")?,
+            WindowConfig::default(),
+        ));
+        let defaults = HandlerDefaults {
+            seed,
+            ..HandlerDefaults::default()
+        };
+        let handler = dataset_handler(defaults, Some(Arc::clone(&plane)));
+        let scheduler = JobScheduler::new(TenantLedger::new());
+        let body = Json::Obj(vec![
+            ("op".to_string(), Json::Str("submit".to_string())),
+            ("tenant".to_string(), Json::Str("acme".to_string())),
+            ("dataset".to_string(), Json::Str("Restaurant".to_string())),
+            ("scale".to_string(), Json::Num(0.5)),
+            (
+                "scenario".to_string(),
+                Json::Str("latency-spikes".to_string()),
+            ),
+            ("plan_shard_size".to_string(), Json::Num(2.0)),
+        ]);
+        let options = ExecutionOptions {
+            workers,
+            ..ExecutionOptions::default()
+        };
+        scheduler.run_job("acme", options, |grant| handler(&body, grant))?;
+        let timeline: String = plane
+            .timelines()
+            .values()
+            .flat_map(|events| events.iter().map(event_to_json))
+            .map(|line| line + "\n")
+            .collect();
+        let windows: String = plane
+            .health()
+            .iter()
+            .map(|h| h.window.to_json().to_json() + "\n")
+            .collect();
+        Ok((timeline, windows))
+    };
+
+    let (timeline_1, windows_1) = fingerprint(1)?;
+    if !timeline_1.contains("\"to\":\"paging\"") {
+        return Err(format!(
+            "top self-check: the breach workload never paged — the drill would be vacuous\n\
+             timeline:\n{timeline_1}"
+        ));
+    }
+    for workers in [2usize, 4] {
+        let (timeline_n, windows_n) = fingerprint(workers)?;
+        if timeline_n != timeline_1 {
+            return Err(format!(
+                "top self-check: alert timeline diverges between 1 and {workers} worker(s)\n\
+                 --- 1 worker ---\n{timeline_1}--- {workers} workers ---\n{timeline_n}"
+            ));
+        }
+        if windows_n != windows_1 {
+            return Err(format!(
+                "top self-check: windowed snapshot diverges between 1 and {workers} worker(s)\n\
+                 --- 1 worker ---\n{windows_1}--- {workers} workers ---\n{windows_n}"
+            ));
+        }
+    }
+    let transitions = timeline_1.lines().count();
+    println!(
+        "top self-check passed: {transitions} alert transition(s) and windowed snapshots \
+         bit-identical across 1/2/4 workers, paging reached"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_formats_tenants_and_handles_missing_fields() {
+        let health = Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("active_jobs".to_string(), Json::Num(1.0)),
+            (
+                "tenants".to_string(),
+                Json::Arr(vec![
+                    Json::Obj(vec![
+                        ("tenant".to_string(), Json::Str("acme".to_string())),
+                        ("headroom".to_string(), Json::Num(0.4)),
+                        ("jobs_active".to_string(), Json::Num(1.0)),
+                        (
+                            "window".to_string(),
+                            Json::Obj(vec![
+                                ("requests_per_sec".to_string(), Json::Num(0.5)),
+                                ("tokens_per_sec".to_string(), Json::Num(42.0)),
+                                ("error_rate".to_string(), Json::Num(0.25)),
+                                ("latency_p95_secs".to_string(), Json::Num(3.0)),
+                            ]),
+                        ),
+                        (
+                            "slos".to_string(),
+                            Json::Arr(vec![Json::Obj(vec![
+                                ("slo".to_string(), Json::Str("latency-p95".to_string())),
+                                ("state".to_string(), Json::Str("paging".to_string())),
+                            ])]),
+                        ),
+                    ]),
+                    // A ledger-only tenant: no window, no slos, no budget.
+                    Json::Obj(vec![(
+                        "tenant".to_string(),
+                        Json::Str("ledger-only".to_string()),
+                    )]),
+                ]),
+            ),
+        ]);
+        let table = render(&health);
+        assert!(table.contains("2 tenant(s), 1 active job(s)"), "{table}");
+        assert!(table.contains("latency-p95:paging"), "{table}");
+        assert!(table.contains("40%"), "{table}");
+        let ledger_line = table
+            .lines()
+            .find(|l| l.starts_with("ledger-only"))
+            .expect("ledger-only row");
+        assert!(ledger_line.contains('-'), "{ledger_line}");
+    }
+
+    #[test]
+    fn render_explains_an_empty_daemon() {
+        let health = Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("active_jobs".to_string(), Json::Num(0.0)),
+            ("tenants".to_string(), Json::Arr(vec![])),
+        ]);
+        assert!(render(&health).contains("no tenants yet"));
+    }
+}

@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         "match" => commands::match_cmd::run(&parsed),
         "chaos" => commands::chaos::run(&parsed),
         "serve" => commands::serve::run(&parsed),
+        "top" => commands::top::run(&parsed),
         "datasets" => commands::datasets::run(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -79,7 +80,10 @@ USAGE:
                  [--soak on]
   dprep serve    [--host ADDR] [--port N] [--journal-dir DIR] [--seed N]
                  [--tenant-budgets NAME=TOKENS,..] [--default-tenant-budget N]
-                 [--plan-shard-size N] [--retries N] [--check on]
+                 [--plan-shard-size N] [--retries N] [--slo SPEC,..]
+                 [--recorder DIR] [--check on]
+  dprep top      [--host ADDR] [--port N] [--interval SECS] [--once on]
+                 [--format text|json] [--check on]
   dprep datasets
 
 SERVING (detect/impute/clean/match):
@@ -115,17 +119,34 @@ REPORT:
 
 SERVE:
   Long-running multi-tenant daemon: newline-delimited JSON over TCP, one
-  object per line, ops ping | submit | stats | metrics | shutdown. Each
-  submit names a dataset workload plus a tenant; concurrent jobs
-  interleave fairly at plan-shard granularity through a round-robin
+  object per line, ops ping | submit | stats | metrics | health |
+  shutdown. Each submit names a dataset workload plus a tenant; concurrent
+  jobs interleave fairly at plan-shard granularity through a round-robin
   turnstile (gating never changes results — each job stays bit-identical
   to its one-shot run) and bill against per-tenant token budgets. With
   --journal-dir, a submit carrying journal_key is journaled per job and
   resumable after a crash with exactly-once billing. stats returns the
-  tenant ledger; metrics returns Prometheus text with a tenant label.
-  --check on runs the serving smoke drill (ephemeral port, two concurrent
-  tenants, bit-identity, ledger/prom reconciliation, clean shutdown)
-  instead of listening.
+  tenant ledger; metrics returns Prometheus text with a tenant label
+  ({\"op\":\"metrics\",\"format\":\"raw\"} returns the scrape body verbatim
+  for real scrapers). Every job also feeds the live ops plane: per-tenant
+  sliding windows over the deterministic virtual clock, and — with
+  --slo latency-p95=SECS,failure-rate=FRAC,budget-headroom=FRAC —
+  multi-window burn-rate alerting (ok -> warning -> paging) surfaced by
+  the health op, in run reports, and as slo_transition trace events.
+  --recorder DIR keeps a flight-recorder ring of recent events and dumps
+  a postmortem JSONL there whenever an alert pages. --check on runs the
+  serving smoke drill (ephemeral port, two concurrent tenants,
+  bit-identity, ledger/prom reconciliation, clean shutdown) instead of
+  listening.
+
+TOP:
+  Live per-tenant table against a running daemon's health op: windowed
+  request/token rates, windowed error rate and p95 latency, budget
+  headroom, active jobs, and SLO alert states. --once prints a single
+  snapshot; --format json emits the raw health reply. --check on runs the
+  ops-plane determinism drill instead: one breach-inducing workload at
+  1/2/4 workers must produce byte-identical alert timelines and windowed
+  snapshots, and must actually page.
 
 CHAOS:
   Sweeps the seeded fault-scenario presets (burst outages, rate-limit

@@ -1098,6 +1098,14 @@ impl Executor {
     /// (and therefore the journal, the gauge, and every counter) is
     /// identical between them.
     ///
+    /// The `Completed` / `Parsed` / `Failed` / `Cancelled` events this fold
+    /// emits are the observability plane's deterministic spine: the sliding
+    /// window ([`dprep_obs::WindowAggregator`]) and the SLO engine advance
+    /// their sequential-account virtual clock by each fresh completion's
+    /// `latency_secs` in this fold order, never by the worker-thread
+    /// `Dispatched` stream, which is why windowed rates and alert timelines
+    /// are bit-identical at any `--workers` count.
+    ///
     /// Returns `(cancelled, killed)`; `killed` means an armed kill switch
     /// fired on this terminal and the run must return its partial result.
     #[allow(clippy::too_many_arguments)]

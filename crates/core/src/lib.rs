@@ -20,8 +20,9 @@
 //!   completeness / reduction ratio evaluation,
 //! * [`repair`] — detect-then-repair table cleaning, composing ED and DI,
 //! * [`serve`] — multi-tenant serving: the round-robin shard turnstile,
-//!   per-tenant token ledgers, the job scheduler, and the `dprep serve`
-//!   NDJSON-over-TCP daemon core.
+//!   per-tenant token ledgers, the job scheduler, the live ops plane
+//!   (windowed metrics + SLO burn-rate alerts + flight recorder), and the
+//!   `dprep serve` NDJSON-over-TCP daemon core.
 
 pub mod blocking;
 pub mod config;
@@ -39,7 +40,7 @@ pub use exec::{Durability, ExecStats, ExecutionOptions, ExecutionPlan, Executor,
 pub use pipeline::{FailureKind, Prediction, Preprocessor, RunResult};
 pub use repair::{Repair, RepairOutcome, Repairer};
 pub use serve::{
-    result_fingerprint, Daemon, JobGrant, JobHandler, JobOutcome, JobScheduler, ShardGate,
-    TenantLedger, TenantUsage, Turnstile, TurnstileHandle,
+    result_fingerprint, Daemon, JobGrant, JobHandler, JobOutcome, JobScheduler, OpsPlane,
+    ShardGate, TenantHealth, TenantLedger, TenantUsage, Turnstile, TurnstileHandle,
 };
 pub use stream::{PlanShard, PlanStream};

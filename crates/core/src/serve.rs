@@ -23,11 +23,20 @@
 //! * [`JobScheduler`] — admission + turnstile registration + settlement,
 //!   emitting `job_accepted` / `job_completed` / `job_rejected` trace
 //!   events.
+//! * [`OpsPlane`] — the live observability plane: per-tenant windowed
+//!   metrics ([`dprep_obs::WindowAggregator`]) and SLO burn-rate alerting
+//!   ([`dprep_obs::SloEngine`]) fed by each job's trace stream, plus an
+//!   optional [`dprep_obs::FlightRecorder`] that dumps a postmortem when
+//!   an alert pages. Windows and alert timelines fold only the executor's
+//!   plan-ordered events over the sequential-account virtual clock, so
+//!   they are bit-identical across `--workers` counts and repeat runs.
 //! * [`Daemon`] — the TCP front end: newline-delimited JSON requests, one
 //!   thread per connection, with `ping` / `submit` / `stats` / `metrics`
-//!   (Prometheus text with a `tenant` label) / `shutdown` operations. The
-//!   workload itself is supplied as a [`JobHandler`] closure, so the
-//!   daemon core stays free of dataset and model-stack dependencies.
+//!   (Prometheus text with a `tenant` label; `"format":"raw"` returns the
+//!   scrape body verbatim) / `health` (per-tenant windowed rates and alert
+//!   states, for `dprep top`) / `shutdown` operations. The workload itself
+//!   is supplied as a [`JobHandler`] closure, so the daemon core stays
+//!   free of dataset and model-stack dependencies.
 //!
 //! Everything here is std-only, like the rest of the workspace.
 
@@ -38,7 +47,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use dprep_obs::{render_prom_tenants, Json, MetricsSnapshot, NullTracer, TraceEvent, Tracer};
+use dprep_obs::{
+    render_prom_tenants, FlightRecorder, Json, MetricsSnapshot, NullTracer, SloEngine, SloSpec,
+    TraceEvent, Tracer, WindowAggregator, WindowConfig, WindowSnapshot,
+};
 
 use crate::exec::ExecutionOptions;
 use crate::pipeline::RunResult;
@@ -147,6 +159,7 @@ struct TenantState {
     budget: Option<usize>,
     tokens_billed: usize,
     cost_usd: f64,
+    jobs_active: u64,
     jobs_completed: u64,
     jobs_failed: u64,
     jobs_rejected: u64,
@@ -164,6 +177,8 @@ pub struct TenantUsage {
     pub tokens_billed: usize,
     /// Dollars billed across the tenant's completed jobs.
     pub cost_usd: f64,
+    /// Jobs admitted and still running.
+    pub jobs_active: u64,
     /// Jobs that completed and settled.
     pub jobs_completed: u64,
     /// Jobs that errored while running.
@@ -218,6 +233,7 @@ impl TenantLedger {
                 ..TenantState::default()
             });
         let Some(budget) = state.budget else {
+            state.jobs_active += 1;
             return Ok(requested);
         };
         let remaining = budget.saturating_sub(state.tokens_billed);
@@ -228,6 +244,7 @@ impl TenantLedger {
                 state.tokens_billed
             ));
         }
+        state.jobs_active += 1;
         Ok(Some(requested.map_or(remaining, |r| r.min(remaining))))
     }
 
@@ -237,6 +254,9 @@ impl TenantLedger {
         let state = tenants.entry(tenant.to_string()).or_default();
         state.tokens_billed += tokens;
         state.cost_usd += cost_usd;
+        // Saturating: direct settle calls (tests, replays) may not have
+        // passed admission.
+        state.jobs_active = state.jobs_active.saturating_sub(1);
         state.jobs_completed += 1;
         state.jobs_tripped += u64::from(tripped);
     }
@@ -244,7 +264,9 @@ impl TenantLedger {
     /// Records a job that errored after admission.
     fn fail(&self, tenant: &str) {
         let mut tenants = self.tenants.lock().expect("ledger lock");
-        tenants.entry(tenant.to_string()).or_default().jobs_failed += 1;
+        let state = tenants.entry(tenant.to_string()).or_default();
+        state.jobs_active = state.jobs_active.saturating_sub(1);
+        state.jobs_failed += 1;
     }
 
     /// Every tenant's row, in name order.
@@ -257,6 +279,7 @@ impl TenantLedger {
                 budget: s.budget,
                 tokens_billed: s.tokens_billed,
                 cost_usd: s.cost_usd,
+                jobs_active: s.jobs_active,
                 jobs_completed: s.jobs_completed,
                 jobs_failed: s.jobs_failed,
                 jobs_rejected: s.jobs_rejected,
@@ -399,6 +422,170 @@ impl JobScheduler {
     }
 }
 
+/// One tenant's slice of the ops plane: its sliding window, its SLO
+/// engine, and the alert timeline accumulated so far.
+struct TenantOps {
+    window: WindowAggregator,
+    slo: SloEngine,
+    timeline: Vec<TraceEvent>,
+}
+
+/// One tenant's live view, as reported by [`OpsPlane::health`] and the
+/// daemon's `health` op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantHealth {
+    /// Tenant name.
+    pub tenant: String,
+    /// The tenant's windowed snapshot.
+    pub window: WindowSnapshot,
+    /// `(objective, alert state, burn_long, burn_short)` per objective.
+    pub slos: Vec<(&'static str, &'static str, f64, f64)>,
+    /// Alert transitions observed so far.
+    pub transitions: usize,
+}
+
+/// The daemon's live observability plane.
+///
+/// One [`WindowAggregator`] + [`SloEngine`] pair per tenant, fed through
+/// [`tracer_for`](Self::tracer_for) handles wired into each job's
+/// preprocessor. Both consumers fold only the executor's plan-ordered
+/// events (worker-thread `dispatched` events mutate nothing), and each
+/// tenant's clock is the sequential-account virtual time of its own
+/// stream, so windows and alert timelines are deterministic per tenant as
+/// long as the tenant's jobs run sequentially — concurrency *across*
+/// tenants never perturbs them. An optional [`FlightRecorder`] receives
+/// every event plus the emitted transitions, dumping a postmortem when an
+/// alert reaches `paging`.
+pub struct OpsPlane {
+    specs: Vec<SloSpec>,
+    config: WindowConfig,
+    tenants: Mutex<BTreeMap<String, TenantOps>>,
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl OpsPlane {
+    /// A plane evaluating `specs` over windows of `config` geometry.
+    pub fn new(specs: Vec<SloSpec>, config: WindowConfig) -> OpsPlane {
+        OpsPlane {
+            specs,
+            config,
+            tenants: Mutex::new(BTreeMap::new()),
+            recorder: None,
+        }
+    }
+
+    /// Attaches a flight recorder (postmortem dumps on paging alerts).
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> OpsPlane {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The recorder, if one is attached.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// A [`Tracer`] handle that attributes every event it records to
+    /// `tenant`. Wire one into each job's preprocessor.
+    pub fn tracer_for(self: &Arc<Self>, tenant: &str) -> Arc<dyn Tracer> {
+        Arc::new(OpsTracer {
+            plane: Arc::clone(self),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Feeds one of `tenant`'s events through its window and SLO engine,
+    /// recording it (and any alert transitions) into the flight recorder.
+    pub fn observe(&self, tenant: &str, event: &TraceEvent) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record(event);
+        }
+        let mut tenants = self.tenants.lock().expect("ops plane lock");
+        let ops = Self::entry(&mut tenants, &self.specs, self.config, tenant);
+        ops.window.observe(event);
+        let vt = ops.window.vt_secs();
+        let transitions = ops.slo.observe(event, vt);
+        ops.timeline.extend(transitions.iter().cloned());
+        drop(tenants);
+        self.record_transitions(&transitions);
+    }
+
+    /// Reports `tenant`'s current budget headroom fraction (remaining /
+    /// allowance) to its headroom objective, if one is configured.
+    pub fn note_headroom(&self, tenant: &str, fraction: f64) {
+        let mut tenants = self.tenants.lock().expect("ops plane lock");
+        let ops = Self::entry(&mut tenants, &self.specs, self.config, tenant);
+        let vt = ops.window.vt_secs();
+        let transitions = ops.slo.note_headroom(fraction, vt);
+        ops.timeline.extend(transitions.iter().cloned());
+        drop(tenants);
+        self.record_transitions(&transitions);
+    }
+
+    /// Feeds alert transitions to the recorder, where a `paging`
+    /// transition triggers the postmortem dump. Runs outside the plane
+    /// lock — dumping writes a file.
+    fn record_transitions(&self, transitions: &[TraceEvent]) {
+        if let Some(recorder) = &self.recorder {
+            for transition in transitions {
+                recorder.record(transition);
+            }
+        }
+    }
+
+    fn entry<'a>(
+        tenants: &'a mut BTreeMap<String, TenantOps>,
+        specs: &[SloSpec],
+        config: WindowConfig,
+        tenant: &str,
+    ) -> &'a mut TenantOps {
+        tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantOps {
+                window: WindowAggregator::new(config),
+                slo: SloEngine::new(tenant, specs, config),
+                timeline: Vec::new(),
+            })
+    }
+
+    /// Every tenant's live view, in name order.
+    pub fn health(&self) -> Vec<TenantHealth> {
+        let tenants = self.tenants.lock().expect("ops plane lock");
+        tenants
+            .iter()
+            .map(|(tenant, ops)| TenantHealth {
+                tenant: tenant.clone(),
+                window: ops.window.snapshot(),
+                slos: ops.slo.states(),
+                transitions: ops.timeline.len(),
+            })
+            .collect()
+    }
+
+    /// Every tenant's alert timeline (transition events in emission
+    /// order), in name order — the determinism drills compare these
+    /// byte-for-byte across worker counts.
+    pub fn timelines(&self) -> BTreeMap<String, Vec<TraceEvent>> {
+        let tenants = self.tenants.lock().expect("ops plane lock");
+        tenants
+            .iter()
+            .map(|(tenant, ops)| (tenant.clone(), ops.timeline.clone()))
+            .collect()
+    }
+}
+
+/// The per-tenant [`Tracer`] handle [`OpsPlane::tracer_for`] hands out.
+struct OpsTracer {
+    plane: Arc<OpsPlane>,
+    tenant: String,
+}
+
+impl Tracer for OpsTracer {
+    fn record(&self, event: &TraceEvent) {
+        self.plane.observe(&self.tenant, event);
+    }
+}
+
 /// A stable 64-bit digest of a run's observable outcome (predictions,
 /// usage totals, serving counters). Two runs are bit-identical for serving
 /// purposes exactly when their fingerprints match; the daemon returns it
@@ -438,19 +625,31 @@ const READ_POLL: Duration = Duration::from_millis(100);
 /// {"op":"ping"}
 /// {"op":"submit","tenant":"acme", ...handler-defined fields...}
 /// {"op":"stats"}
-/// {"op":"metrics"}            -> Prometheus text with a tenant label
+/// {"op":"metrics"}                 -> Prometheus text inside a JSON reply
+/// {"op":"metrics","format":"raw"}  -> the scrape body verbatim, then EOF
+/// {"op":"health"}                  -> per-tenant windows + alert states
 /// {"op":"shutdown"}
 /// ```
 ///
 /// Every response is a single-line JSON object with `"ok"` and, on
-/// failure, `"error"`. A connection serves requests sequentially;
+/// failure, `"error"` — except raw metrics, which answers with the
+/// Prometheus text body and closes the connection (real scrapers read to
+/// EOF and cannot unwrap JSON). A connection serves requests sequentially;
 /// concurrency comes from concurrent connections.
 pub struct Daemon {
     listener: TcpListener,
     scheduler: JobScheduler,
     handler: Arc<JobHandler>,
     tenants: Mutex<BTreeMap<String, MetricsSnapshot>>,
+    ops: Option<Arc<OpsPlane>>,
     shutdown: AtomicBool,
+}
+
+/// One request's answer: a JSON reply line, or a raw body that ends the
+/// connection (the `metrics` op's `"format":"raw"` scrape mode).
+enum Reply {
+    Line(Json),
+    Raw(String),
 }
 
 impl Daemon {
@@ -468,8 +667,22 @@ impl Daemon {
             scheduler,
             handler,
             tenants: Mutex::new(BTreeMap::new()),
+            ops: None,
             shutdown: AtomicBool::new(false),
         })
+    }
+
+    /// Attaches a live ops plane: jobs should be traced through
+    /// [`OpsPlane::tracer_for`], and the `health` op starts answering
+    /// per-tenant windows and alert states.
+    pub fn with_ops(mut self, ops: Arc<OpsPlane>) -> Daemon {
+        self.ops = Some(ops);
+        self
+    }
+
+    /// The attached ops plane, if any.
+    pub fn ops(&self) -> Option<&Arc<OpsPlane>> {
+        self.ops.as_ref()
     }
 
     /// The bound address (read the ephemeral port from here).
@@ -529,8 +742,18 @@ impl Daemon {
                 Ok(_) => {
                     let reply = self.dispatch(line.trim());
                     line.clear();
-                    if writeln!(writer, "{}", reply.to_json()).is_err() {
-                        return;
+                    match reply {
+                        Reply::Line(json) => {
+                            if writeln!(writer, "{}", json.to_json()).is_err() {
+                                return;
+                            }
+                        }
+                        // A raw body is a one-shot scrape: write it and
+                        // close, so the scraper reads to EOF.
+                        Reply::Raw(body) => {
+                            let _ = writer.write_all(body.as_bytes());
+                            return;
+                        }
                     }
                 }
                 // Timed out mid-wait: `line` keeps any partial read, so
@@ -551,15 +774,15 @@ impl Daemon {
     }
 
     /// Routes one request line to its operation.
-    fn dispatch(&self, line: &str) -> Json {
+    fn dispatch(&self, line: &str) -> Reply {
         if line.is_empty() {
-            return error_reply("empty request line");
+            return Reply::Line(error_reply("empty request line"));
         }
         let body = match Json::parse(line) {
             Ok(v) => v,
-            Err(e) => return error_reply(&format!("malformed request: {e}")),
+            Err(e) => return Reply::Line(error_reply(&format!("malformed request: {e}"))),
         };
-        match body.get("op").and_then(Json::as_str) {
+        Reply::Line(match body.get("op").and_then(Json::as_str) {
             Some("ping") => Json::Obj(vec![
                 ("ok".to_string(), Json::Bool(true)),
                 ("pong".to_string(), Json::Bool(true)),
@@ -570,13 +793,19 @@ impl Daemon {
             ]),
             Some("submit") => self.submit(&body),
             Some("stats") => self.stats(),
-            Some("metrics") => Json::Obj(vec![
-                ("ok".to_string(), Json::Bool(true)),
-                (
-                    "prom".to_string(),
-                    Json::Str(render_prom_tenants(&self.tenant_metrics())),
-                ),
-            ]),
+            Some("metrics") => {
+                if body.get("format").and_then(Json::as_str) == Some("raw") {
+                    return Reply::Raw(render_prom_tenants(&self.tenant_metrics()));
+                }
+                Json::Obj(vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    (
+                        "prom".to_string(),
+                        Json::Str(render_prom_tenants(&self.tenant_metrics())),
+                    ),
+                ])
+            }
+            Some("health") => self.health(),
             Some("shutdown") => {
                 self.request_shutdown();
                 Json::Obj(vec![
@@ -586,6 +815,115 @@ impl Daemon {
             }
             Some(other) => error_reply(&format!("unknown op {other:?}")),
             None => error_reply("request has no \"op\" field"),
+        })
+    }
+
+    /// The `health` reply: per-tenant windowed rates, SLO alert states,
+    /// and ledger headroom — everything `dprep top` renders. Tenants are
+    /// the union of the ops plane's and the ledger's, in name order.
+    fn health(&self) -> Json {
+        let ledger: BTreeMap<String, TenantUsage> = self
+            .scheduler
+            .ledger()
+            .snapshot()
+            .into_iter()
+            .map(|row| (row.tenant.clone(), row))
+            .collect();
+        let plane: BTreeMap<String, TenantHealth> = self
+            .ops
+            .as_ref()
+            .map(|ops| {
+                ops.health()
+                    .into_iter()
+                    .map(|h| (h.tenant.clone(), h))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let names: std::collections::BTreeSet<String> =
+            ledger.keys().chain(plane.keys()).cloned().collect();
+        let tenants: Vec<Json> = names
+            .into_iter()
+            .map(|name| {
+                let mut fields = vec![("tenant".to_string(), Json::Str(name.clone()))];
+                if let Some(row) = ledger.get(&name) {
+                    fields.push((
+                        "budget".to_string(),
+                        row.budget.map_or(Json::Null, |b| Json::Num(b as f64)),
+                    ));
+                    fields.push((
+                        "tokens_billed".to_string(),
+                        Json::Num(row.tokens_billed as f64),
+                    ));
+                    fields.push((
+                        "headroom".to_string(),
+                        row.budget.map_or(Json::Null, |budget| {
+                            Json::Num(if budget == 0 {
+                                0.0
+                            } else {
+                                budget.saturating_sub(row.tokens_billed) as f64 / budget as f64
+                            })
+                        }),
+                    ));
+                    fields.push(("jobs_active".to_string(), Json::Num(row.jobs_active as f64)));
+                    fields.push((
+                        "jobs_completed".to_string(),
+                        Json::Num(row.jobs_completed as f64),
+                    ));
+                }
+                if let Some(health) = plane.get(&name) {
+                    fields.push(("window".to_string(), health.window.to_json()));
+                    let slos: Vec<Json> = health
+                        .slos
+                        .iter()
+                        .map(|(slo, state, burn_long, burn_short)| {
+                            Json::Obj(vec![
+                                ("slo".to_string(), Json::Str((*slo).to_string())),
+                                ("state".to_string(), Json::Str((*state).to_string())),
+                                ("burn_long".to_string(), Json::Num(*burn_long)),
+                                ("burn_short".to_string(), Json::Num(*burn_short)),
+                            ])
+                        })
+                        .collect();
+                    fields.push(("slos".to_string(), Json::Arr(slos)));
+                    fields.push((
+                        "transitions".to_string(),
+                        Json::Num(health.transitions as f64),
+                    ));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            (
+                "active_jobs".to_string(),
+                Json::Num(self.scheduler.active_jobs() as f64),
+            ),
+            ("has_ops".to_string(), Json::Bool(self.ops.is_some())),
+            ("tenants".to_string(), Json::Arr(tenants)),
+        ])
+    }
+
+    /// Reports `tenant`'s post-settlement budget headroom to the ops
+    /// plane's headroom objective. Uncapped tenants report nothing —
+    /// headroom is undefined without an allowance.
+    fn note_headroom(&self, tenant: &str) {
+        let Some(ops) = &self.ops else { return };
+        let row = self
+            .scheduler
+            .ledger()
+            .snapshot()
+            .into_iter()
+            .find(|row| row.tenant == tenant);
+        if let Some(row) = row {
+            if let Some(budget) = row.budget {
+                let fraction = if budget == 0 {
+                    0.0
+                } else {
+                    budget.saturating_sub(row.tokens_billed) as f64 / budget as f64
+                };
+                ops.note_headroom(tenant, fraction);
+            }
         }
     }
 
@@ -617,6 +955,7 @@ impl Daemon {
                     .entry(tenant.clone())
                     .or_default()
                     .merge(&outcome.metrics);
+                self.note_headroom(&tenant);
                 let mut fields = vec![
                     ("ok".to_string(), Json::Bool(true)),
                     ("job".to_string(), Json::Num(job as f64)),
@@ -657,6 +996,7 @@ impl Daemon {
                         Json::Num(row.tokens_billed as f64),
                     ),
                     ("cost_usd".to_string(), Json::Num(row.cost_usd)),
+                    ("jobs_active".to_string(), Json::Num(row.jobs_active as f64)),
                     (
                         "jobs_completed".to_string(),
                         Json::Num(row.jobs_completed as f64),
@@ -721,6 +1061,7 @@ pub fn roundtrip(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dprep_obs::PAGE_FACTOR;
 
     #[test]
     fn turnstile_rotates_strictly_and_drops_finished_jobs() {
@@ -824,6 +1165,258 @@ mod tests {
         let names: Vec<&'static str> = tracer.events().iter().map(TraceEvent::name).collect();
         assert_eq!(names, vec!["job_accepted", "job_completed", "job_rejected"]);
         assert_eq!(scheduler.active_jobs(), 0);
+    }
+
+    fn completed(request: u64, latency_secs: f64, tokens: usize) -> TraceEvent {
+        TraceEvent::Completed {
+            request,
+            worker: 0,
+            cache_hit: false,
+            retries: 0,
+            fault: None,
+            prompt_tokens: tokens,
+            completion_tokens: 0,
+            attempt_prompt_tokens: tokens,
+            attempt_completion_tokens: 0,
+            cost_usd: 0.1,
+            latency_secs,
+            vt_start_secs: 0.0,
+            vt_end_secs: latency_secs,
+        }
+    }
+
+    /// A traffic pattern that breaches a 1-second latency-p95 objective:
+    /// every request is slow, so both burn windows saturate.
+    fn slow_stream(plane: &Arc<OpsPlane>, tenant: &str) {
+        let tracer = plane.tracer_for(tenant);
+        for request in 1..=12u64 {
+            tracer.record(&completed(request, 5.0, 100));
+            tracer.record(&TraceEvent::Parsed {
+                request,
+                instance: request as usize - 1,
+            });
+        }
+    }
+
+    #[test]
+    fn ops_plane_timelines_are_deterministic_and_page_on_breach() {
+        let specs = SloSpec::parse_list("latency-p95=1.0").unwrap();
+        let run = || {
+            let plane = Arc::new(OpsPlane::new(specs.clone(), WindowConfig::default()));
+            slow_stream(&plane, "acme");
+            plane
+        };
+        let (a, b) = (run(), run());
+
+        let timeline = &a.timelines()["acme"];
+        assert!(
+            timeline
+                .iter()
+                .any(|e| matches!(e, TraceEvent::SloTransition { to, .. } if *to == "paging")),
+            "sustained breach must page: {timeline:?}"
+        );
+        // Bit-identical across runs: same transitions, same serialized
+        // window snapshots.
+        assert_eq!(a.timelines(), b.timelines());
+        let json = |plane: &Arc<OpsPlane>| {
+            plane
+                .health()
+                .iter()
+                .map(|h| h.window.to_json().to_json())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(json(&a), json(&b));
+
+        let health = a.health();
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].tenant, "acme");
+        assert_eq!(health[0].window.counts.requests, 12);
+        let (slo, state, burn_long, burn_short) = health[0].slos[0];
+        assert_eq!((slo, state), ("latency-p95", "paging"));
+        assert!(burn_long >= PAGE_FACTOR && burn_short >= PAGE_FACTOR);
+    }
+
+    #[test]
+    fn ops_plane_paging_dumps_a_postmortem() {
+        let dir = std::env::temp_dir().join(format!(
+            "dprep-serve-recorder-{}-{}",
+            std::process::id(),
+            dprep_obs::next_run_id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let recorder = Arc::new(FlightRecorder::new(&dir, 64));
+        let plane = Arc::new(
+            OpsPlane::new(
+                SloSpec::parse_list("latency-p95=1.0").unwrap(),
+                WindowConfig::default(),
+            )
+            .with_recorder(Arc::clone(&recorder)),
+        );
+        slow_stream(&plane, "acme");
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert!(!dumps.is_empty(), "paging must dump a postmortem");
+        let body = std::fs::read_to_string(&dumps[0]).unwrap();
+        assert!(body.lines().any(|l| l.contains("slo_transition")), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn daemon_health_reports_windows_alerts_and_ledger() {
+        let handler: Arc<JobHandler> = Arc::new(|_body: &Json, _grant: &JobGrant| {
+            Ok(JobOutcome {
+                tokens_billed: 60,
+                cost_usd: 0.6,
+                ..JobOutcome::default()
+            })
+        });
+        let ledger = TenantLedger::new();
+        ledger.set_budget("acme", Some(100));
+        let plane = Arc::new(OpsPlane::new(
+            SloSpec::parse_list("latency-p95=1.0,budget-headroom=0.5").unwrap(),
+            WindowConfig::default(),
+        ));
+        let daemon = Daemon::bind("127.0.0.1:0", JobScheduler::new(ledger), handler)
+            .unwrap()
+            .with_ops(Arc::clone(&plane));
+        slow_stream(&plane, "acme");
+        let addr = daemon.local_addr();
+
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| daemon.run());
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+            // Settle one job so the ledger has a row; headroom drops to
+            // 0.4 < 0.5 and the headroom objective starts burning.
+            let submit = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![
+                    ("op".to_string(), Json::Str("submit".to_string())),
+                    ("tenant".to_string(), Json::Str("acme".to_string())),
+                ]),
+            )
+            .unwrap();
+            assert_eq!(submit.get("ok"), Some(&Json::Bool(true)));
+
+            let health = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![("op".to_string(), Json::Str("health".to_string()))]),
+            )
+            .unwrap();
+            assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+            assert_eq!(health.get("has_ops"), Some(&Json::Bool(true)));
+            let tenants = match health.get("tenants") {
+                Some(Json::Arr(rows)) => rows,
+                other => panic!("health has no tenants array: {other:?}"),
+            };
+            assert_eq!(tenants.len(), 1);
+            let row = &tenants[0];
+            assert_eq!(row.get("tenant").and_then(Json::as_str), Some("acme"));
+            assert_eq!(row.get("tokens_billed").and_then(Json::as_usize), Some(60));
+            assert_eq!(row.get("jobs_active").and_then(Json::as_usize), Some(0));
+            assert_eq!(row.get("jobs_completed").and_then(Json::as_usize), Some(1));
+            assert!((row.get("headroom").and_then(Json::as_f64).unwrap() - 0.4).abs() < 1e-9);
+            assert!(row.get("window").is_some(), "windowed snapshot present");
+            let slos = match row.get("slos") {
+                Some(Json::Arr(slos)) => slos,
+                other => panic!("health row has no slos array: {other:?}"),
+            };
+            assert_eq!(slos.len(), 2);
+            let headroom = slos
+                .iter()
+                .find(|s| s.get("slo").and_then(Json::as_str) == Some("budget-headroom"))
+                .expect("headroom objective reported");
+            assert!(headroom.get("burn_long").and_then(Json::as_f64).unwrap() > 1.0);
+
+            roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![("op".to_string(), Json::Str("shutdown".to_string()))]),
+            )
+            .unwrap();
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn raw_metrics_scrape_returns_prometheus_text_then_eof() {
+        let handler: Arc<JobHandler> = Arc::new(|_body: &Json, _grant: &JobGrant| {
+            Ok(JobOutcome {
+                tokens_billed: 5,
+                ..JobOutcome::default()
+            })
+        });
+        let daemon = Daemon::bind(
+            "127.0.0.1:0",
+            JobScheduler::new(TenantLedger::new()),
+            handler,
+        )
+        .unwrap();
+        let addr = daemon.local_addr();
+
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| daemon.run());
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![
+                    ("op".to_string(), Json::Str("submit".to_string())),
+                    ("tenant".to_string(), Json::Str("acme".to_string())),
+                ]),
+            )
+            .unwrap();
+
+            // A raw scrape is one-shot: the body arrives verbatim (no JSON
+            // envelope) and the daemon closes the connection.
+            let mut scrape = TcpStream::connect(addr).unwrap();
+            writeln!(scrape, "{{\"op\":\"metrics\",\"format\":\"raw\"}}").unwrap();
+            let mut body = String::new();
+            let mut scrape_reader = BufReader::new(scrape);
+            loop {
+                match scrape_reader.read_line(&mut body) {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) => {}
+                    Err(e) => panic!("scrape read failed: {e}"),
+                }
+            }
+            assert!(body.contains("dprep_tenant_"), "{body}");
+            assert!(
+                Json::parse(body.trim()).is_err(),
+                "raw body must not be JSON-wrapped: {body}"
+            );
+
+            // The JSON mode still wraps the same text.
+            let wrapped = roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![("op".to_string(), Json::Str("metrics".to_string()))]),
+            )
+            .unwrap();
+            assert_eq!(
+                wrapped.get("prom").and_then(Json::as_str),
+                Some(body.as_str())
+            );
+
+            roundtrip(
+                &mut stream,
+                &mut reader,
+                &Json::Obj(vec![("op".to_string(), Json::Str("shutdown".to_string()))]),
+            )
+            .unwrap();
+            server.join().unwrap().unwrap();
+        });
     }
 
     #[test]

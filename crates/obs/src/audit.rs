@@ -41,6 +41,14 @@
 //!    events may accompany it, and its accumulated usage must cover the
 //!    final attempt. A `journal_state` event's replay count must equal the
 //!    `replayed` markers observed in the run.
+//! 8. **Alert chains** — per `(tenant, objective)`, `slo_transition`
+//!    events form a well-founded chain: the first transition departs from
+//!    `ok`, every `from` equals the previous `to`, no transition is a
+//!    self-loop, virtual time never decreases, and an *escalation* (rank
+//!    of `to` above rank of `from`) carries both window burns at or above
+//!    1 — no alert without a crossing. Alert chains span runs (a daemon's
+//!    SLO state outlives any single job), so this invariant does **not**
+//!    reset at `run_started`.
 //!
 //! Runs sharing one tracer must be sequential (the executor guarantees
 //! this: events of a run are bracketed by `run_started`/`run_finished`
@@ -87,11 +95,21 @@ struct RunState {
     requests: HashMap<u64, RequestState>,
 }
 
+/// The tail of one `(tenant, objective)` alert chain.
+#[derive(Debug)]
+struct AlertChain {
+    state: &'static str,
+    vt_secs: f64,
+}
+
 #[derive(Debug, Default)]
 struct State {
     run: RunState,
     violations: Vec<String>,
     runs_finished: usize,
+    /// Alert chains outlive runs: keyed by `(tenant, objective)`, never
+    /// reset at `run_started`.
+    alerts: HashMap<(String, &'static str), AlertChain>,
 }
 
 /// A [`Tracer`] that checks the ledger invariants online.
@@ -469,6 +487,66 @@ impl Tracer for AuditTracer {
                 }
                 state.runs_finished += 1;
                 state.run = RunState::default();
+            }
+            TraceEvent::SloTransition {
+                tenant,
+                slo,
+                from,
+                to,
+                burn_long,
+                burn_short,
+                vt_secs,
+            } => {
+                let v = &mut state.violations;
+                if from == to {
+                    v.push(format!(
+                        "tenant {tenant} slo {slo}: self-loop transition {from} -> {to}"
+                    ));
+                }
+                let key = (tenant.clone(), *slo);
+                match state.alerts.get(&key) {
+                    None => {
+                        if *from != "ok" {
+                            v.push(format!(
+                                "tenant {tenant} slo {slo}: first transition departs from \
+                                 {from} (chains start at ok)"
+                            ));
+                        }
+                    }
+                    Some(chain) => {
+                        if chain.state != *from {
+                            v.push(format!(
+                                "tenant {tenant} slo {slo}: transition from {from} but the \
+                                 chain is at {}",
+                                chain.state
+                            ));
+                        }
+                        if *vt_secs < chain.vt_secs - EPS {
+                            v.push(format!(
+                                "tenant {tenant} slo {slo}: transition at vt {vt_secs}s \
+                                 precedes the chain tail at {}s",
+                                chain.vt_secs
+                            ));
+                        }
+                    }
+                }
+                // An escalation without both burns crossing 1 is an alert
+                // without a crossing — the bug this invariant exists for.
+                if crate::slo::alert_rank(to) > crate::slo::alert_rank(from)
+                    && (*burn_long < 1.0 - EPS || *burn_short < 1.0 - EPS)
+                {
+                    v.push(format!(
+                        "tenant {tenant} slo {slo}: escalation {from} -> {to} with burns \
+                         {burn_long}/{burn_short} below 1"
+                    ));
+                }
+                state.alerts.insert(
+                    key,
+                    AlertChain {
+                        state: to,
+                        vt_secs: *vt_secs,
+                    },
+                );
             }
             _ => {}
         }
@@ -959,6 +1037,171 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.contains("retry_attempt events (must be 0)")));
+    }
+
+    fn transition(
+        tenant: &str,
+        slo: &'static str,
+        from: &'static str,
+        to: &'static str,
+        burns: f64,
+        vt_secs: f64,
+    ) -> TraceEvent {
+        TraceEvent::SloTransition {
+            tenant: tenant.to_string(),
+            slo,
+            from,
+            to,
+            burn_long: burns,
+            burn_short: burns,
+            vt_secs,
+        }
+    }
+
+    #[test]
+    fn well_founded_alert_chains_pass() {
+        let audit = AuditTracer::new();
+        audit.record(&transition(
+            "acme",
+            "latency-p95",
+            "ok",
+            "warning",
+            1.4,
+            5.0,
+        ));
+        audit.record(&transition(
+            "acme",
+            "latency-p95",
+            "warning",
+            "paging",
+            3.0,
+            9.0,
+        ));
+        // De-escalation needs no crossing burns.
+        audit.record(&transition(
+            "acme",
+            "latency-p95",
+            "paging",
+            "ok",
+            0.1,
+            20.0,
+        ));
+        // A direct ok -> paging jump is legal when both burns cross.
+        audit.record(&transition(
+            "acme",
+            "failure-rate",
+            "ok",
+            "paging",
+            4.0,
+            6.0,
+        ));
+        // Another tenant's chain is independent.
+        audit.record(&transition(
+            "beta",
+            "latency-p95",
+            "ok",
+            "warning",
+            2.0,
+            1.0,
+        ));
+        audit.assert_clean();
+    }
+
+    #[test]
+    fn alert_chains_survive_run_boundaries() {
+        let audit = AuditTracer::new();
+        audit.record(&transition(
+            "acme",
+            "latency-p95",
+            "ok",
+            "warning",
+            1.5,
+            3.0,
+        ));
+        // A new run starts: run state resets, alert chains must not.
+        audit.record(&TraceEvent::RunStarted {
+            run: 2,
+            instances: 0,
+            batches: 0,
+            requests: 0,
+        });
+        // Restarting the chain from ok without de-escalating is a break.
+        audit.record(&transition(
+            "acme",
+            "latency-p95",
+            "ok",
+            "warning",
+            1.5,
+            4.0,
+        ));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("the chain is at warning")));
+    }
+
+    #[test]
+    fn detects_broken_alert_chains() {
+        // First transition must depart from ok.
+        let audit = AuditTracer::new();
+        audit.record(&transition(
+            "acme",
+            "latency-p95",
+            "warning",
+            "paging",
+            3.0,
+            1.0,
+        ));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("chains start at ok")));
+        // Self-loops are never legal.
+        let audit = AuditTracer::new();
+        audit.record(&transition("acme", "latency-p95", "ok", "ok", 0.0, 1.0));
+        assert!(audit.violations().iter().any(|v| v.contains("self-loop")));
+        // Virtual time must not run backwards along a chain.
+        let audit = AuditTracer::new();
+        audit.record(&transition(
+            "acme",
+            "latency-p95",
+            "ok",
+            "warning",
+            1.5,
+            9.0,
+        ));
+        audit.record(&transition(
+            "acme",
+            "latency-p95",
+            "warning",
+            "ok",
+            0.0,
+            3.0,
+        ));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("precedes the chain tail")));
+    }
+
+    #[test]
+    fn detects_escalation_without_a_crossing() {
+        let audit = AuditTracer::new();
+        // Paging with a short-window burn below 1: no crossing, no page.
+        audit.record(&TraceEvent::SloTransition {
+            tenant: "acme".to_string(),
+            slo: "latency-p95",
+            from: "ok",
+            to: "paging",
+            burn_long: 5.0,
+            burn_short: 0.4,
+            vt_secs: 2.0,
+        });
+        assert!(
+            audit.violations().iter().any(|v| v.contains("below 1")),
+            "{:?}",
+            audit.violations()
+        );
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub fn reconcile(sections: [usize; 5], billed: usize) -> [usize; 6] {
 /// maps to `"other"` — snapshots rebuilt from a trace produced by this
 /// workspace only ever see known labels.
 pub fn intern_label(label: &str) -> &'static str {
-    const KNOWN: [&str; 31] = [
+    const KNOWN: [&str; 37] = [
         // components
         TASK_SPEC,
         ANSWER_FORMAT,
@@ -103,6 +103,14 @@ pub fn intern_label(label: &str) -> &'static str {
         "closed",
         "open",
         "half-open",
+        // SLO alert states
+        "ok",
+        "warning",
+        "paging",
+        // SLO objective kinds
+        "latency-p95",
+        "failure-rate",
+        "budget-headroom",
         // stages
         "plan",
         "prompt-build",

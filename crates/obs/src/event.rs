@@ -271,6 +271,29 @@ pub enum TraceEvent {
         /// Why the job did not complete.
         reason: String,
     },
+    /// A tenant's SLO alert changed state (`ok` / `warning` / `paging`).
+    /// Emitted by the SLO engine when a multi-window burn rate crosses an
+    /// objective's threshold; the burn values are the evidence for the
+    /// crossing, measured at virtual time `vt_secs` on the tenant's
+    /// sequential-account clock.
+    SloTransition {
+        /// Tenant whose objective changed state.
+        tenant: String,
+        /// Objective kind label (`latency-p95` / `failure-rate` /
+        /// `budget-headroom`).
+        slo: &'static str,
+        /// Alert state before the crossing.
+        from: &'static str,
+        /// Alert state after the crossing.
+        to: &'static str,
+        /// Long-window burn rate at the crossing (1.0 = burning the error
+        /// budget exactly at the sustainable rate).
+        burn_long: f64,
+        /// Short-window burn rate at the crossing.
+        burn_short: f64,
+        /// Virtual time of the crossing on the tenant's sequential clock.
+        vt_secs: f64,
+    },
     /// The run finished; the ledger the run reported.
     RunFinished {
         /// Run id.
@@ -324,6 +347,7 @@ impl TraceEvent {
             TraceEvent::JobAccepted { .. } => "job_accepted",
             TraceEvent::JobCompleted { .. } => "job_completed",
             TraceEvent::JobRejected { .. } => "job_rejected",
+            TraceEvent::SloTransition { .. } => "slo_transition",
             TraceEvent::RunFinished { .. } => "run_finished",
         }
     }
@@ -352,6 +376,7 @@ impl TraceEvent {
             | TraceEvent::JobAccepted { .. }
             | TraceEvent::JobCompleted { .. }
             | TraceEvent::JobRejected { .. }
+            | TraceEvent::SloTransition { .. }
             | TraceEvent::RunFinished { .. } => None,
         }
     }

@@ -275,6 +275,23 @@ pub fn event_to_json(event: &TraceEvent) -> String {
         TraceEvent::JobRejected { tenant, reason } => {
             line.str("tenant", tenant).str("reason", reason);
         }
+        TraceEvent::SloTransition {
+            tenant,
+            slo,
+            from,
+            to,
+            burn_long,
+            burn_short,
+            vt_secs,
+        } => {
+            line.str("tenant", tenant)
+                .str("slo", slo)
+                .str("from", from)
+                .str("to", to)
+                .f64("burn_long", *burn_long)
+                .f64("burn_short", *burn_short)
+                .f64("vt_secs", *vt_secs);
+        }
         TraceEvent::RunFinished {
             run,
             instances,
@@ -471,6 +488,15 @@ pub fn event_from_json(value: &Json) -> Result<TraceEvent, String> {
         "job_rejected" => Ok(TraceEvent::JobRejected {
             tenant: so("tenant")?,
             reason: so("reason")?,
+        }),
+        "slo_transition" => Ok(TraceEvent::SloTransition {
+            tenant: so("tenant")?,
+            slo: s("slo")?,
+            from: s("from")?,
+            to: s("to")?,
+            burn_long: f("burn_long")?,
+            burn_short: f("burn_short")?,
+            vt_secs: f("vt_secs")?,
         }),
         "run_finished" => Ok(TraceEvent::RunFinished {
             run: u("run")?,
@@ -735,6 +761,15 @@ mod tests {
             TraceEvent::JobRejected {
                 tenant: "bmce".to_string(),
                 reason: "tenant \"bmce\" token budget exhausted".to_string(),
+            },
+            TraceEvent::SloTransition {
+                tenant: "acme".to_string(),
+                slo: "latency-p95",
+                from: "ok",
+                to: "warning",
+                burn_long: 1.25,
+                burn_short: 2.5,
+                vt_secs: 42.5,
             },
             TraceEvent::RunFinished {
                 run: 7,

@@ -43,6 +43,16 @@
 //!   sum of fresh attempts, cache hits bill zero fresh tokens, and prompt
 //!   component attributions sum to exactly the billed prompt tokens. A
 //!   violation is a bug in the serving stack, never in the data.
+//! * [`window`] — [`WindowAggregator`], a sliding window (ring of
+//!   fixed-width buckets over the sequential-account virtual clock)
+//!   producing current rates, error rate, and latency quantiles that are
+//!   bit-identical across worker counts and repeat runs.
+//! * [`slo`] — [`SloEngine`], declarative objectives (latency p95,
+//!   failure rate, budget headroom) evaluated with multi-window burn-rate
+//!   rules; alert transitions are first-class
+//!   [`TraceEvent::SloTransition`] events.
+//! * [`recorder`] — [`FlightRecorder`], a bounded ring of recent events
+//!   dumped atomically to a postmortem JSONL file when an alert pages.
 //!
 //! The crate is dependency-free (std only) and sits below `dprep-llm` and
 //! `dprep-core` in the workspace DAG: the middleware layers and the
@@ -62,9 +72,12 @@ pub mod export;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
+pub mod slo;
 pub mod span;
 pub mod tracer;
+pub mod window;
 
 pub use audit::AuditTracer;
 pub use event::TraceEvent;
@@ -72,9 +85,12 @@ pub use export::{parse_trace, JsonlTracer};
 pub use journal::{DurableJournal, JournalEntry, JournalHeader, ResumedJournal, TerminalKind};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsRecorder, MetricsSnapshot};
+pub use recorder::FlightRecorder;
 pub use report::{render_prom_tenants, ReportFormat, RunReport};
+pub use slo::{SloEngine, SloKind, SloSpec, PAGE_FACTOR};
 pub use span::{SpanProfile, SpanProfileBuilder, SpanStat};
 pub use tracer::{CollectingTracer, MultiTracer, NullTracer, Tracer};
+pub use window::{WindowAggregator, WindowConfig, WindowCounts, WindowSnapshot};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -207,7 +207,7 @@ impl Histogram {
 }
 
 /// Converts virtual seconds to the microsecond ticks histograms store.
-fn micros(secs: f64) -> u64 {
+pub(crate) fn micros(secs: f64) -> u64 {
     (secs * 1e6).round().max(0.0) as u64
 }
 
@@ -830,6 +830,97 @@ mod tests {
         assert_eq!(parsed.journal_replayed, 0);
         assert_eq!(parsed.journal_written, 0);
         assert_eq!(parsed.journal_truncated, 0);
+    }
+
+    #[test]
+    fn full_snapshot_round_trips_end_to_end() {
+        // Every counter populated at once — including the failures map
+        // with several kinds and all three journal counters — written to
+        // JSON text, reparsed, and compared field-for-field. This is the
+        // path `dprep serve` uses to ship per-tenant snapshots over TCP.
+        let rec = MetricsRecorder::new();
+        for (request, fault) in [(1u64, None), (2, Some("timeout")), (3, Some("garbled"))] {
+            rec.record(&TraceEvent::Completed {
+                request,
+                worker: 0,
+                cache_hit: false,
+                retries: u32::from(fault.is_some()),
+                fault,
+                prompt_tokens: 150,
+                completion_tokens: 15,
+                attempt_prompt_tokens: 150,
+                attempt_completion_tokens: 15,
+                cost_usd: 0.25,
+                latency_secs: 2.0,
+                vt_start_secs: 0.0,
+                vt_end_secs: 2.0,
+            });
+        }
+        rec.record(&TraceEvent::Deduped {
+            request: 1,
+            batch: 7,
+        });
+        rec.record(&TraceEvent::FaultInjected {
+            request: 2,
+            kind: "timeout",
+        });
+        rec.record(&TraceEvent::Parsed {
+            request: 1,
+            instance: 0,
+        });
+        for (instance, kind) in [
+            (1, "skipped-answer"),
+            (2, "format-violation"),
+            (3, "context-overflow"),
+            (4, "skipped-answer"),
+        ] {
+            rec.record(&TraceEvent::Failed {
+                request: 1,
+                instance,
+                kind,
+            });
+        }
+        rec.record(&TraceEvent::Cancelled {
+            request: 9,
+            reason: "deadline",
+        });
+        rec.record(&TraceEvent::BatchSplit {
+            request: 8,
+            instances: 6,
+        });
+        rec.record(&TraceEvent::Replayed { request: 4 });
+        rec.record(&TraceEvent::JournalState {
+            run: 1,
+            replayed: 1,
+            written: 5,
+            truncated: 2,
+        });
+        let live = rec.snapshot();
+        assert_eq!(live.failures.len(), 3, "three distinct failure kinds");
+        assert_eq!(live.failures.get("skipped-answer"), Some(&2));
+        assert_eq!(live.failed(), 4);
+        assert_eq!(live.journal_replayed, 1);
+        assert_eq!(live.journal_written, 5);
+        assert_eq!(live.journal_truncated, 2);
+
+        let text = live.to_json().to_json();
+        let rebuilt =
+            MetricsSnapshot::from_json(&crate::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(rebuilt, live, "text round trip must be lossless");
+        assert_eq!(rebuilt.failures, live.failures);
+        assert_eq!(rebuilt.faults_injected.get("timeout"), Some(&1));
+        assert_eq!(rebuilt.journal_replayed, live.journal_replayed);
+        assert_eq!(rebuilt.journal_written, live.journal_written);
+        assert_eq!(rebuilt.journal_truncated, live.journal_truncated);
+        // Serializing the rebuilt snapshot reproduces the exact bytes.
+        assert_eq!(rebuilt.to_json().to_json(), text);
+        // A failure kind outside the vocabulary interns to "other"
+        // instead of leaking arbitrary strings into the static map.
+        let hostile = text.replace("skipped-answer", "totally-novel-kind");
+        let parsed =
+            MetricsSnapshot::from_json(&crate::json::Json::parse(&hostile).unwrap()).unwrap();
+        assert_eq!(parsed.failures.get("other"), Some(&2));
+        assert_eq!(parsed.failed(), live.failed());
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! The flight recorder: a bounded ring of recent trace events that dumps
+//! itself to a postmortem file when an alert pages.
+//!
+//! Always-on JSONL tracing at serving volume is unbounded; no tracing at
+//! all means an incident arrives with no context. The recorder is the
+//! middle ground an aircraft data recorder occupies: every event is
+//! serialized into a fixed-capacity ring (oldest lines evicted first),
+//! costing O(capacity) memory however long the daemon runs. When an
+//! [`SloTransition`](crate::TraceEvent::SloTransition) reaches `paging`,
+//! the ring is dumped **atomically** — written to a temp file and renamed
+//! into place — so a postmortem reader never sees a torn file, and the
+//! moments *leading up to* the page survive without always-on tracing.
+//!
+//! Dump files are numbered by a per-recorder sequence
+//! (`postmortem-0001-<tenant>.jsonl`), not timestamped: the daemon's
+//! observability plane is deterministic over virtual time, and wall-clock
+//! names would break repeat-run comparisons. Each dump ends with the
+//! triggering transition itself, so the last line of a postmortem is
+//! always the page that caused it.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+use crate::export::event_to_json;
+use crate::tracer::Tracer;
+
+/// A bounded ring of serialized trace lines with page-triggered atomic
+/// dumps. Thread-safe; install it as one sink of a
+/// [`MultiTracer`](crate::MultiTracer) or drive it directly.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    dir: PathBuf,
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: VecDeque<String>,
+    /// Dumps written so far; names the next postmortem file.
+    dumps: u64,
+    /// First error encountered while dumping, if any (observability must
+    /// never take down serving, so dump failures park here instead of
+    /// panicking).
+    last_error: Option<String>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events, dumping into
+    /// `dir` (created on first dump).
+    pub fn new(dir: &Path, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::with_capacity(capacity.max(1)),
+                dumps: 0,
+                last_error: None,
+            }),
+            capacity: capacity.max(1),
+            dir: dir.to_path_buf(),
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("recorder lock").ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Postmortem files written so far.
+    pub fn dumps(&self) -> u64 {
+        self.inner.lock().expect("recorder lock").dumps
+    }
+
+    /// The first dump error, if any dump failed.
+    pub fn last_error(&self) -> Option<String> {
+        self.inner.lock().expect("recorder lock").last_error.clone()
+    }
+
+    /// Dumps the current ring unconditionally (the paging path calls this
+    /// internally). Returns the postmortem path on success.
+    pub fn dump(&self, tenant: &str) -> std::io::Result<PathBuf> {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        Self::write_dump(&self.dir, &mut inner, tenant)
+    }
+
+    /// Writes `inner.ring` to `postmortem-<seq>-<tenant>.jsonl` via a
+    /// temp file + rename, so the final path only ever holds a complete
+    /// dump.
+    fn write_dump(dir: &Path, inner: &mut Inner, tenant: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        inner.dumps += 1;
+        let name = format!("postmortem-{:04}-{}.jsonl", inner.dumps, sanitize(tenant));
+        let path = dir.join(&name);
+        let tmp = dir.join(format!("{name}.tmp"));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            for line in &inner.ring {
+                writeln!(file, "{line}")?;
+            }
+            file.flush()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+/// Keeps tenant-derived file names to a safe alphabet.
+fn sanitize(tenant: &str) -> String {
+    let cleaned: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "tenant".to_string()
+    } else {
+        cleaned
+    }
+}
+
+impl Tracer for FlightRecorder {
+    fn record(&self, event: &TraceEvent) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(event_to_json(event));
+        if let TraceEvent::SloTransition {
+            tenant,
+            to: "paging",
+            ..
+        } = event
+        {
+            let tenant = tenant.clone();
+            if let Err(err) = Self::write_dump(&self.dir, &mut inner, &tenant) {
+                inner.last_error = Some(format!("postmortem dump failed: {err}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::parse_trace;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dprep-recorder-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn paging(tenant: &str) -> TraceEvent {
+        TraceEvent::SloTransition {
+            tenant: tenant.to_string(),
+            slo: "latency-p95",
+            from: "ok",
+            to: "paging",
+            burn_long: 3.0,
+            burn_short: 4.0,
+            vt_secs: 12.0,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let dir = tmp_dir("ring");
+        let recorder = FlightRecorder::new(&dir, 3);
+        for instance in 0..10 {
+            recorder.record(&TraceEvent::Parsed {
+                request: 1,
+                instance,
+            });
+        }
+        assert_eq!(recorder.len(), 3);
+        let path = recorder.dump("acme").unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let events = parse_trace(&contents).unwrap();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[2], TraceEvent::Parsed { instance: 9, .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paging_transition_triggers_an_atomic_dump_ending_with_the_page() {
+        let dir = tmp_dir("page");
+        let recorder = FlightRecorder::new(&dir, 16);
+        recorder.record(&TraceEvent::Parsed {
+            request: 7,
+            instance: 0,
+        });
+        // A warning does not dump.
+        recorder.record(&TraceEvent::SloTransition {
+            tenant: "acme".to_string(),
+            slo: "latency-p95",
+            from: "ok",
+            to: "warning",
+            burn_long: 1.2,
+            burn_short: 1.5,
+            vt_secs: 5.0,
+        });
+        assert_eq!(recorder.dumps(), 0);
+        recorder.record(&paging("acme"));
+        assert_eq!(recorder.dumps(), 1);
+        assert_eq!(recorder.last_error(), None);
+        let path = dir.join("postmortem-0001-acme.jsonl");
+        let events = parse_trace(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(events.len(), 3);
+        assert!(
+            matches!(
+                events.last(),
+                Some(TraceEvent::SloTransition { to: "paging", .. })
+            ),
+            "postmortem must end with the page itself"
+        );
+        // No torn temp file left behind.
+        assert!(!dir.join("postmortem-0001-acme.jsonl.tmp").exists());
+        // A second page writes a new numbered file, not an overwrite.
+        recorder.record(&paging("acme"));
+        assert!(dir.join("postmortem-0002-acme.jsonl").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_tenant_names_cannot_escape_the_dump_dir() {
+        let dir = tmp_dir("hostile");
+        let recorder = FlightRecorder::new(&dir, 4);
+        recorder.record(&paging("../../etc/passwd"));
+        assert_eq!(recorder.dumps(), 1);
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries.len(), 1);
+        assert!(
+            entries[0].starts_with("postmortem-0001-") && !entries[0].contains('/'),
+            "{entries:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

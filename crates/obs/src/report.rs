@@ -40,6 +40,26 @@ impl ReportFormat {
     }
 }
 
+/// One SLO alert transition lifted from a trace, in trace order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRow {
+    /// The tenant whose objective transitioned.
+    pub tenant: String,
+    /// The objective label (`latency-p95` / `failure-rate` /
+    /// `budget-headroom`).
+    pub slo: &'static str,
+    /// Alert state departed.
+    pub from: &'static str,
+    /// Alert state entered.
+    pub to: &'static str,
+    /// Long-window burn rate at the transition.
+    pub burn_long: f64,
+    /// Short-window burn rate at the transition.
+    pub burn_short: f64,
+    /// Virtual instant of the transition.
+    pub vt_secs: f64,
+}
+
 /// One run's aggregate, loaded from a trace or a snapshot file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -48,6 +68,9 @@ pub struct RunReport {
     /// The span-tree profile; empty when loaded from a snapshot file
     /// (snapshots carry no span data).
     pub profile: SpanProfile,
+    /// The SLO alert timeline, in trace order; empty when loaded from a
+    /// snapshot file or when the trace carries no `slo_transition` events.
+    pub alerts: Vec<AlertRow>,
 }
 
 impl RunReport {
@@ -66,13 +89,38 @@ impl RunReport {
             return Ok(RunReport {
                 metrics,
                 profile: SpanProfile::new(),
+                alerts: Vec::new(),
             });
         }
         if probe.get("event").is_some() {
             let events = parse_trace(contents)?;
+            let alerts = events
+                .iter()
+                .filter_map(|event| match event {
+                    crate::event::TraceEvent::SloTransition {
+                        tenant,
+                        slo,
+                        from,
+                        to,
+                        burn_long,
+                        burn_short,
+                        vt_secs,
+                    } => Some(AlertRow {
+                        tenant: tenant.clone(),
+                        slo,
+                        from,
+                        to,
+                        burn_long: *burn_long,
+                        burn_short: *burn_short,
+                        vt_secs: *vt_secs,
+                    }),
+                    _ => None,
+                })
+                .collect();
             return Ok(RunReport {
                 metrics: MetricsSnapshot::from_events(&events),
                 profile: SpanProfile::from_events(&events),
+                alerts,
             });
         }
         Err(
@@ -110,6 +158,23 @@ impl RunReport {
         );
         out.push('\n');
         out.push_str(&m.summary());
+        if !self.alerts.is_empty() {
+            out.push('\n');
+            out.push_str("alert timeline (virtual time)\n");
+            for alert in &self.alerts {
+                let _ = writeln!(
+                    out,
+                    "  vt {:>9.2}s  {:<12} {:<15} {} -> {}  (burn {:.2}/{:.2})",
+                    alert.vt_secs,
+                    alert.tenant,
+                    alert.slo,
+                    alert.from,
+                    alert.to,
+                    alert.burn_long,
+                    alert.burn_short,
+                );
+            }
+        }
         if !self.profile.is_empty() {
             out.push('\n');
             out.push_str("span profile\n");
@@ -118,11 +183,28 @@ impl RunReport {
         out
     }
 
-    /// The report as one JSON object (`metrics` + `span_profile`).
+    /// The report as one JSON object (`metrics` + `span_profile` +
+    /// `alerts`).
     pub fn render_json(&self) -> String {
+        let alerts: Vec<Json> = self
+            .alerts
+            .iter()
+            .map(|a| {
+                Json::Obj(vec![
+                    ("tenant".into(), Json::Str(a.tenant.clone())),
+                    ("slo".into(), Json::Str(a.slo.to_string())),
+                    ("from".into(), Json::Str(a.from.to_string())),
+                    ("to".into(), Json::Str(a.to.to_string())),
+                    ("burn_long".into(), Json::Num(a.burn_long)),
+                    ("burn_short".into(), Json::Num(a.burn_short)),
+                    ("vt_secs".into(), Json::Num(a.vt_secs)),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             ("metrics".into(), self.metrics.to_json()),
             ("span_profile".into(), self.profile.to_json()),
+            ("alerts".into(), Json::Arr(alerts)),
         ])
         .to_json()
     }
@@ -250,6 +332,28 @@ impl RunReport {
             "dprep_request_latency_seconds_count {}",
             m.latency_us.count()
         );
+        if !self.alerts.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP dprep_slo_transitions_total SLO alert transitions by tenant, \
+                 objective, and state entered."
+            );
+            let _ = writeln!(out, "# TYPE dprep_slo_transitions_total counter");
+            let mut by_key: std::collections::BTreeMap<(String, &str, &str), usize> =
+                std::collections::BTreeMap::new();
+            for alert in &self.alerts {
+                *by_key
+                    .entry((alert.tenant.clone(), alert.slo, alert.to))
+                    .or_insert(0) += 1;
+            }
+            for ((tenant, slo, to), n) in by_key {
+                let _ = writeln!(
+                    out,
+                    "dprep_slo_transitions_total{{tenant=\"{}\",slo=\"{slo}\",to=\"{to}\"}} {n}",
+                    escape_label(&tenant)
+                );
+            }
+        }
         out
     }
 
@@ -396,7 +500,8 @@ pub fn render_prom_tenants(
         for (tenant, m) in tenants {
             let _ = writeln!(
                 out,
-                "{name}{{tenant=\"{tenant}\"}} {}",
+                "{name}{{tenant=\"{}\"}} {}",
+                escape_label(tenant),
                 Json::Num(value(m)).to_json()
             );
         }
@@ -410,8 +515,28 @@ pub fn render_prom_tenants(
         for (kind, n) in &m.failures {
             let _ = writeln!(
                 out,
-                "dprep_tenant_failures_total{{tenant=\"{tenant}\",kind=\"{kind}\"}} {n}"
+                "dprep_tenant_failures_total{{tenant=\"{}\",kind=\"{}\"}} {n}",
+                escape_label(tenant),
+                escape_label(kind),
             );
+        }
+    }
+    out
+}
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
+/// Without this, a hostile tenant name like `x",evil="1` would inject
+/// extra labels — or whole extra series via an embedded newline — into
+/// the scrape body.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
         }
     }
     out
@@ -567,6 +692,78 @@ mod tests {
             prom.contains("dprep_tenant_failures_total{tenant=\"acme\",kind=\"skipped-answer\"} 1"),
             "{prom}"
         );
+    }
+
+    #[test]
+    fn prom_label_values_escape_injection_attempts() {
+        let mut tenants = std::collections::BTreeMap::new();
+        // A tenant name that would inject an extra label and an extra
+        // series if interpolated raw.
+        let hostile = "acme\",evil=\"1\"} 999\ninjected_total{x=\"y".to_string();
+        tenants.insert(hostile.clone(), MetricsSnapshot::default());
+        tenants.insert("back\\slash".to_string(), MetricsSnapshot::default());
+        let prom = render_prom_tenants(&tenants);
+        // Every non-comment line is exactly `name{labels} value` — the
+        // newline smuggled in the tenant name must not mint a new line.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.starts_with("dprep_tenant_"),
+                "injected series leaked: {line}"
+            );
+        }
+        assert!(
+            prom.contains("tenant=\"acme\\\",evil=\\\"1\\\"} 999\\ninjected_total{x=\\\"y\""),
+            "{prom}"
+        );
+        assert!(prom.contains("tenant=\"back\\\\slash\""), "{prom}");
+        assert_eq!(escape_label("plain-name"), "plain-name");
+    }
+
+    #[test]
+    fn alert_timeline_renders_in_all_formats() {
+        let mut trace = sample_trace();
+        trace.push_str(&event_to_json(&TraceEvent::SloTransition {
+            tenant: "acme".to_string(),
+            slo: "latency-p95",
+            from: "ok",
+            to: "warning",
+            burn_long: 1.5,
+            burn_short: 2.0,
+            vt_secs: 2.0,
+        }));
+        trace.push('\n');
+        trace.push_str(&event_to_json(&TraceEvent::SloTransition {
+            tenant: "acme".to_string(),
+            slo: "latency-p95",
+            from: "warning",
+            to: "paging",
+            burn_long: 3.0,
+            burn_short: 4.0,
+            vt_secs: 5.0,
+        }));
+        trace.push('\n');
+        let report = RunReport::from_contents(&trace).unwrap();
+        assert_eq!(report.alerts.len(), 2);
+        assert_eq!(report.alerts[1].to, "paging");
+        let text = report.render(ReportFormat::Text);
+        assert!(text.contains("alert timeline"), "{text}");
+        assert!(text.contains("warning -> paging"), "{text}");
+        let json = Json::parse(&report.render(ReportFormat::Json)).unwrap();
+        let alerts = json.get("alerts").and_then(Json::as_arr).unwrap();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[0].get("to").and_then(Json::as_str), Some("warning"));
+        let prom = report.render(ReportFormat::Prom);
+        assert!(
+            prom.contains(
+                "dprep_slo_transitions_total{tenant=\"acme\",slo=\"latency-p95\",to=\"paging\"} 1"
+            ),
+            "{prom}"
+        );
+        // A trace without transitions renders no alert section.
+        let quiet = RunReport::from_contents(&sample_trace()).unwrap();
+        assert!(quiet.alerts.is_empty());
+        assert!(!quiet.render(ReportFormat::Text).contains("alert timeline"));
+        assert!(!quiet.render(ReportFormat::Prom).contains("slo_transitions"));
     }
 
     #[test]

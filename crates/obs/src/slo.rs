@@ -1,0 +1,573 @@
+//! Declarative service-level objectives with multi-window burn-rate
+//! alerting.
+//!
+//! An [`SloSpec`] names an objective over the windowed event stream —
+//! latency p95, failure rate, or tenant budget headroom — and its target.
+//! The [`SloEngine`] folds the same fold-ordered events as
+//! [`WindowAggregator`](crate::window::WindowAggregator) into per-objective
+//! good/bad rings (same bucket geometry, same virtual clock) and evaluates
+//! the classic multi-window burn-rate rule: the alert escalates only when
+//! **both** the long window (the whole ring) and the short window (the
+//! newest quarter) burn error budget faster than allowed. The long window
+//! keeps a brief blip from paging anyone; the short window lets a
+//! recovered incident step back down instead of alerting for the rest of
+//! the ring span.
+//!
+//! ## Burn rate, unified across objective kinds
+//!
+//! Burn = observed badness as a multiple of the budgeted badness:
+//!
+//! - `latency-p95=T`: a fresh request is *bad* when its virtual latency
+//!   exceeds `T` seconds. The error budget is 5% of requests (p95), so
+//!   burn `= bad_fraction / 0.05`.
+//! - `failure-rate=F`: a terminal instance is *bad* when it failed; the
+//!   budget is `F` itself, so burn `= failed_fraction / F`.
+//! - `headroom=H`: level-based — the daemon reports the tenant's remaining
+//!   budget fraction after each job, and burn `= H / actual`: exactly at
+//!   target burns 1.0, half the target burns 2.0.
+//!
+//! In every case burn ≥ 1 means the objective is being missed and burn ≥
+//! [`PAGE_FACTOR`] means it is being missed badly; `ok → warning` needs
+//! both windows ≥ 1, `→ paging` needs both ≥ [`PAGE_FACTOR`]. Direct
+//! `ok → paging` jumps are legal (a hard spike crosses both thresholds in
+//! one evaluation); [`crate::AuditTracer`] checks that every escalation
+//! carries crossing burns.
+//!
+//! Because the rings advance on the same sequential-account clock as the
+//! window (see `crate::window`), the full transition timeline is
+//! deterministic across `--workers` counts and repeat runs.
+
+use crate::event::TraceEvent;
+use crate::window::WindowConfig;
+
+/// Burn multiple at which an alert escalates to `paging` (both windows).
+pub const PAGE_FACTOR: f64 = 2.0;
+
+/// Error budget for the latency objective: p95 tolerates 5% slow requests.
+const LATENCY_BUDGET: f64 = 0.05;
+
+/// Alert severity rank, for escalation checks (`ok` < `warning` <
+/// `paging`). Unknown labels rank highest so a corrupt trace can never
+/// disguise an escalation as a step down.
+pub fn alert_rank(state: &str) -> u8 {
+    match state {
+        "ok" => 0,
+        "warning" => 1,
+        _ => 2,
+    }
+}
+
+/// What an objective measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloKind {
+    /// 95th-percentile fresh-request latency must stay at or under the
+    /// target, in virtual seconds.
+    LatencyP95,
+    /// Failed instances must stay at or under the target fraction of
+    /// terminal instances.
+    FailureRate,
+    /// The tenant's remaining budget fraction must stay at or above the
+    /// target.
+    BudgetHeadroom,
+}
+
+impl SloKind {
+    /// The interned label events and reports carry.
+    pub fn label(self) -> &'static str {
+        match self {
+            SloKind::LatencyP95 => "latency-p95",
+            SloKind::FailureRate => "failure-rate",
+            SloKind::BudgetHeadroom => "budget-headroom",
+        }
+    }
+}
+
+/// One declarative objective: a kind and its target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// What is measured.
+    pub kind: SloKind,
+    /// The target (seconds for latency, a fraction for the others).
+    pub target: f64,
+}
+
+impl SloSpec {
+    /// Parses a comma-separated objective list, e.g.
+    /// `latency-p95=2.5,failure-rate=0.2,headroom=0.25`. Keys:
+    /// `latency-p95`, `failure-rate`, `headroom` (alias
+    /// `budget-headroom`). Targets must be positive; fractions at most 1.
+    pub fn parse_list(spec: &str) -> Result<Vec<SloSpec>, String> {
+        let mut out = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("slo `{part}`: expected key=target"))?;
+            let target: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("slo `{part}`: target is not a number"))?;
+            if !target.is_finite() || target <= 0.0 {
+                return Err(format!("slo `{part}`: target must be positive"));
+            }
+            let kind = match key.trim() {
+                "latency-p95" => SloKind::LatencyP95,
+                "failure-rate" => SloKind::FailureRate,
+                "headroom" | "budget-headroom" => SloKind::BudgetHeadroom,
+                other => return Err(format!("slo `{other}`: unknown objective")),
+            };
+            if kind != SloKind::LatencyP95 && target > 1.0 {
+                return Err(format!("slo `{part}`: fraction targets must be <= 1"));
+            }
+            if out.iter().any(|s: &SloSpec| s.kind == kind) {
+                return Err(format!("slo `{key}`: duplicate objective"));
+            }
+            out.push(SloSpec { kind, target });
+        }
+        Ok(out)
+    }
+}
+
+/// A ring of (good, bad) counters sharing the window's bucket geometry.
+#[derive(Debug, Clone)]
+struct BurnRing {
+    config: WindowConfig,
+    head: usize,
+    slots: Vec<(usize, u64, u64)>,
+}
+
+impl BurnRing {
+    fn new(config: WindowConfig) -> BurnRing {
+        BurnRing {
+            config,
+            head: 0,
+            slots: vec![(usize::MAX, 0, 0); config.buckets],
+        }
+    }
+
+    fn record(&mut self, vt: f64, bad: bool) {
+        let index = (vt / self.config.bucket_secs).max(0.0) as usize;
+        if index > self.head {
+            self.head = index;
+        }
+        let index = index.max(self.head.saturating_sub(self.config.buckets - 1));
+        let slot = index % self.config.buckets;
+        if self.slots[slot].0 != index {
+            self.slots[slot] = (index, 0, 0);
+        }
+        if bad {
+            self.slots[slot].2 += 1;
+        } else {
+            self.slots[slot].1 += 1;
+        }
+    }
+
+    /// `(good, bad)` over the newest `span` buckets.
+    fn counts(&self, span: usize) -> (u64, u64) {
+        let span = span.min(self.config.buckets);
+        let oldest = self.head.saturating_sub(span - 1);
+        let mut good = 0;
+        let mut bad = 0;
+        for index in oldest..=self.head {
+            let slot = self.slots[index % self.config.buckets];
+            if slot.0 == index {
+                good += slot.1;
+                bad += slot.2;
+            }
+        }
+        (good, bad)
+    }
+}
+
+/// One objective's live evaluation state.
+#[derive(Debug, Clone)]
+struct Objective {
+    spec: SloSpec,
+    ring: BurnRing,
+    /// Latest reported headroom fraction ([`SloKind::BudgetHeadroom`]).
+    headroom: Option<f64>,
+    state: &'static str,
+}
+
+impl Objective {
+    /// `(burn_long, burn_short)` at the current instant.
+    fn burns(&self, short_span: usize) -> (f64, f64) {
+        match self.spec.kind {
+            SloKind::BudgetHeadroom => {
+                // Level-based: both windows see the same current level.
+                let burn = match self.headroom {
+                    // Headroom that rounds to zero burns "infinitely";
+                    // cap it so arithmetic downstream stays finite.
+                    Some(actual) if actual > 1e-9 => self.spec.target / actual,
+                    Some(_) => 1e9,
+                    None => 0.0,
+                };
+                (burn, burn)
+            }
+            SloKind::LatencyP95 | SloKind::FailureRate => {
+                let budget = if self.spec.kind == SloKind::LatencyP95 {
+                    LATENCY_BUDGET
+                } else {
+                    self.spec.target
+                };
+                let burn = |(good, bad): (u64, u64)| {
+                    let total = good + bad;
+                    if total == 0 {
+                        0.0
+                    } else {
+                        (bad as f64 / total as f64) / budget
+                    }
+                };
+                (
+                    burn(self.ring.counts(self.ring.config.buckets)),
+                    burn(self.ring.counts(short_span)),
+                )
+            }
+        }
+    }
+}
+
+/// Evaluates a tenant's objectives over the fold-ordered event stream,
+/// emitting an [`TraceEvent::SloTransition`] whenever an alert changes
+/// state. Drive it with [`observe`](Self::observe) (same events, same
+/// order as the window aggregator) and [`note_headroom`](Self::note_headroom)
+/// after each settled job.
+#[derive(Debug)]
+pub struct SloEngine {
+    tenant: String,
+    config: WindowConfig,
+    objectives: Vec<Objective>,
+    /// Completion instant per request id, mirroring the window's map so
+    /// per-instance outcomes burn at their request's instant.
+    completed_at: std::collections::HashMap<u64, f64>,
+}
+
+impl SloEngine {
+    /// An engine with every objective in `ok`.
+    pub fn new(tenant: &str, specs: &[SloSpec], config: WindowConfig) -> SloEngine {
+        SloEngine {
+            tenant: tenant.to_string(),
+            config,
+            objectives: specs
+                .iter()
+                .map(|spec| Objective {
+                    spec: *spec,
+                    ring: BurnRing::new(config),
+                    headroom: None,
+                    state: "ok",
+                })
+                .collect(),
+            completed_at: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Feeds one fold-ordered event at virtual instant `vt` (the window
+    /// aggregator's clock *after* it observed the same event), returning
+    /// any alert transitions it caused.
+    pub fn observe(&mut self, event: &TraceEvent, vt: f64) -> Vec<TraceEvent> {
+        match event {
+            TraceEvent::Completed {
+                request,
+                cache_hit,
+                latency_secs,
+                ..
+            } => {
+                self.completed_at.insert(*request, vt);
+                if !*cache_hit {
+                    for objective in &mut self.objectives {
+                        if objective.spec.kind == SloKind::LatencyP95 {
+                            objective
+                                .ring
+                                .record(vt, *latency_secs > objective.spec.target);
+                        }
+                    }
+                }
+            }
+            TraceEvent::Parsed { request, .. } | TraceEvent::Failed { request, .. } => {
+                let at = self.completed_at.get(request).copied().unwrap_or(vt);
+                let bad = matches!(event, TraceEvent::Failed { .. });
+                for objective in &mut self.objectives {
+                    if objective.spec.kind == SloKind::FailureRate {
+                        objective.ring.record(at, bad);
+                    }
+                }
+            }
+            TraceEvent::RunFinished { .. } => self.completed_at.clear(),
+            _ => return Vec::new(),
+        }
+        self.evaluate(vt)
+    }
+
+    /// Reports the tenant's current budget headroom fraction (remaining /
+    /// total), returning any alert transitions it caused.
+    pub fn note_headroom(&mut self, fraction: f64, vt: f64) -> Vec<TraceEvent> {
+        let mut touched = false;
+        for objective in &mut self.objectives {
+            if objective.spec.kind == SloKind::BudgetHeadroom {
+                objective.headroom = Some(fraction.clamp(0.0, 1.0));
+                touched = true;
+            }
+        }
+        if touched {
+            self.evaluate(vt)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Re-evaluates every objective, emitting transitions on change.
+    fn evaluate(&mut self, vt: f64) -> Vec<TraceEvent> {
+        let short = self.config.short_buckets();
+        let mut transitions = Vec::new();
+        for objective in &mut self.objectives {
+            let (burn_long, burn_short) = objective.burns(short);
+            let next = if burn_long >= PAGE_FACTOR && burn_short >= PAGE_FACTOR {
+                "paging"
+            } else if burn_long >= 1.0 && burn_short >= 1.0 {
+                "warning"
+            } else {
+                "ok"
+            };
+            if next != objective.state {
+                transitions.push(TraceEvent::SloTransition {
+                    tenant: self.tenant.clone(),
+                    slo: objective.spec.kind.label(),
+                    from: objective.state,
+                    to: next,
+                    burn_long,
+                    burn_short,
+                    vt_secs: vt,
+                });
+                objective.state = next;
+            }
+        }
+        transitions
+    }
+
+    /// Current `(objective label, alert state, burn_long, burn_short)`
+    /// per objective, in spec order.
+    pub fn states(&self) -> Vec<(&'static str, &'static str, f64, f64)> {
+        let short = self.config.short_buckets();
+        self.objectives
+            .iter()
+            .map(|objective| {
+                let (long, short) = objective.burns(short);
+                (objective.spec.kind.label(), objective.state, long, short)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(request: u64, latency_secs: f64) -> TraceEvent {
+        TraceEvent::Completed {
+            request,
+            worker: 0,
+            cache_hit: false,
+            retries: 0,
+            fault: None,
+            prompt_tokens: 10,
+            completion_tokens: 1,
+            attempt_prompt_tokens: 10,
+            attempt_completion_tokens: 1,
+            cost_usd: 0.0,
+            latency_secs,
+            vt_start_secs: 0.0,
+            vt_end_secs: latency_secs,
+        }
+    }
+
+    fn config() -> WindowConfig {
+        WindowConfig {
+            bucket_secs: 1.0,
+            buckets: 8,
+        }
+    }
+
+    #[test]
+    fn spec_list_parses_and_rejects() {
+        let specs =
+            SloSpec::parse_list("latency-p95=2.5, failure-rate=0.2, headroom=0.25").unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].kind, SloKind::LatencyP95);
+        assert!((specs[0].target - 2.5).abs() < 1e-9);
+        assert_eq!(specs[2].kind, SloKind::BudgetHeadroom);
+        assert!(SloSpec::parse_list("").unwrap().is_empty());
+        assert!(SloSpec::parse_list("latency-p95").is_err());
+        assert!(SloSpec::parse_list("latency-p95=fast").is_err());
+        assert!(SloSpec::parse_list("latency-p95=-1").is_err());
+        assert!(SloSpec::parse_list("failure-rate=1.5").is_err());
+        assert!(SloSpec::parse_list("uptime=0.99").is_err());
+        assert!(SloSpec::parse_list("headroom=0.2,headroom=0.3").is_err());
+    }
+
+    #[test]
+    fn sustained_slow_traffic_pages_and_recovery_steps_down() {
+        let specs = SloSpec::parse_list("latency-p95=1.0").unwrap();
+        let mut engine = SloEngine::new("acme", &specs, config());
+        let mut vt = 0.0;
+        let mut timeline = Vec::new();
+        // Every request slow: bad fraction 1.0, burn 20 — both windows
+        // cross warning and paging thresholds at once.
+        for request in 1..=6u64 {
+            vt += 2.0;
+            timeline.extend(engine.observe(&completed(request, 2.0), vt));
+        }
+        assert!(!timeline.is_empty());
+        let TraceEvent::SloTransition {
+            from,
+            to,
+            burn_long,
+            burn_short,
+            ..
+        } = &timeline[0]
+        else {
+            panic!("expected transition");
+        };
+        assert_eq!((*from, *to), ("ok", "paging"), "direct jump is legal");
+        assert!(*burn_long >= PAGE_FACTOR && *burn_short >= PAGE_FACTOR);
+        // Fast traffic pushes the slow buckets out of the short window
+        // first (step down), then out of the ring entirely (ok).
+        for request in 7..=40u64 {
+            vt += 0.5;
+            timeline.extend(engine.observe(&completed(request, 0.1), vt));
+        }
+        let last = timeline.last().unwrap();
+        let TraceEvent::SloTransition { to, .. } = last else {
+            panic!("expected transition");
+        };
+        assert_eq!(*to, "ok", "timeline: {timeline:?}");
+        // Chain continuity: each from equals the previous to.
+        let mut prev = "ok";
+        for event in &timeline {
+            let TraceEvent::SloTransition { from, to, .. } = event else {
+                continue;
+            };
+            assert_eq!(*from, prev);
+            assert_ne!(from, to);
+            prev = to;
+        }
+    }
+
+    #[test]
+    fn failure_rate_objective_burns_on_failed_instances() {
+        let specs = SloSpec::parse_list("failure-rate=0.25").unwrap();
+        let mut engine = SloEngine::new("acme", &specs, config());
+        let mut transitions = Vec::new();
+        let mut vt = 0.0;
+        for request in 1..=4u64 {
+            vt += 1.0;
+            transitions.extend(engine.observe(&completed(request, 1.0), vt));
+            // Every instance fails: failed fraction 1.0, burn 4.0.
+            transitions.extend(engine.observe(
+                &TraceEvent::Failed {
+                    request,
+                    instance: request as usize,
+                    kind: "skipped-answer",
+                },
+                vt,
+            ));
+        }
+        let states = engine.states();
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].0, "failure-rate");
+        assert_eq!(states[0].1, "paging");
+        assert!(states[0].2 >= PAGE_FACTOR);
+        assert!(transitions
+            .iter()
+            .any(|t| matches!(t, TraceEvent::SloTransition { to: "paging", .. })));
+    }
+
+    #[test]
+    fn half_bad_traffic_warns_but_does_not_page() {
+        // failure-rate=0.5 with ~67% failures: burn ≈ 1.33 — above 1,
+        // below the page factor.
+        let specs = SloSpec::parse_list("failure-rate=0.5").unwrap();
+        let mut engine = SloEngine::new("acme", &specs, config());
+        let mut vt = 0.0;
+        for request in 1..=6u64 {
+            vt += 1.0;
+            engine.observe(&completed(request, 0.1), vt);
+            engine.observe(
+                &TraceEvent::Failed {
+                    request,
+                    instance: 0,
+                    kind: "skipped-answer",
+                },
+                vt,
+            );
+            if request % 2 == 0 {
+                engine.observe(
+                    &TraceEvent::Parsed {
+                        request,
+                        instance: 1,
+                    },
+                    vt,
+                );
+            }
+        }
+        let states = engine.states();
+        assert_eq!(states[0].1, "warning", "states: {states:?}");
+    }
+
+    #[test]
+    fn headroom_objective_is_level_based() {
+        let specs = SloSpec::parse_list("headroom=0.25").unwrap();
+        let mut engine = SloEngine::new("acme", &specs, config());
+        // Plenty of headroom: ok.
+        assert!(engine.note_headroom(0.9, 1.0).is_empty());
+        // At half the target: burn 2.0 → paging.
+        let transitions = engine.note_headroom(0.125, 2.0);
+        assert_eq!(transitions.len(), 1);
+        let TraceEvent::SloTransition { to, burn_long, .. } = &transitions[0] else {
+            panic!("expected transition");
+        };
+        assert_eq!(*to, "paging");
+        assert!((burn_long - 2.0).abs() < 1e-9);
+        // Between target and half-target: warning.
+        let transitions = engine.note_headroom(0.2, 3.0);
+        assert!(matches!(
+            transitions[0],
+            TraceEvent::SloTransition { to: "warning", .. }
+        ));
+        // Refilled: back to ok.
+        let transitions = engine.note_headroom(1.0, 4.0);
+        assert!(matches!(
+            transitions[0],
+            TraceEvent::SloTransition { to: "ok", .. }
+        ));
+        // Zero headroom must not divide by zero.
+        let transitions = engine.note_headroom(0.0, 5.0);
+        assert!(matches!(
+            transitions[0],
+            TraceEvent::SloTransition { to: "paging", .. }
+        ));
+    }
+
+    #[test]
+    fn cache_hits_do_not_burn_latency_budget() {
+        let specs = SloSpec::parse_list("latency-p95=1.0").unwrap();
+        let mut engine = SloEngine::new("acme", &specs, config());
+        for request in 1..=10u64 {
+            let event = TraceEvent::Completed {
+                request,
+                worker: 0,
+                cache_hit: true,
+                retries: 0,
+                fault: None,
+                prompt_tokens: 10,
+                completion_tokens: 1,
+                attempt_prompt_tokens: 10,
+                attempt_completion_tokens: 1,
+                cost_usd: 0.0,
+                latency_secs: 50.0,
+                vt_start_secs: 0.0,
+                vt_end_secs: 0.0,
+            };
+            assert!(engine.observe(&event, 0.0).is_empty());
+        }
+        assert_eq!(engine.states()[0].1, "ok");
+    }
+}

@@ -306,7 +306,8 @@ impl Tracer for SpanProfileBuilder {
             | TraceEvent::JournalState { .. }
             | TraceEvent::JobAccepted { .. }
             | TraceEvent::JobCompleted { .. }
-            | TraceEvent::JobRejected { .. } => {}
+            | TraceEvent::JobRejected { .. }
+            | TraceEvent::SloTransition { .. } => {}
         }
     }
 }

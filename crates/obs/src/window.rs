@@ -1,0 +1,536 @@
+//! Sliding-window metrics over virtual time.
+//!
+//! Cumulative-since-start counters cannot answer "what is the throughput
+//! *right now*"; wall-clock windows answer it nondeterministically. This
+//! module aggregates the request lifecycle into a ring of fixed-width
+//! buckets over **virtual time**, so windowed rates, error rates, and
+//! latency quantiles are bit-identical across `--workers` counts and
+//! repeat runs.
+//!
+//! ## The clock
+//!
+//! Per-worker virtual clocks are *not* deterministic across worker counts
+//! (work stealing assigns requests to whichever worker is free). The
+//! deterministic measure is the **sequential-account clock**: cumulative
+//! billed `latency_secs` folded in plan order — the same measure as
+//! `RunFinished.latency_secs` and the paper's Table 3. The executor emits
+//! `Completed` events from its coordinating thread in plan-fold order, so
+//! [`WindowAggregator::observe`] advances the clock by each fresh
+//! completion's latency as it arrives and every bucket boundary lands at
+//! the same virtual instant whatever the worker count.
+//!
+//! Only fold-ordered events feed the window (`completed`, `parsed`,
+//! `failed`, `cancelled`, `run_finished`); events emitted from worker
+//! threads (`dispatched`, middleware events) are ignored, which is what
+//! keeps the aggregate deterministic. Per-instance outcomes bucket at
+//! their request's completion instant; outcomes of never-completed
+//! (cancelled) requests bucket at the current clock.
+
+use std::collections::HashMap;
+
+use crate::event::TraceEvent;
+use crate::json::Json;
+use crate::metrics::{micros, Histogram};
+
+/// Geometry of the sliding window: `buckets` ring slots of `bucket_secs`
+/// virtual seconds each. The long window covers the whole ring; the short
+/// window covers the most recent quarter (at least one bucket).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Width of one bucket, in virtual seconds.
+    pub bucket_secs: f64,
+    /// Number of buckets in the ring.
+    pub buckets: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        // 12 × 10s = a two-minute long window with a 30s short window.
+        WindowConfig {
+            bucket_secs: 10.0,
+            buckets: 12,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Virtual seconds the full ring can cover.
+    pub fn window_secs(&self) -> f64 {
+        self.bucket_secs * self.buckets as f64
+    }
+
+    /// Buckets in the short window: the most recent quarter of the ring,
+    /// at least one.
+    pub fn short_buckets(&self) -> usize {
+        (self.buckets / 4).max(1)
+    }
+}
+
+/// One bucket's counters.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    /// Absolute bucket index this slot currently holds (`usize::MAX` =
+    /// never written), so stale slots are detected without eager clearing.
+    epoch: usize,
+    /// Completions (fresh + cache hits).
+    requests: u64,
+    /// Fresh (billed) completions.
+    fresh: u64,
+    /// Billed tokens (prompt + completion).
+    tokens: u64,
+    /// Instances answered.
+    answered: u64,
+    /// Instances failed.
+    failed: u64,
+    /// Requests cancelled by a tripped budget.
+    cancelled: u64,
+    /// Fresh-completion latencies, in integer microseconds.
+    latency_us: Histogram,
+}
+
+impl Bucket {
+    fn reset(&mut self, epoch: usize) {
+        *self = Bucket {
+            epoch,
+            ..Bucket::default()
+        };
+    }
+}
+
+/// Aggregate counts over a span of buckets (see
+/// [`WindowAggregator::counts`]). The SLO engine consumes these to compute
+/// burn rates; [`WindowSnapshot`] derives its rates from them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowCounts {
+    /// Completions (fresh + cache hits).
+    pub requests: u64,
+    /// Fresh (billed) completions.
+    pub fresh: u64,
+    /// Billed tokens.
+    pub tokens: u64,
+    /// Instances answered.
+    pub answered: u64,
+    /// Instances failed.
+    pub failed: u64,
+    /// Budget-cancelled requests.
+    pub cancelled: u64,
+}
+
+impl WindowCounts {
+    /// Terminal instances (answered + failed).
+    pub fn terminals(&self) -> u64 {
+        self.answered + self.failed
+    }
+}
+
+/// A point-in-time view of the window: rates, error rate, and latency
+/// quantiles over the ring's covered span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// The sequential-account virtual clock at snapshot time.
+    pub vt_secs: f64,
+    /// Virtual seconds the window actually covers (`min(vt, ring span)`;
+    /// rates divide by this, so a cold window is not under-reported).
+    pub covered_secs: f64,
+    /// Completed requests per virtual second.
+    pub requests_per_sec: f64,
+    /// Billed tokens per virtual second.
+    pub tokens_per_sec: f64,
+    /// Failed instances as a fraction of terminal instances (0 when idle).
+    pub error_rate: f64,
+    /// Median fresh-request latency over the window, virtual seconds.
+    pub latency_p50_secs: f64,
+    /// 95th-percentile fresh-request latency over the window.
+    pub latency_p95_secs: f64,
+    /// The window's aggregate counts.
+    pub counts: WindowCounts,
+}
+
+impl WindowSnapshot {
+    /// The snapshot as a flat JSON object (deterministic field order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("vt_secs".to_string(), Json::Num(self.vt_secs)),
+            ("covered_secs".to_string(), Json::Num(self.covered_secs)),
+            (
+                "requests_per_sec".to_string(),
+                Json::Num(self.requests_per_sec),
+            ),
+            ("tokens_per_sec".to_string(), Json::Num(self.tokens_per_sec)),
+            ("error_rate".to_string(), Json::Num(self.error_rate)),
+            (
+                "latency_p50_secs".to_string(),
+                Json::Num(self.latency_p50_secs),
+            ),
+            (
+                "latency_p95_secs".to_string(),
+                Json::Num(self.latency_p95_secs),
+            ),
+            (
+                "requests".to_string(),
+                Json::Num(self.counts.requests as f64),
+            ),
+            ("tokens".to_string(), Json::Num(self.counts.tokens as f64)),
+            (
+                "answered".to_string(),
+                Json::Num(self.counts.answered as f64),
+            ),
+            ("failed".to_string(), Json::Num(self.counts.failed as f64)),
+            (
+                "cancelled".to_string(),
+                Json::Num(self.counts.cancelled as f64),
+            ),
+        ])
+    }
+}
+
+/// The sliding-window aggregator: feed it the fold-ordered event stream
+/// with [`observe`](Self::observe), read it with
+/// [`snapshot`](Self::snapshot) / [`counts`](Self::counts).
+///
+/// Not a [`crate::Tracer`] by itself — it needs `&mut self` and is meant
+/// to live under one lock alongside the SLO engine (see the daemon's ops
+/// plane), keeping clock advancement and burn evaluation atomic.
+#[derive(Debug)]
+pub struct WindowAggregator {
+    config: WindowConfig,
+    /// The sequential-account virtual clock.
+    vt: f64,
+    /// Absolute index of the newest bucket the clock has entered.
+    head: usize,
+    ring: Vec<Bucket>,
+    /// Completion instant per request id, for bucketing the request's
+    /// later per-instance outcomes. Cleared at `run_finished`.
+    completed_at: HashMap<u64, f64>,
+}
+
+impl WindowAggregator {
+    /// An empty window at virtual time zero.
+    pub fn new(config: WindowConfig) -> WindowAggregator {
+        let buckets = config.buckets.max(1);
+        let config = WindowConfig {
+            bucket_secs: if config.bucket_secs > 0.0 {
+                config.bucket_secs
+            } else {
+                1.0
+            },
+            buckets,
+        };
+        WindowAggregator {
+            config,
+            vt: 0.0,
+            head: 0,
+            ring: vec![Bucket::default(); buckets],
+            completed_at: HashMap::new(),
+        }
+    }
+
+    /// The window geometry.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// The sequential-account virtual clock.
+    pub fn vt_secs(&self) -> f64 {
+        self.vt
+    }
+
+    /// Absolute bucket index for a virtual instant.
+    fn index_at(&self, vt: f64) -> usize {
+        (vt / self.config.bucket_secs).max(0.0) as usize
+    }
+
+    /// The live bucket for an absolute index, resetting a recycled slot.
+    /// Instants older than the ring are folded into the oldest live slot
+    /// rather than corrupting a newer one.
+    fn bucket_mut(&mut self, index: usize) -> &mut Bucket {
+        let index = index
+            .min(self.head)
+            .max(self.head.saturating_sub(self.config.buckets - 1));
+        let slot = index % self.config.buckets;
+        if self.ring[slot].epoch != index {
+            self.ring[slot].reset(index);
+        }
+        &mut self.ring[slot]
+    }
+
+    /// Advances the clock to `vt`, retiring buckets the head rolls past.
+    fn advance_to(&mut self, vt: f64) {
+        self.vt = self.vt.max(vt);
+        let head = self.index_at(self.vt);
+        if head > self.head {
+            self.head = head;
+        }
+        // Touch the head slot so a quiet stretch still retires stale data.
+        self.bucket_mut(head);
+    }
+
+    /// Feeds one fold-ordered event. Events emitted from worker threads
+    /// (`dispatched`, middleware events) are ignored by design: their
+    /// arrival order is racy, and the window's determinism contract only
+    /// holds over the plan-ordered stream.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Completed {
+                request,
+                cache_hit,
+                prompt_tokens,
+                completion_tokens,
+                latency_secs,
+                ..
+            } => {
+                // Fresh completions advance the sequential clock by their
+                // billed latency; cache hits are instantaneous.
+                if !*cache_hit {
+                    self.advance_to(self.vt + latency_secs.max(0.0));
+                }
+                let vt = self.vt;
+                self.completed_at.insert(*request, vt);
+                let fresh = !*cache_hit;
+                let tokens = (prompt_tokens + completion_tokens) as u64;
+                let latency_us = micros(*latency_secs);
+                let index = self.index_at(vt);
+                let bucket = self.bucket_mut(index);
+                bucket.requests += 1;
+                if fresh {
+                    bucket.fresh += 1;
+                    bucket.tokens += tokens;
+                    bucket.latency_us.record(latency_us);
+                }
+            }
+            TraceEvent::Parsed { request, .. } => {
+                let vt = self.completed_at.get(request).copied().unwrap_or(self.vt);
+                let index = self.index_at(vt);
+                self.bucket_mut(index).answered += 1;
+            }
+            TraceEvent::Failed { request, .. } => {
+                let vt = self.completed_at.get(request).copied().unwrap_or(self.vt);
+                let index = self.index_at(vt);
+                self.bucket_mut(index).failed += 1;
+            }
+            TraceEvent::Cancelled { .. } => {
+                let index = self.index_at(self.vt);
+                self.bucket_mut(index).cancelled += 1;
+            }
+            TraceEvent::RunFinished { .. } => {
+                // Request ids are not reused across runs; the map only
+                // needs to cover the in-flight run.
+                self.completed_at.clear();
+            }
+            _ => {}
+        }
+    }
+
+    /// Live buckets among the newest `span` (oldest first).
+    fn live(&self, span: usize) -> impl Iterator<Item = &Bucket> {
+        let span = span.min(self.config.buckets);
+        let oldest = self.head.saturating_sub(span - 1);
+        (oldest..=self.head).filter_map(move |index| {
+            let slot = &self.ring[index % self.config.buckets];
+            (slot.epoch == index).then_some(slot)
+        })
+    }
+
+    /// Aggregate counts over the newest `span` buckets.
+    pub fn counts(&self, span: usize) -> WindowCounts {
+        let mut out = WindowCounts::default();
+        for bucket in self.live(span) {
+            out.requests += bucket.requests;
+            out.fresh += bucket.fresh;
+            out.tokens += bucket.tokens;
+            out.answered += bucket.answered;
+            out.failed += bucket.failed;
+            out.cancelled += bucket.cancelled;
+        }
+        out
+    }
+
+    /// Counts over the whole ring (the long window).
+    pub fn long_counts(&self) -> WindowCounts {
+        self.counts(self.config.buckets)
+    }
+
+    /// Counts over the most recent quarter of the ring (the short window).
+    pub fn short_counts(&self) -> WindowCounts {
+        self.counts(self.config.short_buckets())
+    }
+
+    /// The current windowed snapshot.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        let counts = self.long_counts();
+        let covered = self.vt.min(self.config.window_secs()).max(0.0);
+        // Rates over a cold (sub-bucket) window divide by at least one
+        // bucket width so a single early request doesn't read as an
+        // absurd rate.
+        let denom = covered.max(self.config.bucket_secs);
+        let mut latency = Histogram::new();
+        for bucket in self.live(self.config.buckets) {
+            latency.merge(&bucket.latency_us);
+        }
+        let terminals = counts.terminals();
+        WindowSnapshot {
+            vt_secs: self.vt,
+            covered_secs: covered,
+            requests_per_sec: counts.requests as f64 / denom,
+            tokens_per_sec: counts.tokens as f64 / denom,
+            error_rate: if terminals > 0 {
+                counts.failed as f64 / terminals as f64
+            } else {
+                0.0
+            },
+            latency_p50_secs: latency.quantile_midpoint(0.5) as f64 / 1e6,
+            latency_p95_secs: latency.quantile_midpoint(0.95) as f64 / 1e6,
+            counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(request: u64, latency_secs: f64, tokens: usize) -> TraceEvent {
+        TraceEvent::Completed {
+            request,
+            worker: 0,
+            cache_hit: false,
+            retries: 0,
+            fault: None,
+            prompt_tokens: tokens,
+            completion_tokens: 0,
+            attempt_prompt_tokens: tokens,
+            attempt_completion_tokens: 0,
+            cost_usd: 0.1,
+            latency_secs,
+            vt_start_secs: 0.0,
+            vt_end_secs: latency_secs,
+        }
+    }
+
+    #[test]
+    fn clock_advances_sequentially_and_rates_follow() {
+        let mut w = WindowAggregator::new(WindowConfig {
+            bucket_secs: 5.0,
+            buckets: 4,
+        });
+        for request in 1..=4u64 {
+            w.observe(&completed(request, 2.5, 100));
+            w.observe(&TraceEvent::Parsed {
+                request,
+                instance: request as usize - 1,
+            });
+        }
+        assert!((w.vt_secs() - 10.0).abs() < 1e-9);
+        let snap = w.snapshot();
+        assert_eq!(snap.counts.requests, 4);
+        assert_eq!(snap.counts.tokens, 400);
+        assert_eq!(snap.counts.answered, 4);
+        assert!((snap.requests_per_sec - 0.4).abs() < 1e-9);
+        assert!((snap.tokens_per_sec - 40.0).abs() < 1e-9);
+        assert_eq!(snap.error_rate, 0.0);
+        // p50 of identical 2.5s samples lands in the 2.5s log2 bucket.
+        assert!(snap.latency_p50_secs > 1.0 && snap.latency_p50_secs < 5.0);
+    }
+
+    #[test]
+    fn old_buckets_retire_as_the_clock_rolls_past_the_ring() {
+        let mut w = WindowAggregator::new(WindowConfig {
+            bucket_secs: 1.0,
+            buckets: 3,
+        });
+        w.observe(&completed(1, 0.5, 50));
+        assert_eq!(w.long_counts().requests, 1);
+        // Ten virtual seconds of later traffic push the first bucket out.
+        for request in 2..=11u64 {
+            w.observe(&completed(request, 1.0, 10));
+        }
+        let counts = w.long_counts();
+        assert!(
+            counts.requests <= 3,
+            "ring keeps only 3 buckets: {counts:?}"
+        );
+        assert!(counts.tokens <= 30);
+    }
+
+    #[test]
+    fn failures_bucket_at_their_completion_instant() {
+        let mut w = WindowAggregator::new(WindowConfig {
+            bucket_secs: 2.0,
+            buckets: 8,
+        });
+        w.observe(&completed(1, 1.0, 10));
+        // Much later, instance outcomes of request 1 still land in the
+        // bucket where the request completed.
+        for request in 2..=6u64 {
+            w.observe(&completed(request, 2.0, 10));
+        }
+        w.observe(&TraceEvent::Failed {
+            request: 1,
+            instance: 0,
+            kind: "skipped-answer",
+        });
+        let early = w.counts(8);
+        assert_eq!(early.failed, 1);
+        // The error rate sees 1 failed of 1 terminal.
+        assert!((w.snapshot().error_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_window_covers_the_recent_quarter() {
+        let mut w = WindowAggregator::new(WindowConfig {
+            bucket_secs: 1.0,
+            buckets: 8,
+        });
+        // Two early requests, then six quiet seconds, then one late one.
+        w.observe(&completed(1, 0.5, 10));
+        w.observe(&completed(2, 0.5, 10));
+        for request in 3..=8u64 {
+            w.observe(&completed(request, 1.0, 0));
+        }
+        let long = w.long_counts();
+        let short = w.short_counts();
+        assert_eq!(long.requests, 8);
+        assert!(short.requests < long.requests);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let mut w = WindowAggregator::new(WindowConfig::default());
+        w.observe(&completed(1, 3.0, 120));
+        w.observe(&TraceEvent::Parsed {
+            request: 1,
+            instance: 0,
+        });
+        let a = w.snapshot().to_json().to_json();
+        let b = w.snapshot().to_json().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"vt_secs\":3"), "{a}");
+        assert!(a.contains("\"tokens\":120"), "{a}");
+    }
+
+    #[test]
+    fn cache_hits_count_requests_but_not_clock_or_tokens() {
+        let mut w = WindowAggregator::new(WindowConfig::default());
+        w.observe(&completed(1, 2.0, 100));
+        w.observe(&TraceEvent::Completed {
+            request: 2,
+            worker: 0,
+            cache_hit: true,
+            retries: 0,
+            fault: None,
+            prompt_tokens: 100,
+            completion_tokens: 0,
+            attempt_prompt_tokens: 100,
+            attempt_completion_tokens: 0,
+            cost_usd: 0.0,
+            latency_secs: 0.0,
+            vt_start_secs: 0.0,
+            vt_end_secs: 0.0,
+        });
+        assert!((w.vt_secs() - 2.0).abs() < 1e-9);
+        let counts = w.long_counts();
+        assert_eq!(counts.requests, 2);
+        assert_eq!(counts.fresh, 1);
+        assert_eq!(counts.tokens, 100);
+    }
+}

@@ -32,6 +32,13 @@ echo "== serving smoke: daemon self-check + e2e suite =="
 cargo run --release -q -p dprep-cli --bin dprep -- serve --check on > /dev/null
 cargo test -q --test serve_e2e
 
+echo "== live ops plane: dprep top determinism drill + tests =="
+# One breach-inducing workload (latency spikes against a tight latency-p95
+# objective) at 1/2/4 workers: the alert timelines and windowed snapshots
+# must be byte-identical and must actually reach paging.
+cargo run --release -q -p dprep-cli --bin dprep -- top --check on > /dev/null
+cargo test -q --test ops_plane
+
 echo "== streaming-planner scaling smoke (10k rows, stream vs materialized) =="
 # Runs both plan modes at 10k rows, asserts their predictions agree via
 # checksum, and gates the streaming run's peak RSS and both runs'
