@@ -88,6 +88,53 @@ pub fn model_profile(flags: &Flags) -> Result<dprep_llm::ModelProfile, String> {
         .ok_or_else(|| format!("unknown model {name:?} (see dprep help)"))
 }
 
+/// Parses the cascade flags: `--route a,b[,c…]` (model profile names,
+/// cheapest first) and `--escalate-on CLASSES` (stored canonical, so two
+/// spellings of one policy share a journal identity). Returns empty routes
+/// for a single-model run. At least two distinct, known models are
+/// required — a one-model cascade is just `--model`.
+pub fn route_spec(flags: &Flags) -> Result<(Vec<String>, Option<String>), String> {
+    let routes: Vec<String> = match flags.get("route") {
+        None => Vec::new(),
+        Some(spec) => {
+            let names: Vec<String> = spec
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if names.len() < 2 {
+                return Err(
+                    "--route needs at least two comma-separated models, cheapest first \
+                     (a single model is just --model)"
+                        .into(),
+                );
+            }
+            for (i, name) in names.iter().enumerate() {
+                if dprep_llm::ModelProfile::by_name(name).is_none() {
+                    return Err(format!("unknown route model {name:?} (see dprep help)"));
+                }
+                if names[..i].contains(name) {
+                    return Err(format!("route model {name:?} appears twice in --route"));
+                }
+            }
+            names
+        }
+    };
+    let escalate_on = match flags.get("escalate-on") {
+        None => None,
+        Some(spec) => {
+            if routes.is_empty() {
+                return Err("--escalate-on needs --route".into());
+            }
+            let policy = dprep_llm::EscalationPolicy::parse(spec)
+                .map_err(|e| format!("--escalate-on: {e}"))?;
+            Some(policy.canonical())
+        }
+    };
+    Ok((routes, escalate_on))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +173,33 @@ mod tests {
         assert_eq!(model_profile(&flags).unwrap().name, "sim-gpt-3.5");
         flags.set("model", "gpt-9");
         assert!(model_profile(&flags).is_err());
+    }
+
+    #[test]
+    fn route_spec_validates_the_cascade() {
+        let mut flags = Flags::default();
+        assert_eq!(route_spec(&flags).unwrap(), (Vec::new(), None));
+
+        flags.set("route", "sim-gpt-3.5,sim-gpt-4");
+        let (routes, policy) = route_spec(&flags).unwrap();
+        assert_eq!(routes, vec!["sim-gpt-3.5", "sim-gpt-4"]);
+        assert_eq!(policy, None);
+
+        flags.set("escalate-on", "partial, fault");
+        let (_, policy) = route_spec(&flags).unwrap();
+        assert_eq!(policy.as_deref(), Some("fault,partial"), "canonical order");
+
+        for bad in ["sim-gpt-4", "sim-gpt-4,gpt-9", "sim-gpt-4,sim-gpt-4"] {
+            flags.set("route", bad);
+            assert!(route_spec(&flags).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn escalate_on_needs_a_route() {
+        let mut flags = Flags::default();
+        flags.set("escalate-on", "fault");
+        assert!(route_spec(&flags).unwrap_err().contains("--route"));
     }
 
     #[test]

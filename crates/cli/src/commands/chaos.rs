@@ -32,8 +32,8 @@ use dprep_core::{
 };
 use dprep_datasets::{dataset_by_name, Dataset};
 use dprep_llm::{
-    warm_cache_store, CacheLayer, CircuitBreakerLayer, FaultLayer, FaultScenario, ModelProfile,
-    RetryLayer, SimulatedLlm,
+    warm_cache_store, CacheLayer, CircuitBreakerLayer, FaultLayer, FaultScenario, MiddlewareStats,
+    ModelProfile, RetryLayer, SimulatedLlm,
 };
 use dprep_obs::{
     AuditTracer, CollectingTracer, DurableJournal, JournalEntry, MetricsRecorder, MetricsSnapshot,
@@ -55,7 +55,16 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         return Ok(());
     }
     let scenarios: Vec<FaultScenario> = match flags.get("scenario") {
-        None => FaultScenario::presets(),
+        // The hard-down route-outage preset is excluded from the default
+        // single-model sweep: with no cascade to fail over to it just
+        // grinds every batch through the ladder to retries-exhausted. The
+        // dedicated route-outage drill below exercises it the way it is
+        // meant to be used — killing a cascade's primary. Naming it with
+        // --scenario still sweeps it.
+        None => FaultScenario::presets()
+            .into_iter()
+            .filter(|s| s.name != "route-outage")
+            .collect(),
         Some(name) => {
             let scenario = FaultScenario::by_name(name).ok_or_else(|| {
                 let known: Vec<&str> = FaultScenario::presets().iter().map(|s| s.name).collect();
@@ -111,6 +120,9 @@ pub fn run(flags: &Flags) -> Result<(), String> {
 
     println!();
     print!("{}", breaker_drill(&workloads[0], seed, retries)?);
+
+    println!();
+    print!("{}", route_outage_drill(seed, retries)?);
 
     println!();
     print!(
@@ -543,6 +555,134 @@ fn breaker_drill(ds: &Dataset, seed: u64, retries: u32) -> Result<String, String
     Ok(out)
 }
 
+/// The route-outage drill: a `sim-gpt-3.5 -> sim-gpt-4` cascade whose
+/// primary route is hard-down (every request times out, and keeps timing
+/// out past any retry budget) while the escalation route stays calm.
+/// Asserts:
+///
+/// 1. **Zero unserved requests** — no completion carries a fault; every
+///    instance that a calm run answers is still answered.
+/// 2. **Full failover** — every served leg is the secondary's; the dead
+///    primary serves none.
+/// 3. **Breaker engagement** — after the failure threshold the primary's
+///    legs short (billed zero) instead of paying for doomed dispatches;
+///    only periodic half-open probes bill.
+/// 4. **Per-route ledger reconciliation** — route-attributed tokens and
+///    cost sum exactly to the run's billed totals, and the shorted legs
+///    bill nothing.
+/// 5. **Worker-count determinism** — predictions and the metrics snapshot
+///    (route table included) are bit-identical at `--workers 1`, `2`,
+///    and `4`, with the audit clean at each.
+fn route_outage_drill(seed: u64, retries: u32) -> Result<String, String> {
+    let ds = dataset_by_name("Adult", 0.1, seed).expect("pinned dataset exists");
+    let routes = vec!["sim-gpt-3.5".to_string(), "sim-gpt-4".to_string()];
+    let run = |workers: usize| -> Result<(RunResult, MetricsSnapshot), String> {
+        let audit = Arc::new(AuditTracer::new());
+        let recorder = Arc::new(MetricsRecorder::new());
+        let tracer: Arc<dyn Tracer> = Arc::new(
+            MultiTracer::new()
+                .with(Arc::clone(&audit) as Arc<dyn Tracer>)
+                .with(Arc::clone(&recorder) as Arc<dyn Tracer>),
+        );
+        let router = crate::commands::build_router(
+            &routes,
+            None,
+            Arc::new(ds.kb.clone()),
+            seed,
+            retries,
+            &MiddlewareStats::shared(),
+            Some((0, FaultScenario::route_outage())),
+        )?;
+        let mut config = PipelineConfig::best(ds.task);
+        config.workers = workers;
+        config.routes = routes.clone();
+        let result = Preprocessor::new(&router, config)
+            .with_exec_options(ExecutionOptions {
+                workers,
+                ..ExecutionOptions::default()
+            })
+            .with_tracer(tracer)
+            .try_run(&ds.instances, &ds.few_shot)?;
+        if !audit.is_clean() {
+            return Err(format!(
+                "route-outage drill failed the ledger audit at workers {workers}: {}",
+                audit.violations().join("; ")
+            ));
+        }
+        Ok((result, recorder.snapshot()))
+    };
+
+    let (reference, metrics) = run(1)?;
+    let mut violations: Vec<String> = Vec::new();
+    if reference.stats.faulted != 0 {
+        violations.push(format!(
+            "{} completion(s) faulted — the cascade left requests unserved",
+            reference.stats.faulted
+        ));
+    }
+    let primary = metrics
+        .routes
+        .get("sim-gpt-3.5")
+        .cloned()
+        .unwrap_or_default();
+    let secondary = metrics.routes.get("sim-gpt-4").cloned().unwrap_or_default();
+    if primary.served != 0 {
+        violations.push(format!("dead primary served {} leg(s)", primary.served));
+    }
+    if secondary.served != metrics.fresh_requests {
+        violations.push(format!(
+            "secondary served {} of {} fresh request(s)",
+            secondary.served, metrics.fresh_requests
+        ));
+    }
+    if primary.shorted == 0 {
+        violations.push("breaker never shorted the dead primary".to_string());
+    }
+    let route_prompt = primary.prompt_tokens + secondary.prompt_tokens;
+    let route_completion = primary.completion_tokens + secondary.completion_tokens;
+    if route_prompt != metrics.prompt_tokens || route_completion != metrics.completion_tokens {
+        violations.push(format!(
+            "route-attributed tokens ({route_prompt}p/{route_completion}c) diverge from billed \
+             totals ({}p/{}c)",
+            metrics.prompt_tokens, metrics.completion_tokens
+        ));
+    }
+    if (primary.cost_usd + secondary.cost_usd - metrics.cost_usd).abs() > 1e-6 {
+        violations.push(format!(
+            "route-attributed cost ${:.6} diverges from billed ${:.6}",
+            primary.cost_usd + secondary.cost_usd,
+            metrics.cost_usd
+        ));
+    }
+    for workers in [2usize, 4] {
+        let (result, snapshot) = run(workers)?;
+        if result.predictions != reference.predictions {
+            violations.push(format!("predictions diverge at workers {workers}"));
+        }
+        if snapshot != metrics {
+            violations.push(format!("metrics diverge at workers {workers}"));
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(format!(
+            "route-outage drill ({}, {} -> {}): {} request(s) all served by the secondary, \
+             {} probe(s) billed on the dead primary, {} shorted, bit-identical at workers 1/2/4\n",
+            ds.name,
+            routes[0],
+            routes[1],
+            metrics.fresh_requests,
+            primary.escalated,
+            primary.shorted,
+        ))
+    } else {
+        Err(format!(
+            "route-outage drill failed: {}",
+            violations.join("; ")
+        ))
+    }
+}
+
 /// The serving soak drill behind `--soak on`: an ephemeral daemon running
 /// the production dataset handler, exercised the way a long-lived
 /// deployment would be.
@@ -580,6 +720,8 @@ fn soak_drill(seed: u64, retries: u32) -> Result<String, String> {
         retries,
         plan_shard_size: 2,
         journal_dir: Some(journal_dir.clone()),
+        routes: Vec::new(),
+        escalate_on: None,
     };
     let handler = dataset_handler(defaults.clone(), None);
 

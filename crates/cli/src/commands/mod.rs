@@ -14,8 +14,8 @@ use std::sync::Arc;
 
 use dprep_core::{Durability, ExecStats, PipelineConfig};
 use dprep_llm::{
-    warm_cache_store, CacheLayer, ChatModel, KnowledgeBase, MiddlewareStats, ModelProfile,
-    RetryLayer, SimulatedLlm,
+    warm_cache_store, CacheLayer, ChatModel, EscalationPolicy, FaultLayer, FaultScenario,
+    KnowledgeBase, MiddlewareStats, ModelProfile, RetryLayer, RouterLayer, SimulatedLlm,
 };
 use dprep_obs::{AuditTracer, DurableJournal, JournalEntry, JsonlTracer, MultiTracer, Tracer};
 use dprep_tabular::Table;
@@ -62,6 +62,12 @@ pub struct Serving {
     /// execute N batches at a time under bounded memory instead of
     /// materializing the whole plan. `None` plans materialized.
     pub plan_shard: Option<usize>,
+    /// Cascade routes (`--route a,b`), cheapest first; empty means a
+    /// single-model run served directly by `--model`.
+    pub routes: Vec<String>,
+    /// Canonical escalation-policy spec (`--escalate-on CLASSES`); `None`
+    /// uses the default policy.
+    pub escalate_on: Option<String>,
 }
 
 /// Parses the serving flags (defaults: 1 worker, 2 retries, cache off,
@@ -90,6 +96,13 @@ pub fn serving_from_flags(flags: &Flags) -> Result<Serving, String> {
         Some("off" | "false" | "0") => (false, None),
         Some(path) => (false, Some(path.to_string())),
     };
+    let (routes, escalate_on) = crate::args::route_spec(flags)?;
+    if !routes.is_empty() && flags.get("model").is_some() {
+        return Err(
+            "--model conflicts with --route (the cascade names its own models, cheapest first)"
+                .into(),
+        );
+    }
     Ok(Serving {
         workers,
         retries: flags.usize_or("retries", 2)? as u32,
@@ -101,6 +114,8 @@ pub fn serving_from_flags(flags: &Flags) -> Result<Serving, String> {
         journal: flags.get("journal").map(str::to_string),
         resume: flags.get("resume").map(str::to_string),
         plan_shard,
+        routes,
+        escalate_on,
     })
 }
 
@@ -134,7 +149,6 @@ pub fn serving_setup(
     flags: &Flags,
     configs: &mut [&mut PipelineConfig],
 ) -> Result<ServingSetup, String> {
-    let profile = model_profile(flags)?;
     let kb = facts::load(flags)?;
     let serving = serving_from_flags(flags)?;
     let obs = Observability::from_serving(&serving)?;
@@ -143,26 +157,88 @@ pub fn serving_setup(
     for config in configs.iter_mut() {
         config.workers = serving.workers;
         config.plan_shard_size = serving.plan_shard;
+        config.routes = serving.routes.clone();
+        config.escalate_on = serving.escalate_on.clone();
     }
     let descriptor = configs
         .iter()
         .map(|c| c.descriptor())
         .collect::<Vec<_>>()
         .join(" ++ ");
-    let (durability, warm) = durability_from_serving(&serving, &profile.name, &descriptor, seed)?;
-    let model = apply_serving(
-        build_model(profile, kb, seed),
-        &serving,
-        &stats,
-        obs.tracer(),
-        &warm,
-    );
+    let (durability, model) = if serving.routes.is_empty() {
+        let profile = model_profile(flags)?;
+        let (durability, warm) =
+            durability_from_serving(&serving, &profile.name, &descriptor, seed)?;
+        let model = apply_serving(
+            build_model(profile, kb, seed),
+            &serving,
+            &stats,
+            obs.tracer(),
+            &warm,
+        );
+        (durability, model)
+    } else {
+        let router = build_router(
+            &serving.routes,
+            serving.escalate_on.as_deref(),
+            Arc::new(kb),
+            seed,
+            serving.retries,
+            &stats,
+            None,
+        )?;
+        // The journal identity is the composite (`router(a->b)`): a
+        // single-model journal never resumes a cascade or vice versa.
+        let model_name = router.name().to_string();
+        let (durability, warm) = durability_from_serving(&serving, &model_name, &descriptor, seed)?;
+        let model = apply_cache(Box::new(router), &serving, &stats, obs.tracer(), &warm);
+        (durability, model)
+    };
     Ok(ServingSetup {
         serving,
         obs,
         durability,
         model,
     })
+}
+
+/// Builds the cascade: one independent `RetryLayer(FaultLayer?(sim))`
+/// stack per route over a shared knowledge base, fronted by a
+/// [`RouterLayer`]. Route stacks deliberately carry **no tracer** — their
+/// retries are internal to each leg, and the audit reconciles routed
+/// completions against `route_leg` events, not `retry_attempt` events.
+/// `fault` wraps the route at the given index in a fault scenario (the
+/// chaos drills fault the primary and leave the escalation route calm).
+pub fn build_router(
+    route_names: &[String],
+    escalate_on: Option<&str>,
+    kb: Arc<KnowledgeBase>,
+    seed: u64,
+    retries: u32,
+    stats: &Arc<MiddlewareStats>,
+    fault: Option<(usize, FaultScenario)>,
+) -> Result<RouterLayer, String> {
+    let policy = match escalate_on {
+        Some(spec) => EscalationPolicy::parse(spec)?,
+        None => EscalationPolicy::default(),
+    };
+    let mut routes: Vec<Box<dyn ChatModel>> = Vec::new();
+    for (i, name) in route_names.iter().enumerate() {
+        let profile = ModelProfile::by_name(name)
+            .ok_or_else(|| format!("unknown route model {name:?} (see dprep help)"))?;
+        let sim = SimulatedLlm::new(profile, Arc::clone(&kb)).with_seed(seed);
+        let mut stack: Box<dyn ChatModel> = match &fault {
+            Some((target, scenario)) if *target == i => {
+                Box::new(FaultLayer::scenario(sim, scenario.clone(), seed))
+            }
+            _ => Box::new(sim),
+        };
+        if retries > 0 {
+            stack = Box::new(RetryLayer::new(stack, retries).with_stats(Arc::clone(stats)));
+        }
+        routes.push(stack);
+    }
+    Ok(RouterLayer::new(routes, policy))
 }
 
 /// Probes an output path for writability without truncating existing
@@ -378,16 +454,30 @@ pub fn apply_serving<M: ChatModel + 'static>(
                 .with_tracer(Arc::clone(&tracer)),
         );
     }
-    if serving.cache {
-        let mut cache = CacheLayer::new(stack)
-            .with_stats(Arc::clone(stats))
-            .with_tracer(tracer);
-        if !warm.is_empty() {
-            cache = cache.with_store(warm_cache_store(warm));
-        }
-        stack = Box::new(cache);
+    apply_cache(stack, serving, stats, tracer, warm)
+}
+
+/// Wraps `stack` in the response cache when `--cache on`, warm-started
+/// from a resumed journal. This is the routed path's whole middleware
+/// story — the cascade's retries live inside each route, so only the cache
+/// sits above the [`RouterLayer`].
+pub fn apply_cache(
+    stack: Box<dyn ChatModel>,
+    serving: &Serving,
+    stats: &Arc<MiddlewareStats>,
+    tracer: Arc<dyn Tracer>,
+    warm: &[JournalEntry],
+) -> Box<dyn ChatModel> {
+    if !serving.cache {
+        return stack;
     }
-    stack
+    let mut cache = CacheLayer::new(stack)
+        .with_stats(Arc::clone(stats))
+        .with_tracer(tracer);
+    if !warm.is_empty() {
+        cache = cache.with_store(warm_cache_store(warm));
+    }
+    Box::new(cache)
 }
 
 /// Prints the multi-line serving-metrics summary when `--metrics on`, and

@@ -44,6 +44,11 @@ pub struct HandlerDefaults {
     pub plan_shard_size: usize,
     /// Per-job journal directory (`None` = jobs are not journaled).
     pub journal_dir: Option<PathBuf>,
+    /// Default cascade routes (`--route a,b`, cheapest first); empty serves
+    /// every job single-model on sim-gpt-4.
+    pub routes: Vec<String>,
+    /// Default escalation-policy spec (canonical form).
+    pub escalate_on: Option<String>,
 }
 
 impl Default for HandlerDefaults {
@@ -53,6 +58,8 @@ impl Default for HandlerDefaults {
             retries: 2,
             plan_shard_size: 4,
             journal_dir: None,
+            routes: Vec::new(),
+            escalate_on: None,
         }
     }
 }
@@ -107,9 +114,76 @@ pub fn dataset_handler(defaults: HandlerDefaults, ops: Option<Arc<OpsPlane>>) ->
             .unwrap_or(defaults.plan_shard_size);
         let ds = dataset_by_name(name, scale, seed)
             .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+        let routes: Vec<String> = match body.get("route").and_then(Json::as_str) {
+            Some(spec) => spec
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+            None => defaults.routes.clone(),
+        };
+        if routes.len() == 1 {
+            return Err("\"route\" needs at least two models, cheapest first".into());
+        }
+        let escalate_on = match body
+            .get("escalate_on")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .or_else(|| defaults.escalate_on.clone())
+        {
+            Some(spec) => Some(
+                dprep_llm::EscalationPolicy::parse(&spec)
+                    .map_err(|e| format!("escalate_on: {e}"))?
+                    .canonical(),
+            ),
+            None => None,
+        };
+        let scenario = match body.get("scenario").and_then(Json::as_str) {
+            Some(scenario_name) => Some(
+                FaultScenario::by_name(scenario_name)
+                    .ok_or_else(|| format!("unknown fault scenario {scenario_name:?}"))?,
+            ),
+            None => None,
+        };
 
         let mut config = PipelineConfig::best(ds.task);
         config.plan_shard_size = Some(shard_size.max(1));
+        config.routes = routes.clone();
+        config.escalate_on = escalate_on.clone();
+
+        // The middleware core (everything below the per-job cache):
+        // single-model jobs fault/retry one sim; routed jobs cascade, the
+        // scenario faulting the primary route only. Its name is the
+        // journal's model identity, so a single-model job journal never
+        // resumes a routed one or vice versa.
+        let kb = Arc::new(ds.kb.clone());
+        let (model_name, core): (String, Box<dyn dprep_llm::ChatModel>) = if routes.is_empty() {
+            let sim = SimulatedLlm::new(ModelProfile::gpt4(), kb).with_seed(seed);
+            let faulty = match scenario {
+                Some(scenario) => FaultLayer::scenario(sim, scenario, seed),
+                None => FaultLayer::new(sim, 0.0, seed),
+            };
+            (
+                "sim-gpt-4".to_string(),
+                Box::new(RetryLayer::new(faulty, retries)),
+            )
+        } else {
+            let stats = dprep_llm::MiddlewareStats::shared();
+            let router = crate::commands::build_router(
+                &routes,
+                escalate_on.as_deref(),
+                kb,
+                seed,
+                retries,
+                &stats,
+                scenario.map(|s| (0, s)),
+            )?;
+            (
+                dprep_llm::ChatModel::name(&router).to_string(),
+                Box::new(router),
+            )
+        };
 
         // Per-job durability: fresh journal, or resume when a previous
         // incarnation of the same (tenant, journal_key) left one behind.
@@ -134,7 +208,10 @@ pub fn dataset_handler(defaults: HandlerDefaults, ops: Option<Arc<OpsPlane>>) ->
                     .map_err(|e| format!("cannot resume job journal {}: {e}", path.display()))?;
                 match recovered.header.clone() {
                     Some(header) => {
-                        if header.config != descriptor || header.seed != seed {
+                        if header.model != model_name
+                            || header.config != descriptor
+                            || header.seed != seed
+                        {
                             return Err(format!(
                                 "job journal {} was recorded for a different workload; \
                                  refusing to resume",
@@ -149,31 +226,21 @@ pub fn dataset_handler(defaults: HandlerDefaults, ops: Option<Arc<OpsPlane>>) ->
                     }
                     None => {
                         // Crashed before the header landed: start over.
-                        let journal = DurableJournal::fresh(&path, "sim-gpt-4", &descriptor, seed)
+                        let journal = DurableJournal::fresh(&path, &model_name, &descriptor, seed)
                             .map_err(|e| format!("cannot journal to {}: {e}", path.display()))?;
                         durability = durability.with_journal(Arc::new(journal));
                         journal_state = "fresh";
                     }
                 }
             } else {
-                let journal = DurableJournal::fresh(&path, "sim-gpt-4", &descriptor, seed)
+                let journal = DurableJournal::fresh(&path, &model_name, &descriptor, seed)
                     .map_err(|e| format!("cannot journal to {}: {e}", path.display()))?;
                 durability = durability.with_journal(Arc::new(journal));
                 journal_state = "fresh";
             }
         }
 
-        let sim = SimulatedLlm::new(ModelProfile::gpt4(), Arc::new(ds.kb.clone())).with_seed(seed);
-        let faulty = match body.get("scenario").and_then(Json::as_str) {
-            Some(scenario_name) => {
-                let scenario = FaultScenario::by_name(scenario_name)
-                    .ok_or_else(|| format!("unknown fault scenario {scenario_name:?}"))?;
-                FaultLayer::scenario(sim, scenario, seed)
-            }
-            None => FaultLayer::new(sim, 0.0, seed),
-        };
-        let retried = RetryLayer::new(faulty, retries);
-        let mut model = CacheLayer::new(retried);
+        let mut model = CacheLayer::new(core);
         if !warm.is_empty() {
             model = model.with_store(warm_cache_store(&warm));
         }
@@ -279,6 +346,7 @@ fn ops_from_flags(flags: &Flags) -> Result<Arc<OpsPlane>, String> {
 
 /// Runs the command.
 pub fn run(flags: &Flags) -> Result<(), String> {
+    let (routes, escalate_on) = crate::args::route_spec(flags)?;
     let defaults = HandlerDefaults {
         seed: flags.seed()?,
         retries: flags.usize_or("retries", 2)? as u32,
@@ -290,6 +358,8 @@ pub fn run(flags: &Flags) -> Result<(), String> {
             n
         },
         journal_dir: flags.get("journal-dir").map(PathBuf::from),
+        routes,
+        escalate_on,
     };
     if let Some(dir) = &defaults.journal_dir {
         std::fs::create_dir_all(dir)

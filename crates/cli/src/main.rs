@@ -94,6 +94,16 @@ SERVING (detect/impute/clean/match):
                    stream the plan in shards of N batches under bounded
                    memory instead of materializing it up front (default:
                    materialized; results are identical either way)
+  --route A,B      serve through a model cascade, cheapest first: every
+                   request tries A; responses that trip the escalation
+                   policy re-ask B (and so on). Replaces --model. Each
+                   route keeps its own retry budget and pricing; the
+                   journal, trace, report, and Prometheus series bill
+                   per route. Results are identical at any --workers N.
+  --escalate-on CLASSES
+                   comma list of response classes that escalate (default
+                   fault,format,partial; also: garbled = corrupted
+                   completions only)
 
 OBSERVABILITY (detect/impute/clean/match):
   --trace FILE     write the request-lifecycle event stream as JSON lines

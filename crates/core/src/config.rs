@@ -118,6 +118,14 @@ pub struct PipelineConfig {
     /// corpus size. Results are shard-size invariant, so this knob (like
     /// `workers`) is excluded from [`descriptor`](Self::descriptor).
     pub plan_shard_size: Option<usize>,
+    /// Model-cascade routes, cheapest first (model profile names, e.g.
+    /// `["sim-gpt-3.5", "sim-gpt-4"]`). Empty means a single-model run
+    /// served directly by the `--model` profile.
+    pub routes: Vec<String>,
+    /// Escalation-policy spec for the cascade, in
+    /// [`dprep_llm::EscalationPolicy`] canonical form; `None` uses the
+    /// default policy. Meaningless unless `routes` is non-empty.
+    pub escalate_on: Option<String>,
 }
 
 impl PipelineConfig {
@@ -138,6 +146,8 @@ impl PipelineConfig {
             seed: 0,
             workers: 1,
             plan_shard_size: None,
+            routes: Vec::new(),
+            escalate_on: None,
         }
     }
 
@@ -157,6 +167,8 @@ impl PipelineConfig {
             seed: 0,
             workers: 1,
             plan_shard_size: None,
+            routes: Vec::new(),
+            escalate_on: None,
         }
     }
 
@@ -190,8 +202,14 @@ impl PipelineConfig {
     /// `plan_shard_size` is likewise excluded — the streaming planner yields
     /// the same plan in shards, so a journal recorded materialized resumes
     /// fine under any shard size and vice versa.
+    ///
+    /// The cascade, by contrast, is **included** (appended only when routed,
+    /// so single-model descriptors are byte-identical to every journal
+    /// written before routing existed): a journal recorded under one
+    /// cascade must not resume under another — the replayed per-route
+    /// ledger would attribute cost to routes the resumed run doesn't have.
     pub fn descriptor(&self) -> String {
-        format!(
+        let mut descriptor = format!(
             "{:?}|fs={}|b={}|r={}|bs={}|cluster={}|k={}|confirm={}|hint={:?}|feat={:?}|temp={:?}|fit={}",
             self.task,
             self.components.few_shot,
@@ -205,7 +223,21 @@ impl PipelineConfig {
             self.feature_indices,
             self.temperature,
             self.fit_context,
-        )
+        );
+        if !self.routes.is_empty() {
+            use std::fmt::Write;
+            let policy = self
+                .escalate_on
+                .clone()
+                .unwrap_or_else(|| dprep_llm::EscalationPolicy::default().canonical());
+            let _ = write!(
+                descriptor,
+                "|routes={}|esc={}",
+                self.routes.join("->"),
+                policy
+            );
+        }
+        descriptor
     }
 
     /// The prompt-level configuration (what `dprep-prompt` consumes).
@@ -253,6 +285,25 @@ mod tests {
         assert!(!cfg.prompt_config().confirm_target);
         cfg.components.reasoning = true;
         assert!(cfg.prompt_config().confirm_target);
+    }
+
+    #[test]
+    fn descriptor_appends_routes_only_when_routed() {
+        let mut cfg = PipelineConfig::best(Task::EntityMatching);
+        let single = cfg.descriptor();
+        assert!(!single.contains("routes="));
+
+        cfg.routes = vec!["sim-gpt-3.5".into(), "sim-gpt-4".into()];
+        let routed = cfg.descriptor();
+        assert!(routed.starts_with(&single));
+        assert!(routed.ends_with("|routes=sim-gpt-3.5->sim-gpt-4|esc=fault,format,partial"));
+
+        cfg.escalate_on = Some("garbled".into());
+        assert!(cfg.descriptor().ends_with("|esc=garbled"));
+
+        // A different cascade is a different identity: resume must refuse.
+        cfg.routes = vec!["sim-gpt-3.5".into()];
+        assert_ne!(cfg.descriptor(), routed);
     }
 
     #[test]

@@ -24,11 +24,12 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dprep_llm::{
-    is_complete, request_fingerprint, ChatModel, ChatRequest, ChatResponse, FaultKind, Usage,
-    UsageTotals,
+    is_complete, request_fingerprint, ChatModel, ChatRequest, ChatResponse, FaultKind, RouteFold,
+    RouteOutcome, RoutePending, SettledLeg, Usage, UsageTotals,
 };
 use dprep_obs::{
-    DurableJournal, JournalEntry, MetricsRecorder, NullTracer, TerminalKind, TraceEvent, Tracer,
+    DurableJournal, JournalEntry, MetricsRecorder, NullTracer, RouteLegRecord, TerminalKind,
+    TraceEvent, Tracer,
 };
 use dprep_prompt::{
     build_request, make_batches, parse_response, FewShotExample, PromptConfig, PromptContext,
@@ -635,7 +636,7 @@ impl Executor {
 
         let dispatch_started = std::time::Instant::now();
         let mut clocks = vec![0.0; self.options.workers.max(1)];
-        let dispatched = self.dispatch_slice(
+        let mut dispatched = self.dispatch_slice(
             model,
             &plan.requests,
             &plan.fingerprints,
@@ -664,9 +665,10 @@ impl Executor {
         // ceiling, every later response is discarded unbilled — a
         // `cancelled` terminal event instead of a completion.
         let mut gauge = BudgetGauge::new(self.options.deadline_secs, self.options.token_budget);
+        let mut route_fold = RouteFold::default();
         let mut request_cancelled = vec![false; plan.requests.len()];
         let mut replayed_count = 0usize;
-        for (i, d) in dispatched.iter().enumerate() {
+        for (i, d) in dispatched.iter_mut().enumerate() {
             let (cancelled, killed) = self.fold_terminal(
                 model,
                 base_id + i as u64,
@@ -674,6 +676,7 @@ impl Executor {
                 &plan.requests[i],
                 plan.sections[i],
                 d,
+                &mut route_fold,
                 &mut gauge,
                 &mut usage,
                 &mut stats,
@@ -876,6 +879,10 @@ impl Executor {
             ..ExecStats::default()
         };
         let mut gauge = BudgetGauge::new(self.options.deadline_secs, self.options.token_budget);
+        // One settlement fold for the whole run: breaker state carries
+        // across shards exactly as it does across the materialized path's
+        // single plan-order walk.
+        let mut route_fold = RouteFold::default();
         let mut request_cancelled = vec![false; n_requests];
         let mut batch_seen = vec![false; n_requests];
         // Responses that a batch in a not-yet-parsed shard still references;
@@ -930,7 +937,7 @@ impl Executor {
             dispatch_wall_secs += dispatch_started.elapsed().as_secs_f64();
 
             let vt_before_fold = usage.latency_secs;
-            for (i, d) in dispatched.into_iter().enumerate() {
+            for (i, mut d) in dispatched.into_iter().enumerate() {
                 let g = shard.first_request + i;
                 let (cancelled, fired) = self.fold_terminal(
                     model,
@@ -938,7 +945,8 @@ impl Executor {
                     shard.fingerprints[i],
                     &shard.requests[i],
                     shard.sections[i],
-                    &d,
+                    &mut d,
+                    &mut route_fold,
                     &mut gauge,
                     &mut usage,
                     &mut stats,
@@ -1116,7 +1124,8 @@ impl Executor {
         fingerprint: u64,
         request: &ChatRequest,
         sections: [usize; 5],
-        d: &DispatchedResponse,
+        d: &mut DispatchedResponse,
+        route_fold: &mut RouteFold,
         gauge: &mut BudgetGauge,
         usage: &mut UsageTotals,
         stats: &mut ExecStats,
@@ -1133,7 +1142,6 @@ impl Executor {
             let killed = self.kill.as_ref().is_some_and(KillSwitch::on_terminal);
             return Ok((true, killed));
         }
-        let response = &d.response;
         if d.replayed {
             // The journal already holds this request's completion: no
             // model call happened, but its billed numbers re-enter the
@@ -1143,11 +1151,53 @@ impl Executor {
             emit(TraceEvent::Replayed {
                 request: request_id,
             });
+            if !d.legs.is_empty() {
+                // A routed completion: re-advance the settlement breaker
+                // from the journaled outcomes and re-emit the legs, so a
+                // resumed run's breaker state, trace, and per-route
+                // ledger match the uninterrupted run's exactly.
+                let outcomes: Vec<(String, RouteOutcome, Option<FaultKind>)> = d
+                    .legs
+                    .iter()
+                    .filter_map(|leg| {
+                        RouteOutcome::from_label(&leg.outcome).map(|outcome| {
+                            (
+                                leg.route.clone(),
+                                outcome,
+                                leg.fault.as_deref().and_then(FaultKind::from_label),
+                            )
+                        })
+                    })
+                    .collect();
+                route_fold.replay(&outcomes);
+                for (index, leg) in d.legs.iter().enumerate() {
+                    emit(route_leg_event(request_id, index, leg));
+                }
+            }
         }
+        // Replayed completions re-bill the journaled cost: a routed entry's
+        // settled per-leg sum is not reconstructible from summed usage.
+        let mut settled_cost = d.replay_cost;
+        if let Some(pending) = d.pending.take() {
+            // Settle the speculative cascade in plan order: breaker
+            // decisions happen here, not at dispatch, so they are
+            // worker-count independent. The settled response replaces
+            // the speculative one for billing, parsing, and journaling.
+            let settlement = route_fold.settle(pending);
+            d.legs = settlement.legs.iter().map(settled_leg_record).collect();
+            for (index, leg) in d.legs.iter().enumerate() {
+                emit(route_leg_event(request_id, index, leg));
+            }
+            d.response = settlement.response;
+            settled_cost = Some(settlement.cost_usd);
+        }
+        let response = &d.response;
         let fresh = !response.meta.cache_hit;
         let attempt = response.meta.attempt_usage.unwrap_or(response.usage);
         let cost = if fresh {
-            model.cost_usd(&response.usage)
+            // A settled cascade bills each leg at its own route's pricing;
+            // the composite model's price does not apply.
+            settled_cost.unwrap_or_else(|| model.cost_usd(&response.usage))
         } else {
             0.0
         };
@@ -1197,13 +1247,9 @@ impl Executor {
             instances: attributed[4],
             framing: attributed[5],
         });
-        self.journal_append(&completion_entry(
-            fingerprint,
-            request,
-            response,
-            attempt,
-            cost,
-        ))?;
+        let mut entry = completion_entry(fingerprint, request, response, attempt, cost);
+        entry.legs = d.legs.clone();
+        self.journal_append(&entry)?;
         let killed = self.kill.as_ref().is_some_and(KillSwitch::on_terminal);
         Ok((false, killed))
     }
@@ -1396,20 +1442,41 @@ impl Executor {
                 worker: parent.worker,
                 vt_start_secs: ladder_clock,
             });
-            let response = match self.durability.take_replay(fingerprint) {
-                Some(entry) => {
-                    *replayed_count += 1;
-                    emit(TraceEvent::Replayed { request: sub_id });
-                    replay_response(&entry)
-                }
-                None => model.chat(&request),
-            };
+            let (mut response, mut legs, pending, replay_cost) =
+                match self.durability.take_replay(fingerprint) {
+                    Some(entry) => {
+                        *replayed_count += 1;
+                        emit(TraceEvent::Replayed { request: sub_id });
+                        let response = replay_response(&entry);
+                        (response, entry.legs, None, Some(entry.cost_usd))
+                    }
+                    None => {
+                        let response = model.chat(&request);
+                        let pending = model.take_route_pending(sub_id);
+                        (response, Vec::new(), pending, None)
+                    }
+                };
+            let mut settled_cost = replay_cost;
+            if let Some(pending) = pending {
+                // Ladder sub-requests settle statelessly: their position
+                // relative to later primary folds differs between the
+                // materialized and streaming paths, so advancing the
+                // shared breaker here would break the two paths'
+                // equivalence. Every leg bills and the last one serves.
+                let settlement = RouteFold::settle_passthrough(pending);
+                legs = settlement.legs.iter().map(settled_leg_record).collect();
+                response = settlement.response;
+                settled_cost = Some(settlement.cost_usd);
+            }
+            for (index, leg) in legs.iter().enumerate() {
+                emit(route_leg_event(sub_id, index, leg));
+            }
             let vt_start_secs = ladder_clock;
             ladder_clock += response.latency_secs;
             let fresh = !response.meta.cache_hit;
             let attempt = response.meta.attempt_usage.unwrap_or(response.usage);
             let cost = if fresh {
-                model.cost_usd(&response.usage)
+                settled_cost.unwrap_or_else(|| model.cost_usd(&response.usage))
             } else {
                 0.0
             };
@@ -1453,13 +1520,9 @@ impl Executor {
                 instances: attributed[4],
                 framing: attributed[5],
             });
-            self.journal_append(&completion_entry(
-                fingerprint,
-                &request,
-                &response,
-                attempt,
-                cost,
-            ))?;
+            let mut entry = completion_entry(fingerprint, &request, &response, attempt, cost);
+            entry.legs = legs;
+            self.journal_append(&entry)?;
             if self.kill.as_ref().is_some_and(KillSwitch::on_terminal) {
                 return Ok(recovered);
             }
@@ -1527,10 +1590,27 @@ impl Executor {
         base_id: u64,
         clocks: &mut [f64],
     ) -> Vec<DispatchedResponse> {
-        let serve = |idx: usize, request: &ChatRequest| -> (ChatResponse, bool) {
+        // A routed model stack stashes its speculative cascade legs keyed
+        // by trace id; collecting them here (still on the dispatching
+        // worker) keeps settlement a pure plan-order fold.
+        type Served = (
+            ChatResponse,
+            bool,
+            Option<RoutePending>,
+            Vec<RouteLegRecord>,
+            Option<f64>,
+        );
+        let serve = |idx: usize, request: &ChatRequest| -> Served {
             match self.durability.take_replay(fingerprints[idx]) {
-                Some(entry) => (replay_response(&entry), true),
-                None => (model.chat(request), false),
+                Some(entry) => {
+                    let response = replay_response(&entry);
+                    (response, true, None, entry.legs, Some(entry.cost_usd))
+                }
+                None => {
+                    let response = model.chat(request);
+                    let pending = model.take_route_pending(request.trace_id);
+                    (response, false, pending, Vec::new(), None)
+                }
             }
         };
         if self.options.workers <= 1 || requests.len() <= 1 {
@@ -1545,12 +1625,15 @@ impl Executor {
                         worker: 0,
                         vt_start_secs: *clock,
                     });
-                    let (response, replayed) = serve(i, &request);
+                    let (response, replayed, pending, legs, replay_cost) = serve(i, &request);
                     let vt_start_secs = *clock;
                     *clock += response.latency_secs;
                     DispatchedResponse {
                         response,
                         replayed,
+                        pending,
+                        legs,
+                        replay_cost,
                         worker: 0,
                         vt_start_secs,
                         vt_end_secs: *clock,
@@ -1585,12 +1668,16 @@ impl Executor {
                                 worker,
                                 vt_start_secs: clock,
                             });
-                            let (response, replayed) = serve(idx, &request);
+                            let (response, replayed, pending, legs, replay_cost) =
+                                serve(idx, &request);
                             let vt_start_secs = clock;
                             clock += response.latency_secs;
                             *slots[idx].lock().expect("slot poisoned") = Some(DispatchedResponse {
                                 response,
                                 replayed,
+                                pending,
+                                legs,
+                                replay_cost,
                                 worker,
                                 vt_start_secs,
                                 vt_end_secs: clock,
@@ -1638,9 +1725,57 @@ struct DispatchedResponse {
     response: ChatResponse,
     /// Rehydrated from a run journal — no model call happened.
     replayed: bool,
+    /// Speculative cascade legs awaiting plan-order settlement (present
+    /// only for fresh dispatches through a routed model stack).
+    pending: Option<RoutePending>,
+    /// Settled route legs, journaled with the completion; pre-filled from
+    /// the journal entry on replay, filled at settlement otherwise.
+    legs: Vec<RouteLegRecord>,
+    /// The journaled billed cost on replay. A routed completion bills the
+    /// settled per-leg sum, which the composite model's own pricing cannot
+    /// re-derive from the summed usage.
+    replay_cost: Option<f64>,
     worker: usize,
     vt_start_secs: f64,
     vt_end_secs: f64,
+}
+
+/// Builds the `RouteLeg` trace event for one leg record at cascade
+/// position `index`. Labels round-trip through the vocabulary interner so
+/// replayed (journal-parsed) legs carry the same static spellings live
+/// settlements do.
+fn route_leg_event(request: u64, index: usize, leg: &RouteLegRecord) -> TraceEvent {
+    TraceEvent::RouteLeg {
+        request,
+        route: leg.route.clone(),
+        index: index as u32,
+        outcome: dprep_obs::component::intern_label(&leg.outcome),
+        fault: leg
+            .fault
+            .as_deref()
+            .and_then(FaultKind::from_label)
+            .map(FaultKind::label),
+        retries: leg.retries,
+        prompt_tokens: leg.prompt_tokens,
+        completion_tokens: leg.completion_tokens,
+        cost_usd: leg.cost_usd,
+        latency_secs: leg.latency_secs,
+    }
+}
+
+/// Converts one settled cascade leg into the record its journal entry
+/// (and a resumed run's re-emitted trace) carries.
+fn settled_leg_record(leg: &SettledLeg) -> RouteLegRecord {
+    RouteLegRecord {
+        route: leg.route.clone(),
+        outcome: leg.outcome.label().to_string(),
+        fault: leg.fault.map(|f| f.label().to_string()),
+        retries: leg.retries,
+        prompt_tokens: leg.usage.prompt_tokens,
+        completion_tokens: leg.usage.completion_tokens,
+        cost_usd: leg.cost_usd,
+        latency_secs: leg.latency_secs,
+    }
 }
 
 /// Reconstructs the response a journaled completion recorded: same text,
@@ -1690,6 +1825,7 @@ fn completion_entry(
         complete: is_complete(request, response),
         cost_usd: cost,
         latency_secs: response.latency_secs,
+        legs: Vec::new(),
     }
 }
 

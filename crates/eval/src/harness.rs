@@ -74,7 +74,37 @@ pub fn run_llm_on_dataset(
     // the model profile's default at dispatch, not silently pinned here.
     let preprocessor = Preprocessor::new(&model, config.clone());
     let result = preprocessor.run(&dataset.instances, &dataset.few_shot);
+    score_run(result, dataset)
+}
 
+/// Runs a model cascade (cheapest first) over a dataset under `config` and
+/// scores it — the routed counterpart of [`run_llm_on_dataset`]. Every
+/// route is its own [`SimulatedLlm`] over the shared knowledge base and
+/// seed, fronted by a [`RouterLayer`](dprep_llm::RouterLayer) with the
+/// default escalation policy; per-route billing lands in
+/// `Scored::metrics.routes`.
+pub fn run_cascade_on_dataset(
+    profiles: &[ModelProfile],
+    dataset: &Dataset,
+    config: &PipelineConfig,
+    seed: u64,
+) -> Scored {
+    let kb = Arc::new(dataset.kb.clone());
+    let routes: Vec<Box<dyn dprep_llm::ChatModel>> = profiles
+        .iter()
+        .map(|p| {
+            Box::new(SimulatedLlm::new(p.clone(), Arc::clone(&kb)).with_seed(seed))
+                as Box<dyn dprep_llm::ChatModel>
+        })
+        .collect();
+    let router = dprep_llm::RouterLayer::new(routes, dprep_llm::EscalationPolicy::default());
+    let preprocessor = Preprocessor::new(&router, config.clone());
+    let result = preprocessor.run(&dataset.instances, &dataset.few_shot);
+    score_run(result, dataset)
+}
+
+/// Scores a finished run against the dataset's labels.
+fn score_run(result: dprep_core::RunResult, dataset: &Dataset) -> Scored {
     let failure_rate = result.failure_rate();
     let failures = result.failure_breakdown();
     debug_assert_eq!(

@@ -283,6 +283,15 @@ pub trait ChatModel: Send + Sync {
     fn context_window(&self) -> usize;
     /// Dollar cost of a request with the given usage.
     fn cost_usd(&self, usage: &Usage) -> f64;
+    /// Takes (consume-once) the cascade record a [`crate::router::RouterLayer`]
+    /// somewhere in this serving stack stashed for `trace_id` during
+    /// [`ChatModel::chat`]. The executor collects it right after dispatch and
+    /// settles it in plan order. Non-routing models return `None`; wrapper
+    /// layers forward to their inner model.
+    fn take_route_pending(&self, trace_id: u64) -> Option<crate::router::RoutePending> {
+        let _ = trace_id;
+        None
+    }
 }
 
 macro_rules! delegate_chat_model {
@@ -302,6 +311,9 @@ macro_rules! delegate_chat_model {
             }
             fn cost_usd(&self, usage: &Usage) -> f64 {
                 (**self).cost_usd(usage)
+            }
+            fn take_route_pending(&self, trace_id: u64) -> Option<crate::router::RoutePending> {
+                (**self).take_route_pending(trace_id)
             }
         }
     };

@@ -249,6 +249,24 @@ impl FaultScenario {
         }
     }
 
+    /// A route outage: every request times out, and keeps timing out no
+    /// matter how often it is retried — a route that is hard-down for the
+    /// whole run. Attach this to a cascade's primary route (secondary calm)
+    /// to prove the router degrades to the secondary with zero unserved
+    /// requests.
+    pub fn route_outage() -> Self {
+        FaultScenario {
+            name: "route-outage",
+            rules: vec![FaultRule {
+                rate: 1.0,
+                effect: FaultEffect::Timeout,
+                // Outlasts any retry budget: the outage never clears.
+                persist_attempts: u32::MAX,
+                tag: 0x61,
+            }],
+        }
+    }
+
     /// Every named preset, in sweep order.
     pub fn presets() -> Vec<FaultScenario> {
         vec![
@@ -259,6 +277,7 @@ impl FaultScenario {
             FaultScenario::latency_spikes(),
             FaultScenario::garbled(),
             FaultScenario::partial_batch(),
+            FaultScenario::route_outage(),
         ]
     }
 
@@ -407,12 +426,16 @@ impl<M: ChatModel> CircuitBreakerLayer<M> {
         }
     }
 
-    /// Folds a completed request's outcome back into the breaker.
-    fn observe(&self, request: u64, faulted: bool, was_probe: bool) {
+    /// Folds a completed request's outcome back into the breaker. `failed`
+    /// means the response carried a *retryable* transport fault — the only
+    /// class that signals upstream ill health. A non-retryable rejection
+    /// (content filter, policy refusal) proves the upstream is alive and
+    /// answering, so it closes a probe and never grows the failure streak.
+    fn observe(&self, request: u64, failed: bool, was_probe: bool) {
         let mut state = self.state.lock().expect("breaker poisoned");
         let from = *state;
         let to = if was_probe {
-            if faulted {
+            if failed {
                 BreakerState::Open {
                     remaining: self.config.cooldown_requests,
                 }
@@ -420,7 +443,7 @@ impl<M: ChatModel> CircuitBreakerLayer<M> {
                 BreakerState::Closed { streak: 0 }
             }
         } else {
-            match (*state, faulted) {
+            match (*state, failed) {
                 (BreakerState::Closed { streak }, true) => {
                     let streak = streak + 1;
                     if streak >= self.config.failure_threshold {
@@ -482,8 +505,13 @@ impl<M: ChatModel> ChatModel for CircuitBreakerLayer<M> {
             }
         };
         let response = self.inner.chat(request);
-        self.observe(request.trace_id, response.meta.fault.is_some(), was_probe);
+        let failed = response.meta.fault.is_some_and(FaultKind::is_retryable);
+        self.observe(request.trace_id, failed, was_probe);
         response
+    }
+
+    fn take_route_pending(&self, trace_id: u64) -> Option<crate::router::RoutePending> {
+        self.inner.take_route_pending(trace_id)
     }
 }
 
@@ -618,6 +646,103 @@ mod tests {
                 ("half-open".into(), "closed".into()),
             ]
         );
+    }
+
+    /// Answers with whatever fault is currently scripted (None = clean).
+    struct Moody {
+        fault: Mutex<Option<FaultKind>>,
+    }
+    impl Moody {
+        fn new(fault: Option<FaultKind>) -> Self {
+            Moody {
+                fault: Mutex::new(fault),
+            }
+        }
+        fn set_fault(&self, fault: Option<FaultKind>) {
+            *self.fault.lock().unwrap() = fault;
+        }
+    }
+    impl ChatModel for Moody {
+        fn name(&self) -> &str {
+            "moody"
+        }
+        fn context_window(&self) -> usize {
+            100_000
+        }
+        fn cost_usd(&self, usage: &Usage) -> f64 {
+            usage.total_tokens() as f64 * 1e-6
+        }
+        fn chat(&self, _request: &ChatRequest) -> ChatResponse {
+            let mut r = ChatResponse::new("Answer 1: yes\n", Usage::default(), 1.0);
+            r.meta.fault = *self.fault.lock().unwrap();
+            r
+        }
+    }
+
+    #[test]
+    fn route_outage_preset_downs_every_request_at_every_salt() {
+        let scenario = FaultScenario::route_outage();
+        for i in 0..32 {
+            for salt in [0u64, 1, 5, 100] {
+                let r = req(&format!("case {i}")).with_retry_salt(salt);
+                let (rule, _) = scenario
+                    .decide(9, &r, &r.full_text())
+                    .expect("always fires");
+                assert_eq!(rule.effect, FaultEffect::Timeout);
+            }
+        }
+        assert!(FaultScenario::by_name("route-outage").is_some());
+    }
+
+    #[test]
+    fn non_retryable_probe_closes_instead_of_reopening() {
+        // Regression: a half-open probe answered with a *non-retryable*
+        // fault (content-filter rejection) proves the upstream is alive and
+        // answering — it must close the circuit, not re-open it as a
+        // retryable transport failure would.
+        let model = Moody::new(Some(FaultKind::Timeout));
+        let breaker = CircuitBreakerLayer::new(&model).with_config(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_requests: 1,
+        });
+        for i in 0..2 {
+            let _ = breaker.chat(&req(&format!("f{i}")));
+        }
+        assert_eq!(breaker.state_label(), "open");
+        let _ = breaker.chat(&req("short"));
+        model.set_fault(Some(FaultKind::Rejected));
+        let probe = breaker.chat(&req("probe"));
+        assert_eq!(probe.meta.fault, Some(FaultKind::Rejected));
+        assert_eq!(breaker.state_label(), "closed");
+    }
+
+    #[test]
+    fn rejections_never_grow_the_failure_streak() {
+        // A rejecting upstream is healthy; any number of rejections leaves
+        // the breaker closed, and they also reset nothing mid-streak.
+        let model = Moody::new(Some(FaultKind::Rejected));
+        let breaker = CircuitBreakerLayer::new(&model).with_config(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_requests: 1,
+        });
+        for i in 0..6 {
+            let r = breaker.chat(&req(&format!("r{i}")));
+            assert_eq!(r.meta.fault, Some(FaultKind::Rejected));
+        }
+        assert_eq!(breaker.state_label(), "closed");
+        // A rejection mid-streak is evidence the upstream answers: like a
+        // success, it resets the consecutive-transport-failure count, so a
+        // timeout/rejection/timeout sequence never reaches the threshold.
+        model.set_fault(Some(FaultKind::Timeout));
+        let _ = breaker.chat(&req("t0"));
+        model.set_fault(Some(FaultKind::Rejected));
+        let _ = breaker.chat(&req("r-between"));
+        model.set_fault(Some(FaultKind::Timeout));
+        let _ = breaker.chat(&req("t1"));
+        assert_eq!(breaker.state_label(), "closed");
+        // Two consecutive transport faults still trip it.
+        let _ = breaker.chat(&req("t2"));
+        assert_eq!(breaker.state_label(), "open");
     }
 
     #[test]

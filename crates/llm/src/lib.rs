@@ -37,6 +37,9 @@
 //! * [`fault`] — scenario-driven fault schedules ([`FaultScenario`]
 //!   presets: burst outages, rate-limit storms, latency spikes, garbled
 //!   and partial completions) and the [`CircuitBreakerLayer`],
+//! * [`router`] — cheap-first model-cascade routing ([`RouterLayer`]
+//!   escalation across routes, plan-order breaker settlement via
+//!   [`RouteFold`]),
 //! * [`transcript`] — request/response recording with JSONL export,
 //! * [`json`] — the dependency-free JSON reader/writer behind the
 //!   transcript format.
@@ -58,6 +61,7 @@ pub mod model;
 pub mod profile;
 pub mod respond;
 pub mod rng;
+pub mod router;
 pub mod solvers;
 pub mod transcript;
 pub mod usage;
@@ -71,5 +75,9 @@ pub use middleware::{
 };
 pub use model::SimulatedLlm;
 pub use profile::{LatencyModel, ModelProfile, Pricing, TaskSkills};
+pub use router::{
+    EscalationPolicy, RouteAttempt, RouteFold, RouteOutcome, RoutePending, RouteSettlement,
+    RouterLayer, SettledLeg,
+};
 pub use transcript::{Recorded, TranscriptEntry, TranscriptRecorder};
 pub use usage::{Usage, UsageTotals};

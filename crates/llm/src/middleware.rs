@@ -228,6 +228,10 @@ impl<M: ChatModel> ChatModel for RetryLayer<M> {
         self.inner.cost_usd(usage)
     }
 
+    fn take_route_pending(&self, trace_id: u64) -> Option<crate::router::RoutePending> {
+        self.inner.take_route_pending(trace_id)
+    }
+
     fn chat(&self, request: &ChatRequest) -> ChatResponse {
         let mut total_usage = Usage::default();
         let mut total_latency = 0.0;
@@ -381,6 +385,10 @@ impl<M: ChatModel> ChatModel for CacheLayer<M> {
 
     fn cost_usd(&self, usage: &Usage) -> f64 {
         self.inner.cost_usd(usage)
+    }
+
+    fn take_route_pending(&self, trace_id: u64) -> Option<crate::router::RoutePending> {
+        self.inner.take_route_pending(trace_id)
     }
 
     fn chat(&self, request: &ChatRequest) -> ChatResponse {
@@ -539,6 +547,10 @@ impl<M: ChatModel> ChatModel for FaultLayer<M> {
 
     fn cost_usd(&self, usage: &Usage) -> f64 {
         self.inner.cost_usd(usage)
+    }
+
+    fn take_route_pending(&self, trace_id: u64) -> Option<crate::router::RoutePending> {
+        self.inner.take_route_pending(trace_id)
     }
 
     fn chat(&self, request: &ChatRequest) -> ChatResponse {
@@ -859,6 +871,7 @@ mod tests {
             complete,
             cost_usd: 0.0001,
             latency_secs: 2.0,
+            legs: Vec::new(),
         };
         let fp = request_fingerprint(&&model, &req);
         let warmed = warm_cache_store(&[

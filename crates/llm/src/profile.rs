@@ -243,6 +243,14 @@ impl ModelProfile {
             ModelProfile::vicuna13b(),
         ]
     }
+
+    /// Looks up a preset by its stable name (e.g. `sim-gpt-3.5`), as used
+    /// by `--model` and the `--route` cascade list.
+    pub fn by_name(name: &str) -> Option<ModelProfile> {
+        ModelProfile::all_presets()
+            .into_iter()
+            .find(|p| p.name == name)
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,17 @@
 //!    1 — no alert without a crossing. Alert chains span runs (a daemon's
 //!    SLO state outlives any single job), so this invariant does **not**
 //!    reset at `run_started`.
+//! 9. **Route-leg reconciliation** — a routed completion (one preceded by
+//!    `route_leg` events) bills exactly the sum over its legs: leg prompt
+//!    and completion tokens sum to the billed tokens, leg costs sum to
+//!    the billed cost (float tolerance), and leg retries sum to the
+//!    reported retry count. Exactly one leg is `served` — unless every
+//!    leg was `shorted` by an open breaker, in which case the completion
+//!    must carry the `circuit-open` fault. Legs precede their completion,
+//!    never accompany a cache hit or a cancellation, and replace the
+//!    per-attempt reconciliation of invariant 3 (route stacks run below
+//!    the tracer, so no `retry_attempt` events may accompany a routed
+//!    completion even though its leg retry counts are nonzero).
 //!
 //! Runs sharing one tracer must be sequential (the executor guarantees
 //! this: events of a run are bracketed by `run_started`/`run_finished`
@@ -75,6 +86,13 @@ struct RequestState {
     retry_events: u32,
     retry_prompt_tokens: usize,
     retry_completion_tokens: usize,
+    leg_events: u32,
+    served_legs: u32,
+    shorted_legs: u32,
+    leg_retries: u32,
+    leg_prompt_tokens: usize,
+    leg_completion_tokens: usize,
+    leg_cost_usd: f64,
 }
 
 #[derive(Debug, Default)]
@@ -184,10 +202,40 @@ impl Tracer for AuditTracer {
                 req.retry_prompt_tokens += prompt_tokens;
                 req.retry_completion_tokens += completion_tokens;
             }
+            TraceEvent::RouteLeg {
+                request,
+                outcome,
+                retries,
+                prompt_tokens,
+                completion_tokens,
+                cost_usd,
+                ..
+            } => {
+                let req = state.run.requests.entry(*request).or_default();
+                if req.completed {
+                    state.violations.push(format!(
+                        "request {request}: route leg arrived after completion"
+                    ));
+                }
+                req.leg_events += 1;
+                match *outcome {
+                    "served" => req.served_legs += 1,
+                    "shorted" => req.shorted_legs += 1,
+                    "escalated" => {}
+                    other => state.violations.push(format!(
+                        "request {request}: unknown route-leg outcome {other:?}"
+                    )),
+                }
+                req.leg_retries += retries;
+                req.leg_prompt_tokens += prompt_tokens;
+                req.leg_completion_tokens += completion_tokens;
+                req.leg_cost_usd += cost_usd;
+            }
             TraceEvent::Completed {
                 request,
                 cache_hit,
                 retries,
+                fault,
                 prompt_tokens,
                 completion_tokens,
                 attempt_prompt_tokens,
@@ -211,6 +259,13 @@ impl Tracer for AuditTracer {
                 req.billed_prompt_tokens = *prompt_tokens;
                 if *cache_hit {
                     state.run.cache_hit_completions += 1;
+                    if req.leg_events != 0 {
+                        state.violations.push(format!(
+                            "request {request}: cache hit preceded by {} route leg(s) \
+                             (cache hits dispatch no route)",
+                            req.leg_events
+                        ));
+                    }
                     if *cost_usd != 0.0 {
                         state.violations.push(format!(
                             "request {request}: cache hit billed ${cost_usd} (must be $0)"
@@ -228,7 +283,60 @@ impl Tracer for AuditTracer {
                     state.run.fresh_completion_tokens += completion_tokens;
                     state.run.fresh_cost_usd += cost_usd;
                     state.run.fresh_latency_secs += latency_secs;
-                    if req.replayed {
+                    if req.leg_events != 0 {
+                        // Routed completion: the per-attempt reconciliation
+                        // of invariant 3 is replaced by the per-leg sums.
+                        // Route stacks run below the tracer, so no
+                        // retry_attempt events fire even when legs retried.
+                        if req.retry_events != 0 {
+                            state.violations.push(format!(
+                                "request {request}: routed completion accompanied by {} \
+                                 retry_attempt events (must be 0)",
+                                req.retry_events
+                            ));
+                        }
+                        if *prompt_tokens != req.leg_prompt_tokens
+                            || *completion_tokens != req.leg_completion_tokens
+                        {
+                            state.violations.push(format!(
+                                "request {request}: billed \
+                                 {prompt_tokens}p/{completion_tokens}c tokens but route \
+                                 legs sum to {}p/{}c",
+                                req.leg_prompt_tokens, req.leg_completion_tokens
+                            ));
+                        }
+                        if (cost_usd - req.leg_cost_usd).abs() > EPS {
+                            state.violations.push(format!(
+                                "request {request}: billed ${cost_usd} but route legs \
+                                 sum to ${}",
+                                req.leg_cost_usd
+                            ));
+                        }
+                        if *retries != req.leg_retries {
+                            state.violations.push(format!(
+                                "request {request}: reports {retries} retries but route \
+                                 legs sum to {}",
+                                req.leg_retries
+                            ));
+                        }
+                        if req.served_legs != 1 {
+                            let all_shorted =
+                                req.served_legs == 0 && req.shorted_legs == req.leg_events;
+                            if !all_shorted {
+                                state.violations.push(format!(
+                                    "request {request}: {} served route legs (must be \
+                                     exactly 1 unless every leg shorted)",
+                                    req.served_legs
+                                ));
+                            } else if *fault != Some("circuit-open") {
+                                state.violations.push(format!(
+                                    "request {request}: every route leg shorted but the \
+                                     completion carries fault {fault:?} (must be \
+                                     circuit-open)"
+                                ));
+                            }
+                        }
+                    } else if req.replayed {
                         // A replayed completion carries its journaled retry
                         // count, but the retry_attempt events happened in the
                         // original run — none may re-fire here, and the
@@ -344,6 +452,13 @@ impl Tracer for AuditTracer {
                     state
                         .violations
                         .push(format!("request {request} cancelled twice"));
+                }
+                if req.leg_events != 0 {
+                    state.violations.push(format!(
+                        "request {request}: cancelled after {} route leg(s) \
+                         (cancellation precedes settlement)",
+                        req.leg_events
+                    ));
                 }
                 req.cancelled = true;
             }
@@ -1037,6 +1152,255 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.contains("retry_attempt events (must be 0)")));
+    }
+
+    fn leg(
+        request: u64,
+        route: &str,
+        index: u32,
+        outcome: &'static str,
+        retries: u32,
+        tokens: usize,
+        cost_usd: f64,
+    ) -> TraceEvent {
+        TraceEvent::RouteLeg {
+            request,
+            route: route.to_string(),
+            index,
+            outcome,
+            fault: if outcome == "served" {
+                None
+            } else {
+                Some("garbled")
+            },
+            retries,
+            prompt_tokens: tokens,
+            completion_tokens: tokens / 10,
+            cost_usd,
+            latency_secs: if tokens == 0 { 0.0 } else { 1.0 },
+        }
+    }
+
+    fn routed_completed(request: u64, retries: u32, tokens: usize, cost_usd: f64) -> TraceEvent {
+        TraceEvent::Completed {
+            request,
+            worker: 0,
+            cache_hit: false,
+            retries,
+            fault: None,
+            prompt_tokens: tokens,
+            completion_tokens: tokens / 10,
+            attempt_prompt_tokens: tokens / 2,
+            attempt_completion_tokens: tokens / 20,
+            cost_usd,
+            latency_secs: 2.0,
+            vt_start_secs: 0.0,
+            vt_end_secs: 2.0,
+        }
+    }
+
+    #[test]
+    fn routed_completion_reconciles_across_legs() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        // Cheap leg escalates (one retry inside its route stack), the
+        // expensive leg serves: the completion bills the sum of both.
+        audit.record(&leg(1, "sim-gpt-3.5", 0, "escalated", 1, 200, 0.1));
+        audit.record(&leg(1, "sim-gpt-4", 1, "served", 0, 100, 0.15));
+        audit.record(&routed_completed(1, 1, 300, 0.25));
+        audit.record(&TraceEvent::Parsed {
+            request: 1,
+            instance: 0,
+        });
+        audit.record(&finished(1, 0, 300));
+        audit.assert_clean();
+    }
+
+    #[test]
+    fn all_shorted_legs_require_a_circuit_open_completion() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&leg(1, "sim-gpt-3.5", 0, "shorted", 0, 0, 0.0));
+        audit.record(&leg(1, "sim-gpt-4", 1, "shorted", 0, 0, 0.0));
+        let mut done = routed_completed(1, 0, 0, 0.0);
+        if let TraceEvent::Completed {
+            fault,
+            attempt_prompt_tokens,
+            attempt_completion_tokens,
+            ..
+        } = &mut done
+        {
+            *fault = Some("circuit-open");
+            *attempt_prompt_tokens = 0;
+            *attempt_completion_tokens = 0;
+        }
+        audit.record(&done);
+        audit.record(&TraceEvent::Failed {
+            request: 1,
+            instance: 0,
+            kind: "circuit-open",
+        });
+        audit.record(&TraceEvent::RunFinished {
+            run: 1,
+            instances: 1,
+            answered: 0,
+            failed: 1,
+            requests: 1,
+            fresh_requests: 1,
+            cache_hits: 0,
+            prompt_tokens: 0,
+            completion_tokens: 0,
+            cost_usd: 0.0,
+            latency_secs: 2.0,
+        });
+        audit.assert_clean();
+        // The same legs under a fault-free completion are a violation.
+        let bad = AuditTracer::new();
+        bad.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        bad.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        bad.record(&leg(1, "sim-gpt-3.5", 0, "shorted", 0, 0, 0.0));
+        bad.record(&routed_completed(1, 0, 0, 0.0));
+        assert!(bad
+            .violations()
+            .iter()
+            .any(|v| v.contains("must be circuit-open")));
+    }
+
+    #[test]
+    fn detects_route_leg_billing_mismatches() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 2,
+            batches: 2,
+            requests: 2,
+        });
+        for request in 1..=2u64 {
+            audit.record(&TraceEvent::Planned {
+                request,
+                batches: 1,
+                instances: 1,
+            });
+        }
+        // Leg tokens/cost/retries that don't sum to the completion.
+        audit.record(&leg(1, "sim-gpt-3.5", 0, "escalated", 2, 200, 0.1));
+        audit.record(&leg(1, "sim-gpt-4", 1, "served", 0, 100, 0.15));
+        audit.record(&routed_completed(1, 0, 250, 0.5));
+        let violations = audit.violations();
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("route legs sum to 300p")));
+        assert!(violations.iter().any(|v| v.contains("route legs sum to $")));
+        assert!(violations.iter().any(|v| v.contains("route legs sum to 2")));
+        // Two served legs on one request is a double-serve.
+        audit.record(&leg(2, "sim-gpt-3.5", 0, "served", 0, 100, 0.1));
+        audit.record(&leg(2, "sim-gpt-4", 1, "served", 0, 100, 0.1));
+        audit.record(&routed_completed(2, 0, 200, 0.2));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("2 served route legs")));
+    }
+
+    #[test]
+    fn detects_route_legs_in_illegal_positions() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 3,
+            batches: 3,
+            requests: 3,
+        });
+        for request in 1..=3u64 {
+            audit.record(&TraceEvent::Planned {
+                request,
+                batches: 1,
+                instances: 1,
+            });
+        }
+        // A leg after its completion is out of order.
+        audit.record(&leg(1, "sim-gpt-3.5", 0, "served", 0, 100, 0.1));
+        audit.record(&routed_completed(1, 0, 100, 0.1));
+        audit.record(&leg(1, "sim-gpt-4", 1, "served", 0, 100, 0.1));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("after completion")));
+        // A cache hit dispatches no route, so legs may not precede it.
+        audit.record(&leg(2, "sim-gpt-3.5", 0, "served", 0, 0, 0.0));
+        audit.record(&completed(2, true, 0, 100));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("cache hits dispatch no route")));
+        // Cancellation precedes settlement: legs then cancel is a bug.
+        audit.record(&leg(3, "sim-gpt-3.5", 0, "served", 0, 50, 0.1));
+        audit.record(&TraceEvent::Cancelled {
+            request: 3,
+            reason: "token-budget",
+        });
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("cancellation precedes settlement")));
+    }
+
+    #[test]
+    fn routed_completions_forbid_retry_attempt_events() {
+        let audit = AuditTracer::new();
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 1,
+            batches: 1,
+            requests: 1,
+        });
+        audit.record(&TraceEvent::Planned {
+            request: 1,
+            batches: 1,
+            instances: 1,
+        });
+        audit.record(&TraceEvent::RetryAttempt {
+            request: 1,
+            attempt: 1,
+            prompt_tokens: 100,
+            completion_tokens: 10,
+            backoff_secs: 1.0,
+        });
+        audit.record(&leg(1, "sim-gpt-3.5", 0, "served", 0, 100, 0.1));
+        audit.record(&routed_completed(1, 0, 100, 0.1));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| v.contains("routed completion accompanied by 1")));
     }
 
     fn transition(

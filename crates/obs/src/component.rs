@@ -71,7 +71,7 @@ pub fn reconcile(sections: [usize; 5], billed: usize) -> [usize; 6] {
 /// maps to `"other"` — snapshots rebuilt from a trace produced by this
 /// workspace only ever see known labels.
 pub fn intern_label(label: &str) -> &'static str {
-    const KNOWN: [&str; 37] = [
+    const KNOWN: [&str; 40] = [
         // components
         TASK_SPEC,
         ANSWER_FORMAT,
@@ -103,6 +103,10 @@ pub fn intern_label(label: &str) -> &'static str {
         "closed",
         "open",
         "half-open",
+        // route-leg outcomes
+        "served",
+        "escalated",
+        "shorted",
         // SLO alert states
         "ok",
         "warning",

@@ -93,6 +93,36 @@ pub enum TraceEvent {
         /// Fault kind label (`timeout` / `truncated-completion`).
         kind: &'static str,
     },
+    /// One cascade leg of a routed request, settled in plan order by the
+    /// executor's route fold. Emitted immediately before the request's
+    /// `Completed` (one event per dispatched leg, in cascade order); the
+    /// billed numbers here sum, across a request's legs, to exactly the
+    /// `Completed` event's billed totals. A `shorted` leg — one whose
+    /// route's breaker was open when it settled — bills zeros.
+    RouteLeg {
+        /// Request id.
+        request: u64,
+        /// Route model name (e.g. `sim-gpt-3.5`).
+        route: String,
+        /// Cascade position (0 = primary).
+        index: u32,
+        /// How the leg ended: `served` / `escalated` / `shorted`.
+        outcome: &'static str,
+        /// Fault label the leg's final response carried, if any (kept for
+        /// shorted legs: it is the failure the open breaker absorbed).
+        fault: Option<&'static str>,
+        /// Billed retry attempts on this route (zero when shorted).
+        retries: u32,
+        /// Billed prompt tokens on this route (zero when shorted).
+        prompt_tokens: usize,
+        /// Billed completion tokens on this route (zero when shorted).
+        completion_tokens: usize,
+        /// Billed dollar cost at this route's own pricing (zero when
+        /// shorted).
+        cost_usd: f64,
+        /// Billed virtual latency on this route (zero when shorted).
+        latency_secs: f64,
+    },
     /// The executor received the request's final response.
     Completed {
         /// Request id.
@@ -333,6 +363,7 @@ impl TraceEvent {
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::RetryAttempt { .. } => "retry_attempt",
             TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::RouteLeg { .. } => "route_leg",
             TraceEvent::Completed { .. } => "completed",
             TraceEvent::PromptComponents { .. } => "prompt_components",
             TraceEvent::Stage { .. } => "stage",
@@ -361,6 +392,7 @@ impl TraceEvent {
             | TraceEvent::CacheHit { request }
             | TraceEvent::RetryAttempt { request, .. }
             | TraceEvent::FaultInjected { request, .. }
+            | TraceEvent::RouteLeg { request, .. }
             | TraceEvent::Completed { request, .. }
             | TraceEvent::PromptComponents { request, .. }
             | TraceEvent::Parsed { request, .. }

@@ -151,6 +151,29 @@ pub fn event_to_json(event: &TraceEvent) -> String {
         TraceEvent::FaultInjected { request, kind } => {
             line.u64("request", *request).str("kind", kind);
         }
+        TraceEvent::RouteLeg {
+            request,
+            route,
+            index,
+            outcome,
+            fault,
+            retries,
+            prompt_tokens,
+            completion_tokens,
+            cost_usd,
+            latency_secs,
+        } => {
+            line.u64("request", *request)
+                .str("route", route)
+                .u64("index", u64::from(*index))
+                .str("outcome", outcome)
+                .opt_str("fault", *fault)
+                .u64("retries", u64::from(*retries))
+                .usize("prompt_tokens", *prompt_tokens)
+                .usize("completion_tokens", *completion_tokens)
+                .f64("cost_usd", *cost_usd)
+                .f64("latency_secs", *latency_secs);
+        }
         TraceEvent::Completed {
             request,
             worker,
@@ -401,6 +424,23 @@ pub fn event_from_json(value: &Json) -> Result<TraceEvent, String> {
         "fault_injected" => Ok(TraceEvent::FaultInjected {
             request: u("request")?,
             kind: s("kind")?,
+        }),
+        "route_leg" => Ok(TraceEvent::RouteLeg {
+            request: u("request")?,
+            route: so("route")?,
+            index: u("index")? as u32,
+            outcome: s("outcome")?,
+            fault: match value.get("fault") {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(crate::component::intern_label(
+                    v.as_str().ok_or("route_leg: fault is not a string")?,
+                )),
+            },
+            retries: u("retries")? as u32,
+            prompt_tokens: us("prompt_tokens")?,
+            completion_tokens: us("completion_tokens")?,
+            cost_usd: f("cost_usd")?,
+            latency_secs: f("latency_secs")?,
         }),
         "completed" => Ok(TraceEvent::Completed {
             request: u("request")?,
@@ -687,6 +727,30 @@ mod tests {
             TraceEvent::FaultInjected {
                 request: 702,
                 kind: "timeout",
+            },
+            TraceEvent::RouteLeg {
+                request: 702,
+                route: "sim-gpt-3.5".to_string(),
+                index: 0,
+                outcome: "shorted",
+                fault: Some("timeout"),
+                retries: 0,
+                prompt_tokens: 0,
+                completion_tokens: 0,
+                cost_usd: 0.0,
+                latency_secs: 0.0,
+            },
+            TraceEvent::RouteLeg {
+                request: 702,
+                route: "sim-gpt-4".to_string(),
+                index: 1,
+                outcome: "served",
+                fault: None,
+                retries: 1,
+                prompt_tokens: 80,
+                completion_tokens: 8,
+                cost_usd: 0.003,
+                latency_secs: 4.5,
             },
             TraceEvent::Completed {
                 request: 702,

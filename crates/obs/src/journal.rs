@@ -121,6 +121,35 @@ pub struct JournalEntry {
     pub cost_usd: f64,
     /// Billed virtual latency, including retries and backoff.
     pub latency_secs: f64,
+    /// Settled cascade legs, for requests served by a model router. Empty
+    /// for single-model runs (and omitted from the encoding, so non-routed
+    /// journals are byte-identical to the pre-router format and legacy
+    /// journals parse with no legs). On resume the legs re-advance the
+    /// executor's route fold so later settlements see exactly the breaker
+    /// state the uninterrupted run reached.
+    pub legs: Vec<RouteLegRecord>,
+}
+
+/// One settled cascade leg as journaled: the billed view (a `shorted` leg
+/// keeps its fault label but zeroed billing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteLegRecord {
+    /// Route model name.
+    pub route: String,
+    /// Outcome label: `served` / `escalated` / `shorted`.
+    pub outcome: String,
+    /// Fault label the leg's final response carried, if any.
+    pub fault: Option<String>,
+    /// Billed retries.
+    pub retries: u32,
+    /// Billed prompt tokens.
+    pub prompt_tokens: usize,
+    /// Billed completion tokens.
+    pub completion_tokens: usize,
+    /// Billed dollar cost at the route's own pricing.
+    pub cost_usd: f64,
+    /// Billed virtual latency.
+    pub latency_secs: f64,
 }
 
 impl JournalEntry {
@@ -140,6 +169,7 @@ impl JournalEntry {
             complete: false,
             cost_usd: 0.0,
             latency_secs: 0.0,
+            legs: Vec::new(),
         }
     }
 }
@@ -196,8 +226,69 @@ fn header_from_json(value: &Json) -> Result<JournalHeader, String> {
     })
 }
 
-fn entry_to_line(entry: &JournalEntry) -> String {
+fn leg_to_json(leg: &RouteLegRecord) -> Json {
     Json::Obj(vec![
+        ("route".into(), Json::Str(leg.route.clone())),
+        ("outcome".into(), Json::Str(leg.outcome.clone())),
+        (
+            "fault".into(),
+            match &leg.fault {
+                Some(label) => Json::Str(label.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("retries".into(), Json::Num(f64::from(leg.retries))),
+        ("prompt_tokens".into(), Json::Num(leg.prompt_tokens as f64)),
+        (
+            "completion_tokens".into(),
+            Json::Num(leg.completion_tokens as f64),
+        ),
+        ("cost_usd".into(), Json::Num(leg.cost_usd)),
+        ("latency_secs".into(), Json::Num(leg.latency_secs)),
+    ])
+}
+
+fn leg_from_json(value: &Json) -> Result<RouteLegRecord, String> {
+    let us = |key: &str| -> Result<usize, String> {
+        value
+            .get(key)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("route leg missing integer field {key:?}"))
+    };
+    let f = |key: &str| -> Result<f64, String> {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("route leg missing number field {key:?}"))
+    };
+    let s = |key: &str| -> Result<String, String> {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("route leg missing string field {key:?}"))
+    };
+    Ok(RouteLegRecord {
+        route: s("route")?,
+        outcome: s("outcome")?,
+        fault: match value.get("fault") {
+            Some(Json::Null) | None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("route leg fault is not a string")?
+                    .to_string(),
+            ),
+        },
+        retries: us("retries")? as u32,
+        prompt_tokens: us("prompt_tokens")?,
+        completion_tokens: us("completion_tokens")?,
+        cost_usd: f("cost_usd")?,
+        latency_secs: f("latency_secs")?,
+    })
+}
+
+fn entry_to_line(entry: &JournalEntry) -> String {
+    let mut fields = vec![
         ("journal".into(), Json::Str("entry".into())),
         ("fingerprint".into(), hex(entry.fingerprint)),
         ("kind".into(), Json::Str(entry.kind.label().into())),
@@ -229,9 +320,17 @@ fn entry_to_line(entry: &JournalEntry) -> String {
         ("complete".into(), Json::Bool(entry.complete)),
         ("cost_usd".into(), Json::Num(entry.cost_usd)),
         ("latency_secs".into(), Json::Num(entry.latency_secs)),
-        ("text".into(), Json::Str(entry.text.clone())),
-    ])
-    .to_json()
+    ];
+    // Routed entries only: omitting the key keeps single-model journals
+    // byte-identical to the pre-router format.
+    if !entry.legs.is_empty() {
+        fields.push((
+            "legs".into(),
+            Json::Arr(entry.legs.iter().map(leg_to_json).collect()),
+        ));
+    }
+    fields.push(("text".into(), Json::Str(entry.text.clone())));
+    Json::Obj(fields).to_json()
 }
 
 fn entry_from_json(value: &Json) -> Result<JournalEntry, String> {
@@ -279,6 +378,15 @@ fn entry_from_json(value: &Json) -> Result<JournalEntry, String> {
         },
         cost_usd: f("cost_usd")?,
         latency_secs: f("latency_secs")?,
+        legs: match value.get("legs") {
+            // Absent (single-model or pre-router journal): no legs.
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(leg_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(other) => return Err(format!("entry legs is not an array: {}", other.to_json())),
+        },
     })
 }
 
@@ -632,7 +740,35 @@ mod tests {
             complete: false,
             cost_usd: 0.12345,
             latency_secs: 33.25,
+            legs: Vec::new(),
         }
+    }
+
+    fn routed_entry(fingerprint: u64) -> JournalEntry {
+        let mut entry = sample_entry(fingerprint);
+        entry.legs = vec![
+            RouteLegRecord {
+                route: "sim-gpt-3.5".to_string(),
+                outcome: "shorted".to_string(),
+                fault: Some("timeout".to_string()),
+                retries: 0,
+                prompt_tokens: 0,
+                completion_tokens: 0,
+                cost_usd: 0.0,
+                latency_secs: 0.0,
+            },
+            RouteLegRecord {
+                route: "sim-gpt-4".to_string(),
+                outcome: "served".to_string(),
+                fault: None,
+                retries: 1,
+                prompt_tokens: 120,
+                completion_tokens: 12,
+                cost_usd: 0.12345,
+                latency_secs: 33.25,
+            },
+        ];
+        entry
     }
 
     fn temp_path(name: &str) -> PathBuf {
@@ -655,6 +791,24 @@ mod tests {
         };
         let parsed = header_from_json(&Json::parse(&header_to_line(&header)).unwrap()).unwrap();
         assert_eq!(parsed, header);
+    }
+
+    #[test]
+    fn routed_entries_round_trip_and_legless_lines_stay_legacy() {
+        // Routed: legs round-trip exactly.
+        let entry = routed_entry(11);
+        let line = entry_to_line(&entry);
+        assert!(line.contains("\"legs\":["), "{line}");
+        let parsed = entry_from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, entry);
+        // Single-model: no "legs" key at all, so the encoding is
+        // byte-identical to the pre-router format, and a legacy line with
+        // no key parses back to empty legs.
+        let plain = sample_entry(12);
+        let line = entry_to_line(&plain);
+        assert!(!line.contains("legs"), "{line}");
+        let parsed = entry_from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert!(parsed.legs.is_empty());
     }
 
     #[test]

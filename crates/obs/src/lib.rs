@@ -82,7 +82,9 @@ pub mod window;
 pub use audit::AuditTracer;
 pub use event::TraceEvent;
 pub use export::{parse_trace, JsonlTracer};
-pub use journal::{DurableJournal, JournalEntry, JournalHeader, ResumedJournal, TerminalKind};
+pub use journal::{
+    DurableJournal, JournalEntry, JournalHeader, ResumedJournal, RouteLegRecord, TerminalKind,
+};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsRecorder, MetricsSnapshot};
 pub use recorder::FlightRecorder;

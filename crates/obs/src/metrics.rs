@@ -211,6 +211,72 @@ pub(crate) fn micros(secs: f64) -> u64 {
     (secs * 1e6).round().max(0.0) as u64
 }
 
+/// Per-route billing and outcome totals, folded from `route_leg` events.
+///
+/// Keys are route (model) names, so the map is `String`-keyed unlike the
+/// interned-label maps: cascades name arbitrary model profiles.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RouteStats {
+    /// Legs dispatched (or shorted) on this route.
+    pub legs: usize,
+    /// Legs that served their request's final answer.
+    pub served: usize,
+    /// Legs whose response triggered escalation to the next route.
+    pub escalated: usize,
+    /// Legs shorted by the route's open breaker (billed zero).
+    pub shorted: usize,
+    /// Retry attempts inside this route's stack.
+    pub retries: usize,
+    /// Billed prompt tokens attributed to this route.
+    pub prompt_tokens: usize,
+    /// Billed completion tokens attributed to this route.
+    pub completion_tokens: usize,
+    /// Billed dollar cost attributed to this route.
+    pub cost_usd: f64,
+}
+
+impl RouteStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("legs".into(), Json::Num(self.legs as f64)),
+            ("served".into(), Json::Num(self.served as f64)),
+            ("escalated".into(), Json::Num(self.escalated as f64)),
+            ("shorted".into(), Json::Num(self.shorted as f64)),
+            ("retries".into(), Json::Num(self.retries as f64)),
+            ("prompt_tokens".into(), Json::Num(self.prompt_tokens as f64)),
+            (
+                "completion_tokens".into(),
+                Json::Num(self.completion_tokens as f64),
+            ),
+            ("cost_usd".into(), Json::Num(self.cost_usd)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<RouteStats> {
+        Some(RouteStats {
+            legs: value.get("legs")?.as_usize()?,
+            served: value.get("served")?.as_usize()?,
+            escalated: value.get("escalated")?.as_usize()?,
+            shorted: value.get("shorted")?.as_usize()?,
+            retries: value.get("retries")?.as_usize()?,
+            prompt_tokens: value.get("prompt_tokens")?.as_usize()?,
+            completion_tokens: value.get("completion_tokens")?.as_usize()?,
+            cost_usd: value.get("cost_usd")?.as_f64()?,
+        })
+    }
+
+    fn merge(&mut self, other: &RouteStats) {
+        self.legs += other.legs;
+        self.served += other.served;
+        self.escalated += other.escalated;
+        self.shorted += other.shorted;
+        self.retries += other.retries;
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+        self.cost_usd += other.cost_usd;
+    }
+}
+
 /// Immutable aggregate of one or more runs' serving behaviour.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricsSnapshot {
@@ -254,6 +320,9 @@ pub struct MetricsSnapshot {
     pub journal_written: usize,
     /// Torn journal tail lines truncated at recovery.
     pub journal_truncated: usize,
+    /// Per-route billing/outcome totals for cascade runs (empty when no
+    /// router is configured).
+    pub routes: BTreeMap<String, RouteStats>,
     /// Per-request virtual latency, in microseconds (fresh requests only).
     pub latency_us: Histogram,
     /// Per-request prompt tokens (fresh requests only).
@@ -266,6 +335,28 @@ impl MetricsSnapshot {
     /// Total failed instances across all kinds.
     pub fn failed(&self) -> usize {
         self.failures.values().sum()
+    }
+
+    /// Requests served by some route (each routed request that completed
+    /// past its cascade contributes exactly one served leg).
+    pub fn route_served(&self) -> usize {
+        self.routes.values().map(|r| r.served).sum()
+    }
+
+    /// Escalation legs across all routes: how often a cheaper route's
+    /// answer was rejected and the request moved up the cascade.
+    pub fn route_escalated(&self) -> usize {
+        self.routes.values().map(|r| r.escalated).sum()
+    }
+
+    /// Escalations per served routed request (`0.0` when nothing routed).
+    pub fn escalation_rate(&self) -> f64 {
+        let served = self.route_served();
+        if served == 0 {
+            0.0
+        } else {
+            self.route_escalated() as f64 / served as f64
+        }
     }
 
     /// Rebuilds a snapshot by replaying `events` through a
@@ -313,6 +404,15 @@ impl MetricsSnapshot {
                 Json::Num(self.completion_tokens as f64),
             ),
             ("component_tokens".into(), map(&self.component_tokens)),
+            (
+                "routes".into(),
+                Json::Obj(
+                    self.routes
+                        .iter()
+                        .map(|(name, stats)| (name.clone(), stats.to_json()))
+                        .collect(),
+                ),
+            ),
             ("cost_usd".into(), Json::Num(self.cost_usd)),
             (
                 "journal_replayed".into(),
@@ -367,6 +467,19 @@ impl MetricsSnapshot {
             prompt_tokens: value.get("prompt_tokens")?.as_usize()?,
             completion_tokens: value.get("completion_tokens")?.as_usize()?,
             component_tokens: map("component_tokens")?,
+            // Absent in snapshots written before the cascade router: an
+            // un-routed run has no per-route rows.
+            routes: match value.get("routes") {
+                None | Some(Json::Null) => BTreeMap::new(),
+                Some(Json::Obj(fields)) => {
+                    let mut out = BTreeMap::new();
+                    for (name, stats) in fields {
+                        out.insert(name.clone(), RouteStats::from_json(stats)?);
+                    }
+                    out
+                }
+                Some(_) => return None,
+            },
             cost_usd: value.get("cost_usd")?.as_f64()?,
             // Absent in snapshots written before durable runs: zero.
             journal_replayed: value
@@ -408,6 +521,9 @@ impl MetricsSnapshot {
         self.completion_tokens += other.completion_tokens;
         for (component, n) in &other.component_tokens {
             *self.component_tokens.entry(component).or_insert(0) += n;
+        }
+        for (route, stats) in &other.routes {
+            self.routes.entry(route.clone()).or_default().merge(stats);
         }
         self.cost_usd += other.cost_usd;
         self.journal_replayed += other.journal_replayed;
@@ -486,6 +602,27 @@ impl MetricsSnapshot {
             out.push_str(&format!(
                 "    component {component:<17} {n:>8} ({share:.1}%)\n"
             ));
+        }
+        if !self.routes.is_empty() {
+            out.push_str(&format!(
+                "  cascade         {} served, {} escalations ({:.1}% rate)\n",
+                self.route_served(),
+                self.route_escalated(),
+                100.0 * self.escalation_rate()
+            ));
+            for (route, stats) in &self.routes {
+                out.push_str(&format!(
+                    "    route {route:<21} {} legs ({} served, {} escalated, \
+                     {} shorted), tokens {}+{}, ${:.4}\n",
+                    stats.legs,
+                    stats.served,
+                    stats.escalated,
+                    stats.shorted,
+                    stats.prompt_tokens,
+                    stats.completion_tokens,
+                    stats.cost_usd
+                ));
+            }
         }
         if self.latency_us.count() > 0 {
             out.push_str(&format!(
@@ -584,6 +721,28 @@ impl Tracer for MetricsRecorder {
                         *m.component_tokens.entry(component).or_insert(0) += n;
                     }
                 }
+            }
+            TraceEvent::RouteLeg {
+                route,
+                outcome,
+                retries,
+                prompt_tokens,
+                completion_tokens,
+                cost_usd,
+                ..
+            } => {
+                let stats = m.routes.entry(route.clone()).or_default();
+                stats.legs += 1;
+                match *outcome {
+                    "served" => stats.served += 1,
+                    "escalated" => stats.escalated += 1,
+                    "shorted" => stats.shorted += 1,
+                    _ => {}
+                }
+                stats.retries += *retries as usize;
+                stats.prompt_tokens += prompt_tokens;
+                stats.completion_tokens += completion_tokens;
+                stats.cost_usd += cost_usd;
             }
             TraceEvent::Parsed { .. } => m.answered += 1,
             TraceEvent::Failed { kind, .. } => {
@@ -921,6 +1080,68 @@ mod tests {
             MetricsSnapshot::from_json(&crate::json::Json::parse(&hostile).unwrap()).unwrap();
         assert_eq!(parsed.failures.get("other"), Some(&2));
         assert_eq!(parsed.failed(), live.failed());
+    }
+
+    #[test]
+    fn route_legs_fold_round_trip_and_merge() {
+        let rec = MetricsRecorder::new();
+        let leg =
+            |route: &str, outcome: &'static str, tokens: usize, cost: f64| TraceEvent::RouteLeg {
+                request: 1,
+                route: route.to_string(),
+                index: 0,
+                outcome,
+                fault: None,
+                retries: usize::from(outcome == "escalated") as u32,
+                prompt_tokens: tokens,
+                completion_tokens: tokens / 10,
+                cost_usd: cost,
+                latency_secs: 1.0,
+            };
+        rec.record(&leg("sim-gpt-3.5", "escalated", 200, 0.1));
+        rec.record(&leg("sim-gpt-4", "served", 100, 0.15));
+        rec.record(&leg("sim-gpt-3.5", "shorted", 0, 0.0));
+        rec.record(&leg("sim-gpt-4", "served", 120, 0.2));
+        let m = rec.snapshot();
+        assert_eq!(m.routes.len(), 2);
+        let cheap = &m.routes["sim-gpt-3.5"];
+        assert_eq!((cheap.legs, cheap.escalated, cheap.shorted), (2, 1, 1));
+        assert_eq!(cheap.prompt_tokens, 200);
+        assert_eq!(cheap.retries, 1);
+        let big = &m.routes["sim-gpt-4"];
+        assert_eq!((big.legs, big.served), (2, 2));
+        assert_eq!(m.route_served(), 2);
+        assert_eq!(m.route_escalated(), 1);
+        assert!((m.escalation_rate() - 0.5).abs() < 1e-12);
+        assert!(m.summary().contains("route sim-gpt-3.5"), "{}", m.summary());
+        // JSON round trip keeps the map; serialization is byte-stable.
+        let text = m.to_json().to_json();
+        let rebuilt =
+            MetricsSnapshot::from_json(&crate::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(rebuilt, m);
+        assert_eq!(rebuilt.to_json().to_json(), text);
+        // A pre-router snapshot (no routes key) still parses as un-routed.
+        let legacy = text.replace(
+            &format!(
+                "\"routes\":{},",
+                m.to_json().get("routes").unwrap().to_json()
+            ),
+            "",
+        );
+        assert_ne!(legacy, text);
+        let parsed =
+            MetricsSnapshot::from_json(&crate::json::Json::parse(&legacy).unwrap()).unwrap();
+        assert!(parsed.routes.is_empty());
+        // Merge adds per-route, and is commutative.
+        let mut ab = m.clone();
+        ab.merge(&parsed);
+        let mut ba = parsed.clone();
+        ba.merge(&m);
+        assert_eq!(ab.routes, ba.routes);
+        let mut doubled = m.clone();
+        doubled.merge(&m);
+        assert_eq!(doubled.routes["sim-gpt-4"].served, 4);
+        assert_eq!(doubled.routes["sim-gpt-3.5"].prompt_tokens, 400);
     }
 
     #[test]

@@ -310,6 +310,65 @@ impl RunReport {
                 "dprep_component_prompt_tokens_total{{component=\"{component}\"}} {n}"
             );
         }
+        if !m.routes.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP dprep_route_legs_total Cascade legs by route and outcome."
+            );
+            let _ = writeln!(out, "# TYPE dprep_route_legs_total counter");
+            for (route, stats) in &m.routes {
+                for (outcome, n) in [
+                    ("served", stats.served),
+                    ("escalated", stats.escalated),
+                    ("shorted", stats.shorted),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "dprep_route_legs_total{{route=\"{}\",outcome=\"{outcome}\"}} {n}",
+                        escape_label(route)
+                    );
+                }
+            }
+            type RouteSeries = (
+                &'static str,
+                &'static str,
+                fn(&crate::metrics::RouteStats) -> f64,
+            );
+            let series: [RouteSeries; 4] = [
+                (
+                    "dprep_route_prompt_tokens_total",
+                    "Billed prompt tokens by route.",
+                    |r| r.prompt_tokens as f64,
+                ),
+                (
+                    "dprep_route_completion_tokens_total",
+                    "Billed completion tokens by route.",
+                    |r| r.completion_tokens as f64,
+                ),
+                (
+                    "dprep_route_cost_usd_total",
+                    "Billed dollar cost by route.",
+                    |r| r.cost_usd,
+                ),
+                (
+                    "dprep_route_retries_total",
+                    "Retry attempts inside each route's stack.",
+                    |r| r.retries as f64,
+                ),
+            ];
+            for (name, help, value) in series {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} counter");
+                for (route, stats) in &m.routes {
+                    let _ = writeln!(
+                        out,
+                        "{name}{{route=\"{}\"}} {}",
+                        escape_label(route),
+                        Json::Num(value(stats)).to_json()
+                    );
+                }
+            }
+        }
         let _ = writeln!(
             out,
             "# HELP dprep_request_latency_seconds Per-request virtual latency."
@@ -441,6 +500,24 @@ impl RunReport {
                 let vb = *mb.get(*key).unwrap_or(&0) as f64;
                 row(&format!("{prefix} {key}"), va, vb);
             }
+        }
+        let routes: std::collections::BTreeSet<&String> =
+            a.routes.keys().chain(b.routes.keys()).collect();
+        let empty = crate::metrics::RouteStats::default();
+        for route in routes {
+            let ra = a.routes.get(route).unwrap_or(&empty);
+            let rb = b.routes.get(route).unwrap_or(&empty);
+            row(
+                &format!("route {route} served"),
+                ra.served as f64,
+                rb.served as f64,
+            );
+            row(
+                &format!("route {route} escalated"),
+                ra.escalated as f64,
+                rb.escalated as f64,
+            );
+            row(&format!("route {route} cost ($)"), ra.cost_usd, rb.cost_usd);
         }
         out
     }
@@ -764,6 +841,55 @@ mod tests {
         assert!(quiet.alerts.is_empty());
         assert!(!quiet.render(ReportFormat::Text).contains("alert timeline"));
         assert!(!quiet.render(ReportFormat::Prom).contains("slo_transitions"));
+    }
+
+    #[test]
+    fn routed_traces_render_route_rows_in_every_format() {
+        let mut trace = sample_trace();
+        for (route, index, outcome, tokens, cost) in [
+            ("sim-gpt-3.5", 0u32, "escalated", 60usize, 0.05),
+            ("sim-gpt-4", 1, "served", 40, 0.2),
+        ] {
+            trace.push_str(&event_to_json(&TraceEvent::RouteLeg {
+                request: 1,
+                route: route.to_string(),
+                index,
+                outcome,
+                fault: None,
+                retries: 0,
+                prompt_tokens: tokens,
+                completion_tokens: tokens / 10,
+                cost_usd: cost,
+                latency_secs: 1.0,
+            }));
+            trace.push('\n');
+        }
+        let report = RunReport::from_contents(&trace).unwrap();
+        assert_eq!(report.metrics.routes.len(), 2);
+        assert_eq!(report.metrics.route_escalated(), 1);
+        let text = report.render(ReportFormat::Text);
+        assert!(text.contains("route sim-gpt-3.5"), "{text}");
+        assert!(text.contains("1 escalations (100.0% rate)"), "{text}");
+        let prom = report.render(ReportFormat::Prom);
+        assert!(
+            prom.contains("dprep_route_legs_total{route=\"sim-gpt-3.5\",outcome=\"escalated\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("dprep_route_cost_usd_total{route=\"sim-gpt-4\"} 0.2"),
+            "{prom}"
+        );
+        // Snapshot round trip carries the route map into a new report.
+        let snapshot = report.metrics.to_json().to_json();
+        let from_snapshot = RunReport::from_contents(&snapshot).unwrap();
+        assert_eq!(from_snapshot.metrics.routes, report.metrics.routes);
+        // The diff unions route keys against an un-routed run.
+        let plain = RunReport::from_contents(&sample_trace()).unwrap();
+        let diff = plain.render_diff(&report);
+        assert!(diff.contains("route sim-gpt-4 served"), "{diff}");
+        assert!(diff.contains("route sim-gpt-3.5 escalated"), "{diff}");
+        // An un-routed report emits no route series at all.
+        assert!(!plain.render(ReportFormat::Prom).contains("dprep_route_"));
     }
 
     #[test]

@@ -247,6 +247,18 @@ impl Tracer for SpanProfileBuilder {
             TraceEvent::FaultInjected { request, .. } => {
                 state.pending.entry(*request).or_default().faults += 1;
             }
+            // Settled cascade legs arrive in plan order right before their
+            // request's `Completed`; the billed leg latency is a subset of
+            // the completion's span, exactly like retry backoff.
+            TraceEvent::RouteLeg {
+                route,
+                outcome,
+                latency_secs,
+                ..
+            } => {
+                let path = format!("run/dispatch/request/route/{route}/{outcome}");
+                state.bump(&path, 1, to_us(*latency_secs), 0);
+            }
             TraceEvent::Completed {
                 request,
                 latency_secs,

@@ -17,11 +17,13 @@ echo "== serving-ledger audit invariants =="
 cargo test -q --test audit_invariants
 cargo test -q -p dprep-core --lib exec::tests::audit_tracer_passes_on_a_faulty_retried_cached_run
 
-echo "== durable runs: journal resume tests + chaos kill-point drill =="
+echo "== durable runs: journal resume tests + chaos drills =="
 cargo test -q --test durable_resume
-# One-scenario sweep still runs the breaker drill and the full kill-point
-# drill (kill after every Nth terminal event, resume, assert bit-identity
-# and exactly-once billing).
+# One-scenario sweep still runs the breaker drill, the route-outage drill
+# (primary route hard-down: every request served by the secondary,
+# per-route billing reconciled, bit-identical at workers 1/2/4), and the
+# full kill-point drill (kill after every Nth terminal event, resume,
+# assert bit-identity and exactly-once billing).
 cargo run --release -q -p dprep-cli --bin dprep -- chaos --scenario partial-batch > /dev/null
 
 echo "== serving smoke: daemon self-check + e2e suite =="
@@ -55,5 +57,13 @@ echo "== bench-regression gate (pinned Table 3 sweep vs BENCH_baseline.json) =="
 # and prints the sweep's per-component cost table.
 cargo run --release -q -p dprep-bench --bin bench_report -- \
   --out BENCH_report.json --check BENCH_baseline.json
+
+echo "== router gate (cascade cost/F1 frontier vs BENCH_router_baseline.json) =="
+# Table 3 sweep x {sim-gpt-3.5, sim-gpt-4, cascade} at pinned scale/seed
+# (~10k billed instances): per-arm billed tokens and escalation-leg counts
+# must match the checked-in baseline exactly; total virtual latency gets
+# the same 20% tolerance as bench_report.
+cargo run --release -q -p dprep-bench --bin bench_router -- \
+  --out BENCH_router.json --check BENCH_router_baseline.json
 
 echo "All checks passed."

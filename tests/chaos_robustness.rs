@@ -6,14 +6,16 @@
 use std::sync::Arc;
 
 use llm_data_preprocessors::core::{
-    ExecutionOptions, FailureKind, PipelineConfig, Prediction, Preprocessor, RunResult,
+    Durability, ExecutionOptions, FailureKind, PipelineConfig, Prediction, Preprocessor, RunResult,
 };
 use llm_data_preprocessors::datasets::{dataset_by_name, Dataset};
 use llm_data_preprocessors::llm::{
-    CacheLayer, ChatModel, CircuitBreakerLayer, FaultLayer, FaultScenario, ModelProfile,
-    RetryLayer, SimulatedLlm,
+    CacheLayer, ChatModel, CircuitBreakerLayer, EscalationPolicy, FaultLayer, FaultScenario,
+    ModelProfile, RetryLayer, RouterLayer, SimulatedLlm,
 };
-use llm_data_preprocessors::obs::{AuditTracer, CollectingTracer, MultiTracer, TraceEvent, Tracer};
+use llm_data_preprocessors::obs::{
+    AuditTracer, CollectingTracer, DurableJournal, MultiTracer, TraceEvent, Tracer,
+};
 
 /// Runs a dataset through the pipeline with explicit execution options.
 fn run_with_options(
@@ -117,6 +119,119 @@ fn token_budget_trips_mid_run_with_partial_results() {
     assert_eq!(runs[0].usage, runs[1].usage);
     assert_eq!(runs[0].metrics, runs[1].metrics);
     assert_eq!(runs[0].stats.cancelled, runs[1].stats.cancelled);
+}
+
+/// A cheap-first cascade with `scenario` injected on the primary route.
+/// Route stacks carry no tracer: the ledger audit reconciles routed
+/// completions against their `route_leg` events, not retry attempts.
+fn faulted_cascade(ds: &Dataset, scenario: &FaultScenario, seed: u64) -> RouterLayer {
+    let kb = Arc::new(ds.kb.clone());
+    let primary = SimulatedLlm::new(ModelProfile::gpt35(), Arc::clone(&kb)).with_seed(seed);
+    let primary = RetryLayer::new(FaultLayer::scenario(primary, scenario.clone(), seed), 2);
+    let secondary = SimulatedLlm::new(ModelProfile::gpt4(), Arc::clone(&kb)).with_seed(seed);
+    let secondary = RetryLayer::new(secondary, 2);
+    RouterLayer::new(
+        vec![Box::new(primary), Box::new(secondary)],
+        EscalationPolicy::default(),
+    )
+}
+
+#[test]
+fn routed_runs_are_bit_identical_under_every_fault_preset() {
+    // Every seeded fault preset on the primary route, at 1/2/4 workers:
+    // routing settles in plan order, so predictions, billed usage, and the
+    // whole metrics snapshot (per-route ledger included) must not depend
+    // on the worker count — and the ledger must audit clean throughout.
+    let ds = dataset_by_name("Adult", 0.05, 0).unwrap();
+    for scenario in FaultScenario::presets() {
+        let mut reference: Option<RunResult> = None;
+        for workers in [1usize, 2, 4] {
+            let audit = Arc::new(AuditTracer::new());
+            let router = faulted_cascade(&ds, &scenario, 7);
+            let result = run_with_options(
+                &ds,
+                &router,
+                ExecutionOptions {
+                    workers,
+                    ..ExecutionOptions::default()
+                },
+                Arc::clone(&audit) as Arc<dyn Tracer>,
+            );
+            audit.assert_clean();
+            assert_eq!(result.predictions.len(), ds.len(), "{}", scenario.name);
+            match &reference {
+                None => reference = Some(result),
+                Some(reference) => {
+                    assert_eq!(
+                        result.predictions, reference.predictions,
+                        "{} at workers={workers}",
+                        scenario.name
+                    );
+                    assert_eq!(
+                        result.usage, reference.usage,
+                        "{} at workers={workers}",
+                        scenario.name
+                    );
+                    assert_eq!(
+                        result.metrics, reference.metrics,
+                        "{} at workers={workers}",
+                        scenario.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn escalations_bill_exactly_once_across_a_mid_run_resume() {
+    // A routed run under a burst outage escalates some requests to the
+    // secondary. Cut the journal mid-run and resume: replayed completions
+    // re-bill their journaled per-leg numbers (never re-dispatch), the
+    // remainder executes fresh, and the totals — including the per-route
+    // ledger — match the uninterrupted run exactly.
+    let ds = dataset_by_name("Adult", 0.1, 0).unwrap();
+    let scenario = FaultScenario::burst_outage();
+    let reference = run_with_options(
+        &ds,
+        &faulted_cascade(&ds, &scenario, 7),
+        ExecutionOptions::default(),
+        Arc::new(MultiTracer::new()),
+    );
+    let escalated: usize = reference.metrics.routes.values().map(|r| r.escalated).sum();
+    assert!(escalated > 0, "outage never escalated to the secondary");
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("dprep-chaos-test-resume-{}", std::process::id()));
+    let journal = Arc::new(DurableJournal::fresh(&path, "router", "c", 7).unwrap());
+    let router = faulted_cascade(&ds, &scenario, 7);
+    let mut config = PipelineConfig::best(ds.task);
+    config.workers = 2;
+    let journaled = Preprocessor::new(&router, config.clone())
+        .with_durability(Durability::new().with_journal(Arc::clone(&journal)))
+        .try_run(&ds.instances, &ds.few_shot)
+        .expect("journaled routed run");
+    assert_eq!(journaled.predictions, reference.predictions);
+    let written = journal.written();
+    drop(journal);
+
+    // Resume from a prefix cut inside the run, so escalated completions
+    // sit on both sides of the cut.
+    let recovered = DurableJournal::resume(&path).unwrap();
+    assert_eq!(recovered.entries.len(), written);
+    let cut = written / 2;
+    let header = recovered.require_header().unwrap();
+    let durability = Durability::new().with_replay(&recovered.entries[..cut], header.plan);
+    let resumed = Preprocessor::new(&router, config)
+        .with_durability(durability)
+        .try_run(&ds.instances, &ds.few_shot)
+        .expect("mid-run resume accepted");
+
+    assert_eq!(resumed.predictions, reference.predictions);
+    assert_eq!(resumed.usage, reference.usage, "exactly-once billing");
+    assert_eq!(resumed.metrics.routes, reference.metrics.routes);
+    assert_eq!(resumed.metrics.journal_replayed, cut);
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

@@ -12,8 +12,8 @@ use llm_data_preprocessors::core::{
 };
 use llm_data_preprocessors::datasets::{dataset_by_name, Dataset};
 use llm_data_preprocessors::llm::{
-    warm_cache_store, CacheLayer, ChatModel, ChatRequest, ChatResponse, FaultLayer, ModelProfile,
-    RetryLayer, SimulatedLlm, Usage,
+    warm_cache_store, CacheLayer, ChatModel, ChatRequest, ChatResponse, EscalationPolicy,
+    FaultLayer, ModelProfile, RetryLayer, RouterLayer, SimulatedLlm, Usage,
 };
 use llm_data_preprocessors::obs::{DurableJournal, JournalEntry, MetricsSnapshot, TerminalKind};
 
@@ -137,6 +137,12 @@ impl<M: ChatModel> ChatModel for CountingModel<M> {
     fn cost_usd(&self, usage: &Usage) -> f64 {
         self.inner.cost_usd(usage)
     }
+    fn take_route_pending(
+        &self,
+        trace_id: u64,
+    ) -> Option<llm_data_preprocessors::llm::RoutePending> {
+        self.inner.take_route_pending(trace_id)
+    }
 }
 
 #[test]
@@ -171,6 +177,90 @@ fn stale_journal_header_is_rejected_before_any_request_executes() {
         .expect_err("stale journal must be rejected");
     assert!(err.contains("refusing to resume"), "{err}");
     assert_eq!(model.calls.load(Ordering::Relaxed), 0, "requests executed");
+    std::fs::remove_file(&path).ok();
+}
+
+/// A cheap-first cascade over the dataset's knowledge base.
+fn cascade(ds: &Dataset, routes: &[&str]) -> RouterLayer {
+    let kb = Arc::new(ds.kb.clone());
+    let legs = routes
+        .iter()
+        .map(|name| {
+            let profile = ModelProfile::by_name(name).expect("known route model");
+            Box::new(SimulatedLlm::new(profile, Arc::clone(&kb))) as Box<dyn ChatModel>
+        })
+        .collect();
+    RouterLayer::new(legs, EscalationPolicy::default())
+}
+
+#[test]
+fn resume_under_a_different_cascade_is_rejected_up_front() {
+    let ds = dataset_by_name("Restaurant", 0.5, 5).unwrap();
+
+    // Journal a routed run: the header records the composite router model
+    // name and a descriptor carrying the route set and escalation policy.
+    let router = cascade(&ds, &["sim-gpt-3.5", "sim-gpt-4"]);
+    let mut config = PipelineConfig::best(ds.task);
+    config.routes = vec!["sim-gpt-3.5".into(), "sim-gpt-4".into()];
+    let descriptor = config.descriptor();
+    let path = temp_path("cascade");
+    let journal = Arc::new(DurableJournal::fresh(&path, router.name(), &descriptor, 5).unwrap());
+    let reference = Preprocessor::new(&router, config.clone())
+        .with_durability(Durability::new().with_journal(Arc::clone(&journal)))
+        .try_run(&ds.instances, &ds.few_shot)
+        .expect("routed journaled run");
+    drop(journal);
+
+    let recovered = DurableJournal::resume(&path).unwrap();
+    let header = recovered.require_header().unwrap();
+    assert_eq!(header.model, router.name());
+    assert_eq!(header.config, descriptor);
+
+    // Same routes, different escalation policy: the composite model name
+    // (and with it every request fingerprint, so the plan fingerprint too)
+    // is unchanged — only the descriptor in the header can tell the two
+    // cascades apart. The up-front header comparison the CLI performs must
+    // therefore see different identities.
+    let mut other_policy = config.clone();
+    other_policy.escalate_on = Some("garbled".into());
+    assert_ne!(
+        header.config,
+        other_policy.descriptor(),
+        "a different escalation policy must change the journal identity"
+    );
+
+    // A different route set changes the composite model name, which feeds
+    // every request fingerprint: the core plan guard refuses the resume
+    // before any request executes.
+    let other_routes = CountingModel {
+        inner: cascade(&ds, &["sim-gpt-3", "sim-gpt-4"]),
+        calls: AtomicUsize::new(0),
+    };
+    let mut other_config = PipelineConfig::best(ds.task);
+    other_config.routes = vec!["sim-gpt-3".into(), "sim-gpt-4".into()];
+    let durability = Durability::new().with_replay(&recovered.entries, header.plan);
+    let err = Preprocessor::new(&other_routes, other_config)
+        .with_durability(durability)
+        .try_run(&ds.instances, &ds.few_shot)
+        .expect_err("a different cascade must be rejected");
+    assert!(err.contains("refusing to resume"), "{err}");
+    assert_eq!(
+        other_routes.calls.load(Ordering::Relaxed),
+        0,
+        "requests executed"
+    );
+
+    // The genuine resume — same cascade, same policy — replays the journal
+    // bit-identically with every routed leg billed from its record.
+    let durability = Durability::new().with_replay(&recovered.entries, header.plan);
+    let resumed = Preprocessor::new(&router, config)
+        .with_durability(durability)
+        .try_run(&ds.instances, &ds.few_shot)
+        .expect("same-cascade resume accepted");
+    assert_eq!(resumed.predictions, reference.predictions);
+    assert_eq!(resumed.usage, reference.usage);
+    assert_eq!(resumed.metrics.routes, reference.metrics.routes);
+    assert!(resumed.metrics.journal_replayed > 0);
     std::fs::remove_file(&path).ok();
 }
 
