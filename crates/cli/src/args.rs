@@ -40,6 +40,20 @@ impl Flags {
         }
     }
 
+    /// Parses a finite non-negative f64 flag (seconds, scales) with a
+    /// default.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(value) if value.is_finite() && value >= 0.0 => Ok(value),
+                _ => Err(format!(
+                    "--{name} must be a non-negative number, got {raw:?}"
+                )),
+            },
+        }
+    }
+
     /// Parses an on/off flag (`true`/`false`/`on`/`off`/`1`/`0`) with a
     /// default.
     pub fn bool_or(&self, name: &str, default: bool) -> Result<bool, String> {
@@ -217,6 +231,18 @@ mod tests {
         assert_eq!(flags.usize_or("workers", 1).unwrap(), 8);
         flags.set("workers", "-2");
         assert!(flags.usize_or("workers", 1).is_err());
+    }
+
+    #[test]
+    fn f64_flag_defaults_and_rejects_junk() {
+        let mut flags = Flags::default();
+        assert_eq!(flags.f64_or("deadline", 30.0).unwrap(), 30.0);
+        flags.set("deadline", "2.5");
+        assert_eq!(flags.f64_or("deadline", 30.0).unwrap(), 2.5);
+        for bad in ["-1", "NaN", "inf", "soon"] {
+            flags.set("deadline", bad);
+            assert!(flags.f64_or("deadline", 30.0).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         print!("{}", soak_drill(seed, retries)?);
         return Ok(());
     }
+    if flags.bool_or("overload", false)? {
+        print!("{}", overload_drill(seed, retries)?);
+        return Ok(());
+    }
     let scenarios: Vec<FaultScenario> = match flags.get("scenario") {
         // The hard-down route-outage preset is excluded from the default
         // single-model sweep: with no cascade to fail over to it just
@@ -758,14 +762,16 @@ fn soak_drill(seed: u64, retries: u32) -> Result<String, String> {
     let reference = |tenant: &str, dataset: &str, extra: Vec<(&str, Json)>| {
         let scheduler = JobScheduler::new(TenantLedger::new());
         let request = body(tenant, dataset, extra);
-        let (_, outcome) = scheduler.run_job(
-            tenant,
-            ExecutionOptions {
-                workers: 2,
-                ..ExecutionOptions::default()
-            },
-            |grant| handler(&request, grant),
-        )?;
+        let (_, outcome) = scheduler
+            .run_job(
+                tenant,
+                ExecutionOptions {
+                    workers: 2,
+                    ..ExecutionOptions::default()
+                },
+                |grant| handler(&request, grant),
+            )
+            .map_err(|e| e.to_string())?;
         let reply = Json::Obj(outcome.reply.to_vec());
         Ok::<(String, usize), String>((str_field(&reply, "fingerprint")?, outcome.tokens_billed))
     };
@@ -921,6 +927,560 @@ fn soak_drill(seed: u64, retries: u32) -> Result<String, String> {
     outcome?;
     Ok(format!(
         "dprep chaos soak (seed {seed})\n{}\n",
+        lines.join("\n")
+    ))
+}
+
+/// The overload drill behind `--overload on`: a storm at 4× the admission
+/// capacity against a policy-bounded daemon, then deadline propagation,
+/// then a mid-flight drain with checkpoint/resume. Asserts:
+///
+/// 1. **Bounded admission under storm** — with `max_inflight 2, max_queued
+///    2, tenant_inflight 1`, 16 concurrent submits either complete
+///    bit-identically to the one-shot reference or shed with
+///    `rejected: "overloaded"` and a positive `retry_after`; admitted +
+///    shed account for every submit, and the admitted wall-clock p95 stays
+///    bounded (the queue is bounded, so no job waits behind 12 others).
+/// 2. **Shed jobs bill zero** — the ledger's token total equals the sum of
+///    the admitted replies' `tokens_billed` exactly; per-tenant
+///    `jobs_shed` counters account for every shed; an [`AuditTracer`] on
+///    the scheduler proves no shed job id ever completes or bills.
+/// 3. **Deadline propagation** — a `deadline_ms` submit trips its budget
+///    mid-run and returns the same deterministic-partial fingerprint as a
+///    one-shot run under the same deadline; a dead-on-arrival deadline
+///    sheds with `rejected: "deadline"` before any model work.
+/// 4. **Drain checkpoints and resumes exactly once** — two journaled jobs
+///    are drained mid-flight: both checkpoint (`killed: true`), a submit
+///    during the drain sheds with `rejected: "draining"`, and the daemon
+///    exits on its own once quiesced. A fresh daemon then resumes both
+///    journals at workers 1, 2, and 4 — every resume bit-identical to the
+///    uninterrupted run, billed the uninterrupted total, with no journal
+///    fingerprint recorded twice.
+fn overload_drill(seed: u64, retries: u32) -> Result<String, String> {
+    use std::io::BufReader;
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    use dprep_core::serve::{roundtrip, Daemon, JobScheduler};
+    use dprep_core::{OverloadPolicy, TenantLedger};
+    use dprep_obs::Json;
+
+    use super::serve::{dataset_handler, HandlerDefaults};
+
+    let journal_dir = std::env::temp_dir().join(format!(
+        "dprep-chaos-overload-{}-{seed}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&journal_dir)
+        .map_err(|e| format!("cannot create overload journal dir: {e}"))?;
+    let defaults = HandlerDefaults {
+        seed,
+        retries,
+        plan_shard_size: 2,
+        journal_dir: Some(journal_dir.clone()),
+        routes: Vec::new(),
+        escalate_on: None,
+    };
+    let handler = dataset_handler(defaults.clone(), None);
+
+    let body = |tenant: &str, dataset: &str, extra: Vec<(&str, Json)>| -> Json {
+        let mut fields = vec![
+            ("op".to_string(), Json::Str("submit".to_string())),
+            ("tenant".to_string(), Json::Str(tenant.to_string())),
+            ("dataset".to_string(), Json::Str(dataset.to_string())),
+            ("scale".to_string(), Json::Num(0.5)),
+            ("workers".to_string(), Json::Num(2.0)),
+            ("plan_shard_size".to_string(), Json::Num(2.0)),
+        ];
+        fields.extend(extra.into_iter().map(|(k, v)| (k.to_string(), v)));
+        Json::Obj(fields)
+    };
+    let str_field = |reply: &Json, key: &str| -> Result<String, String> {
+        reply
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("overload reply has no {key:?}: {}", reply.to_json()))
+    };
+    let num_field = |reply: &Json, key: &str| -> Result<usize, String> {
+        reply
+            .get(key)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("overload reply has no {key:?}: {}", reply.to_json()))
+    };
+
+    // One-shot references through the same handler, outside any daemon.
+    let reference = |tenant: &str,
+                     dataset: &str,
+                     deadline: Option<f64>|
+     -> Result<(String, usize, bool), String> {
+        let scheduler = JobScheduler::new(TenantLedger::new());
+        let request = body(tenant, dataset, vec![]);
+        let (_, outcome) = scheduler
+            .run_job(
+                tenant,
+                ExecutionOptions {
+                    workers: 2,
+                    deadline_secs: deadline,
+                    ..ExecutionOptions::default()
+                },
+                |grant| handler(&request, grant),
+            )
+            .map_err(|e| e.to_string())?;
+        let reply = Json::Obj(outcome.reply.to_vec());
+        Ok((
+            str_field(&reply, "fingerprint")?,
+            outcome.tokens_billed,
+            outcome.budget_tripped,
+        ))
+    };
+    let (storm_fp, storm_tokens, _) = reference("storm", "Restaurant", None)?;
+    let deadline_secs = 1.0;
+    let (deadline_fp, deadline_tokens, deadline_tripped) =
+        reference("tight", "Restaurant", Some(deadline_secs))?;
+    if !deadline_tripped {
+        return Err(format!(
+            "overload drill: the {deadline_secs}s reference deadline never tripped — \
+             the deadline phase would be vacuous"
+        ));
+    }
+    let (adult_fp, adult_tokens, _) = reference("resume", "Adult", None)?;
+
+    let submit_to = |addr: std::net::SocketAddr, request: &Json| -> Result<Json, String> {
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| format!("overload connect failed: {e}"))?;
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("overload clone failed: {e}"))?,
+        );
+        roundtrip(&mut stream, &mut reader, request)
+    };
+
+    let mut lines: Vec<String> = Vec::new();
+
+    // ---- Phases 1–3: the storm daemon (bounded admission + deadlines).
+    let audit = Arc::new(AuditTracer::new());
+    let policy = OverloadPolicy {
+        max_inflight: Some(2),
+        max_queued: Some(2),
+        tenant_inflight: Some(1),
+        default_deadline_secs: None,
+    };
+    let capacity = 4; // 2 in flight + 2 queued
+    let storm = 4 * capacity;
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        JobScheduler::new(TenantLedger::new())
+            .with_policy(policy)
+            .with_tracer(Arc::clone(&audit) as Arc<dyn Tracer>),
+        Arc::clone(&handler),
+    )
+    .map_err(|e| format!("cannot bind overload daemon: {e}"))?;
+    let addr = daemon.local_addr();
+
+    let outcome: Result<(), String> = std::thread::scope(|scope| {
+        let server = scope.spawn(|| daemon.run());
+
+        // Phase 1: the storm. 16 concurrent submits, 4 tenants × 4 jobs,
+        // against a capacity of 4.
+        let replies: Vec<(Result<Json, String>, f64)> = std::thread::scope(|jobs| {
+            let handles: Vec<_> = (0..storm)
+                .map(|i| {
+                    let tenant = format!("storm-{}", i % 4);
+                    jobs.spawn(move || {
+                        let started = Instant::now();
+                        let reply = submit_to(addr, &body(&tenant, "Restaurant", vec![]));
+                        (reply, started.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("storm client"))
+                .collect()
+        });
+        let mut admitted_walls: Vec<f64> = Vec::new();
+        let mut admitted_count = 0usize;
+        let mut shed_count = 0usize;
+        let mut billed_by_replies = 0usize;
+        for (reply, wall) in replies {
+            let reply = reply?;
+            if reply.get("ok") == Some(&Json::Bool(true)) {
+                if str_field(&reply, "fingerprint")? != storm_fp {
+                    return Err("overload: an admitted storm job diverged from its \
+                                one-shot run"
+                        .into());
+                }
+                if num_field(&reply, "tokens_billed")? != storm_tokens {
+                    return Err("overload: an admitted storm job billed a different \
+                                total than its one-shot run"
+                        .into());
+                }
+                billed_by_replies += storm_tokens;
+                admitted_walls.push(wall);
+                admitted_count += 1;
+            } else {
+                if str_field(&reply, "rejected")? != "overloaded" {
+                    return Err(format!(
+                        "overload: a storm shed was not \"overloaded\": {}",
+                        reply.to_json()
+                    ));
+                }
+                let retry_after = reply
+                    .get("retry_after")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                if retry_after <= 0.0 {
+                    return Err(format!(
+                        "overload: a shed carried no positive retry_after: {}",
+                        reply.to_json()
+                    ));
+                }
+                shed_count += 1;
+            }
+        }
+        if admitted_count + shed_count != storm {
+            return Err(format!(
+                "overload: {admitted_count} admitted + {shed_count} shed != {storm} submitted"
+            ));
+        }
+        if admitted_count < 2 || shed_count == 0 {
+            return Err(format!(
+                "overload: the storm did not exercise the gate \
+                 ({admitted_count} admitted, {shed_count} shed)"
+            ));
+        }
+        admitted_walls.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
+        let p95 = admitted_walls
+            [((admitted_walls.len() as f64 * 0.95).ceil() as usize).saturating_sub(1)];
+        if p95 > 120.0 {
+            return Err(format!(
+                "overload: admitted p95 wall latency unbounded at {p95:.1}s"
+            ));
+        }
+        lines.push(format!(
+            "overload phase 1: {storm} submits at 4x capacity -> {admitted_count} admitted \
+             (bit-identical, p95 {p95:.2}s), {shed_count} shed with retry_after hints"
+        ));
+
+        // Phase 2: shed jobs billed exactly zero — the ledger total is the
+        // admitted replies' total, and every shed shows up per-tenant.
+        let stats = submit_to(
+            addr,
+            &Json::Obj(vec![("op".to_string(), Json::Str("stats".to_string()))]),
+        )?;
+        let rows = match stats.get("tenants") {
+            Some(Json::Arr(rows)) => rows.as_slice(),
+            _ => {
+                return Err(format!(
+                    "overload: stats has no tenants: {}",
+                    stats.to_json()
+                ))
+            }
+        };
+        let ledger_total: usize = rows
+            .iter()
+            .filter_map(|r| r.get("tokens_billed").and_then(Json::as_usize))
+            .sum();
+        if ledger_total != billed_by_replies {
+            return Err(format!(
+                "overload: ledger bills {ledger_total} tokens but admitted replies bill \
+                 {billed_by_replies} — shed jobs were not free"
+            ));
+        }
+        let shed_by_ledger: usize = rows
+            .iter()
+            .filter_map(|r| r.get("jobs_shed").and_then(Json::as_usize))
+            .sum();
+        if shed_by_ledger != shed_count {
+            return Err(format!(
+                "overload: ledger counts {shed_by_ledger} shed job(s), clients saw {shed_count}"
+            ));
+        }
+        lines.push(format!(
+            "overload phase 2: {shed_count} shed jobs billed exactly 0 tokens \
+             (ledger reconciles at {ledger_total})"
+        ));
+
+        // Phase 3: deadlines. A tight deadline trips deterministically; a
+        // dead-on-arrival one sheds before any model work.
+        let tight = submit_to(
+            addr,
+            &body(
+                "tight",
+                "Restaurant",
+                vec![("deadline_ms", Json::Num(deadline_secs * 1000.0))],
+            ),
+        )?;
+        if tight.get("budget_tripped") != Some(&Json::Bool(true)) {
+            return Err(format!(
+                "overload: the {deadline_secs}s deadline never tripped: {}",
+                tight.to_json()
+            ));
+        }
+        if str_field(&tight, "fingerprint")? != deadline_fp
+            || num_field(&tight, "tokens_billed")? != deadline_tokens
+        {
+            return Err("overload: deadline partials diverge from the one-shot \
+                        run under the same deadline"
+                .into());
+        }
+        let dead = submit_to(
+            addr,
+            &body("tight", "Restaurant", vec![("deadline_ms", Json::Num(0.0))]),
+        )?;
+        if str_field(&dead, "rejected")? != "deadline" {
+            return Err(format!(
+                "overload: a dead-on-arrival deadline was not shed: {}",
+                dead.to_json()
+            ));
+        }
+        lines.push(format!(
+            "overload phase 3: {deadline_secs}s deadline tripped with deterministic \
+             partials; 0s deadline shed at admission"
+        ));
+
+        submit_to(
+            addr,
+            &Json::Obj(vec![("op".to_string(), Json::Str("shutdown".to_string()))]),
+        )?;
+        server
+            .join()
+            .expect("overload daemon thread")
+            .map_err(|e| format!("overload daemon exited uncleanly: {e}"))?;
+        Ok(())
+    });
+    outcome?;
+    if !audit.is_clean() {
+        std::fs::remove_dir_all(&journal_dir).ok();
+        return Err(format!(
+            "overload drill failed the scheduler audit: {}",
+            audit.violations().join("; ")
+        ));
+    }
+
+    // ---- Phase 4: mid-flight drain with checkpoint, then resume.
+    let drain_audit = Arc::new(AuditTracer::new());
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        JobScheduler::new(TenantLedger::new())
+            .with_tracer(Arc::clone(&drain_audit) as Arc<dyn Tracer>),
+        Arc::clone(&handler),
+    )
+    .map_err(|e| format!("cannot bind drain daemon: {e}"))?;
+    let addr = daemon.local_addr();
+    let outcome: Result<(usize, usize), String> = std::thread::scope(|scope| {
+        let server = scope.spawn(|| daemon.run());
+        let jobs: Vec<_> = [("ja", "drain-a"), ("jb", "drain-b")]
+            .into_iter()
+            .map(|(tenant, key)| {
+                scope.spawn(move || {
+                    submit_to(
+                        addr,
+                        &body(
+                            tenant,
+                            "Adult",
+                            vec![("journal_key", Json::Str(key.to_string()))],
+                        ),
+                    )
+                })
+            })
+            .collect();
+        // Wait until both jobs hold slots, then drain mid-flight. The
+        // drain and the during-drain shed share one connection so the
+        // shed lands before the daemon can quiesce and close.
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let ping = submit_to(
+                addr,
+                &Json::Obj(vec![("op".to_string(), Json::Str("ping".to_string()))]),
+            )?;
+            if ping.get("active_jobs") == Some(&Json::Num(2.0)) {
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err("overload: journaled jobs never reached in-flight".into());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| format!("overload connect failed: {e}"))?;
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("overload clone failed: {e}"))?,
+        );
+        let drained = roundtrip(
+            &mut stream,
+            &mut reader,
+            &Json::Obj(vec![("op".to_string(), Json::Str("drain".to_string()))]),
+        )?;
+        if drained.get("state") != Some(&Json::Str("draining".to_string())) {
+            return Err(format!(
+                "overload: drain op did not enter draining: {}",
+                drained.to_json()
+            ));
+        }
+        let refused = roundtrip(
+            &mut stream,
+            &mut reader,
+            &body("late", "Restaurant", vec![]),
+        )?;
+        if str_field(&refused, "rejected")? != "draining" {
+            return Err(format!(
+                "overload: a submit during the drain was not shed as draining: {}",
+                refused.to_json()
+            ));
+        }
+        drop(reader);
+        drop(stream);
+        let mut checkpointed = 0usize;
+        let mut partial_tokens = 0usize;
+        for job in jobs {
+            let reply = job.join().expect("drained client")?;
+            if reply.get("ok") != Some(&Json::Bool(true)) {
+                return Err(format!(
+                    "overload: a drained job failed outright: {}",
+                    reply.to_json()
+                ));
+            }
+            if reply.get("killed") == Some(&Json::Bool(true)) {
+                checkpointed += 1;
+            }
+            partial_tokens += num_field(&reply, "tokens_billed")?;
+        }
+        if checkpointed == 0 {
+            return Err("overload: the drain checkpointed neither in-flight job".into());
+        }
+        // No shutdown op: a quiesced drain closes the daemon on its own.
+        server
+            .join()
+            .expect("drain daemon thread")
+            .map_err(|e| format!("drain daemon exited uncleanly: {e}"))?;
+        Ok((checkpointed, partial_tokens))
+    });
+    let (checkpointed, partial_tokens) = match outcome {
+        Ok(pair) => pair,
+        Err(e) => {
+            std::fs::remove_dir_all(&journal_dir).ok();
+            return Err(e);
+        }
+    };
+    if !drain_audit.is_clean() {
+        std::fs::remove_dir_all(&journal_dir).ok();
+        return Err(format!(
+            "overload drill failed the drain audit: {}",
+            drain_audit.violations().join("; ")
+        ));
+    }
+    lines.push(format!(
+        "overload phase 4: drain mid-flight checkpointed {checkpointed}/2 journaled job(s) \
+         ({partial_tokens} partial tokens billed), shed a late submit as draining, \
+         daemon closed itself once quiesced"
+    ));
+
+    // ---- Phase 5: resume the checkpointed journals at workers 1/2/4,
+    // bit-identical and billed exactly once.
+    let resume_audit = Arc::new(AuditTracer::new());
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        JobScheduler::new(TenantLedger::new())
+            .with_tracer(Arc::clone(&resume_audit) as Arc<dyn Tracer>),
+        Arc::clone(&handler),
+    )
+    .map_err(|e| format!("cannot bind resume daemon: {e}"))?;
+    let addr = daemon.local_addr();
+    let outcome: Result<usize, String> = std::thread::scope(|scope| {
+        let server = scope.spawn(|| daemon.run());
+        let mut resumes = 0usize;
+        for (tenant, key) in [("ja", "drain-a"), ("jb", "drain-b")] {
+            for workers in [1usize, 2, 4] {
+                let resumed = submit_to(
+                    addr,
+                    &body(
+                        tenant,
+                        "Adult",
+                        vec![
+                            ("journal_key", Json::Str(key.to_string())),
+                            ("workers", Json::Num(workers as f64)),
+                        ],
+                    ),
+                )?;
+                if str_field(&resumed, "journal")? != "resumed" {
+                    return Err(format!(
+                        "overload: {tenant}/{key} did not resume its journal at \
+                         workers {workers}: {}",
+                        resumed.to_json()
+                    ));
+                }
+                if str_field(&resumed, "fingerprint")? != adult_fp {
+                    return Err(format!(
+                        "overload: {tenant}/{key} resumed at workers {workers} diverges \
+                         from the uninterrupted run"
+                    ));
+                }
+                if num_field(&resumed, "tokens_billed")? != adult_tokens {
+                    return Err(format!(
+                        "overload: {tenant}/{key} resumed at workers {workers} billed {} \
+                         tokens, uninterrupted run billed {adult_tokens}",
+                        num_field(&resumed, "tokens_billed")?
+                    ));
+                }
+                resumes += 1;
+            }
+        }
+        submit_to(
+            addr,
+            &Json::Obj(vec![("op".to_string(), Json::Str("shutdown".to_string()))]),
+        )?;
+        server
+            .join()
+            .expect("resume daemon thread")
+            .map_err(|e| format!("resume daemon exited uncleanly: {e}"))?;
+        Ok(resumes)
+    });
+    let resumes = match outcome {
+        Ok(n) => n,
+        Err(e) => {
+            std::fs::remove_dir_all(&journal_dir).ok();
+            return Err(e);
+        }
+    };
+    if !resume_audit.is_clean() {
+        std::fs::remove_dir_all(&journal_dir).ok();
+        return Err(format!(
+            "overload drill failed the resume audit: {}",
+            resume_audit.violations().join("; ")
+        ));
+    }
+    // Exactly-once at the journal level: no completed fingerprint appears
+    // twice in either job's final journal.
+    for (tenant, key) in [("ja", "drain-a"), ("jb", "drain-b")] {
+        let path = journal_dir.join(format!("{tenant}-{key}.jsonl"));
+        let finished = DurableJournal::resume(&path)
+            .map_err(|e| format!("overload: cannot inspect {}: {e}", path.display()))?;
+        let mut fingerprints: Vec<u64> = finished
+            .entries
+            .iter()
+            .filter(|e| e.kind == TerminalKind::Completed)
+            .map(|e| e.fingerprint)
+            .collect();
+        fingerprints.sort_unstable();
+        if fingerprints.windows(2).any(|w| w[0] == w[1]) {
+            std::fs::remove_dir_all(&journal_dir).ok();
+            return Err(format!(
+                "overload: {tenant}/{key} journaled a fingerprint twice"
+            ));
+        }
+    }
+    lines.push(format!(
+        "overload phase 5: {resumes} resume(s) across workers 1/2/4 bit-identical to the \
+         uninterrupted run, every journal fingerprint billed exactly once"
+    ));
+    std::fs::remove_dir_all(&journal_dir).ok();
+    Ok(format!(
+        "dprep chaos overload (seed {seed})\n{}\n",
         lines.join("\n")
     ))
 }

@@ -22,8 +22,8 @@ use std::sync::Arc;
 
 use dprep_core::serve::{roundtrip, Daemon, JobGrant, JobHandler, JobOutcome, JobScheduler};
 use dprep_core::{
-    result_fingerprint, Durability, FailureKind, KillSwitch, OpsPlane, PipelineConfig,
-    Preprocessor, TenantLedger,
+    result_fingerprint, Durability, FailureKind, OpsPlane, OverloadPolicy, PipelineConfig,
+    Preprocessor, TenantLedger, WireLimits,
 };
 use dprep_datasets::dataset_by_name;
 use dprep_llm::{
@@ -245,14 +245,21 @@ pub fn dataset_handler(defaults: HandlerDefaults, ops: Option<Arc<OpsPlane>>) ->
             model = model.with_store(warm_cache_store(&warm));
         }
 
-        let kill = body
-            .get("kill_after")
-            .and_then(Json::as_usize)
-            .map(KillSwitch::after);
+        // The grant's halt doubles as the drill hook: a drain triggers it,
+        // `kill_after` arms its countdown. Wiring it into the executor is
+        // what makes a drain checkpoint journaled jobs (and stop
+        // unjournaled ones) at their next shard boundary.
+        if let Some(n) = body.get("kill_after").and_then(Json::as_usize) {
+            if n == 0 {
+                return Err("\"kill_after\" must be at least 1".into());
+            }
+            grant.halt.arm_after(n);
+        }
         let mut preprocessor = Preprocessor::new(&model, config)
             .with_exec_options(grant.options)
             .with_durability(durability)
-            .with_shard_gate(Arc::clone(&grant.gate));
+            .with_shard_gate(Arc::clone(&grant.gate))
+            .with_kill_switch(grant.halt.clone());
         if let Some(ops) = &ops {
             let tenant = body
                 .get("tenant")
@@ -260,12 +267,9 @@ pub fn dataset_handler(defaults: HandlerDefaults, ops: Option<Arc<OpsPlane>>) ->
                 .unwrap_or("default");
             preprocessor = preprocessor.with_tracer(ops.tracer_for(tenant));
         }
-        if let Some(kill) = &kill {
-            preprocessor = preprocessor.with_kill_switch(kill.clone());
-        }
         let result = preprocessor.try_run(&ds.instances, &ds.few_shot)?;
 
-        let killed = kill.is_some_and(|k| k.fired());
+        let killed = grant.halt.fired();
         let budget_tripped = result.metrics.cancelled > 0
             || result
                 .predictions
@@ -324,6 +328,69 @@ fn ledger_from_flags(flags: &Flags) -> Result<TenantLedger, String> {
     Ok(ledger)
 }
 
+/// Parses the overload-protection flags into a policy. Every cap is off
+/// by default (the unprotected daemon): `--max-inflight N` bounds
+/// concurrent jobs, `--max-queued N` adds a bounded wait queue on top
+/// (without it, excess jobs shed immediately), `--tenant-inflight N` caps
+/// one tenant's concurrency, `--default-deadline SECS` applies a deadline
+/// to jobs that did not request one.
+fn policy_from_flags(flags: &Flags) -> Result<OverloadPolicy, String> {
+    let cap = |name: &str, floor: usize| -> Result<Option<usize>, String> {
+        match flags.get(name) {
+            None => Ok(None),
+            Some(_) => {
+                let n = flags.usize_or(name, 0)?;
+                if n < floor {
+                    return Err(format!("--{name} must be at least {floor}"));
+                }
+                Ok(Some(n))
+            }
+        }
+    };
+    let default_deadline_secs = match flags.get("default-deadline") {
+        None => None,
+        Some(_) => {
+            let secs = flags.f64_or("default-deadline", 0.0)?;
+            if secs <= 0.0 {
+                return Err("--default-deadline must be positive seconds".into());
+            }
+            Some(secs)
+        }
+    };
+    Ok(OverloadPolicy {
+        max_inflight: cap("max-inflight", 1)?,
+        max_queued: cap("max-queued", 0)?,
+        tenant_inflight: cap("tenant-inflight", 1)?,
+        default_deadline_secs,
+    })
+}
+
+/// Parses the wire-hardening flags, defaulting to [`WireLimits::default`]:
+/// `--max-frame-bytes`, `--frame-timeout SECS`, `--idle-timeout SECS`,
+/// `--write-timeout SECS`.
+fn wire_from_flags(flags: &Flags) -> Result<WireLimits, String> {
+    let defaults = WireLimits::default();
+    let limits = WireLimits {
+        max_frame_bytes: flags.usize_or("max-frame-bytes", defaults.max_frame_bytes)?,
+        frame_secs: flags.f64_or("frame-timeout", defaults.frame_secs)?,
+        idle_secs: flags.f64_or("idle-timeout", defaults.idle_secs)?,
+        write_secs: flags.f64_or("write-timeout", defaults.write_secs)?,
+    };
+    if limits.max_frame_bytes == 0 {
+        return Err("--max-frame-bytes must be at least 1".into());
+    }
+    for (name, secs) in [
+        ("frame-timeout", limits.frame_secs),
+        ("idle-timeout", limits.idle_secs),
+        ("write-timeout", limits.write_secs),
+    ] {
+        if secs <= 0.0 {
+            return Err(format!("--{name} must be positive seconds"));
+        }
+    }
+    Ok(limits)
+}
+
 /// Builds the daemon's live ops plane from `--slo` (objective spec list,
 /// e.g. `latency-p95=30,failure-rate=0.1,budget-headroom=0.25`) and
 /// `--recorder DIR` (flight-recorder postmortem directory). The plane is
@@ -371,16 +438,22 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let host = flags.get("host").unwrap_or("127.0.0.1");
     let port = flags.usize_or("port", 7077)? as u16;
     let ledger = ledger_from_flags(flags)?;
+    let policy = policy_from_flags(flags)?;
+    let wire = wire_from_flags(flags)?;
     let ops = ops_from_flags(flags)?;
     let daemon = Daemon::bind(
         (host, port),
-        JobScheduler::new(ledger),
+        JobScheduler::new(ledger).with_policy(policy),
         dataset_handler(defaults, Some(Arc::clone(&ops))),
     )
     .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?
+    .with_wire_limits(wire)
     .with_ops(ops);
     println!("dprep serve listening on {}", daemon.local_addr());
-    println!("ops: ping | submit | stats | metrics | health | shutdown (one JSON object per line)");
+    println!(
+        "ops: ping | submit | stats | metrics | health | drain | shutdown \
+         (one JSON object per line)"
+    );
     daemon.run().map_err(|e| format!("serve failed: {e}"))
 }
 
@@ -411,8 +484,9 @@ fn self_check(defaults: &HandlerDefaults) -> Result<(), String> {
     let reference = |tenant: &str, dataset: &str| -> Result<(String, usize), String> {
         let scheduler = JobScheduler::new(TenantLedger::new());
         let body = submit_body(tenant, dataset, 2, None);
-        let (_, outcome) =
-            scheduler.run_job(tenant, exec_options(2), |grant| handler(&body, grant))?;
+        let (_, outcome) = scheduler
+            .run_job(tenant, exec_options(2), |grant| handler(&body, grant))
+            .map_err(|e| e.to_string())?;
         let fp = outcome
             .reply
             .iter()

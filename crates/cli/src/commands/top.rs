@@ -3,10 +3,14 @@
 //! Polls the daemon's `health` op and renders one table row per tenant:
 //! windowed request/token rates, windowed error rate and p95 latency (all
 //! over the sequential-account virtual clock), budget headroom, active
-//! jobs, and the current SLO alert states. `--once` prints a single
-//! snapshot and exits (scripts and CI use this); without it the table
-//! refreshes every `--interval` seconds until interrupted. `--format json`
-//! emits the raw health reply instead of the table.
+//! jobs, shed counts, and the current SLO alert states; the header shows
+//! the daemon's drain state and overload-gate occupancy. `--once` prints a
+//! single snapshot and exits (scripts and CI use this); without it the
+//! table refreshes every `--interval` seconds until interrupted. A failed
+//! poll (daemon restarting, drain window, transient network) retries with
+//! capped exponential backoff up to `--retry` consecutive failures instead
+//! of exiting on the first one. `--format json` emits the raw health reply
+//! instead of the table.
 //!
 //! `--check on` runs the ops-plane determinism drill instead of
 //! connecting anywhere: the same breach-inducing workload is executed at
@@ -40,8 +44,28 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     if !matches!(format, "text" | "json") {
         return Err(format!("--format must be text or json, got {format:?}"));
     }
+    let retries = flags.usize_or("retry", 5)?;
+    let mut failures = 0usize;
     loop {
-        let health = poll(host, port)?;
+        let health = match poll(host, port) {
+            Ok(health) => {
+                failures = 0;
+                health
+            }
+            Err(e) => {
+                failures += 1;
+                if failures > retries {
+                    return Err(format!("{e} ({failures} consecutive failures, giving up)"));
+                }
+                let delay = backoff_delay(failures);
+                eprintln!(
+                    "dprep top: {e}; retrying in {:.1}s ({failures}/{retries})",
+                    delay.as_secs_f64()
+                );
+                std::thread::sleep(delay);
+                continue;
+            }
+        };
         if format == "json" {
             println!("{}", health.to_json());
         } else {
@@ -52,6 +76,14 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         }
         std::thread::sleep(std::time::Duration::from_secs(interval as u64));
     }
+}
+
+/// Reconnect backoff for the `attempt`th consecutive poll failure
+/// (1-based): 500ms doubling per attempt, capped at 8s so a long outage
+/// polls steadily instead of backing off forever.
+fn backoff_delay(attempt: usize) -> std::time::Duration {
+    let millis = 500u64.saturating_mul(1u64 << attempt.saturating_sub(1).min(4));
+    std::time::Duration::from_millis(millis.min(8_000))
 }
 
 /// One `health` round trip against the daemon.
@@ -85,8 +117,17 @@ fn render(health: &Json) -> String {
         Some(Json::Arr(rows)) => rows.as_slice(),
         _ => &[],
     };
+    let state = health
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("serving");
+    let queued = health.get("queued").and_then(Json::as_usize).unwrap_or(0);
+    let shed = health
+        .get("shed_jobs")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
     out.push_str(&format!(
-        "dprep top — {} tenant(s), {} active job(s)\n",
+        "dprep top [{state}] — {} tenant(s), {} active job(s), {queued} queued, {shed} shed\n",
         tenants.len(),
         active
     ));
@@ -95,8 +136,8 @@ fn render(health: &Json) -> String {
         return out;
     }
     out.push_str(&format!(
-        "{:<14} {:>8} {:>9} {:>6} {:>8} {:>9} {:>7}  {}\n",
-        "TENANT", "REQ/S", "TOK/S", "ERR%", "P95(S)", "HEADROOM", "ACTIVE", "ALERTS"
+        "{:<14} {:>8} {:>9} {:>6} {:>8} {:>9} {:>7} {:>6}  {}\n",
+        "TENANT", "REQ/S", "TOK/S", "ERR%", "P95(S)", "HEADROOM", "ACTIVE", "SHED", "ALERTS"
     ));
     for row in tenants {
         let tenant = row.get("tenant").and_then(Json::as_str).unwrap_or("?");
@@ -122,7 +163,7 @@ fn render(health: &Json) -> String {
             _ => "-".to_string(),
         };
         out.push_str(&format!(
-            "{:<14} {:>8.2} {:>9.1} {:>6.1} {:>8.2} {:>9} {:>7}  {}\n",
+            "{:<14} {:>8.2} {:>9.1} {:>6.1} {:>8.2} {:>9} {:>7} {:>6}  {}\n",
             tenant,
             wnum("requests_per_sec").unwrap_or(0.0),
             wnum("tokens_per_sec").unwrap_or(0.0),
@@ -130,6 +171,7 @@ fn render(health: &Json) -> String {
             wnum("latency_p95_secs").unwrap_or(0.0),
             headroom,
             row.get("jobs_active").and_then(Json::as_usize).unwrap_or(0),
+            row.get("jobs_shed").and_then(Json::as_usize).unwrap_or(0),
             alerts
         ));
     }
@@ -171,7 +213,9 @@ fn self_check(seed: u64) -> Result<(), String> {
             workers,
             ..ExecutionOptions::default()
         };
-        scheduler.run_job("acme", options, |grant| handler(&body, grant))?;
+        scheduler
+            .run_job("acme", options, |grant| handler(&body, grant))
+            .map_err(|e| e.to_string())?;
         let timeline: String = plane
             .timelines()
             .values()
@@ -266,6 +310,39 @@ mod tests {
             .find(|l| l.starts_with("ledger-only"))
             .expect("ledger-only row");
         assert!(ledger_line.contains('-'), "{ledger_line}");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_at_eight_seconds() {
+        assert_eq!(backoff_delay(1).as_millis(), 500);
+        assert_eq!(backoff_delay(2).as_millis(), 1000);
+        assert_eq!(backoff_delay(3).as_millis(), 2000);
+        assert_eq!(backoff_delay(5).as_millis(), 8000);
+        assert_eq!(backoff_delay(50).as_millis(), 8000, "capped, no overflow");
+    }
+
+    #[test]
+    fn render_shows_drain_state_and_shed_counts() {
+        let health = Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("active_jobs".to_string(), Json::Num(1.0)),
+            ("state".to_string(), Json::Str("draining".to_string())),
+            ("queued".to_string(), Json::Num(3.0)),
+            ("shed_jobs".to_string(), Json::Num(7.0)),
+            (
+                "tenants".to_string(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("tenant".to_string(), Json::Str("acme".to_string())),
+                    ("jobs_shed".to_string(), Json::Num(7.0)),
+                ])]),
+            ),
+        ]);
+        let table = render(&health);
+        assert!(table.contains("[draining]"), "{table}");
+        assert!(table.contains("3 queued, 7 shed"), "{table}");
+        assert!(table.contains("SHED"), "{table}");
+        let row = table.lines().find(|l| l.starts_with("acme")).unwrap();
+        assert!(row.contains('7'), "{row}");
     }
 
     #[test]

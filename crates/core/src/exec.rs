@@ -422,6 +422,33 @@ impl KillSwitch {
         }
     }
 
+    /// A switch that never fires on its own: the countdown is parked at
+    /// `usize::MAX` so terminal events cannot plausibly drain it, and only
+    /// an explicit [`trigger`](Self::trigger) (or a later
+    /// [`arm_after`](Self::arm_after)) fires it. Serve drains hand one of
+    /// these to every in-flight job as its checkpoint halt handle.
+    pub fn unarmed() -> KillSwitch {
+        KillSwitch {
+            countdown: Arc::new(AtomicUsize::new(usize::MAX)),
+            fired: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Re-arms the countdown so the switch fires after `n` further
+    /// terminal events (`n >= 1`). Existing clones observe the new
+    /// countdown: the counter is shared.
+    pub fn arm_after(&self, n: usize) {
+        assert!(n >= 1, "a kill switch must allow at least one terminal");
+        self.countdown.store(n, Ordering::Relaxed);
+    }
+
+    /// Fires the switch immediately. The owning run stops at its next
+    /// journaled terminal boundary, exactly as if the countdown had just
+    /// drained there.
+    pub fn trigger(&self) {
+        self.fired.store(true, Ordering::Relaxed);
+    }
+
     /// Whether the switch has fired.
     pub fn fired(&self) -> bool {
         self.fired.load(Ordering::Relaxed)
@@ -569,12 +596,9 @@ impl Executor {
             }
         }
         if let Some(journal) = &self.durability.journal {
-            journal.ensure_header(plan_fp).map_err(|e| {
-                format!(
-                    "cannot write journal header to {}: {e}",
-                    journal.path().display()
-                )
-            })?;
+            journal
+                .ensure_header(plan_fp)
+                .map_err(|e| journal_write_error(journal.path(), &e))?;
         }
         let written_before = self
             .durability
@@ -834,12 +858,9 @@ impl Executor {
             }
         }
         if let Some(journal) = &self.durability.journal {
-            journal.ensure_header(plan_fp).map_err(|e| {
-                format!(
-                    "cannot write journal header to {}: {e}",
-                    journal.path().display()
-                )
-            })?;
+            journal
+                .ensure_header(plan_fp)
+                .map_err(|e| journal_write_error(journal.path(), &e))?;
         }
         let written_before = self
             .durability
@@ -1095,7 +1116,7 @@ impl Executor {
         };
         journal
             .append(entry)
-            .map_err(|e| format!("cannot append to journal {}: {e}", journal.path().display()))
+            .map_err(|e| journal_write_error(journal.path(), &e))
     }
 
     /// Folds one dispatched request's terminal into the ledger: either a
@@ -1776,6 +1797,26 @@ fn settled_leg_record(leg: &SettledLeg) -> RouteLegRecord {
         cost_usd: leg.cost_usd,
         latency_secs: leg.latency_secs,
     }
+}
+
+/// Renders a journal I/O failure as an operator-facing error instead of a
+/// raw io error: it names the journal path, states that the job's
+/// checkpoint is incomplete (a resume replays only the entries that were
+/// flushed before the failure), and tags the two causes with a known
+/// remedy — a full disk and a short write.
+pub fn journal_write_error(path: &std::path::Path, e: &std::io::Error) -> String {
+    use std::io::ErrorKind;
+    let hint = if e.kind() == ErrorKind::StorageFull || e.raw_os_error() == Some(28) {
+        " (disk full: free space on the journal volume and resume)"
+    } else if e.kind() == ErrorKind::WriteZero {
+        " (short write: the entry was not fully flushed)"
+    } else {
+        ""
+    };
+    format!(
+        "journal write failed, job checkpoint incomplete: {}: {e}{hint}",
+        path.display()
+    )
 }
 
 /// Reconstructs the response a journaled completion recorded: same text,
@@ -2536,5 +2577,51 @@ mod tests {
         let _ = exec.run(&stack, &plan);
         audit.assert_clean();
         assert_eq!(audit.runs_audited(), 2);
+    }
+
+    #[test]
+    fn unarmed_kill_switch_fires_only_on_trigger_or_rearm() {
+        let kill = KillSwitch::unarmed();
+        assert!(!kill.fired());
+        // Terminal events never drain an unarmed countdown.
+        for _ in 0..1000 {
+            assert!(!kill.on_terminal());
+        }
+        kill.trigger();
+        assert!(kill.fired());
+        assert!(kill.on_terminal());
+
+        // Clones share the countdown, so a late arm_after is observed.
+        let armed = KillSwitch::unarmed();
+        let clone = armed.clone();
+        armed.arm_after(2);
+        assert!(!clone.on_terminal());
+        assert!(clone.on_terminal());
+        assert!(armed.fired());
+    }
+
+    #[test]
+    fn journal_write_error_names_path_and_classifies_causes() {
+        use std::io::{Error, ErrorKind};
+        let path = std::path::Path::new("/tmp/jobs/j1.journal");
+
+        let full = journal_write_error(path, &Error::new(ErrorKind::StorageFull, "quota"));
+        assert!(full.starts_with("journal write failed, job checkpoint incomplete:"));
+        assert!(full.contains("/tmp/jobs/j1.journal"));
+        assert!(full.contains("disk full"));
+
+        let enospc = journal_write_error(path, &Error::from_raw_os_error(28));
+        assert!(
+            enospc.contains("disk full"),
+            "raw ENOSPC maps too: {enospc}"
+        );
+
+        let short = journal_write_error(path, &Error::new(ErrorKind::WriteZero, "0 of 64"));
+        assert!(short.contains("short write"));
+        assert!(short.contains("/tmp/jobs/j1.journal"));
+
+        let other = journal_write_error(path, &Error::new(ErrorKind::PermissionDenied, "denied"));
+        assert!(other.contains("journal write failed, job checkpoint incomplete:"));
+        assert!(!other.contains("disk full") && !other.contains("short write"));
     }
 }

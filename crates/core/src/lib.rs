@@ -36,11 +36,15 @@ pub use blocking::{
     evaluate_blocking, BlockingStats, CandidatePairs, EmbeddingBlocker, NgramBlocker,
 };
 pub use config::{ComponentSet, PipelineConfig};
-pub use exec::{Durability, ExecStats, ExecutionOptions, ExecutionPlan, Executor, KillSwitch};
+pub use exec::{
+    journal_write_error, Durability, ExecStats, ExecutionOptions, ExecutionPlan, Executor,
+    KillSwitch,
+};
 pub use pipeline::{FailureKind, Prediction, Preprocessor, RunResult};
 pub use repair::{Repair, RepairOutcome, Repairer};
 pub use serve::{
-    result_fingerprint, Daemon, JobGrant, JobHandler, JobOutcome, JobScheduler, OpsPlane,
-    ShardGate, TenantHealth, TenantLedger, TenantUsage, Turnstile, TurnstileHandle,
+    result_fingerprint, Daemon, JobError, JobGrant, JobHandler, JobOutcome, JobScheduler, OpsPlane,
+    OverloadPolicy, OverloadSnapshot, Rejection, ShardGate, TenantHealth, TenantLedger,
+    TenantUsage, Turnstile, TurnstileHandle, WireLimits,
 };
 pub use stream::{PlanShard, PlanStream};

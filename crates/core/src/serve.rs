@@ -22,7 +22,20 @@
 //!   budget it gets.
 //! * [`JobScheduler`] — admission + turnstile registration + settlement,
 //!   emitting `job_accepted` / `job_completed` / `job_rejected` trace
-//!   events.
+//!   events. An optional [`OverloadPolicy`] bounds admission: in-flight
+//!   slots and a bounded wait queue (global and per-tenant caps), with
+//!   excess load *shed* as a structured [`Rejection`] carrying a
+//!   `retry_after` hint — shed jobs bill exactly zero tokens (`job_shed`
+//!   events, audit invariant 10). A policy default deadline propagates
+//!   into each job's [`ExecutionOptions::deadline_secs`] budget gauge, so
+//!   a job that cannot finish by its deadline is rejected at admission
+//!   (non-positive deadline) or cancelled at the shard boundary with
+//!   deterministic plan-order partials. The scheduler also owns the
+//!   graceful-drain state machine (`serving → draining → closed`): a
+//!   drain stops admitting, fires every in-flight job's checkpoint
+//!   [`KillSwitch`] so journaled jobs stop at their next terminal, and
+//!   closes once nothing is in flight — a restart then resumes every
+//!   checkpointed job bit-identically with exactly-once billing.
 //! * [`OpsPlane`] — the live observability plane: per-tenant windowed
 //!   metrics ([`dprep_obs::WindowAggregator`]) and SLO burn-rate alerting
 //!   ([`dprep_obs::SloEngine`]) fed by each job's trace stream, plus an
@@ -34,25 +47,30 @@
 //!   thread per connection, with `ping` / `submit` / `stats` / `metrics`
 //!   (Prometheus text with a `tenant` label; `"format":"raw"` returns the
 //!   scrape body verbatim) / `health` (per-tenant windowed rates and alert
-//!   states, for `dprep top`) / `shutdown` operations. The workload itself
-//!   is supplied as a [`JobHandler`] closure, so the daemon core stays
-//!   free of dataset and model-stack dependencies.
+//!   states, for `dprep top`) / `drain` / `shutdown` operations. The
+//!   workload itself is supplied as a [`JobHandler`] closure, so the
+//!   daemon core stays free of dataset and model-stack dependencies. The
+//!   wire layer is hardened by [`WireLimits`]: a max NDJSON frame size,
+//!   an idle timeout between frames, and a frame-completion timeout, so
+//!   an oversized line, binary garbage, a torn frame, or a slow-loris
+//!   client costs one connection thread at worst and never stalls the
+//!   accept loop or other clients.
 //!
 //! Everything here is std-only, like the rest of the workspace.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dprep_obs::{
-    render_prom_tenants, FlightRecorder, Json, MetricsSnapshot, NullTracer, SloEngine, SloSpec,
-    TraceEvent, Tracer, WindowAggregator, WindowConfig, WindowSnapshot,
+    render_prom_daemon, render_prom_tenants, FlightRecorder, Json, MetricsSnapshot, NullTracer,
+    SloEngine, SloSpec, TraceEvent, Tracer, WindowAggregator, WindowConfig, WindowSnapshot,
 };
 
-use crate::exec::ExecutionOptions;
+use crate::exec::{ExecutionOptions, KillSwitch};
 use crate::pipeline::RunResult;
 
 /// The executor's cooperative fairness hook. The streaming executor calls
@@ -164,6 +182,7 @@ struct TenantState {
     jobs_failed: u64,
     jobs_rejected: u64,
     jobs_tripped: u64,
+    jobs_shed: u64,
 }
 
 /// A tenant's billing snapshot (see [`TenantLedger::snapshot`]).
@@ -187,6 +206,8 @@ pub struct TenantUsage {
     pub jobs_rejected: u64,
     /// Completed jobs whose own deadline or token budget tripped.
     pub jobs_tripped: u64,
+    /// Jobs shed by the overload policy before any work (billed zero).
+    pub jobs_shed: u64,
 }
 
 /// Per-tenant token allowances and billed totals.
@@ -269,6 +290,13 @@ impl TenantLedger {
         state.jobs_failed += 1;
     }
 
+    /// Records a job the overload policy shed before any work was done.
+    /// Shed jobs never held an active slot and bill nothing.
+    fn shed(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().expect("ledger lock");
+        tenants.entry(tenant.to_string()).or_default().jobs_shed += 1;
+    }
+
     /// Every tenant's row, in name order.
     pub fn snapshot(&self) -> Vec<TenantUsage> {
         let tenants = self.tenants.lock().expect("ledger lock");
@@ -284,15 +312,95 @@ impl TenantLedger {
                 jobs_failed: s.jobs_failed,
                 jobs_rejected: s.jobs_rejected,
                 jobs_tripped: s.jobs_tripped,
+                jobs_shed: s.jobs_shed,
             })
             .collect()
     }
 }
 
+/// Declarative overload limits for a [`JobScheduler`]. Every field
+/// defaults to `None` (unlimited), which reproduces the unprotected
+/// behavior exactly; setting any cap turns excess load into structured
+/// shedding instead of unbounded queueing.
+#[derive(Debug, Clone, Default)]
+pub struct OverloadPolicy {
+    /// Max jobs running concurrently (holding in-flight slots).
+    pub max_inflight: Option<usize>,
+    /// Max jobs waiting for an in-flight slot. `None` means *no* wait
+    /// queue: once in-flight slots are full, excess jobs shed immediately
+    /// — a bounded queue is opt-in, queueing forever is not on the menu.
+    pub max_queued: Option<usize>,
+    /// Max in-flight jobs per tenant. A tenant at its cap sheds rather
+    /// than queues, so one tenant cannot camp the shared wait queue.
+    pub tenant_inflight: Option<usize>,
+    /// Deadline applied to jobs that did not request one, in virtual
+    /// seconds (propagates into [`ExecutionOptions::deadline_secs`]).
+    pub default_deadline_secs: Option<f64>,
+}
+
+/// A structured admission refusal: why the job was turned away before any
+/// model work, and when (if ever) a retry is worthwhile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// Refusal class: `overloaded` / `draining` / `deadline` /
+    /// `budget-exhausted`.
+    pub kind: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Suggested client backoff before resubmitting, in seconds.
+    /// `Some` for transient refusals (overload), `None` for refusals a
+    /// retry cannot fix unchanged (exhausted allowance, dead deadline).
+    pub retry_after_secs: Option<f64>,
+}
+
+/// How a job submitted to [`JobScheduler::run_job`] can fail: turned away
+/// at admission with a structured [`Rejection`], or admitted but errored
+/// while running.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// Refused before any work: overload shed, drain, dead deadline, or
+    /// exhausted tenant allowance. Bills zero tokens by construction.
+    Rejected(Rejection),
+    /// Admitted, ran, and failed; partial spend may have been billed.
+    Failed(String),
+}
+
+impl JobError {
+    /// The human-readable error message.
+    pub fn message(&self) -> &str {
+        match self {
+            JobError::Rejected(rejection) => &rejection.message,
+            JobError::Failed(message) => message,
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+/// A point-in-time view of the scheduler's overload gate, for `health` /
+/// `stats` / Prometheus surfacing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadSnapshot {
+    /// Drain state: `serving` / `draining` / `closed`.
+    pub state: &'static str,
+    /// Jobs holding in-flight slots.
+    pub inflight: usize,
+    /// Jobs waiting in the admission queue.
+    pub queued: usize,
+    /// Lifetime jobs admitted past the overload gate.
+    pub admitted_total: u64,
+    /// Lifetime jobs shed by the overload gate.
+    pub shed_total: u64,
+}
+
 /// What the scheduler grants an admitted job: its id, its turnstile gate
-/// (wire it into the executor with `with_shard_gate`), and its effective
+/// (wire it into the executor with `with_shard_gate`), its effective
 /// execution options — the requested options with `token_budget` clamped
-/// to the tenant's remaining allowance.
+/// to the tenant's remaining allowance — and its drain halt.
 pub struct JobGrant {
     /// Job id (per-scheduler, starts at 1).
     pub job: u64,
@@ -300,6 +408,11 @@ pub struct JobGrant {
     pub gate: Arc<dyn ShardGate>,
     /// Admission-clamped execution options for the run.
     pub options: ExecutionOptions,
+    /// The job's checkpoint halt: unarmed at grant, fired by a drain.
+    /// Journaled handlers should wire it into the executor
+    /// (`with_kill_switch`) so a drain checkpoints the job at its next
+    /// journaled terminal instead of losing billed work.
+    pub halt: KillSwitch,
 }
 
 /// What a finished job reports back for settlement and the reply wire.
@@ -317,6 +430,20 @@ pub struct JobOutcome {
     pub metrics: MetricsSnapshot,
 }
 
+/// The overload gate's mutable state: slot occupancy under one lock so
+/// every admit/shed decision sees a consistent picture.
+#[derive(Debug, Default)]
+struct AdmissionState {
+    inflight: usize,
+    queued: usize,
+    per_tenant: BTreeMap<String, usize>,
+}
+
+/// Drain states, packed into an atomic for lock-free reads.
+const DRAIN_SERVING: u8 = 0;
+const DRAIN_DRAINING: u8 = 1;
+const DRAIN_CLOSED: u8 = 2;
+
 /// Admission, fair-share registration, and settlement for concurrent jobs.
 pub struct JobScheduler {
     ledger: TenantLedger,
@@ -324,6 +451,16 @@ pub struct JobScheduler {
     tracer: Arc<dyn Tracer>,
     next_job: AtomicU64,
     active: AtomicU64,
+    policy: OverloadPolicy,
+    admission: Mutex<AdmissionState>,
+    /// Signalled whenever an in-flight slot frees or a drain begins, so
+    /// queued jobs re-evaluate.
+    slot_freed: Condvar,
+    drain_state: AtomicU8,
+    /// Checkpoint halts of in-flight jobs, fired all at once by a drain.
+    halts: Mutex<HashMap<u64, KillSwitch>>,
+    admitted_total: AtomicU64,
+    shed_total: AtomicU64,
 }
 
 impl JobScheduler {
@@ -335,13 +472,27 @@ impl JobScheduler {
             tracer: Arc::new(NullTracer),
             next_job: AtomicU64::new(1),
             active: AtomicU64::new(0),
+            policy: OverloadPolicy::default(),
+            admission: Mutex::new(AdmissionState::default()),
+            slot_freed: Condvar::new(),
+            drain_state: AtomicU8::new(DRAIN_SERVING),
+            halts: Mutex::new(HashMap::new()),
+            admitted_total: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
         }
     }
 
-    /// Streams `job_accepted` / `job_completed` / `job_rejected` events
-    /// into `tracer`.
+    /// Streams `job_accepted` / `job_completed` / `job_rejected` /
+    /// `job_shed` / `queue_depth` / `drain_transition` events into
+    /// `tracer`.
     pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> JobScheduler {
         self.tracer = tracer;
+        self
+    }
+
+    /// Bounds admission with `policy` (see [`OverloadPolicy`]).
+    pub fn with_policy(mut self, policy: OverloadPolicy) -> JobScheduler {
+        self.policy = policy;
         self
     }
 
@@ -350,9 +501,217 @@ impl JobScheduler {
         &self.ledger
     }
 
+    /// The admission policy.
+    pub fn policy(&self) -> &OverloadPolicy {
+        &self.policy
+    }
+
     /// Jobs currently running.
     pub fn active_jobs(&self) -> u64 {
         self.active.load(Ordering::Relaxed)
+    }
+
+    /// Whether a drain has started (or finished).
+    pub fn draining(&self) -> bool {
+        self.drain_state.load(Ordering::Relaxed) != DRAIN_SERVING
+    }
+
+    /// The drain state's label: `serving` / `draining` / `closed`.
+    pub fn drain_label(&self) -> &'static str {
+        match self.drain_state.load(Ordering::Relaxed) {
+            DRAIN_SERVING => "serving",
+            DRAIN_DRAINING => "draining",
+            _ => "closed",
+        }
+    }
+
+    /// The overload gate's current occupancy and lifetime totals.
+    pub fn overload_snapshot(&self) -> OverloadSnapshot {
+        let st = self.admission.lock().expect("admission lock");
+        OverloadSnapshot {
+            state: self.drain_label(),
+            inflight: st.inflight,
+            queued: st.queued,
+            admitted_total: self.admitted_total.load(Ordering::Relaxed),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the gate is idle: no in-flight slots held and nothing
+    /// queued. A draining daemon closes at this point.
+    pub fn quiesced(&self) -> bool {
+        let st = self.admission.lock().expect("admission lock");
+        st.inflight == 0 && st.queued == 0
+    }
+
+    /// Starts a drain: stop admitting (new and queued jobs shed with kind
+    /// `draining`), fire every in-flight job's checkpoint halt so
+    /// journaled jobs stop at their next journaled terminal, and emit the
+    /// `serving → draining` transition. Idempotent.
+    pub fn drain(&self) {
+        if self
+            .drain_state
+            .compare_exchange(
+                DRAIN_SERVING,
+                DRAIN_DRAINING,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return;
+        }
+        let inflight = self.admission.lock().expect("admission lock").inflight;
+        self.tracer.record(&TraceEvent::DrainTransition {
+            from: "serving",
+            to: "draining",
+            inflight,
+        });
+        for halt in self.halts.lock().expect("halts lock").values() {
+            halt.trigger();
+        }
+        // Wake queued jobs so they shed as draining instead of waiting on
+        // slots that will never be granted to them.
+        self.slot_freed.notify_all();
+    }
+
+    /// Completes the drain chain once nothing is in flight: emits the
+    /// `draining → closed` transition. Idempotent; no-op unless draining.
+    pub fn mark_closed(&self) {
+        if self
+            .drain_state
+            .compare_exchange(
+                DRAIN_DRAINING,
+                DRAIN_CLOSED,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            self.tracer.record(&TraceEvent::DrainTransition {
+                from: "draining",
+                to: "closed",
+                inflight: 0,
+            });
+        }
+    }
+
+    /// Books a shed: the zero-billing rejection trace plus per-tenant and
+    /// lifetime counters. `queued`/`inflight` are the gate occupancy the
+    /// decision was made against.
+    fn book_shed(
+        &self,
+        job: u64,
+        tenant: &str,
+        rejection: &Rejection,
+        queued: usize,
+        inflight: usize,
+    ) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+        self.ledger.shed(tenant);
+        self.tracer.record(&TraceEvent::JobShed {
+            job,
+            tenant: tenant.to_string(),
+            reason: rejection.kind.to_string(),
+            retry_after_secs: rejection.retry_after_secs.unwrap_or(0.0),
+            queued,
+            inflight,
+        });
+    }
+
+    /// The backoff hint for an overload shed: longer the deeper the
+    /// backlog, so colliding clients spread their retries.
+    fn retry_after(queued: usize, inflight: usize) -> f64 {
+        0.5 * (queued + inflight + 1) as f64
+    }
+
+    /// Takes an in-flight slot for `job`, waiting in the bounded queue
+    /// when the policy allows, or sheds. On `Ok` the slot is held and must
+    /// be released with [`release_slot`](Self::release_slot).
+    fn acquire_slot(&self, tenant: &str, job: u64) -> Result<(), Rejection> {
+        let mut st = self.admission.lock().expect("admission lock");
+        let mut queued_here = false;
+        loop {
+            if self.draining() {
+                if queued_here {
+                    st.queued -= 1;
+                }
+                let rejection = Rejection {
+                    kind: "draining",
+                    message: "daemon is draining and admits no new jobs".to_string(),
+                    retry_after_secs: None,
+                };
+                self.book_shed(job, tenant, &rejection, st.queued, st.inflight);
+                return Err(rejection);
+            }
+            let tenant_held = st.per_tenant.get(tenant).copied().unwrap_or(0);
+            let tenant_capped = self
+                .policy
+                .tenant_inflight
+                .is_some_and(|cap| tenant_held >= cap);
+            let capped = self
+                .policy
+                .max_inflight
+                .is_some_and(|cap| st.inflight >= cap);
+            if !capped && !tenant_capped {
+                st.inflight += 1;
+                *st.per_tenant.entry(tenant.to_string()).or_default() += 1;
+                if queued_here {
+                    st.queued -= 1;
+                }
+                self.tracer.record(&TraceEvent::QueueDepth {
+                    queued: st.queued,
+                    inflight: st.inflight,
+                });
+                return Ok(());
+            }
+            // A tenant at its own cap sheds instead of queueing, so one
+            // tenant cannot occupy the shared queue; likewise a full
+            // queue sheds instead of blocking the wire thread forever.
+            let queue_full = st.queued >= self.policy.max_queued.unwrap_or(0);
+            if !queued_here && (tenant_capped || queue_full) {
+                let rejection = Rejection {
+                    kind: "overloaded",
+                    message: if tenant_capped {
+                        format!(
+                            "tenant {tenant:?} is at its concurrency cap \
+                             ({tenant_held} in flight)"
+                        )
+                    } else {
+                        format!(
+                            "admission queue is full ({} queued, {} in flight)",
+                            st.queued, st.inflight
+                        )
+                    },
+                    retry_after_secs: Some(Self::retry_after(st.queued, st.inflight)),
+                };
+                self.book_shed(job, tenant, &rejection, st.queued, st.inflight);
+                return Err(rejection);
+            }
+            if !queued_here {
+                st.queued += 1;
+                queued_here = true;
+                self.tracer.record(&TraceEvent::QueueDepth {
+                    queued: st.queued,
+                    inflight: st.inflight,
+                });
+            }
+            st = self.slot_freed.wait(st).expect("admission lock");
+        }
+    }
+
+    /// Releases `tenant`'s in-flight slot and wakes one queued waiter.
+    fn release_slot(&self, tenant: &str) {
+        let mut st = self.admission.lock().expect("admission lock");
+        st.inflight = st.inflight.saturating_sub(1);
+        if let Some(held) = st.per_tenant.get_mut(tenant) {
+            *held = held.saturating_sub(1);
+            if *held == 0 {
+                st.per_tenant.remove(tenant);
+            }
+        }
+        drop(st);
+        self.slot_freed.notify_all();
     }
 
     /// Admits, runs, and settles one job on the calling thread.
@@ -361,23 +720,67 @@ impl JobScheduler {
     /// `grant.options` with `grant.gate` wired into the executor
     /// (`with_shard_gate`), returning the outcome to bill. The grant's
     /// turnstile slot is freed when `body` returns, whatever the result.
+    ///
+    /// Admission proceeds in deterministic stages: a non-positive
+    /// deadline sheds (`deadline`), then the overload gate sheds or
+    /// queues (`overloaded` / `draining`), then the tenant ledger rejects
+    /// an exhausted allowance (`budget-exhausted`). Every refusal is a
+    /// [`JobError::Rejected`] that billed zero tokens; a failure from
+    /// `body` is [`JobError::Failed`].
     pub fn run_job(
         &self,
         tenant: &str,
         requested: ExecutionOptions,
         body: impl FnOnce(&JobGrant) -> Result<JobOutcome, String>,
-    ) -> Result<(u64, JobOutcome), String> {
+    ) -> Result<(u64, JobOutcome), JobError> {
+        let mut requested = requested;
+        if requested.deadline_secs.is_none() {
+            requested.deadline_secs = self.policy.default_deadline_secs;
+        }
+        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        if let Some(deadline) = requested.deadline_secs {
+            if deadline <= 0.0 {
+                let rejection = Rejection {
+                    kind: "deadline",
+                    message: format!(
+                        "job cannot finish by its deadline ({deadline}s at admission)"
+                    ),
+                    retry_after_secs: None,
+                };
+                let (queued, inflight) = {
+                    let st = self.admission.lock().expect("admission lock");
+                    (st.queued, st.inflight)
+                };
+                self.book_shed(job, tenant, &rejection, queued, inflight);
+                return Err(JobError::Rejected(rejection));
+            }
+        }
+        self.acquire_slot(tenant, job).map_err(JobError::Rejected)?;
         let effective_budget = match self.ledger.admit(tenant, requested.token_budget) {
             Ok(budget) => budget,
             Err(reason) => {
+                self.release_slot(tenant);
                 self.tracer.record(&TraceEvent::JobRejected {
                     tenant: tenant.to_string(),
                     reason: reason.clone(),
                 });
-                return Err(reason);
+                return Err(JobError::Rejected(Rejection {
+                    kind: "budget-exhausted",
+                    message: reason,
+                    retry_after_secs: None,
+                }));
             }
         };
-        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let halt = KillSwitch::unarmed();
+        self.halts
+            .lock()
+            .expect("halts lock")
+            .insert(job, halt.clone());
+        // Close the race with a drain that fired between slot acquisition
+        // and halt registration: its trigger sweep may have missed us.
+        if self.draining() {
+            halt.trigger();
+        }
         let grant = JobGrant {
             job,
             gate: Arc::new(self.turnstile.register(job)),
@@ -385,15 +788,18 @@ impl JobScheduler {
                 token_budget: effective_budget,
                 ..requested
             },
+            halt,
         };
         self.tracer.record(&TraceEvent::JobAccepted {
             job,
             tenant: tenant.to_string(),
         });
+        self.admitted_total.fetch_add(1, Ordering::Relaxed);
         self.active.fetch_add(1, Ordering::Relaxed);
         let result = body(&grant);
         drop(grant);
         self.active.fetch_sub(1, Ordering::Relaxed);
+        self.halts.lock().expect("halts lock").remove(&job);
         match &result {
             Ok(outcome) => {
                 self.ledger.settle(
@@ -418,7 +824,10 @@ impl JobScheduler {
                 });
             }
         }
-        result.map(|outcome| (job, outcome))
+        self.release_slot(tenant);
+        result
+            .map(|outcome| (job, outcome))
+            .map_err(JobError::Failed)
     }
 }
 
@@ -615,6 +1024,59 @@ pub type JobHandler = dyn Fn(&Json, &JobGrant) -> Result<JobOutcome, String> + S
 /// shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
 
+/// Wire-level protection limits for one daemon connection. Defaults are
+/// generous for interactive clients but bounded, so a single hostile or
+/// broken peer (an oversized line, a byte-at-a-time slow loris, a client
+/// that connects and never writes) occupies at most one connection thread
+/// for a bounded time and never affects the accept loop.
+#[derive(Debug, Clone)]
+pub struct WireLimits {
+    /// Max bytes in one NDJSON request line (excluding the newline).
+    /// Oversized frames answer an error naming the limit, then close.
+    pub max_frame_bytes: usize,
+    /// Max wall seconds to finish a frame once its first byte arrived
+    /// (slow-loris protection). Timed-out frames answer an error, then
+    /// close.
+    pub frame_secs: f64,
+    /// Max wall seconds a connection may sit idle between frames (a
+    /// client that connects but never writes). Idle connections close
+    /// silently.
+    pub idle_secs: f64,
+    /// Write timeout for replies, in wall seconds (a client that stops
+    /// reading cannot pin the thread on a full socket buffer).
+    pub write_secs: f64,
+}
+
+impl Default for WireLimits {
+    fn default() -> WireLimits {
+        WireLimits {
+            max_frame_bytes: 256 * 1024,
+            frame_secs: 10.0,
+            idle_secs: 300.0,
+            write_secs: 10.0,
+        }
+    }
+}
+
+/// How one attempt to read a request frame ended (see
+/// [`Daemon::read_frame`]).
+enum FrameOutcome {
+    /// A complete line (newline excluded).
+    Frame(Vec<u8>),
+    /// EOF at a frame boundary: clean close.
+    Closed,
+    /// EOF mid-frame: the client died leaving a torn frame.
+    Torn,
+    /// The frame exceeded [`WireLimits::max_frame_bytes`].
+    Oversized,
+    /// No frame started within [`WireLimits::idle_secs`].
+    Idle,
+    /// A started frame did not finish within [`WireLimits::frame_secs`].
+    Stalled,
+    /// The daemon is shutting down.
+    Shutdown,
+}
+
 /// The `dprep serve` TCP front end: newline-delimited JSON over a
 /// listening socket, one thread per connection, jobs scheduled through a
 /// [`JobScheduler`].
@@ -643,6 +1105,7 @@ pub struct Daemon {
     tenants: Mutex<BTreeMap<String, MetricsSnapshot>>,
     ops: Option<Arc<OpsPlane>>,
     shutdown: AtomicBool,
+    wire: WireLimits,
 }
 
 /// One request's answer: a JSON reply line, or a raw body that ends the
@@ -669,7 +1132,14 @@ impl Daemon {
             tenants: Mutex::new(BTreeMap::new()),
             ops: None,
             shutdown: AtomicBool::new(false),
+            wire: WireLimits::default(),
         })
+    }
+
+    /// Replaces the default [`WireLimits`].
+    pub fn with_wire_limits(mut self, wire: WireLimits) -> Daemon {
+        self.wire = wire;
+        self
     }
 
     /// Attaches a live ops plane: jobs should be traced through
@@ -706,11 +1176,17 @@ impl Daemon {
         self.shutdown.store(true, Ordering::Relaxed);
     }
 
-    /// Serves until shutdown is requested, then waits for in-flight
-    /// connections to finish.
+    /// Serves until shutdown is requested — or until a drain quiesces
+    /// (no jobs in flight, none queued), which completes the drain chain
+    /// (`draining → closed`) and stops accepting. Either way the loop
+    /// then waits for in-flight connections to finish.
     pub fn run(&self) -> std::io::Result<()> {
-        std::thread::scope(|scope| {
+        let result = std::thread::scope(|scope| {
             while !self.shutdown.load(Ordering::Relaxed) {
+                if self.scheduler.draining() && self.scheduler.quiesced() {
+                    self.request_shutdown();
+                    break;
+                }
                 match self.listener.accept() {
                     Ok((stream, _)) => {
                         scope.spawn(move || self.serve_connection(stream));
@@ -722,53 +1198,152 @@ impl Daemon {
                 }
             }
             Ok(())
-        })
+        });
+        // All connection threads have joined: nothing can be in flight.
+        self.scheduler.mark_closed();
+        result
     }
 
-    /// One connection: read a line, answer a line, until EOF or shutdown.
+    /// One connection: read a frame, answer a line, until EOF, a wire
+    /// violation, or shutdown. Wire violations ([`WireLimits`]) cost this
+    /// connection only — the reply (when the peer deserves one) names the
+    /// violation, then the connection closes.
     fn serve_connection(&self, stream: TcpStream) {
-        // The timeout bounds how long a quiet connection can delay
-        // shutdown, not how long a request may take.
+        // The read timeout bounds how often the frame reader can poll the
+        // shutdown flag and its wall clocks, not how long a request may
+        // take; the write timeout stops a non-reading peer from pinning
+        // this thread on a full socket buffer.
         let _ = stream.set_read_timeout(Some(READ_POLL));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs_f64(self.wire.write_secs)));
         let mut writer = match stream.try_clone() {
             Ok(w) => w,
             Err(_) => return,
         };
         let mut reader = BufReader::new(stream);
-        let mut line = String::new();
         loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => return,
-                Ok(_) => {
-                    let reply = self.dispatch(line.trim());
-                    line.clear();
-                    match reply {
-                        Reply::Line(json) => {
-                            if writeln!(writer, "{}", json.to_json()).is_err() {
-                                return;
-                            }
-                        }
-                        // A raw body is a one-shot scrape: write it and
-                        // close, so the scraper reads to EOF.
-                        Reply::Raw(body) => {
-                            let _ = writer.write_all(body.as_bytes());
-                            return;
-                        }
+            let frame = match self.read_frame(&mut reader) {
+                FrameOutcome::Frame(frame) => frame,
+                FrameOutcome::Closed
+                | FrameOutcome::Torn
+                | FrameOutcome::Idle
+                | FrameOutcome::Shutdown => return,
+                FrameOutcome::Oversized => {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        error_reply(&format!(
+                            "request line exceeds the {}-byte frame limit",
+                            self.wire.max_frame_bytes
+                        ))
+                        .to_json()
+                    );
+                    return;
+                }
+                FrameOutcome::Stalled => {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        error_reply(&format!(
+                            "request frame not completed within {}s",
+                            self.wire.frame_secs
+                        ))
+                        .to_json()
+                    );
+                    return;
+                }
+            };
+            let Ok(line) = std::str::from_utf8(&frame) else {
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    error_reply("request line is not valid UTF-8").to_json()
+                );
+                return;
+            };
+            match self.dispatch(line.trim()) {
+                Reply::Line(json) => {
+                    if writeln!(writer, "{}", json.to_json()).is_err() {
+                        return;
                     }
                 }
-                // Timed out mid-wait: `line` keeps any partial read, so
-                // the next read_line continues the same request.
+                // A raw body is a one-shot scrape: write it and close, so
+                // the scraper reads to EOF.
+                Reply::Raw(body) => {
+                    let _ = writer.write_all(body.as_bytes());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Reads one newline-terminated frame under the wire limits. The
+    /// frame clock starts at the frame's first byte and never resets on
+    /// progress, so a byte-at-a-time slow loris still times out; the idle
+    /// clock only runs while no frame has started.
+    fn read_frame(&self, reader: &mut BufReader<TcpStream>) -> FrameOutcome {
+        let idle_limit = Duration::from_secs_f64(self.wire.idle_secs);
+        let frame_limit = Duration::from_secs_f64(self.wire.frame_secs);
+        let idle_since = Instant::now();
+        let mut frame_since: Option<Instant> = None;
+        let mut frame: Vec<u8> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return FrameOutcome::Shutdown;
+            }
+            match frame_since {
+                Some(started) if started.elapsed() >= frame_limit => {
+                    return FrameOutcome::Stalled;
+                }
+                None if idle_since.elapsed() >= idle_limit => {
+                    return FrameOutcome::Idle;
+                }
+                _ => {}
+            }
+            /// What one buffered chunk produced, decided before `consume`.
+            enum Chunk {
+                Complete,
+                Partial,
+                Oversized,
+            }
+            let (advance, progress) = match reader.fill_buf() {
+                Ok([]) => {
+                    return if frame.is_empty() {
+                        FrameOutcome::Closed
+                    } else {
+                        FrameOutcome::Torn
+                    };
+                }
+                Ok(chunk) => {
+                    frame_since.get_or_insert_with(Instant::now);
+                    if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+                        if frame.len() + pos > self.wire.max_frame_bytes {
+                            (pos + 1, Chunk::Oversized)
+                        } else {
+                            frame.extend_from_slice(&chunk[..pos]);
+                            (pos + 1, Chunk::Complete)
+                        }
+                    } else if frame.len() + chunk.len() > self.wire.max_frame_bytes {
+                        (chunk.len(), Chunk::Oversized)
+                    } else {
+                        frame.extend_from_slice(chunk);
+                        (chunk.len(), Chunk::Partial)
+                    }
+                }
                 Err(e)
                     if matches!(
                         e.kind(),
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
-                    if self.shutdown.load(Ordering::Relaxed) {
-                        return;
-                    }
+                    continue;
                 }
-                Err(_) => return,
+                Err(_) => return FrameOutcome::Torn,
+            };
+            reader.consume(advance);
+            match progress {
+                Chunk::Complete => return FrameOutcome::Frame(frame),
+                Chunk::Oversized => return FrameOutcome::Oversized,
+                Chunk::Partial => {}
             }
         }
     }
@@ -795,18 +1370,30 @@ impl Daemon {
             Some("stats") => self.stats(),
             Some("metrics") => {
                 if body.get("format").and_then(Json::as_str) == Some("raw") {
-                    return Reply::Raw(render_prom_tenants(&self.tenant_metrics()));
+                    return Reply::Raw(self.prom_body());
                 }
                 Json::Obj(vec![
                     ("ok".to_string(), Json::Bool(true)),
-                    (
-                        "prom".to_string(),
-                        Json::Str(render_prom_tenants(&self.tenant_metrics())),
-                    ),
+                    ("prom".to_string(), Json::Str(self.prom_body())),
                 ])
             }
             Some("health") => self.health(),
+            Some("drain") => {
+                self.scheduler.drain();
+                let overload = self.scheduler.overload_snapshot();
+                Json::Obj(vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("draining".to_string(), Json::Bool(true)),
+                    ("state".to_string(), Json::Str(overload.state.to_string())),
+                    ("inflight".to_string(), Json::Num(overload.inflight as f64)),
+                    ("queued".to_string(), Json::Num(overload.queued as f64)),
+                ])
+            }
             Some("shutdown") => {
+                // Shutdown is a drain plus an immediate stop-accepting:
+                // in-flight jobs finish or checkpoint to their journals
+                // before the process exits, so billed work survives.
+                self.scheduler.drain();
                 self.request_shutdown();
                 Json::Obj(vec![
                     ("ok".to_string(), Json::Bool(true)),
@@ -869,6 +1456,7 @@ impl Daemon {
                         "jobs_completed".to_string(),
                         Json::Num(row.jobs_completed as f64),
                     ));
+                    fields.push(("jobs_shed".to_string(), Json::Num(row.jobs_shed as f64)));
                 }
                 if let Some(health) = plane.get(&name) {
                     fields.push(("window".to_string(), health.window.to_json()));
@@ -893,11 +1481,23 @@ impl Daemon {
                 Json::Obj(fields)
             })
             .collect();
+        let overload = self.scheduler.overload_snapshot();
         Json::Obj(vec![
             ("ok".to_string(), Json::Bool(true)),
             (
                 "active_jobs".to_string(),
                 Json::Num(self.scheduler.active_jobs() as f64),
+            ),
+            ("state".to_string(), Json::Str(overload.state.to_string())),
+            ("inflight".to_string(), Json::Num(overload.inflight as f64)),
+            ("queued".to_string(), Json::Num(overload.queued as f64)),
+            (
+                "admitted_jobs".to_string(),
+                Json::Num(overload.admitted_total as f64),
+            ),
+            (
+                "shed_jobs".to_string(),
+                Json::Num(overload.shed_total as f64),
             ),
             ("has_ops".to_string(), Json::Bool(self.ops.is_some())),
             ("tenants".to_string(), Json::Arr(tenants)),
@@ -927,13 +1527,25 @@ impl Daemon {
         }
     }
 
-    /// Runs one `submit` request through the scheduler and handler.
+    /// Runs one `submit` request through the scheduler and handler. The
+    /// job's deadline comes from `deadline_secs` (virtual seconds) or the
+    /// wire-friendly `deadline_ms` alias; an explicit `deadline_secs`
+    /// wins when both are present, and the scheduler's policy default
+    /// applies when neither is.
     fn submit(&self, body: &Json) -> Json {
         let tenant = body
             .get("tenant")
             .and_then(Json::as_str)
             .unwrap_or("default")
             .to_string();
+        let deadline_secs = body
+            .get("deadline_secs")
+            .and_then(Json::as_f64)
+            .or_else(|| {
+                body.get("deadline_ms")
+                    .and_then(Json::as_f64)
+                    .map(|ms| ms / 1000.0)
+            });
         let requested = ExecutionOptions {
             workers: body
                 .get("workers")
@@ -941,7 +1553,7 @@ impl Daemon {
                 .unwrap_or(1)
                 .max(1),
             token_budget: body.get("token_budget").and_then(Json::as_usize),
-            deadline_secs: body.get("deadline_secs").and_then(Json::as_f64),
+            deadline_secs,
             ..ExecutionOptions::default()
         };
         match self
@@ -973,8 +1585,68 @@ impl Daemon {
                 fields.extend(outcome.reply);
                 Json::Obj(fields)
             }
-            Err(e) => error_reply(&e),
+            // A structured rejection tells the client what to do next:
+            // back off (`retry_after`), stop (drain), or fix the request.
+            Err(JobError::Rejected(rejection)) => {
+                let mut fields = vec![
+                    ("ok".to_string(), Json::Bool(false)),
+                    (
+                        "rejected".to_string(),
+                        Json::Str(rejection.kind.to_string()),
+                    ),
+                    ("error".to_string(), Json::Str(rejection.message)),
+                ];
+                if let Some(after) = rejection.retry_after_secs {
+                    fields.push(("retry_after".to_string(), Json::Num(after)));
+                }
+                Json::Obj(fields)
+            }
+            Err(JobError::Failed(e)) => error_reply(&e),
         }
+    }
+
+    /// The Prometheus scrape body: tenant-labeled series plus the
+    /// daemon-level overload gauges.
+    fn prom_body(&self) -> String {
+        let mut body = render_prom_tenants(&self.tenant_metrics());
+        let overload = self.scheduler.overload_snapshot();
+        body.push_str(&render_prom_daemon(&[
+            (
+                "dprep_daemon_admitted_jobs_total",
+                "counter",
+                "Jobs admitted past the overload gate.",
+                overload.admitted_total as f64,
+            ),
+            (
+                "dprep_daemon_shed_jobs_total",
+                "counter",
+                "Jobs shed by the overload policy (billed zero tokens).",
+                overload.shed_total as f64,
+            ),
+            (
+                "dprep_daemon_queue_depth",
+                "gauge",
+                "Jobs waiting in the admission queue.",
+                overload.queued as f64,
+            ),
+            (
+                "dprep_daemon_inflight_jobs",
+                "gauge",
+                "Jobs holding in-flight slots.",
+                overload.inflight as f64,
+            ),
+            (
+                "dprep_daemon_draining",
+                "gauge",
+                "1 once a drain has started (draining or closed).",
+                if overload.state == "serving" {
+                    0.0
+                } else {
+                    1.0
+                },
+            ),
+        ]));
+        body
     }
 
     /// The `stats` reply: active jobs plus every tenant's ledger row.
@@ -1010,14 +1682,27 @@ impl Daemon {
                         "jobs_tripped".to_string(),
                         Json::Num(row.jobs_tripped as f64),
                     ),
+                    ("jobs_shed".to_string(), Json::Num(row.jobs_shed as f64)),
                 ])
             })
             .collect();
+        let overload = self.scheduler.overload_snapshot();
         Json::Obj(vec![
             ("ok".to_string(), Json::Bool(true)),
             (
                 "active_jobs".to_string(),
                 Json::Num(self.scheduler.active_jobs() as f64),
+            ),
+            ("state".to_string(), Json::Str(overload.state.to_string())),
+            ("inflight".to_string(), Json::Num(overload.inflight as f64)),
+            ("queued".to_string(), Json::Num(overload.queued as f64)),
+            (
+                "admitted_jobs".to_string(),
+                Json::Num(overload.admitted_total as f64),
+            ),
+            (
+                "shed_jobs".to_string(),
+                Json::Num(overload.shed_total as f64),
             ),
             ("tenants".to_string(), Json::Arr(tenants)),
         ])
@@ -1160,11 +1845,238 @@ mod tests {
                 panic!("rejected jobs must not run")
             })
             .unwrap_err();
-        assert!(err.contains("exhausted"), "{err}");
+        assert!(err.message().contains("exhausted"), "{err}");
 
-        let names: Vec<&'static str> = tracer.events().iter().map(TraceEvent::name).collect();
+        let names: Vec<&'static str> = tracer
+            .events()
+            .iter()
+            .map(TraceEvent::name)
+            .filter(|n| *n != "queue_depth")
+            .collect();
         assert_eq!(names, vec!["job_accepted", "job_completed", "job_rejected"]);
         assert_eq!(scheduler.active_jobs(), 0);
+    }
+
+    /// An outcome that bills `tokens` at a flat 0.01 $/token.
+    fn billed(tokens: usize) -> JobOutcome {
+        JobOutcome {
+            tokens_billed: tokens,
+            cost_usd: tokens as f64 * 0.01,
+            ..JobOutcome::default()
+        }
+    }
+
+    #[test]
+    fn overload_gate_sheds_beyond_inflight_cap_with_retry_hint() {
+        let tracer = Arc::new(dprep_obs::CollectingTracer::new());
+        let scheduler = JobScheduler::new(TenantLedger::new())
+            .with_tracer(Arc::clone(&tracer) as Arc<dyn Tracer>)
+            .with_policy(OverloadPolicy {
+                max_inflight: Some(1),
+                ..OverloadPolicy::default()
+            });
+
+        // While one job holds the only slot (no queue configured), a
+        // second submit sheds immediately with a positive backoff hint.
+        let (_, outcome) = scheduler
+            .run_job("acme", ExecutionOptions::default(), |_| {
+                let err = scheduler
+                    .run_job("burst", ExecutionOptions::default(), |_| {
+                        panic!("shed jobs must not run")
+                    })
+                    .unwrap_err();
+                match &err {
+                    JobError::Rejected(rejection) => {
+                        assert_eq!(rejection.kind, "overloaded");
+                        assert!(rejection.retry_after_secs.unwrap() > 0.0, "{rejection:?}");
+                    }
+                    other => panic!("expected overload rejection, got {other:?}"),
+                }
+                Ok(billed(10))
+            })
+            .unwrap();
+        assert_eq!(outcome.tokens_billed, 10);
+
+        // The shed billed nothing and is visible everywhere: the trace,
+        // the tenant ledger, and the gate's lifetime counters.
+        let sheds: Vec<_> = tracer
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JobShed { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(sheds.len(), 1);
+        let rows = scheduler.ledger().snapshot();
+        let burst = rows.iter().find(|r| r.tenant == "burst").unwrap();
+        assert_eq!((burst.jobs_shed, burst.tokens_billed), (1, 0));
+        let snap = scheduler.overload_snapshot();
+        assert_eq!((snap.admitted_total, snap.shed_total), (1, 1));
+        assert_eq!((snap.inflight, snap.queued), (0, 0));
+        assert!(scheduler.quiesced());
+    }
+
+    #[test]
+    fn bounded_queue_admits_waiters_and_tenant_cap_sheds_without_queueing() {
+        let scheduler = Arc::new(JobScheduler::new(TenantLedger::new()).with_policy(
+            OverloadPolicy {
+                max_inflight: Some(1),
+                max_queued: Some(1),
+                tenant_inflight: Some(1),
+                ..OverloadPolicy::default()
+            },
+        ));
+
+        // A queued job waits for the slot and then runs to completion.
+        let (holding_tx, holding_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            let holder = {
+                let scheduler = Arc::clone(&scheduler);
+                scope.spawn(move || {
+                    scheduler.run_job("acme", ExecutionOptions::default(), |_| {
+                        holding_tx.send(()).unwrap();
+                        release_rx.recv().unwrap();
+                        Ok(billed(5))
+                    })
+                })
+            };
+            holding_rx.recv().unwrap();
+
+            // The tenant holding the slot is at its own cap: its second
+            // job sheds instead of camping the shared queue.
+            let err = scheduler
+                .run_job("acme", ExecutionOptions::default(), |_| unreachable!())
+                .unwrap_err();
+            assert!(matches!(
+                &err,
+                JobError::Rejected(r) if r.kind == "overloaded"
+                    && r.message.contains("concurrency cap")
+            ));
+
+            // Another tenant queues; once the holder releases, it runs.
+            let waiter = {
+                let scheduler = Arc::clone(&scheduler);
+                scope.spawn(move || {
+                    scheduler.run_job("beta", ExecutionOptions::default(), |_| Ok(billed(3)))
+                })
+            };
+            while scheduler.overload_snapshot().queued == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            // The queue is full (1 of 1): the next submit sheds.
+            let err = scheduler
+                .run_job("gamma", ExecutionOptions::default(), |_| unreachable!())
+                .unwrap_err();
+            assert!(matches!(
+                &err,
+                JobError::Rejected(r) if r.kind == "overloaded"
+                    && r.message.contains("queue is full")
+            ));
+
+            release_tx.send(()).unwrap();
+            holder.join().unwrap().unwrap();
+            let (_, outcome) = waiter.join().unwrap().unwrap();
+            assert_eq!(outcome.tokens_billed, 3);
+        });
+        let snap = scheduler.overload_snapshot();
+        assert_eq!((snap.admitted_total, snap.shed_total), (2, 2));
+        assert!(scheduler.quiesced());
+    }
+
+    #[test]
+    fn drain_sheds_new_jobs_fires_halts_and_walks_the_state_chain() {
+        let tracer = Arc::new(dprep_obs::CollectingTracer::new());
+        let scheduler = JobScheduler::new(TenantLedger::new())
+            .with_tracer(Arc::clone(&tracer) as Arc<dyn Tracer>);
+        assert_eq!(scheduler.drain_label(), "serving");
+
+        // Drain mid-job: the in-flight job's halt fires so a journaled
+        // handler checkpoints, and the job still settles its bill.
+        let (_, outcome) = scheduler
+            .run_job("acme", ExecutionOptions::default(), |grant| {
+                assert!(!grant.halt.fired(), "halt is unarmed at grant");
+                scheduler.drain();
+                scheduler.drain(); // idempotent
+                assert!(grant.halt.fired(), "drain fires in-flight halts");
+                Ok(billed(7))
+            })
+            .unwrap();
+        assert_eq!(outcome.tokens_billed, 7);
+        assert_eq!(scheduler.drain_label(), "draining");
+
+        // Draining admits nothing, with no retry hint (a retry cannot
+        // outlive the drain).
+        let err = scheduler
+            .run_job("acme", ExecutionOptions::default(), |_| unreachable!())
+            .unwrap_err();
+        assert!(matches!(
+            &err,
+            JobError::Rejected(r) if r.kind == "draining" && r.retry_after_secs.is_none()
+        ));
+
+        // Quiesced: the chain completes serving → draining → closed.
+        assert!(scheduler.quiesced());
+        scheduler.mark_closed();
+        assert_eq!(scheduler.drain_label(), "closed");
+        let transitions: Vec<(&str, &str)> = tracer
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::DrainTransition { from, to, .. } => Some((*from, *to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![("serving", "draining"), ("draining", "closed")]
+        );
+    }
+
+    #[test]
+    fn deadlines_default_from_policy_and_dead_on_arrival_jobs_shed() {
+        let scheduler = JobScheduler::new(TenantLedger::new()).with_policy(OverloadPolicy {
+            default_deadline_secs: Some(30.0),
+            ..OverloadPolicy::default()
+        });
+
+        // No deadline requested: the policy default propagates into the
+        // grant's execution options (the executor's budget machinery).
+        scheduler
+            .run_job("acme", ExecutionOptions::default(), |grant| {
+                assert_eq!(grant.options.deadline_secs, Some(30.0));
+                Ok(JobOutcome::default())
+            })
+            .unwrap();
+        // An explicit deadline wins over the default.
+        scheduler
+            .run_job(
+                "acme",
+                ExecutionOptions {
+                    deadline_secs: Some(2.5),
+                    ..ExecutionOptions::default()
+                },
+                |grant| {
+                    assert_eq!(grant.options.deadline_secs, Some(2.5));
+                    Ok(JobOutcome::default())
+                },
+            )
+            .unwrap();
+        // A dead-on-arrival deadline sheds before any admission work.
+        let err = scheduler
+            .run_job(
+                "acme",
+                ExecutionOptions {
+                    deadline_secs: Some(0.0),
+                    ..ExecutionOptions::default()
+                },
+                |_| unreachable!(),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            &err,
+            JobError::Rejected(r) if r.kind == "deadline" && r.retry_after_secs.is_none()
+        ));
+        assert_eq!(scheduler.overload_snapshot().shed_total, 1);
     }
 
     fn completed(request: u64, latency_secs: f64, tokens: usize) -> TraceEvent {

@@ -59,7 +59,19 @@
 //!    never accompany a cache hit or a cancellation, and replace the
 //!    per-attempt reconciliation of invariant 3 (route stacks run below
 //!    the tracer, so no `retry_attempt` events may accompany a routed
-//!    completion even though its leg retry counts are nonzero).
+//!    completion even though they carry nonzero leg retry counts).
+//! 10. **Job lifecycle & drain chain** — serve jobs form a one-way
+//!     lifecycle per job id: a `job_accepted` id must be new, a
+//!     `job_completed` must settle an accepted-but-not-yet-completed id
+//!     exactly once, and a `job_shed` id must never have been accepted nor
+//!     ever complete afterwards — **a shed job bills exactly zero tokens**
+//!     (the only event that bills, `job_completed`, is illegal for a shed
+//!     id). An `overloaded` shed must carry a positive `retry_after_secs`.
+//!     `drain_transition` events form the one-way chain
+//!     `serving → draining → closed` with no self-loops, and the `closed`
+//!     transition must report zero in-flight jobs. Like alert chains, job
+//!     and drain state span runs (the daemon outlives any single job), so
+//!     this invariant does **not** reset at `run_started`.
 //!
 //! Runs sharing one tracer must be sequential (the executor guarantees
 //! this: events of a run are bracketed by `run_started`/`run_finished`
@@ -120,6 +132,24 @@ struct AlertChain {
     vt_secs: f64,
 }
 
+/// Where a serve job id sits in its one-way lifecycle (invariant 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum JobPhase {
+    Accepted,
+    Completed,
+    Shed,
+}
+
+impl JobPhase {
+    fn label(self) -> &'static str {
+        match self {
+            JobPhase::Accepted => "accepted",
+            JobPhase::Completed => "completed",
+            JobPhase::Shed => "shed",
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct State {
     run: RunState,
@@ -128,6 +158,11 @@ struct State {
     /// Alert chains outlive runs: keyed by `(tenant, objective)`, never
     /// reset at `run_started`.
     alerts: HashMap<(String, &'static str), AlertChain>,
+    /// Serve-job lifecycle phases (invariant 10): like alerts, keyed
+    /// per-daemon job id and never reset at `run_started`.
+    jobs: HashMap<u64, JobPhase>,
+    /// The drain chain's tail state, once a `drain_transition` was seen.
+    drain: Option<&'static str>,
 }
 
 /// A [`Tracer`] that checks the ledger invariants online.
@@ -662,6 +697,96 @@ impl Tracer for AuditTracer {
                         vt_secs: *vt_secs,
                     },
                 );
+            }
+            TraceEvent::JobAccepted { job, tenant } => {
+                if let Some(phase) = state.jobs.get(job) {
+                    state.violations.push(format!(
+                        "job {job} (tenant {tenant}) accepted but its id is already {}",
+                        phase.label()
+                    ));
+                }
+                state.jobs.insert(*job, JobPhase::Accepted);
+            }
+            TraceEvent::JobCompleted {
+                job,
+                tenant,
+                tokens,
+                ..
+            } => {
+                match state.jobs.get(job) {
+                    Some(JobPhase::Accepted) => {}
+                    Some(JobPhase::Completed) => {
+                        state
+                            .violations
+                            .push(format!("job {job} (tenant {tenant}) completed twice"));
+                    }
+                    Some(JobPhase::Shed) => {
+                        state.violations.push(format!(
+                            "shed job {job} (tenant {tenant}) billed {tokens} tokens — \
+                             shed jobs must bill zero"
+                        ));
+                    }
+                    None => {
+                        state.violations.push(format!(
+                            "job {job} (tenant {tenant}) completed without being accepted"
+                        ));
+                    }
+                }
+                state.jobs.insert(*job, JobPhase::Completed);
+            }
+            TraceEvent::JobShed {
+                job,
+                tenant,
+                reason,
+                retry_after_secs,
+                ..
+            } => {
+                if let Some(phase) = state.jobs.get(job) {
+                    state.violations.push(format!(
+                        "job {job} (tenant {tenant}) shed but its id is already {}",
+                        phase.label()
+                    ));
+                }
+                if reason == "overloaded" && *retry_after_secs <= 0.0 {
+                    state.violations.push(format!(
+                        "job {job} (tenant {tenant}) shed as overloaded without a \
+                         positive retry_after ({retry_after_secs})"
+                    ));
+                }
+                state.jobs.insert(*job, JobPhase::Shed);
+            }
+            TraceEvent::DrainTransition { from, to, inflight } => {
+                let v = &mut state.violations;
+                if from == to {
+                    v.push(format!("drain self-loop transition {from} -> {to}"));
+                }
+                match state.drain {
+                    None => {
+                        if *from != "serving" {
+                            v.push(format!(
+                                "first drain transition departs from {from} (chains \
+                                 start at serving)"
+                            ));
+                        }
+                    }
+                    Some(tail) => {
+                        if tail == "closed" {
+                            v.push(format!(
+                                "drain transition {from} -> {to} after the daemon closed"
+                            ));
+                        } else if tail != *from {
+                            v.push(format!(
+                                "drain transition from {from} but the chain is at {tail}"
+                            ));
+                        }
+                    }
+                }
+                if *to == "closed" && *inflight != 0 {
+                    v.push(format!(
+                        "drain closed with {inflight} job(s) still in flight"
+                    ));
+                }
+                state.drain = Some(to);
             }
             _ => {}
         }
@@ -1604,5 +1729,143 @@ mod tests {
         }
         audit.assert_clean();
         assert_eq!(audit.runs_audited(), 2);
+    }
+
+    fn accepted(job: u64) -> TraceEvent {
+        TraceEvent::JobAccepted {
+            job,
+            tenant: "acme".to_string(),
+        }
+    }
+
+    fn job_done(job: u64, tokens: usize) -> TraceEvent {
+        TraceEvent::JobCompleted {
+            job,
+            tenant: "acme".to_string(),
+            tokens,
+            cost_usd: tokens as f64 * 1e-6,
+            budget_tripped: false,
+        }
+    }
+
+    fn shed(job: u64, reason: &str, retry_after_secs: f64) -> TraceEvent {
+        TraceEvent::JobShed {
+            job,
+            tenant: "acme".to_string(),
+            reason: reason.to_string(),
+            retry_after_secs,
+            queued: 2,
+            inflight: 2,
+        }
+    }
+
+    fn drain(from: &'static str, to: &'static str, inflight: usize) -> TraceEvent {
+        TraceEvent::DrainTransition { from, to, inflight }
+    }
+
+    #[test]
+    fn job_lifecycle_chain_passes_and_survives_runs() {
+        let audit = AuditTracer::new();
+        audit.record(&accepted(1));
+        audit.record(&shed(2, "overloaded", 1.5));
+        // A run boundary must not reset job state (invariant 10 is
+        // daemon-scoped, like alert chains).
+        audit.record(&TraceEvent::RunStarted {
+            run: 1,
+            instances: 0,
+            batches: 0,
+            requests: 0,
+        });
+        audit.record(&TraceEvent::RunFinished {
+            run: 1,
+            instances: 0,
+            answered: 0,
+            failed: 0,
+            requests: 0,
+            fresh_requests: 0,
+            cache_hits: 0,
+            prompt_tokens: 0,
+            completion_tokens: 0,
+            cost_usd: 0.0,
+            latency_secs: 0.0,
+        });
+        audit.record(&job_done(1, 120));
+        audit.record(&shed(3, "draining", 0.0));
+        audit.record(&drain("serving", "draining", 1));
+        audit.record(&drain("draining", "closed", 0));
+        audit.assert_clean();
+    }
+
+    #[test]
+    fn shed_job_that_bills_is_a_violation() {
+        let audit = AuditTracer::new();
+        audit.record(&shed(7, "overloaded", 2.0));
+        audit.record(&job_done(7, 300));
+        let violations = audit.violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("shed job 7") && violations[0].contains("must bill zero"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn job_lifecycle_violations_are_detected() {
+        let audit = AuditTracer::new();
+        audit.record(&accepted(1));
+        audit.record(&accepted(1));
+        audit.record(&job_done(2, 10));
+        audit.record(&job_done(1, 10));
+        audit.record(&job_done(1, 10));
+        audit.record(&shed(1, "overloaded", 1.0));
+        audit.record(&shed(4, "overloaded", 0.0));
+        let violations = audit.violations();
+        assert_eq!(violations.len(), 5, "{violations:?}");
+        assert!(violations[0].contains("already accepted"), "{violations:?}");
+        assert!(
+            violations[1].contains("completed without being accepted"),
+            "{violations:?}"
+        );
+        assert!(violations[2].contains("completed twice"), "{violations:?}");
+        assert!(
+            violations[3].contains("already completed"),
+            "{violations:?}"
+        );
+        assert!(
+            violations[4].contains("positive retry_after"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn drain_chain_violations_are_detected() {
+        let audit = AuditTracer::new();
+        audit.record(&drain("draining", "closed", 1));
+        let violations = audit.violations();
+        // Departs from draining (not serving) AND closes with in-flight work.
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("start at serving"), "{violations:?}");
+        assert!(violations[1].contains("still in flight"), "{violations:?}");
+
+        let audit = AuditTracer::new();
+        audit.record(&drain("serving", "draining", 2));
+        audit.record(&drain("serving", "draining", 2));
+        let violations = audit.violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("chain is at draining"),
+            "{violations:?}"
+        );
+
+        let audit = AuditTracer::new();
+        audit.record(&drain("serving", "draining", 0));
+        audit.record(&drain("draining", "closed", 0));
+        audit.record(&drain("closed", "draining", 0));
+        let violations = audit.violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("after the daemon closed"),
+            "{violations:?}"
+        );
     }
 }

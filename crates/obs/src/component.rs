@@ -71,7 +71,7 @@ pub fn reconcile(sections: [usize; 5], billed: usize) -> [usize; 6] {
 /// maps to `"other"` — snapshots rebuilt from a trace produced by this
 /// workspace only ever see known labels.
 pub fn intern_label(label: &str) -> &'static str {
-    const KNOWN: [&str; 40] = [
+    const KNOWN: [&str; 42] = [
         // components
         TASK_SPEC,
         ANSWER_FORMAT,
@@ -121,6 +121,9 @@ pub fn intern_label(label: &str) -> &'static str {
         "dispatch",
         "parse",
         "repair",
+        // daemon drain states
+        "serving",
+        "draining",
     ];
     KNOWN
         .iter()

@@ -301,6 +301,45 @@ pub enum TraceEvent {
         /// Why the job did not complete.
         reason: String,
     },
+    /// The daemon's overload policy shed a serve job at admission: the
+    /// queue and in-flight slots were saturated (or the daemon was
+    /// draining), so the job was rejected *before* any model work — a
+    /// shed job bills exactly zero tokens (audit invariant 10).
+    JobShed {
+        /// Job id the admission gate assigned before shedding (ids are
+        /// allocated up front so the audit can prove a shed id never
+        /// completes or bills).
+        job: u64,
+        /// Tenant whose job was shed.
+        tenant: String,
+        /// Shed class: `overloaded` / `draining` / `deadline`.
+        reason: String,
+        /// Suggested client backoff before resubmitting, in seconds.
+        retry_after_secs: f64,
+        /// Jobs waiting in the admission queue at the shed decision.
+        queued: usize,
+        /// Jobs holding in-flight slots at the shed decision.
+        inflight: usize,
+    },
+    /// The admission queue's occupancy changed: a job entered the bounded
+    /// wait queue or was promoted out of it into an in-flight slot.
+    QueueDepth {
+        /// Jobs waiting in the admission queue after the change.
+        queued: usize,
+        /// Jobs holding in-flight slots after the change.
+        inflight: usize,
+    },
+    /// The daemon's drain state machine advanced. Legal chain per daemon
+    /// lifetime: `serving → draining → closed` (audit invariant 10).
+    DrainTransition {
+        /// State before: `serving` / `draining`.
+        from: &'static str,
+        /// State after: `draining` / `closed`.
+        to: &'static str,
+        /// Jobs still in flight at the transition (checkpoint candidates
+        /// for `draining`; must be zero for `closed`).
+        inflight: usize,
+    },
     /// A tenant's SLO alert changed state (`ok` / `warning` / `paging`).
     /// Emitted by the SLO engine when a multi-window burn rate crosses an
     /// objective's threshold; the burn values are the evidence for the
@@ -378,6 +417,9 @@ impl TraceEvent {
             TraceEvent::JobAccepted { .. } => "job_accepted",
             TraceEvent::JobCompleted { .. } => "job_completed",
             TraceEvent::JobRejected { .. } => "job_rejected",
+            TraceEvent::JobShed { .. } => "job_shed",
+            TraceEvent::QueueDepth { .. } => "queue_depth",
+            TraceEvent::DrainTransition { .. } => "drain_transition",
             TraceEvent::SloTransition { .. } => "slo_transition",
             TraceEvent::RunFinished { .. } => "run_finished",
         }
@@ -408,6 +450,9 @@ impl TraceEvent {
             | TraceEvent::JobAccepted { .. }
             | TraceEvent::JobCompleted { .. }
             | TraceEvent::JobRejected { .. }
+            | TraceEvent::JobShed { .. }
+            | TraceEvent::QueueDepth { .. }
+            | TraceEvent::DrainTransition { .. }
             | TraceEvent::SloTransition { .. }
             | TraceEvent::RunFinished { .. } => None,
         }

@@ -298,6 +298,29 @@ pub fn event_to_json(event: &TraceEvent) -> String {
         TraceEvent::JobRejected { tenant, reason } => {
             line.str("tenant", tenant).str("reason", reason);
         }
+        TraceEvent::JobShed {
+            job,
+            tenant,
+            reason,
+            retry_after_secs,
+            queued,
+            inflight,
+        } => {
+            line.u64("job", *job)
+                .str("tenant", tenant)
+                .str("reason", reason)
+                .f64("retry_after_secs", *retry_after_secs)
+                .usize("queued", *queued)
+                .usize("inflight", *inflight);
+        }
+        TraceEvent::QueueDepth { queued, inflight } => {
+            line.usize("queued", *queued).usize("inflight", *inflight);
+        }
+        TraceEvent::DrainTransition { from, to, inflight } => {
+            line.str("from", from)
+                .str("to", to)
+                .usize("inflight", *inflight);
+        }
         TraceEvent::SloTransition {
             tenant,
             slo,
@@ -528,6 +551,23 @@ pub fn event_from_json(value: &Json) -> Result<TraceEvent, String> {
         "job_rejected" => Ok(TraceEvent::JobRejected {
             tenant: so("tenant")?,
             reason: so("reason")?,
+        }),
+        "job_shed" => Ok(TraceEvent::JobShed {
+            job: u("job")?,
+            tenant: so("tenant")?,
+            reason: so("reason")?,
+            retry_after_secs: f("retry_after_secs")?,
+            queued: us("queued")?,
+            inflight: us("inflight")?,
+        }),
+        "queue_depth" => Ok(TraceEvent::QueueDepth {
+            queued: us("queued")?,
+            inflight: us("inflight")?,
+        }),
+        "drain_transition" => Ok(TraceEvent::DrainTransition {
+            from: s("from")?,
+            to: s("to")?,
+            inflight: us("inflight")?,
         }),
         "slo_transition" => Ok(TraceEvent::SloTransition {
             tenant: so("tenant")?,
@@ -825,6 +865,23 @@ mod tests {
             TraceEvent::JobRejected {
                 tenant: "bmce".to_string(),
                 reason: "tenant \"bmce\" token budget exhausted".to_string(),
+            },
+            TraceEvent::JobShed {
+                job: 12,
+                tenant: "bmce".to_string(),
+                reason: "overloaded".to_string(),
+                retry_after_secs: 1.5,
+                queued: 4,
+                inflight: 2,
+            },
+            TraceEvent::QueueDepth {
+                queued: 3,
+                inflight: 2,
+            },
+            TraceEvent::DrainTransition {
+                from: "serving",
+                to: "draining",
+                inflight: 2,
             },
             TraceEvent::SloTransition {
                 tenant: "acme".to_string(),

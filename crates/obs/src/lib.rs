@@ -88,7 +88,7 @@ pub use journal::{
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsRecorder, MetricsSnapshot};
 pub use recorder::FlightRecorder;
-pub use report::{render_prom_tenants, ReportFormat, RunReport};
+pub use report::{render_prom_daemon, render_prom_tenants, ReportFormat, RunReport};
 pub use slo::{SloEngine, SloKind, SloSpec, PAGE_FACTOR};
 pub use span::{SpanProfile, SpanProfileBuilder, SpanStat};
 pub use tracer::{CollectingTracer, MultiTracer, NullTracer, Tracer};

@@ -601,6 +601,21 @@ pub fn render_prom_tenants(
     out
 }
 
+/// Prometheus exposition of daemon-level overload gauges and counters:
+/// admission-queue depth, in-flight slots, lifetime admitted/shed totals,
+/// and the drain state. Rows are `(series, type, help, value)` in the
+/// order the caller wants them rendered; the caller (the serve daemon)
+/// owns the vocabulary so the obs crate stays schema-free.
+pub fn render_prom_daemon(rows: &[(&str, &str, &str, f64)]) -> String {
+    let mut out = String::new();
+    for (name, kind, help, value) in rows {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {}", Json::Num(*value).to_json());
+    }
+    out
+}
+
 /// Escapes a Prometheus label *value* per the text exposition format:
 /// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
 /// Without this, a hostile tenant name like `x",evil="1` would inject
@@ -769,6 +784,31 @@ mod tests {
             prom.contains("dprep_tenant_failures_total{tenant=\"acme\",kind=\"skipped-answer\"} 1"),
             "{prom}"
         );
+    }
+
+    #[test]
+    fn prom_daemon_rows_render_in_order_with_help_and_type() {
+        let prom = render_prom_daemon(&[
+            (
+                "dprep_daemon_queue_depth",
+                "gauge",
+                "Jobs waiting in the admission queue.",
+                3.0,
+            ),
+            (
+                "dprep_daemon_shed_jobs_total",
+                "counter",
+                "Jobs shed by the overload policy.",
+                12.0,
+            ),
+        ]);
+        let expected = "# HELP dprep_daemon_queue_depth Jobs waiting in the admission queue.\n\
+                        # TYPE dprep_daemon_queue_depth gauge\n\
+                        dprep_daemon_queue_depth 3\n\
+                        # HELP dprep_daemon_shed_jobs_total Jobs shed by the overload policy.\n\
+                        # TYPE dprep_daemon_shed_jobs_total counter\n\
+                        dprep_daemon_shed_jobs_total 12\n";
+        assert_eq!(prom, expected);
     }
 
     #[test]

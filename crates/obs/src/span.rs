@@ -319,6 +319,9 @@ impl Tracer for SpanProfileBuilder {
             | TraceEvent::JobAccepted { .. }
             | TraceEvent::JobCompleted { .. }
             | TraceEvent::JobRejected { .. }
+            | TraceEvent::JobShed { .. }
+            | TraceEvent::QueueDepth { .. }
+            | TraceEvent::DrainTransition { .. }
             | TraceEvent::SloTransition { .. } => {}
         }
     }

@@ -34,6 +34,18 @@ echo "== serving smoke: daemon self-check + e2e suite =="
 cargo run --release -q -p dprep-cli --bin dprep -- serve --check on > /dev/null
 cargo test -q --test serve_e2e
 
+echo "== overload protection: storm drill + hostile-wire suite =="
+# 16-submit storm at 4x capacity against a live daemon: admitted jobs
+# bit-identical with bounded p95, the rest shed with retry_after hints
+# billing exactly zero (audit invariant 10 + ledger reconciliation), a
+# 1s deadline trips into deterministic partials, and a mid-storm drain
+# checkpoints in-flight jobs that then resume bit-identically at
+# workers 1/2/4 with exactly-once billing. The wire suite replays an
+# oversized frame, binary garbage, a torn frame, a slow loris, and a
+# silent client — each costs only its own connection.
+cargo run --release -q -p dprep-cli --bin dprep -- chaos --overload on > /dev/null
+cargo test -q --test wire_hardening
+
 echo "== live ops plane: dprep top determinism drill + tests =="
 # One breach-inducing workload (latency spikes against a tight latency-p95
 # objective) at 1/2/4 workers: the alert timelines and windowed snapshots
